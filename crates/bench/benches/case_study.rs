@@ -1,0 +1,58 @@
+//! Benchmarks regenerating the paper's evaluation artifacts (Figs. 3–10):
+//! per-option evaluation (Figs. 3–9) and the full brokered recommendation
+//! pipeline that produces the Fig. 10 summary.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uptime_bench::{paper_broker, paper_model, paper_request, paper_space};
+use uptime_optimizer::Evaluation;
+
+/// Figs. 3–9: evaluating each of the eight solution options.
+fn bench_fig3_to_9_option_tables(c: &mut Criterion) {
+    let space = paper_space();
+    let model = paper_model();
+    let mut group = c.benchmark_group("fig3_9_option_eval");
+    // Paper option numbering: (name, assignment).
+    let options: [(&str, [usize; 3]); 8] = [
+        ("opt1_no_ha", [0, 0, 0]),
+        ("opt2_network", [0, 0, 1]),
+        ("opt3_storage", [0, 1, 0]),
+        ("opt4_compute", [1, 0, 0]),
+        ("opt5_storage_network", [0, 1, 1]),
+        ("opt6_compute_network", [1, 0, 1]),
+        ("opt7_compute_storage", [1, 1, 0]),
+        ("opt8_all_ha", [1, 1, 1]),
+    ];
+    for (name, assignment) in options {
+        group.bench_function(name, |b| {
+            b.iter(|| Evaluation::evaluate(black_box(&space), black_box(&model), &assignment))
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 10: the full broker pipeline — enumerate, price, rank, recommend.
+fn bench_fig10_recommendation(c: &mut Criterion) {
+    let broker = paper_broker();
+    let request = paper_request();
+    c.bench_function("fig10_broker_recommend", |b| {
+        b.iter(|| {
+            let rec = broker
+                .recommend(black_box(&request))
+                .expect("valid request");
+            assert_eq!(
+                rec.clouds()[0].best().evaluation().tco().total().value(),
+                1250.0
+            );
+            rec
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fig3_to_9_option_tables,
+    bench_fig10_recommendation
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Model-evaluation throughput and numerical ablations:
+//! Eqs. 1–4 evaluation, the `F_s = 0` approximation, binomial direct vs
+//! log-space evaluation, and sensitivity analysis.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uptime_bench::option_system;
+use uptime_core::{binomial, Probability, SensitivityReport};
+
+fn bench_uptime_evaluation(c: &mut Criterion) {
+    let system = option_system(&[1, 1, 1]);
+    let mut group = c.benchmark_group("uptime_eval");
+    group.bench_function("full_eqs_1_to_4", |b| {
+        b.iter(|| black_box(&system).uptime().availability())
+    });
+    group.bench_function("ablation_ignore_failover", |b| {
+        b.iter(|| black_box(&system).uptime_ignoring_failover())
+    });
+    group.finish();
+}
+
+fn bench_binomial_strategies(c: &mut Criterion) {
+    let p = Probability::new(0.99).unwrap();
+    let mut group = c.benchmark_group("binomial_survival");
+    for n in [4u32, 16, 64, 256] {
+        let m = n - n / 4;
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, &n| {
+            b.iter(|| binomial::survival_at_least(black_box(n), m, p))
+        });
+        group.bench_with_input(BenchmarkId::new("log_space", n), &n, |b, &n| {
+            b.iter(|| binomial::survival_at_least_log(black_box(n), m, p))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sensitivity(c: &mut Criterion) {
+    let system = option_system(&[1, 1, 1]);
+    c.bench_function("sensitivity_report", |b| {
+        b.iter(|| SensitivityReport::analyze(black_box(&system)))
+    });
+}
+
+fn bench_confidence_bounds(c: &mut Criterion) {
+    use uptime_core::confidence::{uptime_interval, ConfidenceLevel, ProbabilityInterval};
+    let system = option_system(&[1, 1, 1]);
+    let intervals: Vec<_> = system
+        .clusters()
+        .iter()
+        .map(|cl| {
+            ProbabilityInterval::wald(cl.node_down_probability(), 1000.0, ConfidenceLevel::P95)
+        })
+        .collect();
+    c.bench_function("confidence_uptime_interval", |b| {
+        b.iter(|| uptime_interval(black_box(&system), black_box(&intervals)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_uptime_evaluation,
+    bench_binomial_strategies,
+    bench_sensitivity,
+    bench_confidence_bounds
+);
+criterion_main!(benches);

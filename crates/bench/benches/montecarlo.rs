@@ -1,0 +1,135 @@
+//! Simulator throughput: discrete-event years simulated per second for
+//! the case-study systems (experiment V1's engine), plus scripted failure
+//! injection and the standby-mode latency ablation.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uptime_bench::option_system;
+use uptime_core::{ClusterSpec, FailuresPerYear, Minutes, Probability, SystemSpec};
+use uptime_sim::{FailureScript, SimConfig, SimDuration, SimTime, Simulation};
+
+fn bench_simulation_year(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_one_year");
+    for (name, assignment) in [
+        ("opt1_no_ha", [0usize, 0, 0]),
+        ("opt5_storage_network", [0, 1, 1]),
+        ("opt8_all_ha", [1, 1, 1]),
+    ] {
+        let system = option_system(&assignment);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                Simulation::new(black_box(&system), SimConfig::years(1.0).with_seed(7))
+                    .expect("valid system")
+                    .run()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_standby_mode_ablation(c: &mut Criterion) {
+    // Same cluster, increasing failover latency (hot/warm/cold classes).
+    let mut group = c.benchmark_group("standby_mode_10y");
+    for (name, failover_seconds) in [("hot_5s", 5.0), ("warm_60s", 60.0), ("cold_360s", 360.0)] {
+        let system = SystemSpec::builder()
+            .cluster(
+                ClusterSpec::builder("tier")
+                    .total_nodes(2)
+                    .standby_budget(1)
+                    .node_down_probability(Probability::new(0.05).unwrap())
+                    .failures_per_year(FailuresPerYear::new(4.0).unwrap())
+                    .failover_time(Minutes::from_seconds(failover_seconds).unwrap())
+                    .build()
+                    .unwrap(),
+            )
+            .build()
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &system, |b, s| {
+            b.iter(|| {
+                Simulation::new(s, SimConfig::years(10.0).with_seed(9))
+                    .expect("valid")
+                    .run()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_failure_injection(c: &mut Criterion) {
+    let system = option_system(&[1, 1, 1]);
+    // A dense scripted month: an outage every 6 hours on rotating nodes.
+    let mut script = FailureScript::new();
+    for i in 0..120u64 {
+        let cluster = (i % 3) as usize;
+        let node = (i % 2) as usize;
+        script = script.outage(
+            cluster,
+            node,
+            SimTime::from_minutes(i as f64 * 360.0),
+            SimDuration::from_minutes(30.0),
+        );
+    }
+    c.bench_function("scripted_injection_120_outages", |b| {
+        b.iter(|| {
+            script
+                .run(black_box(&system), SimDuration::from_minutes(45_000.0))
+                .expect("valid script")
+        })
+    });
+}
+
+fn bench_correlated_simulation(c: &mut Criterion) {
+    use uptime_sim::{CommonCause, CorrelatedSimulation};
+    let system = option_system(&[0, 1, 0]);
+    let horizon = SimDuration::from_minutes(10.0 * 525_600.0);
+    c.bench_function("correlated_sim_10y", |b| {
+        b.iter(|| {
+            CorrelatedSimulation::new(
+                black_box(&system),
+                vec![
+                    uptime_sim::CommonCause::NONE,
+                    CommonCause {
+                        rate_per_year: 4.0,
+                        blast_radius: 2,
+                        mttr_minutes: 120.0,
+                    },
+                    uptime_sim::CommonCause::NONE,
+                ],
+                horizon,
+                7,
+            )
+            .expect("valid config")
+            .run()
+        })
+    });
+}
+
+fn bench_settlement(c: &mut Criterion) {
+    use uptime_broker::settlement::settle;
+    use uptime_core::MoneyPerMonth;
+    let system = option_system(&[0, 1, 0]);
+    let model = uptime_bench::paper_model();
+    c.bench_function("settle_36_months", |b| {
+        b.iter(|| {
+            settle(
+                black_box(&system),
+                &model,
+                MoneyPerMonth::new(350.0).expect("constant"),
+                36,
+                7,
+            )
+            .expect("valid settlement")
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_simulation_year,
+    bench_standby_mode_ablation,
+    bench_failure_injection,
+    bench_correlated_simulation,
+    bench_settlement
+);
+criterion_main!(benches);

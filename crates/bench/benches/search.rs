@@ -1,0 +1,111 @@
+//! §III.C complexity benchmarks: exhaustive vs superset-pruned vs
+//! branch-and-bound vs heuristics as the search space grows, plus the
+//! pruning ablation on the paper's own 2³ space.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uptime_bench::{paper_model, paper_space, synthetic_model, synthetic_space};
+use uptime_core::{PenaltyClause, RoundingPolicy};
+use uptime_optimizer::{
+    anneal, branch_bound, exhaustive, greedy, parallel, pruned, sweep, Objective,
+};
+
+fn bench_paper_space_algorithms(c: &mut Criterion) {
+    let space = paper_space();
+    let model = paper_model();
+    let mut group = c.benchmark_group("paper_space_2x2x2");
+    group.bench_function("exhaustive", |b| {
+        b.iter(|| exhaustive::search(black_box(&space), &model, Objective::MinTco))
+    });
+    group.bench_function("pruned", |b| {
+        b.iter(|| pruned::search(black_box(&space), &model, Objective::MinTco))
+    });
+    group.bench_function("branch_bound", |b| {
+        b.iter(|| branch_bound::search(black_box(&space), &model))
+    });
+    group.bench_function("greedy", |b| {
+        b.iter(|| greedy::search(black_box(&space), &model, Objective::MinTco))
+    });
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let model = synthetic_model();
+    let mut group = c.benchmark_group("search_scaling_k2");
+    for n in [4usize, 6, 8, 10] {
+        let space = synthetic_space(n, 2);
+        group.bench_with_input(BenchmarkId::new("exhaustive", n), &space, |b, s| {
+            b.iter(|| exhaustive::search(s, &model, Objective::MinTco))
+        });
+        group.bench_with_input(BenchmarkId::new("pruned", n), &space, |b, s| {
+            b.iter(|| pruned::search(s, &model, Objective::MinTco))
+        });
+        group.bench_with_input(BenchmarkId::new("branch_bound", n), &space, |b, s| {
+            b.iter(|| branch_bound::search(s, &model))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &space, |b, s| {
+            b.iter(|| greedy::search(s, &model, Objective::MinTco))
+        });
+    }
+    group.finish();
+}
+
+fn bench_wider_choice_sets(c: &mut Criterion) {
+    let model = synthetic_model();
+    let mut group = c.benchmark_group("search_scaling_n6");
+    for k in [2usize, 3, 4] {
+        let space = synthetic_space(6, k);
+        group.bench_with_input(BenchmarkId::new("exhaustive", k), &space, |b, s| {
+            b.iter(|| exhaustive::search(s, &model, Objective::MinTco))
+        });
+        group.bench_with_input(BenchmarkId::new("branch_bound", k), &space, |b, s| {
+            b.iter(|| branch_bound::search(s, &model))
+        });
+        group.bench_with_input(BenchmarkId::new("anneal", k), &space, |b, s| {
+            b.iter(|| anneal::search(s, &model, Objective::MinTco))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_exhaustive(c: &mut Criterion) {
+    let model = synthetic_model();
+    let space = synthetic_space(10, 3); // 59049 assignments
+    let mut group = c.benchmark_group("parallel_exhaustive_n10_k3");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| exhaustive::search(black_box(&space), &model, Objective::MinTco))
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| parallel::search(black_box(&space), &model, Objective::MinTco))
+    });
+    group.finish();
+}
+
+fn bench_sla_sweep(c: &mut Criterion) {
+    let space = paper_space();
+    let penalty = PenaltyClause::per_hour(100.0).expect("constant");
+    c.bench_function("sla_sweep_20_targets", |b| {
+        b.iter(|| {
+            sweep::sla_sweep_range(
+                black_box(&space),
+                &penalty,
+                RoundingPolicy::CeilHour,
+                90.0,
+                99.5,
+                20,
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_paper_space_algorithms,
+    bench_scaling,
+    bench_wider_choice_sets,
+    bench_parallel_exhaustive,
+    bench_sla_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Smoke tests for the `repro` reproduction binary.
+
+use std::process::Command;
+
+fn repro(mode: &str) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg(mode)
+        // Keep the complexity table small in debug-build smoke tests; the
+        // real harness runs without the cap.
+        .env("REPRO_MAX_SPACE", "20000")
+        .output()
+        .expect("repro binary runs")
+}
+
+#[test]
+fn figures_regenerate_paper_tcos() {
+    let output = repro("figures");
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    for tco in [
+        "$4300/mo", "$4000/mo", "$1250/mo", "$5900/mo", "$1350/mo", "$5500/mo", "$2850/mo",
+        "$3550/mo",
+    ] {
+        assert!(text.contains(tco), "missing {tco}");
+    }
+    // The detailed tables carry the paper's broker-supplied columns.
+    assert!(text.contains("P_i"));
+    assert!(text.contains("f_i/yr"));
+    assert!(text.contains("savings 62%"));
+}
+
+#[test]
+fn complexity_table_shows_agreement() {
+    let output = repro("complexity");
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.contains("exhaustive"));
+    assert!(text.contains("yes"));
+    assert!(!text.contains(" NO"), "all algorithms must agree:\n{text}");
+}
+
+#[test]
+fn sweep_reports_crossovers() {
+    let output = repro("sweep");
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.contains("crossovers"));
+    assert!(text.contains("98.5"), "{text}");
+}
+
+#[test]
+fn metacloud_beats_single_cloud() {
+    let output = repro("metacloud");
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.contains("metacloud"));
+    assert!(text.contains("best single cloud"));
+}
+
+#[test]
+fn unknown_mode_exits_2() {
+    let output = repro("bogus");
+    assert_eq!(output.status.code(), Some(2));
+}

@@ -1,0 +1,293 @@
+//! `brokerctl` — command-line front end to the uptime brokered service.
+//!
+//! ```text
+//! brokerctl catalog [--hybrid]
+//!     List clouds, HA methods, prices and reliability records.
+//!
+//! brokerctl recommend [--hybrid] [--json] [REQUEST.json]
+//!     Run the full recommendation pipeline. Without a request file, uses
+//!     the paper's case-study intake (98 % SLA, $100/h penalty).
+//!
+//! brokerctl sweep [--hybrid] FROM TO STEPS
+//!     SLA sweep: the winning architecture per target percentage.
+//!
+//! brokerctl settle MONTHS [SEED]
+//!     Settle a simulated multi-month contract for the case-study optimum
+//!     and compare realized payouts with Eq. 5.
+//!
+//! brokerctl metacloud
+//!     Cross-provider (metacloud) recommendation over the hybrid catalog.
+//!
+//! brokerctl serve [--hybrid]
+//!     Run as a service: read one SolutionRequest JSON per stdin line,
+//!     write one JSON response per line ({"ok": ...} or {"error": ...}).
+//! ```
+
+use std::process::ExitCode;
+
+use uptime_broker::{report, settlement, BrokerService, SolutionRequest};
+use uptime_catalog::{case_study, extended, CatalogStore, ComponentKind};
+use uptime_core::{PenaltyClause, RoundingPolicy, SystemSpec};
+use uptime_optimizer::{sweep, SearchSpace};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut flags: Vec<&str> = Vec::new();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut command = None;
+    for arg in &args {
+        if arg.starts_with("--") {
+            flags.push(arg);
+        } else if command.is_none() {
+            command = Some(arg.as_str());
+        } else {
+            positional.push(arg);
+        }
+    }
+    let hybrid = flags.contains(&"--hybrid");
+    let json = flags.contains(&"--json");
+
+    let result = match command {
+        Some("catalog") => catalog_command(hybrid),
+        Some("recommend") => recommend_command(hybrid, json, positional.first().copied()),
+        Some("sweep") => sweep_command(hybrid, &positional),
+        Some("settle") => settle_command(&positional),
+        Some("metacloud") => metacloud_command(),
+        Some("serve") => serve_command(hybrid),
+        _ => {
+            eprintln!(
+                "usage: brokerctl <catalog|recommend|sweep|settle|metacloud|serve> [options]"
+            );
+            eprintln!("       see the module docs for details");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("brokerctl: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn catalog(hybrid: bool) -> CatalogStore {
+    if hybrid {
+        extended::hybrid_catalog()
+    } else {
+        case_study::catalog()
+    }
+}
+
+fn catalog_command(hybrid: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let store = catalog(hybrid);
+    println!("Clouds:");
+    for id in store.cloud_ids() {
+        let profile = store.cloud(id).expect("listed id resolves");
+        println!(
+            "  {:<12} {:<22} labor ${}/h",
+            id.as_str(),
+            profile.display_name(),
+            profile.rate_card().labor_rate_per_hour()
+        );
+        for kind in profile.observed_components() {
+            let r = profile.reliability(kind).expect("observed");
+            println!(
+                "      {:<18} P={:.2}%  f={:.2}/yr  ({:.0} node-years)",
+                kind.label(),
+                r.down_probability().as_percent(),
+                r.failures_per_year().value(),
+                r.node_years_observed()
+            );
+        }
+    }
+    println!("\nHA methods:");
+    for method in store.methods() {
+        println!(
+            "  {:<22} {:<28} {:<16} shape {}  failover {}",
+            method.id(),
+            method.display_name(),
+            method.applies_to().label(),
+            method.shape(),
+            method.failover_time()
+        );
+    }
+    Ok(())
+}
+
+fn recommend_command(
+    hybrid: bool,
+    json: bool,
+    request_path: Option<&str>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let request: SolutionRequest = match request_path {
+        Some(path) => serde_json::from_str(&std::fs::read_to_string(path)?)?,
+        None => SolutionRequest::builder()
+            .tiers(ComponentKind::paper_tiers())
+            .sla_percent(case_study::SLA_PERCENT)?
+            .penalty_per_hour(case_study::PENALTY_PER_HOUR)?
+            .build()?,
+    };
+    let broker = BrokerService::new(catalog(hybrid));
+    let recommendation = broker.recommend(&request)?;
+    if json {
+        println!("{}", report::to_json(&recommendation)?);
+        return Ok(());
+    }
+    for cloud in recommendation.clouds() {
+        print!("{}", report::render_fig10_summary(cloud));
+        println!();
+    }
+    if recommendation.clouds().len() > 1 {
+        print!("{}", report::render_cross_cloud(&recommendation));
+    }
+    Ok(())
+}
+
+fn sweep_command(hybrid: bool, positional: &[&str]) -> Result<(), Box<dyn std::error::Error>> {
+    let [from, to, steps] = positional else {
+        return Err("sweep needs FROM TO STEPS".into());
+    };
+    let from: f64 = from.parse()?;
+    let to: f64 = to.parse()?;
+    let steps: usize = steps.parse()?;
+    let store = catalog(hybrid);
+    let cloud = case_study::cloud_id();
+    let space = SearchSpace::from_catalog(&store, &cloud, &ComponentKind::paper_tiers())?;
+    let result = sweep::sla_sweep_range(
+        &space,
+        &PenaltyClause::per_hour(case_study::PENALTY_PER_HOUR)?,
+        RoundingPolicy::CeilHour,
+        from,
+        to,
+        steps,
+    );
+    println!(
+        "{:>8} {:>14} {:>10} {:>12} {:>6}",
+        "SLA %", "winner", "U_s %", "TCO $/mo", "meets"
+    );
+    for point in result.points() {
+        println!(
+            "{:>8.2} {:>14} {:>10.2} {:>12.0} {:>6}",
+            point.sla_percent,
+            format!("{:?}", point.best_assignment),
+            point.best_uptime.as_percent(),
+            point.best_tco.value(),
+            if point.meets_sla { "yes" } else { "no" }
+        );
+    }
+    let crossovers = result.crossovers();
+    if crossovers.is_empty() {
+        println!("\nNo crossovers in this range.");
+    } else {
+        println!("\nCrossovers (winner changes) between:");
+        for (a, b) in crossovers {
+            println!("  {a:.2}% and {b:.2}%");
+        }
+    }
+    Ok(())
+}
+
+/// The service loop: one JSON request per line in, one JSON response per
+/// line out. A malformed or failing request produces an `{"error": ...}`
+/// line and the loop continues — one bad client call must not take the
+/// broker down.
+fn serve_command(hybrid: bool) -> Result<(), Box<dyn std::error::Error>> {
+    use std::io::{BufRead, Write};
+    let broker = BrokerService::new(catalog(hybrid));
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match serde_json::from_str::<SolutionRequest>(&line) {
+            Ok(request) => match broker.recommend(&request) {
+                Ok(recommendation) => serde_json::json!({ "ok": recommendation }),
+                Err(err) => serde_json::json!({ "error": err.to_string() }),
+            },
+            Err(err) => serde_json::json!({ "error": format!("bad request: {err}") }),
+        };
+        serde_json::to_writer(&mut out, &response)?;
+        out.write_all(b"\n")?;
+        out.flush()?;
+    }
+    Ok(())
+}
+
+fn metacloud_command() -> Result<(), Box<dyn std::error::Error>> {
+    let broker = BrokerService::new(extended::hybrid_catalog());
+    let request = SolutionRequest::builder()
+        .tiers(ComponentKind::paper_tiers())
+        .sla_percent(case_study::SLA_PERCENT)?
+        .penalty_per_hour(case_study::PENALTY_PER_HOUR)?
+        .build()?;
+    let single = broker.recommend(&request)?;
+    let meta = broker.recommend_metacloud(&request)?;
+    println!(
+        "Best single cloud: `{}` at ${:.0}/mo",
+        single.best_cloud().ok_or("no clouds")?.cloud(),
+        single.best_tco().ok_or("no clouds")?.value()
+    );
+    println!(
+        "Metacloud: ${:.0}/mo at U_s {:.2}% across {} cloud(s)",
+        meta.evaluation().tco().total().value(),
+        meta.evaluation().uptime().availability().as_percent(),
+        meta.clouds_used().len()
+    );
+    for placement in meta.placements() {
+        println!(
+            "  {:<18} -> {:<10} via {:<22} (${:.0}/mo)",
+            placement.component.label(),
+            placement.cloud,
+            placement.method,
+            placement.monthly_cost.value()
+        );
+    }
+    Ok(())
+}
+
+fn settle_command(positional: &[&str]) -> Result<(), Box<dyn std::error::Error>> {
+    let months: u32 = positional.first().ok_or("settle needs MONTHS")?.parse()?;
+    let seed: u64 = positional.get(1).map_or(Ok(7), |s| s.parse())?;
+
+    // The case-study optimum (option #3): storage RAID-1 only.
+    let store = case_study::catalog();
+    let cloud = case_study::cloud_id();
+    let clusters = vec![
+        store.cluster_spec(&cloud, ComponentKind::Compute, &"none-compute".into())?,
+        store.cluster_spec(&cloud, ComponentKind::Storage, &"raid1".into())?,
+        store.cluster_spec(
+            &cloud,
+            ComponentKind::NetworkGateway,
+            &"none-network-gateway".into(),
+        )?,
+    ];
+    let system = SystemSpec::new(clusters)?;
+    let model = case_study::tco_model();
+    let ha_cost = store.quote(&cloud, &"raid1".into())?.total();
+    let report = settlement::settle(&system, &model, ha_cost, months, seed)?;
+
+    println!("Settled {months} months of option #3 (RAID-1 only), seed {seed}:");
+    println!(
+        "  expected TCO (Eq. 5):   ${:>8.0}/mo",
+        report.expected_tco().value()
+    );
+    println!(
+        "  mean realized TCO:      ${:>8.0}/mo",
+        report.mean_realized_tco().value()
+    );
+    println!("  Jensen gap:             ${:>8.0}/mo", report.jensen_gap());
+    println!(
+        "  months in breach:        {:>3} of {months}",
+        report.months_in_breach()
+    );
+    println!(
+        "  penalty p50 / p95:      ${:.0} / ${:.0}",
+        report.penalty_percentile(50.0).value(),
+        report.penalty_percentile(95.0).value()
+    );
+    Ok(())
+}

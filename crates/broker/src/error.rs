@@ -1,0 +1,131 @@
+//! Broker error type, aggregating the pipeline's failure modes.
+
+use std::fmt;
+
+use uptime_catalog::{CatalogError, CloudId};
+use uptime_optimizer::SpaceError;
+use uptime_sim::SimError;
+
+/// Errors surfaced by the brokered service.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BrokerError {
+    /// Request validation failed.
+    InvalidRequest {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The request referenced a cloud the broker does not front.
+    UnknownCloud {
+        /// The cloud id.
+        id: CloudId,
+    },
+    /// The search produced no candidate deployments.
+    NoCandidates,
+    /// Knowledge-base lookup failed.
+    Catalog(CatalogError),
+    /// Search-space construction failed.
+    Space(SpaceError),
+    /// Core model validation failed.
+    Model(uptime_core::ModelError),
+    /// Simulation (telemetry or audit) failed.
+    Sim(SimError),
+    /// Provisioning was attempted against the wrong provider.
+    ProviderMismatch {
+        /// Cloud the plan targets.
+        plan_cloud: CloudId,
+        /// Cloud of the provider asked to execute it.
+        provider_cloud: CloudId,
+    },
+}
+
+impl fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BrokerError::InvalidRequest { reason } => write!(f, "invalid request: {reason}"),
+            BrokerError::UnknownCloud { id } => write!(f, "broker does not front cloud `{id}`"),
+            BrokerError::NoCandidates => write!(f, "no candidate deployments found"),
+            BrokerError::Catalog(e) => write!(f, "catalog error: {e}"),
+            BrokerError::Space(e) => write!(f, "search space error: {e}"),
+            BrokerError::Model(e) => write!(f, "model error: {e}"),
+            BrokerError::Sim(e) => write!(f, "simulation error: {e}"),
+            BrokerError::ProviderMismatch {
+                plan_cloud,
+                provider_cloud,
+            } => write!(
+                f,
+                "plan targets cloud `{plan_cloud}` but provider is `{provider_cloud}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BrokerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BrokerError::Catalog(e) => Some(e),
+            BrokerError::Space(e) => Some(e),
+            BrokerError::Model(e) => Some(e),
+            BrokerError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CatalogError> for BrokerError {
+    fn from(e: CatalogError) -> Self {
+        BrokerError::Catalog(e)
+    }
+}
+
+impl From<SpaceError> for BrokerError {
+    fn from(e: SpaceError) -> Self {
+        BrokerError::Space(e)
+    }
+}
+
+impl From<uptime_core::ModelError> for BrokerError {
+    fn from(e: uptime_core::ModelError) -> Self {
+        BrokerError::Model(e)
+    }
+}
+
+impl From<SimError> for BrokerError {
+    fn from(e: SimError) -> Self {
+        BrokerError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error;
+        let e = BrokerError::InvalidRequest {
+            reason: "no tiers".into(),
+        };
+        assert_eq!(e.to_string(), "invalid request: no tiers");
+        assert!(e.source().is_none());
+
+        let e = BrokerError::from(SimError::NoTrials);
+        assert!(e.to_string().contains("simulation error"));
+        assert!(e.source().is_some());
+
+        let e = BrokerError::from(uptime_core::ModelError::EmptySystem);
+        assert!(e.source().is_some());
+
+        let e = BrokerError::ProviderMismatch {
+            plan_cloud: CloudId::new("a"),
+            provider_cloud: CloudId::new("b"),
+        };
+        assert!(e.to_string().contains('a') && e.to_string().contains('b'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_good<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_good::<BrokerError>();
+    }
+}

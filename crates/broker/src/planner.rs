@@ -1,0 +1,138 @@
+//! Deployment planning: recommendation → provisioning steps.
+
+use serde::{Deserialize, Serialize};
+use uptime_catalog::{CloudId, ComponentKind, HaMethodId};
+
+/// One provisioning action: engineer an HA method for a component tier.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProvisionStep {
+    component: ComponentKind,
+    method: HaMethodId,
+    method_label: String,
+    nodes: u32,
+}
+
+impl ProvisionStep {
+    /// Creates a step.
+    pub fn new(
+        component: ComponentKind,
+        method: HaMethodId,
+        method_label: impl Into<String>,
+        nodes: u32,
+    ) -> Self {
+        ProvisionStep {
+            component,
+            method,
+            method_label: method_label.into(),
+            nodes,
+        }
+    }
+
+    /// The component tier this step provisions.
+    #[must_use]
+    pub fn component(&self) -> ComponentKind {
+        self.component
+    }
+
+    /// The HA method to engineer.
+    #[must_use]
+    pub fn method(&self) -> &HaMethodId {
+        &self.method
+    }
+
+    /// Human-readable method name.
+    #[must_use]
+    pub fn method_label(&self) -> &str {
+        &self.method_label
+    }
+
+    /// Total nodes to provision for the tier.
+    #[must_use]
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+}
+
+/// An ordered provisioning plan for one cloud.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeploymentPlan {
+    cloud: CloudId,
+    steps: Vec<ProvisionStep>,
+}
+
+impl DeploymentPlan {
+    /// Creates a plan.
+    #[must_use]
+    pub fn new(cloud: CloudId, steps: Vec<ProvisionStep>) -> Self {
+        DeploymentPlan { cloud, steps }
+    }
+
+    /// The target cloud.
+    #[must_use]
+    pub fn cloud(&self) -> &CloudId {
+        &self.cloud
+    }
+
+    /// The provisioning steps, tier by tier in serial order.
+    #[must_use]
+    pub fn steps(&self) -> &[ProvisionStep] {
+        &self.steps
+    }
+
+    /// Total nodes across all tiers.
+    #[must_use]
+    pub fn total_nodes(&self) -> u32 {
+        self.steps.iter().map(ProvisionStep::nodes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> DeploymentPlan {
+        DeploymentPlan::new(
+            CloudId::new("softlayer"),
+            vec![
+                ProvisionStep::new(
+                    ComponentKind::Compute,
+                    HaMethodId::new("none-compute"),
+                    "None",
+                    1,
+                ),
+                ProvisionStep::new(
+                    ComponentKind::Storage,
+                    HaMethodId::new("raid1"),
+                    "RAID 1",
+                    2,
+                ),
+                ProvisionStep::new(
+                    ComponentKind::NetworkGateway,
+                    HaMethodId::new("dual-gw"),
+                    "Dual Node GW Cluster",
+                    2,
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors_and_totals() {
+        let p = plan();
+        assert_eq!(p.cloud().as_str(), "softlayer");
+        assert_eq!(p.steps().len(), 3);
+        assert_eq!(p.total_nodes(), 5);
+        assert_eq!(p.steps()[1].method().as_str(), "raid1");
+        assert_eq!(p.steps()[1].method_label(), "RAID 1");
+        assert_eq!(p.steps()[1].component(), ComponentKind::Storage);
+        assert_eq!(p.steps()[1].nodes(), 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = plan();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: DeploymentPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

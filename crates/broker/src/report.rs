@@ -1,0 +1,347 @@
+//! Report rendering: the paper's figures as text tables and JSON.
+
+use std::fmt::Write as _;
+
+use uptime_catalog::{CatalogStore, CloudId, ComponentKind};
+use uptime_core::TcoModel;
+
+use crate::error::BrokerError;
+use crate::recommendation::{CloudRecommendation, RankedOption, Recommendation};
+
+/// Renders one option as a Fig. 4–9-style per-component table.
+#[must_use]
+pub fn render_option_table(
+    option: &RankedOption,
+    tiers: &[ComponentKind],
+    model: &TcoModel,
+) -> String {
+    let mut out = String::new();
+    let tco = option.evaluation().tco();
+    let uptime = option.evaluation().uptime().availability();
+    let _ = writeln!(
+        out,
+        "Solution Option #{}: {}",
+        option.option_number(),
+        describe(option)
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:<24} {:>14}",
+        "Component", "Proposed HA method", "C_HA ($/mo)"
+    );
+    for ((kind, label), cost) in tiers.iter().zip(option.labels()).zip(option.tier_costs()) {
+        let _ = writeln!(
+            out,
+            "{:<18} {:<24} {:>14.0}",
+            kind.label(),
+            label,
+            cost.value()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "System uptime U_s = {:.2}% (target {:.0}%) | slippage {:.0} h/mo | HA ${:.0} + penalty ${:.0} = TCO ${:.0}/mo",
+        uptime.as_percent(),
+        model.sla().as_percent(),
+        tco.billed_slippage_hours(),
+        tco.ha_cost().value(),
+        tco.penalty().value(),
+        tco.total().value(),
+    );
+    out
+}
+
+/// Renders one option with the paper's full Fig. 4–9 column set —
+/// `P_i`, `f_i`, proposed HA method, `t_i`, `C_HA` per component, plus the
+/// contract columns — by resolving reliability and failover data from the
+/// knowledge base.
+///
+/// # Errors
+///
+/// Returns catalog errors when the cloud, a reliability record, or a
+/// method id no longer resolves.
+pub fn render_option_table_detailed(
+    catalog: &CatalogStore,
+    cloud: &CloudId,
+    option: &RankedOption,
+    tiers: &[ComponentKind],
+    model: &TcoModel,
+) -> Result<String, BrokerError> {
+    let profile = catalog
+        .cloud(cloud)
+        .ok_or_else(|| BrokerError::UnknownCloud { id: cloud.clone() })?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Solution Option #{}: {}",
+        option.option_number(),
+        describe(option)
+    );
+    let _ = writeln!(
+        out,
+        "{:<4} {:>8} {:>8} {:<24} {:>10} {:>12}",
+        "#", "P_i", "f_i/yr", "Proposed HA method", "t_i (min)", "C_HA ($/mo)"
+    );
+    for (i, ((kind, method_id), cost)) in tiers
+        .iter()
+        .zip(option.method_ids())
+        .zip(option.tier_costs())
+        .enumerate()
+    {
+        let record =
+            profile
+                .reliability(*kind)
+                .ok_or(uptime_catalog::CatalogError::MissingReliability {
+                    cloud: cloud.clone(),
+                    component: *kind,
+                })?;
+        let method = catalog.method(method_id.as_str()).ok_or_else(|| {
+            uptime_catalog::CatalogError::UnknownMethod {
+                id: method_id.clone(),
+            }
+        })?;
+        let _ = writeln!(
+            out,
+            "{:<4} {:>7.2}% {:>8.2} {:<24} {:>10.2} {:>12.0}",
+            i + 1,
+            record.down_probability().as_percent(),
+            record.failures_per_year().value(),
+            method.display_name(),
+            method.failover_time().value(),
+            cost.value(),
+        );
+    }
+    let tco = option.evaluation().tco();
+    let _ = writeln!(
+        out,
+        "U_SLA {:.0}% | U_s = {:.2}% | slippage {:.0} h/mo @ ${:.0}/h | TCO = ${:.0} (HA) + ${:.0} (penalty) = ${:.0}/mo",
+        model.sla().as_percent(),
+        option.evaluation().uptime().availability().as_percent(),
+        tco.billed_slippage_hours(),
+        match model.penalty() {
+            uptime_core::PenaltyClause::PerHour { rate } => *rate,
+            _ => f64::NAN,
+        },
+        tco.ha_cost().value(),
+        tco.penalty().value(),
+        tco.total().value(),
+    );
+    Ok(out)
+}
+
+/// Renders a cloud's full option list as the paper's Fig. 10 summary.
+#[must_use]
+pub fn render_fig10_summary(cloud: &CloudRecommendation) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Summary of results on cloud `{}`:", cloud.cloud());
+    let _ = writeln!(
+        out,
+        "{:<9} {:<52} {:<10} {:>12}",
+        "Option #", "Proposed HA-Enabled Solution", "Penalty?", "TCO ($/mo)"
+    );
+    for option in cloud.options() {
+        let _ = writeln!(
+            out,
+            "{:<9} {:<52} {:<10} {:>12.0}",
+            option.option_number(),
+            describe(option),
+            if option.meets_sla() { "No" } else { "Yes" },
+            option.evaluation().tco().total().value(),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "Recommended (min TCO): option #{} at ${:.0}/mo",
+        cloud.best().option_number(),
+        cloud.best().evaluation().tco().total().value()
+    );
+    if let Some(min_risk) = cloud.min_risk() {
+        let _ = writeln!(
+            out,
+            "Minimum penalty risk:  option #{} at ${:.0}/mo",
+            min_risk.option_number(),
+            min_risk.evaluation().tco().total().value()
+        );
+    }
+    if let (Some(as_is), Some(savings)) = (cloud.as_is(), cloud.savings_vs_as_is()) {
+        let _ = writeln!(
+            out,
+            "As-is option #{} at ${:.0}/mo -> savings {:.0}%",
+            as_is.option_number(),
+            as_is.evaluation().tco().total().value(),
+            savings * 100.0
+        );
+    }
+    out
+}
+
+/// Renders the cross-cloud comparison for hybrid-brokerage scenarios.
+#[must_use]
+pub fn render_cross_cloud(recommendation: &Recommendation) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:<34} {:>10} {:>12}",
+        "Cloud", "Best option", "U_s (%)", "TCO ($/mo)"
+    );
+    for cloud in recommendation.clouds() {
+        let best = cloud.best();
+        let _ = writeln!(
+            out,
+            "{:<14} {:<34} {:>10.2} {:>12.0}",
+            cloud.cloud().as_str(),
+            describe(best),
+            best.evaluation().uptime().availability().as_percent(),
+            best.evaluation().tco().total().value(),
+        );
+    }
+    if let Some(best_cloud) = recommendation.best_cloud() {
+        let _ = writeln!(
+            out,
+            "Overall recommendation: cloud `{}`, option #{} at ${:.0}/mo",
+            best_cloud.cloud(),
+            best_cloud.best().option_number(),
+            best_cloud.best().evaluation().tco().total().value()
+        );
+    }
+    out
+}
+
+/// Machine-readable export of a full recommendation.
+///
+/// # Errors
+///
+/// Returns a [`serde_json::Error`] if serialization fails (it cannot for
+/// these types in practice).
+pub fn to_json(recommendation: &Recommendation) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(recommendation)
+}
+
+fn describe(option: &RankedOption) -> String {
+    option
+        .labels()
+        .iter()
+        .map(|label| {
+            if label == "None" {
+                "no HA".to_owned()
+            } else {
+                label.clone()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" / ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::SolutionRequest;
+    use crate::service::BrokerService;
+    use uptime_catalog::{case_study, HaMethodId};
+
+    fn recommendation() -> Recommendation {
+        let service = BrokerService::new(case_study::catalog());
+        let request = SolutionRequest::builder()
+            .tiers(ComponentKind::paper_tiers())
+            .sla_percent(98.0)
+            .unwrap()
+            .penalty_per_hour(100.0)
+            .unwrap()
+            .as_is(vec![
+                HaMethodId::new("vmware-ha-3p1"),
+                HaMethodId::new("raid1"),
+                HaMethodId::new("dual-gw"),
+            ])
+            .build()
+            .unwrap();
+        service.recommend(&request).unwrap()
+    }
+
+    #[test]
+    fn fig10_summary_contains_all_rows_and_savings() {
+        let rec = recommendation();
+        let text = render_fig10_summary(&rec.clouds()[0]);
+        for tco in [
+            "4300", "4000", "1250", "5900", "1350", "5500", "2850", "3550",
+        ] {
+            assert!(text.contains(tco), "missing TCO {tco} in:\n{text}");
+        }
+        assert!(text.contains("option #3 at $1250/mo"));
+        assert!(text.contains("option #5 at $1350/mo"));
+        assert!(text.contains("savings 62%"));
+    }
+
+    #[test]
+    fn option_table_mentions_uptime_and_tiers() {
+        let rec = recommendation();
+        let model = case_study::tco_model();
+        let option3 = &rec.clouds()[0].options()[2];
+        let text = render_option_table(option3, &ComponentKind::paper_tiers(), &model);
+        assert!(text.contains("Solution Option #3"));
+        assert!(text.contains("96.78%"));
+        assert!(text.contains("RAID 1"));
+        assert!(text.contains("TCO $1250/mo"));
+        assert!(text.contains("compute"));
+    }
+
+    #[test]
+    fn detailed_table_shows_paper_columns() {
+        let rec = recommendation();
+        let model = case_study::tco_model();
+        let option8 = &rec.clouds()[0].options()[7];
+        let text = render_option_table_detailed(
+            &case_study::catalog(),
+            &case_study::cloud_id(),
+            option8,
+            &ComponentKind::paper_tiers(),
+            &model,
+        )
+        .unwrap();
+        // The paper's broker-supplied columns.
+        assert!(text.contains("1.00%"), "{text}");
+        assert!(text.contains("5.00%"), "{text}");
+        assert!(text.contains("2.00%"), "{text}");
+        assert!(text.contains("6.00"), "VMware t_i: {text}");
+        assert!(text.contains("0.50"), "RAID t_i: {text}");
+        assert!(text.contains("2200"), "{text}");
+        assert!(text.contains("$3550/mo"), "{text}");
+    }
+
+    #[test]
+    fn detailed_table_unknown_cloud_errors() {
+        let rec = recommendation();
+        let model = case_study::tco_model();
+        let err = render_option_table_detailed(
+            &case_study::catalog(),
+            &uptime_catalog::CloudId::new("ghost"),
+            rec.clouds()[0].best(),
+            &ComponentKind::paper_tiers(),
+            &model,
+        )
+        .unwrap_err();
+        assert!(matches!(err, BrokerError::UnknownCloud { .. }));
+    }
+
+    #[test]
+    fn cross_cloud_lists_every_cloud() {
+        let rec = recommendation();
+        let text = render_cross_cloud(&rec);
+        assert!(text.contains("softlayer"));
+        assert!(text.contains("Overall recommendation"));
+    }
+
+    #[test]
+    fn json_export_parses_back() {
+        let rec = recommendation();
+        let json = to_json(&rec).unwrap();
+        let back: Recommendation = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn describe_substitutes_none() {
+        let rec = recommendation();
+        let option1 = &rec.clouds()[0].options()[0];
+        assert_eq!(describe(option1), "no HA / no HA / no HA");
+    }
+}

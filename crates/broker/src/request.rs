@@ -1,0 +1,267 @@
+//! Solution requests: what a customer hands the broker (paper §II.C).
+
+use serde::{Deserialize, Serialize};
+use uptime_catalog::{CloudId, ComponentKind, HaMethodId};
+use uptime_core::{PenaltyClause, RoundingPolicy, SlaTarget, TcoModel};
+
+use crate::error::BrokerError;
+
+/// A customer's intake to the brokered service:
+///
+/// 1. the base architecture as an ordered serial chain of component tiers,
+/// 2. the uptime SLA and the contractual slippage penalty, and
+/// 3. the clouds to consider (empty = every cloud the broker fronts),
+///
+/// optionally with the customer's current ("as-is") HA choices so the
+/// recommendation can quote savings (the paper's Fig. 10 comparison).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolutionRequest {
+    tiers: Vec<ComponentKind>,
+    sla: SlaTarget,
+    penalty: PenaltyClause,
+    rounding: RoundingPolicy,
+    clouds: Vec<CloudId>,
+    as_is: Option<Vec<HaMethodId>>,
+}
+
+impl SolutionRequest {
+    /// Starts building a request.
+    #[must_use]
+    pub fn builder() -> SolutionRequestBuilder {
+        SolutionRequestBuilder::default()
+    }
+
+    /// The serial tiers, in order.
+    #[must_use]
+    pub fn tiers(&self) -> &[ComponentKind] {
+        &self.tiers
+    }
+
+    /// The SLA target.
+    #[must_use]
+    pub fn sla(&self) -> SlaTarget {
+        self.sla
+    }
+
+    /// The penalty clause.
+    #[must_use]
+    pub fn penalty(&self) -> &PenaltyClause {
+        &self.penalty
+    }
+
+    /// Clouds to consider; empty means "all known".
+    #[must_use]
+    pub fn clouds(&self) -> &[CloudId] {
+        &self.clouds
+    }
+
+    /// The customer's current HA choice per tier, if provided.
+    #[must_use]
+    pub fn as_is(&self) -> Option<&[HaMethodId]> {
+        self.as_is.as_deref()
+    }
+
+    /// The contract as a [`TcoModel`].
+    #[must_use]
+    pub fn tco_model(&self) -> TcoModel {
+        TcoModel::with_rounding(self.sla, self.penalty.clone(), self.rounding)
+    }
+}
+
+/// Builder for [`SolutionRequest`].
+#[derive(Debug, Clone, Default)]
+pub struct SolutionRequestBuilder {
+    tiers: Vec<ComponentKind>,
+    sla: Option<SlaTarget>,
+    penalty: Option<PenaltyClause>,
+    rounding: RoundingPolicy,
+    clouds: Vec<CloudId>,
+    as_is: Option<Vec<HaMethodId>>,
+}
+
+impl SolutionRequestBuilder {
+    /// Appends one tier to the serial chain.
+    #[must_use]
+    pub fn tier(mut self, kind: ComponentKind) -> Self {
+        self.tiers.push(kind);
+        self
+    }
+
+    /// Appends many tiers.
+    #[must_use]
+    pub fn tiers(mut self, kinds: impl IntoIterator<Item = ComponentKind>) -> Self {
+        self.tiers.extend(kinds);
+        self
+    }
+
+    /// Sets the SLA from a percentage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`uptime_core::ModelError::InvalidSlaTarget`].
+    pub fn sla_percent(mut self, percent: f64) -> Result<Self, BrokerError> {
+        self.sla = Some(SlaTarget::from_percent(percent)?);
+        Ok(self)
+    }
+
+    /// Sets a flat per-hour penalty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`uptime_core::ModelError::InvalidQuantity`].
+    pub fn penalty_per_hour(mut self, rate: f64) -> Result<Self, BrokerError> {
+        self.penalty = Some(PenaltyClause::per_hour(rate)?);
+        Ok(self)
+    }
+
+    /// Sets an arbitrary penalty clause.
+    #[must_use]
+    pub fn penalty(mut self, clause: PenaltyClause) -> Self {
+        self.penalty = Some(clause);
+        self
+    }
+
+    /// Overrides the slippage-hour rounding policy (default: the
+    /// paper-matching ceiling).
+    #[must_use]
+    pub fn rounding(mut self, policy: RoundingPolicy) -> Self {
+        self.rounding = policy;
+        self
+    }
+
+    /// Restricts the search to one cloud (may be called repeatedly).
+    #[must_use]
+    pub fn cloud(mut self, id: CloudId) -> Self {
+        self.clouds.push(id);
+        self
+    }
+
+    /// Declares the customer's current HA method per tier (same order as
+    /// the tiers), enabling the savings comparison.
+    #[must_use]
+    pub fn as_is(mut self, methods: impl IntoIterator<Item = HaMethodId>) -> Self {
+        self.as_is = Some(methods.into_iter().collect());
+        self
+    }
+
+    /// Validates and builds the request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::InvalidRequest`] when tiers are empty, the
+    /// SLA or penalty is missing, or the as-is arity mismatches the tiers.
+    pub fn build(self) -> Result<SolutionRequest, BrokerError> {
+        if self.tiers.is_empty() {
+            return Err(BrokerError::InvalidRequest {
+                reason: "at least one tier is required".into(),
+            });
+        }
+        let sla = self.sla.ok_or_else(|| BrokerError::InvalidRequest {
+            reason: "an uptime SLA is required".into(),
+        })?;
+        let penalty = self.penalty.ok_or_else(|| BrokerError::InvalidRequest {
+            reason: "a slippage penalty clause is required".into(),
+        })?;
+        if let Some(as_is) = &self.as_is {
+            if as_is.len() != self.tiers.len() {
+                return Err(BrokerError::InvalidRequest {
+                    reason: format!(
+                        "as-is has {} methods for {} tiers",
+                        as_is.len(),
+                        self.tiers.len()
+                    ),
+                });
+            }
+        }
+        Ok(SolutionRequest {
+            tiers: self.tiers,
+            sla,
+            penalty,
+            rounding: self.rounding,
+            clouds: self.clouds,
+            as_is: self.as_is,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SolutionRequestBuilder {
+        SolutionRequest::builder()
+            .tiers(ComponentKind::paper_tiers())
+            .sla_percent(98.0)
+            .unwrap()
+            .penalty_per_hour(100.0)
+            .unwrap()
+    }
+
+    #[test]
+    fn happy_path() {
+        let r = base().cloud(CloudId::new("softlayer")).build().unwrap();
+        assert_eq!(r.tiers().len(), 3);
+        assert_eq!(r.sla().as_percent(), 98.0);
+        assert_eq!(r.clouds().len(), 1);
+        assert!(r.as_is().is_none());
+        let model = r.tco_model();
+        assert_eq!(model.rounding(), RoundingPolicy::CeilHour);
+    }
+
+    #[test]
+    fn missing_pieces_rejected() {
+        assert!(matches!(
+            SolutionRequest::builder().build(),
+            Err(BrokerError::InvalidRequest { .. })
+        ));
+        assert!(matches!(
+            SolutionRequest::builder()
+                .tier(ComponentKind::Compute)
+                .build(),
+            Err(BrokerError::InvalidRequest { .. })
+        ));
+        let no_penalty = SolutionRequest::builder()
+            .tier(ComponentKind::Compute)
+            .sla_percent(99.0)
+            .unwrap();
+        assert!(matches!(
+            no_penalty.build(),
+            Err(BrokerError::InvalidRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_sla_propagates() {
+        assert!(SolutionRequest::builder().sla_percent(0.0).is_err());
+        assert!(SolutionRequest::builder().penalty_per_hour(-5.0).is_err());
+    }
+
+    #[test]
+    fn as_is_arity_checked() {
+        let bad = base().as_is(vec![HaMethodId::new("raid1")]).build();
+        assert!(matches!(bad, Err(BrokerError::InvalidRequest { .. })));
+        let good = base()
+            .as_is(vec![
+                HaMethodId::new("vmware-ha-3p1"),
+                HaMethodId::new("raid1"),
+                HaMethodId::new("dual-gw"),
+            ])
+            .build()
+            .unwrap();
+        assert_eq!(good.as_is().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn rounding_override() {
+        let r = base().rounding(RoundingPolicy::Exact).build().unwrap();
+        assert_eq!(r.tco_model().rounding(), RoundingPolicy::Exact);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = base().build().unwrap();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SolutionRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

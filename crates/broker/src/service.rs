@@ -1,0 +1,486 @@
+//! The brokered service itself.
+
+use parking_lot::RwLock;
+use uptime_catalog::{CatalogStore, CloudId, ComponentKind, HaMethodId};
+use uptime_optimizer::{exhaustive, Evaluation, Objective, SearchSpace};
+
+use crate::error::BrokerError;
+use crate::planner::{DeploymentPlan, ProvisionStep};
+use crate::provider::ProviderTelemetry;
+use crate::recommendation::{CloudRecommendation, RankedOption, Recommendation};
+use crate::request::SolutionRequest;
+use crate::telemetry::{EstimatedParameters, TelemetryEstimator};
+
+/// The uptime-optimizing brokered service of the paper's Fig. 2.
+///
+/// Holds the broker's knowledge base behind a read-write lock so that
+/// telemetry ingestion (writes) can interleave with recommendation
+/// requests (reads) — the long-running service shape the paper envisages.
+#[derive(Debug)]
+pub struct BrokerService {
+    catalog: RwLock<CatalogStore>,
+}
+
+impl BrokerService {
+    /// Creates a service fronting the given knowledge base.
+    #[must_use]
+    pub fn new(catalog: CatalogStore) -> Self {
+        BrokerService {
+            catalog: RwLock::new(catalog),
+        }
+    }
+
+    /// A snapshot of the current knowledge base.
+    #[must_use]
+    pub fn catalog_snapshot(&self) -> CatalogStore {
+        self.catalog.read().clone()
+    }
+
+    /// Absorbs harvested component telemetry into the knowledge base:
+    /// estimates `P̂`/`f̂` from the trace and evidence-merges them into the
+    /// cloud's reliability record for that component.
+    ///
+    /// Returns the estimate that was absorbed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::UnknownCloud`] if the broker does not front
+    /// `cloud`.
+    pub fn ingest_component_telemetry(
+        &self,
+        cloud: &CloudId,
+        kind: ComponentKind,
+        telemetry: &ProviderTelemetry,
+    ) -> Result<EstimatedParameters, BrokerError> {
+        let estimator = TelemetryEstimator::new();
+        // Estimate each observed cluster (a fleet of singletons) and merge.
+        let records: Vec<_> = (0..telemetry.clusters as usize)
+            .map(|c| {
+                estimator.estimate(
+                    &telemetry.trace,
+                    c,
+                    telemetry.nodes_per_cluster,
+                    telemetry.span,
+                )
+            })
+            .collect();
+        let merged_record = records
+            .iter()
+            .map(EstimatedParameters::to_reliability_record)
+            .reduce(|a, b| a.merge(&b))
+            .ok_or(BrokerError::NoCandidates)?;
+
+        let mut catalog = self.catalog.write();
+        let profile = catalog
+            .cloud_mut(cloud)
+            .ok_or_else(|| BrokerError::UnknownCloud { id: cloud.clone() })?;
+        profile.absorb_reliability(kind, merged_record);
+
+        // Return a merged view of the estimates.
+        let total_years: f64 = records.iter().map(EstimatedParameters::node_years).sum();
+        let _ = total_years;
+        Ok(records
+            .into_iter()
+            .reduce(|a, b| merge_estimates(&a, &b))
+            .expect("records non-empty"))
+    }
+
+    /// Runs the paper's full pipeline: enumerate every HA permutation on
+    /// every requested cloud, price them, and assemble the recommendation.
+    ///
+    /// # Errors
+    ///
+    /// * [`BrokerError::UnknownCloud`] for a requested cloud the broker
+    ///   does not front.
+    /// * [`BrokerError::InvalidRequest`] when a declared as-is method does
+    ///   not exist for its tier.
+    /// * Catalog/space errors for missing prices or reliability records.
+    pub fn recommend(&self, request: &SolutionRequest) -> Result<Recommendation, BrokerError> {
+        let catalog = self.catalog.read();
+        let clouds: Vec<CloudId> = if request.clouds().is_empty() {
+            catalog.cloud_ids().cloned().collect()
+        } else {
+            for id in request.clouds() {
+                if catalog.cloud(id).is_none() {
+                    return Err(BrokerError::UnknownCloud { id: id.clone() });
+                }
+            }
+            request.clouds().to_vec()
+        };
+        if clouds.is_empty() {
+            return Err(BrokerError::NoCandidates);
+        }
+
+        let model = request.tco_model();
+        let mut cloud_recs = Vec::with_capacity(clouds.len());
+        for cloud in clouds {
+            let space = SearchSpace::from_catalog(&catalog, &cloud, request.tiers())?;
+            // Method ids per tier, in the same order the space was built.
+            let method_ids: Vec<Vec<HaMethodId>> = request
+                .tiers()
+                .iter()
+                .map(|kind| {
+                    catalog
+                        .methods_for(*kind)
+                        .iter()
+                        .map(|m| m.id().clone())
+                        .collect()
+                })
+                .collect();
+
+            let outcome = exhaustive::search(&space, &model, Objective::MinTco);
+
+            // Paper numbering: ascending cardinality, then mixed-radix value.
+            let mut ordered: Vec<&Evaluation> = outcome.evaluations().iter().collect();
+            ordered.sort_by_key(|e| (e.cardinality(), assignment_value(&space, e.assignment())));
+
+            let as_is_assignment = match request.as_is() {
+                Some(methods) => Some(resolve_as_is(&method_ids, methods)?),
+                None => None,
+            };
+
+            let mut options = Vec::with_capacity(ordered.len());
+            let mut best_index = 0;
+            let mut min_risk_index: Option<usize> = None;
+            let mut as_is_index: Option<usize> = None;
+            for (i, e) in ordered.iter().enumerate() {
+                let meets = model.sla().is_met_by(e.uptime().availability());
+                let ids = e
+                    .assignment()
+                    .iter()
+                    .zip(&method_ids)
+                    .map(|(&idx, tier)| tier[idx].clone())
+                    .collect();
+                let labels = e.labels(&space).iter().map(|s| (*s).to_owned()).collect();
+                let tier_costs = e
+                    .assignment()
+                    .iter()
+                    .zip(space.components())
+                    .map(|(&idx, comp)| comp.candidates()[idx].monthly_cost())
+                    .collect();
+                options.push(RankedOption::new(
+                    i + 1,
+                    labels,
+                    ids,
+                    tier_costs,
+                    (*e).clone(),
+                    meets,
+                ));
+
+                if e.tco().total() < ordered[best_index].tco().total() {
+                    best_index = i;
+                }
+                if meets {
+                    let better = match min_risk_index {
+                        Some(j) => e.tco().total() < ordered[j].tco().total(),
+                        None => true,
+                    };
+                    if better {
+                        min_risk_index = Some(i);
+                    }
+                }
+                if as_is_assignment.as_deref() == Some(e.assignment()) {
+                    as_is_index = Some(i);
+                }
+            }
+
+            cloud_recs.push(CloudRecommendation::new(
+                cloud,
+                options,
+                best_index,
+                min_risk_index,
+                as_is_index,
+                outcome.stats(),
+            ));
+        }
+        Ok(Recommendation::new(cloud_recs))
+    }
+
+    /// Turns a ranked option into a provisioning plan for its cloud.
+    ///
+    /// # Errors
+    ///
+    /// Returns catalog errors when a method id no longer resolves.
+    pub fn plan(
+        &self,
+        cloud: &CloudId,
+        tiers: &[ComponentKind],
+        option: &RankedOption,
+    ) -> Result<DeploymentPlan, BrokerError> {
+        let catalog = self.catalog.read();
+        let mut steps = Vec::with_capacity(option.method_ids().len());
+        for (kind, method_id) in tiers.iter().zip(option.method_ids()) {
+            let method = catalog.method(method_id.as_str()).ok_or_else(|| {
+                BrokerError::Catalog(uptime_catalog::CatalogError::UnknownMethod {
+                    id: method_id.clone(),
+                })
+            })?;
+            steps.push(ProvisionStep::new(
+                *kind,
+                method_id.clone(),
+                method.display_name(),
+                method.shape().total_nodes,
+            ));
+        }
+        Ok(DeploymentPlan::new(cloud.clone(), steps))
+    }
+}
+
+/// Mixed-radix value of an assignment (last component least significant),
+/// reproducing the paper's option numbering within a cardinality level.
+fn assignment_value(space: &SearchSpace, assignment: &[usize]) -> u128 {
+    let mut value: u128 = 0;
+    for (idx, comp) in assignment.iter().zip(space.components()) {
+        value = value * comp.len() as u128 + *idx as u128;
+    }
+    value
+}
+
+fn resolve_as_is(
+    method_ids: &[Vec<HaMethodId>],
+    declared: &[HaMethodId],
+) -> Result<Vec<usize>, BrokerError> {
+    declared
+        .iter()
+        .zip(method_ids)
+        .map(|(want, tier)| {
+            tier.iter()
+                .position(|id| id == want)
+                .ok_or_else(|| BrokerError::InvalidRequest {
+                    reason: format!("as-is method `{want}` is not available for its tier"),
+                })
+        })
+        .collect()
+}
+
+fn merge_estimates(a: &EstimatedParameters, b: &EstimatedParameters) -> EstimatedParameters {
+    // Delegates the numeric merge to ReliabilityRecord, then rebuilds; the
+    // failover estimate keeps whichever side observed one (preferring a).
+    let merged = a.to_reliability_record().merge(&b.to_reliability_record());
+    EstimatedParameters::from_parts(
+        merged.down_probability(),
+        merged.failures_per_year(),
+        a.failover_time().or(b.failover_time()),
+        merged.node_years_observed(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::{CloudProvider, GroundTruth, SimulatedProvider};
+    use crate::request::SolutionRequest;
+    use uptime_catalog::case_study;
+    use uptime_core::{FailuresPerYear, Probability};
+
+    fn paper_request() -> SolutionRequest {
+        SolutionRequest::builder()
+            .tiers(ComponentKind::paper_tiers())
+            .sla_percent(98.0)
+            .unwrap()
+            .penalty_per_hour(100.0)
+            .unwrap()
+            .cloud(case_study::cloud_id())
+            .as_is(vec![
+                HaMethodId::new("vmware-ha-3p1"),
+                HaMethodId::new("raid1"),
+                HaMethodId::new("dual-gw"),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    fn service() -> BrokerService {
+        BrokerService::new(case_study::catalog())
+    }
+
+    #[test]
+    fn reproduces_paper_fig10() {
+        let rec = service().recommend(&paper_request()).unwrap();
+        let cloud = &rec.clouds()[0];
+        assert_eq!(cloud.options().len(), 8);
+
+        // Paper numbering and TCOs.
+        let expected = [
+            (1, 4300.0),
+            (2, 4000.0),
+            (3, 1250.0),
+            (4, 5900.0),
+            (5, 1350.0),
+            (6, 5500.0),
+            (7, 2850.0),
+            (8, 3550.0),
+        ];
+        for (opt, (number, tco)) in cloud.options().iter().zip(expected) {
+            assert_eq!(opt.option_number(), number);
+            assert!(
+                (opt.evaluation().tco().total().value() - tco).abs() < 0.5,
+                "#{number}: got {} want {tco}",
+                opt.evaluation().tco().total()
+            );
+        }
+
+        assert_eq!(cloud.best().option_number(), 3);
+        assert_eq!(cloud.min_risk().unwrap().option_number(), 5);
+        assert_eq!(cloud.as_is().unwrap().option_number(), 8);
+        let savings = cloud.savings_vs_as_is().unwrap();
+        assert!((savings - 0.62).abs() < 0.005, "got {savings}");
+    }
+
+    #[test]
+    fn option_numbering_matches_paper_descriptions() {
+        let rec = service().recommend(&paper_request()).unwrap();
+        let cloud = &rec.clouds()[0];
+        let labels: Vec<Vec<&str>> = cloud
+            .options()
+            .iter()
+            .map(|o| o.labels().iter().map(String::as_str).collect())
+            .collect();
+        assert_eq!(labels[0], ["None", "None", "None"]); // #1
+        assert_eq!(labels[1], ["None", "None", "Dual Node GW Cluster"]); // #2
+        assert_eq!(labels[2], ["None", "RAID 1", "None"]); // #3
+        assert_eq!(labels[3], ["VMware HA (3+1)", "None", "None"]); // #4
+        assert_eq!(labels[4], ["None", "RAID 1", "Dual Node GW Cluster"]); // #5
+        assert_eq!(
+            labels[5],
+            ["VMware HA (3+1)", "None", "Dual Node GW Cluster"]
+        ); // #6
+        assert_eq!(labels[6], ["VMware HA (3+1)", "RAID 1", "None"]); // #7
+        assert_eq!(
+            labels[7],
+            ["VMware HA (3+1)", "RAID 1", "Dual Node GW Cluster"]
+        );
+        // #8
+    }
+
+    #[test]
+    fn unknown_cloud_rejected() {
+        let request = SolutionRequest::builder()
+            .tiers(ComponentKind::paper_tiers())
+            .sla_percent(98.0)
+            .unwrap()
+            .penalty_per_hour(100.0)
+            .unwrap()
+            .cloud(CloudId::new("ghost"))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            service().recommend(&request),
+            Err(BrokerError::UnknownCloud { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_clouds_means_all() {
+        let request = SolutionRequest::builder()
+            .tiers(ComponentKind::paper_tiers())
+            .sla_percent(98.0)
+            .unwrap()
+            .penalty_per_hour(100.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let rec = service().recommend(&request).unwrap();
+        assert_eq!(rec.clouds().len(), 1, "case-study catalog has one cloud");
+    }
+
+    #[test]
+    fn bad_as_is_method_rejected() {
+        let request = SolutionRequest::builder()
+            .tiers(ComponentKind::paper_tiers())
+            .sla_percent(98.0)
+            .unwrap()
+            .penalty_per_hour(100.0)
+            .unwrap()
+            .as_is(vec![
+                HaMethodId::new("raid1"), // wrong tier: raid1 is storage
+                HaMethodId::new("raid1"),
+                HaMethodId::new("dual-gw"),
+            ])
+            .build()
+            .unwrap();
+        assert!(matches!(
+            service().recommend(&request),
+            Err(BrokerError::InvalidRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn plan_for_best_option() {
+        let svc = service();
+        let rec = svc.recommend(&paper_request()).unwrap();
+        let cloud = &rec.clouds()[0];
+        let plan = svc
+            .plan(cloud.cloud(), &ComponentKind::paper_tiers(), cloud.best())
+            .unwrap();
+        assert_eq!(plan.steps().len(), 3);
+        // Option #3: singleton compute, RAID-1 pair, singleton gateway.
+        assert_eq!(plan.steps()[0].nodes(), 1);
+        assert_eq!(plan.steps()[1].nodes(), 2);
+        assert_eq!(plan.steps()[2].nodes(), 1);
+        assert_eq!(plan.total_nodes(), 4);
+    }
+
+    #[test]
+    fn telemetry_ingestion_updates_catalog() {
+        let svc = service();
+        let provider = SimulatedProvider::new(case_study::cloud_id(), "sim").with_ground_truth(
+            ComponentKind::Storage,
+            GroundTruth {
+                // Ground truth differs from the catalog's 5 %: the broker
+                // should move toward it as evidence accumulates.
+                down_probability: Probability::new(0.10).unwrap(),
+                failures_per_year: FailuresPerYear::new(4.0).unwrap(),
+            },
+        );
+        let before = svc
+            .catalog_snapshot()
+            .cloud(&case_study::cloud_id())
+            .unwrap()
+            .reliability(ComponentKind::Storage)
+            .unwrap()
+            .down_probability()
+            .value();
+
+        let telemetry = provider
+            .harvest_component_telemetry(ComponentKind::Storage, 50, 100.0, 5)
+            .unwrap();
+        let estimate = svc
+            .ingest_component_telemetry(&case_study::cloud_id(), ComponentKind::Storage, &telemetry)
+            .unwrap();
+        assert!((estimate.down_probability().value() - 0.10).abs() < 0.02);
+
+        let after = svc
+            .catalog_snapshot()
+            .cloud(&case_study::cloud_id())
+            .unwrap()
+            .reliability(ComponentKind::Storage)
+            .unwrap()
+            .down_probability()
+            .value();
+        assert!(after > before, "catalog belief moved toward ground truth");
+    }
+
+    #[test]
+    fn ingestion_for_unknown_cloud_fails() {
+        let svc = service();
+        let provider = SimulatedProvider::new("ghost", "ghost").with_ground_truth(
+            ComponentKind::Storage,
+            GroundTruth {
+                down_probability: Probability::new(0.1).unwrap(),
+                failures_per_year: FailuresPerYear::new(2.0).unwrap(),
+            },
+        );
+        let telemetry = provider
+            .harvest_component_telemetry(ComponentKind::Storage, 2, 1.0, 1)
+            .unwrap();
+        assert!(matches!(
+            svc.ingest_component_telemetry(
+                &CloudId::new("ghost"),
+                ComponentKind::Storage,
+                &telemetry
+            ),
+            Err(BrokerError::UnknownCloud { .. })
+        ));
+    }
+}

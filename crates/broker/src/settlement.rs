@@ -1,0 +1,353 @@
+//! Penalty settlement: expected TCO (Eq. 5) vs realized payouts.
+//!
+//! Eq. 5 prices the *expected* slippage: `max(0, U_SLA − U_s) × 730 × SP`.
+//! Real contracts settle month by month on *realized* downtime, and the
+//! penalty function is convex (the `max(0, ·)` hinge plus hour ceiling),
+//! so by Jensen's inequality the mean realized payout is **at least** the
+//! payout of the mean — an under-pricing the paper's formula inherits.
+//! This module simulates a multi-month contract, bills each month the way
+//! the contract would, and reports the gap (experiment S1 in
+//! EXPERIMENTS.md).
+
+use serde::{Deserialize, Serialize};
+use uptime_core::{MoneyPerMonth, SystemSpec, TcoModel, HOURS_PER_MONTH};
+use uptime_sim::{SimConfig, SimDuration, SimTime, Simulation};
+
+use crate::error::BrokerError;
+
+/// One settled contract month.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonthlyStatement {
+    /// Month index (0-based).
+    pub month: u32,
+    /// Observed downtime hours within the month.
+    pub downtime_hours: f64,
+    /// Billable slippage hours beyond the SLA allowance, after rounding.
+    pub billed_slippage_hours: f64,
+    /// The month's penalty payout.
+    pub penalty: MoneyPerMonth,
+}
+
+/// A settled contract: per-month statements plus aggregates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SettlementReport {
+    statements: Vec<MonthlyStatement>,
+    ha_cost: MoneyPerMonth,
+    expected_tco: MoneyPerMonth,
+}
+
+impl SettlementReport {
+    /// Per-month statements.
+    #[must_use]
+    pub fn statements(&self) -> &[MonthlyStatement] {
+        &self.statements
+    }
+
+    /// Months that incurred a penalty.
+    #[must_use]
+    pub fn months_in_breach(&self) -> usize {
+        self.statements
+            .iter()
+            .filter(|s| s.penalty.value() > 0.0)
+            .count()
+    }
+
+    /// Mean realized monthly TCO: `C_HA` + mean realized penalty.
+    #[must_use]
+    pub fn mean_realized_tco(&self) -> MoneyPerMonth {
+        let n = self.statements.len().max(1) as f64;
+        let mean_penalty: f64 = self
+            .statements
+            .iter()
+            .map(|s| s.penalty.value())
+            .sum::<f64>()
+            / n;
+        self.ha_cost + MoneyPerMonth::new(mean_penalty).expect("mean of non-negative penalties")
+    }
+
+    /// The Eq. 5 expected TCO this contract was priced at.
+    #[must_use]
+    pub fn expected_tco(&self) -> MoneyPerMonth {
+        self.expected_tco
+    }
+
+    /// Realized-minus-expected gap (the Jensen premium); positive when
+    /// Eq. 5 under-prices the contract.
+    #[must_use]
+    pub fn jensen_gap(&self) -> f64 {
+        self.mean_realized_tco().value() - self.expected_tco.value()
+    }
+
+    /// The realized penalty's given percentile (nearest-rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct` is not within `(0, 100]`.
+    #[must_use]
+    pub fn penalty_percentile(&self, pct: f64) -> MoneyPerMonth {
+        assert!(pct > 0.0 && pct <= 100.0, "percentile must be in (0, 100]");
+        let mut penalties: Vec<f64> = self.statements.iter().map(|s| s.penalty.value()).collect();
+        penalties.sort_by(|a, b| a.partial_cmp(b).expect("penalties are finite"));
+        if penalties.is_empty() {
+            return MoneyPerMonth::ZERO;
+        }
+        let rank = ((pct / 100.0) * penalties.len() as f64).ceil() as usize;
+        MoneyPerMonth::new(penalties[rank.clamp(1, penalties.len()) - 1]).expect("non-negative")
+    }
+}
+
+/// Simulates `months` contiguous contract months of `system` under the
+/// contract `model`, billing each month on realized downtime.
+///
+/// # Errors
+///
+/// Propagates simulation configuration failures; rejects zero-month
+/// contracts via [`BrokerError::InvalidRequest`].
+///
+/// # Examples
+///
+/// ```
+/// use uptime_broker::settlement::settle;
+/// use uptime_catalog::case_study;
+/// use uptime_core::{ClusterSpec, MoneyPerMonth, Probability, SystemSpec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let system = SystemSpec::builder()
+///     .cluster(ClusterSpec::singleton("web", Probability::new(0.02)?, 2.0)?)
+///     .build()?;
+/// let report = settle(&system, &case_study::tco_model(), MoneyPerMonth::ZERO, 24, 7)?;
+/// assert_eq!(report.statements().len(), 24);
+/// # Ok(())
+/// # }
+/// ```
+pub fn settle(
+    system: &SystemSpec,
+    model: &TcoModel,
+    ha_cost: MoneyPerMonth,
+    months: u32,
+    seed: u64,
+) -> Result<SettlementReport, BrokerError> {
+    if months == 0 {
+        return Err(BrokerError::InvalidRequest {
+            reason: "a settlement needs at least one month".into(),
+        });
+    }
+    let month_minutes = HOURS_PER_MONTH * 60.0;
+    let horizon = SimDuration::from_minutes(month_minutes * f64::from(months));
+    let (_, _, outages) = Simulation::new(
+        system,
+        SimConfig::horizon(horizon)
+            .with_seed(seed)
+            .with_outage_log(),
+    )
+    .map_err(BrokerError::from)?
+    .run_full();
+    let outages = outages.expect("outage log requested");
+
+    let allowed_hours = (1.0 - model.sla().target().value()) * HOURS_PER_MONTH;
+    let statements = (0..months)
+        .map(|month| {
+            let start = SimTime::from_minutes(month_minutes * f64::from(month));
+            let end = SimTime::from_minutes(month_minutes * f64::from(month + 1));
+            let downtime_hours = outages.downtime_within(start, end).as_minutes() / 60.0;
+            let raw_slippage = (downtime_hours - allowed_hours).max(0.0);
+            let billed = model.rounding().apply(raw_slippage);
+            let penalty = model.penalty().charge(billed);
+            MonthlyStatement {
+                month,
+                downtime_hours,
+                billed_slippage_hours: billed,
+                penalty,
+            }
+        })
+        .collect();
+
+    let expected_tco = model
+        .evaluate(ha_cost, system.uptime().availability())
+        .total();
+    Ok(SettlementReport {
+        statements,
+        ha_cost,
+        expected_tco,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uptime_catalog::case_study;
+    use uptime_core::{ClusterSpec, Probability};
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    fn paper_option1() -> SystemSpec {
+        SystemSpec::builder()
+            .cluster(ClusterSpec::singleton("compute", p(0.01), 1.0).unwrap())
+            .cluster(ClusterSpec::singleton("storage", p(0.05), 2.0).unwrap())
+            .cluster(ClusterSpec::singleton("network", p(0.02), 1.0).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn zero_months_rejected() {
+        let err = settle(
+            &paper_option1(),
+            &case_study::tco_model(),
+            MoneyPerMonth::ZERO,
+            0,
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, BrokerError::InvalidRequest { .. }));
+    }
+
+    #[test]
+    fn statement_count_and_determinism() {
+        let a = settle(
+            &paper_option1(),
+            &case_study::tco_model(),
+            MoneyPerMonth::ZERO,
+            36,
+            5,
+        )
+        .unwrap();
+        let b = settle(
+            &paper_option1(),
+            &case_study::tco_model(),
+            MoneyPerMonth::ZERO,
+            36,
+            5,
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.statements().len(), 36);
+        for (i, s) in a.statements().iter().enumerate() {
+            assert_eq!(s.month as usize, i);
+            assert!(s.downtime_hours >= 0.0);
+        }
+    }
+
+    #[test]
+    fn option1_realized_penalties_are_spiky_but_mean_tracks_eq5() {
+        // 92.17 % uptime vs a 98 % SLA: Eq. 5 prices ≈ 43 slippage
+        // hours/month. Realized downtime is dominated by multi-day repair
+        // times (MTTR 3.5–9 days), so most months are clean and a few are
+        // catastrophic — the hinge's convexity makes the realized mean at
+        // least the expected value (Jensen), not equal per month.
+        let report = settle(
+            &paper_option1(),
+            &case_study::tco_model(),
+            MoneyPerMonth::ZERO,
+            120,
+            9,
+        )
+        .unwrap();
+        let breached = report.months_in_breach();
+        assert!(
+            (10..=70).contains(&breached),
+            "breached {breached} of 120 — expected a spiky minority"
+        );
+        // The median month pays nothing; the tail pays a lot.
+        assert_eq!(report.penalty_percentile(50.0), MoneyPerMonth::ZERO);
+        assert!(report.penalty_percentile(95.0).value() > 4300.0);
+        // Mean realized TCO is within sampling noise of — and by Jensen at
+        // least near — Eq. 5's $4300.
+        let realized = report.mean_realized_tco().value();
+        assert!(
+            realized > 3000.0 && realized < 9000.0,
+            "realized {realized} implausibly far from expected 4300"
+        );
+        assert!(report.jensen_gap() > -1500.0);
+    }
+
+    #[test]
+    fn jensen_gap_positive_near_the_sla_boundary() {
+        // A system sitting just above the SLA: Eq. 5 charges zero penalty,
+        // but realized months fluctuate below the target and get billed.
+        let system = SystemSpec::builder()
+            .cluster(ClusterSpec::singleton("web", p(0.012), 6.0).unwrap())
+            .build()
+            .unwrap();
+        // Analytic uptime 98.8 % ≥ 98 %: expected penalty 0.
+        let model = case_study::tco_model();
+        let expected = model
+            .evaluate(MoneyPerMonth::ZERO, system.uptime().availability())
+            .total();
+        assert_eq!(expected.value(), 0.0);
+
+        let report = settle(&system, &model, MoneyPerMonth::ZERO, 120, 13).unwrap();
+        assert!(
+            report.jensen_gap() > 0.0,
+            "realized mean {} must exceed expected {}",
+            report.mean_realized_tco(),
+            report.expected_tco()
+        );
+        assert!(report.months_in_breach() > 0);
+    }
+
+    #[test]
+    fn reliable_system_rarely_pays() {
+        let system = SystemSpec::builder()
+            .cluster(ClusterSpec::singleton("solid", p(0.001), 0.5).unwrap())
+            .build()
+            .unwrap();
+        let report = settle(
+            &system,
+            &case_study::tco_model(),
+            MoneyPerMonth::new(100.0).unwrap(),
+            60,
+            3,
+        )
+        .unwrap();
+        assert!(report.months_in_breach() < 10);
+        assert!(report.mean_realized_tco().value() < 400.0);
+        assert_eq!(report.penalty_percentile(50.0), MoneyPerMonth::ZERO);
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let report = settle(
+            &paper_option1(),
+            &case_study::tco_model(),
+            MoneyPerMonth::ZERO,
+            24,
+            2,
+        )
+        .unwrap();
+        let p50 = report.penalty_percentile(50.0);
+        let p95 = report.penalty_percentile(95.0);
+        assert!(p50 <= p95);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn invalid_percentile_panics() {
+        let report = settle(
+            &paper_option1(),
+            &case_study::tco_model(),
+            MoneyPerMonth::ZERO,
+            2,
+            2,
+        )
+        .unwrap();
+        let _ = report.penalty_percentile(0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let report = settle(
+            &paper_option1(),
+            &case_study::tco_model(),
+            MoneyPerMonth::ZERO,
+            6,
+            1,
+        )
+        .unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: SettlementReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

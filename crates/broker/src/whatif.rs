@@ -1,0 +1,194 @@
+//! What-if analysis on top of the recommendation pipeline.
+//!
+//! Two questions a client asks after seeing Fig. 10:
+//!
+//! 1. *"How sure are you?"* — [`BrokerService::uptime_bounds`] propagates
+//!    the evidence behind the catalog's reliability records into bounds on
+//!    an option's uptime and TCO (paper §IV's skew risk, quantified).
+//! 2. *"What if we negotiated a different SLA?"* —
+//!    [`BrokerService::sla_sweep`] re-prices the whole option space across
+//!    a range of targets and reports the crossover points.
+
+use serde::{Deserialize, Serialize};
+use uptime_catalog::{CloudId, ComponentKind};
+use uptime_core::confidence::{
+    tco_interval, uptime_interval, ConfidenceLevel, ProbabilityInterval,
+};
+use uptime_core::{MoneyPerMonth, RoundingPolicy, SystemSpec};
+use uptime_optimizer::{sweep, SearchSpace, SlaSweep};
+
+use crate::error::BrokerError;
+use crate::recommendation::RankedOption;
+use crate::request::SolutionRequest;
+use crate::service::BrokerService;
+
+/// Evidence-aware bounds for one deployment option.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UptimeBounds {
+    /// Point estimate of `U_s`.
+    pub point: uptime_core::Probability,
+    /// Sound uptime interval at the requested confidence level.
+    pub uptime: ProbabilityInterval,
+    /// Best-case monthly TCO (uptime at its upper bound).
+    pub tco_best: MoneyPerMonth,
+    /// Worst-case monthly TCO (uptime at its lower bound).
+    pub tco_worst: MoneyPerMonth,
+}
+
+impl BrokerService {
+    /// Propagates per-component evidence (node-years behind each
+    /// reliability record) into bounds on an option's uptime and TCO.
+    ///
+    /// # Errors
+    ///
+    /// Returns catalog errors when the cloud, a component record, or a
+    /// method no longer resolves.
+    pub fn uptime_bounds(
+        &self,
+        request: &SolutionRequest,
+        cloud: &CloudId,
+        option: &RankedOption,
+        level: ConfidenceLevel,
+    ) -> Result<UptimeBounds, BrokerError> {
+        let catalog = self.catalog_snapshot();
+        let profile = catalog
+            .cloud(cloud)
+            .ok_or_else(|| BrokerError::UnknownCloud { id: cloud.clone() })?;
+
+        let mut clusters = Vec::with_capacity(request.tiers().len());
+        let mut intervals = Vec::with_capacity(request.tiers().len());
+        for (kind, method_id) in request.tiers().iter().zip(option.method_ids()) {
+            let record = profile.reliability(*kind).ok_or(
+                uptime_catalog::CatalogError::MissingReliability {
+                    cloud: cloud.clone(),
+                    component: *kind,
+                },
+            )?;
+            intervals.push(ProbabilityInterval::wald(
+                record.down_probability(),
+                record.node_years_observed(),
+                level,
+            ));
+            clusters.push(catalog.cluster_spec(cloud, *kind, method_id)?);
+        }
+        let system = SystemSpec::new(clusters)?;
+        let uptime = uptime_interval(&system, &intervals);
+        let model = request.tco_model();
+        let ha_cost = option.evaluation().tco().ha_cost();
+        let (tco_best, tco_worst) = tco_interval(&model, ha_cost, uptime);
+        Ok(UptimeBounds {
+            point: system.uptime().availability(),
+            uptime,
+            tco_best,
+            tco_worst,
+        })
+    }
+
+    /// Sweeps SLA targets over one cloud's option space.
+    ///
+    /// # Errors
+    ///
+    /// Returns catalog/space errors for unresolvable clouds or tiers.
+    pub fn sla_sweep(
+        &self,
+        cloud: &CloudId,
+        tiers: &[ComponentKind],
+        penalty: &uptime_core::PenaltyClause,
+        rounding: RoundingPolicy,
+        targets: &[f64],
+    ) -> Result<SlaSweep, BrokerError> {
+        let catalog = self.catalog_snapshot();
+        let space = SearchSpace::from_catalog(&catalog, cloud, tiers)?;
+        Ok(sweep::sla_sweep(&space, penalty, rounding, targets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uptime_catalog::case_study;
+    use uptime_core::PenaltyClause;
+
+    fn service() -> BrokerService {
+        BrokerService::new(case_study::catalog())
+    }
+
+    fn request() -> SolutionRequest {
+        SolutionRequest::builder()
+            .tiers(ComponentKind::paper_tiers())
+            .sla_percent(98.0)
+            .unwrap()
+            .penalty_per_hour(100.0)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn bounds_bracket_the_point_estimate() {
+        let svc = service();
+        let req = request();
+        let rec = svc.recommend(&req).unwrap();
+        let cloud = &rec.clouds()[0];
+        for option in cloud.options() {
+            let bounds = svc
+                .uptime_bounds(&req, cloud.cloud(), option, ConfidenceLevel::P95)
+                .unwrap();
+            assert!(
+                bounds.uptime.contains(bounds.point),
+                "#{}: {:?}",
+                option.option_number(),
+                bounds
+            );
+            assert!(bounds.tco_best <= bounds.tco_worst);
+            assert!(
+                (bounds.point.value() - option.evaluation().uptime().availability().value()).abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn more_confidence_widens_bounds() {
+        let svc = service();
+        let req = request();
+        let rec = svc.recommend(&req).unwrap();
+        let cloud = &rec.clouds()[0];
+        let option = cloud.best();
+        let p90 = svc
+            .uptime_bounds(&req, cloud.cloud(), option, ConfidenceLevel::P90)
+            .unwrap();
+        let p99 = svc
+            .uptime_bounds(&req, cloud.cloud(), option, ConfidenceLevel::P99)
+            .unwrap();
+        assert!(p99.uptime.width() > p90.uptime.width());
+    }
+
+    #[test]
+    fn unknown_cloud_rejected() {
+        let svc = service();
+        let req = request();
+        let rec = svc.recommend(&req).unwrap();
+        let option = rec.clouds()[0].best().clone();
+        let err = svc
+            .uptime_bounds(&req, &CloudId::new("ghost"), &option, ConfidenceLevel::P95)
+            .unwrap_err();
+        assert!(matches!(err, BrokerError::UnknownCloud { .. }));
+    }
+
+    #[test]
+    fn service_level_sweep_matches_direct() {
+        let svc = service();
+        let penalty = PenaltyClause::per_hour(100.0).unwrap();
+        let via_service = svc
+            .sla_sweep(
+                &case_study::cloud_id(),
+                &ComponentKind::paper_tiers(),
+                &penalty,
+                RoundingPolicy::CeilHour,
+                &[98.0],
+            )
+            .unwrap();
+        assert_eq!(via_service.points()[0].best_tco.value(), 1250.0);
+    }
+}

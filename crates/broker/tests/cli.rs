@@ -1,0 +1,113 @@
+//! Smoke tests driving the `brokerctl` binary end-to-end.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn brokerctl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_brokerctl"))
+}
+
+#[test]
+fn recommend_prints_fig10_numbers() {
+    let output = brokerctl().arg("recommend").output().expect("binary runs");
+    assert!(output.status.success(), "{output:?}");
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.contains("option #3 at $1250/mo"), "{text}");
+    assert!(text.contains("option #5 at $1350/mo"), "{text}");
+}
+
+#[test]
+fn recommend_json_parses() {
+    let output = brokerctl()
+        .args(["recommend", "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let value: serde_json::Value = serde_json::from_slice(&output.stdout).unwrap();
+    assert!(value.get("clouds").is_some());
+}
+
+#[test]
+fn catalog_lists_methods_and_clouds() {
+    let output = brokerctl()
+        .args(["catalog", "--hybrid"])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    for needle in [
+        "softlayer",
+        "nimbus",
+        "stratus",
+        "raid1",
+        "bgp-dual-circuit",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+}
+
+#[test]
+fn sweep_shows_crossovers() {
+    let output = brokerctl()
+        .args(["sweep", "90", "99.5", "10"])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.contains("Crossovers"), "{text}");
+}
+
+#[test]
+fn metacloud_reports_cross_cloud_plan() {
+    let output = brokerctl().arg("metacloud").output().expect("binary runs");
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.contains("Metacloud:"), "{text}");
+    assert!(text.contains("raid1"), "{text}");
+}
+
+#[test]
+fn unknown_subcommand_exits_2() {
+    let output = brokerctl().arg("bogus").output().expect("binary runs");
+    assert_eq!(output.status.code(), Some(2));
+}
+
+#[test]
+fn serve_answers_requests_and_survives_garbage() {
+    let mut child = brokerctl()
+        .arg("serve")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+
+    // One valid request, one garbage line, one more valid request.
+    let request = serde_json::json!({
+        "tiers": ["Compute", "Storage", "NetworkGateway"],
+        "sla": { "target": 0.98 },
+        "penalty": { "PerHour": { "rate": 100.0 } },
+        "rounding": "CeilHour",
+        "clouds": [],
+        "as_is": null
+    });
+    let mut stdin = child.stdin.take().unwrap();
+    writeln!(stdin, "{request}").unwrap();
+    writeln!(stdin, "this is not json").unwrap();
+    writeln!(stdin, "{request}").unwrap();
+    drop(stdin); // EOF ends the loop.
+
+    let output = child.wait_with_output().expect("binary exits");
+    assert!(output.status.success());
+    let lines: Vec<&str> = std::str::from_utf8(&output.stdout)
+        .unwrap()
+        .lines()
+        .collect();
+    assert_eq!(lines.len(), 3, "{lines:?}");
+
+    let first: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+    assert!(first.get("ok").is_some(), "{first}");
+    let second: serde_json::Value = serde_json::from_str(lines[1]).unwrap();
+    assert!(second.get("error").is_some(), "{second}");
+    let third: serde_json::Value = serde_json::from_str(lines[2]).unwrap();
+    assert!(third.get("ok").is_some(), "{third}");
+}

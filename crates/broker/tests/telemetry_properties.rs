@@ -1,0 +1,90 @@
+//! Property-based tests: the telemetry estimator must recover exactly the
+//! parameters implied by hand-constructed traces.
+
+use proptest::prelude::*;
+use uptime_broker::TelemetryEstimator;
+use uptime_sim::{SimDuration, SimTime, Trace, TraceEventKind};
+
+/// Disjoint (start, len) outage intervals within a horizon.
+fn outage_plan() -> impl Strategy<Value = (Vec<(u64, u64)>, u64)> {
+    (
+        prop::collection::vec((1u64..40_000, 1u64..40_000), 0..20),
+        400_000u64..4_000_000,
+    )
+        .prop_map(|(pairs, horizon)| {
+            let mut cursor = 0u64;
+            let mut intervals = Vec::new();
+            for (gap, len) in pairs {
+                let start = cursor + gap;
+                intervals.push((start, len));
+                cursor = start + len;
+            }
+            (intervals, horizon.max(cursor + 1))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// P̂ and f̂ computed from a constructed single-node trace equal the
+    /// interval arithmetic exactly.
+    #[test]
+    fn estimator_recovers_constructed_trace((intervals, horizon_ms) in outage_plan()) {
+        let mut trace = Trace::new();
+        let mut total_down = 0u64;
+        for &(start, len) in &intervals {
+            trace.record(SimTime::from_millis(start), 0, TraceEventKind::NodeDown { node: 0 });
+            trace.record(
+                SimTime::from_millis(start + len),
+                0,
+                TraceEventKind::NodeUp { node: 0 },
+            );
+            total_down += len;
+        }
+        let span = SimDuration::from_millis(horizon_ms);
+        let est = TelemetryEstimator::new().estimate(&trace, 0, 1, span);
+
+        let expected_p = total_down as f64 / horizon_ms as f64;
+        prop_assert!((est.down_probability().value() - expected_p).abs() < 1e-9);
+
+        let node_years = horizon_ms as f64 / (525_600.0 * 60_000.0);
+        let expected_f = intervals.len() as f64 / node_years;
+        prop_assert!((est.failures_per_year().value() - expected_f).abs() < 1e-6);
+
+        // The reconstructed record merges losslessly with itself.
+        let record = est.to_reliability_record();
+        let merged = record.merge(&record);
+        prop_assert!((merged.down_probability().value() - record.down_probability().value()).abs() < 1e-12);
+        prop_assert!((merged.node_years_observed() - 2.0 * record.node_years_observed()).abs() < 1e-9);
+    }
+
+    /// Failover estimation averages constructed windows exactly.
+    #[test]
+    fn estimator_recovers_failover_windows(
+        windows in prop::collection::vec((1u64..50_000, 1u64..10_000), 1..12)
+    ) {
+        let mut trace = Trace::new();
+        let mut cursor = 0u64;
+        let mut total = 0u64;
+        for &(gap, len) in &windows {
+            let start = cursor + gap;
+            trace.record(SimTime::from_millis(start), 0, TraceEventKind::FailoverStart);
+            trace.record(
+                SimTime::from_millis(start + len),
+                0,
+                TraceEventKind::FailoverEnd,
+            );
+            cursor = start + len;
+            total += len;
+        }
+        let est = TelemetryEstimator::new().estimate(
+            &trace,
+            0,
+            2,
+            SimDuration::from_millis(cursor + 1),
+        );
+        let expected_mean_min = (total as f64 / windows.len() as f64) / 60_000.0;
+        let got = est.failover_time().expect("windows were observed").value();
+        prop_assert!((got - expected_mean_min).abs() < 1e-9, "got {got} want {expected_mean_min}");
+    }
+}

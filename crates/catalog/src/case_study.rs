@@ -1,0 +1,196 @@
+//! The paper's §III client case study as a ready-made catalog.
+//!
+//! A three-tier system on the IBM SoftLayer cloud:
+//!
+//! | Tier | `P_i` | `f_i` | HA choice | `t_i` | `C_HA` |
+//! |------|-------|-------|-----------|-------|--------|
+//! | Compute | 1 % | 1/yr | VMware HA (3+1) | 6 min | $1200 IaaS + 0.2 FTE = $2200 |
+//! | Storage | 5 % | 2/yr | RAID 1 | 30 s | $100 IaaS + 0.05 FTE = $350 |
+//! | Network | 2 % | 1/yr | Dual Node GW Cluster | 1 min | $500 IaaS + 0.1 FTE = $1000 |
+//!
+//! Contract: 98 % uptime SLA, $100/hour slippage penalty, labor at $30/h.
+
+use uptime_core::{
+    FailuresPerYear, MoneyPerMonth, PenaltyClause, Probability, SlaTarget, TcoModel,
+};
+
+use crate::cloud::{CloudId, CloudProfile};
+use crate::component::ComponentKind;
+use crate::method::{HaMethod, HaMethodId};
+use crate::pricing::RateCard;
+use crate::reliability::ReliabilityRecord;
+use crate::store::CatalogStore;
+
+/// The case study's labor rate: $30/hour.
+pub const LABOR_RATE_PER_HOUR: f64 = 30.0;
+
+/// The case study's SLA slippage penalty: $100/hour.
+pub const PENALTY_PER_HOUR: f64 = 100.0;
+
+/// The case study's uptime SLA: 98 %.
+pub const SLA_PERCENT: f64 = 98.0;
+
+/// Id of the SoftLayer-like cloud in the case-study catalog.
+#[must_use]
+pub fn cloud_id() -> CloudId {
+    CloudId::new("softlayer")
+}
+
+/// Builds the paper's catalog: three tiers, two HA choices each
+/// (`k = 2`, `n = 3` → `2³ = 8` permutations), priced per the tables.
+#[must_use]
+pub fn catalog() -> CatalogStore {
+    let mut store = CatalogStore::new();
+
+    for kind in ComponentKind::paper_tiers() {
+        store
+            .register_method(HaMethod::none(kind))
+            .expect("fresh store has no duplicates");
+    }
+    store
+        .register_method(HaMethod::vmware_ha_3_plus_1())
+        .expect("fresh store");
+    store
+        .register_method(HaMethod::raid1())
+        .expect("fresh store");
+    store
+        .register_method(HaMethod::dual_gateway())
+        .expect("fresh store");
+
+    let mut card = RateCard::new(LABOR_RATE_PER_HOUR).expect("valid constant rate");
+    card.set_price(
+        HaMethodId::new("vmware-ha-3p1"),
+        MoneyPerMonth::new(1200.0).expect("constant"),
+        0.2,
+    )
+    .expect("valid FTE");
+    card.set_price(
+        HaMethodId::new("raid1"),
+        MoneyPerMonth::new(100.0).expect("constant"),
+        0.05,
+    )
+    .expect("valid FTE");
+    card.set_price(
+        HaMethodId::new("dual-gw"),
+        MoneyPerMonth::new(500.0).expect("constant"),
+        0.1,
+    )
+    .expect("valid FTE");
+
+    let mut profile = CloudProfile::new(cloud_id(), "IBM SoftLayer", card);
+    profile.set_reliability(ComponentKind::Compute, reliability(0.01, 1.0));
+    profile.set_reliability(ComponentKind::Storage, reliability(0.05, 2.0));
+    profile.set_reliability(ComponentKind::NetworkGateway, reliability(0.02, 1.0));
+    store.register_cloud(profile);
+
+    store
+}
+
+/// The case study's contract as a [`TcoModel`] (98 % SLA, $100/h penalty,
+/// paper-matching ceiling rounding).
+#[must_use]
+pub fn tco_model() -> TcoModel {
+    TcoModel::new(
+        SlaTarget::from_percent(SLA_PERCENT).expect("constant within range"),
+        PenaltyClause::per_hour(PENALTY_PER_HOUR).expect("constant non-negative"),
+    )
+}
+
+fn reliability(p: f64, f: f64) -> ReliabilityRecord {
+    ReliabilityRecord::new(
+        Probability::new(p).expect("constant probability"),
+        FailuresPerYear::new(f).expect("constant rate"),
+        // The broker's SoftLayer history: a mature estate.
+        1000.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_two_choices_per_tier() {
+        let c = catalog();
+        for kind in ComponentKind::paper_tiers() {
+            assert_eq!(c.methods_for(kind).len(), 2, "{kind}");
+        }
+    }
+
+    #[test]
+    fn quotes_match_paper_tables() {
+        let c = catalog();
+        let cloud = cloud_id();
+        let cases = [
+            ("vmware-ha-3p1", 2200.0),
+            ("raid1", 350.0),
+            ("dual-gw", 1000.0),
+            ("none-compute", 0.0),
+            ("none-storage", 0.0),
+            ("none-network-gateway", 0.0),
+        ];
+        for (id, expected) in cases {
+            let q = c.quote(&cloud, &HaMethodId::new(id)).unwrap();
+            assert!(
+                (q.total().value() - expected).abs() < 1.0,
+                "{id}: got {} want {expected}",
+                q.total()
+            );
+        }
+    }
+
+    #[test]
+    fn reliability_matches_paper_tables() {
+        let c = catalog();
+        let profile = c.cloud(&cloud_id()).unwrap();
+        let cases = [
+            (ComponentKind::Compute, 0.01, 1.0),
+            (ComponentKind::Storage, 0.05, 2.0),
+            (ComponentKind::NetworkGateway, 0.02, 1.0),
+        ];
+        for (kind, p, f) in cases {
+            let r = profile.reliability(kind).unwrap();
+            assert_eq!(r.down_probability().value(), p, "{kind}");
+            assert_eq!(r.failures_per_year().value(), f, "{kind}");
+            assert!(r.is_well_evidenced());
+        }
+    }
+
+    #[test]
+    fn cluster_specs_reproduce_paper_availabilities() {
+        let c = catalog();
+        let cloud = cloud_id();
+        // Compute with VMware 3+1: 99.94 %.
+        let spec = c
+            .cluster_spec(
+                &cloud,
+                ComponentKind::Compute,
+                &HaMethodId::new("vmware-ha-3p1"),
+            )
+            .unwrap();
+        assert!((spec.availability().value() - 0.999408).abs() < 1e-5);
+        // Storage RAID-1: 99.75 %.
+        let spec = c
+            .cluster_spec(&cloud, ComponentKind::Storage, &HaMethodId::new("raid1"))
+            .unwrap();
+        assert!((spec.availability().value() - 0.9975).abs() < 1e-12);
+        // Network dual GW: 99.96 %.
+        let spec = c
+            .cluster_spec(
+                &cloud,
+                ComponentKind::NetworkGateway,
+                &HaMethodId::new("dual-gw"),
+            )
+            .unwrap();
+        assert!((spec.availability().value() - 0.9996).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tco_model_contract_values() {
+        let m = tco_model();
+        assert_eq!(m.sla().as_percent(), 98.0);
+        assert!(
+            matches!(m.penalty(), PenaltyClause::PerHour { rate } if *rate == PENALTY_PER_HOUR)
+        );
+    }
+}

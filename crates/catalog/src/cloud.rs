@@ -1,0 +1,210 @@
+//! Cloud identities and per-cloud profiles.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::component::ComponentKind;
+use crate::pricing::RateCard;
+use crate::reliability::ReliabilityRecord;
+
+/// Identifier of a cloud provider within the broker's purview.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CloudId(String);
+
+impl CloudId {
+    /// Creates an id from a string-like value.
+    pub fn new(id: impl Into<String>) -> Self {
+        CloudId(id.into())
+    }
+
+    /// The id as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for CloudId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for CloudId {
+    fn from(s: &str) -> Self {
+        CloudId::new(s)
+    }
+}
+
+/// Everything the broker knows about one cloud: its rate card and the
+/// reliability of its IaaS components.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CloudProfile {
+    id: CloudId,
+    display_name: String,
+    rate_card: RateCard,
+    reliability: BTreeMap<ComponentKind, ReliabilityRecord>,
+}
+
+impl CloudProfile {
+    /// Creates a profile with an empty reliability map.
+    pub fn new(
+        id: impl Into<CloudId>,
+        display_name: impl Into<String>,
+        rate_card: RateCard,
+    ) -> Self {
+        CloudProfile {
+            id: id.into(),
+            display_name: display_name.into(),
+            rate_card,
+            reliability: BTreeMap::new(),
+        }
+    }
+
+    /// The cloud id.
+    #[must_use]
+    pub fn id(&self) -> &CloudId {
+        &self.id
+    }
+
+    /// Human-readable name.
+    #[must_use]
+    pub fn display_name(&self) -> &str {
+        &self.display_name
+    }
+
+    /// The cloud's rate card.
+    #[must_use]
+    pub fn rate_card(&self) -> &RateCard {
+        &self.rate_card
+    }
+
+    /// Mutable access to the rate card (for price updates).
+    pub fn rate_card_mut(&mut self) -> &mut RateCard {
+        &mut self.rate_card
+    }
+
+    /// Records (or replaces) a reliability observation for a component.
+    pub fn set_reliability(&mut self, component: ComponentKind, record: ReliabilityRecord) {
+        self.reliability.insert(component, record);
+    }
+
+    /// Merges a new observation into the existing record (evidence-weighted)
+    /// or inserts it if none exists.
+    pub fn absorb_reliability(&mut self, component: ComponentKind, record: ReliabilityRecord) {
+        match self.reliability.get(&component) {
+            Some(existing) => {
+                let merged = existing.merge(&record);
+                self.reliability.insert(component, merged);
+            }
+            None => {
+                self.reliability.insert(component, record);
+            }
+        }
+    }
+
+    /// Looks up the reliability record for a component.
+    #[must_use]
+    pub fn reliability(&self, component: ComponentKind) -> Option<&ReliabilityRecord> {
+        self.reliability.get(&component)
+    }
+
+    /// All components with reliability data.
+    pub fn observed_components(&self) -> impl Iterator<Item = ComponentKind> + '_ {
+        self.reliability.keys().copied()
+    }
+}
+
+impl From<String> for CloudId {
+    fn from(s: String) -> Self {
+        CloudId(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uptime_core::{FailuresPerYear, Probability};
+
+    fn rec(p: f64, f: f64) -> ReliabilityRecord {
+        ReliabilityRecord::new(
+            Probability::new(p).unwrap(),
+            FailuresPerYear::new(f).unwrap(),
+            50.0,
+        )
+    }
+
+    fn profile() -> CloudProfile {
+        CloudProfile::new("softlayer", "IBM SoftLayer", RateCard::new(30.0).unwrap())
+    }
+
+    #[test]
+    fn id_conversions() {
+        let id: CloudId = "aws-like".into();
+        assert_eq!(id.as_str(), "aws-like");
+        assert_eq!(id.to_string(), "aws-like");
+        let id2: CloudId = String::from("x").into();
+        assert_eq!(id2.as_str(), "x");
+    }
+
+    #[test]
+    fn profile_reliability_roundtrip() {
+        let mut p = profile();
+        assert!(p.reliability(ComponentKind::Compute).is_none());
+        p.set_reliability(ComponentKind::Compute, rec(0.01, 1.0));
+        let got = p.reliability(ComponentKind::Compute).unwrap();
+        assert_eq!(got.down_probability().value(), 0.01);
+        assert_eq!(p.observed_components().count(), 1);
+    }
+
+    #[test]
+    fn absorb_merges_existing() {
+        let mut p = profile();
+        p.set_reliability(ComponentKind::Storage, rec(0.02, 1.0));
+        p.absorb_reliability(ComponentKind::Storage, rec(0.06, 3.0));
+        let got = p.reliability(ComponentKind::Storage).unwrap();
+        // Equal evidence: midpoint.
+        assert!((got.down_probability().value() - 0.04).abs() < 1e-12);
+        assert_eq!(got.node_years_observed(), 100.0);
+    }
+
+    #[test]
+    fn absorb_inserts_when_absent() {
+        let mut p = profile();
+        p.absorb_reliability(ComponentKind::Cache, rec(0.03, 2.0));
+        assert!(p.reliability(ComponentKind::Cache).is_some());
+    }
+
+    #[test]
+    fn rate_card_mutation() {
+        use crate::method::HaMethodId;
+        use uptime_core::MoneyPerMonth;
+        let mut p = profile();
+        p.rate_card_mut()
+            .set_price(
+                HaMethodId::new("raid1"),
+                MoneyPerMonth::new(100.0).unwrap(),
+                0.05,
+            )
+            .unwrap();
+        assert!(p.rate_card().quote(&HaMethodId::new("raid1")).is_some());
+    }
+
+    #[test]
+    fn display_name_and_id() {
+        let p = profile();
+        assert_eq!(p.id().as_str(), "softlayer");
+        assert_eq!(p.display_name(), "IBM SoftLayer");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut p = profile();
+        p.set_reliability(ComponentKind::Compute, rec(0.01, 1.0));
+        let json = serde_json::to_string(&p).unwrap();
+        let back: CloudProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

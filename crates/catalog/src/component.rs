@@ -1,0 +1,118 @@
+//! IaaS component kinds a cloud-hosted system is assembled from.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of IaaS component a cluster provides.
+///
+/// The paper's case study uses a three-tier serial chain — compute, storage
+/// and network gateway. The additional kinds let the hybrid-brokerage
+/// scenarios model richer topologies without changing the math (the model
+/// only cares about `K`, `K̂`, `P`, `f`, `t`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ComponentKind {
+    /// Virtual machines / hypervisor hosts running the application tier.
+    Compute,
+    /// Block or file storage backing the data tier.
+    Storage,
+    /// Network gateways fronting the system.
+    NetworkGateway,
+    /// Managed database service.
+    Database,
+    /// Load balancer tier.
+    LoadBalancer,
+    /// In-memory cache tier.
+    Cache,
+}
+
+impl ComponentKind {
+    /// All component kinds, in canonical order.
+    #[must_use]
+    pub fn all() -> &'static [ComponentKind] {
+        &[
+            ComponentKind::Compute,
+            ComponentKind::Storage,
+            ComponentKind::NetworkGateway,
+            ComponentKind::Database,
+            ComponentKind::LoadBalancer,
+            ComponentKind::Cache,
+        ]
+    }
+
+    /// The three kinds of the paper's case study, in serial order.
+    #[must_use]
+    pub fn paper_tiers() -> [ComponentKind; 3] {
+        [
+            ComponentKind::Compute,
+            ComponentKind::Storage,
+            ComponentKind::NetworkGateway,
+        ]
+    }
+
+    /// A short lowercase label, stable across releases.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ComponentKind::Compute => "compute",
+            ComponentKind::Storage => "storage",
+            ComponentKind::NetworkGateway => "network-gateway",
+            ComponentKind::Database => "database",
+            ComponentKind::LoadBalancer => "load-balancer",
+            ComponentKind::Cache => "cache",
+        }
+    }
+}
+
+impl fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: Vec<_> = ComponentKind::all().iter().map(|k| k.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+    }
+
+    #[test]
+    fn paper_tiers_order() {
+        let [a, b, c] = ComponentKind::paper_tiers();
+        assert_eq!(a, ComponentKind::Compute);
+        assert_eq!(b, ComponentKind::Storage);
+        assert_eq!(c, ComponentKind::NetworkGateway);
+    }
+
+    #[test]
+    fn display_matches_label() {
+        for k in ComponentKind::all() {
+            assert_eq!(k.to_string(), k.label());
+        }
+    }
+
+    #[test]
+    fn usable_as_map_key() {
+        use std::collections::BTreeMap;
+        let mut m = BTreeMap::new();
+        m.insert(ComponentKind::Compute, 1);
+        m.insert(ComponentKind::Storage, 2);
+        assert_eq!(m[&ComponentKind::Storage], 2);
+    }
+
+    #[test]
+    fn serde_uses_variant_names() {
+        let json = serde_json::to_string(&ComponentKind::NetworkGateway).unwrap();
+        assert_eq!(json, "\"NetworkGateway\"");
+        let back: ComponentKind = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ComponentKind::NetworkGateway);
+    }
+}

@@ -1,0 +1,126 @@
+//! Catalog lookup and validation errors.
+
+use std::fmt;
+
+use crate::cloud::CloudId;
+use crate::component::ComponentKind;
+use crate::method::HaMethodId;
+
+/// Errors from catalog queries and construction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CatalogError {
+    /// No HA method registered under the given id.
+    UnknownMethod {
+        /// The id that failed to resolve.
+        id: HaMethodId,
+    },
+    /// No cloud registered under the given id.
+    UnknownCloud {
+        /// The id that failed to resolve.
+        id: CloudId,
+    },
+    /// The cloud exists but carries no price for the method.
+    MissingPrice {
+        /// Cloud queried.
+        cloud: CloudId,
+        /// Method queried.
+        method: HaMethodId,
+    },
+    /// The cloud exists but has no reliability record for the component.
+    MissingReliability {
+        /// Cloud queried.
+        cloud: CloudId,
+        /// Component queried.
+        component: ComponentKind,
+    },
+    /// An HA method was applied to a component kind it does not support.
+    MethodNotApplicable {
+        /// Method in question.
+        method: HaMethodId,
+        /// Component it was applied to.
+        component: ComponentKind,
+    },
+    /// A method id was registered twice.
+    DuplicateMethod {
+        /// The duplicated id.
+        id: HaMethodId,
+    },
+    /// Underlying model-parameter validation failed.
+    Model(uptime_core::ModelError),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::UnknownMethod { id } => write!(f, "unknown HA method `{id}`"),
+            CatalogError::UnknownCloud { id } => write!(f, "unknown cloud `{id}`"),
+            CatalogError::MissingPrice { cloud, method } => {
+                write!(
+                    f,
+                    "cloud `{cloud}` has no rate card entry for method `{method}`"
+                )
+            }
+            CatalogError::MissingReliability { cloud, component } => {
+                write!(
+                    f,
+                    "cloud `{cloud}` has no reliability record for {component}"
+                )
+            }
+            CatalogError::MethodNotApplicable { method, component } => {
+                write!(f, "HA method `{method}` is not applicable to {component}")
+            }
+            CatalogError::DuplicateMethod { id } => {
+                write!(f, "HA method `{id}` registered twice")
+            }
+            CatalogError::Model(err) => write!(f, "model parameter invalid: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CatalogError::Model(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<uptime_core::ModelError> for CatalogError {
+    fn from(err: uptime_core::ModelError) -> Self {
+        CatalogError::Model(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_identifiers() {
+        let err = CatalogError::MissingPrice {
+            cloud: CloudId::new("softlayer"),
+            method: HaMethodId::new("raid1"),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("softlayer"));
+        assert!(msg.contains("raid1"));
+    }
+
+    #[test]
+    fn model_error_is_wrapped_with_source() {
+        use std::error::Error;
+        let inner = uptime_core::ModelError::EmptySystem;
+        let err = CatalogError::from(inner.clone());
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("at least one cluster"));
+        assert_eq!(err, CatalogError::Model(inner));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_good<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_good::<CatalogError>();
+    }
+}

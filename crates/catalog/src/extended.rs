@@ -1,0 +1,406 @@
+//! Extended catalog for the paper's future-work scenarios (§V).
+//!
+//! Adds the HA strategies the paper names as follow-on work — OS clustering
+//! for compute, software-defined storage (SDS) with clustered file systems,
+//! storage I/O multipathing, and BGP over dual circuits for network — and
+//! two more synthetic clouds so hybrid-brokerage scenarios exercise `k > 2`
+//! choices per tier across more than one provider.
+//!
+//! Parameters are representative, not measured: they were chosen to keep
+//! the relative ordering plausible (hot standby < warm < cold failover
+//! latency; more redundancy costs more) and are documented here so that
+//! experiments citing them are reproducible.
+
+use uptime_core::{FailuresPerYear, Minutes, MoneyPerMonth, Probability};
+
+use crate::cloud::{CloudId, CloudProfile};
+use crate::component::ComponentKind;
+use crate::method::{ClusterShape, HaMethod, HaMethodId, StandbyMode};
+use crate::pricing::RateCard;
+use crate::reliability::ReliabilityRecord;
+use crate::store::CatalogStore;
+
+/// OS-level clustering for compute (e.g. Pacemaker): 2 active + 1 standby,
+/// warm, 2-minute failover.
+#[must_use]
+pub fn os_cluster() -> HaMethod {
+    HaMethod::new(
+        "os-cluster",
+        "OS Clustering (2+1)",
+        ComponentKind::Compute,
+        ClusterShape::n_plus(2, 1),
+        StandbyMode::Warm,
+        Minutes::new(2.0).expect("constant"),
+    )
+}
+
+/// Software-defined storage with a clustered file system: 2 active + 1
+/// standby replica, hot, 10-second failover.
+#[must_use]
+pub fn sds_replicated() -> HaMethod {
+    HaMethod::new(
+        "sds-replicated",
+        "SDS + Clustered FS (2+1)",
+        ComponentKind::Storage,
+        ClusterShape::n_plus(2, 1),
+        StandbyMode::Hot,
+        Minutes::from_seconds(10.0).expect("constant"),
+    )
+}
+
+/// Storage I/O multipathing: dual paths, hot, 5-second failover.
+#[must_use]
+pub fn storage_multipath() -> HaMethod {
+    HaMethod::new(
+        "storage-multipath",
+        "Storage I/O Multipathing",
+        ComponentKind::Storage,
+        ClusterShape::n_plus(1, 1),
+        StandbyMode::Hot,
+        Minutes::from_seconds(5.0).expect("constant"),
+    )
+}
+
+/// BGP over dual circuits: dual gateways with routing convergence, warm,
+/// 3-minute failover.
+#[must_use]
+pub fn bgp_dual_circuit() -> HaMethod {
+    HaMethod::new(
+        "bgp-dual-circuit",
+        "BGP over Dual Circuits",
+        ComponentKind::NetworkGateway,
+        ClusterShape::n_plus(1, 1),
+        StandbyMode::Warm,
+        Minutes::new(3.0).expect("constant"),
+    )
+}
+
+/// Synchronous database replica: 1 active + 1 warm standby, 90-second
+/// promotion.
+#[must_use]
+pub fn db_sync_replica() -> HaMethod {
+    HaMethod::new(
+        "db-sync-replica",
+        "DB Sync Replica (1+1)",
+        ComponentKind::Database,
+        ClusterShape::n_plus(1, 1),
+        StandbyMode::Warm,
+        Minutes::from_seconds(90.0).expect("constant"),
+    )
+}
+
+/// Three-node database quorum (2-of-3 consensus): leader re-election in
+/// ~5 seconds.
+#[must_use]
+pub fn db_quorum_3() -> HaMethod {
+    HaMethod::new(
+        "db-quorum-3",
+        "DB Quorum (2+1)",
+        ComponentKind::Database,
+        ClusterShape::n_plus(2, 1),
+        StandbyMode::Hot,
+        Minutes::from_seconds(5.0).expect("constant"),
+    )
+}
+
+/// Active-passive load-balancer pair with VRRP-style takeover in ~2 s.
+#[must_use]
+pub fn dual_load_balancer() -> HaMethod {
+    HaMethod::new(
+        "dual-lb",
+        "Dual Load Balancer",
+        ComponentKind::LoadBalancer,
+        ClusterShape::n_plus(1, 1),
+        StandbyMode::Hot,
+        Minutes::from_seconds(2.0).expect("constant"),
+    )
+}
+
+/// All extended (future-work) methods.
+#[must_use]
+pub fn methods() -> Vec<HaMethod> {
+    vec![
+        os_cluster(),
+        sds_replicated(),
+        storage_multipath(),
+        bgp_dual_circuit(),
+        db_sync_replica(),
+        db_quorum_3(),
+        dual_load_balancer(),
+    ]
+}
+
+/// The five-tier enterprise chain used by the extended scenarios:
+/// load balancer → compute → database → storage → network gateway.
+#[must_use]
+pub fn five_tiers() -> [ComponentKind; 5] {
+    [
+        ComponentKind::LoadBalancer,
+        ComponentKind::Compute,
+        ComponentKind::Database,
+        ComponentKind::Storage,
+        ComponentKind::NetworkGateway,
+    ]
+}
+
+/// Id of the first synthetic alternative cloud.
+#[must_use]
+pub fn nimbus_id() -> CloudId {
+    CloudId::new("nimbus")
+}
+
+/// Id of the second synthetic alternative cloud.
+#[must_use]
+pub fn stratus_id() -> CloudId {
+    CloudId::new("stratus")
+}
+
+/// Builds the hybrid catalog: the case-study catalog plus the extended
+/// methods (priced on SoftLayer too) plus two synthetic clouds with
+/// different labor rates and component reliabilities.
+///
+/// With four choices for storage (none, RAID-1, SDS, multipath), three for
+/// compute and three for network, the per-cloud search space grows to
+/// `3 × 4 × 3 = 36` permutations.
+#[must_use]
+pub fn hybrid_catalog() -> CatalogStore {
+    let mut store = crate::case_study::catalog();
+    for m in methods() {
+        store
+            .register_method(m)
+            .expect("ids are distinct from case study");
+    }
+
+    // Register the "no HA" baselines for the extra tiers.
+    store
+        .register_method(HaMethod::none(ComponentKind::Database))
+        .expect("distinct id");
+    store
+        .register_method(HaMethod::none(ComponentKind::LoadBalancer))
+        .expect("distinct id");
+
+    // Price the extended methods on SoftLayer and add reliability for the
+    // extra tiers.
+    {
+        let softlayer = crate::case_study::cloud_id();
+        let profile = store
+            .cloud_mut(&softlayer)
+            .expect("case study registers softlayer");
+        profile.set_reliability(ComponentKind::Database, rel(0.03, 1.5, 800.0));
+        profile.set_reliability(ComponentKind::LoadBalancer, rel(0.01, 1.0, 800.0));
+        let card = profile.rate_card_mut();
+        set(card, "os-cluster", 800.0, 0.15);
+        set(card, "sds-replicated", 400.0, 0.1);
+        set(card, "storage-multipath", 150.0, 0.05);
+        set(card, "bgp-dual-circuit", 700.0, 0.1);
+        set(card, "db-sync-replica", 600.0, 0.1);
+        set(card, "db-quorum-3", 1100.0, 0.15);
+        set(card, "dual-lb", 250.0, 0.05);
+    }
+
+    // Nimbus: cheaper labor, slightly less reliable infrastructure.
+    {
+        let mut card = RateCard::new(22.0).expect("constant");
+        set(&mut card, "vmware-ha-3p1", 1000.0, 0.2);
+        set(&mut card, "raid1", 90.0, 0.05);
+        set(&mut card, "dual-gw", 420.0, 0.1);
+        set(&mut card, "os-cluster", 650.0, 0.15);
+        set(&mut card, "sds-replicated", 340.0, 0.1);
+        set(&mut card, "storage-multipath", 120.0, 0.05);
+        set(&mut card, "bgp-dual-circuit", 560.0, 0.1);
+        set(&mut card, "db-sync-replica", 480.0, 0.1);
+        set(&mut card, "db-quorum-3", 880.0, 0.15);
+        set(&mut card, "dual-lb", 200.0, 0.05);
+        let mut profile = CloudProfile::new(nimbus_id(), "Nimbus Cloud", card);
+        profile.set_reliability(ComponentKind::Compute, rel(0.015, 1.5, 400.0));
+        profile.set_reliability(ComponentKind::Storage, rel(0.06, 2.5, 400.0));
+        profile.set_reliability(ComponentKind::NetworkGateway, rel(0.025, 1.2, 400.0));
+        profile.set_reliability(ComponentKind::Database, rel(0.04, 2.0, 300.0));
+        profile.set_reliability(ComponentKind::LoadBalancer, rel(0.015, 1.2, 300.0));
+        store.register_cloud(profile);
+    }
+
+    // Stratus: premium labor, more reliable infrastructure.
+    {
+        let mut card = RateCard::new(45.0).expect("constant");
+        set(&mut card, "vmware-ha-3p1", 1500.0, 0.2);
+        set(&mut card, "raid1", 130.0, 0.05);
+        set(&mut card, "dual-gw", 620.0, 0.1);
+        set(&mut card, "os-cluster", 950.0, 0.15);
+        set(&mut card, "sds-replicated", 480.0, 0.1);
+        set(&mut card, "storage-multipath", 180.0, 0.05);
+        set(&mut card, "bgp-dual-circuit", 840.0, 0.1);
+        set(&mut card, "db-sync-replica", 720.0, 0.1);
+        set(&mut card, "db-quorum-3", 1300.0, 0.15);
+        set(&mut card, "dual-lb", 310.0, 0.05);
+        let mut profile = CloudProfile::new(stratus_id(), "Stratus Cloud", card);
+        profile.set_reliability(ComponentKind::Compute, rel(0.006, 0.8, 600.0));
+        profile.set_reliability(ComponentKind::Storage, rel(0.03, 1.5, 600.0));
+        profile.set_reliability(ComponentKind::NetworkGateway, rel(0.012, 0.9, 600.0));
+        profile.set_reliability(ComponentKind::Database, rel(0.02, 1.0, 500.0));
+        profile.set_reliability(ComponentKind::LoadBalancer, rel(0.006, 0.8, 500.0));
+        store.register_cloud(profile);
+    }
+
+    store
+}
+
+fn set(card: &mut RateCard, id: &str, iaas: f64, fte: f64) {
+    card.set_price(
+        HaMethodId::new(id),
+        MoneyPerMonth::new(iaas).expect("constant"),
+        fte,
+    )
+    .expect("constant FTE");
+}
+
+fn rel(p: f64, f: f64, evidence: f64) -> ReliabilityRecord {
+    ReliabilityRecord::new(
+        Probability::new(p).expect("constant"),
+        FailuresPerYear::new(f).expect("constant"),
+        evidence,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extended_methods_cover_future_work_list() {
+        let ids: Vec<_> = methods()
+            .iter()
+            .map(|m| m.id().as_str().to_owned())
+            .collect();
+        assert_eq!(
+            ids,
+            vec![
+                "os-cluster",
+                "sds-replicated",
+                "storage-multipath",
+                "bgp-dual-circuit",
+                "db-sync-replica",
+                "db-quorum-3",
+                "dual-lb",
+            ]
+        );
+    }
+
+    #[test]
+    fn five_tier_chain_fully_supported_on_every_cloud() {
+        let c = hybrid_catalog();
+        let clouds: Vec<_> = c.cloud_ids().cloned().collect();
+        for cloud in &clouds {
+            let profile = c.cloud(cloud).unwrap();
+            for kind in five_tiers() {
+                assert!(profile.reliability(kind).is_some(), "{cloud}/{kind}");
+                assert!(
+                    !c.methods_for(kind).is_empty(),
+                    "{cloud}/{kind} has no methods"
+                );
+            }
+        }
+        // Database has three choices (none, sync replica, quorum).
+        assert_eq!(c.methods_for(ComponentKind::Database).len(), 3);
+        assert_eq!(c.methods_for(ComponentKind::LoadBalancer).len(), 2);
+    }
+
+    #[test]
+    fn sync_replica_beats_quorum_on_breakdown_availability() {
+        let c = hybrid_catalog();
+        let cloud = crate::case_study::cloud_id();
+        let replica = c
+            .cluster_spec(
+                &cloud,
+                ComponentKind::Database,
+                &HaMethodId::new("db-sync-replica"),
+            )
+            .unwrap();
+        let quorum = c
+            .cluster_spec(
+                &cloud,
+                ComponentKind::Database,
+                &HaMethodId::new("db-quorum-3"),
+            )
+            .unwrap();
+        // A 1-of-2 pair loses service only when both nodes are down (≈ P²)
+        // while a 2-of-3 quorum fails once *two* of three are down (≈ 3P²):
+        // quorums buy consistency, not breakdown availability. Where the
+        // quorum wins is failover latency (5 s hot re-election vs a 90 s
+        // warm promotion).
+        assert!(replica.availability() > quorum.availability());
+        assert!(quorum.failover_time() < replica.failover_time());
+    }
+
+    #[test]
+    fn hybrid_catalog_has_three_clouds() {
+        let c = hybrid_catalog();
+        let ids: Vec<_> = c.cloud_ids().map(CloudId::as_str).collect();
+        assert_eq!(ids, vec!["nimbus", "softlayer", "stratus"]);
+    }
+
+    #[test]
+    fn hybrid_choice_counts() {
+        let c = hybrid_catalog();
+        assert_eq!(c.methods_for(ComponentKind::Compute).len(), 3);
+        assert_eq!(c.methods_for(ComponentKind::Storage).len(), 4);
+        assert_eq!(c.methods_for(ComponentKind::NetworkGateway).len(), 3);
+    }
+
+    #[test]
+    fn every_cloud_prices_every_non_none_method() {
+        let c = hybrid_catalog();
+        let clouds: Vec<_> = c.cloud_ids().cloned().collect();
+        let methods: Vec<_> = c.methods().map(|m| (m.id().clone(), m.is_none())).collect();
+        for cloud in &clouds {
+            for (id, is_none) in &methods {
+                let quote = c.quote(cloud, id);
+                assert!(quote.is_ok(), "{cloud}/{id}: {quote:?}");
+                if *is_none {
+                    assert_eq!(quote.unwrap().total().value(), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_cloud_has_reliability_for_paper_tiers() {
+        let c = hybrid_catalog();
+        let clouds: Vec<_> = c.cloud_ids().cloned().collect();
+        for cloud in &clouds {
+            let profile = c.cloud(cloud).unwrap();
+            for kind in ComponentKind::paper_tiers() {
+                assert!(profile.reliability(kind).is_some(), "{cloud}/{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn stratus_is_more_reliable_than_nimbus() {
+        let c = hybrid_catalog();
+        let nimbus = c.cloud(&nimbus_id()).unwrap();
+        let stratus = c.cloud(&stratus_id()).unwrap();
+        for kind in ComponentKind::paper_tiers() {
+            assert!(
+                stratus.reliability(kind).unwrap().down_probability()
+                    < nimbus.reliability(kind).unwrap().down_probability(),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn hot_standby_methods_fail_over_faster_than_warm() {
+        assert!(sds_replicated().failover_time() < os_cluster().failover_time());
+        assert!(storage_multipath().failover_time() < bgp_dual_circuit().failover_time());
+    }
+
+    #[test]
+    fn hybrid_catalog_still_reproduces_case_study_quotes() {
+        let c = hybrid_catalog();
+        let q = c
+            .quote(&crate::case_study::cloud_id(), &HaMethodId::new("raid1"))
+            .unwrap();
+        assert!((q.total().value() - 350.0).abs() < 1.0);
+    }
+}

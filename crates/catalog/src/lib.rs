@@ -1,0 +1,56 @@
+//! # uptime-catalog
+//!
+//! The broker's knowledge base. The paper (§II.C) argues that a hybrid
+//! cloud broker "sits at a cross-cloud cross-customer vantage point" and can
+//! therefore maintain:
+//!
+//! 1. the node down-probabilities `P_i` and yearly failure rates `f_i` of
+//!    IaaS components across clouds,
+//! 2. the failover latencies `t_i` of the HA technologies deployable on
+//!    those clouds, and
+//! 3. the rate-carded monthly price `C_HA` (infrastructure + labor) of each
+//!    HA construct.
+//!
+//! This crate models that database: [`ComponentKind`]s, [`HaMethod`]s with
+//! their cluster shape and standby mode, [`RateCard`]s, per-cloud
+//! [`ReliabilityRecord`]s, and a [`CatalogStore`] tying them together. The
+//! [`case_study`] module ships the paper's exact SoftLayer-flavoured data;
+//! [`extended`] adds the future-work HA strategies (§V) and two more
+//! synthetic clouds for hybrid-brokerage scenarios.
+//!
+//! # Example
+//!
+//! ```
+//! use uptime_catalog::{case_study, ComponentKind};
+//!
+//! let catalog = case_study::catalog();
+//! let cloud = case_study::cloud_id();
+//! let methods = catalog.methods_for(ComponentKind::Storage);
+//! assert!(methods.iter().any(|m| m.id().as_str() == "raid1"));
+//! let raid1 = catalog.method("raid1").unwrap();
+//! let cost = catalog.quote(&cloud, raid1.id()).unwrap();
+//! assert_eq!(cost.total().value(), 350.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod case_study;
+pub mod cloud;
+pub mod component;
+pub mod error;
+pub mod extended;
+pub mod method;
+pub mod persistence;
+pub mod pricing;
+pub mod reliability;
+pub mod store;
+
+pub use cloud::{CloudId, CloudProfile};
+pub use component::ComponentKind;
+pub use error::CatalogError;
+pub use method::{ClusterShape, HaMethod, HaMethodId, StandbyMode};
+pub use persistence::PersistenceError;
+pub use pricing::{CostQuote, RateCard, FTE_HOURS_PER_MONTH};
+pub use reliability::ReliabilityRecord;
+pub use store::CatalogStore;

@@ -1,0 +1,382 @@
+//! HA method descriptors: the clustering technologies a broker can deploy.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use uptime_core::{ClusterSpec, Minutes};
+
+use crate::component::ComponentKind;
+use crate::error::CatalogError;
+use crate::reliability::ReliabilityRecord;
+
+/// Identifier of an HA method within a catalog (e.g. `"raid1"`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HaMethodId(String);
+
+impl HaMethodId {
+    /// Creates an id from a string-like value.
+    pub fn new(id: impl Into<String>) -> Self {
+        HaMethodId(id.into())
+    }
+
+    /// The id as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for HaMethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for HaMethodId {
+    fn from(s: &str) -> Self {
+        HaMethodId::new(s)
+    }
+}
+
+/// The cluster topology an HA method engineers: `K` total nodes with a
+/// standby budget of `K̂`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClusterShape {
+    /// Total node count `K`.
+    pub total_nodes: u32,
+    /// Standby budget `K̂` (tolerated simultaneous failures).
+    pub standby_budget: u32,
+}
+
+impl ClusterShape {
+    /// A single unclustered node.
+    pub const SINGLETON: ClusterShape = ClusterShape {
+        total_nodes: 1,
+        standby_budget: 0,
+    };
+
+    /// `n + s` shape: `n` active nodes plus `s` standbys.
+    #[must_use]
+    pub fn n_plus(active: u32, standby: u32) -> Self {
+        ClusterShape {
+            total_nodes: active + standby,
+            standby_budget: standby,
+        }
+    }
+
+    /// Active node count `K − K̂`.
+    #[must_use]
+    pub fn active_nodes(self) -> u32 {
+        self.total_nodes - self.standby_budget
+    }
+}
+
+impl fmt::Display for ClusterShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{}", self.active_nodes(), self.standby_budget)
+    }
+}
+
+/// How a standby node is kept, which determines failover latency class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StandbyMode {
+    /// Standby runs in lockstep; failover is near-instant.
+    Hot,
+    /// Standby is booted but idle; failover takes seconds to minutes.
+    Warm,
+    /// Standby must be powered on; failover takes minutes.
+    Cold,
+    /// Not applicable (no standby — the "no HA" method).
+    None,
+}
+
+impl fmt::Display for StandbyMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StandbyMode::Hot => "hot",
+            StandbyMode::Warm => "warm",
+            StandbyMode::Cold => "cold",
+            StandbyMode::None => "none",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A deployable HA technology: its topology, failover behaviour, and the
+/// component kinds it applies to.
+///
+/// # Examples
+///
+/// ```
+/// use uptime_catalog::{ClusterShape, ComponentKind, HaMethod, StandbyMode};
+/// use uptime_core::Minutes;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let raid1 = HaMethod::new(
+///     "raid1",
+///     "RAID-1 mirrored disks",
+///     ComponentKind::Storage,
+///     ClusterShape::n_plus(1, 1),
+///     StandbyMode::Hot,
+///     Minutes::from_seconds(30.0)?,
+/// );
+/// assert_eq!(raid1.shape().to_string(), "1+1");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HaMethod {
+    id: HaMethodId,
+    display_name: String,
+    applies_to: ComponentKind,
+    shape: ClusterShape,
+    standby_mode: StandbyMode,
+    failover_time: Minutes,
+}
+
+impl HaMethod {
+    /// Creates an HA method descriptor.
+    pub fn new(
+        id: impl Into<HaMethodId>,
+        display_name: impl Into<String>,
+        applies_to: ComponentKind,
+        shape: ClusterShape,
+        standby_mode: StandbyMode,
+        failover_time: Minutes,
+    ) -> Self {
+        HaMethod {
+            id: id.into(),
+            display_name: display_name.into(),
+            applies_to,
+            shape,
+            standby_mode,
+            failover_time,
+        }
+    }
+
+    /// The "no HA" pseudo-method for a component kind: a bare singleton
+    /// with zero failover time and zero cost.
+    #[must_use]
+    pub fn none(applies_to: ComponentKind) -> Self {
+        HaMethod {
+            id: HaMethodId::new(format!("none-{}", applies_to.label())),
+            display_name: "None".to_owned(),
+            applies_to,
+            shape: ClusterShape::SINGLETON,
+            standby_mode: StandbyMode::None,
+            failover_time: Minutes::ZERO,
+        }
+    }
+
+    /// The method's identifier.
+    #[must_use]
+    pub fn id(&self) -> &HaMethodId {
+        &self.id
+    }
+
+    /// Human-readable name (e.g. "VMware HA (3+1)").
+    #[must_use]
+    pub fn display_name(&self) -> &str {
+        &self.display_name
+    }
+
+    /// The component kind this method clusters.
+    #[must_use]
+    pub fn applies_to(&self) -> ComponentKind {
+        self.applies_to
+    }
+
+    /// The engineered cluster shape.
+    #[must_use]
+    pub fn shape(&self) -> ClusterShape {
+        self.shape
+    }
+
+    /// The standby mode.
+    #[must_use]
+    pub fn standby_mode(&self) -> StandbyMode {
+        self.standby_mode
+    }
+
+    /// Failover latency `t_i` in HA mode.
+    #[must_use]
+    pub fn failover_time(&self) -> Minutes {
+        self.failover_time
+    }
+
+    /// Whether this is the "no HA" pseudo-method.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        self.standby_mode == StandbyMode::None
+    }
+
+    /// Materializes the [`ClusterSpec`] obtained by applying this method to
+    /// a component with the given baseline reliability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::MethodNotApplicable`] if `component` differs
+    /// from [`Self::applies_to`], or a wrapped model error if the resulting
+    /// spec is invalid.
+    pub fn to_cluster_spec(
+        &self,
+        component: ComponentKind,
+        reliability: &ReliabilityRecord,
+    ) -> Result<ClusterSpec, CatalogError> {
+        if component != self.applies_to {
+            return Err(CatalogError::MethodNotApplicable {
+                method: self.id.clone(),
+                component,
+            });
+        }
+        let spec = ClusterSpec::builder(format!("{}:{}", component.label(), self.id))
+            .total_nodes(self.shape.total_nodes)
+            .standby_budget(self.shape.standby_budget)
+            .node_down_probability(reliability.down_probability())
+            .failures_per_year(reliability.failures_per_year())
+            .failover_time(self.failover_time)
+            .build()?;
+        Ok(spec)
+    }
+}
+
+/// Convenience: the paper's three case-study methods.
+impl HaMethod {
+    /// VMware ESX HA, 3 active + 1 standby, 6-minute failover.
+    #[must_use]
+    pub fn vmware_ha_3_plus_1() -> Self {
+        HaMethod::new(
+            "vmware-ha-3p1",
+            "VMware HA (3+1)",
+            ComponentKind::Compute,
+            ClusterShape::n_plus(3, 1),
+            StandbyMode::Cold,
+            Minutes::new(6.0).expect("constant"),
+        )
+    }
+
+    /// RAID-1 disk mirroring, 30-second failover.
+    #[must_use]
+    pub fn raid1() -> Self {
+        HaMethod::new(
+            "raid1",
+            "RAID 1",
+            ComponentKind::Storage,
+            ClusterShape::n_plus(1, 1),
+            StandbyMode::Hot,
+            Minutes::from_seconds(30.0).expect("constant"),
+        )
+    }
+
+    /// Dual-node network gateway cluster, 1-minute failover.
+    #[must_use]
+    pub fn dual_gateway() -> Self {
+        HaMethod::new(
+            "dual-gw",
+            "Dual Node GW Cluster",
+            ComponentKind::NetworkGateway,
+            ClusterShape::n_plus(1, 1),
+            StandbyMode::Warm,
+            Minutes::new(1.0).expect("constant"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uptime_core::{FailuresPerYear, Probability};
+
+    fn reliability(p: f64, f: f64) -> ReliabilityRecord {
+        ReliabilityRecord::new(
+            Probability::new(p).unwrap(),
+            FailuresPerYear::new(f).unwrap(),
+            100.0,
+        )
+    }
+
+    #[test]
+    fn shape_arithmetic() {
+        let s = ClusterShape::n_plus(3, 1);
+        assert_eq!(s.total_nodes, 4);
+        assert_eq!(s.standby_budget, 1);
+        assert_eq!(s.active_nodes(), 3);
+        assert_eq!(s.to_string(), "3+1");
+        assert_eq!(ClusterShape::SINGLETON.active_nodes(), 1);
+    }
+
+    #[test]
+    fn none_method_is_singleton_zero_failover() {
+        let none = HaMethod::none(ComponentKind::Compute);
+        assert!(none.is_none());
+        assert_eq!(none.shape(), ClusterShape::SINGLETON);
+        assert_eq!(none.failover_time(), Minutes::ZERO);
+        assert_eq!(none.id().as_str(), "none-compute");
+    }
+
+    #[test]
+    fn none_ids_distinct_per_kind() {
+        let a = HaMethod::none(ComponentKind::Compute);
+        let b = HaMethod::none(ComponentKind::Storage);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn to_cluster_spec_applies_shape_and_reliability() {
+        let m = HaMethod::vmware_ha_3_plus_1();
+        let spec = m
+            .to_cluster_spec(ComponentKind::Compute, &reliability(0.01, 1.0))
+            .unwrap();
+        assert_eq!(spec.total_nodes(), 4);
+        assert_eq!(spec.standby_budget(), 1);
+        assert_eq!(spec.node_down_probability().value(), 0.01);
+        assert_eq!(spec.failover_time().value(), 6.0);
+        assert!(spec.name().contains("compute"));
+    }
+
+    #[test]
+    fn to_cluster_spec_rejects_wrong_component() {
+        let m = HaMethod::raid1();
+        let err = m
+            .to_cluster_spec(ComponentKind::Compute, &reliability(0.01, 1.0))
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::MethodNotApplicable { .. }));
+    }
+
+    #[test]
+    fn paper_methods_have_expected_parameters() {
+        let vmware = HaMethod::vmware_ha_3_plus_1();
+        assert_eq!(vmware.failover_time().value(), 6.0);
+        assert_eq!(vmware.shape().to_string(), "3+1");
+
+        let raid = HaMethod::raid1();
+        assert_eq!(raid.failover_time().value(), 0.5);
+        assert_eq!(raid.applies_to(), ComponentKind::Storage);
+
+        let gw = HaMethod::dual_gateway();
+        assert_eq!(gw.failover_time().value(), 1.0);
+        assert_eq!(gw.applies_to(), ComponentKind::NetworkGateway);
+    }
+
+    #[test]
+    fn standby_mode_display() {
+        assert_eq!(StandbyMode::Hot.to_string(), "hot");
+        assert_eq!(StandbyMode::Cold.to_string(), "cold");
+        assert_eq!(StandbyMode::None.to_string(), "none");
+    }
+
+    #[test]
+    fn method_id_conversions() {
+        let id: HaMethodId = "raid1".into();
+        assert_eq!(id.as_str(), "raid1");
+        assert_eq!(id.to_string(), "raid1");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = HaMethod::dual_gateway();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: HaMethod = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,221 @@
+//! Saving and loading the broker's knowledge base.
+//!
+//! A real brokered service accumulates `P_i`/`f_i`/`t_i` observations over
+//! years (§II.C); the knowledge base must outlive the process. The store
+//! serializes to a versioned JSON envelope so future schema changes can be
+//! migrated explicitly instead of silently misread.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::store::CatalogStore;
+
+/// Current envelope schema version.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Errors from catalog persistence.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PersistenceError {
+    /// Filesystem I/O failed.
+    Io(io::Error),
+    /// The payload was not valid JSON for the envelope.
+    Malformed(serde_json::Error),
+    /// The envelope's schema version is not supported.
+    UnsupportedVersion {
+        /// The version found in the file.
+        found: u32,
+    },
+}
+
+impl fmt::Display for PersistenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistenceError::Io(e) => write!(f, "catalog i/o failed: {e}"),
+            PersistenceError::Malformed(e) => write!(f, "catalog payload malformed: {e}"),
+            PersistenceError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported catalog schema version {found} (supported: {SCHEMA_VERSION})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistenceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistenceError::Io(e) => Some(e),
+            PersistenceError::Malformed(e) => Some(e),
+            PersistenceError::UnsupportedVersion { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistenceError {
+    fn from(e: io::Error) -> Self {
+        PersistenceError::Io(e)
+    }
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Envelope {
+    schema_version: u32,
+    catalog: CatalogStore,
+}
+
+/// Serializes a catalog to the versioned JSON envelope.
+///
+/// # Errors
+///
+/// Returns [`PersistenceError::Malformed`] if serialization fails (it
+/// cannot for well-formed stores).
+pub fn to_json(catalog: &CatalogStore) -> Result<String, PersistenceError> {
+    serde_json::to_string_pretty(&Envelope {
+        schema_version: SCHEMA_VERSION,
+        catalog: catalog.clone(),
+    })
+    .map_err(PersistenceError::Malformed)
+}
+
+/// Parses a catalog from the versioned JSON envelope.
+///
+/// # Errors
+///
+/// * [`PersistenceError::Malformed`] for invalid JSON.
+/// * [`PersistenceError::UnsupportedVersion`] for foreign versions.
+pub fn from_json(payload: &str) -> Result<CatalogStore, PersistenceError> {
+    let envelope: Envelope = serde_json::from_str(payload).map_err(PersistenceError::Malformed)?;
+    if envelope.schema_version != SCHEMA_VERSION {
+        return Err(PersistenceError::UnsupportedVersion {
+            found: envelope.schema_version,
+        });
+    }
+    Ok(envelope.catalog)
+}
+
+/// Writes a catalog to a file, atomically (write-to-temp then rename).
+///
+/// # Errors
+///
+/// Propagates filesystem and serialization failures.
+pub fn save(catalog: &CatalogStore, path: impl AsRef<Path>) -> Result<(), PersistenceError> {
+    let path = path.as_ref();
+    let payload = to_json(catalog)?;
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, payload)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads a catalog from a file.
+///
+/// # Errors
+///
+/// Propagates filesystem, parse, and version failures.
+pub fn load(path: impl AsRef<Path>) -> Result<CatalogStore, PersistenceError> {
+    let payload = fs::read_to_string(path)?;
+    from_json(&payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_study;
+
+    #[test]
+    fn json_roundtrip_preserves_catalog() {
+        let catalog = case_study::catalog();
+        let json = to_json(&catalog).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(back, catalog);
+        assert!(json.contains("\"schema_version\": 1"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("uptime-catalog-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("catalog.json");
+        let catalog = crate::extended::hybrid_catalog();
+        save(&catalog, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back, catalog);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let err = load("/nonexistent/uptime/catalog.json").unwrap_err();
+        assert!(matches!(err, PersistenceError::Io(_)));
+        assert!(err.to_string().contains("i/o failed"));
+    }
+
+    #[test]
+    fn malformed_payload_rejected() {
+        assert!(matches!(
+            from_json("not json at all"),
+            Err(PersistenceError::Malformed(_))
+        ));
+        assert!(matches!(
+            from_json("{\"schema_version\": 1}"),
+            Err(PersistenceError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn foreign_version_rejected() {
+        let catalog = case_study::catalog();
+        let json = to_json(&catalog)
+            .unwrap()
+            .replace("\"schema_version\": 1", "\"schema_version\": 99");
+        let err = from_json(&json).unwrap_err();
+        assert!(matches!(
+            err,
+            PersistenceError::UnsupportedVersion { found: 99 }
+        ));
+        assert!(err.to_string().contains("99"));
+    }
+
+    #[test]
+    fn corrupted_payloads_never_panic() {
+        // Deterministic fuzz: flip/truncate the valid payload in many ways
+        // and require a clean Ok/Err — no panics, no UB.
+        let base = to_json(&case_study::catalog()).unwrap();
+        let bytes = base.as_bytes();
+        for cut in (0..base.len()).step_by(37) {
+            let truncated = &base[..cut];
+            let _ = from_json(truncated);
+        }
+        for i in (0..bytes.len()).step_by(53) {
+            let mut mutated = bytes.to_vec();
+            mutated[i] = mutated[i].wrapping_add(13);
+            if let Ok(s) = std::str::from_utf8(&mutated) {
+                let _ = from_json(s);
+            }
+        }
+        for junk in [
+            "",
+            "{}",
+            "[]",
+            "null",
+            "42",
+            "\"x\"",
+            "{\"schema_version\":1,\"catalog\":[]}",
+        ] {
+            assert!(from_json(junk).is_err(), "junk `{junk}` must not parse");
+        }
+    }
+
+    #[test]
+    fn error_source_chain() {
+        use std::error::Error;
+        let err = load("/nonexistent/uptime/catalog.json").unwrap_err();
+        assert!(err.source().is_some());
+    }
+}

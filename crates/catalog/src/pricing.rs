@@ -1,0 +1,307 @@
+//! Rate cards: the monthly price of engineering an HA construct.
+//!
+//! The paper prices `C_HA` as "monthly infrastructure cost of clustering on
+//! the SoftLayer cloud plus the monthly labor (at $30/hour) to deploy and
+//! sustain the HA layers", quoting labor in FTE fractions (e.g. "0.1 FTE").
+//! The case-study tables imply one FTE-month ≈ 166.7 hours ($5000/month at
+//! $30/h): `$500 IaaS + 0.1 FTE = $1K`.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use uptime_core::MoneyPerMonth;
+
+use crate::error::CatalogError;
+use crate::method::HaMethodId;
+
+/// Working hours in one FTE-month (2000 h/year ÷ 12), matching the paper's
+/// arithmetic ($30/h × 166.7 h × 0.1 FTE ≈ $500).
+pub const FTE_HOURS_PER_MONTH: f64 = 2000.0 / 12.0;
+
+/// An itemized monthly price for one HA method on one cloud.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostQuote {
+    iaas: MoneyPerMonth,
+    labor_fte: f64,
+    labor_rate_per_hour: f64,
+}
+
+impl CostQuote {
+    /// Creates a quote from IaaS cost, labor FTE fraction and hourly rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::Model`] for negative or non-finite labor
+    /// values.
+    pub fn new(
+        iaas: MoneyPerMonth,
+        labor_fte: f64,
+        labor_rate_per_hour: f64,
+    ) -> Result<Self, CatalogError> {
+        for (what, value) in [
+            ("labor FTE", labor_fte),
+            ("labor rate", labor_rate_per_hour),
+        ] {
+            if !(value.is_finite() && value >= 0.0) {
+                return Err(CatalogError::Model(
+                    uptime_core::ModelError::InvalidQuantity {
+                        what: match what {
+                            "labor FTE" => "labor FTE fraction",
+                            _ => "labor hourly rate",
+                        },
+                        value,
+                    },
+                ));
+            }
+        }
+        Ok(CostQuote {
+            iaas,
+            labor_fte,
+            labor_rate_per_hour,
+        })
+    }
+
+    /// A zero-cost quote (the "no HA" method).
+    #[must_use]
+    pub fn free() -> Self {
+        CostQuote {
+            iaas: MoneyPerMonth::ZERO,
+            labor_fte: 0.0,
+            labor_rate_per_hour: 0.0,
+        }
+    }
+
+    /// Monthly IaaS infrastructure cost.
+    #[must_use]
+    pub fn iaas(&self) -> MoneyPerMonth {
+        self.iaas
+    }
+
+    /// Labor commitment as a fraction of one FTE.
+    #[must_use]
+    pub fn labor_fte(&self) -> f64 {
+        self.labor_fte
+    }
+
+    /// Monthly labor cost: `FTE × 166.7 h × rate`.
+    #[must_use]
+    pub fn labor(&self) -> MoneyPerMonth {
+        MoneyPerMonth::new(self.labor_fte * FTE_HOURS_PER_MONTH * self.labor_rate_per_hour)
+            .expect("validated non-negative inputs")
+    }
+
+    /// Total monthly cost `C_HA` = IaaS + labor.
+    #[must_use]
+    pub fn total(&self) -> MoneyPerMonth {
+        self.iaas + self.labor()
+    }
+}
+
+/// A cloud's rate card: prices per HA method plus the cloud's labor rate.
+///
+/// # Examples
+///
+/// ```
+/// use uptime_catalog::{HaMethodId, RateCard};
+/// use uptime_core::MoneyPerMonth;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut card = RateCard::new(30.0)?;
+/// card.set_price(HaMethodId::new("raid1"), MoneyPerMonth::new(100.0)?, 0.05)?;
+/// let quote = card.quote(&HaMethodId::new("raid1")).unwrap();
+/// assert!((quote.total().value() - 350.0).abs() < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateCard {
+    labor_rate_per_hour: f64,
+    prices: BTreeMap<HaMethodId, PriceEntry>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct PriceEntry {
+    iaas: MoneyPerMonth,
+    labor_fte: f64,
+}
+
+impl RateCard {
+    /// Creates an empty rate card with the given labor rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::Model`] for a negative or non-finite rate.
+    pub fn new(labor_rate_per_hour: f64) -> Result<Self, CatalogError> {
+        if !(labor_rate_per_hour.is_finite() && labor_rate_per_hour >= 0.0) {
+            return Err(CatalogError::Model(
+                uptime_core::ModelError::InvalidQuantity {
+                    what: "labor hourly rate",
+                    value: labor_rate_per_hour,
+                },
+            ));
+        }
+        Ok(RateCard {
+            labor_rate_per_hour,
+            prices: BTreeMap::new(),
+        })
+    }
+
+    /// The cloud's hourly labor rate.
+    #[must_use]
+    pub fn labor_rate_per_hour(&self) -> f64 {
+        self.labor_rate_per_hour
+    }
+
+    /// Registers (or replaces) the price of an HA method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::Model`] for an invalid FTE fraction.
+    pub fn set_price(
+        &mut self,
+        method: HaMethodId,
+        iaas: MoneyPerMonth,
+        labor_fte: f64,
+    ) -> Result<(), CatalogError> {
+        if !(labor_fte.is_finite() && labor_fte >= 0.0) {
+            return Err(CatalogError::Model(
+                uptime_core::ModelError::InvalidQuantity {
+                    what: "labor FTE fraction",
+                    value: labor_fte,
+                },
+            ));
+        }
+        self.prices.insert(method, PriceEntry { iaas, labor_fte });
+        Ok(())
+    }
+
+    /// Looks up the quote for a method, if priced on this cloud.
+    #[must_use]
+    pub fn quote(&self, method: &HaMethodId) -> Option<CostQuote> {
+        self.prices.get(method).map(|e| CostQuote {
+            iaas: e.iaas,
+            labor_fte: e.labor_fte,
+            labor_rate_per_hour: self.labor_rate_per_hour,
+        })
+    }
+
+    /// Methods priced on this card.
+    pub fn priced_methods(&self) -> impl Iterator<Item = &HaMethodId> {
+        self.prices.keys()
+    }
+
+    /// Number of priced methods.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prices.len()
+    }
+
+    /// Whether the card has no prices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.prices.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn money(v: f64) -> MoneyPerMonth {
+        MoneyPerMonth::new(v).unwrap()
+    }
+
+    #[test]
+    fn fte_constant_matches_paper_arithmetic() {
+        // 0.1 FTE at $30/h must come to ~$500/month.
+        let labor = 0.1 * FTE_HOURS_PER_MONTH * 30.0;
+        assert!((labor - 500.0).abs() < 1.0, "got {labor}");
+    }
+
+    #[test]
+    fn paper_quotes() {
+        // RAID-1: $100 IaaS + 0.05 FTE = $350.
+        let raid = CostQuote::new(money(100.0), 0.05, 30.0).unwrap();
+        assert!((raid.total().value() - 350.0).abs() < 1.0);
+        // Dual GW: $500 IaaS + 0.1 FTE = $1000.
+        let gw = CostQuote::new(money(500.0), 0.1, 30.0).unwrap();
+        assert!((gw.total().value() - 1000.0).abs() < 1.0);
+        // VMware: $1200 IaaS + 0.2 FTE = $2200.
+        let vm = CostQuote::new(money(1200.0), 0.2, 30.0).unwrap();
+        assert!((vm.total().value() - 2200.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn free_quote_is_zero() {
+        let q = CostQuote::free();
+        assert_eq!(q.total(), MoneyPerMonth::ZERO);
+        assert_eq!(q.labor(), MoneyPerMonth::ZERO);
+        assert_eq!(q.iaas(), MoneyPerMonth::ZERO);
+        assert_eq!(q.labor_fte(), 0.0);
+    }
+
+    #[test]
+    fn quote_validation() {
+        assert!(CostQuote::new(money(1.0), -0.1, 30.0).is_err());
+        assert!(CostQuote::new(money(1.0), 0.1, f64::NAN).is_err());
+        assert!(CostQuote::new(money(1.0), 0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn rate_card_lookup() {
+        let mut card = RateCard::new(30.0).unwrap();
+        assert!(card.is_empty());
+        card.set_price(HaMethodId::new("raid1"), money(100.0), 0.05)
+            .unwrap();
+        card.set_price(HaMethodId::new("dual-gw"), money(500.0), 0.1)
+            .unwrap();
+        assert_eq!(card.len(), 2);
+        assert!(card.quote(&HaMethodId::new("nope")).is_none());
+        let q = card.quote(&HaMethodId::new("raid1")).unwrap();
+        assert!((q.total().value() - 350.0).abs() < 1.0);
+        let methods: Vec<_> = card.priced_methods().map(HaMethodId::as_str).collect();
+        assert_eq!(methods, vec!["dual-gw", "raid1"]);
+    }
+
+    #[test]
+    fn rate_card_replaces_price() {
+        let mut card = RateCard::new(30.0).unwrap();
+        card.set_price(HaMethodId::new("raid1"), money(100.0), 0.05)
+            .unwrap();
+        card.set_price(HaMethodId::new("raid1"), money(200.0), 0.05)
+            .unwrap();
+        assert_eq!(card.len(), 1);
+        assert_eq!(
+            card.quote(&HaMethodId::new("raid1")).unwrap().iaas(),
+            money(200.0)
+        );
+    }
+
+    #[test]
+    fn rate_card_validation() {
+        assert!(RateCard::new(-1.0).is_err());
+        assert!(RateCard::new(f64::INFINITY).is_err());
+        let mut card = RateCard::new(10.0).unwrap();
+        assert!(card
+            .set_price(HaMethodId::new("x"), money(1.0), f64::NAN)
+            .is_err());
+    }
+
+    #[test]
+    fn different_labor_rates_change_totals() {
+        let cheap = CostQuote::new(money(100.0), 0.1, 15.0).unwrap();
+        let costly = CostQuote::new(money(100.0), 0.1, 60.0).unwrap();
+        assert!(costly.total() > cheap.total());
+        assert_eq!(cheap.iaas(), costly.iaas());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut card = RateCard::new(30.0).unwrap();
+        card.set_price(HaMethodId::new("raid1"), money(100.0), 0.05)
+            .unwrap();
+        let json = serde_json::to_string(&card).unwrap();
+        let back: RateCard = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, card);
+    }
+}

@@ -1,0 +1,188 @@
+//! Per-component reliability records (`P_i`, `f_i`) and their aggregation.
+//!
+//! The broker accumulates these "across clouds across customers spanning a
+//! long timeline" (paper §II.C). Records carry the number of node-years of
+//! observation behind them so that merging weights by evidence and
+//! consumers can discount thin data (paper §IV's skew concern).
+
+use serde::{Deserialize, Serialize};
+use uptime_core::{FailureDynamics, FailuresPerYear, Probability};
+
+/// An observed `(P, f)` pair for one component kind on one cloud, with the
+/// observation mass behind it.
+///
+/// # Examples
+///
+/// ```
+/// use uptime_catalog::ReliabilityRecord;
+/// use uptime_core::{FailuresPerYear, Probability};
+///
+/// # fn main() -> Result<(), uptime_core::ModelError> {
+/// let a = ReliabilityRecord::new(Probability::new(0.02)?, FailuresPerYear::new(1.0)?, 100.0);
+/// let b = ReliabilityRecord::new(Probability::new(0.04)?, FailuresPerYear::new(3.0)?, 300.0);
+/// let merged = a.merge(&b);
+/// assert!((merged.down_probability().value() - 0.035).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityRecord {
+    down_probability: Probability,
+    failures_per_year: FailuresPerYear,
+    node_years_observed: f64,
+}
+
+impl ReliabilityRecord {
+    /// Creates a record. `node_years_observed` of zero denotes a prior or
+    /// vendor-claimed figure with no direct evidence.
+    #[must_use]
+    pub fn new(
+        down_probability: Probability,
+        failures_per_year: FailuresPerYear,
+        node_years_observed: f64,
+    ) -> Self {
+        ReliabilityRecord {
+            down_probability,
+            failures_per_year,
+            node_years_observed: node_years_observed.max(0.0),
+        }
+    }
+
+    /// Node down-probability `P`.
+    #[must_use]
+    pub fn down_probability(&self) -> Probability {
+        self.down_probability
+    }
+
+    /// Yearly failure rate `f`.
+    #[must_use]
+    pub fn failures_per_year(&self) -> FailuresPerYear {
+        self.failures_per_year
+    }
+
+    /// Node-years of telemetry behind this record.
+    #[must_use]
+    pub fn node_years_observed(&self) -> f64 {
+        self.node_years_observed
+    }
+
+    /// Whether the record has enough observation mass to be trusted for
+    /// contractual commitments (an arbitrary but explicit 10 node-year bar).
+    #[must_use]
+    pub fn is_well_evidenced(&self) -> bool {
+        self.node_years_observed >= 10.0
+    }
+
+    /// Equivalent MTBF/MTTR dynamics, for simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`uptime_core::ModelError`] for contradictory parameters
+    /// (see [`FailureDynamics::from_paper_params`]).
+    pub fn dynamics(&self) -> Result<FailureDynamics, uptime_core::ModelError> {
+        FailureDynamics::from_paper_params(self.down_probability, self.failures_per_year)
+    }
+
+    /// Evidence-weighted merge of two records. With zero total evidence the
+    /// plain average is used.
+    #[must_use]
+    pub fn merge(&self, other: &ReliabilityRecord) -> ReliabilityRecord {
+        let wa = self.node_years_observed;
+        let wb = other.node_years_observed;
+        let total = wa + wb;
+        let (ca, cb) = if total > 0.0 {
+            (wa / total, wb / total)
+        } else {
+            (0.5, 0.5)
+        };
+        ReliabilityRecord {
+            down_probability: Probability::saturating(
+                self.down_probability.value() * ca + other.down_probability.value() * cb,
+            ),
+            failures_per_year: FailuresPerYear::new(
+                self.failures_per_year.value() * ca + other.failures_per_year.value() * cb,
+            )
+            .expect("convex combination of valid rates"),
+            node_years_observed: total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(p: f64, f: f64, w: f64) -> ReliabilityRecord {
+        ReliabilityRecord::new(
+            Probability::new(p).unwrap(),
+            FailuresPerYear::new(f).unwrap(),
+            w,
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let r = rec(0.05, 2.0, 42.0);
+        assert_eq!(r.down_probability().value(), 0.05);
+        assert_eq!(r.failures_per_year().value(), 2.0);
+        assert_eq!(r.node_years_observed(), 42.0);
+        assert!(r.is_well_evidenced());
+        assert!(!rec(0.05, 2.0, 9.9).is_well_evidenced());
+    }
+
+    #[test]
+    fn negative_evidence_clamped() {
+        assert_eq!(rec(0.1, 1.0, -5.0).node_years_observed(), 0.0);
+    }
+
+    #[test]
+    fn merge_weights_by_evidence() {
+        let a = rec(0.02, 1.0, 100.0);
+        let b = rec(0.04, 3.0, 300.0);
+        let m = a.merge(&b);
+        assert!((m.down_probability().value() - 0.035).abs() < 1e-12);
+        assert!((m.failures_per_year().value() - 2.5).abs() < 1e-12);
+        assert_eq!(m.node_years_observed(), 400.0);
+    }
+
+    #[test]
+    fn merge_with_zero_evidence_averages() {
+        let a = rec(0.02, 1.0, 0.0);
+        let b = rec(0.04, 3.0, 0.0);
+        let m = a.merge(&b);
+        assert!((m.down_probability().value() - 0.03).abs() < 1e-12);
+        assert!((m.failures_per_year().value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = rec(0.01, 1.0, 10.0);
+        let b = rec(0.09, 5.0, 30.0);
+        assert_eq!(a.merge(&b), b.merge(&a));
+    }
+
+    #[test]
+    fn merge_bounded_by_inputs() {
+        let a = rec(0.01, 1.0, 10.0);
+        let b = rec(0.09, 5.0, 30.0);
+        let m = a.merge(&b);
+        assert!(m.down_probability() >= a.down_probability());
+        assert!(m.down_probability() <= b.down_probability());
+    }
+
+    #[test]
+    fn dynamics_roundtrip() {
+        let r = rec(0.05, 2.0, 1.0);
+        let d = r.dynamics().unwrap();
+        assert!((d.down_probability().value() - 0.05).abs() < 1e-12);
+        assert!((d.failures_per_year().value() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = rec(0.02, 1.0, 55.0);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ReliabilityRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,330 @@
+//! The assembled catalog: methods + clouds, with combined queries.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use uptime_core::ClusterSpec;
+
+use crate::cloud::{CloudId, CloudProfile};
+use crate::component::ComponentKind;
+use crate::error::CatalogError;
+use crate::method::{HaMethod, HaMethodId};
+use crate::pricing::CostQuote;
+
+/// The broker's complete knowledge base: every registered HA method and
+/// every cloud profile, with the combined queries the optimizer needs.
+///
+/// # Examples
+///
+/// ```
+/// use uptime_catalog::case_study;
+///
+/// let catalog = case_study::catalog();
+/// // Enumerate the per-tier choice sets the optimizer will search over.
+/// for kind in uptime_catalog::ComponentKind::paper_tiers() {
+///     let methods = catalog.methods_for(kind);
+///     assert_eq!(methods.len(), 2, "paper has k = 2 choices per tier");
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CatalogStore {
+    methods: BTreeMap<HaMethodId, HaMethod>,
+    clouds: BTreeMap<CloudId, CloudProfile>,
+}
+
+impl CatalogStore {
+    /// Creates an empty catalog.
+    #[must_use]
+    pub fn new() -> Self {
+        CatalogStore::default()
+    }
+
+    /// Registers an HA method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::DuplicateMethod`] if the id is taken.
+    pub fn register_method(&mut self, method: HaMethod) -> Result<(), CatalogError> {
+        if self.methods.contains_key(method.id()) {
+            return Err(CatalogError::DuplicateMethod {
+                id: method.id().clone(),
+            });
+        }
+        self.methods.insert(method.id().clone(), method);
+        Ok(())
+    }
+
+    /// Registers (or replaces) a cloud profile.
+    pub fn register_cloud(&mut self, profile: CloudProfile) {
+        self.clouds.insert(profile.id().clone(), profile);
+    }
+
+    /// Looks up a method by id.
+    #[must_use]
+    pub fn method(&self, id: impl Into<HaMethodId>) -> Option<&HaMethod> {
+        self.methods.get(&id.into())
+    }
+
+    /// All methods applicable to a component kind, "no HA" first, then by id.
+    #[must_use]
+    pub fn methods_for(&self, kind: ComponentKind) -> Vec<&HaMethod> {
+        let mut out: Vec<&HaMethod> = self
+            .methods
+            .values()
+            .filter(|m| m.applies_to() == kind)
+            .collect();
+        out.sort_by_key(|m| (!m.is_none(), m.id().clone()));
+        out
+    }
+
+    /// All registered methods.
+    pub fn methods(&self) -> impl Iterator<Item = &HaMethod> {
+        self.methods.values()
+    }
+
+    /// Looks up a cloud profile.
+    #[must_use]
+    pub fn cloud(&self, id: &CloudId) -> Option<&CloudProfile> {
+        self.clouds.get(id)
+    }
+
+    /// Mutable access to a cloud profile (for telemetry absorption).
+    pub fn cloud_mut(&mut self, id: &CloudId) -> Option<&mut CloudProfile> {
+        self.clouds.get_mut(id)
+    }
+
+    /// All registered cloud ids.
+    pub fn cloud_ids(&self) -> impl Iterator<Item = &CloudId> {
+        self.clouds.keys()
+    }
+
+    /// Monthly `C_HA` for a method on a cloud. "No HA" methods are free
+    /// even without a rate-card entry.
+    ///
+    /// # Errors
+    ///
+    /// * [`CatalogError::UnknownMethod`] / [`CatalogError::UnknownCloud`]
+    ///   for unregistered ids.
+    /// * [`CatalogError::MissingPrice`] when the cloud does not price the
+    ///   method.
+    pub fn quote(&self, cloud: &CloudId, method: &HaMethodId) -> Result<CostQuote, CatalogError> {
+        let m = self
+            .methods
+            .get(method)
+            .ok_or_else(|| CatalogError::UnknownMethod { id: method.clone() })?;
+        let profile = self
+            .clouds
+            .get(cloud)
+            .ok_or_else(|| CatalogError::UnknownCloud { id: cloud.clone() })?;
+        if m.is_none() {
+            return Ok(CostQuote::free());
+        }
+        profile
+            .rate_card()
+            .quote(method)
+            .ok_or_else(|| CatalogError::MissingPrice {
+                cloud: cloud.clone(),
+                method: method.clone(),
+            })
+    }
+
+    /// Materializes the [`ClusterSpec`] for applying `method` to `kind` on
+    /// `cloud`, using the cloud's recorded reliability for that component.
+    ///
+    /// # Errors
+    ///
+    /// Lookup errors as in [`Self::quote`], plus
+    /// [`CatalogError::MissingReliability`] when the cloud has no record
+    /// for the component, and [`CatalogError::MethodNotApplicable`] when
+    /// the method targets a different kind.
+    pub fn cluster_spec(
+        &self,
+        cloud: &CloudId,
+        kind: ComponentKind,
+        method: &HaMethodId,
+    ) -> Result<ClusterSpec, CatalogError> {
+        let m = self
+            .methods
+            .get(method)
+            .ok_or_else(|| CatalogError::UnknownMethod { id: method.clone() })?;
+        let profile = self
+            .clouds
+            .get(cloud)
+            .ok_or_else(|| CatalogError::UnknownCloud { id: cloud.clone() })?;
+        let reliability = profile
+            .reliability(kind)
+            .ok_or(CatalogError::MissingReliability {
+                cloud: cloud.clone(),
+                component: kind,
+            })?;
+        m.to_cluster_spec(kind, reliability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pricing::RateCard;
+    use uptime_core::{FailuresPerYear, MoneyPerMonth, Probability};
+
+    fn store() -> CatalogStore {
+        let mut s = CatalogStore::new();
+        s.register_method(HaMethod::none(ComponentKind::Storage))
+            .unwrap();
+        s.register_method(HaMethod::raid1()).unwrap();
+        let mut card = RateCard::new(30.0).unwrap();
+        card.set_price(
+            HaMethodId::new("raid1"),
+            MoneyPerMonth::new(100.0).unwrap(),
+            0.05,
+        )
+        .unwrap();
+        let mut profile = CloudProfile::new("softlayer", "IBM SoftLayer", card);
+        profile.set_reliability(
+            ComponentKind::Storage,
+            crate::reliability::ReliabilityRecord::new(
+                Probability::new(0.05).unwrap(),
+                FailuresPerYear::new(2.0).unwrap(),
+                100.0,
+            ),
+        );
+        s.register_cloud(profile);
+        s
+    }
+
+    #[test]
+    fn duplicate_method_rejected() {
+        let mut s = store();
+        let err = s.register_method(HaMethod::raid1()).unwrap_err();
+        assert!(matches!(err, CatalogError::DuplicateMethod { .. }));
+    }
+
+    #[test]
+    fn methods_for_orders_none_first() {
+        let s = store();
+        let methods = s.methods_for(ComponentKind::Storage);
+        assert_eq!(methods.len(), 2);
+        assert!(methods[0].is_none());
+        assert_eq!(methods[1].id().as_str(), "raid1");
+        assert!(s.methods_for(ComponentKind::Compute).is_empty());
+    }
+
+    #[test]
+    fn quote_paper_raid1() {
+        let s = store();
+        let q = s
+            .quote(&CloudId::new("softlayer"), &HaMethodId::new("raid1"))
+            .unwrap();
+        assert!((q.total().value() - 350.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn quote_none_is_free_without_entry() {
+        let s = store();
+        let q = s
+            .quote(&CloudId::new("softlayer"), &HaMethodId::new("none-storage"))
+            .unwrap();
+        assert_eq!(q.total(), MoneyPerMonth::ZERO);
+    }
+
+    #[test]
+    fn quote_error_paths() {
+        let s = store();
+        assert!(matches!(
+            s.quote(&CloudId::new("softlayer"), &HaMethodId::new("ghost")),
+            Err(CatalogError::UnknownMethod { .. })
+        ));
+        assert!(matches!(
+            s.quote(&CloudId::new("ghost"), &HaMethodId::new("raid1")),
+            Err(CatalogError::UnknownCloud { .. })
+        ));
+        // Method exists but unpriced on cloud: register another method.
+        let mut s2 = store();
+        s2.register_method(HaMethod::dual_gateway()).unwrap();
+        assert!(matches!(
+            s2.quote(&CloudId::new("softlayer"), &HaMethodId::new("dual-gw")),
+            Err(CatalogError::MissingPrice { .. })
+        ));
+    }
+
+    #[test]
+    fn cluster_spec_materialization() {
+        let s = store();
+        let spec = s
+            .cluster_spec(
+                &CloudId::new("softlayer"),
+                ComponentKind::Storage,
+                &HaMethodId::new("raid1"),
+            )
+            .unwrap();
+        assert_eq!(spec.total_nodes(), 2);
+        assert_eq!(spec.node_down_probability().value(), 0.05);
+        assert!((spec.availability().value() - 0.9975).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cluster_spec_missing_reliability() {
+        let mut s = store();
+        s.register_method(HaMethod::none(ComponentKind::Compute))
+            .unwrap();
+        let err = s
+            .cluster_spec(
+                &CloudId::new("softlayer"),
+                ComponentKind::Compute,
+                &HaMethodId::new("none-compute"),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::MissingReliability { .. }));
+    }
+
+    #[test]
+    fn cluster_spec_wrong_kind() {
+        let s = store();
+        let err = s
+            .cluster_spec(
+                &CloudId::new("softlayer"),
+                ComponentKind::Compute,
+                &HaMethodId::new("raid1"),
+            )
+            .unwrap_err();
+        // Reliability for compute is missing first; register it to hit the
+        // applicability check.
+        assert!(matches!(err, CatalogError::MissingReliability { .. }));
+
+        let mut s2 = store();
+        s2.cloud_mut(&CloudId::new("softlayer"))
+            .unwrap()
+            .set_reliability(
+                ComponentKind::Compute,
+                crate::reliability::ReliabilityRecord::new(
+                    Probability::new(0.01).unwrap(),
+                    FailuresPerYear::new(1.0).unwrap(),
+                    10.0,
+                ),
+            );
+        let err2 = s2
+            .cluster_spec(
+                &CloudId::new("softlayer"),
+                ComponentKind::Compute,
+                &HaMethodId::new("raid1"),
+            )
+            .unwrap_err();
+        assert!(matches!(err2, CatalogError::MethodNotApplicable { .. }));
+    }
+
+    #[test]
+    fn cloud_ids_iterates() {
+        let s = store();
+        let ids: Vec<_> = s.cloud_ids().map(CloudId::as_str).collect();
+        assert_eq!(ids, vec!["softlayer"]);
+        assert_eq!(s.methods().count(), 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = store();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: CatalogStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,307 @@
+//! Numerically careful binomial machinery behind the paper's Eq. 2.
+//!
+//! A cluster with `K` nodes, each independently *up* with probability
+//! `1 − P`, is operational when at least `K − K̂` nodes are up. Eq. 2 needs
+//! the binomial survival function `Pr[X ≥ m]` for `X ~ Bin(K, 1 − P)`.
+//!
+//! Two evaluation strategies are provided:
+//!
+//! * [`survival_at_least`] — direct summation of PMF terms. Exact for the
+//!   small `K` (≤ 64) found in real cluster topologies.
+//! * [`survival_at_least_log`] — log-space summation for large `K` where
+//!   `C(K, j)` overflows `f64`. Used as an ablation in the benchmarks.
+
+use crate::units::Probability;
+
+/// Computes the binomial coefficient `C(n, k)` as an `f64`.
+///
+/// Uses the multiplicative formula with running division, which is exact for
+/// all results representable in `f64` without intermediate overflow.
+///
+/// Returns `0.0` when `k > n`.
+///
+/// # Examples
+///
+/// ```
+/// use uptime_core::binomial::coefficient;
+///
+/// assert_eq!(coefficient(4, 2), 6.0);
+/// assert_eq!(coefficient(4, 5), 0.0);
+/// ```
+#[must_use]
+pub fn coefficient(n: u32, k: u32) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0_f64;
+    for i in 0..k {
+        acc *= f64::from(n - i);
+        acc /= f64::from(i + 1);
+    }
+    acc
+}
+
+/// Natural log of the binomial coefficient `C(n, k)`.
+///
+/// Computed as `Σ ln((n−i)/(i+1))`, stable for `n` far beyond `f64`
+/// factorial range.
+///
+/// Returns negative infinity when `k > n` (log of zero).
+#[must_use]
+pub fn ln_coefficient(n: u32, k: u32) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    let k = k.min(n - k);
+    let mut acc = 0.0_f64;
+    for i in 0..k {
+        acc += f64::from(n - i).ln() - f64::from(i + 1).ln();
+    }
+    acc
+}
+
+/// Probability mass `Pr[X = j]` for `X ~ Bin(n, p)`.
+///
+/// # Examples
+///
+/// ```
+/// use uptime_core::binomial::pmf;
+/// use uptime_core::Probability;
+///
+/// # fn main() -> Result<(), uptime_core::ModelError> {
+/// let p = Probability::new(0.5)?;
+/// assert!((pmf(2, 1, p) - 0.5).abs() < 1e-15);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn pmf(n: u32, j: u32, p: Probability) -> f64 {
+    if j > n {
+        return 0.0;
+    }
+    let p = p.value();
+    coefficient(n, j) * p.powi(j as i32) * (1.0 - p).powi((n - j) as i32)
+}
+
+/// Survival function `Pr[X ≥ m]` for `X ~ Bin(n, p)` by direct summation.
+///
+/// This is the paper's per-cluster uptime when `p` is the node-*up*
+/// probability and `m = K − K̂` is the required active count.
+///
+/// # Examples
+///
+/// Paper Fig. 7 — VMware HA 3+1 (`K = 4`, needs 3 up, node up 99%):
+///
+/// ```
+/// use uptime_core::binomial::survival_at_least;
+/// use uptime_core::Probability;
+///
+/// # fn main() -> Result<(), uptime_core::ModelError> {
+/// let up = survival_at_least(4, 3, Probability::new(0.99)?);
+/// assert!((up.value() - 0.99940796).abs() < 1e-7);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn survival_at_least(n: u32, m: u32, p: Probability) -> Probability {
+    if m == 0 {
+        return Probability::ONE;
+    }
+    if m > n {
+        return Probability::ZERO;
+    }
+    let mut total = 0.0_f64;
+    for j in m..=n {
+        total += pmf(n, j, p);
+    }
+    Probability::saturating(total)
+}
+
+/// Survival function `Pr[X ≥ m]` evaluated in log space.
+///
+/// Sums `exp(ln C(n,j) + j ln p + (n−j) ln(1−p))` with a running max for
+/// stability (log-sum-exp). Handles `n` in the tens of thousands where the
+/// direct [`coefficient`] would overflow.
+#[must_use]
+pub fn survival_at_least_log(n: u32, m: u32, p: Probability) -> Probability {
+    if m == 0 {
+        return Probability::ONE;
+    }
+    if m > n {
+        return Probability::ZERO;
+    }
+    let pv = p.value();
+    if pv == 0.0 {
+        // All trials fail: X is identically 0 and m >= 1.
+        return Probability::ZERO;
+    }
+    if pv == 1.0 {
+        return Probability::ONE;
+    }
+    let ln_p = pv.ln();
+    let ln_q = (1.0 - pv).ln();
+    let terms: Vec<f64> = (m..=n)
+        .map(|j| ln_coefficient(n, j) + f64::from(j) * ln_p + f64::from(n - j) * ln_q)
+        .collect();
+    let max = terms.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if max == f64::NEG_INFINITY {
+        return Probability::ZERO;
+    }
+    let sum: f64 = terms.iter().map(|t| (t - max).exp()).sum();
+    Probability::saturating((max + sum.ln()).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    #[test]
+    fn coefficient_small_values() {
+        assert_eq!(coefficient(0, 0), 1.0);
+        assert_eq!(coefficient(1, 0), 1.0);
+        assert_eq!(coefficient(1, 1), 1.0);
+        assert_eq!(coefficient(4, 2), 6.0);
+        assert_eq!(coefficient(5, 3), 10.0);
+        assert_eq!(coefficient(10, 5), 252.0);
+        assert_eq!(coefficient(3, 7), 0.0);
+    }
+
+    #[test]
+    fn coefficient_symmetry() {
+        for n in 0..30u32 {
+            for k in 0..=n {
+                assert_eq!(coefficient(n, k), coefficient(n, n - k), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn coefficient_pascal_identity() {
+        for n in 1..25u32 {
+            for k in 1..n {
+                let lhs = coefficient(n, k);
+                let rhs = coefficient(n - 1, k - 1) + coefficient(n - 1, k);
+                assert!((lhs - rhs).abs() < 1e-6 * lhs.max(1.0), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn ln_coefficient_matches_direct() {
+        for n in [1u32, 5, 12, 40] {
+            for k in 0..=n {
+                let direct = coefficient(n, k).ln();
+                let logged = ln_coefficient(n, k);
+                assert!((direct - logged).abs() < 1e-9, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn ln_coefficient_out_of_range() {
+        assert_eq!(ln_coefficient(3, 4), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &pv in &[0.0, 0.01, 0.3, 0.5, 0.97, 1.0] {
+            for n in [1u32, 2, 5, 9] {
+                let total: f64 = (0..=n).map(|j| pmf(n, j, p(pv))).sum();
+                assert!((total - 1.0).abs() < 1e-12, "n={n} p={pv}");
+            }
+        }
+    }
+
+    #[test]
+    fn pmf_degenerate_cases() {
+        assert_eq!(pmf(3, 4, p(0.5)), 0.0);
+        assert_eq!(pmf(3, 3, p(1.0)), 1.0);
+        assert_eq!(pmf(3, 0, p(0.0)), 1.0);
+    }
+
+    #[test]
+    fn survival_boundaries() {
+        assert_eq!(survival_at_least(5, 0, p(0.2)).value(), 1.0);
+        assert_eq!(survival_at_least(5, 6, p(0.99)).value(), 0.0);
+        assert_eq!(survival_at_least(5, 5, p(1.0)).value(), 1.0);
+        assert_eq!(survival_at_least(5, 1, p(0.0)).value(), 0.0);
+    }
+
+    #[test]
+    fn survival_single_node_cluster() {
+        // K=1, needs 1 up: survival == node-up probability.
+        let up = survival_at_least(1, 1, p(0.95));
+        assert!((up.value() - 0.95).abs() < 1e-15);
+    }
+
+    #[test]
+    fn survival_dual_node_one_needed() {
+        // Paper's RAID-1 / dual gateway: up unless both nodes down.
+        let up = survival_at_least(2, 1, p(0.95));
+        assert!((up.value() - (1.0 - 0.05 * 0.05)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survival_vmware_3_plus_1() {
+        // Paper Fig. 7: K=4, active 3, node up 0.99.
+        let up = survival_at_least(4, 3, p(0.99));
+        let expected = 4.0 * 0.99f64.powi(3) * 0.01 + 0.99f64.powi(4);
+        assert!((up.value() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survival_monotone_in_p() {
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let cur = survival_at_least(6, 4, p(f64::from(i) / 100.0)).value();
+            assert!(cur + 1e-12 >= prev, "not monotone at i={i}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn survival_monotone_in_threshold() {
+        // Requiring more nodes up can only reduce the probability.
+        for m in 1..=6u32 {
+            let hi = survival_at_least(6, m, p(0.9)).value();
+            let lo = survival_at_least(6, m + 1, p(0.9)).value();
+            assert!(lo <= hi + 1e-15, "m={m}");
+        }
+    }
+
+    #[test]
+    fn log_space_matches_direct_small_n() {
+        for n in [1u32, 4, 16, 50] {
+            for m in 0..=n {
+                for &pv in &[0.01, 0.2, 0.5, 0.9, 0.999] {
+                    let a = survival_at_least(n, m, p(pv)).value();
+                    let b = survival_at_least_log(n, m, p(pv)).value();
+                    assert!(
+                        (a - b).abs() < 1e-9,
+                        "n={n} m={m} p={pv}: direct={a} log={b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn log_space_handles_huge_n() {
+        // C(10000, 5000) overflows f64; log space must still work.
+        let v = survival_at_least_log(10_000, 5_000, p(0.5)).value();
+        // Median of a symmetric binomial: Pr[X >= n/2] slightly above 0.5.
+        assert!(v > 0.5 && v < 0.52, "got {v}");
+    }
+
+    #[test]
+    fn log_space_extreme_p() {
+        assert_eq!(survival_at_least_log(100, 1, p(0.0)).value(), 0.0);
+        assert_eq!(survival_at_least_log(100, 100, p(1.0)).value(), 1.0);
+        assert_eq!(survival_at_least_log(100, 0, p(0.0)).value(), 1.0);
+    }
+}

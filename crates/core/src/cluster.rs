@@ -1,0 +1,395 @@
+//! Cluster specification: the paper's k-redundancy building block.
+
+use serde::{Deserialize, Serialize};
+
+use crate::binomial;
+use crate::error::ModelError;
+use crate::units::{FailuresPerYear, Minutes, Probability, MINUTES_PER_YEAR};
+
+/// A cluster `C_i` in the paper's k-redundancy model.
+///
+/// The cluster has `K` nodes (`total_nodes`), of which `K − K̂` must be
+/// active for the cluster to be operational; `K̂` (`standby_budget`) is the
+/// maximum number of simultaneous node failures the HA layer tolerates.
+/// Each node is independently down with probability `P` and suffers `f`
+/// failures per year; promoting a standby takes `t` minutes of cluster
+/// unavailability (the *failover time*).
+///
+/// # Examples
+///
+/// The paper's VMware ESX 3+1 compute tier (Fig. 7):
+///
+/// ```
+/// use uptime_core::{ClusterSpec, Probability, Minutes, FailuresPerYear};
+///
+/// # fn main() -> Result<(), uptime_core::ModelError> {
+/// let compute = ClusterSpec::builder("compute")
+///     .total_nodes(4)
+///     .standby_budget(1)
+///     .node_down_probability(Probability::new(0.01)?)
+///     .failures_per_year(FailuresPerYear::new(1.0)?)
+///     .failover_time(Minutes::new(6.0)?)
+///     .build()?;
+/// assert_eq!(compute.active_nodes(), 3);
+/// assert!((compute.availability().value() - 0.99940796).abs() < 1e-7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    name: String,
+    total_nodes: u32,
+    standby_budget: u32,
+    node_down_probability: Probability,
+    failures_per_year: FailuresPerYear,
+    failover_time: Minutes,
+}
+
+impl ClusterSpec {
+    /// Starts building a cluster with the given display name.
+    pub fn builder(name: impl Into<String>) -> ClusterSpecBuilder {
+        ClusterSpecBuilder::new(name)
+    }
+
+    /// Convenience constructor for an unclustered, single-node component
+    /// (the paper's "No HA" rows: `K = 1`, `K̂ = 0`, `t = 0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidQuantity`] if `failures_per_year` is
+    /// negative or not finite.
+    pub fn singleton(
+        name: impl Into<String>,
+        node_down_probability: Probability,
+        failures_per_year: f64,
+    ) -> Result<Self, ModelError> {
+        ClusterSpecBuilder::new(name)
+            .total_nodes(1)
+            .standby_budget(0)
+            .node_down_probability(node_down_probability)
+            .failures_per_year(FailuresPerYear::new(failures_per_year)?)
+            .failover_time(Minutes::ZERO)
+            .build()
+    }
+
+    /// The cluster's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total node count `K`.
+    #[must_use]
+    pub fn total_nodes(&self) -> u32 {
+        self.total_nodes
+    }
+
+    /// Standby budget `K̂` — tolerated simultaneous node failures.
+    #[must_use]
+    pub fn standby_budget(&self) -> u32 {
+        self.standby_budget
+    }
+
+    /// Number of nodes that must be active, `K − K̂`.
+    #[must_use]
+    pub fn active_nodes(&self) -> u32 {
+        self.total_nodes - self.standby_budget
+    }
+
+    /// Per-node down probability `P`.
+    #[must_use]
+    pub fn node_down_probability(&self) -> Probability {
+        self.node_down_probability
+    }
+
+    /// Average failures per node-year `f`.
+    #[must_use]
+    pub fn failures_per_year(&self) -> FailuresPerYear {
+        self.failures_per_year
+    }
+
+    /// Failover latency `t`.
+    #[must_use]
+    pub fn failover_time(&self) -> Minutes {
+        self.failover_time
+    }
+
+    /// Probability that the cluster is operational:
+    /// `Σ_{j=K−K̂}^{K} C(K,j) (1−P)^j P^{K−j}` (the per-cluster factor of
+    /// the paper's Eq. 2).
+    #[must_use]
+    pub fn availability(&self) -> Probability {
+        binomial::survival_at_least(
+            self.total_nodes,
+            self.active_nodes(),
+            self.node_down_probability.complement(),
+        )
+    }
+
+    /// Probability the cluster is *not* operational.
+    #[must_use]
+    pub fn breakdown_probability(&self) -> Probability {
+        self.availability().complement()
+    }
+
+    /// Expected minutes per year the cluster spends in failover
+    /// transitions: `f · t · (K − K̂)` (numerator of the paper's Eq. 3).
+    #[must_use]
+    pub fn failover_minutes_per_year(&self) -> Minutes {
+        self.failover_time * (self.failures_per_year.value() * f64::from(self.active_nodes()))
+    }
+
+    /// The failover term as a fraction of the year, `f·t·(K−K̂)/δ`.
+    #[must_use]
+    pub fn failover_year_fraction(&self) -> f64 {
+        self.failover_minutes_per_year().value() / MINUTES_PER_YEAR
+    }
+
+    /// Probability that **all currently-active nodes** are up,
+    /// `(1 − P)^{K − K̂}` — the per-cluster factor of `P(X_i)` in Eq. 3.
+    #[must_use]
+    pub fn all_active_up_probability(&self) -> Probability {
+        self.node_down_probability
+            .complement()
+            .powi(self.active_nodes())
+    }
+
+    /// Returns a copy with a different node-down probability; used by
+    /// sensitivity analysis.
+    #[must_use]
+    pub fn with_node_down_probability(&self, p: Probability) -> Self {
+        let mut copy = self.clone();
+        copy.node_down_probability = p;
+        copy
+    }
+
+    /// Returns a copy with a different failover time; used by sensitivity
+    /// analysis.
+    #[must_use]
+    pub fn with_failover_time(&self, t: Minutes) -> Self {
+        let mut copy = self.clone();
+        copy.failover_time = t;
+        copy
+    }
+
+    /// Returns a copy with a different failure rate; used by sensitivity
+    /// analysis.
+    #[must_use]
+    pub fn with_failures_per_year(&self, f: FailuresPerYear) -> Self {
+        let mut copy = self.clone();
+        copy.failures_per_year = f;
+        copy
+    }
+}
+
+/// Builder for [`ClusterSpec`] (guideline C-BUILDER).
+///
+/// Defaults: 1 node, 0 standby budget, `P = 0`, `f = 0`, `t = 0`.
+#[derive(Debug, Clone)]
+pub struct ClusterSpecBuilder {
+    name: String,
+    total_nodes: u32,
+    standby_budget: u32,
+    node_down_probability: Probability,
+    failures_per_year: FailuresPerYear,
+    failover_time: Minutes,
+}
+
+impl ClusterSpecBuilder {
+    fn new(name: impl Into<String>) -> Self {
+        ClusterSpecBuilder {
+            name: name.into(),
+            total_nodes: 1,
+            standby_budget: 0,
+            node_down_probability: Probability::ZERO,
+            failures_per_year: FailuresPerYear::ZERO,
+            failover_time: Minutes::ZERO,
+        }
+    }
+
+    /// Sets the total node count `K`.
+    #[must_use]
+    pub fn total_nodes(mut self, k: u32) -> Self {
+        self.total_nodes = k;
+        self
+    }
+
+    /// Sets the standby budget `K̂`.
+    #[must_use]
+    pub fn standby_budget(mut self, k_hat: u32) -> Self {
+        self.standby_budget = k_hat;
+        self
+    }
+
+    /// Sets the per-node down probability `P`.
+    #[must_use]
+    pub fn node_down_probability(mut self, p: Probability) -> Self {
+        self.node_down_probability = p;
+        self
+    }
+
+    /// Sets the yearly per-node failure rate `f`.
+    #[must_use]
+    pub fn failures_per_year(mut self, f: FailuresPerYear) -> Self {
+        self.failures_per_year = f;
+        self
+    }
+
+    /// Sets the failover latency `t`.
+    #[must_use]
+    pub fn failover_time(mut self, t: Minutes) -> Self {
+        self.failover_time = t;
+        self
+    }
+
+    /// Validates and builds the [`ClusterSpec`].
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::EmptyCluster`] if `K = 0`.
+    /// * [`ModelError::NoActiveNodes`] if `K̂ ≥ K`.
+    pub fn build(self) -> Result<ClusterSpec, ModelError> {
+        if self.total_nodes == 0 {
+            return Err(ModelError::EmptyCluster { name: self.name });
+        }
+        if self.standby_budget >= self.total_nodes {
+            return Err(ModelError::NoActiveNodes {
+                name: self.name,
+                total_nodes: self.total_nodes,
+                standby_budget: self.standby_budget,
+            });
+        }
+        Ok(ClusterSpec {
+            name: self.name,
+            total_nodes: self.total_nodes,
+            standby_budget: self.standby_budget,
+            node_down_probability: self.node_down_probability,
+            failures_per_year: self.failures_per_year,
+            failover_time: self.failover_time,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    fn vmware_3_plus_1() -> ClusterSpec {
+        ClusterSpec::builder("compute")
+            .total_nodes(4)
+            .standby_budget(1)
+            .node_down_probability(p(0.01))
+            .failures_per_year(FailuresPerYear::new(1.0).unwrap())
+            .failover_time(Minutes::new(6.0).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn singleton_availability_is_node_up_probability() {
+        let c = ClusterSpec::singleton("web", p(0.02), 1.0).unwrap();
+        assert!((c.availability().value() - 0.98).abs() < 1e-15);
+        assert_eq!(c.active_nodes(), 1);
+        assert_eq!(c.failover_minutes_per_year().value(), 0.0);
+    }
+
+    #[test]
+    fn builder_rejects_zero_nodes() {
+        let err = ClusterSpec::builder("x")
+            .total_nodes(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::EmptyCluster { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_all_standby() {
+        let err = ClusterSpec::builder("x")
+            .total_nodes(2)
+            .standby_budget(2)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::NoActiveNodes { .. }));
+    }
+
+    #[test]
+    fn vmware_cluster_matches_paper() {
+        let c = vmware_3_plus_1();
+        assert_eq!(c.active_nodes(), 3);
+        let expected = 4.0 * 0.99f64.powi(3) * 0.01 + 0.99f64.powi(4);
+        assert!((c.availability().value() - expected).abs() < 1e-12);
+        // f·t·(K−K̂) = 1 × 6 × 3 = 18 minutes/year.
+        assert!((c.failover_minutes_per_year().value() - 18.0).abs() < 1e-12);
+        // (1−P)^3
+        assert!((c.all_active_up_probability().value() - 0.99f64.powi(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raid1_cluster_matches_paper() {
+        let c = ClusterSpec::builder("storage")
+            .total_nodes(2)
+            .standby_budget(1)
+            .node_down_probability(p(0.05))
+            .failures_per_year(FailuresPerYear::new(2.0).unwrap())
+            .failover_time(Minutes::from_seconds(30.0).unwrap())
+            .build()
+            .unwrap();
+        assert!((c.availability().value() - 0.9975).abs() < 1e-12);
+        // 2/yr × 0.5 min × 1 active = 1 minute/year.
+        assert!((c.failover_minutes_per_year().value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_is_complement_of_availability() {
+        let c = vmware_3_plus_1();
+        let sum = c.availability().value() + c.breakdown_probability().value();
+        assert!((sum - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn adding_standby_improves_availability() {
+        let base = ClusterSpec::builder("c")
+            .total_nodes(3)
+            .standby_budget(0)
+            .node_down_probability(p(0.05))
+            .build()
+            .unwrap();
+        let redundant = ClusterSpec::builder("c")
+            .total_nodes(4)
+            .standby_budget(1)
+            .node_down_probability(p(0.05))
+            .build()
+            .unwrap();
+        assert!(redundant.availability() > base.availability());
+    }
+
+    #[test]
+    fn with_methods_replace_single_field() {
+        let c = vmware_3_plus_1();
+        let c2 = c.with_node_down_probability(p(0.5));
+        assert_eq!(c2.node_down_probability().value(), 0.5);
+        assert_eq!(c2.total_nodes(), c.total_nodes());
+        let c3 = c.with_failover_time(Minutes::new(1.0).unwrap());
+        assert_eq!(c3.failover_time().value(), 1.0);
+        let c4 = c.with_failures_per_year(FailuresPerYear::new(9.0).unwrap());
+        assert_eq!(c4.failures_per_year().value(), 9.0);
+    }
+
+    #[test]
+    fn failover_year_fraction() {
+        let c = vmware_3_plus_1();
+        assert!((c.failover_year_fraction() - 18.0 / 525_600.0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = vmware_3_plus_1();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ClusterSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,322 @@
+//! Series–parallel availability block diagrams.
+//!
+//! The paper models a system strictly as a *serial* chain of clusters
+//! (Fig. 1); its future work (§V) points at richer topologies — e.g. an
+//! application served from two independent sites, each a serial chain.
+//! This module generalizes availability evaluation to arbitrary
+//! series/parallel compositions of clusters.
+//!
+//! Failover downtime (Eq. 3) is a serial-chain concept — a blip in any
+//! serial element blacks out the system, whereas a parallel sibling masks
+//! it. Composition therefore evaluates **breakdown availability** only
+//! (the Eq. 2 part); [`Block::failover_aware_availability`] additionally
+//! charges failover blips for blocks with no parallel masking, matching
+//! [`crate::SystemSpec::uptime`] exactly on pure-series diagrams.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::ClusterSpec;
+use crate::error::ModelError;
+use crate::system::SystemSpec;
+use crate::units::Probability;
+
+/// A node in an availability block diagram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Block {
+    /// A leaf: one k-redundant cluster.
+    Cluster(ClusterSpec),
+    /// All children must be up (serial chain).
+    Series(Vec<Block>),
+    /// At least one child must be up (site-level redundancy).
+    Parallel(Vec<Block>),
+}
+
+impl Block {
+    /// Builds a series block from clusters (the paper's Fig. 1 shape).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptySystem`] for an empty list.
+    pub fn series_of(clusters: Vec<ClusterSpec>) -> Result<Self, ModelError> {
+        if clusters.is_empty() {
+            return Err(ModelError::EmptySystem);
+        }
+        Ok(Block::Series(
+            clusters.into_iter().map(Block::Cluster).collect(),
+        ))
+    }
+
+    /// Validates the diagram: no empty `Series`/`Parallel` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptySystem`] on an empty composite node.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        match self {
+            Block::Cluster(_) => Ok(()),
+            Block::Series(children) | Block::Parallel(children) => {
+                if children.is_empty() {
+                    return Err(ModelError::EmptySystem);
+                }
+                children.iter().try_for_each(Block::validate)
+            }
+        }
+    }
+
+    /// Breakdown availability of the diagram (Eq. 2 generalized):
+    /// series multiplies availabilities, parallel multiplies
+    /// *unavailabilities*.
+    ///
+    /// # Examples
+    ///
+    /// Two identical serial sites in parallel square the downtime:
+    ///
+    /// ```
+    /// use uptime_core::composition::Block;
+    /// use uptime_core::{ClusterSpec, Probability};
+    ///
+    /// # fn main() -> Result<(), uptime_core::ModelError> {
+    /// let site = Block::series_of(vec![
+    ///     ClusterSpec::singleton("web", Probability::new(0.02)?, 1.0)?,
+    ///     ClusterSpec::singleton("db", Probability::new(0.05)?, 1.0)?,
+    /// ])?;
+    /// let two_sites = Block::Parallel(vec![site.clone(), site]);
+    /// let single = 0.98f64 * 0.95;
+    /// let expected = 1.0 - (1.0 - single) * (1.0 - single);
+    /// assert!((two_sites.availability().value() - expected).abs() < 1e-12);
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn availability(&self) -> Probability {
+        match self {
+            Block::Cluster(spec) => spec.availability(),
+            Block::Series(children) => {
+                Probability::saturating(children.iter().map(|b| b.availability().value()).product())
+            }
+            Block::Parallel(children) => Probability::saturating(
+                1.0 - children
+                    .iter()
+                    .map(|b| 1.0 - b.availability().value())
+                    .product::<f64>(),
+            ),
+        }
+    }
+
+    /// Availability including failover blips for every cluster that has no
+    /// parallel masking above it (i.e. clusters on the unguarded serial
+    /// spine). Parallel sub-trees contribute their breakdown availability
+    /// only, because a sibling branch absorbs their blips.
+    ///
+    /// On a pure-series diagram this equals
+    /// [`SystemSpec::uptime`]'s availability.
+    #[must_use]
+    pub fn failover_aware_availability(&self) -> Probability {
+        // Collect the serial spine of clusters (recursively through Series
+        // only); parallel sub-trees are opaque availability factors.
+        let mut spine: Vec<&ClusterSpec> = Vec::new();
+        let mut parallel_factor = 1.0;
+        self.collect_spine(&mut spine, &mut parallel_factor);
+
+        if spine.is_empty() {
+            return self.availability();
+        }
+        let spine_system =
+            SystemSpec::new(spine.into_iter().cloned().collect()).expect("non-empty spine");
+        let spine_uptime = spine_system.uptime().availability().value();
+        Probability::saturating(spine_uptime * parallel_factor)
+    }
+
+    fn collect_spine<'a>(&'a self, spine: &mut Vec<&'a ClusterSpec>, parallel_factor: &mut f64) {
+        match self {
+            Block::Cluster(spec) => spine.push(spec),
+            Block::Series(children) => {
+                for child in children {
+                    child.collect_spine(spine, parallel_factor);
+                }
+            }
+            Block::Parallel(_) => {
+                *parallel_factor *= self.availability().value();
+            }
+        }
+    }
+
+    /// Total number of cluster leaves.
+    #[must_use]
+    pub fn cluster_count(&self) -> usize {
+        match self {
+            Block::Cluster(_) => 1,
+            Block::Series(children) | Block::Parallel(children) => {
+                children.iter().map(Block::cluster_count).sum()
+            }
+        }
+    }
+
+    /// Depth of the diagram (a lone cluster has depth 1).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        match self {
+            Block::Cluster(_) => 1,
+            Block::Series(children) | Block::Parallel(children) => {
+                1 + children.iter().map(Block::depth).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::FailuresPerYear;
+    use crate::Minutes;
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    fn singleton(name: &str, down: f64) -> ClusterSpec {
+        ClusterSpec::singleton(name, p(down), 1.0).unwrap()
+    }
+
+    #[test]
+    fn single_cluster_block() {
+        let b = Block::Cluster(singleton("web", 0.02));
+        assert!((b.availability().value() - 0.98).abs() < 1e-12);
+        assert_eq!(b.cluster_count(), 1);
+        assert_eq!(b.depth(), 1);
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn series_matches_system_spec() {
+        let clusters = vec![
+            singleton("a", 0.01),
+            singleton("b", 0.05),
+            singleton("c", 0.02),
+        ];
+        let block = Block::series_of(clusters.clone()).unwrap();
+        let system = SystemSpec::new(clusters).unwrap();
+        assert!(
+            (block.availability().value() - system.uptime_ignoring_failover().value()).abs()
+                < 1e-12
+        );
+        assert_eq!(block.cluster_count(), 3);
+    }
+
+    #[test]
+    fn failover_aware_matches_system_on_pure_series() {
+        let clusters = vec![
+            ClusterSpec::builder("compute")
+                .total_nodes(4)
+                .standby_budget(1)
+                .node_down_probability(p(0.01))
+                .failures_per_year(FailuresPerYear::new(1.0).unwrap())
+                .failover_time(Minutes::new(6.0).unwrap())
+                .build()
+                .unwrap(),
+            singleton("storage", 0.05),
+        ];
+        let block = Block::series_of(clusters.clone()).unwrap();
+        let system = SystemSpec::new(clusters).unwrap();
+        assert!(
+            (block.failover_aware_availability().value() - system.uptime().availability().value())
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn parallel_redundancy_multiplies_downtimes() {
+        let a = Block::Cluster(singleton("site-a", 0.1));
+        let b = Block::Cluster(singleton("site-b", 0.2));
+        let both = Block::Parallel(vec![a, b]);
+        assert!((both.availability().value() - (1.0 - 0.1 * 0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dual_site_beats_single_site() {
+        let site = Block::series_of(vec![singleton("web", 0.02), singleton("db", 0.05)]).unwrap();
+        let dual = Block::Parallel(vec![site.clone(), site.clone()]);
+        assert!(dual.availability() > site.availability());
+        assert_eq!(dual.cluster_count(), 4);
+        assert_eq!(dual.depth(), 3);
+    }
+
+    #[test]
+    fn nested_series_parallel() {
+        // (gateway) — series — parallel(site-a, site-b)
+        let site = |name: &str| {
+            Block::series_of(vec![
+                singleton(&format!("{name}-web"), 0.02),
+                singleton(&format!("{name}-db"), 0.05),
+            ])
+            .unwrap()
+        };
+        let diagram = Block::Series(vec![
+            Block::Cluster(singleton("gateway", 0.01)),
+            Block::Parallel(vec![site("a"), site("b")]),
+        ]);
+        diagram.validate().unwrap();
+        let site_avail = 0.98 * 0.95;
+        let expected = 0.99 * (1.0 - (1.0 - site_avail) * (1.0 - site_avail));
+        assert!((diagram.availability().value() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failover_aware_charges_only_the_spine() {
+        // Gateway with a failover term on the spine; sites in parallel.
+        let gateway = ClusterSpec::builder("gateway")
+            .total_nodes(2)
+            .standby_budget(1)
+            .node_down_probability(p(0.02))
+            .failures_per_year(FailuresPerYear::new(1.0).unwrap())
+            .failover_time(Minutes::new(1.0).unwrap())
+            .build()
+            .unwrap();
+        let site = Block::series_of(vec![singleton("web", 0.02)]).unwrap();
+        let diagram = Block::Series(vec![
+            Block::Cluster(gateway.clone()),
+            Block::Parallel(vec![site.clone(), site]),
+        ]);
+        let value = diagram.failover_aware_availability().value();
+        // Spine = gateway alone; sites are a parallel factor.
+        let spine = SystemSpec::new(vec![gateway]).unwrap();
+        let expected = spine.uptime().availability().value() * (1.0 - 0.02 * 0.02);
+        assert!((value - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_parallel_root_falls_back_to_breakdown_availability() {
+        let diagram = Block::Parallel(vec![
+            Block::Cluster(singleton("a", 0.1)),
+            Block::Cluster(singleton("b", 0.1)),
+        ]);
+        assert_eq!(
+            diagram.failover_aware_availability(),
+            diagram.availability()
+        );
+    }
+
+    #[test]
+    fn validation_rejects_empty_composites() {
+        assert!(Block::Series(vec![]).validate().is_err());
+        assert!(Block::Parallel(vec![]).validate().is_err());
+        assert!(Block::series_of(vec![]).is_err());
+        let nested = Block::Series(vec![Block::Parallel(vec![])]);
+        assert!(nested.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let diagram = Block::Series(vec![
+            Block::Cluster(singleton("a", 0.01)),
+            Block::Parallel(vec![
+                Block::Cluster(singleton("b", 0.02)),
+                Block::Cluster(singleton("c", 0.03)),
+            ]),
+        ]);
+        let json = serde_json::to_string(&diagram).unwrap();
+        let back: Block = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, diagram);
+    }
+}

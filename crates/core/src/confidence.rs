@@ -1,0 +1,343 @@
+//! Uncertainty propagation from broker evidence to uptime and TCO.
+//!
+//! The paper's §IV concedes that the broker-maintained `P_i` "could be
+//! skewed". This module makes that risk quantitative: given how many
+//! node-years of telemetry back each `P_i`, it derives a Wald-style
+//! confidence interval per parameter and propagates it to **sound** bounds
+//! on `U_s` and the TCO.
+//!
+//! Soundness of the propagation: `B_s` (Eq. 2) is monotone *increasing* in
+//! every `P_i` (each cluster-survival factor decreases as its nodes get
+//! worse), and `F_s` (Eq. 3) is monotone *decreasing* in every `P_i` (only
+//! the `Π (1−P_j)^{K_j−K̂_j}` guards depend on `P`). Evaluating `B_s` at
+//! the interval endpoints and `F_s` at the *opposite* endpoints therefore
+//! brackets `D_s = B_s + F_s` — two model evaluations, no corner search.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::ClusterSpec;
+use crate::system::SystemSpec;
+use crate::tco::TcoModel;
+use crate::units::{MoneyPerMonth, Probability};
+
+/// A two-sided confidence level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceLevel {
+    z: f64,
+}
+
+impl ConfidenceLevel {
+    /// 90 % two-sided (z = 1.645).
+    pub const P90: ConfidenceLevel = ConfidenceLevel { z: 1.645 };
+    /// 95 % two-sided (z = 1.960).
+    pub const P95: ConfidenceLevel = ConfidenceLevel { z: 1.960 };
+    /// 99 % two-sided (z = 2.576).
+    pub const P99: ConfidenceLevel = ConfidenceLevel { z: 2.576 };
+
+    /// The z-score multiplier.
+    #[must_use]
+    pub fn z(self) -> f64 {
+        self.z
+    }
+}
+
+/// A closed probability interval `[lower, upper]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbabilityInterval {
+    lower: Probability,
+    upper: Probability,
+}
+
+impl ProbabilityInterval {
+    /// Creates an interval; swaps endpoints if given in the wrong order.
+    #[must_use]
+    pub fn new(a: Probability, b: Probability) -> Self {
+        if a <= b {
+            ProbabilityInterval { lower: a, upper: b }
+        } else {
+            ProbabilityInterval { lower: b, upper: a }
+        }
+    }
+
+    /// A degenerate (zero-width) interval.
+    #[must_use]
+    pub fn exact(p: Probability) -> Self {
+        ProbabilityInterval { lower: p, upper: p }
+    }
+
+    /// Wald-style interval for a down-probability estimated from
+    /// `node_years` of observation: `p̂ ± z·√(p̂(1−p̂)/node_years)`,
+    /// clamped to `[0, 1]`. With zero evidence the interval is the whole
+    /// unit interval.
+    #[must_use]
+    pub fn wald(estimate: Probability, node_years: f64, level: ConfidenceLevel) -> Self {
+        if node_years <= 0.0 {
+            return ProbabilityInterval {
+                lower: Probability::ZERO,
+                upper: Probability::ONE,
+            };
+        }
+        let p = estimate.value();
+        let half = level.z() * (p * (1.0 - p) / node_years).sqrt();
+        ProbabilityInterval {
+            lower: Probability::saturating(p - half),
+            upper: Probability::saturating(p + half),
+        }
+    }
+
+    /// Lower endpoint.
+    #[must_use]
+    pub fn lower(&self) -> Probability {
+        self.lower
+    }
+
+    /// Upper endpoint.
+    #[must_use]
+    pub fn upper(&self) -> Probability {
+        self.upper
+    }
+
+    /// Interval width.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.upper.value() - self.lower.value()
+    }
+
+    /// Whether a value lies within the interval.
+    #[must_use]
+    pub fn contains(&self, p: Probability) -> bool {
+        self.lower <= p && p <= self.upper
+    }
+}
+
+/// Sound bounds on system uptime given per-cluster down-probability
+/// intervals (one per cluster, in system order).
+///
+/// # Panics
+///
+/// Panics if `intervals.len() != system.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use uptime_core::confidence::{uptime_interval, ConfidenceLevel, ProbabilityInterval};
+/// use uptime_core::{ClusterSpec, Probability, SystemSpec};
+///
+/// # fn main() -> Result<(), uptime_core::ModelError> {
+/// let system = SystemSpec::builder()
+///     .cluster(ClusterSpec::singleton("web", Probability::new(0.02)?, 2.0)?)
+///     .build()?;
+/// let iv = ProbabilityInterval::wald(
+///     Probability::new(0.02)?, 100.0, ConfidenceLevel::P95,
+/// );
+/// let bounds = uptime_interval(&system, &[iv]);
+/// assert!(bounds.contains(system.uptime().availability()));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn uptime_interval(
+    system: &SystemSpec,
+    intervals: &[ProbabilityInterval],
+) -> ProbabilityInterval {
+    assert_eq!(
+        intervals.len(),
+        system.len(),
+        "one interval per cluster required"
+    );
+    let at = |pick: fn(&ProbabilityInterval) -> Probability| -> SystemSpec {
+        let clusters: Vec<ClusterSpec> = system
+            .clusters()
+            .iter()
+            .zip(intervals)
+            .map(|(c, iv)| c.with_node_down_probability(pick(iv)))
+            .collect();
+        SystemSpec::new(clusters).expect("same cardinality as valid system")
+    };
+    let low_p = at(ProbabilityInterval::lower);
+    let high_p = at(ProbabilityInterval::upper);
+
+    // D_s = B_s + F_s with B monotone increasing and F monotone decreasing
+    // in every P_i: bracket each term at its own worst endpoint.
+    let d_max = high_p.breakdown_probability().value() + low_p.failover_probability().value();
+    let d_min = low_p.breakdown_probability().value() + high_p.failover_probability().value();
+    ProbabilityInterval::new(
+        Probability::saturating(1.0 - d_max),
+        Probability::saturating(1.0 - d_min),
+    )
+}
+
+/// Bounds on the monthly TCO implied by an uptime interval (TCO is
+/// monotone decreasing in uptime): `(best_case, worst_case)`.
+#[must_use]
+pub fn tco_interval(
+    model: &TcoModel,
+    ha_cost: MoneyPerMonth,
+    uptime: ProbabilityInterval,
+) -> (MoneyPerMonth, MoneyPerMonth) {
+    let best = model.evaluate(ha_cost, uptime.upper()).total();
+    let worst = model.evaluate(ha_cost, uptime.lower()).total();
+    (best, worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sla::{PenaltyClause, SlaTarget};
+    use crate::units::FailuresPerYear;
+    use crate::Minutes;
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    fn paper_system() -> SystemSpec {
+        SystemSpec::builder()
+            .cluster(ClusterSpec::singleton("compute", p(0.01), 1.0).unwrap())
+            .cluster(ClusterSpec::singleton("storage", p(0.05), 2.0).unwrap())
+            .cluster(ClusterSpec::singleton("network", p(0.02), 1.0).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn wald_interval_shrinks_with_evidence() {
+        let thin = ProbabilityInterval::wald(p(0.05), 10.0, ConfidenceLevel::P95);
+        let thick = ProbabilityInterval::wald(p(0.05), 1000.0, ConfidenceLevel::P95);
+        assert!(thick.width() < thin.width());
+        assert!(thin.contains(p(0.05)));
+        assert!(thick.contains(p(0.05)));
+    }
+
+    #[test]
+    fn wald_zero_evidence_is_vacuous() {
+        let iv = ProbabilityInterval::wald(p(0.5), 0.0, ConfidenceLevel::P95);
+        assert_eq!(iv.lower(), Probability::ZERO);
+        assert_eq!(iv.upper(), Probability::ONE);
+    }
+
+    #[test]
+    fn wald_known_value() {
+        // p̂ = 0.05, 100 node-years, z = 1.96:
+        // half = 1.96 × √(0.05×0.95/100) ≈ 0.0427.
+        let iv = ProbabilityInterval::wald(p(0.05), 100.0, ConfidenceLevel::P95);
+        assert!((iv.lower().value() - (0.05 - 0.0427)).abs() < 1e-3);
+        assert!((iv.upper().value() - (0.05 + 0.0427)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn interval_constructor_orders_endpoints() {
+        let iv = ProbabilityInterval::new(p(0.9), p(0.1));
+        assert_eq!(iv.lower(), p(0.1));
+        assert_eq!(iv.upper(), p(0.9));
+        assert!((iv.width() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_interval_has_zero_width() {
+        let iv = ProbabilityInterval::exact(p(0.3));
+        assert_eq!(iv.width(), 0.0);
+        assert!(iv.contains(p(0.3)));
+        assert!(!iv.contains(p(0.31)));
+    }
+
+    #[test]
+    fn uptime_interval_brackets_point_estimate() {
+        let system = paper_system();
+        let intervals: Vec<_> = system
+            .clusters()
+            .iter()
+            .map(|c| {
+                ProbabilityInterval::wald(c.node_down_probability(), 200.0, ConfidenceLevel::P95)
+            })
+            .collect();
+        let bounds = uptime_interval(&system, &intervals);
+        let point = system.uptime().availability();
+        assert!(bounds.contains(point), "{bounds:?} vs {point}");
+        assert!(bounds.width() > 0.0);
+    }
+
+    #[test]
+    fn exact_intervals_collapse_to_point() {
+        let system = paper_system();
+        let intervals: Vec<_> = system
+            .clusters()
+            .iter()
+            .map(|c| ProbabilityInterval::exact(c.node_down_probability()))
+            .collect();
+        let bounds = uptime_interval(&system, &intervals);
+        let point = system.uptime().availability();
+        assert!((bounds.lower().value() - point.value()).abs() < 1e-12);
+        assert!((bounds.upper().value() - point.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_are_sound_for_any_interior_choice() {
+        // Sample the box: every interior evaluation must fall inside the
+        // reported bounds — including for systems with failover terms.
+        let system = SystemSpec::builder()
+            .cluster(
+                ClusterSpec::builder("c")
+                    .total_nodes(4)
+                    .standby_budget(1)
+                    .node_down_probability(p(0.05))
+                    .failures_per_year(FailuresPerYear::new(3.0).unwrap())
+                    .failover_time(Minutes::new(10.0).unwrap())
+                    .build()
+                    .unwrap(),
+            )
+            .cluster(ClusterSpec::singleton("d", p(0.02), 1.0).unwrap())
+            .build()
+            .unwrap();
+        let intervals = vec![
+            ProbabilityInterval::new(p(0.02), p(0.10)),
+            ProbabilityInterval::new(p(0.01), p(0.05)),
+        ];
+        let bounds = uptime_interval(&system, &intervals);
+        for a in [0.02, 0.05, 0.08, 0.10] {
+            for b in [0.01, 0.03, 0.05] {
+                let candidate = SystemSpec::new(vec![
+                    system.clusters()[0].with_node_down_probability(p(a)),
+                    system.clusters()[1].with_node_down_probability(p(b)),
+                ])
+                .unwrap();
+                let u = candidate.uptime().availability();
+                assert!(bounds.contains(u), "({a},{b}) -> {u} outside {bounds:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tco_interval_ordering() {
+        let model = TcoModel::new(
+            SlaTarget::from_percent(98.0).unwrap(),
+            PenaltyClause::per_hour(100.0).unwrap(),
+        );
+        let iv = ProbabilityInterval::new(p(0.95), p(0.99));
+        let (best, worst) = tco_interval(&model, MoneyPerMonth::new(350.0).unwrap(), iv);
+        assert!(best <= worst);
+        // Best case meets the SLA: TCO = C_HA.
+        assert_eq!(best.value(), 350.0);
+        assert!(worst.value() > 350.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one interval per cluster")]
+    fn arity_mismatch_panics() {
+        let _ = uptime_interval(&paper_system(), &[]);
+    }
+
+    #[test]
+    fn confidence_levels_ordered() {
+        assert!(ConfidenceLevel::P90.z() < ConfidenceLevel::P95.z());
+        assert!(ConfidenceLevel::P95.z() < ConfidenceLevel::P99.z());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let iv = ProbabilityInterval::new(p(0.1), p(0.2));
+        let json = serde_json::to_string(&iv).unwrap();
+        let back: ProbabilityInterval = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, iv);
+    }
+}

@@ -1,0 +1,122 @@
+//! Error types for model construction and evaluation.
+
+use std::fmt;
+
+/// Errors produced while building or evaluating the availability model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A probability was outside the closed interval `[0, 1]` or not finite.
+    InvalidProbability {
+        /// The offending raw value.
+        value: f64,
+    },
+    /// A cluster was declared with zero total nodes.
+    EmptyCluster {
+        /// Name of the offending cluster.
+        name: String,
+    },
+    /// A cluster's standby budget left no active nodes (`K̂ ≥ K`).
+    NoActiveNodes {
+        /// Name of the offending cluster.
+        name: String,
+        /// Total node count `K`.
+        total_nodes: u32,
+        /// Standby budget `K̂`.
+        standby_budget: u32,
+    },
+    /// A duration, rate, or cost was negative or not finite.
+    InvalidQuantity {
+        /// Human-readable name of the quantity.
+        what: &'static str,
+        /// The offending raw value.
+        value: f64,
+    },
+    /// A system was declared with no clusters.
+    EmptySystem,
+    /// An SLA target was outside `(0, 100]` percent.
+    InvalidSlaTarget {
+        /// The offending percentage.
+        percent: f64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidProbability { value } => {
+                write!(f, "probability {value} is not within [0, 1]")
+            }
+            ModelError::EmptyCluster { name } => {
+                write!(f, "cluster `{name}` has zero nodes")
+            }
+            ModelError::NoActiveNodes {
+                name,
+                total_nodes,
+                standby_budget,
+            } => write!(
+                f,
+                "cluster `{name}` has no active nodes: {total_nodes} total, \
+                 {standby_budget} standby budget"
+            ),
+            ModelError::InvalidQuantity { what, value } => {
+                write!(f, "{what} must be finite and non-negative, got {value}")
+            }
+            ModelError::EmptySystem => write!(f, "system must contain at least one cluster"),
+            ModelError::InvalidSlaTarget { percent } => {
+                write!(f, "SLA target {percent}% is not within (0, 100]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(ModelError, &str)> = vec![
+            (
+                ModelError::InvalidProbability { value: 1.5 },
+                "probability 1.5 is not within [0, 1]",
+            ),
+            (
+                ModelError::EmptyCluster { name: "web".into() },
+                "cluster `web` has zero nodes",
+            ),
+            (
+                ModelError::EmptySystem,
+                "system must contain at least one cluster",
+            ),
+            (
+                ModelError::InvalidSlaTarget { percent: 120.0 },
+                "SLA target 120% is not within (0, 100]",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn no_active_nodes_message_mentions_both_counts() {
+        let err = ModelError::NoActiveNodes {
+            name: "db".into(),
+            total_nodes: 2,
+            standby_budget: 2,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("db"));
+        assert!(msg.contains("2 total"));
+        assert!(msg.contains("2 standby"));
+    }
+
+    #[test]
+    fn error_is_send_sync_and_std_error() {
+        fn assert_good<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_good::<ModelError>();
+    }
+}

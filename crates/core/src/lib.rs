@@ -1,0 +1,75 @@
+//! # uptime-core
+//!
+//! Probabilistic availability and total-cost-of-ownership (TCO) model for
+//! cloud-hosted systems composed of a *serial* chain of redundant clusters,
+//! as proposed in
+//!
+//! > S. Venkateswaran and S. Sarkar, *"Uptime-Optimized Cloud Architecture
+//! > as a Brokered Service"*, DSN 2017.
+//!
+//! A system `S` is a serial combination of `n` clusters. Cluster `C_i` has
+//! `K_i` nodes, of which `K_i - K̂_i` must be active for the cluster to be
+//! operational (`K̂_i` is the standby/failure budget — the paper's
+//! *k-redundancy* model). Each node of `C_i` is independently down with
+//! probability `P_i`, experiences `f_i` failures per year, and a failover
+//! takes `t_i` minutes during which the cluster is unavailable.
+//!
+//! The crate evaluates:
+//!
+//! * **Breakdown downtime** `B_s` (paper Eq. 2) — probability that at least
+//!   one cluster has more than `K̂_i` nodes down.
+//! * **Failover downtime** `F_s` (paper Eq. 3) — expected fraction of time
+//!   lost to failover transitions while every other cluster is healthy.
+//! * **System uptime** `U_s = 1 − (B_s + F_s)` (paper Eqs. 1 & 4).
+//! * **Monthly TCO** (paper Eq. 5) — HA cost plus the expected SLA-slippage
+//!   penalty.
+//!
+//! # Quick example
+//!
+//! Reproduce the paper's solution option #1 (no HA anywhere, Fig. 4):
+//!
+//! ```
+//! use uptime_core::{ClusterSpec, Probability, SystemSpec};
+//!
+//! # fn main() -> Result<(), uptime_core::ModelError> {
+//! let system = SystemSpec::builder()
+//!     .cluster(ClusterSpec::singleton("compute", Probability::new(0.01)?, 1.0)?)
+//!     .cluster(ClusterSpec::singleton("storage", Probability::new(0.05)?, 2.0)?)
+//!     .cluster(ClusterSpec::singleton("network", Probability::new(0.02)?, 1.0)?)
+//!     .build()?;
+//!
+//! let uptime = system.uptime();
+//! assert!((uptime.availability().value() - 0.9217).abs() < 1e-4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binomial;
+pub mod cluster;
+pub mod composition;
+pub mod confidence;
+pub mod error;
+pub mod mtbf;
+pub mod nines;
+pub mod sensitivity;
+pub mod sla;
+pub mod system;
+pub mod tco;
+pub mod units;
+
+pub use cluster::{ClusterSpec, ClusterSpecBuilder};
+pub use composition::Block;
+pub use confidence::{ConfidenceLevel, ProbabilityInterval};
+pub use error::ModelError;
+pub use mtbf::{FailureDynamics, Mtbf, Mttr};
+pub use nines::Nines;
+pub use sensitivity::{Sensitivity, SensitivityReport};
+pub use sla::{PenaltyClause, RoundingPolicy, SlaTarget};
+pub use system::{SystemSpec, SystemSpecBuilder, UptimeBreakdown};
+pub use tco::{TcoBreakdown, TcoModel};
+pub use units::{
+    FailuresPerYear, Minutes, MoneyPerMonth, Probability, HOURS_PER_MONTH, MINUTES_PER_YEAR,
+};

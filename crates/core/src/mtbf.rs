@@ -1,0 +1,243 @@
+//! Conversions between the paper's `(P, f)` parameterization and the
+//! classical MTBF/MTTR view used by the discrete-event simulator.
+//!
+//! If a node suffers `f` failures per year and is down with steady-state
+//! probability `P`, then over one year it spends `P·δ` minutes down across
+//! `f` outages, so:
+//!
+//! ```text
+//! MTTR = P · δ / f          (minutes per repair)
+//! MTBF = (1 − P) · δ / f    (minutes of healthy operation between failures)
+//! ```
+//!
+//! and conversely `P = MTTR / (MTBF + MTTR)`, `f = δ / (MTBF + MTTR)`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::units::{FailuresPerYear, Minutes, Probability, MINUTES_PER_YEAR};
+
+/// Mean time between failures, in minutes of healthy operation.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Mtbf(Minutes);
+
+impl Mtbf {
+    /// Creates an MTBF from minutes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidQuantity`] if `minutes` is non-positive
+    /// or not finite.
+    pub fn from_minutes(minutes: f64) -> Result<Self, ModelError> {
+        if !(minutes.is_finite() && minutes > 0.0) {
+            return Err(ModelError::InvalidQuantity {
+                what: "MTBF minutes",
+                value: minutes,
+            });
+        }
+        Ok(Mtbf(Minutes::new(minutes)?))
+    }
+
+    /// The MTBF as a [`Minutes`] value.
+    #[must_use]
+    pub fn as_minutes(self) -> Minutes {
+        self.0
+    }
+}
+
+/// Mean time to repair, in minutes.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Mttr(Minutes);
+
+impl Mttr {
+    /// Creates an MTTR from minutes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidQuantity`] if `minutes` is negative or
+    /// not finite.
+    pub fn from_minutes(minutes: f64) -> Result<Self, ModelError> {
+        if !(minutes.is_finite() && minutes >= 0.0) {
+            return Err(ModelError::InvalidQuantity {
+                what: "MTTR minutes",
+                value: minutes,
+            });
+        }
+        Ok(Mttr(Minutes::new(minutes)?))
+    }
+
+    /// The MTTR as a [`Minutes`] value.
+    #[must_use]
+    pub fn as_minutes(self) -> Minutes {
+        self.0
+    }
+}
+
+/// A node's failure dynamics: the `(MTBF, MTTR)` pair equivalent to the
+/// paper's `(P, f)`.
+///
+/// # Examples
+///
+/// The paper's storage node (`P = 5 %`, `f = 2/yr`) repairs in
+/// `0.05 × 525600 / 2 = 13140` minutes ≈ 9.1 days:
+///
+/// ```
+/// use uptime_core::{FailureDynamics, FailuresPerYear, Probability};
+///
+/// # fn main() -> Result<(), uptime_core::ModelError> {
+/// let dyn_ = FailureDynamics::from_paper_params(
+///     Probability::new(0.05)?,
+///     FailuresPerYear::new(2.0)?,
+/// )?;
+/// assert!((dyn_.mttr().as_minutes().value() - 13_140.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureDynamics {
+    mtbf: Mtbf,
+    mttr: Mttr,
+}
+
+impl FailureDynamics {
+    /// Creates dynamics from explicit MTBF and MTTR.
+    #[must_use]
+    pub fn new(mtbf: Mtbf, mttr: Mttr) -> Self {
+        FailureDynamics { mtbf, mttr }
+    }
+
+    /// Derives `(MTBF, MTTR)` from the paper's `(P, f)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidQuantity`] when `f = 0` with `P > 0`
+    /// (a node that is sometimes down but never fails is contradictory) or
+    /// when `P = 1` (a node that is always down has no MTBF).
+    pub fn from_paper_params(
+        down_probability: Probability,
+        failures_per_year: FailuresPerYear,
+    ) -> Result<Self, ModelError> {
+        let p = down_probability.value();
+        let f = failures_per_year.value();
+        if p >= 1.0 {
+            return Err(ModelError::InvalidQuantity {
+                what: "down probability for MTBF derivation",
+                value: p,
+            });
+        }
+        if f <= 0.0 {
+            if p > 0.0 {
+                return Err(ModelError::InvalidQuantity {
+                    what: "failures per year (zero with positive downtime)",
+                    value: f,
+                });
+            }
+            // Never fails: model as one failure per 10^9 years, instant repair.
+            return Ok(FailureDynamics {
+                mtbf: Mtbf::from_minutes(MINUTES_PER_YEAR * 1e9)?,
+                mttr: Mttr::from_minutes(0.0)?,
+            });
+        }
+        Ok(FailureDynamics {
+            mtbf: Mtbf::from_minutes((1.0 - p) * MINUTES_PER_YEAR / f)?,
+            mttr: Mttr::from_minutes(p * MINUTES_PER_YEAR / f)?,
+        })
+    }
+
+    /// Mean time between failures.
+    #[must_use]
+    pub fn mtbf(&self) -> Mtbf {
+        self.mtbf
+    }
+
+    /// Mean time to repair.
+    #[must_use]
+    pub fn mttr(&self) -> Mttr {
+        self.mttr
+    }
+
+    /// Steady-state down probability, `MTTR / (MTBF + MTTR)`.
+    #[must_use]
+    pub fn down_probability(&self) -> Probability {
+        let mtbf = self.mtbf.as_minutes().value();
+        let mttr = self.mttr.as_minutes().value();
+        Probability::saturating(mttr / (mtbf + mttr))
+    }
+
+    /// Failures per year, `δ / (MTBF + MTTR)`.
+    #[must_use]
+    pub fn failures_per_year(&self) -> FailuresPerYear {
+        let cycle = self.mtbf.as_minutes().value() + self.mttr.as_minutes().value();
+        FailuresPerYear::new(MINUTES_PER_YEAR / cycle)
+            .expect("positive cycle length yields a valid rate")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    fn f(v: f64) -> FailuresPerYear {
+        FailuresPerYear::new(v).unwrap()
+    }
+
+    #[test]
+    fn paper_compute_node_dynamics() {
+        // P = 1 %, f = 1/yr: MTTR = 5256 min (3.65 days), MTBF = 520344.
+        let d = FailureDynamics::from_paper_params(p(0.01), f(1.0)).unwrap();
+        assert!((d.mttr().as_minutes().value() - 5256.0).abs() < 1e-9);
+        assert!((d.mtbf().as_minutes().value() - 520_344.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roundtrip_p_and_f() {
+        for &(pv, fv) in &[(0.01, 1.0), (0.05, 2.0), (0.02, 1.0), (0.2, 6.0)] {
+            let d = FailureDynamics::from_paper_params(p(pv), f(fv)).unwrap();
+            assert!((d.down_probability().value() - pv).abs() < 1e-12, "P {pv}");
+            assert!((d.failures_per_year().value() - fv).abs() < 1e-9, "f {fv}");
+        }
+    }
+
+    #[test]
+    fn never_failing_node() {
+        let d = FailureDynamics::from_paper_params(p(0.0), f(0.0)).unwrap();
+        assert_eq!(d.down_probability().value(), 0.0);
+        assert!(d.failures_per_year().value() < 1e-6);
+    }
+
+    #[test]
+    fn contradictory_params_rejected() {
+        assert!(FailureDynamics::from_paper_params(p(0.5), f(0.0)).is_err());
+        assert!(FailureDynamics::from_paper_params(p(1.0), f(1.0)).is_err());
+    }
+
+    #[test]
+    fn validation_of_raw_constructors() {
+        assert!(Mtbf::from_minutes(0.0).is_err());
+        assert!(Mtbf::from_minutes(-1.0).is_err());
+        assert!(Mtbf::from_minutes(f64::NAN).is_err());
+        assert!(Mttr::from_minutes(0.0).is_ok());
+        assert!(Mttr::from_minutes(-1.0).is_err());
+    }
+
+    #[test]
+    fn explicit_construction() {
+        let d = FailureDynamics::new(
+            Mtbf::from_minutes(900.0).unwrap(),
+            Mttr::from_minutes(100.0).unwrap(),
+        );
+        assert!((d.down_probability().value() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = FailureDynamics::from_paper_params(p(0.05), f(2.0)).unwrap();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: FailureDynamics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

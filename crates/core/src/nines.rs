@@ -1,0 +1,164 @@
+//! "Nines" notation and downtime-budget conversions.
+//!
+//! Operators speak in nines ("three nines" = 99.9 %); contracts speak in
+//! hours of allowed downtime. This module converts between the two and the
+//! model's [`Probability`] uptime.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::{Minutes, Probability, HOURS_PER_MONTH, MINUTES_PER_YEAR};
+
+/// An availability class expressed as a (possibly fractional) count of
+/// nines: `nines = −log10(1 − U)`.
+///
+/// # Examples
+///
+/// ```
+/// use uptime_core::{Nines, Probability};
+///
+/// # fn main() -> Result<(), uptime_core::ModelError> {
+/// let three_nines = Nines::from_uptime(Probability::new(0.999)?);
+/// assert!((three_nines.count() - 3.0).abs() < 1e-9);
+/// assert!((three_nines.downtime_minutes_per_year().value() - 525.6).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Nines(f64);
+
+impl Nines {
+    /// Computes the nines count of an uptime probability.
+    ///
+    /// A perfect uptime of 1.0 maps to `f64::INFINITY`.
+    #[must_use]
+    pub fn from_uptime(uptime: Probability) -> Self {
+        let downtime = 1.0 - uptime.value();
+        if downtime <= 0.0 {
+            Nines(f64::INFINITY)
+        } else {
+            Nines(-downtime.log10())
+        }
+    }
+
+    /// Builds the uptime probability for an integer-or-fractional nines
+    /// count, e.g. `3.5` nines = 99.968 %.
+    #[must_use]
+    pub fn to_uptime(self) -> Probability {
+        if self.0.is_infinite() {
+            Probability::ONE
+        } else {
+            Probability::saturating(1.0 - 10f64.powf(-self.0))
+        }
+    }
+
+    /// The raw nines count.
+    #[must_use]
+    pub fn count(self) -> f64 {
+        self.0
+    }
+
+    /// Creates a nines value directly from a count.
+    #[must_use]
+    pub fn from_count(count: f64) -> Self {
+        Nines(count)
+    }
+
+    /// Allowed downtime per year at this availability class.
+    #[must_use]
+    pub fn downtime_minutes_per_year(self) -> Minutes {
+        Minutes::new((1.0 - self.to_uptime().value()) * MINUTES_PER_YEAR)
+            .expect("downtime fraction is within [0,1]")
+    }
+
+    /// Allowed downtime per contractual month (730 h) in hours.
+    #[must_use]
+    pub fn downtime_hours_per_month(self) -> f64 {
+        (1.0 - self.to_uptime().value()) * HOURS_PER_MONTH
+    }
+}
+
+impl fmt::Display for Nines {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_infinite() {
+            write!(f, "perfect availability")
+        } else {
+            write!(
+                f,
+                "{:.2} nines ({:.4}%)",
+                self.0,
+                self.to_uptime().as_percent()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    #[test]
+    fn canonical_nines_table() {
+        // (uptime, nines, minutes/year) triplets from operator folklore.
+        let cases = [
+            (0.9, 1.0, 52_560.0),
+            (0.99, 2.0, 5_256.0),
+            (0.999, 3.0, 525.6),
+            (0.9999, 4.0, 52.56),
+            (0.99999, 5.0, 5.256),
+        ];
+        for (uptime, nines, minutes) in cases {
+            let n = Nines::from_uptime(p(uptime));
+            assert!((n.count() - nines).abs() < 1e-9, "uptime {uptime}");
+            assert!(
+                (n.downtime_minutes_per_year().value() - minutes).abs() < 1e-6,
+                "uptime {uptime}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_uptime_nines() {
+        for uptime in [0.5, 0.9217, 0.98, 0.9975, 0.99999] {
+            let back = Nines::from_uptime(p(uptime)).to_uptime();
+            assert!((back.value() - uptime).abs() < 1e-12, "uptime {uptime}");
+        }
+    }
+
+    #[test]
+    fn perfect_uptime_is_infinite_nines() {
+        let n = Nines::from_uptime(Probability::ONE);
+        assert!(n.count().is_infinite());
+        assert_eq!(n.to_uptime(), Probability::ONE);
+        assert_eq!(n.downtime_minutes_per_year().value(), 0.0);
+        assert_eq!(n.to_string(), "perfect availability");
+    }
+
+    #[test]
+    fn paper_case_study_in_nines() {
+        // 98 % SLA is about 1.7 nines; option #5's 98.71 % is about 1.9.
+        let sla = Nines::from_uptime(p(0.98));
+        assert!((sla.count() - 1.699).abs() < 0.001);
+        let opt5 = Nines::from_uptime(p(0.9871));
+        assert!(opt5.count() > sla.count());
+    }
+
+    #[test]
+    fn monthly_budget() {
+        let two_nines = Nines::from_count(2.0);
+        assert!((two_nines.downtime_hours_per_month() - 7.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_format() {
+        let n = Nines::from_count(3.0);
+        let s = n.to_string();
+        assert!(s.contains("3.00 nines"));
+        assert!(s.contains("99.9"));
+    }
+}

@@ -1,0 +1,290 @@
+//! Sensitivity of system uptime to the broker-supplied parameters.
+//!
+//! The paper's *threats to validity* (§IV) notes that the broker's recorded
+//! `P_i`, `f_i`, `t_i` may be skewed by marketplace dynamics. This module
+//! quantifies how much a skew in each parameter moves the modeled uptime,
+//! via central finite differences — so a broker can flag recommendations
+//! that hinge on poorly-estimated inputs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::system::SystemSpec;
+use crate::units::{FailuresPerYear, Minutes, Probability};
+
+/// Relative step used for finite differencing.
+const REL_STEP: f64 = 1e-4;
+/// Absolute fallback step for parameters at zero.
+const ABS_STEP: f64 = 1e-6;
+
+/// The sensitivity of `U_s` to one cluster's parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sensitivity {
+    /// Index of the cluster within the system.
+    pub cluster_index: usize,
+    /// `∂U_s/∂P_i` — change in uptime per unit change in node-down
+    /// probability (dimensionless; expected negative).
+    pub d_uptime_d_down_probability: f64,
+    /// `∂U_s/∂t_i` — change in uptime per extra failover minute
+    /// (expected non-positive).
+    pub d_uptime_d_failover_minute: f64,
+    /// `∂U_s/∂f_i` — change in uptime per extra yearly failure
+    /// (expected non-positive).
+    pub d_uptime_d_failures_per_year: f64,
+}
+
+impl Sensitivity {
+    /// The largest-magnitude derivative, used for ranking risky inputs.
+    #[must_use]
+    pub fn dominant_magnitude(&self) -> f64 {
+        self.d_uptime_d_down_probability
+            .abs()
+            .max(self.d_uptime_d_failover_minute.abs())
+            .max(self.d_uptime_d_failures_per_year.abs())
+    }
+}
+
+/// Sensitivities for every cluster of a system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityReport {
+    entries: Vec<Sensitivity>,
+}
+
+impl SensitivityReport {
+    /// Computes the report for a system via central finite differences.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uptime_core::{ClusterSpec, Probability, SensitivityReport, SystemSpec};
+    ///
+    /// # fn main() -> Result<(), uptime_core::ModelError> {
+    /// let system = SystemSpec::builder()
+    ///     .cluster(ClusterSpec::singleton("web", Probability::new(0.02)?, 2.0)?)
+    ///     .cluster(ClusterSpec::singleton("db", Probability::new(0.05)?, 2.0)?)
+    ///     .build()?;
+    /// let report = SensitivityReport::analyze(&system);
+    /// // The flakier database dominates the uptime risk.
+    /// assert_eq!(report.most_sensitive_cluster().unwrap().cluster_index, 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn analyze(system: &SystemSpec) -> Self {
+        let entries = (0..system.len())
+            .map(|i| analyze_cluster(system, i))
+            .collect();
+        SensitivityReport { entries }
+    }
+
+    /// Per-cluster sensitivities, in system order.
+    #[must_use]
+    pub fn entries(&self) -> &[Sensitivity] {
+        &self.entries
+    }
+
+    /// The cluster whose parameters most influence uptime.
+    #[must_use]
+    pub fn most_sensitive_cluster(&self) -> Option<&Sensitivity> {
+        self.entries.iter().max_by(|a, b| {
+            a.dominant_magnitude()
+                .partial_cmp(&b.dominant_magnitude())
+                .expect("finite differences are finite")
+        })
+    }
+}
+
+fn uptime_with(
+    system: &SystemSpec,
+    index: usize,
+    replace: impl Fn(&crate::ClusterSpec) -> crate::ClusterSpec,
+) -> f64 {
+    let clusters: Vec<_> = system
+        .clusters()
+        .iter()
+        .enumerate()
+        .map(|(i, c)| if i == index { replace(c) } else { c.clone() })
+        .collect();
+    SystemSpec::new(clusters)
+        .expect("same cardinality as a valid system")
+        .uptime()
+        .availability()
+        .value()
+}
+
+fn central_difference(lo_val: f64, hi_val: f64, step: f64) -> f64 {
+    (hi_val - lo_val) / (2.0 * step)
+}
+
+fn analyze_cluster(system: &SystemSpec, index: usize) -> Sensitivity {
+    let cluster = &system.clusters()[index];
+
+    // P_i: step within [0, 1].
+    let p0 = cluster.node_down_probability().value();
+    let hp = (p0 * REL_STEP)
+        .max(ABS_STEP)
+        .min((1.0 - p0).min(p0).max(ABS_STEP));
+    let (p_lo, p_hi) = ((p0 - hp).max(0.0), (p0 + hp).min(1.0));
+    let dp = {
+        let lo = uptime_with(system, index, |c| {
+            c.with_node_down_probability(Probability::saturating(p_lo))
+        });
+        let hi = uptime_with(system, index, |c| {
+            c.with_node_down_probability(Probability::saturating(p_hi))
+        });
+        (hi - lo) / (p_hi - p_lo)
+    };
+
+    // t_i.
+    let t0 = cluster.failover_time().value();
+    let ht = (t0 * REL_STEP).max(ABS_STEP);
+    let t_lo = (t0 - ht).max(0.0);
+    let t_hi = t0 + ht;
+    let dt = {
+        let lo = uptime_with(system, index, |c| {
+            c.with_failover_time(Minutes::new(t_lo).expect("non-negative"))
+        });
+        let hi = uptime_with(system, index, |c| {
+            c.with_failover_time(Minutes::new(t_hi).expect("non-negative"))
+        });
+        (hi - lo) / (t_hi - t_lo)
+    };
+
+    // f_i.
+    let f0 = cluster.failures_per_year().value();
+    let hf = (f0 * REL_STEP).max(ABS_STEP);
+    let f_lo = (f0 - hf).max(0.0);
+    let f_hi = f0 + hf;
+    let df = {
+        let lo = uptime_with(system, index, |c| {
+            c.with_failures_per_year(FailuresPerYear::new(f_lo).expect("non-negative"))
+        });
+        let hi = uptime_with(system, index, |c| {
+            c.with_failures_per_year(FailuresPerYear::new(f_hi).expect("non-negative"))
+        });
+        central_difference(lo, hi, (f_hi - f_lo) / 2.0)
+    };
+
+    Sensitivity {
+        cluster_index: index,
+        d_uptime_d_down_probability: dp,
+        d_uptime_d_failover_minute: dt,
+        d_uptime_d_failures_per_year: df,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    fn paper_system() -> SystemSpec {
+        SystemSpec::builder()
+            .cluster(ClusterSpec::singleton("compute", p(0.01), 1.0).unwrap())
+            .cluster(ClusterSpec::singleton("storage", p(0.05), 2.0).unwrap())
+            .cluster(ClusterSpec::singleton("network", p(0.02), 1.0).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    fn ha_system() -> SystemSpec {
+        SystemSpec::builder()
+            .cluster(
+                ClusterSpec::builder("compute")
+                    .total_nodes(4)
+                    .standby_budget(1)
+                    .node_down_probability(p(0.01))
+                    .failures_per_year(FailuresPerYear::new(1.0).unwrap())
+                    .failover_time(Minutes::new(6.0).unwrap())
+                    .build()
+                    .unwrap(),
+            )
+            .cluster(ClusterSpec::singleton("storage", p(0.05), 2.0).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn singleton_sensitivity_matches_analytic_derivative() {
+        // For serial singletons, U = Π(1−P_i), so ∂U/∂P_1 = −(1−P_2)(1−P_3).
+        let report = SensitivityReport::analyze(&paper_system());
+        let s = &report.entries()[0];
+        let expected = -(0.95 * 0.98);
+        assert!(
+            (s.d_uptime_d_down_probability - expected).abs() < 1e-6,
+            "got {}",
+            s.d_uptime_d_down_probability
+        );
+    }
+
+    #[test]
+    fn raising_down_probability_lowers_uptime() {
+        for s in SensitivityReport::analyze(&paper_system()).entries() {
+            assert!(s.d_uptime_d_down_probability < 0.0);
+        }
+    }
+
+    #[test]
+    fn failover_time_derivative_matches_analytic_for_singletons() {
+        // Singletons have t = 0 but f > 0, so adding failover minutes costs
+        // uptime at slope −f·(K−K̂)/δ · Π_{j≠i}(1−P_j).
+        let report = SensitivityReport::analyze(&paper_system());
+        let expected = [
+            -(1.0 / 525_600.0) * (0.95 * 0.98),
+            -(2.0 / 525_600.0) * (0.99 * 0.98),
+            -(1.0 / 525_600.0) * (0.99 * 0.95),
+        ];
+        for (s, want) in report.entries().iter().zip(expected) {
+            assert!(
+                (s.d_uptime_d_failover_minute - want).abs() < 1e-9,
+                "cluster {}: got {} want {want}",
+                s.cluster_index,
+                s.d_uptime_d_failover_minute
+            );
+        }
+    }
+
+    #[test]
+    fn failover_derivative_negative_with_ha() {
+        let report = SensitivityReport::analyze(&ha_system());
+        let compute = &report.entries()[0];
+        // Adding failover minutes must cost uptime: slope = −f·(K−K̂)/δ ×
+        // P(others up) = −(3/525600) × 0.95.
+        let expected = -(3.0 / 525_600.0) * 0.95;
+        assert!(
+            (compute.d_uptime_d_failover_minute - expected).abs() < 1e-9,
+            "got {}",
+            compute.d_uptime_d_failover_minute
+        );
+        assert!(compute.d_uptime_d_failures_per_year < 0.0);
+    }
+
+    #[test]
+    fn most_sensitive_cluster_is_storage_in_paper_system() {
+        // Storage has the highest P and the biggest derivative product of
+        // the others: |∂U/∂P_storage| = 0.99×0.98 = 0.9702, the largest.
+        let report = SensitivityReport::analyze(&paper_system());
+        let top = report.most_sensitive_cluster().unwrap();
+        assert_eq!(top.cluster_index, 1);
+    }
+
+    #[test]
+    fn report_has_one_entry_per_cluster() {
+        let report = SensitivityReport::analyze(&paper_system());
+        assert_eq!(report.entries().len(), 3);
+        for (i, e) in report.entries().iter().enumerate() {
+            assert_eq!(e.cluster_index, i);
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let report = SensitivityReport::analyze(&ha_system());
+        let json = serde_json::to_string(&report).unwrap();
+        let back: SensitivityReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

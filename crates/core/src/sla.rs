@@ -1,0 +1,362 @@
+//! SLA targets, penalty clauses, and slippage-hour accounting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::units::{MoneyPerMonth, Probability, HOURS_PER_MONTH};
+
+/// How fractional slippage hours are converted to billable hours.
+///
+/// The paper's tables bill whole hours: Fig. 4 shows 42.57 h → "43 hours
+/// slippage" → $4300, and option #7 in Fig. 10 implies 2.2 h → 3 h → $300.
+/// Both are consistent with taking the **ceiling**, which is therefore the
+/// default used by the reproduction harness; [`RoundingPolicy::Exact`] is
+/// provided for analytical work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum RoundingPolicy {
+    /// Bill exact fractional hours.
+    Exact,
+    /// Round to the nearest whole hour.
+    NearestHour,
+    /// Round up to the next whole hour (paper's apparent convention).
+    #[default]
+    CeilHour,
+}
+
+impl RoundingPolicy {
+    /// Applies the policy to a raw hour count.
+    #[must_use]
+    pub fn apply(self, hours: f64) -> f64 {
+        match self {
+            RoundingPolicy::Exact => hours,
+            RoundingPolicy::NearestHour => hours.round(),
+            RoundingPolicy::CeilHour => hours.ceil(),
+        }
+    }
+}
+
+/// A contractual uptime target `U_SLA`, e.g. 98 %.
+///
+/// # Examples
+///
+/// ```
+/// use uptime_core::{Probability, SlaTarget};
+///
+/// # fn main() -> Result<(), uptime_core::ModelError> {
+/// let sla = SlaTarget::from_percent(98.0)?;
+/// assert!(sla.is_met_by(Probability::new(0.9871)?));
+/// assert!(!sla.is_met_by(Probability::new(0.9217)?));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct SlaTarget {
+    target: Probability,
+}
+
+impl SlaTarget {
+    /// Creates an SLA target from a percentage in `(0, 100]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidSlaTarget`] for non-finite values or
+    /// values outside `(0, 100]`.
+    pub fn from_percent(percent: f64) -> Result<Self, ModelError> {
+        if !(percent.is_finite() && percent > 0.0 && percent <= 100.0) {
+            return Err(ModelError::InvalidSlaTarget { percent });
+        }
+        Ok(SlaTarget {
+            target: Probability::new(percent / 100.0)
+                .map_err(|_| ModelError::InvalidSlaTarget { percent })?,
+        })
+    }
+
+    /// Creates an SLA target from a probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidSlaTarget`] if the probability is zero.
+    pub fn from_probability(p: Probability) -> Result<Self, ModelError> {
+        if p.value() == 0.0 {
+            return Err(ModelError::InvalidSlaTarget { percent: 0.0 });
+        }
+        Ok(SlaTarget { target: p })
+    }
+
+    /// The target as a probability.
+    #[must_use]
+    pub fn target(&self) -> Probability {
+        self.target
+    }
+
+    /// The target as a percentage.
+    #[must_use]
+    pub fn as_percent(&self) -> f64 {
+        self.target.as_percent()
+    }
+
+    /// Whether an achieved uptime satisfies this SLA.
+    #[must_use]
+    pub fn is_met_by(&self, uptime: Probability) -> bool {
+        uptime >= self.target
+    }
+
+    /// Raw (unrounded) slippage hours per contractual month:
+    /// `max(0, U_SLA − U_s) × 730` (the paper's `δ/(12×60)` conversion).
+    #[must_use]
+    pub fn slippage_hours_per_month(&self, uptime: Probability) -> f64 {
+        (self.target.value() - uptime.value()).max(0.0) * HOURS_PER_MONTH
+    }
+}
+
+/// A financial penalty clause for SLA slippage.
+///
+/// The paper uses a linear clause: `SP` dollars per hour of slippage.
+/// [`PenaltyClause::Tiered`] extends this with escalating rates, a common
+/// real-contract shape, used in the hybrid-brokerage scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum PenaltyClause {
+    /// Flat rate per slippage hour (the paper's `SP`).
+    PerHour {
+        /// Dollars charged per hour of slippage.
+        rate: f64,
+    },
+    /// Escalating rates: each tier covers slippage hours up to `up_to_hours`
+    /// (cumulative) at `rate`; hours beyond the last tier bill at the last
+    /// tier's rate.
+    Tiered {
+        /// Tiers in ascending `up_to_hours` order.
+        tiers: Vec<PenaltyTier>,
+    },
+}
+
+/// One tier of a tiered penalty clause.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PenaltyTier {
+    /// Cumulative hour boundary this tier covers up to.
+    pub up_to_hours: f64,
+    /// Dollars per hour within this tier.
+    pub rate: f64,
+}
+
+impl PenaltyClause {
+    /// Creates the paper's flat per-hour clause.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidQuantity`] if `rate` is negative or not
+    /// finite.
+    pub fn per_hour(rate: f64) -> Result<Self, ModelError> {
+        if !(rate.is_finite() && rate >= 0.0) {
+            return Err(ModelError::InvalidQuantity {
+                what: "penalty rate per hour",
+                value: rate,
+            });
+        }
+        Ok(PenaltyClause::PerHour { rate })
+    }
+
+    /// Creates a tiered clause.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidQuantity`] if tiers are empty, any rate
+    /// or boundary is invalid, or boundaries are not strictly increasing.
+    pub fn tiered(tiers: Vec<PenaltyTier>) -> Result<Self, ModelError> {
+        if tiers.is_empty() {
+            return Err(ModelError::InvalidQuantity {
+                what: "tier count",
+                value: 0.0,
+            });
+        }
+        let mut prev = 0.0;
+        for t in &tiers {
+            if !(t.up_to_hours.is_finite() && t.up_to_hours > prev) {
+                return Err(ModelError::InvalidQuantity {
+                    what: "tier hour boundary",
+                    value: t.up_to_hours,
+                });
+            }
+            if !(t.rate.is_finite() && t.rate >= 0.0) {
+                return Err(ModelError::InvalidQuantity {
+                    what: "tier rate",
+                    value: t.rate,
+                });
+            }
+            prev = t.up_to_hours;
+        }
+        Ok(PenaltyClause::Tiered { tiers })
+    }
+
+    /// Dollars owed for the given number of billable slippage hours.
+    #[must_use]
+    pub fn charge(&self, hours: f64) -> MoneyPerMonth {
+        let hours = hours.max(0.0);
+        let amount = match self {
+            PenaltyClause::PerHour { rate } => rate * hours,
+            PenaltyClause::Tiered { tiers } => {
+                let mut remaining = hours;
+                let mut total = 0.0;
+                let mut prev_boundary = 0.0;
+                let mut last_rate = 0.0;
+                for t in tiers {
+                    let span = (t.up_to_hours - prev_boundary).max(0.0);
+                    let billed = remaining.min(span);
+                    total += billed * t.rate;
+                    remaining -= billed;
+                    prev_boundary = t.up_to_hours;
+                    last_rate = t.rate;
+                    if remaining <= 0.0 {
+                        break;
+                    }
+                }
+                total + remaining.max(0.0) * last_rate
+            }
+        };
+        MoneyPerMonth::new(amount).expect("non-negative hours times non-negative rate")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounding_policies() {
+        assert_eq!(RoundingPolicy::Exact.apply(42.57), 42.57);
+        assert_eq!(RoundingPolicy::NearestHour.apply(42.57), 43.0);
+        assert_eq!(RoundingPolicy::NearestHour.apply(2.2), 2.0);
+        assert_eq!(RoundingPolicy::CeilHour.apply(42.57), 43.0);
+        assert_eq!(RoundingPolicy::CeilHour.apply(2.2), 3.0);
+        assert_eq!(RoundingPolicy::default(), RoundingPolicy::CeilHour);
+    }
+
+    #[test]
+    fn sla_target_validation() {
+        assert!(SlaTarget::from_percent(98.0).is_ok());
+        assert!(SlaTarget::from_percent(100.0).is_ok());
+        assert!(SlaTarget::from_percent(0.0).is_err());
+        assert!(SlaTarget::from_percent(-3.0).is_err());
+        assert!(SlaTarget::from_percent(100.5).is_err());
+        assert!(SlaTarget::from_percent(f64::NAN).is_err());
+        assert!(SlaTarget::from_probability(Probability::ZERO).is_err());
+        assert!(SlaTarget::from_probability(Probability::ONE).is_ok());
+    }
+
+    #[test]
+    fn sla_met_and_slippage() {
+        let sla = SlaTarget::from_percent(98.0).unwrap();
+        assert_eq!(sla.as_percent(), 98.0);
+        let u_good = Probability::new(0.9871).unwrap();
+        let u_bad = Probability::new(0.9217).unwrap();
+        assert!(sla.is_met_by(u_good));
+        assert_eq!(sla.slippage_hours_per_month(u_good), 0.0);
+        // Paper option #1: (0.98 − 0.9217) × 730 ≈ 42.6 h.
+        let hours = sla.slippage_hours_per_month(u_bad);
+        assert!((hours - 42.559).abs() < 1e-2, "got {hours}");
+    }
+
+    #[test]
+    fn exact_boundary_counts_as_met() {
+        let sla = SlaTarget::from_percent(98.0).unwrap();
+        assert!(sla.is_met_by(Probability::new(0.98).unwrap()));
+        assert_eq!(
+            sla.slippage_hours_per_month(Probability::new(0.98).unwrap()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn per_hour_clause_matches_paper() {
+        let clause = PenaltyClause::per_hour(100.0).unwrap();
+        assert_eq!(clause.charge(43.0).value(), 4300.0);
+        assert_eq!(clause.charge(0.0).value(), 0.0);
+        assert_eq!(clause.charge(-5.0).value(), 0.0);
+    }
+
+    #[test]
+    fn per_hour_rejects_bad_rates() {
+        assert!(PenaltyClause::per_hour(-1.0).is_err());
+        assert!(PenaltyClause::per_hour(f64::INFINITY).is_err());
+        assert!(PenaltyClause::per_hour(0.0).is_ok());
+    }
+
+    #[test]
+    fn tiered_clause_charges_progressively() {
+        // First 10 h at $100, next up to 30 h at $200, beyond at $500.
+        let clause = PenaltyClause::tiered(vec![
+            PenaltyTier {
+                up_to_hours: 10.0,
+                rate: 100.0,
+            },
+            PenaltyTier {
+                up_to_hours: 30.0,
+                rate: 200.0,
+            },
+            PenaltyTier {
+                up_to_hours: 40.0,
+                rate: 500.0,
+            },
+        ])
+        .unwrap();
+        assert_eq!(clause.charge(5.0).value(), 500.0);
+        assert_eq!(clause.charge(10.0).value(), 1000.0);
+        assert_eq!(clause.charge(20.0).value(), 1000.0 + 10.0 * 200.0);
+        assert_eq!(clause.charge(30.0).value(), 1000.0 + 4000.0);
+        assert_eq!(clause.charge(35.0).value(), 5000.0 + 5.0 * 500.0);
+        // Beyond the last boundary, keep billing at the last rate.
+        assert_eq!(
+            clause.charge(50.0).value(),
+            5000.0 + 10.0 * 500.0 + 10.0 * 500.0
+        );
+    }
+
+    #[test]
+    fn tiered_validation() {
+        assert!(PenaltyClause::tiered(vec![]).is_err());
+        // Non-increasing boundaries rejected.
+        assert!(PenaltyClause::tiered(vec![
+            PenaltyTier {
+                up_to_hours: 10.0,
+                rate: 1.0
+            },
+            PenaltyTier {
+                up_to_hours: 10.0,
+                rate: 2.0
+            },
+        ])
+        .is_err());
+        assert!(PenaltyClause::tiered(vec![PenaltyTier {
+            up_to_hours: 10.0,
+            rate: -1.0
+        }])
+        .is_err());
+    }
+
+    #[test]
+    fn tiered_with_single_tier_equals_flat_within_boundary() {
+        let flat = PenaltyClause::per_hour(100.0).unwrap();
+        let tiered = PenaltyClause::tiered(vec![PenaltyTier {
+            up_to_hours: 1000.0,
+            rate: 100.0,
+        }])
+        .unwrap();
+        for h in [0.0, 1.5, 43.0, 999.0] {
+            assert_eq!(flat.charge(h), tiered.charge(h), "h={h}");
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let sla = SlaTarget::from_percent(98.0).unwrap();
+        let json = serde_json::to_string(&sla).unwrap();
+        let back: SlaTarget = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sla);
+
+        let clause = PenaltyClause::per_hour(100.0).unwrap();
+        let json = serde_json::to_string(&clause).unwrap();
+        let back: PenaltyClause = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, clause);
+    }
+}

@@ -1,0 +1,468 @@
+//! Serial system composition and the paper's Eqs. 1–4.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::ClusterSpec;
+use crate::error::ModelError;
+use crate::units::{Minutes, Probability, HOURS_PER_MONTH, MINUTES_PER_YEAR};
+
+/// A cloud-hosted system `S`: a *serial* combination of `n` clusters
+/// (Fig. 1 of the paper). The system is up only when every cluster is up
+/// and no cluster is mid-failover.
+///
+/// # Examples
+///
+/// Paper solution option #5 (Fig. 8) — RAID-1 storage and dual network
+/// gateways reach 98.71 % uptime:
+///
+/// ```
+/// use uptime_core::{ClusterSpec, FailuresPerYear, Minutes, Probability, SystemSpec};
+///
+/// # fn main() -> Result<(), uptime_core::ModelError> {
+/// let system = SystemSpec::builder()
+///     .cluster(ClusterSpec::singleton("compute", Probability::new(0.01)?, 1.0)?)
+///     .cluster(
+///         ClusterSpec::builder("storage")
+///             .total_nodes(2)
+///             .standby_budget(1)
+///             .node_down_probability(Probability::new(0.05)?)
+///             .failures_per_year(FailuresPerYear::new(2.0)?)
+///             .failover_time(Minutes::from_seconds(30.0)?)
+///             .build()?,
+///     )
+///     .cluster(
+///         ClusterSpec::builder("network")
+///             .total_nodes(2)
+///             .standby_budget(1)
+///             .node_down_probability(Probability::new(0.02)?)
+///             .failures_per_year(FailuresPerYear::new(1.0)?)
+///             .failover_time(Minutes::new(1.0)?)
+///             .build()?,
+///     )
+///     .build()?;
+/// let uptime = system.uptime();
+/// assert!((uptime.availability().as_percent() - 98.71).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemSpec {
+    clusters: Vec<ClusterSpec>,
+}
+
+impl SystemSpec {
+    /// Starts building a system.
+    #[must_use]
+    pub fn builder() -> SystemSpecBuilder {
+        SystemSpecBuilder::default()
+    }
+
+    /// Creates a system directly from clusters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptySystem`] if `clusters` is empty.
+    pub fn new(clusters: Vec<ClusterSpec>) -> Result<Self, ModelError> {
+        if clusters.is_empty() {
+            return Err(ModelError::EmptySystem);
+        }
+        Ok(SystemSpec { clusters })
+    }
+
+    /// The clusters in serial order.
+    #[must_use]
+    pub fn clusters(&self) -> &[ClusterSpec] {
+        &self.clusters
+    }
+
+    /// Number of clusters `n`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Always `false`: construction forbids empty systems.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Breakdown downtime probability `B_s` (paper Eq. 2): probability that
+    /// at least one cluster has more failed nodes than its standby budget.
+    #[must_use]
+    pub fn breakdown_probability(&self) -> Probability {
+        let all_up: f64 = self
+            .clusters
+            .iter()
+            .map(|c| c.availability().value())
+            .product();
+        Probability::saturating(1.0 - all_up)
+    }
+
+    /// Failover downtime probability `F_s` (paper Eq. 3): expected fraction
+    /// of time lost to failover transitions of one cluster while all other
+    /// clusters' active nodes are healthy.
+    #[must_use]
+    pub fn failover_probability(&self) -> Probability {
+        let mut total = 0.0_f64;
+        for (i, c) in self.clusters.iter().enumerate() {
+            let own = c.failover_year_fraction();
+            if own == 0.0 {
+                continue;
+            }
+            let others_up: f64 = self
+                .clusters
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, other)| other.all_active_up_probability().value())
+                .product();
+            total += own * others_up;
+        }
+        Probability::saturating(total)
+    }
+
+    /// Full uptime breakdown: `B_s`, `F_s`, `D_s = B_s + F_s`,
+    /// `U_s = 1 − D_s` (paper Eqs. 1 & 4).
+    #[must_use]
+    pub fn uptime(&self) -> UptimeBreakdown {
+        let breakdown = self.breakdown_probability();
+        let failover = self.failover_probability();
+        UptimeBreakdown {
+            breakdown,
+            failover,
+        }
+    }
+
+    /// Uptime ignoring the failover term (`F_s = 0`), the ablation
+    /// discussed in DESIGN.md: quantifies how much Eq. 3 matters.
+    #[must_use]
+    pub fn uptime_ignoring_failover(&self) -> Probability {
+        self.breakdown_probability().complement()
+    }
+}
+
+/// Builder for [`SystemSpec`].
+#[derive(Debug, Clone, Default)]
+pub struct SystemSpecBuilder {
+    clusters: Vec<ClusterSpec>,
+}
+
+impl SystemSpecBuilder {
+    /// Appends a cluster to the serial chain.
+    #[must_use]
+    pub fn cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.clusters.push(cluster);
+        self
+    }
+
+    /// Appends many clusters.
+    #[must_use]
+    pub fn clusters(mut self, clusters: impl IntoIterator<Item = ClusterSpec>) -> Self {
+        self.clusters.extend(clusters);
+        self
+    }
+
+    /// Validates and builds the [`SystemSpec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptySystem`] if no cluster was added.
+    pub fn build(self) -> Result<SystemSpec, ModelError> {
+        SystemSpec::new(self.clusters)
+    }
+}
+
+impl Extend<ClusterSpec> for SystemSpecBuilder {
+    fn extend<T: IntoIterator<Item = ClusterSpec>>(&mut self, iter: T) {
+        self.clusters.extend(iter);
+    }
+}
+
+impl FromIterator<ClusterSpec> for SystemSpecBuilder {
+    fn from_iter<T: IntoIterator<Item = ClusterSpec>>(iter: T) -> Self {
+        SystemSpecBuilder {
+            clusters: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// The components of a system's downtime, paper Eqs. 1–4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UptimeBreakdown {
+    breakdown: Probability,
+    failover: Probability,
+}
+
+impl UptimeBreakdown {
+    /// Breakdown downtime probability `B_s` (Eq. 2).
+    #[must_use]
+    pub fn breakdown_probability(&self) -> Probability {
+        self.breakdown
+    }
+
+    /// Failover downtime probability `F_s` (Eq. 3).
+    #[must_use]
+    pub fn failover_probability(&self) -> Probability {
+        self.failover
+    }
+
+    /// Total downtime probability `D_s = B_s + F_s` (Eq. 1).
+    #[must_use]
+    pub fn downtime_probability(&self) -> Probability {
+        Probability::saturating(self.breakdown.value() + self.failover.value())
+    }
+
+    /// Uptime `U_s = 1 − D_s` (Eq. 4).
+    #[must_use]
+    pub fn availability(&self) -> Probability {
+        self.downtime_probability().complement()
+    }
+
+    /// Expected downtime per year.
+    #[must_use]
+    pub fn downtime_minutes_per_year(&self) -> Minutes {
+        Minutes::new(self.downtime_probability().value() * MINUTES_PER_YEAR)
+            .expect("probability times a positive constant is valid")
+    }
+
+    /// Expected downtime per contractual month (730 hours).
+    #[must_use]
+    pub fn downtime_hours_per_month(&self) -> f64 {
+        self.downtime_probability().value() * HOURS_PER_MONTH
+    }
+}
+
+impl std::fmt::Display for UptimeBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "U_s = {:.4}% (breakdown {:.4}%, failover {:.6}%)",
+            self.availability().as_percent(),
+            self.breakdown.as_percent(),
+            self.failover.as_percent()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::FailuresPerYear;
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    fn singleton(name: &str, down: f64, f: f64) -> ClusterSpec {
+        ClusterSpec::singleton(name, p(down), f).unwrap()
+    }
+
+    fn dual(name: &str, down: f64, f: f64, t_min: f64) -> ClusterSpec {
+        ClusterSpec::builder(name)
+            .total_nodes(2)
+            .standby_budget(1)
+            .node_down_probability(p(down))
+            .failures_per_year(FailuresPerYear::new(f).unwrap())
+            .failover_time(Minutes::new(t_min).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    fn vmware(name: &str, down: f64, f: f64) -> ClusterSpec {
+        ClusterSpec::builder(name)
+            .total_nodes(4)
+            .standby_budget(1)
+            .node_down_probability(p(down))
+            .failures_per_year(FailuresPerYear::new(f).unwrap())
+            .failover_time(Minutes::new(6.0).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    /// The paper's base architecture: compute P=1% f=1, storage P=5% f=2,
+    /// network P=2% f=1.
+    fn option1() -> SystemSpec {
+        SystemSpec::builder()
+            .cluster(singleton("compute", 0.01, 1.0))
+            .cluster(singleton("storage", 0.05, 2.0))
+            .cluster(singleton("network", 0.02, 1.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_system_is_rejected() {
+        assert!(matches!(
+            SystemSpec::builder().build().unwrap_err(),
+            ModelError::EmptySystem
+        ));
+        assert!(SystemSpec::new(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn option1_no_ha_uptime_is_92_17_percent() {
+        let u = option1().uptime();
+        assert!((u.availability().value() - 0.99 * 0.95 * 0.98).abs() < 1e-12);
+        assert!((u.availability().as_percent() - 92.17).abs() < 0.005);
+        // No HA anywhere: failover term must be exactly zero.
+        assert_eq!(u.failover_probability().value(), 0.0);
+    }
+
+    #[test]
+    fn option2_network_only_uptime_is_94_01_percent() {
+        let system = SystemSpec::builder()
+            .cluster(singleton("compute", 0.01, 1.0))
+            .cluster(singleton("storage", 0.05, 2.0))
+            .cluster(dual("network", 0.02, 1.0, 1.0))
+            .build()
+            .unwrap();
+        let u = system.uptime();
+        assert!((u.availability().as_percent() - 94.01).abs() < 0.005);
+    }
+
+    #[test]
+    fn option3_storage_only_uptime_is_96_78_percent() {
+        let system = SystemSpec::builder()
+            .cluster(singleton("compute", 0.01, 1.0))
+            .cluster(dual("storage", 0.05, 2.0, 0.5))
+            .cluster(singleton("network", 0.02, 1.0))
+            .build()
+            .unwrap();
+        let u = system.uptime();
+        assert!((u.availability().as_percent() - 96.78).abs() < 0.005);
+    }
+
+    #[test]
+    fn option4_compute_only_uptime_is_93_04_percent() {
+        let system = SystemSpec::builder()
+            .cluster(vmware("compute", 0.01, 1.0))
+            .cluster(singleton("storage", 0.05, 2.0))
+            .cluster(singleton("network", 0.02, 1.0))
+            .build()
+            .unwrap();
+        let u = system.uptime();
+        assert!((u.availability().as_percent() - 93.04).abs() < 0.005);
+        // Failover term is present: 18 min/yr × P(others all-active-up).
+        let expected_fs = (18.0 / MINUTES_PER_YEAR) * 0.95 * 0.98;
+        assert!((u.failover_probability().value() - expected_fs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn option5_storage_network_uptime_is_98_71_percent() {
+        let system = SystemSpec::builder()
+            .cluster(singleton("compute", 0.01, 1.0))
+            .cluster(dual("storage", 0.05, 2.0, 0.5))
+            .cluster(dual("network", 0.02, 1.0, 1.0))
+            .build()
+            .unwrap();
+        let u = system.uptime();
+        assert!((u.availability().as_percent() - 98.71).abs() < 0.005);
+    }
+
+    #[test]
+    fn option6_compute_network_uptime_is_about_94_9_percent() {
+        let system = SystemSpec::builder()
+            .cluster(vmware("compute", 0.01, 1.0))
+            .cluster(singleton("storage", 0.05, 2.0))
+            .cluster(dual("network", 0.02, 1.0, 1.0))
+            .build()
+            .unwrap();
+        let u = system.uptime();
+        // Paper prints 94.91; exact evaluation gives 94.90.
+        assert!((u.availability().as_percent() - 94.91).abs() < 0.02);
+    }
+
+    #[test]
+    fn downtime_components_sum() {
+        let system = SystemSpec::builder()
+            .cluster(vmware("compute", 0.01, 1.0))
+            .cluster(dual("storage", 0.05, 2.0, 0.5))
+            .build()
+            .unwrap();
+        let u = system.uptime();
+        let sum = u.breakdown_probability().value() + u.failover_probability().value();
+        assert!((u.downtime_probability().value() - sum).abs() < 1e-15);
+        assert!((u.availability().value() + u.downtime_probability().value() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ignoring_failover_never_lowers_uptime() {
+        let system = SystemSpec::builder()
+            .cluster(vmware("compute", 0.01, 1.0))
+            .cluster(dual("storage", 0.05, 2.0, 0.5))
+            .cluster(dual("network", 0.02, 1.0, 1.0))
+            .build()
+            .unwrap();
+        assert!(
+            system.uptime_ignoring_failover().value() >= system.uptime().availability().value()
+        );
+    }
+
+    #[test]
+    fn serial_composition_multiplies_availabilities() {
+        // With zero failover terms, uptime is the product of cluster
+        // availabilities.
+        let sys = option1();
+        let product: f64 = sys
+            .clusters()
+            .iter()
+            .map(|c| c.availability().value())
+            .product();
+        assert!((sys.uptime().availability().value() - product).abs() < 1e-15);
+    }
+
+    #[test]
+    fn adding_a_cluster_never_raises_uptime() {
+        let base = option1();
+        let extended = SystemSpec::builder()
+            .clusters(base.clusters().to_vec())
+            .cluster(singleton("cache", 0.03, 1.0))
+            .build()
+            .unwrap();
+        assert!(
+            extended.uptime().availability().value()
+                <= base.uptime().availability().value() + 1e-15
+        );
+    }
+
+    #[test]
+    fn downtime_unit_conversions() {
+        let u = option1().uptime();
+        let d = u.downtime_probability().value();
+        assert!((u.downtime_minutes_per_year().value() - d * MINUTES_PER_YEAR).abs() < 1e-9);
+        assert!((u.downtime_hours_per_month() - d * HOURS_PER_MONTH).abs() < 1e-12);
+        // Paper: ~43 hours slippage for option #1 against a 98% SLA; total
+        // monthly downtime is (1-0.9217)*730 ≈ 57 h.
+        assert!((u.downtime_hours_per_month() - 57.17).abs() < 0.05);
+    }
+
+    #[test]
+    fn builder_collects_from_iterator() {
+        let clusters = vec![singleton("a", 0.01, 1.0), singleton("b", 0.02, 1.0)];
+        let builder: SystemSpecBuilder = clusters.clone().into_iter().collect();
+        let sys = builder.build().unwrap();
+        assert_eq!(sys.len(), 2);
+        assert!(!sys.is_empty());
+
+        let mut b2 = SystemSpec::builder();
+        b2.extend(clusters);
+        assert_eq!(b2.build().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let sys = option1();
+        let json = serde_json::to_string(&sys).unwrap();
+        let back: SystemSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sys);
+    }
+
+    #[test]
+    fn uptime_breakdown_display() {
+        let text = option1().uptime().to_string();
+        assert!(text.contains("U_s = 92.1690%"), "{text}");
+        assert!(text.contains("breakdown"), "{text}");
+        assert!(text.contains("failover"), "{text}");
+    }
+}

@@ -1,0 +1,317 @@
+//! Total cost of ownership — the paper's Eq. 5.
+
+use serde::{Deserialize, Serialize};
+
+use crate::sla::{PenaltyClause, RoundingPolicy, SlaTarget};
+use crate::units::{MoneyPerMonth, Probability};
+
+/// Evaluates the monthly TCO of an HA-enabled deployment (paper Eq. 5):
+///
+/// ```text
+/// TCO = C_HA + max(0, U_SLA/100 − U_s) · δ/(12·60) · SP
+/// ```
+///
+/// i.e. the cost to implement/sustain the HA plus the expected slippage
+/// penalty for projected downtime beyond the contractual SLA.
+///
+/// # Examples
+///
+/// Paper Fig. 4 (option #1): no HA, 92.17 % uptime against a 98 % SLA at
+/// $100/h gives a $4300 monthly TCO.
+///
+/// ```
+/// use uptime_core::{MoneyPerMonth, PenaltyClause, Probability, SlaTarget, TcoModel};
+///
+/// # fn main() -> Result<(), uptime_core::ModelError> {
+/// let model = TcoModel::new(
+///     SlaTarget::from_percent(98.0)?,
+///     PenaltyClause::per_hour(100.0)?,
+/// );
+/// let tco = model.evaluate(MoneyPerMonth::ZERO, Probability::new(0.9217)?);
+/// assert_eq!(tco.total().value(), 4300.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TcoModel {
+    sla: SlaTarget,
+    penalty: PenaltyClause,
+    rounding: RoundingPolicy,
+}
+
+impl TcoModel {
+    /// Creates a TCO model with the default (paper-matching) rounding
+    /// policy, [`RoundingPolicy::CeilHour`].
+    #[must_use]
+    pub fn new(sla: SlaTarget, penalty: PenaltyClause) -> Self {
+        TcoModel {
+            sla,
+            penalty,
+            rounding: RoundingPolicy::default(),
+        }
+    }
+
+    /// Creates a TCO model with an explicit rounding policy.
+    #[must_use]
+    pub fn with_rounding(sla: SlaTarget, penalty: PenaltyClause, rounding: RoundingPolicy) -> Self {
+        TcoModel {
+            sla,
+            penalty,
+            rounding,
+        }
+    }
+
+    /// The SLA target.
+    #[must_use]
+    pub fn sla(&self) -> SlaTarget {
+        self.sla
+    }
+
+    /// The penalty clause.
+    #[must_use]
+    pub fn penalty(&self) -> &PenaltyClause {
+        &self.penalty
+    }
+
+    /// The rounding policy for slippage hours.
+    #[must_use]
+    pub fn rounding(&self) -> RoundingPolicy {
+        self.rounding
+    }
+
+    /// Evaluates Eq. 5 for a deployment with monthly HA cost `ha_cost` and
+    /// modeled uptime `uptime`.
+    #[must_use]
+    pub fn evaluate(&self, ha_cost: MoneyPerMonth, uptime: Probability) -> TcoBreakdown {
+        let raw_hours = self.sla.slippage_hours_per_month(uptime);
+        let billed_hours = self.rounding.apply(raw_hours);
+        let penalty = self.penalty.charge(billed_hours);
+        TcoBreakdown {
+            ha_cost,
+            uptime,
+            raw_slippage_hours: raw_hours,
+            billed_slippage_hours: billed_hours,
+            penalty,
+        }
+    }
+}
+
+/// Itemized result of a TCO evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcoBreakdown {
+    ha_cost: MoneyPerMonth,
+    uptime: Probability,
+    raw_slippage_hours: f64,
+    billed_slippage_hours: f64,
+    penalty: MoneyPerMonth,
+}
+
+impl TcoBreakdown {
+    /// Monthly cost of the HA infrastructure and labor, `C_HA`.
+    #[must_use]
+    pub fn ha_cost(&self) -> MoneyPerMonth {
+        self.ha_cost
+    }
+
+    /// The modeled uptime this evaluation used.
+    #[must_use]
+    pub fn uptime(&self) -> Probability {
+        self.uptime
+    }
+
+    /// Unrounded expected slippage hours per month.
+    #[must_use]
+    pub fn raw_slippage_hours(&self) -> f64 {
+        self.raw_slippage_hours
+    }
+
+    /// Billable slippage hours after rounding.
+    #[must_use]
+    pub fn billed_slippage_hours(&self) -> f64 {
+        self.billed_slippage_hours
+    }
+
+    /// Expected monthly penalty payout.
+    #[must_use]
+    pub fn penalty(&self) -> MoneyPerMonth {
+        self.penalty
+    }
+
+    /// Whether any slippage penalty is expected.
+    #[must_use]
+    pub fn expects_penalty(&self) -> bool {
+        self.penalty.value() > 0.0
+    }
+
+    /// Total monthly TCO: HA cost plus expected penalty.
+    #[must_use]
+    pub fn total(&self) -> MoneyPerMonth {
+        self.ha_cost + self.penalty
+    }
+}
+
+impl std::fmt::Display for TcoBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "${:.0} (HA) + ${:.0} (penalty for {:.0} h slippage) = ${:.0}/mo",
+            self.ha_cost.value(),
+            self.penalty.value(),
+            self.billed_slippage_hours,
+            self.total().value()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ModelError;
+
+    fn model() -> TcoModel {
+        TcoModel::new(
+            SlaTarget::from_percent(98.0).unwrap(),
+            PenaltyClause::per_hour(100.0).unwrap(),
+        )
+    }
+
+    fn money(v: f64) -> MoneyPerMonth {
+        MoneyPerMonth::new(v).unwrap()
+    }
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    #[test]
+    fn paper_option1_tco_4300() {
+        // U_s = 92.17 %: 42.56 h → 43 h billed → $4300, no HA cost.
+        let tco = model().evaluate(MoneyPerMonth::ZERO, p(0.9217));
+        assert_eq!(tco.billed_slippage_hours(), 43.0);
+        assert_eq!(tco.total(), money(4300.0));
+        assert!(tco.expects_penalty());
+    }
+
+    #[test]
+    fn paper_option3_tco_1250() {
+        // Storage-only HA: U_s = 96.78 %, C_HA = $350.
+        let u = p(0.967774); // exact model value
+        let tco = model().evaluate(money(350.0), u);
+        assert_eq!(tco.billed_slippage_hours(), 9.0);
+        assert_eq!(tco.penalty(), money(900.0));
+        assert_eq!(tco.total(), money(1250.0));
+    }
+
+    #[test]
+    fn paper_option5_tco_1350_no_penalty() {
+        // U_s = 98.71 % ≥ 98 %: penalty is zero, TCO = C_HA.
+        let tco = model().evaluate(money(1350.0), p(0.9871));
+        assert_eq!(tco.raw_slippage_hours(), 0.0);
+        assert_eq!(tco.penalty(), MoneyPerMonth::ZERO);
+        assert!(!tco.expects_penalty());
+        assert_eq!(tco.total(), money(1350.0));
+    }
+
+    #[test]
+    fn paper_option7_ceiling_yields_2850() {
+        // Compute+storage HA: U_s ≈ 97.70 %, C_HA = $2550;
+        // 2.2 h → ceil → 3 h → $300 → $2850 (matches Fig. 10).
+        let u = p(0.976991);
+        let tco = model().evaluate(money(2550.0), u);
+        assert_eq!(tco.billed_slippage_hours(), 3.0);
+        assert_eq!(tco.total(), money(2850.0));
+    }
+
+    #[test]
+    fn exact_rounding_bills_fractional_hours() {
+        let m = TcoModel::with_rounding(
+            SlaTarget::from_percent(98.0).unwrap(),
+            PenaltyClause::per_hour(100.0).unwrap(),
+            RoundingPolicy::Exact,
+        );
+        let tco = m.evaluate(MoneyPerMonth::ZERO, p(0.9217));
+        assert!((tco.billed_slippage_hours() - 42.559).abs() < 0.01);
+        assert!((tco.total().value() - 4255.9).abs() < 1.0);
+    }
+
+    #[test]
+    fn tco_is_at_least_ha_cost() {
+        let m = model();
+        for u in [0.0, 0.5, 0.9217, 0.98, 1.0] {
+            let tco = m.evaluate(money(500.0), p(u));
+            assert!(tco.total() >= money(500.0), "u={u}");
+        }
+    }
+
+    #[test]
+    fn tco_monotone_decreasing_in_uptime() {
+        let m = model();
+        let mut prev = f64::INFINITY;
+        for i in 0..=100 {
+            let u = p(f64::from(i) / 100.0);
+            let t = m.evaluate(money(100.0), u).total().value();
+            assert!(t <= prev + 1e-9, "not monotone at {i}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn accessors_expose_inputs() {
+        let m = model();
+        assert_eq!(m.sla().as_percent(), 98.0);
+        assert!(matches!(m.penalty(), PenaltyClause::PerHour { rate } if *rate == 100.0));
+        assert_eq!(m.rounding(), RoundingPolicy::CeilHour);
+        let tco = m.evaluate(money(42.0), p(0.99));
+        assert_eq!(tco.ha_cost(), money(42.0));
+        assert_eq!(tco.uptime(), p(0.99));
+    }
+
+    #[test]
+    fn perfect_uptime_never_penalized() {
+        let m = TcoModel::new(
+            SlaTarget::from_percent(100.0).unwrap(),
+            PenaltyClause::per_hour(1_000_000.0).unwrap(),
+        );
+        let tco = m.evaluate(MoneyPerMonth::ZERO, Probability::ONE);
+        assert_eq!(tco.total(), MoneyPerMonth::ZERO);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = model();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: TcoModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn breakdown_display_matches_paper_shape() {
+        let tco = model().evaluate(money(350.0), p(0.967774));
+        assert_eq!(
+            tco.to_string(),
+            "$350 (HA) + $900 (penalty for 9 h slippage) = $1250/mo"
+        );
+    }
+
+    #[test]
+    fn tiered_penalty_integrates_with_tco() -> Result<(), ModelError> {
+        use crate::sla::PenaltyTier;
+        let m = TcoModel::new(
+            SlaTarget::from_percent(98.0)?,
+            PenaltyClause::tiered(vec![
+                PenaltyTier {
+                    up_to_hours: 10.0,
+                    rate: 100.0,
+                },
+                PenaltyTier {
+                    up_to_hours: 100.0,
+                    rate: 300.0,
+                },
+            ])?,
+        );
+        let tco = m.evaluate(MoneyPerMonth::ZERO, p(0.9217));
+        // 43 billed hours: 10 × 100 + 33 × 300 = 10900.
+        assert_eq!(tco.total().value(), 10_900.0);
+        Ok(())
+    }
+}

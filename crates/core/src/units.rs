@@ -1,0 +1,585 @@
+//! Strongly-typed scalar quantities used throughout the model.
+//!
+//! The paper's formulas mix probabilities, minutes, yearly failure rates and
+//! monthly dollar amounts. Newtypes keep those apart at compile time
+//! (guideline C-NEWTYPE) while staying `Copy` and cheap.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+
+/// Number of minutes in a (non-leap) year: the paper's `δ = 525600`.
+pub const MINUTES_PER_YEAR: f64 = 525_600.0;
+
+/// Number of hours in a contractual month, `δ / (12 × 60) = 730`.
+pub const HOURS_PER_MONTH: f64 = MINUTES_PER_YEAR / (12.0 * 60.0);
+
+/// A probability, guaranteed to be finite and within `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use uptime_core::Probability;
+///
+/// # fn main() -> Result<(), uptime_core::ModelError> {
+/// let p = Probability::new(0.05)?;
+/// assert_eq!(p.complement().value(), 0.95);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Probability(f64);
+
+impl Probability {
+    /// A probability of exactly zero.
+    pub const ZERO: Probability = Probability(0.0);
+    /// A probability of exactly one.
+    pub const ONE: Probability = Probability(1.0);
+
+    /// Creates a probability, validating the range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidProbability`] if `value` is NaN,
+    /// infinite, or outside `[0, 1]`.
+    pub fn new(value: f64) -> Result<Self, ModelError> {
+        if value.is_finite() && (0.0..=1.0).contains(&value) {
+            Ok(Probability(value))
+        } else {
+            Err(ModelError::InvalidProbability { value })
+        }
+    }
+
+    /// Creates a probability, clamping out-of-range finite values into
+    /// `[0, 1]`. NaN becomes zero.
+    ///
+    /// Useful when tiny negative values arise from floating-point
+    /// cancellation in otherwise-valid arithmetic.
+    #[must_use]
+    pub fn saturating(value: f64) -> Self {
+        if value.is_nan() {
+            Probability(0.0)
+        } else {
+            Probability(value.clamp(0.0, 1.0))
+        }
+    }
+
+    /// Creates a probability from a percentage in `[0, 100]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidProbability`] if the percentage is
+    /// outside `[0, 100]` or not finite.
+    pub fn from_percent(percent: f64) -> Result<Self, ModelError> {
+        Self::new(percent / 100.0)
+    }
+
+    /// The raw value in `[0, 1]`.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// This probability expressed as a percentage in `[0, 100]`.
+    #[must_use]
+    pub fn as_percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// `1 − p`, computed exactly within the type.
+    #[must_use]
+    pub fn complement(self) -> Self {
+        Probability(1.0 - self.0)
+    }
+
+    /// Product of two probabilities (intersection of independent events).
+    #[must_use]
+    pub fn and(self, other: Probability) -> Self {
+        Probability(self.0 * other.0)
+    }
+
+    /// Union of two independent events: `p + q − pq`.
+    #[must_use]
+    pub fn or_independent(self, other: Probability) -> Self {
+        Probability::saturating(self.0 + other.0 - self.0 * other.0)
+    }
+
+    /// `p^k` for a non-negative integer exponent.
+    #[must_use]
+    pub fn powi(self, k: u32) -> Self {
+        Probability::saturating(self.0.powi(k as i32))
+    }
+}
+
+impl Eq for Probability {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Probability {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Valid because construction forbids NaN.
+        self.partial_cmp(other)
+            .expect("probabilities are never NaN")
+    }
+}
+
+impl TryFrom<f64> for Probability {
+    type Error = ModelError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Probability::new(value)
+    }
+}
+
+impl From<Probability> for f64 {
+    fn from(p: Probability) -> f64 {
+        p.0
+    }
+}
+
+impl fmt::Display for Probability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(precision) = f.precision() {
+            write!(f, "{:.*}%", precision, self.as_percent())
+        } else {
+            write!(f, "{}%", self.as_percent())
+        }
+    }
+}
+
+/// A duration expressed in minutes; always finite and non-negative.
+///
+/// # Examples
+///
+/// ```
+/// use uptime_core::Minutes;
+///
+/// # fn main() -> Result<(), uptime_core::ModelError> {
+/// let failover = Minutes::new(6.0)?;
+/// assert_eq!(failover.as_hours(), 0.1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Minutes(f64);
+
+impl Minutes {
+    /// Zero minutes.
+    pub const ZERO: Minutes = Minutes(0.0);
+
+    /// Creates a duration in minutes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidQuantity`] if `value` is negative, NaN,
+    /// or infinite.
+    pub fn new(value: f64) -> Result<Self, ModelError> {
+        if value.is_finite() && value >= 0.0 {
+            Ok(Minutes(value))
+        } else {
+            Err(ModelError::InvalidQuantity {
+                what: "duration in minutes",
+                value,
+            })
+        }
+    }
+
+    /// Creates a duration from seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidQuantity`] on negative or non-finite
+    /// input.
+    pub fn from_seconds(seconds: f64) -> Result<Self, ModelError> {
+        Self::new(seconds / 60.0)
+    }
+
+    /// Creates a duration from hours.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidQuantity`] on negative or non-finite
+    /// input.
+    pub fn from_hours(hours: f64) -> Result<Self, ModelError> {
+        Self::new(hours * 60.0)
+    }
+
+    /// The raw number of minutes.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// This duration in hours.
+    #[must_use]
+    pub fn as_hours(self) -> f64 {
+        self.0 / 60.0
+    }
+
+    /// This duration as a fraction of a year (the paper divides by `δ`).
+    #[must_use]
+    pub fn as_year_fraction(self) -> f64 {
+        self.0 / MINUTES_PER_YEAR
+    }
+}
+
+impl TryFrom<f64> for Minutes {
+    type Error = ModelError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Minutes::new(value)
+    }
+}
+
+impl From<Minutes> for f64 {
+    fn from(m: Minutes) -> f64 {
+        m.0
+    }
+}
+
+impl Add for Minutes {
+    type Output = Minutes;
+
+    fn add(self, rhs: Minutes) -> Minutes {
+        Minutes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Minutes {
+    fn add_assign(&mut self, rhs: Minutes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Minutes {
+    type Output = Minutes;
+
+    fn sub(self, rhs: Minutes) -> Minutes {
+        Minutes((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for Minutes {
+    type Output = Minutes;
+
+    fn mul(self, rhs: f64) -> Minutes {
+        Minutes(self.0 * rhs)
+    }
+}
+
+impl Sum for Minutes {
+    fn sum<I: Iterator<Item = Minutes>>(iter: I) -> Minutes {
+        Minutes(iter.map(|m| m.0).sum())
+    }
+}
+
+impl fmt::Display for Minutes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} min", self.0)
+    }
+}
+
+/// An average node-failure rate in failures per node-year (`f_i`).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct FailuresPerYear(f64);
+
+impl FailuresPerYear {
+    /// No failures at all.
+    pub const ZERO: FailuresPerYear = FailuresPerYear(0.0);
+
+    /// Creates a failure rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidQuantity`] if `value` is negative, NaN,
+    /// or infinite.
+    pub fn new(value: f64) -> Result<Self, ModelError> {
+        if value.is_finite() && value >= 0.0 {
+            Ok(FailuresPerYear(value))
+        } else {
+            Err(ModelError::InvalidQuantity {
+                what: "failures per year",
+                value,
+            })
+        }
+    }
+
+    /// The raw rate.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl TryFrom<f64> for FailuresPerYear {
+    type Error = ModelError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        FailuresPerYear::new(value)
+    }
+}
+
+impl From<FailuresPerYear> for f64 {
+    fn from(v: FailuresPerYear) -> f64 {
+        v.0
+    }
+}
+
+impl fmt::Display for FailuresPerYear {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/yr", self.0)
+    }
+}
+
+/// A monthly dollar amount (cost, penalty, or TCO component).
+///
+/// Negative amounts are permitted only through subtraction saturating at
+/// zero; constructors reject them, matching the paper's cost semantics.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct MoneyPerMonth(f64);
+
+impl MoneyPerMonth {
+    /// Zero dollars per month.
+    pub const ZERO: MoneyPerMonth = MoneyPerMonth(0.0);
+
+    /// Creates a monthly dollar amount.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidQuantity`] if `value` is negative, NaN,
+    /// or infinite.
+    pub fn new(value: f64) -> Result<Self, ModelError> {
+        if value.is_finite() && value >= 0.0 {
+            Ok(MoneyPerMonth(value))
+        } else {
+            Err(ModelError::InvalidQuantity {
+                what: "monthly dollar amount",
+                value,
+            })
+        }
+    }
+
+    /// The raw dollar amount.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for MoneyPerMonth {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for MoneyPerMonth {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other)
+            .expect("money amounts are never NaN")
+    }
+}
+
+impl TryFrom<f64> for MoneyPerMonth {
+    type Error = ModelError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        MoneyPerMonth::new(value)
+    }
+}
+
+impl From<MoneyPerMonth> for f64 {
+    fn from(v: MoneyPerMonth) -> f64 {
+        v.0
+    }
+}
+
+impl Add for MoneyPerMonth {
+    type Output = MoneyPerMonth;
+
+    fn add(self, rhs: MoneyPerMonth) -> MoneyPerMonth {
+        MoneyPerMonth(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for MoneyPerMonth {
+    fn add_assign(&mut self, rhs: MoneyPerMonth) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for MoneyPerMonth {
+    type Output = MoneyPerMonth;
+
+    /// Saturating subtraction: never goes below zero.
+    fn sub(self, rhs: MoneyPerMonth) -> MoneyPerMonth {
+        MoneyPerMonth((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for MoneyPerMonth {
+    type Output = MoneyPerMonth;
+
+    fn mul(self, rhs: f64) -> MoneyPerMonth {
+        MoneyPerMonth(self.0 * rhs)
+    }
+}
+
+impl Div<MoneyPerMonth> for MoneyPerMonth {
+    type Output = f64;
+
+    fn div(self, rhs: MoneyPerMonth) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for MoneyPerMonth {
+    fn sum<I: Iterator<Item = MoneyPerMonth>>(iter: I) -> MoneyPerMonth {
+        MoneyPerMonth(iter.map(|m| m.0).sum())
+    }
+}
+
+impl fmt::Display for MoneyPerMonth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(precision) = f.precision() {
+            write!(f, "${:.*}/mo", precision, self.0)
+        } else {
+            write!(f, "${}/mo", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_rejects_out_of_range() {
+        assert!(Probability::new(-0.1).is_err());
+        assert!(Probability::new(1.1).is_err());
+        assert!(Probability::new(f64::NAN).is_err());
+        assert!(Probability::new(f64::INFINITY).is_err());
+        assert!(Probability::new(0.0).is_ok());
+        assert!(Probability::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn probability_saturating_clamps() {
+        assert_eq!(Probability::saturating(-1e-18).value(), 0.0);
+        assert_eq!(Probability::saturating(1.0 + 1e-12).value(), 1.0);
+        assert_eq!(Probability::saturating(f64::NAN).value(), 0.0);
+        assert_eq!(Probability::saturating(0.5).value(), 0.5);
+    }
+
+    #[test]
+    fn probability_complement_roundtrips() {
+        let p = Probability::new(0.3).unwrap();
+        assert!((p.complement().complement().value() - 0.3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn probability_from_percent() {
+        let p = Probability::from_percent(98.0).unwrap();
+        assert!((p.value() - 0.98).abs() < 1e-15);
+        assert!(Probability::from_percent(101.0).is_err());
+    }
+
+    #[test]
+    fn probability_algebra() {
+        let p = Probability::new(0.5).unwrap();
+        let q = Probability::new(0.5).unwrap();
+        assert_eq!(p.and(q).value(), 0.25);
+        assert_eq!(p.or_independent(q).value(), 0.75);
+        assert_eq!(p.powi(3).value(), 0.125);
+        assert_eq!(p.powi(0).value(), 1.0);
+    }
+
+    #[test]
+    fn probability_ordering_and_display() {
+        let lo = Probability::new(0.1).unwrap();
+        let hi = Probability::new(0.9).unwrap();
+        assert!(lo < hi);
+        assert_eq!(format!("{lo:.1}"), "10.0%");
+    }
+
+    #[test]
+    fn minutes_constructors_and_conversions() {
+        assert_eq!(Minutes::from_seconds(30.0).unwrap().value(), 0.5);
+        assert_eq!(Minutes::from_hours(2.0).unwrap().value(), 120.0);
+        assert!(Minutes::new(-1.0).is_err());
+        let year = Minutes::new(MINUTES_PER_YEAR).unwrap();
+        assert!((year.as_year_fraction() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn minutes_arithmetic_saturates_on_subtraction() {
+        let a = Minutes::new(5.0).unwrap();
+        let b = Minutes::new(8.0).unwrap();
+        assert_eq!((a - b).value(), 0.0);
+        assert_eq!((b - a).value(), 3.0);
+        assert_eq!((a + b).value(), 13.0);
+        assert_eq!((a * 2.0).value(), 10.0);
+    }
+
+    #[test]
+    fn minutes_sum() {
+        let total: Minutes = vec![Minutes::new(1.0).unwrap(), Minutes::new(2.5).unwrap()]
+            .into_iter()
+            .sum();
+        assert_eq!(total.value(), 3.5);
+    }
+
+    #[test]
+    fn money_arithmetic() {
+        let a = MoneyPerMonth::new(350.0).unwrap();
+        let b = MoneyPerMonth::new(1000.0).unwrap();
+        assert_eq!((a + b).value(), 1350.0);
+        assert_eq!((a - b).value(), 0.0);
+        assert_eq!((b - a).value(), 650.0);
+        assert_eq!((a * 2.0).value(), 700.0);
+        assert!(MoneyPerMonth::new(-5.0).is_err());
+        assert!((b / a - 1000.0 / 350.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn money_ordering_picks_minimum() {
+        let options = [
+            MoneyPerMonth::new(4300.0).unwrap(),
+            MoneyPerMonth::new(1250.0).unwrap(),
+            MoneyPerMonth::new(3550.0).unwrap(),
+        ];
+        assert_eq!(options.iter().min().unwrap().value(), 1250.0);
+    }
+
+    #[test]
+    fn constants_match_paper() {
+        assert_eq!(MINUTES_PER_YEAR, 525_600.0);
+        assert_eq!(HOURS_PER_MONTH, 730.0);
+    }
+
+    #[test]
+    fn serde_roundtrip_and_validation() {
+        let p: Probability = serde_json::from_str("0.25").unwrap();
+        assert_eq!(p.value(), 0.25);
+        assert!(serde_json::from_str::<Probability>("1.5").is_err());
+        assert_eq!(serde_json::to_string(&p).unwrap(), "0.25");
+
+        let m: Minutes = serde_json::from_str("6.0").unwrap();
+        assert_eq!(m.value(), 6.0);
+        assert!(serde_json::from_str::<Minutes>("-2.0").is_err());
+
+        let c: MoneyPerMonth = serde_json::from_str("2200.0").unwrap();
+        assert_eq!(c.value(), 2200.0);
+    }
+
+    #[test]
+    fn failures_per_year_validation() {
+        assert!(FailuresPerYear::new(2.0).is_ok());
+        assert!(FailuresPerYear::new(-0.5).is_err());
+        assert_eq!(FailuresPerYear::ZERO.value(), 0.0);
+        assert_eq!(FailuresPerYear::new(1.0).unwrap().to_string(), "1/yr");
+    }
+}

@@ -1,0 +1,223 @@
+//! Property-based tests for the core model's invariants.
+
+use proptest::prelude::*;
+use uptime_core::{
+    binomial, ClusterSpec, FailureDynamics, FailuresPerYear, Minutes, MoneyPerMonth, Nines,
+    PenaltyClause, Probability, SlaTarget, SystemSpec, TcoModel,
+};
+
+fn prob() -> impl Strategy<Value = Probability> {
+    (0.0f64..=1.0).prop_map(|v| Probability::new(v).unwrap())
+}
+
+fn small_prob() -> impl Strategy<Value = Probability> {
+    (0.0f64..0.5).prop_map(|v| Probability::new(v).unwrap())
+}
+
+fn cluster() -> impl Strategy<Value = ClusterSpec> {
+    (
+        1u32..=8,     // total nodes
+        0u32..=7,     // standby budget (clamped below)
+        0.0f64..0.4,  // node down probability
+        0.0f64..12.0, // failures per year
+        0.0f64..30.0, // failover minutes
+    )
+        .prop_map(|(total, standby, p, f, t)| {
+            let standby = standby.min(total - 1);
+            ClusterSpec::builder("c")
+                .total_nodes(total)
+                .standby_budget(standby)
+                .node_down_probability(Probability::new(p).unwrap())
+                .failures_per_year(FailuresPerYear::new(f).unwrap())
+                .failover_time(Minutes::new(t).unwrap())
+                .build()
+                .unwrap()
+        })
+}
+
+fn system() -> impl Strategy<Value = SystemSpec> {
+    prop::collection::vec(cluster(), 1..=5).prop_map(|cs| SystemSpec::new(cs).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // --- binomial ---
+
+    #[test]
+    fn binomial_pmf_is_distribution(n in 0u32..40, p in prob()) {
+        let total: f64 = (0..=n).map(|j| binomial::pmf(n, j, p)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binomial_survival_complements_cdf(n in 1u32..30, m in 0u32..30, p in prob()) {
+        let m = m.min(n);
+        let survival = binomial::survival_at_least(n, m, p).value();
+        let below: f64 = (0..m).map(|j| binomial::pmf(n, j, p)).sum();
+        prop_assert!((survival + below - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binomial_log_space_matches_direct(n in 1u32..60, m in 0u32..60, p in prob()) {
+        let m = m.min(n);
+        let a = binomial::survival_at_least(n, m, p).value();
+        let b = binomial::survival_at_least_log(n, m, p).value();
+        prop_assert!((a - b).abs() < 1e-8, "direct {a} vs log {b}");
+    }
+
+    #[test]
+    fn binomial_coefficient_symmetry(n in 0u32..40, k in 0u32..40) {
+        let k = k.min(n);
+        prop_assert_eq!(binomial::coefficient(n, k), binomial::coefficient(n, n - k));
+    }
+
+    // --- probability algebra ---
+
+    #[test]
+    fn complement_involution(p in prob()) {
+        prop_assert!((p.complement().complement().value() - p.value()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn and_bounded_by_operands(p in prob(), q in prob()) {
+        let r = p.and(q);
+        prop_assert!(r <= p && r <= q);
+    }
+
+    #[test]
+    fn or_independent_bounds(p in prob(), q in prob()) {
+        let r = p.or_independent(q);
+        prop_assert!(r.value() >= p.value().max(q.value()) - 1e-15);
+        prop_assert!(r.value() <= p.value() + q.value() + 1e-15);
+    }
+
+    // --- cluster ---
+
+    #[test]
+    fn cluster_availability_in_unit_interval(c in cluster()) {
+        let a = c.availability().value();
+        prop_assert!((0.0..=1.0).contains(&a));
+        prop_assert!((a + c.breakdown_probability().value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extra_standby_never_hurts(total in 2u32..8, p in small_prob()) {
+        for standby in 0..total - 2 {
+            let less = ClusterSpec::builder("a")
+                .total_nodes(total)
+                .standby_budget(standby)
+                .node_down_probability(p)
+                .build()
+                .unwrap();
+            let more = ClusterSpec::builder("b")
+                .total_nodes(total)
+                .standby_budget(standby + 1)
+                .node_down_probability(p)
+                .build()
+                .unwrap();
+            prop_assert!(more.availability() >= less.availability());
+        }
+    }
+
+    #[test]
+    fn higher_down_probability_lowers_availability(c in cluster(), bump in 0.01f64..0.3) {
+        let p = c.node_down_probability().value();
+        let worse = c.with_node_down_probability(
+            Probability::new((p + bump).min(1.0)).unwrap(),
+        );
+        prop_assert!(worse.availability() <= c.availability());
+    }
+
+    // --- system ---
+
+    #[test]
+    fn system_uptime_valid_and_consistent(s in system()) {
+        let u = s.uptime();
+        let availability = u.availability().value();
+        prop_assert!((0.0..=1.0).contains(&availability));
+        let parts = u.breakdown_probability().value() + u.failover_probability().value();
+        prop_assert!((u.downtime_probability().value() - parts.min(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn system_uptime_bounded_by_weakest_cluster(s in system()) {
+        let weakest = s
+            .clusters()
+            .iter()
+            .map(|c| c.availability().value())
+            .fold(1.0, f64::min);
+        prop_assert!(s.uptime_ignoring_failover().value() <= weakest + 1e-12);
+    }
+
+    #[test]
+    fn failover_term_never_negative(s in system()) {
+        prop_assert!(s.uptime_ignoring_failover() >= s.uptime().availability());
+    }
+
+    // --- TCO ---
+
+    #[test]
+    fn tco_at_least_ha_cost(u in prob(), sla in 1.0f64..100.0, rate in 0.0f64..1000.0, cost in 0.0f64..10_000.0) {
+        let model = TcoModel::new(
+            SlaTarget::from_percent(sla).unwrap(),
+            PenaltyClause::per_hour(rate).unwrap(),
+        );
+        let tco = model.evaluate(MoneyPerMonth::new(cost).unwrap(), u);
+        prop_assert!(tco.total() >= tco.ha_cost());
+        prop_assert!(tco.penalty().value() >= 0.0);
+    }
+
+    #[test]
+    fn tco_monotone_in_uptime(sla in 1.0f64..100.0, rate in 0.0f64..1000.0, a in prob(), b in prob()) {
+        let model = TcoModel::new(
+            SlaTarget::from_percent(sla).unwrap(),
+            PenaltyClause::per_hour(rate).unwrap(),
+        );
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let t_lo = model.evaluate(MoneyPerMonth::ZERO, lo).total();
+        let t_hi = model.evaluate(MoneyPerMonth::ZERO, hi).total();
+        prop_assert!(t_hi <= t_lo);
+    }
+
+    #[test]
+    fn meeting_sla_means_zero_penalty(sla in 1.0f64..100.0, rate in 0.0f64..1000.0, u in prob()) {
+        let target = SlaTarget::from_percent(sla).unwrap();
+        let model = TcoModel::new(target, PenaltyClause::per_hour(rate).unwrap());
+        let tco = model.evaluate(MoneyPerMonth::ZERO, u);
+        if target.is_met_by(u) {
+            prop_assert_eq!(tco.penalty(), MoneyPerMonth::ZERO);
+        }
+    }
+
+    // --- MTBF/MTTR <-> (P, f) ---
+
+    #[test]
+    fn dynamics_roundtrip(p in 0.0001f64..0.9, f in 0.01f64..50.0) {
+        let d = FailureDynamics::from_paper_params(
+            Probability::new(p).unwrap(),
+            FailuresPerYear::new(f).unwrap(),
+        )
+        .unwrap();
+        prop_assert!((d.down_probability().value() - p).abs() < 1e-9);
+        prop_assert!((d.failures_per_year().value() - f).abs() < 1e-6);
+    }
+
+    // --- nines ---
+
+    #[test]
+    fn nines_roundtrip(u in 0.0f64..0.999_999) {
+        let p = Probability::new(u).unwrap();
+        let back = Nines::from_uptime(p).to_uptime();
+        prop_assert!((back.value() - u).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_nines_less_downtime(a in 0.5f64..6.0, b in 0.5f64..6.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            Nines::from_count(hi).downtime_minutes_per_year()
+                <= Nines::from_count(lo).downtime_minutes_per_year()
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Branch-and-bound search with an admissible cost lower bound.
+//!
+//! A depth-first traversal assigns components left to right. For a partial
+//! assignment, `TCO ≥ cost-so-far + Σ min-cost(remaining components)`
+//! because the penalty term is non-negative. Whenever that bound meets or
+//! exceeds the best complete TCO found so far, the whole subtree is pruned.
+//!
+//! Exact for [`Objective::MinTco`]; the outcome's evaluation list contains
+//! only the assignments actually visited, so Fig. 10-style full tables
+//! should use [`crate::exhaustive`] or [`crate::pruned`] instead.
+
+use uptime_core::{MoneyPerMonth, TcoModel};
+
+use crate::evaluate::Evaluation;
+use crate::objective::Objective;
+use crate::outcome::{SearchOutcome, SearchStats};
+use crate::space::SearchSpace;
+
+/// Runs branch-and-bound minimization of total TCO.
+///
+/// # Examples
+///
+/// ```
+/// use uptime_catalog::{case_study, ComponentKind};
+/// use uptime_optimizer::{branch_bound, SearchSpace};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let space = SearchSpace::from_catalog(
+///     &case_study::catalog(),
+///     &case_study::cloud_id(),
+///     &ComponentKind::paper_tiers(),
+/// )?;
+/// let outcome = branch_bound::search(&space, &case_study::tco_model());
+/// assert_eq!(outcome.best().unwrap().tco().total().value(), 1250.0);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn search(space: &SearchSpace, model: &TcoModel) -> SearchOutcome {
+    // Suffix minima of component costs: tail_min[i] = Σ_{j≥i} min_cost(j).
+    let n = space.len();
+    let mut tail_min = vec![MoneyPerMonth::ZERO; n + 1];
+    for i in (0..n).rev() {
+        tail_min[i] = tail_min[i + 1] + space.components()[i].min_cost();
+    }
+
+    let mut state = State {
+        space,
+        model,
+        tail_min,
+        best: None,
+        evaluations: Vec::new(),
+        stats: SearchStats::default(),
+        assignment: vec![0; n],
+    };
+    descend(&mut state, 0, MoneyPerMonth::ZERO);
+
+    let State {
+        evaluations, stats, ..
+    } = state;
+    SearchOutcome::from_evaluations(Objective::MinTco, evaluations, stats)
+}
+
+struct State<'a> {
+    space: &'a SearchSpace,
+    model: &'a TcoModel,
+    tail_min: Vec<MoneyPerMonth>,
+    best: Option<MoneyPerMonth>,
+    evaluations: Vec<Evaluation>,
+    stats: SearchStats,
+    assignment: Vec<usize>,
+}
+
+fn subtree_size(space: &SearchSpace, depth: usize) -> u64 {
+    space.components()[depth..]
+        .iter()
+        .map(|c| c.len() as u64)
+        .product()
+}
+
+fn descend(state: &mut State<'_>, depth: usize, cost_so_far: MoneyPerMonth) {
+    // Admissible bound: no subtree can undercut cost-so-far + cheapest tail.
+    if let Some(best) = state.best {
+        let bound = cost_so_far + state.tail_min[depth];
+        if bound >= best {
+            state.stats.skipped += subtree_size(state.space, depth);
+            return;
+        }
+    }
+
+    if depth == state.space.len() {
+        let evaluation = Evaluation::evaluate(state.space, state.model, &state.assignment);
+        state.stats.evaluated += 1;
+        let total = evaluation.tco().total();
+        if state.best.is_none_or(|b| total < b) {
+            state.best = Some(total);
+        }
+        state.evaluations.push(evaluation);
+        return;
+    }
+
+    for idx in 0..state.space.components()[depth].len() {
+        state.assignment[depth] = idx;
+        let candidate_cost = state.space.components()[depth].candidates()[idx].monthly_cost();
+        descend(state, depth + 1, cost_so_far + candidate_cost);
+    }
+    state.assignment[depth] = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive;
+    use uptime_catalog::{case_study, extended, ComponentKind};
+
+    fn paper_space() -> SearchSpace {
+        SearchSpace::from_catalog(
+            &case_study::catalog(),
+            &case_study::cloud_id(),
+            &ComponentKind::paper_tiers(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_paper_optimum() {
+        let outcome = search(&paper_space(), &case_study::tco_model());
+        let best = outcome.best().unwrap();
+        assert_eq!(best.tco().total().value(), 1250.0);
+        assert_eq!(best.assignment(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn visits_no_more_than_exhaustive() {
+        let space = paper_space();
+        let model = case_study::tco_model();
+        let full = exhaustive::search(&space, &model, Objective::MinTco);
+        let bb = search(&space, &model);
+        assert!(bb.stats().evaluated <= full.stats().evaluated);
+        assert_eq!(
+            u128::from(bb.stats().considered()),
+            space.assignment_count(),
+            "evaluated + skipped must cover the space"
+        );
+    }
+
+    #[test]
+    fn prunes_expensive_subtrees() {
+        // With costs dominating penalties, entire subtrees get bounded away.
+        let space = paper_space();
+        let bb = search(&space, &case_study::tco_model());
+        assert!(bb.stats().skipped > 0, "expected pruning on the case study");
+    }
+
+    #[test]
+    fn agrees_with_exhaustive_on_hybrid_clouds() {
+        let catalog = extended::hybrid_catalog();
+        let model = case_study::tco_model();
+        for cloud in [
+            case_study::cloud_id(),
+            extended::nimbus_id(),
+            extended::stratus_id(),
+        ] {
+            let space =
+                SearchSpace::from_catalog(&catalog, &cloud, &ComponentKind::paper_tiers()).unwrap();
+            let full = exhaustive::search(&space, &model, Objective::MinTco);
+            let bb = search(&space, &model);
+            assert_eq!(
+                full.best().unwrap().tco().total(),
+                bb.best().unwrap().tco().total(),
+                "{cloud}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_candidate_components() {
+        use crate::space::{Candidate, ComponentChoices};
+        use uptime_core::{ClusterSpec, MoneyPerMonth, Probability};
+        let space = SearchSpace::new(vec![ComponentChoices::new(
+            "solo",
+            vec![Candidate::new(
+                "only",
+                ClusterSpec::singleton("solo", Probability::new(0.01).unwrap(), 1.0).unwrap(),
+                MoneyPerMonth::new(10.0).unwrap(),
+                false,
+            )],
+        )
+        .unwrap()])
+        .unwrap();
+        let outcome = search(&space, &case_study::tco_model());
+        assert_eq!(outcome.stats().evaluated, 1);
+        assert!(outcome.best().is_some());
+    }
+}

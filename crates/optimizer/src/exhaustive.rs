@@ -1,0 +1,99 @@
+//! Exhaustive `k^n` enumeration — the paper's baseline algorithm (§II.C).
+
+use uptime_core::TcoModel;
+
+use crate::evaluate::Evaluation;
+use crate::objective::Objective;
+use crate::outcome::{SearchOutcome, SearchStats};
+use crate::space::SearchSpace;
+
+/// Evaluates **every** assignment of the space and returns the full
+/// outcome. Exact by construction; `O(k^n)` evaluations.
+///
+/// # Examples
+///
+/// ```
+/// use uptime_catalog::{case_study, ComponentKind};
+/// use uptime_optimizer::{exhaustive, Objective, SearchSpace};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let space = SearchSpace::from_catalog(
+///     &case_study::catalog(),
+///     &case_study::cloud_id(),
+///     &ComponentKind::paper_tiers(),
+/// )?;
+/// let outcome = exhaustive::search(&space, &case_study::tco_model(), Objective::MinTco);
+/// assert_eq!(outcome.stats().evaluated, 8);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn search(space: &SearchSpace, model: &TcoModel, objective: Objective) -> SearchOutcome {
+    let mut evaluations = Vec::with_capacity(space.assignment_count().min(1 << 20) as usize);
+    for assignment in space.assignments() {
+        evaluations.push(Evaluation::evaluate(space, model, &assignment));
+    }
+    let stats = SearchStats {
+        evaluated: evaluations.len() as u64,
+        skipped: 0,
+    };
+    SearchOutcome::from_evaluations(objective, evaluations, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uptime_catalog::{case_study, extended, ComponentKind};
+
+    fn paper_space() -> SearchSpace {
+        SearchSpace::from_catalog(
+            &case_study::catalog(),
+            &case_study::cloud_id(),
+            &ComponentKind::paper_tiers(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn evaluates_all_eight_options() {
+        let outcome = search(&paper_space(), &case_study::tco_model(), Objective::MinTco);
+        assert_eq!(outcome.evaluations().len(), 8);
+        assert_eq!(outcome.stats().evaluated, 8);
+        assert_eq!(outcome.stats().skipped, 0);
+    }
+
+    #[test]
+    fn finds_paper_optimum() {
+        let outcome = search(&paper_space(), &case_study::tco_model(), Objective::MinTco);
+        let best = outcome.best().unwrap();
+        assert_eq!(best.tco().total().value(), 1250.0);
+        assert_eq!(best.assignment(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn min_penalty_risk_finds_option5() {
+        let outcome = search(
+            &paper_space(),
+            &case_study::tco_model(),
+            Objective::MinPenaltyRisk,
+        );
+        assert_eq!(outcome.best().unwrap().tco().total().value(), 1350.0);
+    }
+
+    #[test]
+    fn hybrid_space_is_36_wide() {
+        let catalog = extended::hybrid_catalog();
+        let space = SearchSpace::from_catalog(
+            &catalog,
+            &case_study::cloud_id(),
+            &ComponentKind::paper_tiers(),
+        )
+        .unwrap();
+        assert_eq!(space.assignment_count(), 36);
+        let outcome = search(&space, &case_study::tco_model(), Objective::MinTco);
+        assert_eq!(outcome.stats().evaluated, 36);
+        // With more (cheap, fast-failover) choices the optimum can only
+        // improve on the k=2 optimum.
+        assert!(outcome.best().unwrap().tco().total().value() <= 1250.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Greedy hill-climbing heuristic (ablation baseline).
+//!
+//! Starts from the all-baseline assignment (or all-zeros when a component
+//! lacks a baseline) and repeatedly applies the single-component change
+//! that most improves the objective, stopping at a local optimum. Runs in
+//! `O(rounds × n × k)` evaluations — polynomial, unlike the exact searches —
+//! but can miss the global optimum when improvements require changing two
+//! components at once (e.g. a 100 % SLA where only the full-HA permutation
+//! avoids a huge penalty).
+
+use uptime_core::TcoModel;
+
+use crate::evaluate::Evaluation;
+use crate::objective::Objective;
+use crate::outcome::{SearchOutcome, SearchStats};
+use crate::space::SearchSpace;
+
+/// Runs greedy hill climbing.
+///
+/// # Examples
+///
+/// ```
+/// use uptime_catalog::{case_study, ComponentKind};
+/// use uptime_optimizer::{greedy, Objective, SearchSpace};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let space = SearchSpace::from_catalog(
+///     &case_study::catalog(),
+///     &case_study::cloud_id(),
+///     &ComponentKind::paper_tiers(),
+/// )?;
+/// let outcome = greedy::search(&space, &case_study::tco_model(), Objective::MinTco);
+/// // On the case study the greedy path happens to find the optimum.
+/// assert_eq!(outcome.best().unwrap().tco().total().value(), 1250.0);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn search(space: &SearchSpace, model: &TcoModel, objective: Objective) -> SearchOutcome {
+    let mut stats = SearchStats::default();
+    let mut evaluations = Vec::new();
+
+    let start = space
+        .baseline_assignment()
+        .unwrap_or_else(|| vec![0; space.len()]);
+    let mut current = Evaluation::evaluate(space, model, &start);
+    stats.evaluated += 1;
+    evaluations.push(current.clone());
+
+    loop {
+        let mut best_move: Option<Evaluation> = None;
+        for (i, comp) in space.components().iter().enumerate() {
+            for idx in 0..comp.len() {
+                if current.assignment()[i] == idx {
+                    continue;
+                }
+                let mut assignment = current.assignment().to_vec();
+                assignment[i] = idx;
+                let candidate = Evaluation::evaluate(space, model, &assignment);
+                stats.evaluated += 1;
+                let beats_current = objective.better(&candidate, &current);
+                let beats_best = best_move
+                    .as_ref()
+                    .is_none_or(|b| objective.better(&candidate, b));
+                if beats_current && beats_best {
+                    best_move = Some(candidate.clone());
+                }
+                evaluations.push(candidate);
+            }
+        }
+        match best_move {
+            Some(next) => current = next,
+            None => break,
+        }
+    }
+
+    SearchOutcome::from_evaluations(objective, evaluations, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive;
+    use uptime_catalog::{case_study, ComponentKind};
+
+    fn paper_space() -> SearchSpace {
+        SearchSpace::from_catalog(
+            &case_study::catalog(),
+            &case_study::cloud_id(),
+            &ComponentKind::paper_tiers(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_paper_optimum_on_case_study() {
+        // On the case study the greedy path happens to reach the optimum:
+        // baseline ($4300) → RAID-1 ($1250) → no better single move.
+        let outcome = search(&paper_space(), &case_study::tco_model(), Objective::MinTco);
+        assert_eq!(outcome.best().unwrap().tco().total().value(), 1250.0);
+    }
+
+    #[test]
+    fn never_beats_exhaustive() {
+        let space = paper_space();
+        let model = case_study::tco_model();
+        let full = exhaustive::search(&space, &model, Objective::MinTco);
+        let greedy = search(&space, &model, Objective::MinTco);
+        assert!(greedy.best().unwrap().tco().total() >= full.best().unwrap().tco().total());
+    }
+
+    #[test]
+    fn min_penalty_risk_objective() {
+        let outcome = search(
+            &paper_space(),
+            &case_study::tco_model(),
+            Objective::MinPenaltyRisk,
+        );
+        // Greedy under MinPenaltyRisk reaches option #5.
+        let best = outcome.best().unwrap();
+        assert!(!best.tco().expects_penalty());
+        assert_eq!(best.tco().total().value(), 1350.0);
+    }
+
+    #[test]
+    fn terminates_on_single_choice_space() {
+        use crate::space::{Candidate, ComponentChoices};
+        use uptime_core::{ClusterSpec, MoneyPerMonth, Probability};
+        let space = SearchSpace::new(vec![ComponentChoices::new(
+            "solo",
+            vec![Candidate::new(
+                "only",
+                ClusterSpec::singleton("solo", Probability::new(0.01).unwrap(), 1.0).unwrap(),
+                MoneyPerMonth::ZERO,
+                true,
+            )],
+        )
+        .unwrap()])
+        .unwrap();
+        let outcome = search(&space, &case_study::tco_model(), Objective::MinTco);
+        assert_eq!(outcome.stats().evaluated, 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! # uptime-optimizer
+//!
+//! Searches the space of HA-enabled variants of a base cloud architecture
+//! for the minimum-TCO deployment (the paper's Eq. 6, `OptCh = min TCO_i`).
+//!
+//! A [`SearchSpace`] holds, per serial component, the list of [`Candidate`]
+//! HA constructs (cluster spec + monthly cost). The optimizers enumerate
+//! assignments — one candidate per component — and evaluate each with
+//! [`uptime_core::TcoModel`]:
+//!
+//! * [`exhaustive::search`] — all `k^n` permutations (paper §II.C).
+//! * [`pruned::search`] — the paper's §III.C optimization: evaluate by
+//!   ascending number of clustered components and skip supersets of any
+//!   SLA-satisfying permutation. Exact (see module docs for the cost
+//!   argument, which is sharper than the paper's uptime argument).
+//! * [`branch_bound::search`] — DFS with a cost lower bound; exact.
+//! * [`greedy::search`] / [`anneal::search`] — inexact heuristics used as
+//!   ablation baselines in the benchmarks.
+//! * [`pareto::frontier`] — the cost/uptime Pareto front.
+//!
+//! # Example: the paper's case study
+//!
+//! ```
+//! use uptime_catalog::{case_study, ComponentKind};
+//! use uptime_optimizer::{exhaustive, Objective, SearchSpace};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let catalog = case_study::catalog();
+//! let space = SearchSpace::from_catalog(
+//!     &catalog,
+//!     &case_study::cloud_id(),
+//!     &ComponentKind::paper_tiers(),
+//! )?;
+//! let outcome = exhaustive::search(&space, &case_study::tco_model(), Objective::MinTco);
+//! let best = outcome.best().expect("non-empty space");
+//! // Paper Fig. 10: option #3 (RAID-1 only) wins at $1250/month.
+//! assert_eq!(best.tco().total().value(), 1250.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anneal;
+pub mod branch_bound;
+pub mod evaluate;
+pub mod exhaustive;
+pub mod greedy;
+pub mod objective;
+pub mod outcome;
+pub mod parallel;
+pub mod pareto;
+pub mod pruned;
+pub mod space;
+pub mod sweep;
+
+pub use evaluate::Evaluation;
+pub use objective::Objective;
+pub use outcome::{SearchOutcome, SearchStats};
+pub use pareto::ParetoPoint;
+pub use space::{Candidate, ComponentChoices, SearchSpace, SpaceError};
+pub use sweep::{SlaSweep, SweepPoint};

@@ -1,0 +1,144 @@
+//! Optimization objectives.
+
+use serde::{Deserialize, Serialize};
+
+use crate::evaluate::Evaluation;
+
+/// What "best" means when ranking evaluated deployments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimize total monthly TCO — the paper's Eq. 6 (`OptCh`). This is
+    /// what picks option #3 ($1250) in Fig. 10.
+    #[default]
+    MinTco,
+    /// Among deployments with no expected penalty, minimize TCO; when none
+    /// meets the SLA, fall back to minimum TCO. This is the paper's "if the
+    /// possibility of slippage penalty is to be minimized" alternative that
+    /// picks option #5 ($1350) in Fig. 10.
+    MinPenaltyRisk,
+}
+
+impl Objective {
+    /// Returns `true` if `a` is strictly better than `b` under this
+    /// objective. Ties broken toward fewer clustered components, then by
+    /// higher uptime (cheaper to operate, better margin).
+    #[must_use]
+    pub fn better(&self, a: &Evaluation, b: &Evaluation) -> bool {
+        match self {
+            Objective::MinTco => Self::better_by_tco(a, b),
+            Objective::MinPenaltyRisk => {
+                let a_safe = !a.tco().expects_penalty();
+                let b_safe = !b.tco().expects_penalty();
+                match (a_safe, b_safe) {
+                    (true, false) => true,
+                    (false, true) => false,
+                    _ => Self::better_by_tco(a, b),
+                }
+            }
+        }
+    }
+
+    fn better_by_tco(a: &Evaluation, b: &Evaluation) -> bool {
+        let (ta, tb) = (a.tco().total(), b.tco().total());
+        if ta != tb {
+            return ta < tb;
+        }
+        if a.cardinality() != b.cardinality() {
+            return a.cardinality() < b.cardinality();
+        }
+        a.uptime().availability() > b.uptime().availability()
+    }
+
+    /// Selects the best of an iterator of evaluations, if any.
+    #[must_use]
+    pub fn best<'a, I>(&self, evaluations: I) -> Option<&'a Evaluation>
+    where
+        I: IntoIterator<Item = &'a Evaluation>,
+    {
+        let mut best: Option<&Evaluation> = None;
+        for e in evaluations {
+            match best {
+                None => best = Some(e),
+                Some(b) if self.better(e, b) => best = Some(e),
+                _ => {}
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SearchSpace;
+    use uptime_catalog::{case_study, ComponentKind};
+
+    fn evals() -> (SearchSpace, Vec<Evaluation>) {
+        let space = SearchSpace::from_catalog(
+            &case_study::catalog(),
+            &case_study::cloud_id(),
+            &ComponentKind::paper_tiers(),
+        )
+        .unwrap();
+        let model = case_study::tco_model();
+        let evals = space
+            .assignments()
+            .map(|a| Evaluation::evaluate(&space, &model, &a))
+            .collect();
+        (space, evals)
+    }
+
+    #[test]
+    fn min_tco_picks_option3() {
+        let (_, evals) = evals();
+        let best = Objective::MinTco.best(&evals).unwrap();
+        assert_eq!(best.assignment(), &[0, 1, 0], "RAID-1 only");
+        assert_eq!(best.tco().total().value(), 1250.0);
+    }
+
+    #[test]
+    fn min_penalty_risk_picks_option5() {
+        let (_, evals) = evals();
+        let best = Objective::MinPenaltyRisk.best(&evals).unwrap();
+        assert_eq!(best.assignment(), &[0, 1, 1], "RAID-1 + dual GW");
+        assert_eq!(best.tco().total().value(), 1350.0);
+        assert!(!best.tco().expects_penalty());
+    }
+
+    #[test]
+    fn min_penalty_risk_falls_back_to_min_tco() {
+        let (_, evals) = evals();
+        // Keep only SLA-violating options: fallback must equal MinTco choice
+        // among them (option #3 at $1250).
+        let violating: Vec<_> = evals
+            .into_iter()
+            .filter(|e| e.tco().expects_penalty())
+            .collect();
+        let best = Objective::MinPenaltyRisk.best(&violating).unwrap();
+        assert_eq!(best.tco().total().value(), 1250.0);
+    }
+
+    #[test]
+    fn best_of_empty_is_none() {
+        let empty: Vec<Evaluation> = Vec::new();
+        assert!(Objective::MinTco.best(&empty).is_none());
+    }
+
+    #[test]
+    fn better_is_asymmetric() {
+        let (_, evals) = evals();
+        for a in &evals {
+            assert!(!Objective::MinTco.better(a, a), "irreflexive");
+            for b in &evals {
+                if Objective::MinTco.better(a, b) {
+                    assert!(!Objective::MinTco.better(b, a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_objective_is_min_tco() {
+        assert_eq!(Objective::default(), Objective::MinTco);
+    }
+}

@@ -1,0 +1,179 @@
+//! Cost/uptime Pareto analysis.
+//!
+//! Beyond the single `OptCh` recommendation, a broker can present the
+//! client with the *frontier* of deployments where spending more strictly
+//! buys more uptime — useful when the SLA itself is negotiable.
+
+use serde::{Deserialize, Serialize};
+use uptime_core::TcoModel;
+
+use crate::evaluate::Evaluation;
+use crate::space::SearchSpace;
+
+/// One point on the cost/uptime frontier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    evaluation: Evaluation,
+}
+
+impl ParetoPoint {
+    /// The underlying evaluation.
+    #[must_use]
+    pub fn evaluation(&self) -> &Evaluation {
+        &self.evaluation
+    }
+
+    /// Monthly HA cost of this point.
+    #[must_use]
+    pub fn ha_cost(&self) -> uptime_core::MoneyPerMonth {
+        self.evaluation.tco().ha_cost()
+    }
+
+    /// Modeled uptime of this point.
+    #[must_use]
+    pub fn uptime(&self) -> uptime_core::Probability {
+        self.evaluation.uptime().availability()
+    }
+}
+
+/// Computes the Pareto frontier over HA cost (minimize) and uptime
+/// (maximize), sorted by ascending cost.
+///
+/// A point is kept when no other point has both lower-or-equal cost and
+/// strictly higher uptime, or strictly lower cost and equal-or-higher
+/// uptime.
+///
+/// # Examples
+///
+/// ```
+/// use uptime_catalog::{case_study, ComponentKind};
+/// use uptime_optimizer::{pareto, SearchSpace};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let space = SearchSpace::from_catalog(
+///     &case_study::catalog(),
+///     &case_study::cloud_id(),
+///     &ComponentKind::paper_tiers(),
+/// )?;
+/// let frontier = pareto::frontier(&space, &case_study::tco_model());
+/// // The free no-HA option and the max-uptime option are always on it.
+/// assert!(frontier.first().unwrap().ha_cost().value() == 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn frontier(space: &SearchSpace, model: &TcoModel) -> Vec<ParetoPoint> {
+    let evaluations: Vec<Evaluation> = space
+        .assignments()
+        .map(|a| Evaluation::evaluate(space, model, &a))
+        .collect();
+
+    let mut points: Vec<&Evaluation> = evaluations.iter().collect();
+    // Sort by cost ascending, uptime descending for a single sweep.
+    points.sort_by(|a, b| {
+        a.tco()
+            .ha_cost()
+            .cmp(&b.tco().ha_cost())
+            .then_with(|| b.uptime().availability().cmp(&a.uptime().availability()))
+    });
+
+    let mut out: Vec<ParetoPoint> = Vec::new();
+    let mut best_uptime: Option<uptime_core::Probability> = None;
+    for e in points {
+        let u = e.uptime().availability();
+        if best_uptime.is_none_or(|b| u > b) {
+            best_uptime = Some(u);
+            out.push(ParetoPoint {
+                evaluation: e.clone(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uptime_catalog::{case_study, ComponentKind};
+
+    fn paper_frontier() -> Vec<ParetoPoint> {
+        let space = SearchSpace::from_catalog(
+            &case_study::catalog(),
+            &case_study::cloud_id(),
+            &ComponentKind::paper_tiers(),
+        )
+        .unwrap();
+        frontier(&space, &case_study::tco_model())
+    }
+
+    #[test]
+    fn frontier_is_sorted_and_strictly_improving() {
+        let f = paper_frontier();
+        assert!(!f.is_empty());
+        for w in f.windows(2) {
+            assert!(w[0].ha_cost() <= w[1].ha_cost());
+            assert!(w[0].uptime() < w[1].uptime(), "uptime must strictly rise");
+        }
+    }
+
+    #[test]
+    fn frontier_endpoints() {
+        let f = paper_frontier();
+        // Cheapest point: the free no-HA deployment.
+        assert_eq!(f.first().unwrap().ha_cost().value(), 0.0);
+        assert!((f.first().unwrap().uptime().as_percent() - 92.17).abs() < 0.01);
+        // Most expensive frontier point must be the global max uptime
+        // (option #8, 99.65 % by exact evaluation).
+        let last = f.last().unwrap();
+        assert!((last.uptime().as_percent() - 99.65).abs() < 0.02);
+    }
+
+    #[test]
+    fn dominated_options_excluded() {
+        let f = paper_frontier();
+        // Option #4 (VMware only, $2200, 93.04 %) is dominated by RAID-1
+        // ($350, 96.78 %): must not be on the frontier.
+        assert!(
+            !f.iter().any(|p| (p.ha_cost().value() - 2200.0).abs() < 0.5),
+            "VMware-only is dominated"
+        );
+    }
+
+    #[test]
+    fn paper_frontier_contents() {
+        // Expect exactly: $0 (92.17), $350 (96.78), $1350 (98.71), $3550 (99.66).
+        let costs: Vec<f64> = paper_frontier()
+            .iter()
+            .map(|p| p.ha_cost().value())
+            .collect();
+        assert_eq!(costs, vec![0.0, 350.0, 1350.0, 3550.0]);
+    }
+
+    #[test]
+    fn every_non_frontier_point_is_dominated() {
+        let space = SearchSpace::from_catalog(
+            &case_study::catalog(),
+            &case_study::cloud_id(),
+            &ComponentKind::paper_tiers(),
+        )
+        .unwrap();
+        let model = case_study::tco_model();
+        let f = frontier(&space, &model);
+        for a in space.assignments() {
+            let e = Evaluation::evaluate(&space, &model, &a);
+            let on_frontier = f
+                .iter()
+                .any(|p| p.evaluation().assignment() == e.assignment());
+            if !on_frontier {
+                let dominated = f.iter().any(|p| {
+                    p.ha_cost() <= e.tco().ha_cost() && p.uptime() >= e.uptime().availability()
+                });
+                assert!(
+                    dominated,
+                    "{:?} neither on frontier nor dominated",
+                    e.assignment()
+                );
+            }
+        }
+    }
+}

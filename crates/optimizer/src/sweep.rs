@@ -1,0 +1,302 @@
+//! SLA sweeps: how the recommended architecture changes with the target.
+//!
+//! The paper fixes `U_SLA = 98 %`. A broker negotiating a contract wants
+//! the whole curve: for each candidate SLA, which HA permutation is
+//! `OptCh` and what does it cost? Because an assignment's *uptime* and
+//! *HA cost* are SLA-independent, the sweep evaluates the space once and
+//! re-prices cheaply per target, then reports where the winner changes
+//! (the crossovers).
+
+use serde::{Deserialize, Serialize};
+use uptime_core::{MoneyPerMonth, PenaltyClause, Probability, RoundingPolicy, SlaTarget, TcoModel};
+
+use crate::evaluate::Evaluation;
+use crate::space::SearchSpace;
+
+/// One point of an SLA sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The SLA target, as a percentage.
+    pub sla_percent: f64,
+    /// The winning assignment at this target.
+    pub best_assignment: Vec<usize>,
+    /// The winner's modeled uptime.
+    pub best_uptime: Probability,
+    /// The winner's total TCO at this target.
+    pub best_tco: MoneyPerMonth,
+    /// Whether the winner meets the target (no expected penalty).
+    pub meets_sla: bool,
+}
+
+/// Result of sweeping SLA targets over a search space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlaSweep {
+    points: Vec<SweepPoint>,
+}
+
+impl SlaSweep {
+    /// The sweep points, in the order the targets were given.
+    #[must_use]
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// Consecutive target pairs between which the winning assignment
+    /// changes — the crossovers.
+    #[must_use]
+    pub fn crossovers(&self) -> Vec<(f64, f64)> {
+        self.points
+            .windows(2)
+            .filter(|w| w[0].best_assignment != w[1].best_assignment)
+            .map(|w| (w[0].sla_percent, w[1].sla_percent))
+            .collect()
+    }
+}
+
+/// Runs the sweep: for each `targets` percentage, find the min-TCO
+/// assignment under the given penalty clause and rounding policy.
+///
+/// # Panics
+///
+/// Panics if a target is outside `(0, 100]` — pass validated percentages.
+///
+/// # Examples
+///
+/// The paper's case study: at a lax 93 % SLA no HA wins; at 98 % RAID-1
+/// wins; at ~98.7 %+ the dual-HA option #5 takes over.
+///
+/// ```
+/// use uptime_catalog::{case_study, ComponentKind};
+/// use uptime_core::PenaltyClause;
+/// use uptime_optimizer::{sweep, SearchSpace};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let space = SearchSpace::from_catalog(
+///     &case_study::catalog(),
+///     &case_study::cloud_id(),
+///     &ComponentKind::paper_tiers(),
+/// )?;
+/// let result = sweep::sla_sweep(
+///     &space,
+///     &PenaltyClause::per_hour(100.0)?,
+///     uptime_core::RoundingPolicy::CeilHour,
+///     &[92.0, 98.0, 99.0],
+/// );
+/// assert_eq!(result.points().len(), 3);
+/// assert!(!result.crossovers().is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn sla_sweep(
+    space: &SearchSpace,
+    penalty: &PenaltyClause,
+    rounding: RoundingPolicy,
+    targets: &[f64],
+) -> SlaSweep {
+    // Evaluate uptime and HA cost once per assignment (SLA-independent).
+    let fixed: Vec<(Vec<usize>, MoneyPerMonth, Probability)> = space
+        .assignments()
+        .map(|assignment| {
+            // Reuse the standard evaluation for the uptime/cost parts; the
+            // TCO inside is computed against a dummy SLA and discarded.
+            let dummy = TcoModel::with_rounding(
+                SlaTarget::from_percent(50.0).expect("constant"),
+                PenaltyClause::per_hour(0.0).expect("constant"),
+                rounding,
+            );
+            let e = Evaluation::evaluate(space, &dummy, &assignment);
+            (assignment, e.tco().ha_cost(), e.uptime().availability())
+        })
+        .collect();
+
+    let points = targets
+        .iter()
+        .map(|&percent| {
+            let sla = SlaTarget::from_percent(percent)
+                .unwrap_or_else(|_| panic!("invalid SLA target {percent}"));
+            let model = TcoModel::with_rounding(sla, penalty.clone(), rounding);
+            let mut best: Option<SweepPoint> = None;
+            for (assignment, ha_cost, uptime) in &fixed {
+                let tco = model.evaluate(*ha_cost, *uptime).total();
+                let candidate_better = best.as_ref().is_none_or(|b| tco < b.best_tco);
+                if candidate_better {
+                    best = Some(SweepPoint {
+                        sla_percent: percent,
+                        best_assignment: assignment.clone(),
+                        best_uptime: *uptime,
+                        best_tco: tco,
+                        meets_sla: sla.is_met_by(*uptime),
+                    });
+                }
+            }
+            best.expect("space is non-empty by construction")
+        })
+        .collect();
+    SlaSweep { points }
+}
+
+/// Convenience: sweep a linear range `[from, to]` with `steps` points
+/// (inclusive endpoints).
+///
+/// # Panics
+///
+/// Panics if `steps < 2` or the range is invalid.
+#[must_use]
+pub fn sla_sweep_range(
+    space: &SearchSpace,
+    penalty: &PenaltyClause,
+    rounding: RoundingPolicy,
+    from: f64,
+    to: f64,
+    steps: usize,
+) -> SlaSweep {
+    assert!(steps >= 2, "need at least the two endpoints");
+    assert!(from < to, "range must be increasing");
+    let targets: Vec<f64> = (0..steps)
+        .map(|i| from + (to - from) * i as f64 / (steps - 1) as f64)
+        .collect();
+    sla_sweep(space, penalty, rounding, &targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uptime_catalog::{case_study, ComponentKind};
+
+    fn paper_space() -> SearchSpace {
+        SearchSpace::from_catalog(
+            &case_study::catalog(),
+            &case_study::cloud_id(),
+            &ComponentKind::paper_tiers(),
+        )
+        .unwrap()
+    }
+
+    fn penalty() -> PenaltyClause {
+        PenaltyClause::per_hour(100.0).unwrap()
+    }
+
+    #[test]
+    fn paper_target_reproduces_option3() {
+        let result = sla_sweep(
+            &paper_space(),
+            &penalty(),
+            RoundingPolicy::CeilHour,
+            &[98.0],
+        );
+        let point = &result.points()[0];
+        assert_eq!(point.best_assignment, vec![0, 1, 0]);
+        assert_eq!(point.best_tco.value(), 1250.0);
+        assert!(!point.meets_sla, "option #3 violates the 98 % SLA");
+    }
+
+    #[test]
+    fn lax_sla_prefers_no_ha() {
+        // At a 90 % target the bare system (92.17 %) already complies:
+        // zero cost wins.
+        let result = sla_sweep(
+            &paper_space(),
+            &penalty(),
+            RoundingPolicy::CeilHour,
+            &[90.0],
+        );
+        let point = &result.points()[0];
+        assert_eq!(point.best_assignment, vec![0, 0, 0]);
+        assert_eq!(point.best_tco.value(), 0.0);
+        assert!(point.meets_sla);
+    }
+
+    #[test]
+    fn strict_sla_prefers_more_redundancy() {
+        // At 99 % no option complies; option #5 (98.71 %) minimizes
+        // cost + small penalty.
+        let result = sla_sweep(
+            &paper_space(),
+            &penalty(),
+            RoundingPolicy::CeilHour,
+            &[99.0],
+        );
+        let point = &result.points()[0];
+        assert!(point.best_uptime.as_percent() > 98.0);
+        assert!(!point.meets_sla);
+    }
+
+    #[test]
+    fn sweep_finds_crossovers() {
+        let result = sla_sweep_range(
+            &paper_space(),
+            &penalty(),
+            RoundingPolicy::CeilHour,
+            90.0,
+            99.5,
+            39,
+        );
+        let crossovers = result.crossovers();
+        assert!(
+            !crossovers.is_empty(),
+            "winner must change somewhere between 90 % and 99.5 %"
+        );
+        // Winners become (weakly) more redundant as the target tightens.
+        let mut prev_cost = MoneyPerMonth::ZERO;
+        for point in result.points() {
+            let cost: MoneyPerMonth = point
+                .best_assignment
+                .iter()
+                .zip(paper_space().components())
+                .map(|(&idx, comp)| comp.candidates()[idx].monthly_cost())
+                .collect::<Vec<_>>()
+                .into_iter()
+                .sum();
+            assert!(
+                cost >= prev_cost,
+                "HA spend must not shrink as SLA tightens"
+            );
+            prev_cost = cost;
+        }
+    }
+
+    #[test]
+    fn tco_curve_is_monotone_in_target() {
+        // A stricter SLA can never make the optimal TCO cheaper.
+        let result = sla_sweep_range(
+            &paper_space(),
+            &penalty(),
+            RoundingPolicy::CeilHour,
+            90.0,
+            99.9,
+            50,
+        );
+        let mut prev = MoneyPerMonth::ZERO;
+        for point in result.points() {
+            assert!(point.best_tco >= prev, "at {}%", point.sla_percent);
+            prev = point.best_tco;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the two endpoints")]
+    fn range_needs_two_steps() {
+        let _ = sla_sweep_range(
+            &paper_space(),
+            &penalty(),
+            RoundingPolicy::CeilHour,
+            90.0,
+            99.0,
+            1,
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let result = sla_sweep(
+            &paper_space(),
+            &penalty(),
+            RoundingPolicy::CeilHour,
+            &[95.0, 98.0],
+        );
+        let json = serde_json::to_string(&result).unwrap();
+        let back: SlaSweep = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, result);
+    }
+}

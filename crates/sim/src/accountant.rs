@@ -1,0 +1,231 @@
+//! Downtime bookkeeping for the serial system.
+//!
+//! The system is down whenever **any** cluster is down (serial
+//! composition). The accountant receives per-cluster up/down transitions
+//! with timestamps and accumulates per-cluster and system-level downtime
+//! exactly (interval arithmetic, no sampling).
+
+use crate::time::{SimDuration, SimTime};
+use crate::workload::OutageLog;
+
+/// Exact downtime accumulator.
+#[derive(Debug, Clone)]
+pub struct DowntimeAccountant {
+    cluster_down: Vec<bool>,
+    cluster_down_since: Vec<SimTime>,
+    cluster_downtime: Vec<SimDuration>,
+    down_clusters: usize,
+    system_down_since: SimTime,
+    system_downtime: SimDuration,
+    system_outages: u64,
+    outage_log: Option<OutageLog>,
+}
+
+impl DowntimeAccountant {
+    /// Creates an accountant for `clusters` clusters, all initially up.
+    #[must_use]
+    pub fn new(clusters: usize) -> Self {
+        DowntimeAccountant {
+            cluster_down: vec![false; clusters],
+            cluster_down_since: vec![SimTime::ZERO; clusters],
+            cluster_downtime: vec![SimDuration::ZERO; clusters],
+            down_clusters: 0,
+            system_down_since: SimTime::ZERO,
+            system_downtime: SimDuration::ZERO,
+            system_outages: 0,
+            outage_log: None,
+        }
+    }
+
+    /// Additionally records every system outage interval (for workload
+    /// riders); costs one `(start, end)` pair per outage.
+    #[must_use]
+    pub fn with_outage_log(mut self) -> Self {
+        self.outage_log = Some(OutageLog::new());
+        self
+    }
+
+    /// Records that a cluster's down-state is `down` as of `now`.
+    /// Idempotent for repeated identical states.
+    pub fn set_cluster_state(&mut self, cluster: usize, down: bool, now: SimTime) {
+        if self.cluster_down[cluster] == down {
+            return;
+        }
+        if down {
+            self.cluster_down[cluster] = true;
+            self.cluster_down_since[cluster] = now;
+            if self.down_clusters == 0 {
+                self.system_down_since = now;
+                self.system_outages += 1;
+            }
+            self.down_clusters += 1;
+        } else {
+            self.cluster_down[cluster] = false;
+            self.cluster_downtime[cluster] += now.since(self.cluster_down_since[cluster]);
+            self.down_clusters -= 1;
+            if self.down_clusters == 0 {
+                self.system_downtime += now.since(self.system_down_since);
+                if let Some(log) = &mut self.outage_log {
+                    log.push(self.system_down_since, now);
+                }
+            }
+        }
+    }
+
+    /// Closes any open intervals at the horizon, finalizing the books.
+    pub fn finalize(&mut self, horizon: SimTime) {
+        for i in 0..self.cluster_down.len() {
+            if self.cluster_down[i] {
+                self.cluster_downtime[i] += horizon.since(self.cluster_down_since[i]);
+                self.cluster_down_since[i] = horizon;
+            }
+        }
+        if self.down_clusters > 0 {
+            self.system_downtime += horizon.since(self.system_down_since);
+            if let Some(log) = &mut self.outage_log {
+                log.push(self.system_down_since, horizon);
+            }
+            self.system_down_since = horizon;
+        }
+    }
+
+    /// The captured outage log, when enabled via [`Self::with_outage_log`].
+    #[must_use]
+    pub fn outage_log(&self) -> Option<&OutageLog> {
+        self.outage_log.as_ref()
+    }
+
+    /// Takes ownership of the captured outage log, if any.
+    #[must_use]
+    pub fn take_outage_log(&mut self) -> Option<OutageLog> {
+        self.outage_log.take()
+    }
+
+    /// Accumulated downtime of one cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    #[must_use]
+    pub fn cluster_downtime(&self, cluster: usize) -> SimDuration {
+        self.cluster_downtime[cluster]
+    }
+
+    /// Accumulated downtime of the serial system (union of cluster
+    /// outages).
+    #[must_use]
+    pub fn system_downtime(&self) -> SimDuration {
+        self.system_downtime
+    }
+
+    /// Number of distinct system-level outage episodes.
+    #[must_use]
+    pub fn system_outages(&self) -> u64 {
+        self.system_outages
+    }
+
+    /// Whether the system is currently down.
+    #[must_use]
+    pub fn system_is_down(&self) -> bool {
+        self.down_clusters > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn single_cluster_accounting() {
+        let mut a = DowntimeAccountant::new(1);
+        a.set_cluster_state(0, true, t(100));
+        a.set_cluster_state(0, false, t(350));
+        assert_eq!(a.cluster_downtime(0).as_millis(), 250);
+        assert_eq!(a.system_downtime().as_millis(), 250);
+        assert_eq!(a.system_outages(), 1);
+        assert!(!a.system_is_down());
+    }
+
+    #[test]
+    fn overlapping_outages_union() {
+        let mut a = DowntimeAccountant::new(2);
+        // Cluster 0 down [100, 500); cluster 1 down [300, 700).
+        a.set_cluster_state(0, true, t(100));
+        a.set_cluster_state(1, true, t(300));
+        a.set_cluster_state(0, false, t(500));
+        a.set_cluster_state(1, false, t(700));
+        assert_eq!(a.cluster_downtime(0).as_millis(), 400);
+        assert_eq!(a.cluster_downtime(1).as_millis(), 400);
+        // Union is [100, 700) = 600, not 800.
+        assert_eq!(a.system_downtime().as_millis(), 600);
+        assert_eq!(a.system_outages(), 1);
+    }
+
+    #[test]
+    fn disjoint_outages_sum() {
+        let mut a = DowntimeAccountant::new(2);
+        a.set_cluster_state(0, true, t(100));
+        a.set_cluster_state(0, false, t(200));
+        a.set_cluster_state(1, true, t(500));
+        a.set_cluster_state(1, false, t(800));
+        assert_eq!(a.system_downtime().as_millis(), 400);
+        assert_eq!(a.system_outages(), 2);
+    }
+
+    #[test]
+    fn idempotent_state_sets() {
+        let mut a = DowntimeAccountant::new(1);
+        a.set_cluster_state(0, true, t(100));
+        a.set_cluster_state(0, true, t(150)); // no-op
+        a.set_cluster_state(0, false, t(200));
+        a.set_cluster_state(0, false, t(250)); // no-op
+        assert_eq!(a.cluster_downtime(0).as_millis(), 100);
+    }
+
+    #[test]
+    fn finalize_closes_open_intervals() {
+        let mut a = DowntimeAccountant::new(2);
+        a.set_cluster_state(0, true, t(100));
+        a.finalize(t(1000));
+        assert_eq!(a.cluster_downtime(0).as_millis(), 900);
+        assert_eq!(a.system_downtime().as_millis(), 900);
+        assert!(a.system_is_down(), "state persists past finalize");
+    }
+
+    #[test]
+    fn finalize_then_continue_does_not_double_count() {
+        let mut a = DowntimeAccountant::new(1);
+        a.set_cluster_state(0, true, t(100));
+        a.finalize(t(500));
+        // Continuing after finalize: the open interval restarts at the
+        // horizon, so closing at 600 adds only 100 more.
+        a.set_cluster_state(0, false, t(600));
+        assert_eq!(a.cluster_downtime(0).as_millis(), 500);
+    }
+
+    #[test]
+    fn nested_outage_of_three_clusters() {
+        let mut a = DowntimeAccountant::new(3);
+        a.set_cluster_state(0, true, t(0));
+        a.set_cluster_state(1, true, t(10));
+        a.set_cluster_state(2, true, t(20));
+        a.set_cluster_state(1, false, t(30));
+        a.set_cluster_state(2, false, t(40));
+        a.set_cluster_state(0, false, t(100));
+        assert_eq!(a.system_downtime().as_millis(), 100);
+        assert_eq!(a.system_outages(), 1);
+    }
+
+    #[test]
+    fn zero_length_interval() {
+        let mut a = DowntimeAccountant::new(1);
+        a.set_cluster_state(0, true, t(100));
+        a.set_cluster_state(0, false, t(100));
+        assert_eq!(a.cluster_downtime(0).as_millis(), 0);
+        assert_eq!(a.system_outages(), 1);
+    }
+}

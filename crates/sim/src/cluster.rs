@@ -1,0 +1,455 @@
+//! The k-redundancy cluster state machine.
+//!
+//! A cluster has `K` nodes: `K − K̂` hold the **active** role, the rest are
+//! **standby**. The machine mirrors the paper's §II.A semantics:
+//!
+//! * an *active* node failure with an up standby available promotes the
+//!   standby and opens a *failover window* of `t` during which the cluster
+//!   is unavailable;
+//! * a *standby* failure is invisible to the service;
+//! * when more than `K̂` nodes are down, the cluster is *broken* — down
+//!   until repairs restore the required active count. Recovery from
+//!   breakdown does not open an extra failover window, matching the model,
+//!   which accounts breakdown time purely binomially (the paper's
+//!   footnote 3 makes the analogous simplification).
+//!
+//! Invariant: while the cluster is operational or failing over, every
+//! required active slot is held by an up node.
+
+use crate::time::{SimDuration, SimTime};
+
+/// The service-visible condition of a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClusterStatus {
+    /// Serving traffic.
+    Operational,
+    /// A standby promotion is in progress; unavailable.
+    FailingOver,
+    /// More nodes are down than the standby budget tolerates; unavailable.
+    Broken,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Active,
+    Standby,
+}
+
+/// Outcome of feeding a node failure into the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureOutcome {
+    /// A standby was promoted; a failover window is open until the given
+    /// time, identified by the token (schedule a `FailoverEnded`).
+    FailoverStarted {
+        /// When the window closes.
+        until: SimTime,
+        /// Token to match against stale window-end events.
+        token: u64,
+    },
+    /// The failed node was a standby; no visible effect.
+    StandbyLost,
+    /// The failure exceeded the standby budget; the cluster broke down.
+    BrokeDown,
+    /// The cluster was already broken; the failure deepened the outage.
+    AlreadyBroken,
+}
+
+/// Discrete-event state machine for one cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterSim {
+    name: String,
+    required_active: u32,
+    failover_time: SimDuration,
+    node_up: Vec<bool>,
+    roles: Vec<Role>,
+    up_count: u32,
+    failover_until: Option<SimTime>,
+    failover_token: u64,
+    failover_windows: u64,
+    breakdowns: u64,
+}
+
+impl ClusterSim {
+    /// Creates a cluster with `total` nodes of which `required_active` must
+    /// be up, and the given failover window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `required_active` is zero or exceeds `total` — callers
+    /// construct from validated [`uptime_core::ClusterSpec`] values.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        total: u32,
+        required_active: u32,
+        failover_time: SimDuration,
+    ) -> Self {
+        assert!(
+            required_active >= 1 && required_active <= total,
+            "required_active must be within 1..=total"
+        );
+        let roles = (0..total)
+            .map(|i| {
+                if i < required_active {
+                    Role::Active
+                } else {
+                    Role::Standby
+                }
+            })
+            .collect();
+        ClusterSim {
+            name: name.into(),
+            required_active,
+            failover_time,
+            node_up: vec![true; total as usize],
+            roles,
+            up_count: total,
+            failover_until: None,
+            failover_token: 0,
+            failover_windows: 0,
+            breakdowns: 0,
+        }
+    }
+
+    /// The cluster's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total node count.
+    #[must_use]
+    pub fn total_nodes(&self) -> u32 {
+        self.node_up.len() as u32
+    }
+
+    /// Number of currently-up nodes.
+    #[must_use]
+    pub fn up_count(&self) -> u32 {
+        self.up_count
+    }
+
+    /// Current service-visible status.
+    #[must_use]
+    pub fn status(&self) -> ClusterStatus {
+        if self.up_count < self.required_active {
+            ClusterStatus::Broken
+        } else if self.failover_until.is_some() {
+            ClusterStatus::FailingOver
+        } else {
+            ClusterStatus::Operational
+        }
+    }
+
+    /// Whether the cluster is currently unavailable.
+    #[must_use]
+    pub fn is_down(&self) -> bool {
+        self.status() != ClusterStatus::Operational
+    }
+
+    /// Count of failover windows opened so far.
+    #[must_use]
+    pub fn failover_windows(&self) -> u64 {
+        self.failover_windows
+    }
+
+    /// Count of breakdown episodes entered so far.
+    #[must_use]
+    pub fn breakdowns(&self) -> u64 {
+        self.breakdowns
+    }
+
+    /// Whether the node is currently up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn node_is_up(&self, node: usize) -> bool {
+        self.node_up[node]
+    }
+
+    /// Feeds a node failure at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or already down (the event loop
+    /// never double-fails a node).
+    pub fn node_failed(&mut self, node: usize, now: SimTime) -> FailureOutcome {
+        assert!(self.node_up[node], "node {node} failed while already down");
+        let was_broken = self.status() == ClusterStatus::Broken;
+        self.node_up[node] = false;
+        self.up_count -= 1;
+
+        if self.roles[node] == Role::Standby {
+            // Invisible unless it tipped an already-degraded cluster — a
+            // standby loss never does, because standbys don't hold slots.
+            return FailureOutcome::StandbyLost;
+        }
+
+        // An active node failed: try to promote an up standby.
+        if let Some(standby) = self.find_up_standby() {
+            self.roles.swap(node, standby);
+            let until_candidate = now + self.failover_time;
+            let until = match self.failover_until {
+                Some(existing) if existing > until_candidate => existing,
+                _ => until_candidate,
+            };
+            self.failover_until = Some(until);
+            self.failover_token += 1;
+            self.failover_windows += 1;
+            return FailureOutcome::FailoverStarted {
+                until,
+                token: self.failover_token,
+            };
+        }
+
+        // No standby available: breakdown (or deepen an existing one).
+        if was_broken {
+            FailureOutcome::AlreadyBroken
+        } else {
+            self.breakdowns += 1;
+            FailureOutcome::BrokeDown
+        }
+    }
+
+    /// Feeds a node repair at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or already up.
+    pub fn node_repaired(&mut self, node: usize, _now: SimTime) {
+        assert!(!self.node_up[node], "node {node} repaired while already up");
+        self.node_up[node] = true;
+        self.up_count += 1;
+
+        // If an active slot is vacant (cluster broken), fill it with this
+        // node: swap roles with a down active.
+        // If the node already held an active role it simply resumes it;
+        // a standby fills a vacant active slot when the cluster is short.
+        if self.up_active_count() < self.required_active && self.roles[node] == Role::Standby {
+            if let Some(vacant) = self.find_down_active() {
+                self.roles.swap(node, vacant);
+            }
+        }
+    }
+
+    /// Feeds a failover-window end. Stale tokens (superseded by a newer,
+    /// longer window) are ignored.
+    pub fn failover_ended(&mut self, token: u64, now: SimTime) {
+        if token != self.failover_token {
+            return;
+        }
+        if let Some(until) = self.failover_until {
+            if now >= until {
+                self.failover_until = None;
+            }
+        }
+    }
+
+    fn up_active_count(&self) -> u32 {
+        self.roles
+            .iter()
+            .zip(&self.node_up)
+            .filter(|(r, up)| **r == Role::Active && **up)
+            .count() as u32
+    }
+
+    fn find_up_standby(&self) -> Option<usize> {
+        self.roles
+            .iter()
+            .zip(&self.node_up)
+            .position(|(r, up)| *r == Role::Standby && *up)
+    }
+
+    fn find_down_active(&self) -> Option<usize> {
+        self.roles
+            .iter()
+            .zip(&self.node_up)
+            .position(|(r, up)| *r == Role::Active && !*up)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(min: f64) -> SimTime {
+        SimTime::from_minutes(min)
+    }
+
+    fn raid1() -> ClusterSim {
+        // 1 active + 1 standby, 0.5 min failover.
+        ClusterSim::new("storage", 2, 1, SimDuration::from_minutes(0.5))
+    }
+
+    fn vmware() -> ClusterSim {
+        // 3 active + 1 standby, 6 min failover.
+        ClusterSim::new("compute", 4, 3, SimDuration::from_minutes(6.0))
+    }
+
+    #[test]
+    fn starts_operational() {
+        let c = vmware();
+        assert_eq!(c.status(), ClusterStatus::Operational);
+        assert!(!c.is_down());
+        assert_eq!(c.up_count(), 4);
+        assert_eq!(c.total_nodes(), 4);
+        assert!(c.node_is_up(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "required_active")]
+    fn zero_required_active_panics() {
+        let _ = ClusterSim::new("bad", 2, 0, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn active_failure_with_standby_opens_window() {
+        let mut c = vmware();
+        let outcome = c.node_failed(0, t(10.0));
+        match outcome {
+            FailureOutcome::FailoverStarted { until, token } => {
+                assert_eq!(until, t(16.0));
+                assert_eq!(token, 1);
+            }
+            other => panic!("expected failover, got {other:?}"),
+        }
+        assert_eq!(c.status(), ClusterStatus::FailingOver);
+        assert!(c.is_down());
+        assert_eq!(c.failover_windows(), 1);
+
+        // Window closes on matching token at/after the deadline.
+        c.failover_ended(1, t(16.0));
+        assert_eq!(c.status(), ClusterStatus::Operational);
+    }
+
+    #[test]
+    fn standby_failure_is_invisible() {
+        let mut c = vmware();
+        // Node 3 is the standby.
+        assert_eq!(c.node_failed(3, t(1.0)), FailureOutcome::StandbyLost);
+        assert_eq!(c.status(), ClusterStatus::Operational);
+        assert_eq!(c.failover_windows(), 0);
+    }
+
+    #[test]
+    fn active_failure_without_standby_breaks_down() {
+        let mut c = raid1();
+        assert_eq!(c.node_failed(1, t(1.0)), FailureOutcome::StandbyLost);
+        // The remaining node is active; its failure has no standby left.
+        assert_eq!(c.node_failed(0, t(2.0)), FailureOutcome::BrokeDown);
+        assert_eq!(c.status(), ClusterStatus::Broken);
+        assert_eq!(c.breakdowns(), 1);
+    }
+
+    #[test]
+    fn repair_recovers_breakdown_without_extra_window() {
+        let mut c = raid1();
+        c.node_failed(1, t(1.0));
+        c.node_failed(0, t(2.0));
+        assert_eq!(c.status(), ClusterStatus::Broken);
+        c.node_repaired(1, t(3.0));
+        // Former standby takes the active slot; no failover window.
+        assert_eq!(c.status(), ClusterStatus::Operational);
+        assert_eq!(c.failover_windows(), 0);
+    }
+
+    #[test]
+    fn promoted_standby_failure_triggers_second_window() {
+        let mut c = raid1();
+        // Active node 0 fails: standby 1 promoted, window opens.
+        assert!(matches!(
+            c.node_failed(0, t(1.0)),
+            FailureOutcome::FailoverStarted { .. }
+        ));
+        c.failover_ended(1, t(1.5));
+        assert_eq!(c.status(), ClusterStatus::Operational);
+        // Node 0 repairs: becomes the standby.
+        c.node_repaired(0, t(2.0));
+        // Node 1 (now active) fails: node 0 must be promoted.
+        assert!(matches!(
+            c.node_failed(1, t(3.0)),
+            FailureOutcome::FailoverStarted { token: 2, .. }
+        ));
+        assert_eq!(c.failover_windows(), 2);
+    }
+
+    #[test]
+    fn overlapping_windows_extend_and_stale_tokens_ignored() {
+        // 3 active + 2 standbys so two overlapping failovers are possible.
+        let mut c = ClusterSim::new("compute", 5, 3, SimDuration::from_minutes(6.0));
+        let first = c.node_failed(0, t(0.0));
+        let FailureOutcome::FailoverStarted { token: t1, .. } = first else {
+            panic!("expected window");
+        };
+        // Second active failure at minute 3: window now ends at minute 9.
+        let second = c.node_failed(1, t(3.0));
+        let FailureOutcome::FailoverStarted { until, token: t2 } = second else {
+            panic!("expected window");
+        };
+        assert_eq!(until, t(9.0));
+        assert_ne!(t1, t2);
+        // The first window's end event arrives at minute 6: stale, ignored.
+        c.failover_ended(t1, t(6.0));
+        assert_eq!(c.status(), ClusterStatus::FailingOver);
+        // The second window's end clears it.
+        c.failover_ended(t2, t(9.0));
+        assert_eq!(c.status(), ClusterStatus::Operational);
+    }
+
+    #[test]
+    fn breakdown_takes_precedence_over_failover_in_status() {
+        let mut c = raid1();
+        assert!(matches!(
+            c.node_failed(0, t(0.0)),
+            FailureOutcome::FailoverStarted { .. }
+        ));
+        // Promoted node fails inside the window: breakdown.
+        assert_eq!(c.node_failed(1, t(0.1)), FailureOutcome::BrokeDown);
+        assert_eq!(c.status(), ClusterStatus::Broken);
+        // Repair one node: active slot refilled, but the old failover
+        // window may still be open.
+        c.node_repaired(0, t(0.2));
+        assert_eq!(c.status(), ClusterStatus::FailingOver);
+        c.failover_ended(1, t(0.5));
+        assert_eq!(c.status(), ClusterStatus::Operational);
+    }
+
+    #[test]
+    fn deepened_breakdown_counted_once() {
+        let mut c = vmware();
+        c.node_failed(3, t(0.0)); // standby gone
+        c.node_failed(0, t(1.0)); // breakdown (no standby left)
+        assert_eq!(c.breakdowns(), 1);
+        assert_eq!(c.node_failed(1, t(2.0)), FailureOutcome::AlreadyBroken);
+        assert_eq!(c.breakdowns(), 1);
+        assert_eq!(c.up_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already down")]
+    fn double_failure_panics() {
+        let mut c = raid1();
+        c.node_failed(0, t(0.0));
+        let snapshot = c.clone();
+        drop(snapshot);
+        c.node_failed(0, t(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already up")]
+    fn double_repair_panics() {
+        let mut c = raid1();
+        c.node_repaired(0, t(0.0));
+    }
+
+    #[test]
+    fn singleton_cluster_breaks_immediately() {
+        let mut c = ClusterSim::new("web", 1, 1, SimDuration::ZERO);
+        assert_eq!(c.node_failed(0, t(0.0)), FailureOutcome::BrokeDown);
+        assert_eq!(c.status(), ClusterStatus::Broken);
+        c.node_repaired(0, t(1.0));
+        assert_eq!(c.status(), ClusterStatus::Operational);
+    }
+}

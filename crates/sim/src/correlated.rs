@@ -1,0 +1,519 @@
+//! Correlated (common-cause) failure simulation.
+//!
+//! Eq. 2 of the paper assumes node failures are **independent**; §IV's
+//! threats-to-validity hints this may not hold in real estates, where a
+//! rack power event or a zone outage fells several nodes of a cluster at
+//! once. This module simulates exactly that: on top of each node's
+//! independent renewal process, a Poisson stream of *common-cause events*
+//! knocks out up to `blast_radius` currently-up nodes of a cluster
+//! simultaneously.
+//!
+//! Comparing this simulator's observed availability against the analytic
+//! `U_s` quantifies how optimistic the independence assumption is
+//! (experiment T1 in EXPERIMENTS.md).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+use uptime_core::{FailureDynamics, SystemSpec};
+
+use crate::accountant::DowntimeAccountant;
+use crate::cluster::{ClusterSim, FailureOutcome};
+use crate::error::SimError;
+use crate::report::{ClusterReport, SimReport};
+use crate::rng::ExpSampler;
+use crate::time::{SimDuration, SimTime};
+
+/// Common-cause failure behaviour for one cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommonCause {
+    /// Events per year striking the cluster.
+    pub rate_per_year: f64,
+    /// Up-nodes knocked out per event (clamped to the available up count).
+    pub blast_radius: u32,
+    /// Mean repair time, in minutes, for nodes downed by an event.
+    pub mttr_minutes: f64,
+}
+
+impl CommonCause {
+    /// No common-cause failures at all.
+    pub const NONE: CommonCause = CommonCause {
+        rate_per_year: 0.0,
+        blast_radius: 0,
+        mttr_minutes: 0.0,
+    };
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    /// Natural (independent) failure of one node. Stale generations are
+    /// dropped: a common-cause strike bumps the node's generation.
+    NodeFailed {
+        cluster: usize,
+        node: usize,
+        gen: u64,
+    },
+    NodeRepaired {
+        cluster: usize,
+        node: usize,
+        gen: u64,
+    },
+    FailoverEnded {
+        cluster: usize,
+        token: u64,
+    },
+    CommonCause {
+        cluster: usize,
+    },
+    Horizon,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: Kind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A simulation with per-cluster common-cause failure streams layered on
+/// the independent node renewal processes.
+///
+/// # Examples
+///
+/// ```
+/// use uptime_core::{ClusterSpec, FailuresPerYear, Minutes, Probability, SystemSpec};
+/// use uptime_sim::correlated::{CommonCause, CorrelatedSimulation};
+/// use uptime_sim::SimDuration;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let system = SystemSpec::builder()
+///     .cluster(
+///         ClusterSpec::builder("storage")
+///             .total_nodes(2)
+///             .standby_budget(1)
+///             .node_down_probability(Probability::new(0.05)?)
+///             .failures_per_year(FailuresPerYear::new(2.0)?)
+///             .failover_time(Minutes::from_seconds(30.0)?)
+///             .build()?,
+///     )
+///     .build()?;
+/// // A "rack event" twice a year takes out both mirrors for ~2 hours.
+/// let report = CorrelatedSimulation::new(
+///     &system,
+///     vec![CommonCause { rate_per_year: 2.0, blast_radius: 2, mttr_minutes: 120.0 }],
+///     SimDuration::from_minutes(200.0 * 525_600.0),
+///     1,
+/// )?
+/// .run();
+/// // Independent model says 99.75 % — correlation drags it lower.
+/// assert!(report.availability().value() < 0.9975);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CorrelatedSimulation {
+    clusters: Vec<ClusterSim>,
+    node_dynamics: Vec<(f64, f64)>, // (mtbf_ms, mttr_ms) per cluster
+    common: Vec<CommonCause>,
+    horizon: SimDuration,
+    seed: u64,
+}
+
+impl CorrelatedSimulation {
+    /// Prepares a correlated simulation. `common` must have one entry per
+    /// cluster (use [`CommonCause::NONE`] for unaffected clusters).
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::EmptyHorizon`] for a zero horizon.
+    /// * [`SimError::InvalidDynamics`] for unusable `(P, f)` pairs or
+    ///   mismatched `common` arity.
+    pub fn new(
+        system: &SystemSpec,
+        common: Vec<CommonCause>,
+        horizon: SimDuration,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        if horizon == SimDuration::ZERO {
+            return Err(SimError::EmptyHorizon);
+        }
+        if common.len() != system.len() {
+            return Err(SimError::InvalidDynamics {
+                cluster: format!(
+                    "common-cause arity {} != cluster count {}",
+                    common.len(),
+                    system.len()
+                ),
+                source: uptime_core::ModelError::EmptySystem,
+            });
+        }
+        let mut clusters = Vec::with_capacity(system.len());
+        let mut node_dynamics = Vec::with_capacity(system.len());
+        for spec in system.clusters() {
+            let dyn_ = FailureDynamics::from_paper_params(
+                spec.node_down_probability(),
+                spec.failures_per_year(),
+            )
+            .map_err(|source| SimError::InvalidDynamics {
+                cluster: spec.name().to_owned(),
+                source,
+            })?;
+            clusters.push(ClusterSim::new(
+                spec.name(),
+                spec.total_nodes(),
+                spec.active_nodes(),
+                SimDuration::from_model(spec.failover_time()),
+            ));
+            node_dynamics.push((
+                dyn_.mtbf().as_minutes().value() * 60_000.0,
+                dyn_.mttr().as_minutes().value() * 60_000.0,
+            ));
+        }
+        Ok(CorrelatedSimulation {
+            clusters,
+            node_dynamics,
+            common,
+            horizon,
+            seed,
+        })
+    }
+
+    /// Runs the event loop to the horizon.
+    #[must_use]
+    pub fn run(mut self) -> SimReport {
+        let horizon_time = SimTime::ZERO + self.horizon;
+        let mut sampler = ExpSampler::seed_from_u64(self.seed);
+        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+        let mut seq: u64 = 0;
+        let mut schedule = |heap: &mut BinaryHeap<Event>, at: SimTime, kind: Kind| {
+            heap.push(Event { at, seq, kind });
+            seq += 1;
+        };
+
+        // Generation per node: bumped whenever a common-cause strike
+        // overrides the node's natural renewal chain.
+        let mut gens: Vec<Vec<u64>> = self
+            .clusters
+            .iter()
+            .map(|c| vec![0; c.total_nodes() as usize])
+            .collect();
+
+        schedule(&mut heap, horizon_time, Kind::Horizon);
+        for (ci, cluster) in self.clusters.iter().enumerate() {
+            for node in 0..cluster.total_nodes() as usize {
+                let ttf = sampler.sample_exponential_ms(self.node_dynamics[ci].0);
+                schedule(
+                    &mut heap,
+                    SimTime::ZERO + ttf,
+                    Kind::NodeFailed {
+                        cluster: ci,
+                        node,
+                        gen: 0,
+                    },
+                );
+            }
+            let cc = self.common[ci];
+            if cc.rate_per_year > 0.0 && cc.blast_radius > 0 {
+                let mean_ms = 525_600.0 * 60_000.0 / cc.rate_per_year;
+                let gap = sampler.sample_exponential_ms(mean_ms);
+                schedule(
+                    &mut heap,
+                    SimTime::ZERO + gap,
+                    Kind::CommonCause { cluster: ci },
+                );
+            }
+        }
+
+        let mut accountant = DowntimeAccountant::new(self.clusters.len());
+        while let Some(event) = heap.pop() {
+            let now = event.at;
+            match event.kind {
+                Kind::Horizon => break,
+                Kind::NodeFailed {
+                    cluster: ci,
+                    node,
+                    gen,
+                } => {
+                    if gens[ci][node] != gen || !self.clusters[ci].node_is_up(node) {
+                        continue; // superseded by a common-cause strike
+                    }
+                    let outcome = self.clusters[ci].node_failed(node, now);
+                    if let FailureOutcome::FailoverStarted { until, token } = outcome {
+                        schedule(&mut heap, until, Kind::FailoverEnded { cluster: ci, token });
+                    }
+                    let ttr = sampler.sample_exponential_ms(self.node_dynamics[ci].1.max(1.0));
+                    schedule(
+                        &mut heap,
+                        now + ttr,
+                        Kind::NodeRepaired {
+                            cluster: ci,
+                            node,
+                            gen,
+                        },
+                    );
+                    accountant.set_cluster_state(ci, self.clusters[ci].is_down(), now);
+                }
+                Kind::NodeRepaired {
+                    cluster: ci,
+                    node,
+                    gen,
+                } => {
+                    if gens[ci][node] != gen || self.clusters[ci].node_is_up(node) {
+                        continue;
+                    }
+                    self.clusters[ci].node_repaired(node, now);
+                    let ttf = sampler.sample_exponential_ms(self.node_dynamics[ci].0);
+                    schedule(
+                        &mut heap,
+                        now + ttf,
+                        Kind::NodeFailed {
+                            cluster: ci,
+                            node,
+                            gen,
+                        },
+                    );
+                    accountant.set_cluster_state(ci, self.clusters[ci].is_down(), now);
+                }
+                Kind::FailoverEnded { cluster: ci, token } => {
+                    self.clusters[ci].failover_ended(token, now);
+                    accountant.set_cluster_state(ci, self.clusters[ci].is_down(), now);
+                }
+                Kind::CommonCause { cluster: ci } => {
+                    let cc = self.common[ci];
+                    // Strike up to blast_radius currently-up nodes (lowest
+                    // indices first — a "rack" of adjacent nodes).
+                    let victims: Vec<usize> = (0..self.clusters[ci].total_nodes() as usize)
+                        .filter(|&n| self.clusters[ci].node_is_up(n))
+                        .take(cc.blast_radius as usize)
+                        .collect();
+                    for node in victims {
+                        // Supersede the node's natural chain.
+                        gens[ci][node] += 1;
+                        let gen = gens[ci][node];
+                        let outcome = self.clusters[ci].node_failed(node, now);
+                        if let FailureOutcome::FailoverStarted { until, token } = outcome {
+                            schedule(&mut heap, until, Kind::FailoverEnded { cluster: ci, token });
+                        }
+                        let ttr =
+                            sampler.sample_exponential_ms((cc.mttr_minutes * 60_000.0).max(1.0));
+                        schedule(
+                            &mut heap,
+                            now + ttr,
+                            Kind::NodeRepaired {
+                                cluster: ci,
+                                node,
+                                gen,
+                            },
+                        );
+                    }
+                    accountant.set_cluster_state(ci, self.clusters[ci].is_down(), now);
+                    // Next strike.
+                    let mean_ms = 525_600.0 * 60_000.0 / cc.rate_per_year;
+                    let gap = sampler.sample_exponential_ms(mean_ms);
+                    schedule(&mut heap, now + gap, Kind::CommonCause { cluster: ci });
+                }
+            }
+        }
+        accountant.finalize(horizon_time);
+
+        let clusters = self
+            .clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ClusterReport {
+                name: c.name().to_owned(),
+                downtime: accountant.cluster_downtime(i),
+                failover_windows: c.failover_windows(),
+                breakdowns: c.breakdowns(),
+            })
+            .collect();
+        SimReport::new(
+            self.horizon,
+            accountant.system_downtime(),
+            accountant.system_outages(),
+            clusters,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uptime_core::{ClusterSpec, FailuresPerYear, Minutes, Probability};
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    fn raid_system() -> SystemSpec {
+        SystemSpec::builder()
+            .cluster(
+                ClusterSpec::builder("storage")
+                    .total_nodes(2)
+                    .standby_budget(1)
+                    .node_down_probability(p(0.05))
+                    .failures_per_year(FailuresPerYear::new(2.0).unwrap())
+                    .failover_time(Minutes::from_seconds(30.0).unwrap())
+                    .build()
+                    .unwrap(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn years(y: f64) -> SimDuration {
+        SimDuration::from_minutes(y * 525_600.0)
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let err = CorrelatedSimulation::new(&raid_system(), vec![], years(1.0), 1).unwrap_err();
+        assert!(matches!(err, SimError::InvalidDynamics { .. }));
+    }
+
+    #[test]
+    fn zero_horizon_rejected() {
+        let err = CorrelatedSimulation::new(
+            &raid_system(),
+            vec![CommonCause::NONE],
+            SimDuration::ZERO,
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::EmptyHorizon));
+    }
+
+    #[test]
+    fn without_common_cause_matches_independent_model() {
+        let system = raid_system();
+        let analytic = system.uptime().availability().value();
+        let report = CorrelatedSimulation::new(&system, vec![CommonCause::NONE], years(400.0), 3)
+            .unwrap()
+            .run();
+        assert!(
+            (report.availability().value() - analytic).abs() < 0.002,
+            "observed {} vs analytic {analytic}",
+            report.availability()
+        );
+    }
+
+    #[test]
+    fn common_cause_degrades_availability_below_model() {
+        let system = raid_system();
+        let analytic = system.uptime().availability().value();
+        // 4 rack events/year, both mirrors out for ~4 hours each.
+        let report = CorrelatedSimulation::new(
+            &system,
+            vec![CommonCause {
+                rate_per_year: 4.0,
+                blast_radius: 2,
+                mttr_minutes: 240.0,
+            }],
+            years(300.0),
+            4,
+        )
+        .unwrap()
+        .run();
+        // Each strike downs both mirrors; the pair recovers at the first
+        // of two Exp(4 h) repairs (mean 2 h), so correlated downtime adds
+        // ≈ 4 × 2 h = 8 h/yr ≈ 0.09 % that the independent model misses.
+        let observed = report.availability().value();
+        assert!(
+            analytic - observed > 0.0005,
+            "independence assumption must be visibly optimistic: analytic {analytic}, observed {observed}"
+        );
+        assert!(
+            report.clusters()[0].breakdowns > 100,
+            "strikes break the pair"
+        );
+    }
+
+    #[test]
+    fn blast_radius_one_behaves_like_extra_failure_rate() {
+        // A single-node blast with the node's own MTTR is just extra f.
+        let system = raid_system();
+        let report = CorrelatedSimulation::new(
+            &system,
+            vec![CommonCause {
+                rate_per_year: 2.0,
+                blast_radius: 1,
+                mttr_minutes: 60.0,
+            }],
+            years(200.0),
+            5,
+        )
+        .unwrap()
+        .run();
+        // More failovers than the baseline 2/yr stream alone.
+        let rate = report.clusters()[0].failover_windows as f64 / 200.0;
+        assert!(rate > 2.0, "got {rate}/yr");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let system = raid_system();
+        let cc = vec![CommonCause {
+            rate_per_year: 1.0,
+            blast_radius: 2,
+            mttr_minutes: 30.0,
+        }];
+        let a = CorrelatedSimulation::new(&system, cc.clone(), years(50.0), 9)
+            .unwrap()
+            .run();
+        let b = CorrelatedSimulation::new(&system, cc, years(50.0), 9)
+            .unwrap()
+            .run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multi_cluster_with_mixed_configs() {
+        let system = SystemSpec::builder()
+            .cluster(ClusterSpec::singleton("web", p(0.01), 1.0).unwrap())
+            .cluster(
+                ClusterSpec::builder("storage")
+                    .total_nodes(3)
+                    .standby_budget(1)
+                    .node_down_probability(p(0.02))
+                    .failures_per_year(FailuresPerYear::new(2.0).unwrap())
+                    .failover_time(Minutes::new(1.0).unwrap())
+                    .build()
+                    .unwrap(),
+            )
+            .build()
+            .unwrap();
+        let report = CorrelatedSimulation::new(
+            &system,
+            vec![
+                CommonCause::NONE,
+                CommonCause {
+                    rate_per_year: 2.0,
+                    blast_radius: 3,
+                    mttr_minutes: 60.0,
+                },
+            ],
+            years(100.0),
+            11,
+        )
+        .unwrap()
+        .run();
+        assert!(report.availability().value() < 1.0);
+        assert!(report.clusters()[1].breakdowns > 0);
+    }
+}

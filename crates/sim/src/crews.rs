@@ -1,0 +1,365 @@
+//! Repair-crew-constrained simulation.
+//!
+//! The paper's `C_HA` includes a *labor* component (FTE fractions at an
+//! hourly rate), but the model assumes every failed node is repaired
+//! immediately and independently — as if the provider had unlimited
+//! staff. This simulator caps concurrent repairs per cluster at a crew
+//! count: excess failures queue FIFO until a crew frees up. With crews
+//! under-provisioned, effective MTTR inflates and availability falls below
+//! Eq. 2's prediction — the staffing ablation (experiment L1) connecting
+//! the FTE line item back to uptime.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use uptime_core::{FailureDynamics, SystemSpec};
+
+use crate::accountant::DowntimeAccountant;
+use crate::cluster::{ClusterSim, FailureOutcome};
+use crate::error::SimError;
+use crate::report::{ClusterReport, SimReport};
+use crate::rng::ExpSampler;
+use crate::time::{SimDuration, SimTime};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    NodeFailed { cluster: usize, node: usize },
+    RepairDone { cluster: usize, node: usize },
+    FailoverEnded { cluster: usize, token: u64 },
+    Horizon,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: Kind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A simulation where each cluster has a fixed number of repair crews;
+/// a node's repair *starts* only when a crew is free.
+///
+/// # Examples
+///
+/// ```
+/// use uptime_core::{ClusterSpec, Probability, SystemSpec};
+/// use uptime_sim::crews::CrewSimulation;
+/// use uptime_sim::SimDuration;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let system = SystemSpec::builder()
+///     .cluster(ClusterSpec::singleton("web", Probability::new(0.05)?, 4.0)?)
+///     .build()?;
+/// let horizon = SimDuration::from_minutes(50.0 * 525_600.0);
+/// let report = CrewSimulation::new(&system, vec![1], horizon, 3)?.run();
+/// // One node, one crew: same as the unconstrained model.
+/// assert!((report.availability().value() - 0.95).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CrewSimulation {
+    clusters: Vec<ClusterSim>,
+    node_dynamics: Vec<(f64, f64)>, // (mtbf_ms, mttr_ms) per cluster
+    crews: Vec<u32>,
+    horizon: SimDuration,
+    seed: u64,
+}
+
+impl CrewSimulation {
+    /// Prepares a crew-constrained simulation; `crews` has one entry per
+    /// cluster (0 is clamped to 1 — some repair capacity must exist).
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::EmptyHorizon`] for a zero horizon.
+    /// * [`SimError::InvalidDynamics`] for unusable `(P, f)` pairs or a
+    ///   crew-arity mismatch.
+    pub fn new(
+        system: &SystemSpec,
+        crews: Vec<u32>,
+        horizon: SimDuration,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        if horizon == SimDuration::ZERO {
+            return Err(SimError::EmptyHorizon);
+        }
+        if crews.len() != system.len() {
+            return Err(SimError::InvalidDynamics {
+                cluster: format!(
+                    "crew arity {} != cluster count {}",
+                    crews.len(),
+                    system.len()
+                ),
+                source: uptime_core::ModelError::EmptySystem,
+            });
+        }
+        let mut clusters = Vec::with_capacity(system.len());
+        let mut node_dynamics = Vec::with_capacity(system.len());
+        for spec in system.clusters() {
+            let dyn_ = FailureDynamics::from_paper_params(
+                spec.node_down_probability(),
+                spec.failures_per_year(),
+            )
+            .map_err(|source| SimError::InvalidDynamics {
+                cluster: spec.name().to_owned(),
+                source,
+            })?;
+            clusters.push(ClusterSim::new(
+                spec.name(),
+                spec.total_nodes(),
+                spec.active_nodes(),
+                SimDuration::from_model(spec.failover_time()),
+            ));
+            node_dynamics.push((
+                dyn_.mtbf().as_minutes().value() * 60_000.0,
+                dyn_.mttr().as_minutes().value() * 60_000.0,
+            ));
+        }
+        Ok(CrewSimulation {
+            clusters,
+            node_dynamics,
+            crews: crews.into_iter().map(|c| c.max(1)).collect(),
+            horizon,
+            seed,
+        })
+    }
+
+    /// Runs the event loop to the horizon.
+    #[must_use]
+    pub fn run(mut self) -> SimReport {
+        let horizon_time = SimTime::ZERO + self.horizon;
+        let mut sampler = ExpSampler::seed_from_u64(self.seed);
+        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut schedule = |heap: &mut BinaryHeap<Event>, at: SimTime, kind: Kind| {
+            heap.push(Event { at, seq, kind });
+            seq += 1;
+        };
+
+        let mut busy: Vec<u32> = vec![0; self.clusters.len()];
+        let mut waiting: Vec<VecDeque<usize>> = vec![VecDeque::new(); self.clusters.len()];
+
+        schedule(&mut heap, horizon_time, Kind::Horizon);
+        for (ci, cluster) in self.clusters.iter().enumerate() {
+            for node in 0..cluster.total_nodes() as usize {
+                let ttf = sampler.sample_exponential_ms(self.node_dynamics[ci].0);
+                schedule(
+                    &mut heap,
+                    SimTime::ZERO + ttf,
+                    Kind::NodeFailed { cluster: ci, node },
+                );
+            }
+        }
+
+        let mut accountant = DowntimeAccountant::new(self.clusters.len());
+        while let Some(event) = heap.pop() {
+            let now = event.at;
+            match event.kind {
+                Kind::Horizon => break,
+                Kind::NodeFailed { cluster: ci, node } => {
+                    let outcome = self.clusters[ci].node_failed(node, now);
+                    if let FailureOutcome::FailoverStarted { until, token } = outcome {
+                        schedule(&mut heap, until, Kind::FailoverEnded { cluster: ci, token });
+                    }
+                    if busy[ci] < self.crews[ci] {
+                        busy[ci] += 1;
+                        let ttr = sampler.sample_exponential_ms(self.node_dynamics[ci].1.max(1.0));
+                        schedule(&mut heap, now + ttr, Kind::RepairDone { cluster: ci, node });
+                    } else {
+                        waiting[ci].push_back(node);
+                    }
+                    accountant.set_cluster_state(ci, self.clusters[ci].is_down(), now);
+                }
+                Kind::RepairDone { cluster: ci, node } => {
+                    self.clusters[ci].node_repaired(node, now);
+                    let ttf = sampler.sample_exponential_ms(self.node_dynamics[ci].0);
+                    schedule(&mut heap, now + ttf, Kind::NodeFailed { cluster: ci, node });
+                    // Hand the crew to the next queued casualty, if any.
+                    if let Some(next) = waiting[ci].pop_front() {
+                        let ttr = sampler.sample_exponential_ms(self.node_dynamics[ci].1.max(1.0));
+                        schedule(
+                            &mut heap,
+                            now + ttr,
+                            Kind::RepairDone {
+                                cluster: ci,
+                                node: next,
+                            },
+                        );
+                    } else {
+                        busy[ci] -= 1;
+                    }
+                    accountant.set_cluster_state(ci, self.clusters[ci].is_down(), now);
+                }
+                Kind::FailoverEnded { cluster: ci, token } => {
+                    self.clusters[ci].failover_ended(token, now);
+                    accountant.set_cluster_state(ci, self.clusters[ci].is_down(), now);
+                }
+            }
+        }
+        accountant.finalize(horizon_time);
+
+        let clusters = self
+            .clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ClusterReport {
+                name: c.name().to_owned(),
+                downtime: accountant.cluster_downtime(i),
+                failover_windows: c.failover_windows(),
+                breakdowns: c.breakdowns(),
+            })
+            .collect();
+        SimReport::new(
+            self.horizon,
+            accountant.system_downtime(),
+            accountant.system_outages(),
+            clusters,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uptime_core::{ClusterSpec, FailuresPerYear, Minutes, Probability};
+
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
+    fn years(y: f64) -> SimDuration {
+        SimDuration::from_minutes(y * 525_600.0)
+    }
+
+    /// A big, failure-heavy farm where repair contention matters:
+    /// 8 nodes needing 5 active, each failing 12×/year, P = 10 %.
+    fn stressed_farm() -> SystemSpec {
+        SystemSpec::builder()
+            .cluster(
+                ClusterSpec::builder("farm")
+                    .total_nodes(8)
+                    .standby_budget(3)
+                    .node_down_probability(p(0.10))
+                    .failures_per_year(FailuresPerYear::new(12.0).unwrap())
+                    .failover_time(Minutes::new(0.5).unwrap())
+                    .build()
+                    .unwrap(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn arity_and_horizon_validation() {
+        let sys = stressed_farm();
+        assert!(matches!(
+            CrewSimulation::new(&sys, vec![], years(1.0), 1),
+            Err(SimError::InvalidDynamics { .. })
+        ));
+        assert!(matches!(
+            CrewSimulation::new(&sys, vec![1], SimDuration::ZERO, 1),
+            Err(SimError::EmptyHorizon)
+        ));
+    }
+
+    #[test]
+    fn ample_crews_match_unconstrained_model() {
+        let sys = stressed_farm();
+        // 8 crews = one per node: never a queue.
+        let report = CrewSimulation::new(&sys, vec![8], years(150.0), 5)
+            .unwrap()
+            .run();
+        let analytic = sys.uptime().availability().value();
+        assert!(
+            (report.availability().value() - analytic).abs() < 0.01,
+            "observed {} vs analytic {analytic}",
+            report.availability()
+        );
+    }
+
+    #[test]
+    fn single_crew_degrades_availability() {
+        let sys = stressed_farm();
+        let starved = CrewSimulation::new(&sys, vec![1], years(150.0), 5)
+            .unwrap()
+            .run();
+        let staffed = CrewSimulation::new(&sys, vec![8], years(150.0), 5)
+            .unwrap()
+            .run();
+        assert!(
+            staffed.availability().value() - starved.availability().value() > 0.01,
+            "1 crew {} vs 8 crews {}",
+            starved.availability(),
+            staffed.availability()
+        );
+    }
+
+    #[test]
+    fn more_crews_monotonically_help() {
+        let sys = stressed_farm();
+        let mut prev = 0.0;
+        for crews in [1u32, 2, 4, 8] {
+            let report = CrewSimulation::new(&sys, vec![crews], years(100.0), 9)
+                .unwrap()
+                .run();
+            let availability = report.availability().value();
+            assert!(
+                availability >= prev - 0.005,
+                "crews {crews}: {availability} < prev {prev}"
+            );
+            prev = availability;
+        }
+    }
+
+    #[test]
+    fn zero_crews_clamped_to_one() {
+        let sys = stressed_farm();
+        let report = CrewSimulation::new(&sys, vec![0], years(20.0), 2)
+            .unwrap()
+            .run();
+        // Must terminate and produce sane numbers (0 crews would deadlock).
+        assert!(report.availability().value() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sys = stressed_farm();
+        let a = CrewSimulation::new(&sys, vec![2], years(30.0), 11)
+            .unwrap()
+            .run();
+        let b = CrewSimulation::new(&sys, vec![2], years(30.0), 11)
+            .unwrap()
+            .run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lightly_loaded_cluster_insensitive_to_crews() {
+        // Paper-like failure rates (1-2/yr): repairs almost never overlap,
+        // so even one crew matches the model.
+        let sys = SystemSpec::builder()
+            .cluster(ClusterSpec::singleton("web", p(0.01), 1.0).unwrap())
+            .build()
+            .unwrap();
+        let report = CrewSimulation::new(&sys, vec![1], years(300.0), 3)
+            .unwrap()
+            .run();
+        assert!((report.availability().value() - 0.99).abs() < 0.005);
+    }
+}

@@ -1,0 +1,109 @@
+//! Simulator error types.
+
+use std::fmt;
+
+/// Errors raised while configuring or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A cluster's `(P, f)` pair cannot be turned into failure dynamics.
+    InvalidDynamics {
+        /// Cluster name.
+        cluster: String,
+        /// Underlying model error.
+        source: uptime_core::ModelError,
+    },
+    /// The requested horizon is zero.
+    EmptyHorizon,
+    /// A scripted outage references a node that does not exist.
+    UnknownScriptTarget {
+        /// Cluster index referenced.
+        cluster: usize,
+        /// Node index referenced.
+        node: usize,
+    },
+    /// Two scripted outages for the same node overlap in time.
+    ScriptOverlap {
+        /// Cluster index.
+        cluster: usize,
+        /// Node index.
+        node: usize,
+    },
+    /// Monte-Carlo was asked for zero trials.
+    NoTrials,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidDynamics { cluster, source } => {
+                write!(
+                    f,
+                    "cluster `{cluster}` has unusable failure dynamics: {source}"
+                )
+            }
+            SimError::EmptyHorizon => write!(f, "simulation horizon must be positive"),
+            SimError::UnknownScriptTarget { cluster, node } => {
+                write!(
+                    f,
+                    "scripted outage targets unknown node {node} of cluster {cluster}"
+                )
+            }
+            SimError::ScriptOverlap { cluster, node } => {
+                write!(
+                    f,
+                    "scripted outages overlap on node {node} of cluster {cluster}"
+                )
+            }
+            SimError::NoTrials => write!(f, "monte-carlo needs at least one trial"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::InvalidDynamics { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let err = SimError::InvalidDynamics {
+            cluster: "db".into(),
+            source: uptime_core::ModelError::EmptySystem,
+        };
+        assert!(err.to_string().contains("db"));
+        assert_eq!(
+            SimError::EmptyHorizon.to_string(),
+            "simulation horizon must be positive"
+        );
+        assert!(SimError::UnknownScriptTarget {
+            cluster: 1,
+            node: 2
+        }
+        .to_string()
+        .contains("node 2 of cluster 1"));
+        assert_eq!(
+            SimError::NoTrials.to_string(),
+            "monte-carlo needs at least one trial"
+        );
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error;
+        let err = SimError::InvalidDynamics {
+            cluster: "x".into(),
+            source: uptime_core::ModelError::EmptySystem,
+        };
+        assert!(err.source().is_some());
+        assert!(SimError::EmptyHorizon.source().is_none());
+    }
+}

@@ -1,0 +1,176 @@
+//! The simulator's event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// What happens at an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A node transitions from up to down.
+    NodeFailed {
+        /// Cluster index within the system.
+        cluster: usize,
+        /// Node index within the cluster.
+        node: usize,
+    },
+    /// A node's repair completes; it transitions from down to up.
+    NodeRepaired {
+        /// Cluster index within the system.
+        cluster: usize,
+        /// Node index within the cluster.
+        node: usize,
+    },
+    /// A cluster's failover window ends.
+    FailoverEnded {
+        /// Cluster index within the system.
+        cluster: usize,
+        /// Token matching the `FailoverEnded` to the window that opened it;
+        /// stale tokens (superseded by a later, longer window) are ignored.
+        token: u64,
+    },
+    /// The simulation horizon is reached.
+    HorizonReached,
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Monotone sequence number; ties in `at` fire in insertion order.
+    pub seq: u64,
+    /// What fires.
+    pub kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Earliest-first event queue with stable FIFO ordering for simultaneous
+/// events.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules an event.
+    pub fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), EventKind::HorizonReached);
+        q.schedule(
+            SimTime::from_millis(10),
+            EventKind::NodeFailed {
+                cluster: 0,
+                node: 0,
+            },
+        );
+        q.schedule(
+            SimTime::from_millis(20),
+            EventKind::NodeRepaired {
+                cluster: 0,
+                node: 0,
+            },
+        );
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.as_millis())
+            .collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        q.schedule(
+            t,
+            EventKind::NodeFailed {
+                cluster: 0,
+                node: 1,
+            },
+        );
+        q.schedule(
+            t,
+            EventKind::NodeFailed {
+                cluster: 0,
+                node: 2,
+            },
+        );
+        q.schedule(
+            t,
+            EventKind::NodeFailed {
+                cluster: 0,
+                node: 3,
+            },
+        );
+        let nodes: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::NodeFailed { node, .. } => node,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(nodes, vec![1, 2, 3], "insertion order preserved");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::ZERO, EventKind::HorizonReached);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,145 @@
+//! Simulation results.
+
+use serde::{Deserialize, Serialize};
+use uptime_core::Probability;
+
+use crate::time::SimDuration;
+
+/// Per-cluster observation summary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Cluster display name.
+    pub name: String,
+    /// Total time the cluster was unavailable (breakdown + failover).
+    pub downtime: SimDuration,
+    /// Failover windows opened.
+    pub failover_windows: u64,
+    /// Breakdown episodes entered.
+    pub breakdowns: u64,
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimReport {
+    horizon: SimDuration,
+    system_downtime: SimDuration,
+    system_outages: u64,
+    clusters: Vec<ClusterReport>,
+}
+
+impl SimReport {
+    /// Assembles a report.
+    #[must_use]
+    pub fn new(
+        horizon: SimDuration,
+        system_downtime: SimDuration,
+        system_outages: u64,
+        clusters: Vec<ClusterReport>,
+    ) -> Self {
+        SimReport {
+            horizon,
+            system_downtime,
+            system_outages,
+            clusters,
+        }
+    }
+
+    /// The simulated horizon.
+    #[must_use]
+    pub fn horizon(&self) -> SimDuration {
+        self.horizon
+    }
+
+    /// Total system downtime (union of cluster outages).
+    #[must_use]
+    pub fn system_downtime(&self) -> SimDuration {
+        self.system_downtime
+    }
+
+    /// Number of distinct system outage episodes.
+    #[must_use]
+    pub fn system_outages(&self) -> u64 {
+        self.system_outages
+    }
+
+    /// Per-cluster summaries, in serial order.
+    #[must_use]
+    pub fn clusters(&self) -> &[ClusterReport] {
+        &self.clusters
+    }
+
+    /// Observed system availability `1 − downtime/horizon`.
+    #[must_use]
+    pub fn availability(&self) -> Probability {
+        Probability::saturating(1.0 - self.system_downtime.fraction_of(self.horizon))
+    }
+
+    /// Observed availability of one cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    #[must_use]
+    pub fn cluster_availability(&self, cluster: usize) -> Probability {
+        Probability::saturating(1.0 - self.clusters[cluster].downtime.fraction_of(self.horizon))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport::new(
+            SimDuration::from_millis(1_000),
+            SimDuration::from_millis(20),
+            3,
+            vec![
+                ClusterReport {
+                    name: "a".into(),
+                    downtime: SimDuration::from_millis(15),
+                    failover_windows: 2,
+                    breakdowns: 1,
+                },
+                ClusterReport {
+                    name: "b".into(),
+                    downtime: SimDuration::from_millis(10),
+                    failover_windows: 0,
+                    breakdowns: 1,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn availability_arithmetic() {
+        let r = report();
+        assert!((r.availability().value() - 0.98).abs() < 1e-12);
+        assert!((r.cluster_availability(0).value() - 0.985).abs() < 1e-12);
+        assert!((r.cluster_availability(1).value() - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accessors() {
+        let r = report();
+        assert_eq!(r.horizon().as_millis(), 1_000);
+        assert_eq!(r.system_downtime().as_millis(), 20);
+        assert_eq!(r.system_outages(), 3);
+        assert_eq!(r.clusters().len(), 2);
+        assert_eq!(r.clusters()[0].failover_windows, 2);
+    }
+
+    #[test]
+    fn zero_horizon_reads_as_fully_available() {
+        let r = SimReport::new(SimDuration::ZERO, SimDuration::ZERO, 0, vec![]);
+        assert_eq!(r.availability().value(), 1.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SimReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

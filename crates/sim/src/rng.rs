@@ -1,0 +1,101 @@
+//! Deterministic random processes for the simulator.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// A seeded exponential sampler, the failure/repair process generator.
+///
+/// Samples are inverse-CDF transformed draws from a [`StdRng`], so a given
+/// seed reproduces the exact event sequence across runs and platforms.
+#[derive(Debug)]
+pub struct ExpSampler {
+    rng: StdRng,
+}
+
+impl ExpSampler {
+    /// Creates a sampler from a seed.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        ExpSampler {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws an exponential duration with the given mean (in milliseconds),
+    /// clamped to at least 1 ms so events always advance the clock.
+    #[must_use]
+    pub fn sample_exponential_ms(&mut self, mean_ms: f64) -> SimDuration {
+        let u: f64 = self.rng.random();
+        // u ∈ [0, 1): use (1 − u) ∈ (0, 1] to avoid ln(0).
+        let draw = -mean_ms * (1.0 - u).ln();
+        SimDuration::from_millis(draw.round().max(1.0) as u64)
+    }
+
+    /// Draws a uniform `f64` in `[0, 1)` (used for tie-breaking decisions).
+    #[must_use]
+    pub fn sample_unit(&mut self) -> f64 {
+        self.rng.random()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = ExpSampler::seed_from_u64(42);
+        let mut b = ExpSampler::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.sample_exponential_ms(1000.0),
+                b.sample_exponential_ms(1000.0)
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ExpSampler::seed_from_u64(1);
+        let mut b = ExpSampler::seed_from_u64(2);
+        let same = (0..32)
+            .filter(|_| a.sample_exponential_ms(1000.0) == b.sample_exponential_ms(1000.0))
+            .count();
+        assert!(same < 32);
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let mut s = ExpSampler::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(s.sample_exponential_ms(5.0).as_millis() >= 1);
+        }
+    }
+
+    #[test]
+    fn mean_approximately_correct() {
+        let mut s = ExpSampler::seed_from_u64(4);
+        let mean_ms = 60_000.0;
+        let n = 20_000;
+        let total: u64 = (0..n)
+            .map(|_| s.sample_exponential_ms(mean_ms).as_millis())
+            .sum();
+        let observed = total as f64 / n as f64;
+        // Standard error ≈ mean/√n ≈ 424 ms; allow 5σ.
+        assert!(
+            (observed - mean_ms).abs() < 5.0 * mean_ms / (n as f64).sqrt(),
+            "observed mean {observed}"
+        );
+    }
+
+    #[test]
+    fn unit_samples_in_range() {
+        let mut s = ExpSampler::seed_from_u64(5);
+        for _ in 0..1000 {
+            let u = s.sample_unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

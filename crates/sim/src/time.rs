@@ -1,0 +1,229 @@
+//! Simulation clock: integer milliseconds for exact ordering.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+use uptime_core::Minutes;
+
+/// Milliseconds in one minute.
+const MS_PER_MINUTE: f64 = 60_000.0;
+
+/// Milliseconds in one (non-leap) year.
+pub const MS_PER_YEAR: u64 = 525_600 * 60_000;
+
+/// An instant on the simulation clock, in milliseconds since start.
+///
+/// Integer-valued so event ordering is exact and runs are reproducible.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant from raw milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Creates an instant a number of minutes after the epoch.
+    #[must_use]
+    pub fn from_minutes(minutes: f64) -> Self {
+        SimTime((minutes.max(0.0) * MS_PER_MINUTE).round() as u64)
+    }
+
+    /// Creates an instant a number of years after the epoch.
+    #[must_use]
+    pub fn from_years(years: f64) -> Self {
+        SimTime((years.max(0.0) * MS_PER_YEAR as f64).round() as u64)
+    }
+
+    /// Raw milliseconds since the epoch.
+    #[must_use]
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Minutes since the epoch.
+    #[must_use]
+    pub fn as_minutes(self) -> f64 {
+        self.0 as f64 / MS_PER_MINUTE
+    }
+
+    /// Years since the epoch.
+    #[must_use]
+    pub fn as_years(self) -> f64 {
+        self.0 as f64 / MS_PER_YEAR as f64
+    }
+
+    /// Duration since an earlier instant; saturates at zero.
+    #[must_use]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.3}min", self.as_minutes())
+    }
+}
+
+/// A span of simulation time, in milliseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// A zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a span from raw milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// Creates a span from fractional minutes (rounded to the millisecond).
+    #[must_use]
+    pub fn from_minutes(minutes: f64) -> Self {
+        SimDuration((minutes.max(0.0) * MS_PER_MINUTE).round() as u64)
+    }
+
+    /// Converts a model duration.
+    #[must_use]
+    pub fn from_model(minutes: Minutes) -> Self {
+        SimDuration::from_minutes(minutes.value())
+    }
+
+    /// Raw milliseconds.
+    #[must_use]
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// The span in fractional minutes.
+    #[must_use]
+    pub fn as_minutes(self) -> f64 {
+        self.0 as f64 / MS_PER_MINUTE
+    }
+
+    /// The span as a fraction of another span (e.g. downtime / horizon).
+    #[must_use]
+    pub fn fraction_of(self, whole: SimDuration) -> f64 {
+        if whole.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / whole.0 as f64
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}min", self.as_minutes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        let t = SimTime::from_minutes(6.0);
+        assert_eq!(t.as_millis(), 360_000);
+        assert!((t.as_minutes() - 6.0).abs() < 1e-12);
+
+        let y = SimTime::from_years(1.0);
+        assert_eq!(y.as_millis(), MS_PER_YEAR);
+        assert!((y.as_years() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_inputs_clamp_to_zero() {
+        assert_eq!(SimTime::from_minutes(-5.0), SimTime::ZERO);
+        assert_eq!(SimDuration::from_minutes(-1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime::from_millis(100);
+        let b = SimTime::from_millis(400);
+        assert_eq!(b.since(a).as_millis(), 300);
+        assert_eq!(a.since(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_millis(100);
+        let b = SimDuration::from_millis(40);
+        assert_eq!((a + b).as_millis(), 140);
+        assert_eq!((a - b).as_millis(), 60);
+        assert_eq!((b - a).as_millis(), 0);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_millis(), 140);
+    }
+
+    #[test]
+    fn fraction_of_handles_zero() {
+        let d = SimDuration::from_millis(50);
+        assert_eq!(d.fraction_of(SimDuration::ZERO), 0.0);
+        assert!((d.fraction_of(SimDuration::from_millis(200)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_model_minutes() {
+        let d = SimDuration::from_model(Minutes::from_seconds(30.0).unwrap());
+        assert_eq!(d.as_millis(), 30_000);
+    }
+
+    #[test]
+    fn time_ordering() {
+        assert!(SimTime::from_millis(1) < SimTime::from_millis(2));
+        let t = SimTime::from_millis(10) + SimDuration::from_millis(5);
+        assert_eq!(t.as_millis(), 15);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_minutes(1.5).to_string(), "t+1.500min");
+        assert_eq!(SimDuration::from_minutes(0.5).to_string(), "0.500min");
+    }
+}

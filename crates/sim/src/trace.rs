@@ -1,0 +1,134 @@
+//! Event traces: the raw telemetry a broker would harvest.
+//!
+//! The broker crate's estimators consume these to reconstruct `P̂_i`,
+//! `f̂_i` and `t̂_i` from observed behaviour — the "broker database"
+//! pipeline of the paper's Fig. 2.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// One observed infrastructure event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// Which cluster.
+    pub cluster: usize,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// The kinds of observable events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEventKind {
+    /// A node went down.
+    NodeDown {
+        /// Node index within the cluster.
+        node: usize,
+    },
+    /// A node came back up.
+    NodeUp {
+        /// Node index within the cluster.
+        node: usize,
+    },
+    /// A failover window opened.
+    FailoverStart,
+    /// The cluster returned to service after failing over.
+    FailoverEnd,
+}
+
+/// An append-only capture of trace events.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    pub fn record(&mut self, at: SimTime, cluster: usize, kind: TraceEventKind) {
+        self.events.push(TraceEvent { at, cluster, kind });
+    }
+
+    /// All events in capture order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of captured events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was captured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events concerning a single cluster, in capture order.
+    pub fn for_cluster(&self, cluster: usize) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.cluster == cluster)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_filter() {
+        let mut trace = Trace::new();
+        assert!(trace.is_empty());
+        trace.record(
+            SimTime::from_millis(1),
+            0,
+            TraceEventKind::NodeDown { node: 2 },
+        );
+        trace.record(SimTime::from_millis(2), 1, TraceEventKind::FailoverStart);
+        trace.record(
+            SimTime::from_millis(3),
+            0,
+            TraceEventKind::NodeUp { node: 2 },
+        );
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.for_cluster(0).count(), 2);
+        assert_eq!(trace.for_cluster(1).count(), 1);
+        assert_eq!(trace.for_cluster(9).count(), 0);
+    }
+
+    #[test]
+    fn events_keep_capture_order() {
+        let mut trace = Trace::new();
+        for i in 0..5 {
+            trace.record(
+                SimTime::from_millis(100 - i),
+                0,
+                TraceEventKind::FailoverEnd,
+            );
+        }
+        let times: Vec<u64> = trace.events().iter().map(|e| e.at.as_millis()).collect();
+        assert_eq!(times, vec![100, 99, 98, 97, 96]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut trace = Trace::new();
+        trace.record(
+            SimTime::from_millis(7),
+            2,
+            TraceEventKind::NodeDown { node: 0 },
+        );
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
+    }
+}

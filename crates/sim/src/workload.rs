@@ -1,0 +1,322 @@
+//! Request-level workload rider.
+//!
+//! Time-based availability (what the SLA measures) and *request-level*
+//! availability (what users feel) differ when traffic is non-uniform or
+//! outages cluster. This module rides a Poisson request stream over an
+//! outage log and reports how many requests landed inside outages — the
+//! user-visible counterpart of the paper's uptime number.
+
+use serde::{Deserialize, Serialize};
+use uptime_core::Probability;
+
+use crate::rng::ExpSampler;
+use crate::time::{SimDuration, SimTime};
+
+/// An ordered, non-overlapping log of system outage intervals
+/// (half-open: `[start, end)`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageLog {
+    intervals: Vec<(SimTime, SimTime)>,
+}
+
+impl OutageLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        OutageLog::default()
+    }
+
+    /// Appends an outage; must start at or after the previous outage's end.
+    ///
+    /// # Panics
+    ///
+    /// Panics when intervals are appended out of order or overlapping —
+    /// the accountant produces them ordered.
+    pub fn push(&mut self, start: SimTime, end: SimTime) {
+        assert!(start <= end, "outage must not end before it starts");
+        if let Some(&(_, prev_end)) = self.intervals.last() {
+            assert!(start >= prev_end, "outages must be ordered and disjoint");
+        }
+        self.intervals.push((start, end));
+    }
+
+    /// The intervals, ordered.
+    #[must_use]
+    pub fn intervals(&self) -> &[(SimTime, SimTime)] {
+        &self.intervals
+    }
+
+    /// Number of outages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether there were no outages.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Total outage time.
+    #[must_use]
+    pub fn total_downtime(&self) -> SimDuration {
+        self.intervals
+            .iter()
+            .map(|(s, e)| e.since(*s))
+            .fold(SimDuration::ZERO, |acc, d| acc + d)
+    }
+
+    /// The given percentile (nearest-rank) of individual outage durations,
+    /// or `None` when the log is empty. Useful for distinguishing many
+    /// short blips from few long outages with equal total downtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct` is not within `(0, 100]`.
+    #[must_use]
+    pub fn duration_percentile(&self, pct: f64) -> Option<SimDuration> {
+        assert!(pct > 0.0 && pct <= 100.0, "percentile must be in (0, 100]");
+        if self.intervals.is_empty() {
+            return None;
+        }
+        let mut durations: Vec<SimDuration> =
+            self.intervals.iter().map(|(s, e)| e.since(*s)).collect();
+        durations.sort_unstable();
+        let rank = ((pct / 100.0) * durations.len() as f64).ceil() as usize;
+        Some(durations[rank.clamp(1, durations.len()) - 1])
+    }
+
+    /// Total outage time overlapping the half-open window `[start, end)`.
+    #[must_use]
+    pub fn downtime_within(&self, start: SimTime, end: SimTime) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for &(s, e) in &self.intervals {
+            if e <= start {
+                continue;
+            }
+            if s >= end {
+                break;
+            }
+            let clipped_start = s.max(start);
+            let clipped_end = e.min(end);
+            total += clipped_end.since(clipped_start);
+        }
+        total
+    }
+
+    /// Whether an instant falls inside an outage (binary search).
+    #[must_use]
+    pub fn contains(&self, at: SimTime) -> bool {
+        match self.intervals.binary_search_by(|(s, _)| s.cmp(&at)) {
+            Ok(_) => true, // exactly at a start
+            Err(0) => false,
+            Err(i) => at < self.intervals[i - 1].1,
+        }
+    }
+}
+
+/// A Poisson request stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestWorkload {
+    rate_per_minute: f64,
+    seed: u64,
+}
+
+impl RequestWorkload {
+    /// Creates a workload with the given arrival rate (requests/minute).
+    #[must_use]
+    pub fn new(rate_per_minute: f64, seed: u64) -> Self {
+        RequestWorkload {
+            rate_per_minute: rate_per_minute.max(0.0),
+            seed,
+        }
+    }
+
+    /// Rides the stream over `[0, horizon)` against the outage log.
+    #[must_use]
+    pub fn assess(&self, outages: &OutageLog, horizon: SimDuration) -> WorkloadReport {
+        if self.rate_per_minute == 0.0 {
+            return WorkloadReport {
+                total: 0,
+                failed: 0,
+            };
+        }
+        let mut sampler = ExpSampler::seed_from_u64(self.seed);
+        let mean_gap_ms = 60_000.0 / self.rate_per_minute;
+        let horizon_time = SimTime::ZERO + horizon;
+        let mut now = SimTime::ZERO;
+        let mut total = 0u64;
+        let mut failed = 0u64;
+        loop {
+            now = now + sampler.sample_exponential_ms(mean_gap_ms);
+            if now >= horizon_time {
+                break;
+            }
+            total += 1;
+            if outages.contains(now) {
+                failed += 1;
+            }
+        }
+        WorkloadReport { total, failed }
+    }
+}
+
+/// Outcome of riding a workload over an outage log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadReport {
+    /// Requests issued.
+    pub total: u64,
+    /// Requests that landed inside an outage.
+    pub failed: u64,
+}
+
+impl WorkloadReport {
+    /// Request-level availability: `1 − failed/total` (1.0 when no
+    /// requests were issued).
+    #[must_use]
+    pub fn request_availability(&self) -> Probability {
+        if self.total == 0 {
+            Probability::ONE
+        } else {
+            Probability::saturating(1.0 - self.failed as f64 / self.total as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(min: f64) -> SimTime {
+        SimTime::from_minutes(min)
+    }
+
+    fn log(pairs: &[(f64, f64)]) -> OutageLog {
+        let mut l = OutageLog::new();
+        for (s, e) in pairs {
+            l.push(t(*s), t(*e));
+        }
+        l
+    }
+
+    #[test]
+    fn log_membership() {
+        let l = log(&[(10.0, 20.0), (50.0, 55.0)]);
+        assert!(!l.contains(t(5.0)));
+        assert!(l.contains(t(10.0)));
+        assert!(l.contains(t(15.0)));
+        assert!(!l.contains(t(20.0)), "half-open interval");
+        assert!(l.contains(t(52.0)));
+        assert!(!l.contains(t(100.0)));
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.total_downtime(), SimDuration::from_minutes(15.0));
+    }
+
+    #[test]
+    fn duration_percentiles() {
+        let l = log(&[(0.0, 1.0), (10.0, 15.0), (20.0, 30.0)]);
+        // Durations sorted: 1, 5, 10 minutes.
+        assert_eq!(
+            l.duration_percentile(50.0).unwrap(),
+            SimDuration::from_minutes(5.0)
+        );
+        assert_eq!(
+            l.duration_percentile(100.0).unwrap(),
+            SimDuration::from_minutes(10.0)
+        );
+        assert_eq!(
+            l.duration_percentile(1.0).unwrap(),
+            SimDuration::from_minutes(1.0)
+        );
+        assert!(OutageLog::new().duration_percentile(50.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn bad_percentile_panics() {
+        let _ = log(&[(0.0, 1.0)]).duration_percentile(0.0);
+    }
+
+    #[test]
+    fn downtime_within_clips_correctly() {
+        let l = log(&[(10.0, 20.0), (50.0, 60.0), (90.0, 110.0)]);
+        // Full containment.
+        assert_eq!(
+            l.downtime_within(t(0.0), t(30.0)),
+            SimDuration::from_minutes(10.0)
+        );
+        // Partial overlap on both ends.
+        assert_eq!(
+            l.downtime_within(t(15.0), t(55.0)),
+            SimDuration::from_minutes(10.0)
+        );
+        // Window inside one outage.
+        assert_eq!(
+            l.downtime_within(t(92.0), t(95.0)),
+            SimDuration::from_minutes(3.0)
+        );
+        // No overlap.
+        assert_eq!(l.downtime_within(t(25.0), t(45.0)), SimDuration::ZERO);
+        // Whole horizon.
+        assert_eq!(l.downtime_within(t(0.0), t(200.0)), l.total_downtime());
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered and disjoint")]
+    fn overlapping_push_panics() {
+        let mut l = log(&[(10.0, 20.0)]);
+        l.push(t(15.0), t(25.0));
+    }
+
+    #[test]
+    fn empty_log_never_fails_requests() {
+        let w = RequestWorkload::new(10.0, 1);
+        let report = w.assess(&OutageLog::new(), SimDuration::from_minutes(1000.0));
+        assert!(report.total > 0);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.request_availability(), Probability::ONE);
+    }
+
+    #[test]
+    fn zero_rate_issues_nothing() {
+        let w = RequestWorkload::new(0.0, 1);
+        let report = w.assess(&log(&[(0.0, 10.0)]), SimDuration::from_minutes(100.0));
+        assert_eq!(report.total, 0);
+        assert_eq!(report.request_availability(), Probability::ONE);
+    }
+
+    #[test]
+    fn arrival_rate_is_respected() {
+        let w = RequestWorkload::new(5.0, 2);
+        let report = w.assess(&OutageLog::new(), SimDuration::from_minutes(10_000.0));
+        let rate = report.total as f64 / 10_000.0;
+        assert!((rate - 5.0).abs() < 0.2, "got {rate}/min");
+    }
+
+    #[test]
+    fn uniform_traffic_matches_time_availability() {
+        // 20 % of the horizon is down: request availability ≈ 80 %.
+        let l = log(&[(100.0, 300.0)]);
+        let w = RequestWorkload::new(20.0, 3);
+        let report = w.assess(&l, SimDuration::from_minutes(1000.0));
+        let availability = report.request_availability().value();
+        assert!((availability - 0.8).abs() < 0.02, "got {availability}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let l = log(&[(10.0, 40.0)]);
+        let a = RequestWorkload::new(7.0, 9).assess(&l, SimDuration::from_minutes(500.0));
+        let b = RequestWorkload::new(7.0, 9).assess(&l, SimDuration::from_minutes(500.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let l = log(&[(1.0, 2.0)]);
+        let json = serde_json::to_string(&l).unwrap();
+        let back: OutageLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, l);
+    }
+}

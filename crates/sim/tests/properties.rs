@@ -1,0 +1,166 @@
+//! Property-based tests for the simulator's bookkeeping invariants.
+
+use proptest::prelude::*;
+use uptime_core::{ClusterSpec, Probability, SystemSpec};
+use uptime_sim::{DowntimeAccountant, FailureScript, SimConfig, SimDuration, SimTime, Simulation};
+
+// ---------- accountant vs brute-force reference ----------
+
+/// A random, well-formed transition schedule for `n` clusters.
+fn transitions(n: usize) -> impl Strategy<Value = Vec<(usize, bool, u64)>> {
+    // (cluster, down?, at-millis) — we post-process to alternate states.
+    prop::collection::vec((0..n, any::<bool>(), 0u64..100_000), 0..200)
+}
+
+/// Brute-force reference: per-millisecond union of cluster down states.
+fn reference_downtime(events: &[(usize, bool, u64)], n: usize, horizon: u64) -> (u64, Vec<u64>) {
+    let mut per_cluster_down = vec![false; n];
+    let mut per_cluster_total = vec![0u64; n];
+    let mut system_total = 0u64;
+    let mut sorted: Vec<_> = events.to_vec();
+    sorted.sort_by_key(|&(_, _, at)| at);
+    let mut idx = 0;
+    for t in 0..horizon {
+        while idx < sorted.len() && sorted[idx].2 == t {
+            let (c, down, _) = sorted[idx];
+            per_cluster_down[c] = down;
+            idx += 1;
+        }
+        if per_cluster_down.iter().any(|&d| d) {
+            system_total += 1;
+        }
+        for (c, &down) in per_cluster_down.iter().enumerate() {
+            if down {
+                per_cluster_total[c] += 1;
+            }
+        }
+    }
+    (system_total, per_cluster_total)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The accountant's interval arithmetic matches a per-millisecond
+    /// brute-force reference on arbitrary transition schedules.
+    #[test]
+    fn accountant_matches_bruteforce(raw in transitions(3)) {
+        let n = 3;
+        let horizon = 100_000u64;
+        // Deduplicate into a *consistent* schedule: sort by time and keep
+        // only transitions that actually change the cluster's state.
+        let mut sorted = raw.clone();
+        sorted.sort_by_key(|&(_, _, at)| at);
+        let mut state = vec![false; n];
+        let mut schedule: Vec<(usize, bool, u64)> = Vec::new();
+        for (c, down, at) in sorted {
+            if state[c] != down {
+                state[c] = down;
+                schedule.push((c, down, at));
+            }
+        }
+
+        let mut accountant = DowntimeAccountant::new(n);
+        for &(c, down, at) in &schedule {
+            accountant.set_cluster_state(c, down, SimTime::from_millis(at));
+        }
+        accountant.finalize(SimTime::from_millis(horizon));
+
+        let (ref_system, ref_clusters) = reference_downtime(&schedule, n, horizon);
+        prop_assert_eq!(accountant.system_downtime().as_millis(), ref_system);
+        for (c, &expected) in ref_clusters.iter().enumerate() {
+            prop_assert_eq!(accountant.cluster_downtime(c).as_millis(), expected, "cluster {}", c);
+        }
+    }
+}
+
+// ---------- failure injection vs interval arithmetic ----------
+
+/// Disjoint outages for a single singleton node.
+fn disjoint_outages() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    // (gap-before, length) pairs, accumulated into disjoint intervals.
+    prop::collection::vec((1u64..5_000, 1u64..5_000), 0..30)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For a singleton cluster, scripted downtime equals the clipped union
+    /// of the scripted intervals exactly.
+    #[test]
+    fn scripted_singleton_downtime_exact(pairs in disjoint_outages()) {
+        let system = SystemSpec::builder()
+            .cluster(ClusterSpec::singleton("only", Probability::ZERO, 0.0).unwrap())
+            .build()
+            .unwrap();
+        let horizon_ms = 80_000u64;
+        let mut script = FailureScript::new();
+        let mut cursor = 0u64;
+        let mut expected = 0u64;
+        for (gap, len) in pairs {
+            let start = cursor + gap;
+            script = script.outage(
+                0,
+                0,
+                SimTime::from_millis(start),
+                SimDuration::from_millis(len),
+            );
+            if start < horizon_ms {
+                expected += len.min(horizon_ms - start);
+            }
+            cursor = start + len;
+        }
+        let report = script
+            .run(&system, SimDuration::from_millis(horizon_ms))
+            .unwrap();
+        prop_assert_eq!(report.system_downtime().as_millis(), expected);
+        prop_assert_eq!(report.clusters()[0].downtime.as_millis(), expected);
+    }
+
+    /// Outage logs agree with the report totals for random stochastic runs.
+    #[test]
+    fn outage_log_consistent_with_report(
+        p in 0.005f64..0.2,
+        f in 0.5f64..8.0,
+        seed in 0u64..1000,
+    ) {
+        let system = SystemSpec::builder()
+            .cluster(ClusterSpec::singleton("a", Probability::new(p).unwrap(), f).unwrap())
+            .cluster(ClusterSpec::singleton("b", Probability::new(p / 2.0).unwrap(), f).unwrap())
+            .build()
+            .unwrap();
+        let (report, _, outages) = Simulation::new(
+            &system,
+            SimConfig::years(5.0).with_seed(seed).with_outage_log(),
+        )
+        .unwrap()
+        .run_full();
+        let outages = outages.unwrap();
+        prop_assert_eq!(outages.total_downtime(), report.system_downtime());
+        prop_assert_eq!(outages.len() as u64, report.system_outages());
+        // Intervals are ordered, disjoint, and within the horizon.
+        for w in outages.intervals().windows(2) {
+            prop_assert!(w[0].1 <= w[1].0);
+        }
+        if let Some(&(_, end)) = outages.intervals().last() {
+            prop_assert!(end.as_millis() <= report.horizon().as_millis());
+        }
+    }
+
+    /// Simulated availability of a serial pair is never better than either
+    /// cluster alone (same seed scheme, statistical sanity at 5 years).
+    #[test]
+    fn serial_never_beats_components(seed in 0u64..200) {
+        let a = ClusterSpec::singleton("a", Probability::new(0.05).unwrap(), 4.0).unwrap();
+        let b = ClusterSpec::singleton("b", Probability::new(0.03).unwrap(), 3.0).unwrap();
+        let pair = SystemSpec::new(vec![a.clone(), b.clone()]).unwrap();
+        let report = Simulation::new(&pair, SimConfig::years(5.0).with_seed(seed))
+            .unwrap()
+            .run();
+        // The union of outages is at least each component's share.
+        prop_assert!(report.system_downtime() >= report.clusters()[0].downtime);
+        prop_assert!(report.system_downtime() >= report.clusters()[1].downtime);
+        let sum = report.clusters()[0].downtime + report.clusters()[1].downtime;
+        prop_assert!(report.system_downtime() <= sum);
+    }
+}

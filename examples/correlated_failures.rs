@@ -1,0 +1,60 @@
+//! Experiment T1: how badly does the paper's independence assumption
+//! (Eq. 2) break under correlated, common-cause failures?
+//!
+//! Takes the case-study storage pair (RAID-1) and layers rack events that
+//! down both mirrors at once, sweeping the event rate. The analytic model
+//! never moves — it assumes independence — while observed availability
+//! degrades linearly with the correlated-event rate.
+//!
+//! Run with: `cargo run --release --example correlated_failures`
+
+use uptime_suite::core::{ClusterSpec, FailuresPerYear, Minutes, Probability, SystemSpec};
+use uptime_suite::sim::{CommonCause, CorrelatedSimulation, SimDuration};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = SystemSpec::builder()
+        .cluster(
+            ClusterSpec::builder("storage")
+                .total_nodes(2)
+                .standby_budget(1)
+                .node_down_probability(Probability::new(0.05)?)
+                .failures_per_year(FailuresPerYear::new(2.0)?)
+                .failover_time(Minutes::from_seconds(30.0)?)
+                .build()?,
+        )
+        .build()?;
+    let analytic = system.uptime().availability();
+    let horizon = SimDuration::from_minutes(3000.0 * 525_600.0); // 3000 years
+
+    println!(
+        "RAID-1 storage pair, analytic U_s = {:.4}% (independence assumed)\n",
+        analytic.as_percent()
+    );
+    println!(
+        "{:>14} {:>14} {:>16} {:>12}",
+        "rack events/yr", "observed U_s %", "model error (pp)", "breakdowns"
+    );
+    for rate in [0.0, 1.0, 2.0, 4.0, 8.0] {
+        let cc = CommonCause {
+            rate_per_year: rate,
+            blast_radius: 2,
+            mttr_minutes: 240.0,
+        };
+        let report = CorrelatedSimulation::new(&system, vec![cc], horizon, 42)?.run();
+        let observed = report.availability();
+        println!(
+            "{:>14.1} {:>14.4} {:>16.4} {:>12}",
+            rate,
+            observed.as_percent(),
+            analytic.as_percent() - observed.as_percent(),
+            report.clusters()[0].breakdowns,
+        );
+    }
+    println!(
+        "\nReading: every correlated event downs both mirrors until the first\n\
+         repair (~2 h at MTTR 4 h), adding downtime the binomial model cannot\n\
+         see. A broker feeding Eq. 2 with per-node P_i should either verify\n\
+         failure independence or inflate P_i to cover common-cause events."
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Experiment S1: does Eq. 5's *expected* TCO match what a provider would
+//! actually pay out month by month?
+//!
+//! Simulates a 10-year contract for each case-study option and settles
+//! every month on realized downtime, the way the contract would. The
+//! penalty function is convex (hinge + hour ceiling), so realized means
+//! sit at or above Eq. 5 — the Jensen premium the paper's pricing misses.
+//!
+//! Run with: `cargo run --release --example settlement`
+
+use uptime_suite::broker::settlement::settle;
+use uptime_suite::catalog::{case_study, ComponentKind};
+use uptime_suite::core::{MoneyPerMonth, SystemSpec};
+use uptime_suite::optimizer::SearchSpace;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = case_study::catalog();
+    let space = SearchSpace::from_catalog(
+        &catalog,
+        &case_study::cloud_id(),
+        &ComponentKind::paper_tiers(),
+    )?;
+    let model = case_study::tco_model();
+    let months = 120;
+
+    println!(
+        "{:<12} {:>12} {:>14} {:>12} {:>10} {:>12}",
+        "option", "Eq.5 $/mo", "realized $/mo", "gap $/mo", "breaches", "p95 penalty"
+    );
+    for (i, assignment) in space.assignments().enumerate() {
+        let clusters: Vec<_> = assignment
+            .iter()
+            .zip(space.components())
+            .map(|(&idx, comp)| comp.candidates()[idx].cluster().clone())
+            .collect();
+        let ha_cost: MoneyPerMonth = assignment
+            .iter()
+            .zip(space.components())
+            .map(|(&idx, comp)| comp.candidates()[idx].monthly_cost())
+            .sum();
+        let system = SystemSpec::new(clusters)?;
+        let report = settle(&system, &model, ha_cost, months, 7_000 + i as u64)?;
+        println!(
+            "{:<12} {:>12.0} {:>14.0} {:>12.0} {:>7}/{months} {:>12.0}",
+            format!("{assignment:?}"),
+            report.expected_tco().value(),
+            report.mean_realized_tco().value(),
+            report.jensen_gap(),
+            report.months_in_breach(),
+            report.penalty_percentile(95.0).value(),
+        );
+    }
+    println!(
+        "\nReading: positive gaps mean Eq. 5 *under-prices* the contract;\n\
+         options sitting just below the SLA (like #3) carry the largest premium,\n\
+         because monthly downtime is spiky (multi-day repairs) while the\n\
+         expectation spreads it uniformly."
+    );
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Experiment SW1: the recommendation as a function of the SLA target —
+//! where do the crossovers fall?
+//!
+//! Sweeps the contractual uptime target from 90 % to 99.5 % on the
+//! case-study catalog and prints the winning architecture, its TCO, and
+//! the evidence-propagated uptime bounds at the paper's 98 % point.
+//!
+//! Run with: `cargo run --release --example sla_sweep`
+
+use uptime_suite::broker::{BrokerService, SolutionRequest};
+use uptime_suite::catalog::{case_study, ComponentKind};
+use uptime_suite::core::confidence::ConfidenceLevel;
+use uptime_suite::core::{PenaltyClause, RoundingPolicy};
+use uptime_suite::optimizer::{sweep, SearchSpace};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = case_study::catalog();
+    let space = SearchSpace::from_catalog(
+        &catalog,
+        &case_study::cloud_id(),
+        &ComponentKind::paper_tiers(),
+    )?;
+    let result = sweep::sla_sweep_range(
+        &space,
+        &PenaltyClause::per_hour(100.0)?,
+        RoundingPolicy::CeilHour,
+        90.0,
+        99.5,
+        20,
+    );
+
+    println!(
+        "{:>8} {:>16} {:>10} {:>12} {:>6}",
+        "SLA %", "winner", "U_s %", "TCO $/mo", "meets"
+    );
+    for point in result.points() {
+        println!(
+            "{:>8.2} {:>16} {:>10.2} {:>12.0} {:>6}",
+            point.sla_percent,
+            format!("{:?}", point.best_assignment),
+            point.best_uptime.as_percent(),
+            point.best_tco.value(),
+            if point.meets_sla { "yes" } else { "no" }
+        );
+    }
+    println!("\nCrossovers:");
+    for (a, b) in result.crossovers() {
+        println!("  winner changes between {a:.2}% and {b:.2}%");
+    }
+
+    // Evidence bounds at the paper's 98 % target.
+    let broker = BrokerService::new(catalog);
+    let request = SolutionRequest::builder()
+        .tiers(ComponentKind::paper_tiers())
+        .sla_percent(98.0)?
+        .penalty_per_hour(100.0)?
+        .build()?;
+    let recommendation = broker.recommend(&request)?;
+    let cloud = &recommendation.clouds()[0];
+    println!("\nEvidence bounds at the 98 % target (95 % confidence, 1000 node-years):");
+    for option in [cloud.best(), cloud.min_risk().expect("option #5 qualifies")] {
+        let bounds = broker.uptime_bounds(&request, cloud.cloud(), option, ConfidenceLevel::P95)?;
+        println!(
+            "  option #{}: U_s {:.2}% in [{:.2}%, {:.2}%], TCO ${:.0}..${:.0}/mo",
+            option.option_number(),
+            bounds.point.as_percent(),
+            bounds.uptime.lower().as_percent(),
+            bounds.uptime.upper().as_percent(),
+            bounds.tco_best.value(),
+            bounds.tco_worst.value(),
+        );
+    }
+    Ok(())
+}

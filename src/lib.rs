@@ -1,0 +1,71 @@
+//! # uptime-suite
+//!
+//! Facade over the full reproduction of *"Uptime-Optimized Cloud
+//! Architecture as a Brokered Service"* (DSN 2017):
+//!
+//! * [`core`] — the probabilistic availability + TCO model (Eqs. 1–6).
+//! * [`catalog`] — the broker's knowledge base (HA methods, rate cards,
+//!   reliability records, cloud profiles).
+//! * [`optimizer`] — exhaustive / superset-pruned / branch-and-bound /
+//!   heuristic search over HA permutations.
+//! * [`sim`] — the discrete-event infrastructure simulator and Monte-Carlo
+//!   validation harness.
+//! * [`broker`] — the brokered service: simulated providers, telemetry
+//!   estimation, recommendations, reports, planning, audit.
+//!
+//! See the `examples/` directory for runnable walkthroughs, starting with
+//! `quickstart.rs`.
+//!
+//! ```
+//! use uptime_suite::core::{ClusterSpec, Probability, SystemSpec};
+//!
+//! # fn main() -> Result<(), uptime_suite::core::ModelError> {
+//! let system = SystemSpec::builder()
+//!     .cluster(ClusterSpec::singleton("web", Probability::new(0.02)?, 2.0)?)
+//!     .build()?;
+//! assert!((system.uptime().availability().value() - 0.98).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use uptime_broker as broker;
+pub use uptime_catalog as catalog;
+pub use uptime_core as core;
+pub use uptime_optimizer as optimizer;
+pub use uptime_sim as sim;
+
+/// The common imports for working with the suite.
+///
+/// ```
+/// use uptime_suite::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let broker = BrokerService::new(case_study::catalog());
+/// let request = SolutionRequest::builder()
+///     .tiers(ComponentKind::paper_tiers())
+///     .sla_percent(98.0)?
+///     .penalty_per_hour(100.0)?
+///     .build()?;
+/// assert_eq!(
+///     broker.recommend(&request)?.best_tco().unwrap().value(),
+///     1250.0
+/// );
+/// # Ok(())
+/// # }
+/// ```
+pub mod prelude {
+    pub use uptime_broker::{
+        audit_recommendation, BrokerService, CloudProvider, Recommendation, SimulatedProvider,
+        SolutionRequest,
+    };
+    pub use uptime_catalog::{case_study, extended, CatalogStore, CloudId, ComponentKind};
+    pub use uptime_core::{
+        ClusterSpec, FailuresPerYear, Minutes, MoneyPerMonth, PenaltyClause, Probability,
+        SlaTarget, SystemSpec, TcoModel,
+    };
+    pub use uptime_optimizer::{Objective, SearchSpace};
+    pub use uptime_sim::{MonteCarloRunner, SimConfig, Simulation};
+}

@@ -1,0 +1,183 @@
+//! End-to-end brokered-service flow across every crate:
+//! telemetry harvest → knowledge-base ingestion → recommendation →
+//! deployment planning → provisioning → Monte-Carlo audit.
+
+use uptime_suite::broker::provider::GroundTruth;
+use uptime_suite::broker::{
+    audit_recommendation, BrokerService, CloudProvider, SimulatedProvider, SolutionRequest,
+};
+use uptime_suite::catalog::{case_study, extended, ComponentKind};
+use uptime_suite::core::{FailuresPerYear, Probability, SystemSpec};
+
+#[test]
+fn full_pipeline_on_case_study_catalog() {
+    // 1. The broker fronts the SoftLayer-like catalog.
+    let broker = BrokerService::new(case_study::catalog());
+
+    // 2. A provider exists for that cloud, with ground truth matching the
+    //    catalog's beliefs.
+    let mut provider = SimulatedProvider::new(case_study::cloud_id(), "IBM SoftLayer (simulated)")
+        .with_ground_truth(
+            ComponentKind::Compute,
+            GroundTruth {
+                down_probability: Probability::new(0.01).unwrap(),
+                failures_per_year: FailuresPerYear::new(1.0).unwrap(),
+            },
+        );
+
+    // 3. Telemetry flows into the knowledge base.
+    let telemetry = provider
+        .harvest_component_telemetry(ComponentKind::Compute, 30, 50.0, 77)
+        .unwrap();
+    let estimate = broker
+        .ingest_component_telemetry(&case_study::cloud_id(), ComponentKind::Compute, &telemetry)
+        .unwrap();
+    // The estimate must be near the 1 % ground truth.
+    assert!((estimate.down_probability().value() - 0.01).abs() < 0.005);
+
+    // 4. Intake and recommendation.
+    let request = SolutionRequest::builder()
+        .tiers(ComponentKind::paper_tiers())
+        .sla_percent(98.0)
+        .unwrap()
+        .penalty_per_hour(100.0)
+        .unwrap()
+        .build()
+        .unwrap();
+    let recommendation = broker.recommend(&request).unwrap();
+    let cloud = &recommendation.clouds()[0];
+    // The ingested telemetry agreed with the catalog, so the paper's
+    // optimum is unchanged.
+    assert_eq!(cloud.best().option_number(), 3);
+
+    // 5. Plan and provision the winner.
+    let plan = broker
+        .plan(cloud.cloud(), &ComponentKind::paper_tiers(), cloud.best())
+        .unwrap();
+    let handle = provider.provision(&plan).unwrap();
+    assert_eq!(provider.deployments(), vec![handle]);
+
+    // 6. Audit the deployed architecture against the model.
+    let catalog = broker.catalog_snapshot();
+    let clusters: Vec<_> = ComponentKind::paper_tiers()
+        .iter()
+        .zip(cloud.best().method_ids())
+        .map(|(kind, method)| catalog.cluster_spec(cloud.cloud(), *kind, method).unwrap())
+        .collect();
+    let system = SystemSpec::new(clusters).unwrap();
+    let audit = audit_recommendation(&system, 32, 25.0, 5.0, 5).unwrap();
+    assert!(
+        audit.passes(),
+        "audit gap {} pp (analytic {}, observed {})",
+        audit.gap_percent_points(),
+        audit.analytic(),
+        audit.estimate().mean()
+    );
+
+    // 7. Teardown.
+    assert!(provider.deprovision(handle));
+    assert!(provider.deployments().is_empty());
+}
+
+#[test]
+fn hybrid_brokerage_ranks_clouds() {
+    let broker = BrokerService::new(extended::hybrid_catalog());
+    let request = SolutionRequest::builder()
+        .tiers(ComponentKind::paper_tiers())
+        .sla_percent(98.0)
+        .unwrap()
+        .penalty_per_hour(100.0)
+        .unwrap()
+        .build()
+        .unwrap();
+    let recommendation = broker.recommend(&request).unwrap();
+    assert_eq!(recommendation.clouds().len(), 3);
+
+    // Every cloud evaluated its full 3×4×3 = 36-option space.
+    for cloud in recommendation.clouds() {
+        assert_eq!(cloud.options().len(), 36, "{}", cloud.cloud());
+        // Option numbering is 1..=36 and sorted by cardinality.
+        let numbers: Vec<usize> = cloud.options().iter().map(|o| o.option_number()).collect();
+        assert_eq!(numbers, (1..=36).collect::<Vec<_>>());
+        let mut prev = 0;
+        for o in cloud.options() {
+            assert!(o.evaluation().cardinality() >= prev);
+            prev = o.evaluation().cardinality();
+        }
+    }
+
+    // A global best exists and is no worse than any per-cloud best.
+    let best = recommendation.best().unwrap();
+    for cloud in recommendation.clouds() {
+        assert!(best.evaluation().tco().total() <= cloud.best().evaluation().tco().total());
+    }
+}
+
+#[test]
+fn skewed_telemetry_changes_the_recommendation() {
+    // §IV's construct-validity worry, demonstrated end to end: if storage
+    // is actually far less reliable than the catalog claims, enough
+    // telemetry flips the optimizer's choice for the storage tier.
+    let broker = BrokerService::new(case_study::catalog());
+    let provider = SimulatedProvider::new(case_study::cloud_id(), "sim").with_ground_truth(
+        ComponentKind::Storage,
+        GroundTruth {
+            // Catastrophically worse than the believed 5 %.
+            down_probability: Probability::new(0.25).unwrap(),
+            failures_per_year: FailuresPerYear::new(10.0).unwrap(),
+        },
+    );
+
+    let request = SolutionRequest::builder()
+        .tiers(ComponentKind::paper_tiers())
+        .sla_percent(98.0)
+        .unwrap()
+        .penalty_per_hour(100.0)
+        .unwrap()
+        .build()
+        .unwrap();
+
+    let before = broker.recommend(&request).unwrap();
+    let before_uptime = before.clouds()[0]
+        .best()
+        .evaluation()
+        .uptime()
+        .availability()
+        .value();
+
+    // Pour in a lot of evidence (the catalog prior has 1000 node-years).
+    for seed in 0..4 {
+        let telemetry = provider
+            .harvest_component_telemetry(ComponentKind::Storage, 100, 20.0, seed)
+            .unwrap();
+        broker
+            .ingest_component_telemetry(&case_study::cloud_id(), ComponentKind::Storage, &telemetry)
+            .unwrap();
+    }
+
+    let after_catalog = broker.catalog_snapshot();
+    let belief = after_catalog
+        .cloud(&case_study::cloud_id())
+        .unwrap()
+        .reliability(ComponentKind::Storage)
+        .unwrap();
+    assert!(
+        belief.down_probability().value() > 0.15,
+        "belief moved: {}",
+        belief.down_probability()
+    );
+
+    let after = broker.recommend(&request).unwrap();
+    let after_best = after.clouds()[0].best();
+    // Storage must still be clustered, and the projected uptime of the
+    // recommended option drops (the world got worse).
+    assert!(
+        after_best.labels()[1].contains("RAID"),
+        "{:?}",
+        after_best.labels()
+    );
+    assert!(
+        after_best.evaluation().uptime().availability().value() < before_uptime,
+        "uptime projection must reflect the skewed telemetry"
+    );
+}

@@ -1,0 +1,214 @@
+//! Integration tests for the extension subsystems: metacloud placement,
+//! catalog persistence round-trips through the service, crew-constrained
+//! staffing, and block-diagram composition against the simulator.
+
+use uptime_suite::broker::{BrokerService, SolutionRequest};
+use uptime_suite::catalog::{case_study, extended, persistence, ComponentKind};
+use uptime_suite::core::{Block, ClusterSpec, Probability, SystemSpec};
+use uptime_suite::sim::{crews::CrewSimulation, MonteCarloRunner, SimDuration};
+
+fn paper_request() -> SolutionRequest {
+    SolutionRequest::builder()
+        .tiers(ComponentKind::paper_tiers())
+        .sla_percent(98.0)
+        .unwrap()
+        .penalty_per_hour(100.0)
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn metacloud_beats_or_matches_every_single_cloud() {
+    let broker = BrokerService::new(extended::hybrid_catalog());
+    let request = paper_request();
+    let meta = broker.recommend_metacloud(&request).unwrap();
+    let per_cloud = broker.recommend(&request).unwrap();
+    for cloud in per_cloud.clouds() {
+        assert!(
+            meta.evaluation().tco().total() <= cloud.best().evaluation().tco().total(),
+            "metacloud must dominate {}",
+            cloud.cloud()
+        );
+    }
+    // On the hybrid catalog the winner actually mixes providers: reliable
+    // singletons on stratus, cheap RAID on softlayer.
+    assert!(meta.is_cross_cloud(), "{:?}", meta.clouds_used());
+}
+
+#[test]
+fn persisted_catalog_yields_identical_recommendations() {
+    let dir = std::env::temp_dir().join("uptime-suite-it");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("persisted-catalog.json");
+
+    let original = extended::hybrid_catalog();
+    persistence::save(&original, &path).unwrap();
+    let reloaded = persistence::load(&path).unwrap();
+    assert_eq!(reloaded, original);
+
+    let request = paper_request();
+    let before = BrokerService::new(original).recommend(&request).unwrap();
+    let after = BrokerService::new(reloaded).recommend(&request).unwrap();
+    assert_eq!(before, after);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn telemetry_updates_survive_persistence() {
+    use uptime_suite::broker::provider::GroundTruth;
+    use uptime_suite::broker::{CloudProvider, SimulatedProvider};
+    use uptime_suite::core::FailuresPerYear;
+
+    let broker = BrokerService::new(case_study::catalog());
+    let provider = SimulatedProvider::new(case_study::cloud_id(), "sim").with_ground_truth(
+        ComponentKind::Compute,
+        GroundTruth {
+            down_probability: Probability::new(0.03).unwrap(),
+            failures_per_year: FailuresPerYear::new(2.0).unwrap(),
+        },
+    );
+    let telemetry = provider
+        .harvest_component_telemetry(ComponentKind::Compute, 40, 25.0, 3)
+        .unwrap();
+    broker
+        .ingest_component_telemetry(&case_study::cloud_id(), ComponentKind::Compute, &telemetry)
+        .unwrap();
+
+    let snapshot = broker.catalog_snapshot();
+    let json = persistence::to_json(&snapshot).unwrap();
+    let restored = persistence::from_json(&json).unwrap();
+    let record = restored
+        .cloud(&case_study::cloud_id())
+        .unwrap()
+        .reliability(ComponentKind::Compute)
+        .unwrap();
+    // Evidence grew beyond the built-in 1000 node-years and the belief
+    // moved off the prior 1 %.
+    assert!(record.node_years_observed() > 1000.0);
+    assert!(record.down_probability().value() > 0.01);
+}
+
+#[test]
+fn staffing_links_labor_to_uptime() {
+    // The same farm, one vs eight repair crews: the FTE line item in C_HA
+    // is not just cost — under-staffing costs availability.
+    use uptime_suite::core::{FailuresPerYear, Minutes};
+    let system = SystemSpec::new(vec![ClusterSpec::builder("farm")
+        .total_nodes(8)
+        .standby_budget(3)
+        .node_down_probability(Probability::new(0.10).unwrap())
+        .failures_per_year(FailuresPerYear::new(12.0).unwrap())
+        .failover_time(Minutes::new(0.5).unwrap())
+        .build()
+        .unwrap()])
+    .unwrap();
+    let horizon = SimDuration::from_minutes(120.0 * 525_600.0);
+    let starved = CrewSimulation::new(&system, vec![1], horizon, 5)
+        .unwrap()
+        .run();
+    let staffed = CrewSimulation::new(&system, vec![8], horizon, 5)
+        .unwrap()
+        .run();
+    assert!(staffed.availability() > starved.availability());
+    // With ample crews the analytic model is recovered.
+    let analytic = system.uptime().availability().value();
+    assert!((staffed.availability().value() - analytic).abs() < 0.01);
+}
+
+#[test]
+fn five_tier_enterprise_chain_end_to_end() {
+    // The extended five-tier chain (LB → compute → DB → storage → GW):
+    // per-cloud recommendation and metacloud placement over a
+    // 2×3×3×4×3 = 216-option space per cloud (648-ish joint tiers).
+    let broker = BrokerService::new(extended::hybrid_catalog());
+    let request = SolutionRequest::builder()
+        .tiers(extended::five_tiers())
+        .sla_percent(98.0)
+        .unwrap()
+        .penalty_per_hour(100.0)
+        .unwrap()
+        .build()
+        .unwrap();
+
+    let per_cloud = broker.recommend(&request).unwrap();
+    assert_eq!(per_cloud.clouds().len(), 3);
+    for cloud in per_cloud.clouds() {
+        assert_eq!(
+            cloud.options().len(),
+            2 * 3 * 3 * 4 * 3,
+            "{}",
+            cloud.cloud()
+        );
+        // The winner never pays more than the no-HA baseline's TCO.
+        let baseline = cloud
+            .options()
+            .iter()
+            .find(|o| o.evaluation().cardinality() == 0)
+            .expect("all-baseline option exists");
+        assert!(cloud.best().evaluation().tco().total() <= baseline.evaluation().tco().total());
+    }
+
+    let meta = broker.recommend_metacloud(&request).unwrap();
+    assert_eq!(meta.placements().len(), 5);
+    assert!(
+        meta.evaluation().tco().total() <= per_cloud.best_tco().unwrap(),
+        "metacloud dominates"
+    );
+
+    // The five-tier system's availability model stays consistent with a
+    // Monte-Carlo of the winning architecture.
+    let catalog = broker.catalog_snapshot();
+    let best_cloud = per_cloud.best_cloud().unwrap();
+    let clusters: Vec<_> = extended::five_tiers()
+        .iter()
+        .zip(best_cloud.best().method_ids())
+        .map(|(kind, method)| {
+            catalog
+                .cluster_spec(best_cloud.cloud(), *kind, method)
+                .unwrap()
+        })
+        .collect();
+    let system = SystemSpec::new(clusters).unwrap();
+    let estimate = MonteCarloRunner::new(system.clone())
+        .trials(16)
+        .years_per_trial(15.0)
+        .base_seed(33)
+        .run()
+        .unwrap();
+    assert!(
+        estimate.agrees_with(system.uptime().availability(), 5.0),
+        "analytic {} vs observed {}",
+        system.uptime().availability(),
+        estimate.mean()
+    );
+}
+
+#[test]
+fn dual_site_block_diagram_agrees_with_simulation() {
+    // A parallel pair of identical serial sites: the block diagram's
+    // availability must match a Monte-Carlo of an equivalent construction.
+    let web = ClusterSpec::singleton("web", Probability::new(0.04).unwrap(), 2.0).unwrap();
+    let db = ClusterSpec::singleton("db", Probability::new(0.06).unwrap(), 2.0).unwrap();
+    let site = Block::series_of(vec![web.clone(), db.clone()]).unwrap();
+    let dual = Block::Parallel(vec![site.clone(), site]);
+    let analytic = dual.availability();
+
+    // Simulate the two sites independently and combine: the system is up
+    // unless both serial sites are down. Using the complement-product of
+    // two independent single-site Monte-Carlo runs.
+    let single_site = SystemSpec::new(vec![web, db]).unwrap();
+    let estimate = MonteCarloRunner::new(single_site)
+        .trials(24)
+        .years_per_trial(40.0)
+        .base_seed(21)
+        .run()
+        .unwrap();
+    let site_down = 1.0 - estimate.mean().value();
+    let simulated_dual = 1.0 - site_down * site_down;
+    assert!(
+        (analytic.value() - simulated_dual).abs() < 0.002,
+        "block {} vs simulated {simulated_dual}",
+        analytic
+    );
+}

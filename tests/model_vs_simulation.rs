@@ -1,0 +1,160 @@
+//! Experiment V1 (integration-level): the analytic model of Eqs. 1–4 must
+//! agree with the discrete-event simulator across cluster shapes —
+//! including shapes with non-trivial failover terms.
+
+use uptime_suite::core::{ClusterSpec, FailuresPerYear, Minutes, Probability, SystemSpec};
+use uptime_suite::sim::MonteCarloRunner;
+
+fn p(v: f64) -> Probability {
+    Probability::new(v).unwrap()
+}
+
+fn run_check(system: SystemSpec, trials: u32, years: f64, seed: u64) {
+    let analytic = system.uptime().availability();
+    let estimate = MonteCarloRunner::new(system)
+        .trials(trials)
+        .years_per_trial(years)
+        .base_seed(seed)
+        .run()
+        .unwrap();
+    assert!(
+        estimate.agrees_with(analytic, 4.5),
+        "analytic {} vs observed {} ± {}",
+        analytic,
+        estimate.mean(),
+        estimate.std_error()
+    );
+}
+
+#[test]
+fn paper_option1_no_ha() {
+    let system = SystemSpec::builder()
+        .cluster(ClusterSpec::singleton("compute", p(0.01), 1.0).unwrap())
+        .cluster(ClusterSpec::singleton("storage", p(0.05), 2.0).unwrap())
+        .cluster(ClusterSpec::singleton("network", p(0.02), 1.0).unwrap())
+        .build()
+        .unwrap();
+    run_check(system, 24, 30.0, 41);
+}
+
+#[test]
+fn paper_option5_storage_and_network_ha() {
+    let system = SystemSpec::builder()
+        .cluster(ClusterSpec::singleton("compute", p(0.01), 1.0).unwrap())
+        .cluster(
+            ClusterSpec::builder("storage")
+                .total_nodes(2)
+                .standby_budget(1)
+                .node_down_probability(p(0.05))
+                .failures_per_year(FailuresPerYear::new(2.0).unwrap())
+                .failover_time(Minutes::from_seconds(30.0).unwrap())
+                .build()
+                .unwrap(),
+        )
+        .cluster(
+            ClusterSpec::builder("network")
+                .total_nodes(2)
+                .standby_budget(1)
+                .node_down_probability(p(0.02))
+                .failures_per_year(FailuresPerYear::new(1.0).unwrap())
+                .failover_time(Minutes::new(1.0).unwrap())
+                .build()
+                .unwrap(),
+        )
+        .build()
+        .unwrap();
+    run_check(system, 24, 30.0, 42);
+}
+
+#[test]
+fn failover_dominated_cluster() {
+    // A cluster whose downtime is mostly failover, not breakdown: frequent
+    // failures (12/yr), long failover (30 min), tiny P. This stresses
+    // Eq. 3 rather than Eq. 2.
+    let system = SystemSpec::builder()
+        .cluster(
+            ClusterSpec::builder("flappy")
+                .total_nodes(3)
+                .standby_budget(2)
+                .node_down_probability(p(0.002))
+                .failures_per_year(FailuresPerYear::new(12.0).unwrap())
+                .failover_time(Minutes::new(30.0).unwrap())
+                .build()
+                .unwrap(),
+        )
+        .build()
+        .unwrap();
+    // Analytic F_s = 12 × 30 × 1 / 525600 ≈ 6.85e-4; B_s ≈ 8e-9.
+    let analytic = system.uptime().availability();
+    assert!((analytic.value() - (1.0 - 12.0 * 30.0 / 525_600.0)).abs() < 1e-5);
+    run_check(system, 24, 40.0, 43);
+}
+
+#[test]
+fn deep_redundancy_five_of_eight() {
+    let system = SystemSpec::builder()
+        .cluster(
+            ClusterSpec::builder("farm")
+                .total_nodes(8)
+                .standby_budget(3)
+                .node_down_probability(p(0.1))
+                .failures_per_year(FailuresPerYear::new(6.0).unwrap())
+                .failover_time(Minutes::new(0.5).unwrap())
+                .build()
+                .unwrap(),
+        )
+        .build()
+        .unwrap();
+    run_check(system, 24, 25.0, 44);
+}
+
+#[test]
+fn five_tier_serial_chain() {
+    let mut builder = SystemSpec::builder();
+    for (i, (pv, f)) in [
+        (0.01, 1.0),
+        (0.02, 2.0),
+        (0.03, 1.5),
+        (0.01, 0.5),
+        (0.04, 3.0),
+    ]
+    .iter()
+    .enumerate()
+    {
+        builder = builder.cluster(ClusterSpec::singleton(format!("tier{i}"), p(*pv), *f).unwrap());
+    }
+    run_check(builder.build().unwrap(), 20, 25.0, 45);
+}
+
+#[test]
+fn ignoring_failover_term_overestimates_uptime() {
+    // The F_s ablation: for a failover-heavy system, dropping Eq. 3 must
+    // overestimate availability relative to the simulator.
+    let system = SystemSpec::builder()
+        .cluster(
+            ClusterSpec::builder("flappy")
+                .total_nodes(2)
+                .standby_budget(1)
+                .node_down_probability(p(0.01))
+                .failures_per_year(FailuresPerYear::new(24.0).unwrap())
+                .failover_time(Minutes::new(15.0).unwrap())
+                .build()
+                .unwrap(),
+        )
+        .build()
+        .unwrap();
+    let with_failover = system.uptime().availability();
+    let without = system.uptime_ignoring_failover();
+    // F_s ≈ 24 × 15 / 525600 ≈ 6.8e-4: material.
+    assert!(without.value() - with_failover.value() > 5e-4);
+
+    let estimate = MonteCarloRunner::new(system)
+        .trials(20)
+        .years_per_trial(40.0)
+        .base_seed(46)
+        .run()
+        .unwrap();
+    // The full model must agree; the ablated one must not.
+    assert!(estimate.agrees_with(with_failover, 4.5));
+    assert!(!estimate.agrees_with(without, 4.5));
+}
