@@ -21,11 +21,20 @@
 //! brokerctl serve [--hybrid]
 //!     Run as a service: read one SolutionRequest JSON per stdin line,
 //!     write one JSON response per line ({"ok": ...} or {"error": ...}).
+//!
+//! brokerctl health [--hybrid] [--json] [--chaos] [SEED]
+//!     Register a simulated provider per cloud, drive telemetry sync
+//!     rounds, and report control-plane health plus the incident log.
+//!     With --chaos the providers misbehave (seeded fault injection).
+//!     Exits 0 when healthy, 3 when the broker is serving degraded.
 //! ```
 
 use std::process::ExitCode;
 
-use uptime_broker::{report, settlement, BrokerService, SolutionRequest};
+use uptime_broker::{
+    report, settlement, BrokerService, ChaosConfig, ChaosProvider, GroundTruth, SimulatedProvider,
+    SolutionRequest,
+};
 use uptime_catalog::{case_study, extended, CatalogStore, ComponentKind};
 use uptime_core::{PenaltyClause, RoundingPolicy, SystemSpec};
 use uptime_optimizer::{sweep, SearchSpace};
@@ -47,6 +56,17 @@ fn main() -> ExitCode {
     let hybrid = flags.contains(&"--hybrid");
     let json = flags.contains(&"--json");
 
+    if command == Some("health") {
+        let chaos = flags.contains(&"--chaos");
+        return match health_command(hybrid, json, chaos, positional.first().copied()) {
+            Ok(true) => ExitCode::from(3),
+            Ok(false) => ExitCode::SUCCESS,
+            Err(err) => {
+                eprintln!("brokerctl: {err}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let result = match command {
         Some("catalog") => catalog_command(hybrid),
         Some("recommend") => recommend_command(hybrid, json, positional.first().copied()),
@@ -56,7 +76,7 @@ fn main() -> ExitCode {
         Some("serve") => serve_command(hybrid),
         _ => {
             eprintln!(
-                "usage: brokerctl <catalog|recommend|sweep|settle|metacloud|serve> [options]"
+                "usage: brokerctl <catalog|recommend|sweep|settle|metacloud|serve|health> [options]"
             );
             eprintln!("       see the module docs for details");
             return ExitCode::from(2);
@@ -247,6 +267,106 @@ fn metacloud_command() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     Ok(())
+}
+
+/// Registers a simulated provider per catalog cloud (ground truth taken
+/// from the catalog's own records, so clean telemetry is always
+/// plausible), drives several telemetry sync rounds, and reports
+/// control-plane health. Returns whether the broker ended up degraded.
+fn health_command(
+    hybrid: bool,
+    json: bool,
+    chaos: bool,
+    seed_arg: Option<&str>,
+) -> Result<bool, Box<dyn std::error::Error>> {
+    let seed: u64 = seed_arg.map_or(Ok(7), str::parse)?;
+    let store = catalog(hybrid);
+    let broker = BrokerService::new(store.clone());
+
+    let mut components: Vec<(uptime_catalog::CloudId, Vec<ComponentKind>)> = Vec::new();
+    for id in store.cloud_ids() {
+        let profile = store.cloud(id).expect("listed id resolves");
+        let mut provider = SimulatedProvider::new(id.clone(), profile.display_name());
+        let mut kinds = Vec::new();
+        for kind in profile.observed_components() {
+            let record = profile.reliability(kind).expect("observed");
+            provider = provider.with_ground_truth(
+                kind,
+                GroundTruth {
+                    down_probability: record.down_probability(),
+                    failures_per_year: record.failures_per_year(),
+                },
+            );
+            kinds.push(kind);
+        }
+        if chaos {
+            broker.register_provider(Box::new(ChaosProvider::new(
+                provider,
+                ChaosConfig::aggressive(seed),
+            )));
+        } else {
+            broker.register_provider(Box::new(provider));
+        }
+        components.push((id.clone(), kinds));
+    }
+
+    const ROUNDS: u64 = 6;
+    for round in 0..ROUNDS {
+        for (cloud, kinds) in &components {
+            for (k, kind) in kinds.iter().enumerate() {
+                // Any single sync may fail under chaos; health reporting is
+                // the point, so errors only feed the incident log.
+                let _ = broker.sync_telemetry(cloud, *kind, 20, 5.0, seed + round * 31 + k as u64);
+            }
+        }
+    }
+
+    let health = broker.health();
+    let incidents = broker.incidents();
+    if json {
+        let payload = serde_json::json!({
+            "health": health,
+            "incidents": incidents,
+        });
+        println!("{}", serde_json::to_string_pretty(&payload)?);
+        return Ok(health.degraded);
+    }
+
+    println!(
+        "Broker health after {ROUNDS} sync round(s){}:",
+        if chaos { " under chaos" } else { "" }
+    );
+    for p in &health.providers {
+        println!(
+            "  {:<12} breaker {:<9} failures {:>2}  opened {:>2}x  absorbed {:>3}  quarantined {:>3} (streak {})",
+            p.cloud.as_str(),
+            p.state.to_string(),
+            p.consecutive_failures,
+            p.times_opened,
+            p.batches_absorbed,
+            p.batches_quarantined,
+            p.quarantined_streak,
+        );
+    }
+    println!(
+        "  {} incident(s), {} batch(es) quarantined, degraded: {}",
+        health.incident_count,
+        health.quarantined_batches,
+        if health.degraded { "yes" } else { "no" }
+    );
+    if !incidents.is_empty() {
+        println!("\nIncident log:");
+        for i in &incidents {
+            println!(
+                "  #{:<3} {:<12} {:?}: {}",
+                i.seq,
+                i.cloud.as_str(),
+                i.category,
+                i.detail
+            );
+        }
+    }
+    Ok(health.degraded)
 }
 
 fn settle_command(positional: &[&str]) -> Result<(), Box<dyn std::error::Error>> {

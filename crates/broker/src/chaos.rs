@@ -1,0 +1,472 @@
+//! Deterministic fault injection for the broker control plane.
+//!
+//! [`ChaosProvider`] decorates any [`CloudProvider`] and injects seeded
+//! faults at configurable rates: transient provisioning failures, harvest
+//! timeouts, and corrupted / truncated / duplicated telemetry batches.
+//! Every fault decision is drawn from a SplitMix64 stream seeded by
+//! [`ChaosConfig::seed`], so a given seed reproduces the exact same fault
+//! schedule — the property the end-to-end resilience tests pin down.
+//!
+//! The trace mutations are designed to be *structurally detectable* by the
+//! telemetry quarantine ([`crate::telemetry::validate_batch`]):
+//!
+//! * **corrupt** points an event at a cluster index outside the declared
+//!   frame (and scrambles capture order when there are two events to swap);
+//! * **truncate** drops the capture prefix through the first completed
+//!   outage, orphaning its `NodeUp`;
+//! * **duplicate** replays a `NodeDown`, double-failing the node.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use uptime_catalog::{CloudId, ComponentKind};
+use uptime_core::ClusterSpec;
+use uptime_sim::{Trace, TraceEvent, TraceEventKind};
+
+use crate::error::BrokerError;
+use crate::planner::DeploymentPlan;
+use crate::provider::{CloudProvider, DeploymentHandle, ProviderTelemetry};
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fault rates for a [`ChaosProvider`]. All rates are probabilities in
+/// `[0, 1]`; the three trace-mutation rates are mutually exclusive per
+/// batch (at most one mutation is applied).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Seed of the fault-decision stream.
+    pub seed: u64,
+    /// Probability a `provision` call fails transiently.
+    pub provision_failure_rate: f64,
+    /// Probability a harvest call times out.
+    pub harvest_timeout_rate: f64,
+    /// Probability a delivered batch is corrupted (bad indices / order).
+    pub corrupt_rate: f64,
+    /// Probability a delivered batch loses its capture prefix.
+    pub truncate_rate: f64,
+    /// Probability a delivered batch replays an event.
+    pub duplicate_rate: f64,
+}
+
+impl ChaosConfig {
+    /// No faults at all — a transparent pass-through.
+    #[must_use]
+    pub fn quiet(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            provision_failure_rate: 0.0,
+            harvest_timeout_rate: 0.0,
+            corrupt_rate: 0.0,
+            truncate_rate: 0.0,
+            duplicate_rate: 0.0,
+        }
+    }
+
+    /// The fault mix the end-to-end chaos suite runs: ≥20 % of calls are
+    /// disrupted in some way.
+    #[must_use]
+    pub fn aggressive(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            provision_failure_rate: 0.25,
+            harvest_timeout_rate: 0.20,
+            corrupt_rate: 0.15,
+            truncate_rate: 0.10,
+            duplicate_rate: 0.10,
+        }
+    }
+
+    /// Sets the transient provisioning failure rate.
+    #[must_use]
+    pub fn with_provision_failure_rate(mut self, rate: f64) -> Self {
+        self.provision_failure_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the harvest timeout rate.
+    #[must_use]
+    pub fn with_harvest_timeout_rate(mut self, rate: f64) -> Self {
+        self.harvest_timeout_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the batch corruption rate.
+    #[must_use]
+    pub fn with_corrupt_rate(mut self, rate: f64) -> Self {
+        self.corrupt_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the batch truncation rate.
+    #[must_use]
+    pub fn with_truncate_rate(mut self, rate: f64) -> Self {
+        self.truncate_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the batch duplication rate.
+    #[must_use]
+    pub fn with_duplicate_rate(mut self, rate: f64) -> Self {
+        self.duplicate_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// Counts of injected faults, for assertions and health reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosStats {
+    /// Provision calls failed transiently.
+    pub provision_faults: u64,
+    /// Harvest calls that timed out.
+    pub harvest_timeouts: u64,
+    /// Batches delivered corrupted.
+    pub corrupted_batches: u64,
+    /// Batches delivered truncated.
+    pub truncated_batches: u64,
+    /// Batches delivered with replayed events.
+    pub duplicated_batches: u64,
+    /// Batches delivered untouched.
+    pub clean_batches: u64,
+}
+
+impl ChaosStats {
+    /// Total batches mutated in any way.
+    #[must_use]
+    pub fn mutated_batches(&self) -> u64 {
+        self.corrupted_batches + self.truncated_batches + self.duplicated_batches
+    }
+}
+
+/// A seeded fault-injecting decorator around any [`CloudProvider`].
+#[derive(Debug)]
+pub struct ChaosProvider<P> {
+    inner: P,
+    config: ChaosConfig,
+    rng: Mutex<u64>,
+    stats: Mutex<ChaosStats>,
+}
+
+impl<P: CloudProvider> ChaosProvider<P> {
+    /// Wraps `inner` with the given fault configuration.
+    #[must_use]
+    pub fn new(inner: P, config: ChaosConfig) -> Self {
+        ChaosProvider {
+            inner,
+            config,
+            rng: Mutex::new(config.seed),
+            stats: Mutex::new(ChaosStats::default()),
+        }
+    }
+
+    /// The wrapped provider.
+    #[must_use]
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// The fault configuration.
+    #[must_use]
+    pub fn config(&self) -> ChaosConfig {
+        self.config
+    }
+
+    /// A snapshot of the fault counters.
+    #[must_use]
+    pub fn stats(&self) -> ChaosStats {
+        *self.stats.lock()
+    }
+
+    /// A uniform draw in `[0, 1)` from the fault stream.
+    fn roll(&self) -> f64 {
+        let mut state = self.rng.lock();
+        let bits = splitmix64(&mut state) >> 11;
+        bits as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform index below `n` (`n > 0`) from the fault stream.
+    fn roll_index(&self, n: usize) -> usize {
+        let mut state = self.rng.lock();
+        (splitmix64(&mut state) % n as u64) as usize
+    }
+
+    /// Applies at most one trace mutation according to the configured
+    /// rates.
+    fn disturb(&self, mut telemetry: ProviderTelemetry) -> ProviderTelemetry {
+        let u = self.roll();
+        let c = self.config;
+        let mut stats = self.stats.lock();
+        if u < c.corrupt_rate {
+            telemetry.trace = corrupt(
+                &telemetry.trace,
+                telemetry.clusters,
+                self.roll_index(telemetry.trace.len().max(1)),
+            );
+            stats.corrupted_batches += 1;
+        } else if u < c.corrupt_rate + c.truncate_rate {
+            if let Some(truncated) = truncate(&telemetry.trace) {
+                telemetry.trace = truncated;
+                stats.truncated_batches += 1;
+            } else {
+                stats.clean_batches += 1;
+            }
+        } else if u < c.corrupt_rate + c.truncate_rate + c.duplicate_rate {
+            if let Some(duplicated) = duplicate(&telemetry.trace) {
+                telemetry.trace = duplicated;
+                stats.duplicated_batches += 1;
+            } else {
+                stats.clean_batches += 1;
+            }
+        } else {
+            stats.clean_batches += 1;
+        }
+        telemetry
+    }
+}
+
+/// Points one event at a cluster outside the declared frame and, when two
+/// events exist, swaps the first two timestamps to break capture order.
+fn corrupt(trace: &Trace, clusters: u32, victim: usize) -> Trace {
+    let mut events: Vec<TraceEvent> = trace.events().to_vec();
+    if let Some(event) = events.get_mut(victim) {
+        event.cluster = clusters as usize + 1;
+    }
+    if events.len() >= 2 && events[0].at != events[1].at {
+        let (a, b) = (events[0].at, events[1].at);
+        events[0].at = b;
+        events[1].at = a;
+    }
+    rebuild(events)
+}
+
+/// Drops the prefix through the first `NodeDown` whose matching `NodeUp`
+/// appears later, orphaning that `NodeUp`. Returns `None` when the trace
+/// has no completed outage to orphan.
+fn truncate(trace: &Trace) -> Option<Trace> {
+    let events = trace.events();
+    let cut = events.iter().enumerate().find_map(|(i, e)| {
+        let TraceEventKind::NodeDown { node } = e.kind else {
+            return None;
+        };
+        let completed = events[i + 1..].iter().any(|later| {
+            later.cluster == e.cluster && later.kind == TraceEventKind::NodeUp { node }
+        });
+        completed.then_some(i)
+    })?;
+    Some(rebuild(events[cut + 1..].to_vec()))
+}
+
+/// Replays the first `NodeDown` immediately after itself, double-failing
+/// the node. Returns `None` when the trace has no `NodeDown`.
+fn duplicate(trace: &Trace) -> Option<Trace> {
+    let events = trace.events();
+    let i = events
+        .iter()
+        .position(|e| matches!(e.kind, TraceEventKind::NodeDown { .. }))?;
+    let mut doubled: Vec<TraceEvent> = Vec::with_capacity(events.len() + 1);
+    doubled.extend_from_slice(&events[..=i]);
+    doubled.push(events[i]);
+    doubled.extend_from_slice(&events[i + 1..]);
+    Some(rebuild(doubled))
+}
+
+fn rebuild(events: Vec<TraceEvent>) -> Trace {
+    let mut trace = Trace::new();
+    for e in events {
+        trace.record(e.at, e.cluster, e.kind);
+    }
+    trace
+}
+
+impl<P: CloudProvider> CloudProvider for ChaosProvider<P> {
+    fn id(&self) -> &CloudId {
+        self.inner.id()
+    }
+
+    fn display_name(&self) -> &str {
+        self.inner.display_name()
+    }
+
+    fn provision(&mut self, plan: &DeploymentPlan) -> Result<DeploymentHandle, BrokerError> {
+        if self.roll() < self.config.provision_failure_rate {
+            self.stats.lock().provision_faults += 1;
+            return Err(BrokerError::ProviderUnavailable {
+                cloud: self.inner.id().clone(),
+                reason: "injected transient provisioning fault".into(),
+            });
+        }
+        self.inner.provision(plan)
+    }
+
+    fn deprovision(&mut self, handle: DeploymentHandle) -> bool {
+        self.inner.deprovision(handle)
+    }
+
+    fn deployments(&self) -> Vec<DeploymentHandle> {
+        self.inner.deployments()
+    }
+
+    fn harvest_component_telemetry(
+        &self,
+        kind: ComponentKind,
+        fleet: u32,
+        years: f64,
+        seed: u64,
+    ) -> Result<ProviderTelemetry, BrokerError> {
+        if self.roll() < self.config.harvest_timeout_rate {
+            self.stats.lock().harvest_timeouts += 1;
+            return Err(BrokerError::Timeout {
+                operation: "harvest_component_telemetry".into(),
+            });
+        }
+        let telemetry = self
+            .inner
+            .harvest_component_telemetry(kind, fleet, years, seed)?;
+        Ok(self.disturb(telemetry))
+    }
+
+    fn harvest_cluster_telemetry(
+        &self,
+        spec: &ClusterSpec,
+        years: f64,
+        seed: u64,
+    ) -> Result<ProviderTelemetry, BrokerError> {
+        if self.roll() < self.config.harvest_timeout_rate {
+            self.stats.lock().harvest_timeouts += 1;
+            return Err(BrokerError::Timeout {
+                operation: "harvest_cluster_telemetry".into(),
+            });
+        }
+        let telemetry = self.inner.harvest_cluster_telemetry(spec, years, seed)?;
+        Ok(self.disturb(telemetry))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::{GroundTruth, SimulatedProvider};
+    use crate::telemetry::validate_batch;
+    use uptime_core::{FailuresPerYear, Probability};
+
+    fn sim() -> SimulatedProvider {
+        SimulatedProvider::new("softlayer", "sim").with_ground_truth(
+            ComponentKind::Storage,
+            GroundTruth {
+                down_probability: Probability::new(0.05).unwrap(),
+                failures_per_year: FailuresPerYear::new(2.0).unwrap(),
+            },
+        )
+    }
+
+    fn harvest(p: &impl CloudProvider) -> Result<ProviderTelemetry, BrokerError> {
+        p.harvest_component_telemetry(ComponentKind::Storage, 10, 5.0, 3)
+    }
+
+    #[test]
+    fn quiet_config_is_transparent() {
+        let chaos = ChaosProvider::new(sim(), ChaosConfig::quiet(1));
+        let direct = harvest(&sim()).unwrap();
+        let via = harvest(&chaos).unwrap();
+        assert_eq!(via, direct);
+        assert_eq!(chaos.stats().clean_batches, 1);
+        assert_eq!(chaos.stats().mutated_batches(), 0);
+        assert_eq!(chaos.id().as_str(), "softlayer");
+        assert_eq!(chaos.display_name(), "sim");
+    }
+
+    #[test]
+    fn corrupted_batches_fail_validation() {
+        let config = ChaosConfig::quiet(5).with_corrupt_rate(1.0);
+        let chaos = ChaosProvider::new(sim(), config);
+        let batch = harvest(&chaos).unwrap();
+        assert!(validate_batch(&batch).is_err());
+        assert_eq!(chaos.stats().corrupted_batches, 1);
+    }
+
+    #[test]
+    fn truncated_batches_fail_validation() {
+        let config = ChaosConfig::quiet(5).with_truncate_rate(1.0);
+        let chaos = ChaosProvider::new(sim(), config);
+        let batch = harvest(&chaos).unwrap();
+        assert!(validate_batch(&batch).is_err());
+        assert_eq!(chaos.stats().truncated_batches, 1);
+    }
+
+    #[test]
+    fn duplicated_batches_fail_validation() {
+        let config = ChaosConfig::quiet(5).with_duplicate_rate(1.0);
+        let chaos = ChaosProvider::new(sim(), config);
+        let batch = harvest(&chaos).unwrap();
+        assert!(validate_batch(&batch).is_err());
+        assert_eq!(chaos.stats().duplicated_batches, 1);
+    }
+
+    #[test]
+    fn timeouts_surface_as_timeout_errors() {
+        let config = ChaosConfig::quiet(5).with_harvest_timeout_rate(1.0);
+        let chaos = ChaosProvider::new(sim(), config);
+        assert!(matches!(harvest(&chaos), Err(BrokerError::Timeout { .. })));
+        assert_eq!(chaos.stats().harvest_timeouts, 1);
+    }
+
+    #[test]
+    fn provision_faults_are_transient_provider_unavailable() {
+        use crate::planner::ProvisionStep;
+        use uptime_catalog::HaMethodId;
+        let config = ChaosConfig::quiet(5).with_provision_failure_rate(1.0);
+        let mut chaos = ChaosProvider::new(sim(), config);
+        let plan = DeploymentPlan::new(
+            CloudId::new("softlayer"),
+            vec![ProvisionStep::new(
+                ComponentKind::Storage,
+                HaMethodId::new("raid1"),
+                "RAID 1",
+                2,
+            )],
+        );
+        assert!(matches!(
+            chaos.provision(&plan),
+            Err(BrokerError::ProviderUnavailable { .. })
+        ));
+        assert_eq!(chaos.stats().provision_faults, 1);
+        assert!(chaos.deployments().is_empty());
+    }
+
+    #[test]
+    fn identical_seeds_identical_fault_schedule() {
+        let schedule = |seed: u64| -> Vec<bool> {
+            let chaos = ChaosProvider::new(sim(), ChaosConfig::aggressive(seed));
+            (0..20).map(|_| harvest(&chaos).is_ok()).collect()
+        };
+        assert_eq!(schedule(99), schedule(99));
+    }
+
+    #[test]
+    fn aggressive_mix_disrupts_a_meaningful_share() {
+        let chaos = ChaosProvider::new(sim(), ChaosConfig::aggressive(4));
+        let mut failures = 0;
+        for _ in 0..50 {
+            match harvest(&chaos) {
+                Ok(batch) => {
+                    if validate_batch(&batch).is_err() {
+                        failures += 1;
+                    }
+                }
+                Err(_) => failures += 1,
+            }
+        }
+        let stats = chaos.stats();
+        assert!(
+            failures >= 10,
+            "≥20 % disruption expected, got {failures}/50"
+        );
+        assert!(stats.harvest_timeouts > 0);
+        assert!(stats.mutated_batches() > 0);
+        assert!(stats.clean_batches > 0, "clean batches still get through");
+    }
+}

@@ -37,6 +37,29 @@ pub enum BrokerError {
         /// Cloud of the provider asked to execute it.
         provider_cloud: CloudId,
     },
+    /// A provider call failed transiently (retry may succeed).
+    ProviderUnavailable {
+        /// The cloud whose provider faulted.
+        cloud: CloudId,
+        /// Human-readable fault description.
+        reason: String,
+    },
+    /// A provider call exceeded its deadline.
+    Timeout {
+        /// The operation that timed out.
+        operation: String,
+    },
+    /// The circuit breaker for a provider is open; the call was not made.
+    CircuitOpen {
+        /// The cloud whose breaker is open.
+        cloud: CloudId,
+    },
+    /// A telemetry batch failed validation or plausibility gating and was
+    /// quarantined instead of absorbed.
+    TelemetryRejected {
+        /// Why the batch was rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for BrokerError {
@@ -56,6 +79,16 @@ impl fmt::Display for BrokerError {
                 f,
                 "plan targets cloud `{plan_cloud}` but provider is `{provider_cloud}`"
             ),
+            BrokerError::ProviderUnavailable { cloud, reason } => {
+                write!(f, "provider for cloud `{cloud}` unavailable: {reason}")
+            }
+            BrokerError::Timeout { operation } => write!(f, "operation `{operation}` timed out"),
+            BrokerError::CircuitOpen { cloud } => {
+                write!(f, "circuit breaker open for cloud `{cloud}`")
+            }
+            BrokerError::TelemetryRejected { reason } => {
+                write!(f, "telemetry batch rejected: {reason}")
+            }
         }
     }
 }
@@ -121,6 +154,41 @@ mod tests {
             provider_cloud: CloudId::new("b"),
         };
         assert!(e.to_string().contains('a') && e.to_string().contains('b'));
+    }
+
+    #[test]
+    fn resilience_variants_display() {
+        use std::error::Error;
+        let e = BrokerError::ProviderUnavailable {
+            cloud: CloudId::new("softlayer"),
+            reason: "injected fault".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "provider for cloud `softlayer` unavailable: injected fault"
+        );
+        assert!(e.source().is_none());
+
+        let e = BrokerError::Timeout {
+            operation: "harvest_component_telemetry".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "operation `harvest_component_telemetry` timed out"
+        );
+        assert!(e.source().is_none());
+
+        let e = BrokerError::CircuitOpen {
+            cloud: CloudId::new("softlayer"),
+        };
+        assert_eq!(e.to_string(), "circuit breaker open for cloud `softlayer`");
+        assert!(e.source().is_none());
+
+        let e = BrokerError::TelemetryRejected {
+            reason: "orphan NodeUp".into(),
+        };
+        assert_eq!(e.to_string(), "telemetry batch rejected: orphan NodeUp");
+        assert!(e.source().is_none());
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! * [`telemetry`] — estimators that reconstruct `P̂_i`, `f̂_i`, `t̂_i`
 //!   from harvested traces, feeding the broker's knowledge base.
 //! * [`service`] — [`BrokerService`]: intake → search → recommendation.
+//! * [`resilience`] — [`RetryPolicy`] and per-provider [`CircuitBreaker`]
+//!   guarding every provider call, over a deterministic virtual clock.
+//! * [`chaos`] — [`ChaosProvider`], a seeded fault-injecting decorator
+//!   for exercising the control plane under provider misbehavior.
 //! * [`report`] — renders the paper's Figs. 4–10 as text tables and JSON.
 //! * [`planner`] — turns a recommendation into provisioning steps.
 //! * [`audit`] — Monte-Carlo validation that a recommended architecture
@@ -46,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod chaos;
 pub mod error;
 pub mod metacloud;
 pub mod planner;
@@ -53,19 +58,24 @@ pub mod provider;
 pub mod recommendation;
 pub mod report;
 pub mod request;
+pub mod resilience;
 pub mod service;
 pub mod settlement;
 pub mod telemetry;
 pub mod whatif;
 
 pub use audit::{audit_recommendation, AuditReport};
+pub use chaos::{ChaosConfig, ChaosProvider, ChaosStats};
 pub use error::BrokerError;
 pub use metacloud::{MetacloudRecommendation, Placement};
 pub use planner::{DeploymentPlan, ProvisionStep};
-pub use provider::{CloudProvider, DeploymentHandle, ProviderTelemetry, SimulatedProvider};
-pub use recommendation::{CloudRecommendation, RankedOption, Recommendation};
+pub use provider::{
+    CloudProvider, DeploymentHandle, GroundTruth, ProviderTelemetry, SimulatedProvider,
+};
+pub use recommendation::{CloudRecommendation, DegradedMode, RankedOption, Recommendation};
 pub use request::{SolutionRequest, SolutionRequestBuilder};
-pub use service::BrokerService;
+pub use resilience::{BreakerState, CircuitBreaker, RetryOutcome, RetryPolicy};
+pub use service::{BrokerHealth, BrokerService, Incident, IncidentCategory, ProviderHealth};
 pub use settlement::{settle, MonthlyStatement, SettlementReport};
-pub use telemetry::{EstimatedParameters, TelemetryEstimator};
+pub use telemetry::{validate_batch, EstimatedParameters, QuarantinePolicy, TelemetryEstimator};
 pub use whatif::UptimeBounds;

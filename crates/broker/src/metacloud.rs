@@ -18,6 +18,7 @@ use uptime_optimizer::{
 };
 
 use crate::error::BrokerError;
+use crate::recommendation::DegradedMode;
 use crate::request::SolutionRequest;
 use crate::service::BrokerService;
 
@@ -41,6 +42,7 @@ pub struct MetacloudRecommendation {
     evaluation: Evaluation,
     clouds_used: Vec<CloudId>,
     assignments_searched: u128,
+    degraded: Option<DegradedMode>,
 }
 
 impl MetacloudRecommendation {
@@ -72,6 +74,18 @@ impl MetacloudRecommendation {
     #[must_use]
     pub fn assignments_searched(&self) -> u128 {
         self.assignments_searched
+    }
+
+    /// Degradation metadata, when the answer rests on a stale catalog.
+    #[must_use]
+    pub fn degraded(&self) -> Option<&DegradedMode> {
+        self.degraded.as_ref()
+    }
+
+    /// Whether the answer was served in degraded mode.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
     }
 }
 
@@ -165,6 +179,7 @@ impl BrokerService {
             }
         }
         Ok(MetacloudRecommendation {
+            degraded: self.degraded_mode(&clouds),
             placements,
             evaluation: best,
             clouds_used,

@@ -198,17 +198,55 @@ impl CloudRecommendation {
     }
 }
 
+/// How a degraded answer came to be degraded.
+///
+/// When a provider's circuit breaker is open or its telemetry stream is
+/// quarantined, the broker still answers — from the last known-good
+/// catalog — but annotates the answer so the client can weigh staleness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradedMode {
+    /// Clouds whose answers rest on a stale catalog.
+    pub stale_clouds: Vec<CloudId>,
+    /// Telemetry batches quarantined across those clouds.
+    pub quarantined_batches: u64,
+    /// Human-readable explanation.
+    pub note: String,
+}
+
 /// The broker's full answer, across every considered cloud.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Recommendation {
     clouds: Vec<CloudRecommendation>,
+    degraded: Option<DegradedMode>,
 }
 
 impl Recommendation {
     /// Assembles a recommendation.
     #[must_use]
     pub fn new(clouds: Vec<CloudRecommendation>) -> Self {
-        Recommendation { clouds }
+        Recommendation {
+            clouds,
+            degraded: None,
+        }
+    }
+
+    /// Annotates the answer as degraded.
+    #[must_use]
+    pub fn with_degraded(mut self, degraded: DegradedMode) -> Self {
+        self.degraded = Some(degraded);
+        self
+    }
+
+    /// Degradation metadata, when the answer rests on a stale catalog.
+    #[must_use]
+    pub fn degraded(&self) -> Option<&DegradedMode> {
+        self.degraded.as_ref()
+    }
+
+    /// Whether the answer is served in degraded mode.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
     }
 
     /// Per-cloud recommendations.
@@ -394,5 +432,27 @@ mod tests {
         let json = serde_json::to_string(&rec).unwrap();
         let back: Recommendation = serde_json::from_str(&json).unwrap();
         assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn degraded_annotation() {
+        let rec = Recommendation::new(vec![cloud_rec()]);
+        assert!(!rec.is_degraded());
+        assert!(rec.degraded().is_none());
+
+        let rec = rec.with_degraded(DegradedMode {
+            stale_clouds: vec![case_study::cloud_id()],
+            quarantined_batches: 3,
+            note: "circuit breaker open".into(),
+        });
+        assert!(rec.is_degraded());
+        let meta = rec.degraded().unwrap();
+        assert_eq!(meta.stale_clouds.len(), 1);
+        assert_eq!(meta.quarantined_batches, 3);
+        // Degradation survives serialization.
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: Recommendation = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+        assert!(back.is_degraded());
     }
 }

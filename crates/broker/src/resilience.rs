@@ -1,0 +1,470 @@
+//! Control-plane resilience primitives: retry with backoff and circuit
+//! breaking.
+//!
+//! The paper's broker is a long-running intermediary between customers and
+//! IaaS providers; provider calls (provisioning, telemetry harvest) fail
+//! transiently in practice. This module supplies the two standard guards:
+//!
+//! * [`RetryPolicy`] — bounded exponential backoff with deterministic,
+//!   seeded jitter and a total *deadline budget*. Time is **virtual**
+//!   (no wall clock, no sleeping), which keeps every retry schedule
+//!   reproducible from its seed — the same discipline the simulator uses.
+//! * [`CircuitBreaker`] — the classic closed → open → half-open machine,
+//!   one per fronted provider, driven by a virtual tick that advances on
+//!   every admission check.
+//!
+//! Both are plain state machines so they can be unit-tested exhaustively
+//! and replayed identically across runs (the chaos harness depends on
+//! this).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 step — the same generator the vendored `rand` seeds with,
+/// used here for deterministic jitter.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Bounded exponential backoff with seeded "equal jitter" and a total
+/// virtual-time budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    max_attempts: u32,
+    base_delay_ms: u64,
+    max_delay_ms: u64,
+    budget_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay_ms: 100,
+            max_delay_ms: 5_000,
+            budget_ms: 10_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Creates a policy. `max_attempts` is clamped to at least one.
+    #[must_use]
+    pub fn new(max_attempts: u32, base_delay_ms: u64, max_delay_ms: u64, budget_ms: u64) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_delay_ms,
+            max_delay_ms,
+            budget_ms,
+        }
+    }
+
+    /// Maximum number of attempts (first try included).
+    #[must_use]
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// Total virtual-time deadline budget across all backoff waits.
+    #[must_use]
+    pub fn budget_ms(&self) -> u64 {
+        self.budget_ms
+    }
+
+    /// The jittered virtual delay before retrying after failed attempt
+    /// `attempt` (1-based). Equal jitter: half the exponential delay is
+    /// kept, the other half is drawn uniformly from the seed.
+    #[must_use]
+    pub fn delay_after(&self, attempt: u32, seed: u64) -> u64 {
+        let shift = attempt.saturating_sub(1).min(20);
+        let full = self
+            .base_delay_ms
+            .saturating_mul(1u64 << shift)
+            .min(self.max_delay_ms);
+        let half = full / 2;
+        let mut state = seed ^ u64::from(attempt).wrapping_mul(0xA076_1D64_78BD_642F);
+        let jitter = if half == 0 {
+            0
+        } else {
+            splitmix64(&mut state) % (half + 1)
+        };
+        half + jitter
+    }
+
+    /// Runs `op` up to `max_attempts` times, backing off between attempts.
+    ///
+    /// Only errors for which `transient` returns `true` are retried;
+    /// anything else is returned immediately. The virtual clock is advanced
+    /// by each backoff delay and the loop stops early once the deadline
+    /// budget would be exceeded.
+    pub fn run<T, E>(
+        &self,
+        seed: u64,
+        mut transient: impl FnMut(&E) -> bool,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+    ) -> RetryOutcome<T, E> {
+        let mut elapsed_ms = 0u64;
+        for attempt in 1..=self.max_attempts {
+            match op(attempt) {
+                Ok(value) => {
+                    return RetryOutcome {
+                        result: Ok(value),
+                        attempts: attempt,
+                        virtual_elapsed_ms: elapsed_ms,
+                        budget_exhausted: false,
+                    }
+                }
+                Err(err) => {
+                    if !transient(&err) || attempt == self.max_attempts {
+                        return RetryOutcome {
+                            result: Err(err),
+                            attempts: attempt,
+                            virtual_elapsed_ms: elapsed_ms,
+                            budget_exhausted: false,
+                        };
+                    }
+                    let delay = self.delay_after(attempt, seed);
+                    if elapsed_ms.saturating_add(delay) > self.budget_ms {
+                        return RetryOutcome {
+                            result: Err(err),
+                            attempts: attempt,
+                            virtual_elapsed_ms: elapsed_ms,
+                            budget_exhausted: true,
+                        };
+                    }
+                    elapsed_ms += delay;
+                }
+            }
+        }
+        unreachable!("loop returns on success or final failure")
+    }
+}
+
+/// What a [`RetryPolicy::run`] call did.
+#[derive(Debug)]
+pub struct RetryOutcome<T, E> {
+    /// The final result: first success, or the last error observed.
+    pub result: Result<T, E>,
+    /// Attempts actually made (1-based count).
+    pub attempts: u32,
+    /// Virtual milliseconds spent backing off.
+    pub virtual_elapsed_ms: u64,
+    /// Whether the loop stopped because the deadline budget ran out
+    /// before `max_attempts` was reached.
+    pub budget_exhausted: bool,
+}
+
+/// The admission state of a [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Calls flow normally.
+    Closed,
+    /// Calls are rejected; the provider is cooling down.
+    Open,
+    /// Cooldown elapsed; a single probe call is admitted.
+    HalfOpen,
+}
+
+impl fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        })
+    }
+}
+
+/// Per-provider circuit breaker over a virtual tick clock.
+///
+/// Every [`allow`](CircuitBreaker::allow) advances the clock by one tick.
+/// After `failure_threshold` consecutive failures the breaker opens; once
+/// `cooldown_ticks` admission checks have passed it half-opens and admits
+/// exactly one probe. A successful probe closes the breaker, a failed one
+/// re-opens it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    failure_threshold: u32,
+    cooldown_ticks: u64,
+    consecutive_failures: u32,
+    open_since: Option<u64>,
+    probing: bool,
+    now: u64,
+    times_opened: u64,
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        CircuitBreaker::new(3, 8)
+    }
+}
+
+impl CircuitBreaker {
+    /// Creates a breaker that opens after `failure_threshold` consecutive
+    /// failures and half-opens after `cooldown_ticks` admission checks.
+    #[must_use]
+    pub fn new(failure_threshold: u32, cooldown_ticks: u64) -> Self {
+        CircuitBreaker {
+            failure_threshold: failure_threshold.max(1),
+            cooldown_ticks: cooldown_ticks.max(1),
+            consecutive_failures: 0,
+            open_since: None,
+            probing: false,
+            now: 0,
+            times_opened: 0,
+        }
+    }
+
+    /// Current state, accounting for cooldown expiry.
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        match self.open_since {
+            None => BreakerState::Closed,
+            Some(at) if self.now.saturating_sub(at) >= self.cooldown_ticks => {
+                BreakerState::HalfOpen
+            }
+            Some(_) => BreakerState::Open,
+        }
+    }
+
+    /// Consecutive failures since the last success.
+    #[must_use]
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// How many times the breaker has tripped open.
+    #[must_use]
+    pub fn times_opened(&self) -> u64 {
+        self.times_opened
+    }
+
+    /// Asks whether a call may proceed, advancing the virtual clock by one
+    /// tick. Half-open admits a single probe until its outcome is
+    /// recorded.
+    pub fn allow(&mut self) -> bool {
+        self.now += 1;
+        match self.state() {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => {
+                if self.probing {
+                    false
+                } else {
+                    self.probing = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Records a successful call: the breaker closes and the failure
+    /// streak resets.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.open_since = None;
+        self.probing = false;
+    }
+
+    /// Records a failed call: a failed half-open probe re-opens the
+    /// breaker immediately; in the closed state, reaching the threshold
+    /// opens it.
+    pub fn record_failure(&mut self) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let trip = if self.probing {
+            true
+        } else {
+            self.open_since.is_none() && self.consecutive_failures >= self.failure_threshold
+        };
+        if trip {
+            self.open_since = Some(self.now);
+            self.probing = false;
+            self.times_opened += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_succeeds_first_try() {
+        let policy = RetryPolicy::default();
+        let outcome = policy.run(1, |_: &&str| true, |_| Ok::<_, &str>(42));
+        assert_eq!(outcome.result.unwrap(), 42);
+        assert_eq!(outcome.attempts, 1);
+        assert_eq!(outcome.virtual_elapsed_ms, 0);
+        assert!(!outcome.budget_exhausted);
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_errors() {
+        let policy = RetryPolicy::new(5, 10, 100, 10_000);
+        let mut calls = 0;
+        let outcome = policy.run(
+            7,
+            |_: &&str| true,
+            |attempt| {
+                calls += 1;
+                if attempt < 3 {
+                    Err("flaky")
+                } else {
+                    Ok("done")
+                }
+            },
+        );
+        assert_eq!(outcome.result.unwrap(), "done");
+        assert_eq!(outcome.attempts, 3);
+        assert_eq!(calls, 3);
+        assert!(outcome.virtual_elapsed_ms > 0, "backed off between tries");
+    }
+
+    #[test]
+    fn retry_gives_up_after_max_attempts() {
+        let policy = RetryPolicy::new(3, 1, 10, 10_000);
+        let outcome = policy.run(9, |_: &&str| true, |_| Err::<(), _>("down"));
+        assert_eq!(outcome.result.unwrap_err(), "down");
+        assert_eq!(outcome.attempts, 3);
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retried() {
+        let policy = RetryPolicy::default();
+        let mut calls = 0;
+        let outcome = policy.run(
+            1,
+            |e: &&str| *e == "transient",
+            |_| {
+                calls += 1;
+                Err::<(), _>("permanent")
+            },
+        );
+        assert!(outcome.result.is_err());
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn budget_caps_backoff() {
+        // Base delay 1000 ms with a 1500 ms budget: one wait fits, the
+        // second (≥1000 ms) would exceed it.
+        let policy = RetryPolicy::new(10, 1000, 4000, 1500);
+        let outcome = policy.run(3, |_: &&str| true, |_| Err::<(), _>("down"));
+        assert!(outcome.budget_exhausted);
+        assert!(outcome.attempts < 10);
+        assert!(outcome.virtual_elapsed_ms <= 1500);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let policy = RetryPolicy::new(6, 100, 5000, 60_000);
+        for attempt in 1..=5 {
+            let a = policy.delay_after(attempt, 42);
+            let b = policy.delay_after(attempt, 42);
+            assert_eq!(a, b, "same seed, same delay");
+            let full = (100u64 << (attempt - 1)).min(5000);
+            assert!(a >= full / 2 && a <= full + 1, "attempt {attempt}: {a}");
+        }
+        // Different seeds usually differ.
+        let spread: std::collections::BTreeSet<u64> =
+            (0..16).map(|s| policy.delay_after(3, s)).collect();
+        assert!(spread.len() > 1, "jitter varies across seeds");
+    }
+
+    #[test]
+    fn identical_seeds_identical_schedule() {
+        let policy = RetryPolicy::new(5, 50, 2000, 60_000);
+        let run = |seed| {
+            let mut delays = Vec::new();
+            let _ = policy.run(
+                seed,
+                |_: &&str| true,
+                |attempt| {
+                    if attempt > 1 {
+                        delays.push(policy.delay_after(attempt - 1, seed));
+                    }
+                    Err::<(), _>("x")
+                },
+            );
+            delays
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold() {
+        let mut b = CircuitBreaker::new(3, 5);
+        assert_eq!(b.state(), BreakerState::Closed);
+        for _ in 0..3 {
+            assert!(b.allow());
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.times_opened(), 1);
+        assert!(!b.allow(), "open breaker rejects");
+    }
+
+    #[test]
+    fn breaker_half_opens_after_cooldown_and_closes_on_probe_success() {
+        let mut b = CircuitBreaker::new(1, 3);
+        assert!(b.allow());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        // Cooldown: rejected admission checks advance the clock; the
+        // breaker half-opens once three ticks have elapsed since opening.
+        assert!(!b.allow());
+        assert!(!b.allow());
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.allow(), "cooldown elapsed: half-open admits one probe");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(), "second concurrent probe rejected");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.consecutive_failures(), 0);
+        assert!(b.allow());
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let mut b = CircuitBreaker::new(1, 2);
+        assert!(b.allow());
+        b.record_failure();
+        while !b.allow() {}
+        // Probe admitted; it fails.
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.times_opened(), 2);
+        assert!(!b.allow());
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let mut b = CircuitBreaker::new(3, 5);
+        for _ in 0..2 {
+            assert!(b.allow());
+            b.record_failure();
+        }
+        assert!(b.allow());
+        b.record_success();
+        assert_eq!(b.consecutive_failures(), 0);
+        // Two more failures do not trip the (3-failure) breaker.
+        for _ in 0..2 {
+            assert!(b.allow());
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(BreakerState::Closed.to_string(), "closed");
+        assert_eq!(BreakerState::Open.to_string(), "open");
+        assert_eq!(BreakerState::HalfOpen.to_string(), "half-open");
+    }
+}

@@ -8,11 +8,19 @@
 //! * `f̂` — observed node failures per node-year,
 //! * `P̂` — observed fraction of node-time spent down,
 //! * `t̂` — mean observed failover window.
+//!
+//! Because providers can deliver corrupted or truncated captures, the
+//! module also hosts the broker's telemetry quarantine: structural batch
+//! validation ([`validate_batch`]) and the statistical plausibility gate
+//! ([`QuarantinePolicy`]) applied before an estimate is absorbed into the
+//! knowledge base.
 
 use serde::{Deserialize, Serialize};
 use uptime_catalog::ReliabilityRecord;
-use uptime_core::{FailuresPerYear, Minutes, Probability};
+use uptime_core::{ConfidenceLevel, FailuresPerYear, Minutes, Probability, ProbabilityInterval};
 use uptime_sim::{SimDuration, SimTime, Trace, TraceEventKind};
+
+use crate::provider::ProviderTelemetry;
 
 /// Parameters recovered from observation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -168,6 +176,166 @@ impl TelemetryEstimator {
     }
 }
 
+/// Structurally validates a harvested telemetry batch.
+///
+/// A batch passes when its trace could have been produced by an honest
+/// capture of the declared frame:
+///
+/// * timestamps are non-decreasing and never past the declared span;
+/// * every event addresses a cluster below `clusters` and (for node
+///   events) a node below `nodes_per_cluster`;
+/// * per node, `NodeDown` / `NodeUp` strictly alternate starting from up
+///   (no double-fail, no orphan repair);
+/// * `FailoverEnd` only occurs with at least one failover window open.
+///   A single `FailoverEnd` may close several merged windows, matching
+///   how the simulator records extended failovers.
+///
+/// Returns `Err` with a human-readable reason on the first violation.
+pub fn validate_batch(telemetry: &ProviderTelemetry) -> Result<(), String> {
+    let span_end = SimTime::ZERO + telemetry.span;
+    let mut last_at = SimTime::ZERO;
+    let mut down: std::collections::BTreeSet<(usize, usize)> = std::collections::BTreeSet::new();
+    let mut open_failovers: std::collections::BTreeMap<usize, u32> =
+        std::collections::BTreeMap::new();
+
+    for (i, event) in telemetry.trace.events().iter().enumerate() {
+        if event.at < last_at {
+            return Err(format!(
+                "event {i}: timestamp regresses ({:?} after {:?})",
+                event.at, last_at
+            ));
+        }
+        last_at = event.at;
+        if event.at > span_end {
+            return Err(format!("event {i}: timestamp past declared span"));
+        }
+        if event.cluster >= telemetry.clusters as usize {
+            return Err(format!(
+                "event {i}: cluster index {} out of range (frame declares {})",
+                event.cluster, telemetry.clusters
+            ));
+        }
+        match event.kind {
+            TraceEventKind::NodeDown { node } => {
+                if node >= telemetry.nodes_per_cluster as usize {
+                    return Err(format!(
+                        "event {i}: node index {node} out of range (frame declares {})",
+                        telemetry.nodes_per_cluster
+                    ));
+                }
+                if !down.insert((event.cluster, node)) {
+                    return Err(format!(
+                        "event {i}: node {node} in cluster {} failed while already down",
+                        event.cluster
+                    ));
+                }
+            }
+            TraceEventKind::NodeUp { node } => {
+                if node >= telemetry.nodes_per_cluster as usize {
+                    return Err(format!(
+                        "event {i}: node index {node} out of range (frame declares {})",
+                        telemetry.nodes_per_cluster
+                    ));
+                }
+                if !down.remove(&(event.cluster, node)) {
+                    return Err(format!(
+                        "event {i}: node {node} in cluster {} repaired while already up",
+                        event.cluster
+                    ));
+                }
+            }
+            TraceEventKind::FailoverStart => {
+                *open_failovers.entry(event.cluster).or_insert(0) += 1;
+            }
+            TraceEventKind::FailoverEnd => {
+                if open_failovers.remove(&event.cluster).is_none() {
+                    return Err(format!(
+                        "event {i}: failover ended in cluster {} with none open",
+                        event.cluster
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Statistical plausibility gate applied before an estimate is absorbed
+/// into the catalog.
+///
+/// A structurally valid batch can still carry a wildly implausible
+/// estimate (a capture of the wrong fleet, a unit mix-up). The gate
+/// accepts an estimate when either
+///
+/// * it falls inside the Wald confidence band around the catalog's
+///   existing belief at the chosen [`ConfidenceLevel`], or
+/// * it is within [`max_probability_shift`](Self::max_probability_shift)
+///   of the existing belief in absolute terms — the slack that lets an
+///   honest drift (a provider genuinely getting worse) through even when
+///   the existing record is heavily evidenced and its band is narrow.
+///
+/// Records with less than [`min_gate_evidence`](Self::min_gate_evidence)
+/// node-years of evidence are not gated at all: a thin prior has no
+/// standing to veto fresh observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuarantinePolicy {
+    /// Confidence level of the band around the existing belief.
+    pub confidence: ConfidenceLevel,
+    /// Absolute down-probability drift always accepted.
+    pub max_probability_shift: f64,
+    /// Minimum node-years the existing record needs before it can gate.
+    pub min_gate_evidence: f64,
+}
+
+impl Default for QuarantinePolicy {
+    fn default() -> Self {
+        QuarantinePolicy {
+            confidence: ConfidenceLevel::P99,
+            max_probability_shift: 0.15,
+            min_gate_evidence: 10.0,
+        }
+    }
+}
+
+impl QuarantinePolicy {
+    /// Checks `estimate` against the catalog's `existing` belief.
+    ///
+    /// Returns `Err` with a reason when the estimate is implausible.
+    pub fn plausible(
+        &self,
+        existing: &ReliabilityRecord,
+        estimate: &EstimatedParameters,
+    ) -> Result<(), String> {
+        if existing.node_years_observed() < self.min_gate_evidence {
+            return Ok(());
+        }
+        let band = ProbabilityInterval::wald(
+            existing.down_probability(),
+            existing.node_years_observed(),
+            self.confidence,
+        );
+        let p_hat = estimate.down_probability();
+        if band.contains(p_hat) {
+            return Ok(());
+        }
+        let shift = (p_hat.value() - existing.down_probability().value()).abs();
+        if shift <= self.max_probability_shift {
+            return Ok(());
+        }
+        Err(format!(
+            "estimated P̂ = {:.4} implausible: outside {:?} band [{:.4}, {:.4}] \
+             around catalog belief {:.4} and |shift| = {:.4} exceeds {:.4}",
+            p_hat.value(),
+            self.confidence,
+            band.lower().value(),
+            band.upper().value(),
+            existing.down_probability().value(),
+            shift,
+            self.max_probability_shift
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,5 +461,141 @@ mod tests {
             merged.failures_per_year()
         );
         assert!((merged.node_years_observed() - 400.0).abs() < 1e-6);
+    }
+
+    fn batch(trace: Trace) -> ProviderTelemetry {
+        ProviderTelemetry {
+            trace,
+            nodes_per_cluster: 2,
+            clusters: 2,
+            span: SimDuration::from_minutes(1000.0),
+        }
+    }
+
+    #[test]
+    fn clean_batch_validates() {
+        let mut trace = Trace::new();
+        trace.record(at(5.0), 0, TraceEventKind::NodeDown { node: 0 });
+        trace.record(at(6.0), 0, TraceEventKind::FailoverStart);
+        trace.record(at(9.0), 0, TraceEventKind::FailoverEnd);
+        trace.record(at(10.0), 0, TraceEventKind::NodeUp { node: 0 });
+        trace.record(at(20.0), 1, TraceEventKind::NodeDown { node: 1 });
+        assert_eq!(validate_batch(&batch(trace)), Ok(()));
+    }
+
+    #[test]
+    fn merged_failover_windows_validate() {
+        // The simulator records one FailoverEnd for merged windows; two
+        // Starts then one End must pass.
+        let mut trace = Trace::new();
+        trace.record(at(1.0), 0, TraceEventKind::NodeDown { node: 0 });
+        trace.record(at(1.0), 0, TraceEventKind::FailoverStart);
+        trace.record(at(2.0), 0, TraceEventKind::NodeDown { node: 1 });
+        trace.record(at(2.0), 0, TraceEventKind::FailoverStart);
+        trace.record(at(3.0), 0, TraceEventKind::NodeUp { node: 0 });
+        trace.record(at(4.0), 0, TraceEventKind::NodeUp { node: 1 });
+        trace.record(at(4.0), 0, TraceEventKind::FailoverEnd);
+        assert_eq!(validate_batch(&batch(trace)), Ok(()));
+    }
+
+    #[test]
+    fn structural_violations_rejected() {
+        // Timestamp regression.
+        let mut trace = Trace::new();
+        trace.record(at(10.0), 0, TraceEventKind::NodeDown { node: 0 });
+        trace.record(at(5.0), 0, TraceEventKind::NodeUp { node: 0 });
+        assert!(validate_batch(&batch(trace))
+            .unwrap_err()
+            .contains("regresses"));
+
+        // Cluster out of range.
+        let mut trace = Trace::new();
+        trace.record(at(1.0), 7, TraceEventKind::NodeDown { node: 0 });
+        assert!(validate_batch(&batch(trace))
+            .unwrap_err()
+            .contains("cluster"));
+
+        // Node out of range.
+        let mut trace = Trace::new();
+        trace.record(at(1.0), 0, TraceEventKind::NodeDown { node: 9 });
+        assert!(validate_batch(&batch(trace))
+            .unwrap_err()
+            .contains("node index"));
+
+        // Double fail.
+        let mut trace = Trace::new();
+        trace.record(at(1.0), 0, TraceEventKind::NodeDown { node: 0 });
+        trace.record(at(2.0), 0, TraceEventKind::NodeDown { node: 0 });
+        assert!(validate_batch(&batch(trace))
+            .unwrap_err()
+            .contains("already down"));
+
+        // Orphan repair.
+        let mut trace = Trace::new();
+        trace.record(at(1.0), 0, TraceEventKind::NodeUp { node: 0 });
+        assert!(validate_batch(&batch(trace))
+            .unwrap_err()
+            .contains("already up"));
+
+        // Orphan failover end.
+        let mut trace = Trace::new();
+        trace.record(at(1.0), 0, TraceEventKind::FailoverEnd);
+        assert!(validate_batch(&batch(trace))
+            .unwrap_err()
+            .contains("none open"));
+
+        // Timestamp past span.
+        let mut trace = Trace::new();
+        trace.record(at(2000.0), 0, TraceEventKind::NodeDown { node: 0 });
+        assert!(validate_batch(&batch(trace)).unwrap_err().contains("span"));
+    }
+
+    fn estimate_with_p(p: f64) -> EstimatedParameters {
+        EstimatedParameters::from_parts(
+            Probability::new(p).unwrap(),
+            FailuresPerYear::new(1.0).unwrap(),
+            None,
+            100.0,
+        )
+    }
+
+    #[test]
+    fn gate_accepts_in_band_and_small_shift() {
+        let policy = QuarantinePolicy::default();
+        let existing = ReliabilityRecord::new(
+            Probability::new(0.05).unwrap(),
+            FailuresPerYear::new(2.0).unwrap(),
+            1000.0,
+        );
+        // Inside the Wald band.
+        assert_eq!(policy.plausible(&existing, &estimate_with_p(0.055)), Ok(()));
+        // Outside the band but within the absolute drift slack — honest
+        // degradation of the provider (the case-study ingestion path).
+        assert_eq!(policy.plausible(&existing, &estimate_with_p(0.10)), Ok(()));
+    }
+
+    #[test]
+    fn gate_rejects_wild_estimates() {
+        let policy = QuarantinePolicy::default();
+        let existing = ReliabilityRecord::new(
+            Probability::new(0.05).unwrap(),
+            FailuresPerYear::new(2.0).unwrap(),
+            1000.0,
+        );
+        let err = policy
+            .plausible(&existing, &estimate_with_p(0.8))
+            .unwrap_err();
+        assert!(err.contains("implausible"), "{err}");
+    }
+
+    #[test]
+    fn gate_waived_for_thin_priors() {
+        let policy = QuarantinePolicy::default();
+        let thin = ReliabilityRecord::new(
+            Probability::new(0.05).unwrap(),
+            FailuresPerYear::new(2.0).unwrap(),
+            2.0,
+        );
+        assert_eq!(policy.plausible(&thin, &estimate_with_p(0.9)), Ok(()));
     }
 }

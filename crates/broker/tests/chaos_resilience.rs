@@ -1,0 +1,208 @@
+//! End-to-end chaos test: a [`BrokerService`] fronting a misbehaving
+//! provider must stay useful.
+//!
+//! With the aggressive fault mix (≥20 % of calls disrupted) the broker
+//! must (a) still converge its catalog toward the provider's ground
+//! truth, (b) never absorb a quarantined batch, (c) keep serving
+//! recommendations — degraded-annotated while the breaker is open — and
+//! (d) behave identically for identical seeds.
+
+use uptime_broker::{
+    BreakerState, BrokerError, BrokerService, ChaosConfig, ChaosProvider, GroundTruth,
+    IncidentCategory, SimulatedProvider,
+};
+use uptime_catalog::{case_study, ComponentKind};
+use uptime_core::{FailuresPerYear, Probability};
+
+const GROUND_TRUTH_P: f64 = 0.10;
+const ROUNDS: u64 = 15;
+
+fn chaotic_broker(config: ChaosConfig) -> BrokerService {
+    let provider = SimulatedProvider::new(case_study::cloud_id(), "chaotic sim").with_ground_truth(
+        ComponentKind::Storage,
+        GroundTruth {
+            down_probability: Probability::new(GROUND_TRUTH_P).unwrap(),
+            failures_per_year: FailuresPerYear::new(4.0).unwrap(),
+        },
+    );
+    let broker = BrokerService::new(case_study::catalog());
+    broker.register_provider(Box::new(ChaosProvider::new(provider, config)));
+    broker
+}
+
+fn storage_p(broker: &BrokerService) -> f64 {
+    broker
+        .catalog_snapshot()
+        .cloud(&case_study::cloud_id())
+        .unwrap()
+        .reliability(ComponentKind::Storage)
+        .unwrap()
+        .down_probability()
+        .value()
+}
+
+fn paper_request() -> uptime_broker::SolutionRequest {
+    uptime_broker::SolutionRequest::builder()
+        .tiers(ComponentKind::paper_tiers())
+        .sla_percent(98.0)
+        .unwrap()
+        .penalty_per_hour(100.0)
+        .unwrap()
+        .cloud(case_study::cloud_id())
+        .build()
+        .unwrap()
+}
+
+/// Drives `ROUNDS` sync rounds and returns a per-round outcome tag.
+fn drive(broker: &BrokerService, seed: u64) -> Vec<String> {
+    (0..ROUNDS)
+        .map(|round| {
+            match broker.sync_telemetry(
+                &case_study::cloud_id(),
+                ComponentKind::Storage,
+                40,
+                10.0,
+                seed.wrapping_mul(1000) + round,
+            ) {
+                Ok(est) => format!("ok:{:.6}", est.down_probability().value()),
+                Err(err) => format!("err:{err}"),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn broker_converges_despite_aggressive_chaos() {
+    let broker = chaotic_broker(ChaosConfig::aggressive(42));
+    let before = storage_p(&broker);
+    assert!((before - 0.05).abs() < 1e-9, "case-study prior");
+
+    let outcomes = drive(&broker, 42);
+    let absorbed = outcomes.iter().filter(|o| o.starts_with("ok:")).count();
+    let rejected = outcomes.len() - absorbed;
+    assert!(
+        absorbed >= 5,
+        "need enough clean batches to converge, got {absorbed}: {outcomes:?}"
+    );
+    assert!(
+        rejected >= 1,
+        "the aggressive mix must actually disrupt something: {outcomes:?}"
+    );
+
+    // Catalog converged toward the 10 % ground truth.
+    let after = storage_p(&broker);
+    assert!(
+        (after - GROUND_TRUTH_P).abs() < 0.02,
+        "catalog P̂ = {after}, want ≈ {GROUND_TRUTH_P}"
+    );
+
+    // Bookkeeping matches the outcome tally exactly: nothing quarantined
+    // was absorbed, nothing absorbed was quarantined.
+    let health = broker.health();
+    assert_eq!(health.providers[0].batches_absorbed, absorbed as u64);
+    let provider_faults = broker
+        .incidents()
+        .iter()
+        .filter(|i| i.category == IncidentCategory::ProviderFault)
+        .count();
+    assert_eq!(
+        health.providers[0].batches_quarantined as usize + provider_faults,
+        rejected,
+        "every failed round is either a quarantine or a provider fault"
+    );
+}
+
+#[test]
+fn quarantined_batches_never_reach_the_catalog() {
+    // Every single batch is corrupted: the catalog must not move at all.
+    let broker = chaotic_broker(ChaosConfig::quiet(7).with_corrupt_rate(1.0));
+    let before = storage_p(&broker);
+    let outcomes = drive(&broker, 7);
+    assert!(
+        outcomes
+            .iter()
+            .all(|o| o.contains("telemetry batch rejected")),
+        "{outcomes:?}"
+    );
+    assert_eq!(storage_p(&broker), before, "catalog must be untouched");
+    let health = broker.health();
+    assert_eq!(health.providers[0].batches_absorbed, 0);
+    assert_eq!(health.providers[0].batches_quarantined, ROUNDS);
+    assert!(health.degraded, "a fully-quarantined stream is degraded");
+}
+
+#[test]
+fn open_breaker_degrades_recommendations_but_keeps_answering() {
+    // Every harvest times out: retries exhaust, the breaker trips, and
+    // recommendations keep flowing from the stale catalog, annotated.
+    let broker = chaotic_broker(ChaosConfig::quiet(3).with_harvest_timeout_rate(1.0));
+    for round in 0..4u64 {
+        let err = broker
+            .sync_telemetry(
+                &case_study::cloud_id(),
+                ComponentKind::Storage,
+                40,
+                10.0,
+                round,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                BrokerError::Timeout { .. } | BrokerError::CircuitOpen { .. }
+            ),
+            "{err}"
+        );
+    }
+    let health = broker.health();
+    assert_eq!(health.providers[0].state, BreakerState::Open);
+    assert!(health.degraded);
+    assert!(broker
+        .incidents()
+        .iter()
+        .any(|i| i.category == IncidentCategory::BreakerOpened));
+
+    let rec = broker.recommend(&paper_request()).unwrap();
+    assert!(rec.is_degraded());
+    assert_eq!(
+        rec.degraded().unwrap().stale_clouds,
+        vec![case_study::cloud_id()]
+    );
+    // The degraded answer is still the exact Fig. 10 answer.
+    assert_eq!(rec.clouds()[0].best().option_number(), 3);
+    assert_eq!(
+        rec.clouds()[0].best().evaluation().tco().total().value(),
+        1250.0
+    );
+
+    let meta = broker.recommend_metacloud(&paper_request()).unwrap();
+    assert!(meta.is_degraded());
+}
+
+#[test]
+fn identical_seeds_identical_behavior() {
+    let run = |seed: u64| {
+        let broker = chaotic_broker(ChaosConfig::aggressive(seed));
+        let outcomes = drive(&broker, seed);
+        let incidents: Vec<(u64, IncidentCategory)> = broker
+            .incidents()
+            .iter()
+            .map(|i| (i.seq, i.category))
+            .collect();
+        let health = broker.health();
+        (
+            outcomes,
+            incidents,
+            format!("{:.12}", storage_p(&broker)),
+            serde_json::to_string(&health).unwrap(),
+        )
+    };
+    let a = run(1234);
+    let b = run(1234);
+    assert_eq!(a, b, "identical seeds must replay identically");
+    let c = run(5678);
+    assert_ne!(
+        a.0, c.0,
+        "different seeds should produce a different fault schedule"
+    );
+}

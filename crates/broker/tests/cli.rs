@@ -73,6 +73,57 @@ fn unknown_subcommand_exits_2() {
 }
 
 #[test]
+fn health_without_chaos_is_clean() {
+    let output = brokerctl().arg("health").output().expect("binary runs");
+    assert_eq!(output.status.code(), Some(0), "{output:?}");
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.contains("degraded: no"), "{text}");
+    assert!(text.contains("breaker closed"), "{text}");
+}
+
+#[test]
+fn health_json_parses_and_exit_code_reflects_degradation() {
+    let output = brokerctl()
+        .args(["health", "--json", "--chaos", "2"])
+        .output()
+        .expect("binary runs");
+    // Under chaos the run may or may not end degraded; both are valid,
+    // anything else is a failure.
+    let code = output.status.code();
+    assert!(code == Some(0) || code == Some(3), "{output:?}");
+    let value: serde_json::Value = serde_json::from_slice(&output.stdout).unwrap();
+    let health = value.get("health").expect("health key");
+    let degraded = health.get("degraded").and_then(|d| d.as_bool()).unwrap();
+    assert_eq!(code, Some(if degraded { 3 } else { 0 }));
+    assert!(value.get("incidents").is_some());
+}
+
+#[test]
+fn health_is_deterministic_per_seed() {
+    let run = || {
+        brokerctl()
+            .args(["health", "--json", "--chaos", "5"])
+            .output()
+            .expect("binary runs")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.status.code(), b.status.code());
+    assert_eq!(a.stdout, b.stdout, "identical seed, identical report");
+}
+
+#[test]
+fn health_rejects_bad_seed() {
+    let output = brokerctl()
+        .args(["health", "nonsense"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(1));
+    let err = String::from_utf8(output.stderr).unwrap();
+    assert!(err.contains("brokerctl:"), "{err}");
+}
+
+#[test]
 fn serve_answers_requests_and_survives_garbage() {
     let mut child = brokerctl()
         .arg("serve")

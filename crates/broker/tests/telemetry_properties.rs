@@ -1,8 +1,9 @@
 //! Property-based tests: the telemetry estimator must recover exactly the
-//! parameters implied by hand-constructed traces.
+//! parameters implied by hand-constructed traces, and the estimation +
+//! validation pipeline must never panic on corrupted provider batches.
 
 use proptest::prelude::*;
-use uptime_broker::TelemetryEstimator;
+use uptime_broker::{validate_batch, ProviderTelemetry, TelemetryEstimator};
 use uptime_sim::{SimDuration, SimTime, Trace, TraceEventKind};
 
 /// Disjoint (start, len) outage intervals within a horizon.
@@ -86,5 +87,116 @@ proptest! {
         let expected_mean_min = (total as f64 / windows.len() as f64) / 60_000.0;
         let got = est.failover_time().expect("windows were observed").value();
         prop_assert!((got - expected_mean_min).abs() < 1e-9, "got {got} want {expected_mean_min}");
+    }
+}
+
+/// Arbitrary — possibly nonsensical — trace events: out-of-range indices,
+/// unpaired downs/ups, orphan failovers, any timestamp order the `Trace`
+/// recorder accepts.
+fn arbitrary_events() -> impl Strategy<Value = Vec<(u64, usize, u8, usize)>> {
+    prop::collection::vec((0u64..5_000_000, 0usize..6, 0u8..4, 0usize..6), 0..40)
+}
+
+fn build_trace(events: &[(u64, usize, u8, usize)]) -> Trace {
+    let mut trace = Trace::new();
+    // Trace::record keeps insertion order; sort by time so construction
+    // itself is legal, leaving all *semantic* corruption intact.
+    let mut sorted = events.to_vec();
+    sorted.sort_by_key(|e| e.0);
+    for &(at, cluster, kind, node) in &sorted {
+        let kind = match kind {
+            0 => TraceEventKind::NodeDown { node },
+            1 => TraceEventKind::NodeUp { node },
+            2 => TraceEventKind::FailoverStart,
+            _ => TraceEventKind::FailoverEnd,
+        };
+        trace.record(SimTime::from_millis(at), cluster, kind);
+    }
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The estimator never panics on corrupted input, whatever garbage a
+    /// provider delivers — unpaired events, wild indices, orphan windows.
+    #[test]
+    fn estimator_never_panics_on_garbage(
+        events in arbitrary_events(),
+        cluster in 0usize..4,
+        nodes in 1u32..5,
+        span_ms in 1u64..10_000_000,
+    ) {
+        let trace = build_trace(&events);
+        let est = TelemetryEstimator::new().estimate(
+            &trace,
+            cluster,
+            nodes,
+            SimDuration::from_millis(span_ms),
+        );
+        // Estimates stay in their domains even on garbage.
+        let p = est.down_probability().value();
+        prop_assert!((0.0..=1.0).contains(&p), "P̂ = {p}");
+        prop_assert!(est.failures_per_year().value() >= 0.0);
+        prop_assert!(est.node_years() >= 0.0);
+    }
+
+    /// The validator never panics either, and always accepts what an
+    /// honest single-node capture produces — so chaos mutations of honest
+    /// captures (truncation, duplication) are the *only* things it flags.
+    #[test]
+    fn validator_never_panics_and_accepts_honest_captures(
+        events in arbitrary_events(),
+        (intervals, horizon_ms) in outage_plan(),
+    ) {
+        // Garbage: must return a verdict, never panic.
+        let garbage = ProviderTelemetry {
+            trace: build_trace(&events),
+            nodes_per_cluster: 2,
+            clusters: 3,
+            span: SimDuration::from_millis(5_000_000),
+        };
+        let _ = validate_batch(&garbage);
+
+        // Honest capture: always accepted.
+        let mut trace = Trace::new();
+        for &(start, len) in &intervals {
+            trace.record(SimTime::from_millis(start), 0, TraceEventKind::NodeDown { node: 0 });
+            trace.record(
+                SimTime::from_millis(start + len),
+                0,
+                TraceEventKind::NodeUp { node: 0 },
+            );
+        }
+        let honest = ProviderTelemetry {
+            trace,
+            nodes_per_cluster: 1,
+            clusters: 1,
+            span: SimDuration::from_millis(horizon_ms),
+        };
+        prop_assert_eq!(validate_batch(&honest), Ok(()));
+
+        // Truncating the capture mid-outage orphans a NodeUp; duplicating
+        // a NodeDown double-fails the node. Both must be flagged.
+        if !intervals.is_empty() {
+            let mut truncated = honest.clone();
+            let events: Vec<_> = truncated.trace.events()[1..].to_vec();
+            let mut rebuilt = Trace::new();
+            for e in events {
+                rebuilt.record(e.at, e.cluster, e.kind);
+            }
+            truncated.trace = rebuilt;
+            prop_assert!(validate_batch(&truncated).is_err(), "orphan NodeUp accepted");
+
+            let mut duplicated = honest.clone();
+            let mut rebuilt = Trace::new();
+            let events = duplicated.trace.events().to_vec();
+            rebuilt.record(events[0].at, events[0].cluster, events[0].kind);
+            for e in &events {
+                rebuilt.record(e.at, e.cluster, e.kind);
+            }
+            duplicated.trace = rebuilt;
+            prop_assert!(validate_batch(&duplicated).is_err(), "double NodeDown accepted");
+        }
     }
 }

@@ -133,7 +133,12 @@ impl FailureScript {
         let horizon_time = SimTime::ZERO + horizon;
         let mut queue = EventQueue::new();
         queue.schedule(horizon_time, EventKind::HorizonReached);
-        for o in &self.outages {
+        // Schedule from the sorted copy, not insertion order: when one
+        // node's outages abut (end == next start), the repair and the next
+        // failure share a timestamp and the queue breaks the tie FIFO —
+        // insertion order could enqueue the failure first and double-fail
+        // the node.
+        for o in &per_node {
             if o.start >= horizon_time {
                 continue;
             }
@@ -347,6 +352,59 @@ mod tests {
             .run(&system(), minutes(100.0))
             .unwrap();
         assert_eq!(report.system_downtime(), minutes(10.0));
+    }
+
+    #[test]
+    fn back_to_back_outages_allowed_in_any_insertion_order() {
+        // Regression: the later outage inserted first. Scheduling used to
+        // follow insertion order, so NodeFailed@15 got a lower queue
+        // sequence than NodeRepaired@15 and the replay panicked with
+        // "failed while already down". Results must not depend on
+        // insertion order at all.
+        let reversed = FailureScript::new()
+            .outage(0, 0, at(15.0), minutes(5.0))
+            .outage(0, 0, at(10.0), minutes(5.0))
+            .run(&system(), minutes(100.0))
+            .unwrap();
+        assert_eq!(reversed.system_downtime(), minutes(10.0));
+
+        let forward = FailureScript::new()
+            .outage(0, 0, at(10.0), minutes(5.0))
+            .outage(0, 0, at(15.0), minutes(5.0))
+            .run(&system(), minutes(100.0))
+            .unwrap();
+        assert_eq!(forward, reversed);
+    }
+
+    #[test]
+    fn three_abutting_outages_reversed_still_replay() {
+        // A longer abutting chain inserted fully reversed, on the
+        // redundant cluster for good measure.
+        let report = FailureScript::new()
+            .outage(1, 0, at(30.0), minutes(10.0))
+            .outage(1, 0, at(20.0), minutes(10.0))
+            .outage(1, 0, at(10.0), minutes(10.0))
+            .run(&system(), minutes(100.0))
+            .unwrap();
+        // One continuous [10, 40) outage of the active node: a single
+        // 2-minute failover window is all the service sees.
+        assert_eq!(report.clusters()[1].failover_windows, 1);
+        assert_eq!(report.system_downtime(), minutes(2.0));
+    }
+
+    #[test]
+    fn overlap_detected_regardless_of_insertion_order() {
+        // The overlap validator must also be insertion-order independent.
+        assert!(matches!(
+            FailureScript::new()
+                .outage(0, 0, at(5.0), minutes(10.0))
+                .outage(0, 0, at(1.0), minutes(10.0))
+                .run(&system(), minutes(100.0)),
+            Err(SimError::ScriptOverlap {
+                cluster: 0,
+                node: 0
+            })
+        ));
     }
 
     #[test]

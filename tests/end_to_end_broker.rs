@@ -4,7 +4,8 @@
 
 use uptime_suite::broker::provider::GroundTruth;
 use uptime_suite::broker::{
-    audit_recommendation, BrokerService, CloudProvider, SimulatedProvider, SolutionRequest,
+    audit_recommendation, BrokerService, CloudProvider, QuarantinePolicy, SimulatedProvider,
+    SolutionRequest,
 };
 use uptime_suite::catalog::{case_study, extended, ComponentKind};
 use uptime_suite::core::{FailuresPerYear, Probability, SystemSpec};
@@ -118,7 +119,16 @@ fn skewed_telemetry_changes_the_recommendation() {
     // §IV's construct-validity worry, demonstrated end to end: if storage
     // is actually far less reliable than the catalog claims, enough
     // telemetry flips the optimizer's choice for the storage tier.
-    let broker = BrokerService::new(case_study::catalog());
+    //
+    // A 5× jump from the believed 5 % is exactly what the default
+    // plausibility gate quarantines, so this deliberate regime change
+    // needs the gate widened — the operator-facing knob for "yes, the
+    // world really did get that much worse".
+    let broker =
+        BrokerService::new(case_study::catalog()).with_quarantine_policy(QuarantinePolicy {
+            max_probability_shift: 0.25,
+            ..QuarantinePolicy::default()
+        });
     let provider = SimulatedProvider::new(case_study::cloud_id(), "sim").with_ground_truth(
         ComponentKind::Storage,
         GroundTruth {

@@ -1,0 +1,182 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! No statistics: each benchmark body runs a small fixed number of
+//! iterations and prints the mean wall time, which keeps `cargo bench`
+//! (and `cargo test --benches`) functional without the real harness.
+
+use std::fmt;
+use std::hint;
+use std::time::Instant;
+
+/// Re-export matching `criterion::black_box`.
+pub use hint::black_box;
+
+/// Iterations per benchmark body; enough for a sane mean, cheap enough
+/// for CI.
+const ITERATIONS: u32 = 3;
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut body);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is fixed in this stub.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, name), &mut body);
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut body: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut wrapped = |b: &mut Bencher| body(b, input);
+        run_one(&label, &mut wrapped);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies a parameterized benchmark (`name/parameter`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter value.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Handed to benchmark bodies; `iter` times the closure.
+pub struct Bencher {
+    nanos: u128,
+    runs: u32,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output live via `black_box`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..ITERATIONS {
+            let start = Instant::now();
+            let out = routine();
+            self.nanos += start.elapsed().as_nanos();
+            self.runs += 1;
+            black_box(&out);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, body: &mut F) {
+    let mut bencher = Bencher { nanos: 0, runs: 0 };
+    body(&mut bencher);
+    let mean = if bencher.runs == 0 {
+        0
+    } else {
+        bencher.nanos / u128::from(bencher.runs)
+    };
+    println!("bench {name}: mean {mean} ns over {} run(s)", bencher.runs);
+}
+
+/// Declares a function that runs the listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("add", |b| b.iter(|| black_box(2u64) + 2));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(10);
+        group.bench_function("inner", |b| b.iter(|| 1u8));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

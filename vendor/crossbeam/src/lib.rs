@@ -1,0 +1,94 @@
+//! Offline drop-in subset of the `crossbeam` API used by this workspace:
+//! `crossbeam::thread::scope` with crossbeam's closure signatures, backed
+//! by `std::thread::scope`.
+
+pub mod thread {
+    //! Scoped threads with the crossbeam calling convention
+    //! (`scope(|s| ...)` returning `Result`, spawn closures taking `&Scope`).
+
+    use std::any::Any;
+    use std::thread as std_thread;
+
+    /// Error payload from a scope whose unjoined child panicked.
+    pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle; spawn closures receive a reference to it so they
+    /// can spawn further scoped threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope, as in
+        /// crossbeam, so nested spawns work unchanged.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result, or the panic
+        /// payload if it panicked.
+        pub fn join(self) -> std_thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; all spawned threads are joined before this returns.
+    ///
+    /// # Errors
+    ///
+    /// The crossbeam signature returns `Err` when an unjoined child
+    /// panicked. `std::thread::scope` propagates such panics instead, so
+    /// this wrapper only ever returns `Ok`; callers' `.expect(...)` on the
+    /// result behave identically either way.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let total = super::scope(|scope| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("no panic"))
+                    .sum::<u64>()
+            })
+            .expect("scope");
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_arg() {
+            let n = super::scope(|scope| {
+                let h = scope.spawn(|inner| inner.spawn(|_| 7u32).join().unwrap());
+                h.join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(n, 7);
+        }
+    }
+}

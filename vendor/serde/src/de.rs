@@ -1,0 +1,187 @@
+//! `Deserialize`: reconstructing a type from the [`Value`] data model.
+
+use std::collections::BTreeMap;
+
+use crate::{DeError, Value};
+
+/// Types that can rebuild themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Validates and converts one value-tree into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value's shape or range does not fit.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_bool()
+            .ok_or_else(|| DeError::expected("a boolean", value))
+    }
+}
+
+macro_rules! de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw = value
+                    .as_u64()
+                    .ok_or_else(|| DeError::expected("an unsigned integer", value))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::custom(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! de_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw = value
+                    .as_i64()
+                    .ok_or_else(|| DeError::expected("an integer", value))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::custom(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+de_signed!(i8, i16, i32, i64, isize);
+
+impl Deserialize for u128 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_u64()
+            .map(u128::from)
+            .ok_or_else(|| DeError::expected("an unsigned integer", value))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::expected("a number", value))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::expected("a string", value))
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| DeError::expected("a string", value))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected a single-character string")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| DeError::expected("an array", value))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| DeError::expected("an array (tuple)", value))?;
+                if items.len() != $len {
+                    return Err(DeError::custom(format!(
+                        "expected a tuple of {} elements, found {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+}
+
+impl<K, V> Deserialize for BTreeMap<K, V>
+where
+    K: Deserialize + Ord,
+    V: Deserialize,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let object = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("an object (map)", value))?;
+        let mut map = BTreeMap::new();
+        for (key, item) in object {
+            let key = K::from_value(&Value::String(key.clone())).map_err(|e| e.in_field(key))?;
+            map.insert(key, V::from_value(item)?);
+        }
+        Ok(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Number;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_value(&Value::Number(Number::PosInt(7))), Ok(7));
+        assert!(u32::from_value(&Value::Number(Number::Float(7.0))).is_err());
+        assert_eq!(f64::from_value(&Value::Number(Number::PosInt(7))), Ok(7.0));
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
+        assert!(String::from_value(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(u8::from_value(&Value::Number(Number::PosInt(300))).is_err());
+        assert!(u64::from_value(&Value::Number(Number::NegInt(-1))).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! Deserialization errors.
+
+use std::fmt;
+
+use crate::Value;
+
+/// Why a [`Value`](crate::Value) could not be turned into the target type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// An error with an arbitrary message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        DeError {
+            message: message.to_string(),
+        }
+    }
+
+    /// "expected X, found Y" against a concrete value.
+    #[must_use]
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError {
+            message: format!(
+                "expected {what}, found {found_ty}",
+                found_ty = found.type_name()
+            ),
+        }
+    }
+
+    /// A required struct field was absent (and the field type does not
+    /// accept null).
+    #[must_use]
+    pub fn missing_field(name: &str) -> Self {
+        DeError {
+            message: format!("missing field `{name}`"),
+        }
+    }
+
+    /// An enum payload named no known variant.
+    #[must_use]
+    pub fn unknown_variant(variant: &str, enum_name: &str) -> Self {
+        DeError {
+            message: format!("unknown variant `{variant}` for enum {enum_name}"),
+        }
+    }
+
+    /// Wraps this error with the field it occurred in.
+    #[must_use]
+    pub fn in_field(self, name: &str) -> Self {
+        DeError {
+            message: format!("field `{name}`: {}", self.message),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}

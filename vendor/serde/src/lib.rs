@@ -1,0 +1,39 @@
+//! Offline drop-in subset of `serde`, specialized to this workspace.
+//!
+//! Instead of serde's zero-copy visitor architecture, this stub routes
+//! everything through an owned JSON-like [`Value`] tree: `Serialize` maps
+//! a type *to* a `Value`, `Deserialize` builds a type *from* one. The
+//! derive macros in `serde_derive` generate impls against these traits
+//! with serde's externally-tagged data model, so `#[derive(Serialize,
+//! Deserialize)]`, `#[serde(try_from = "...", into = "...")]`, and
+//! `serde_json` round-trips behave like upstream for every shape this
+//! workspace uses.
+
+mod de;
+mod error;
+mod ser;
+mod value;
+
+pub use de::Deserialize;
+pub use error::DeError;
+pub use ser::Serialize;
+pub use value::{Map, Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Support code referenced by `serde_derive` expansions. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    use crate::{DeError, Deserialize, Map, Value};
+
+    /// Pulls one named field out of an object, treating a missing key as
+    /// `Value::Null` so `Option` fields default to `None` like upstream.
+    #[doc(hidden)]
+    pub fn field<T: Deserialize>(map: &Map, name: &'static str) -> Result<T, DeError> {
+        match map.get(name) {
+            Some(v) => T::from_value(v).map_err(|e| e.in_field(name)),
+            None => T::from_value(&Value::Null).map_err(|_| DeError::missing_field(name)),
+        }
+    }
+}

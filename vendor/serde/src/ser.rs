@@ -1,0 +1,199 @@
+//! `Serialize`: a type's mapping into the [`Value`] data model, plus
+//! impls for the std types this workspace serializes.
+
+use std::collections::BTreeMap;
+
+use crate::{Map, Number, Value};
+
+/// Types that can render themselves as a [`Value`].
+pub trait Serialize {
+    /// Builds the value-tree representation.
+    fn to_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(u64::from(*self)))
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::PosInt(*self as u64))
+    }
+}
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_i64(i64::from(*self)))
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_i64(*self as i64))
+    }
+}
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        // In-range counts stay exact; beyond u64 we degrade to f64, which
+        // is all the search-space counters need.
+        match u64::try_from(*self) {
+            Ok(v) => Value::Number(Number::PosInt(v)),
+            Err(_) => Value::Number(Number::Float(*self as f64)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Renders a map key. JSON keys are strings, so the key's value form must
+/// be a string or number (newtype ids and unit enum variants both are).
+pub(crate) fn key_string(key: &Value) -> String {
+    match key {
+        Value::String(s) => s.clone(),
+        Value::Number(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!(
+            "map keys must serialize to strings or numbers, got {}",
+            other.type_name()
+        ),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        for (k, v) in self {
+            map.insert(key_string(&k.to_value()), v.to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!(3u32.to_value(), Value::Number(Number::PosInt(3)));
+        assert_eq!((-3i32).to_value(), Value::Number(Number::NegInt(-3)));
+        assert_eq!(1.5f64.to_value(), Value::Number(Number::Float(1.5)));
+        assert_eq!("hi".to_value(), Value::String("hi".into()));
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+        assert_eq!(Some(1u32).to_value(), Value::Number(Number::PosInt(1)));
+    }
+
+    #[test]
+    fn collections() {
+        assert_eq!(
+            vec![1u32, 2].to_value(),
+            Value::Array(vec![1u32.to_value(), 2u32.to_value()])
+        );
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), 1u32);
+        assert_eq!(m.to_value().get("k"), Some(&1u32.to_value()));
+    }
+}

@@ -1,0 +1,346 @@
+//! The owned JSON-like data model everything serializes through.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Object representation: sorted keys give deterministic output.
+pub type Map = BTreeMap<String, Value>;
+
+/// An owned JSON value.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object.
+    Object(Map),
+}
+
+impl Value {
+    /// Member lookup on objects; `None` for non-objects or missing keys.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// Index lookup on arrays.
+    #[must_use]
+    pub fn get_index(&self, index: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// `true` only for `Null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Borrows the string content, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean content, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric content widened to `f64`, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Numeric content as `u64`, if this is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Numeric content as `i64`, if this is an in-range integer.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Borrows the elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrows the members, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// A short name for error messages ("a number", "an object", ...).
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Number(_) => "a number",
+            Value::String(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        }
+    }
+}
+
+/// A JSON number: unsigned, signed-negative, or floating.
+///
+/// Construction canonicalizes: non-negative integers are always `PosInt`,
+/// strictly negative ones `NegInt`, so derived equality is semantic for
+/// integers. As in `serde_json`, integers never equal floats.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A strictly negative integer.
+    NegInt(i64),
+    /// A float (including non-finite values, which print as `null`).
+    Float(f64),
+}
+
+impl Number {
+    /// Canonicalizing constructor from a signed integer.
+    #[must_use]
+    pub fn from_i64(v: i64) -> Self {
+        if v >= 0 {
+            Number::PosInt(v as u64)
+        } else {
+            Number::NegInt(v)
+        }
+    }
+
+    /// Widens to `f64`.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::PosInt(v) => v as f64,
+            Number::NegInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    /// As `u64` when non-negative integral.
+    #[must_use]
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::PosInt(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// As `i64` when integral and in range.
+    #[must_use]
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::PosInt(v) => i64::try_from(v).ok(),
+            Number::NegInt(v) => Some(v),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::PosInt(v) => write!(f, "{v}"),
+            Number::NegInt(v) => write!(f, "{v}"),
+            Number::Float(v) if v.is_finite() => write!(f, "{v:?}"),
+            Number::Float(_) => write!(f, "null"),
+        }
+    }
+}
+
+/// Writes `s` as a JSON string literal with escapes.
+pub(crate) fn write_escaped(f: &mut impl fmt::Write, s: &str) -> fmt::Result {
+    f.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            '\u{08}' => f.write_str("\\b")?,
+            '\u{0c}' => f.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_char(c)?,
+        }
+    }
+    f.write_char('"')
+}
+
+impl Value {
+    fn write_compact(&self, f: &mut impl fmt::Write) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                f.write_char('[')?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_char(',')?;
+                    }
+                    item.write_compact(f)?;
+                }
+                f.write_char(']')
+            }
+            Value::Object(map) => {
+                f.write_char('{')?;
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_char(',')?;
+                    }
+                    write_escaped(f, key)?;
+                    f.write_char(':')?;
+                    value.write_compact(f)?;
+                }
+                f.write_char('}')
+            }
+        }
+    }
+
+    /// Pretty printing with serde_json's layout (2-space indent,
+    /// `"key": value`).
+    pub(crate) fn write_pretty(&self, f: &mut impl fmt::Write, depth: usize) -> fmt::Result {
+        const INDENT: &str = "  ";
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                f.write_str("[\n")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",\n")?;
+                    }
+                    for _ in 0..=depth {
+                        f.write_str(INDENT)?;
+                    }
+                    item.write_pretty(f, depth + 1)?;
+                }
+                f.write_char('\n')?;
+                for _ in 0..depth {
+                    f.write_str(INDENT)?;
+                }
+                f.write_char(']')
+            }
+            Value::Object(map) if !map.is_empty() => {
+                f.write_str("{\n")?;
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",\n")?;
+                    }
+                    for _ in 0..=depth {
+                        f.write_str(INDENT)?;
+                    }
+                    write_escaped(f, key)?;
+                    f.write_str(": ")?;
+                    value.write_pretty(f, depth + 1)?;
+                }
+                f.write_char('\n')?;
+                for _ in 0..depth {
+                    f.write_str(INDENT)?;
+                }
+                f.write_char('}')
+            }
+            other => other.write_compact(f),
+        }
+    }
+}
+
+impl Value {
+    /// Pretty-printed JSON text (serde_json's layout: 2-space indent,
+    /// `"key": value`).
+    #[must_use]
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0)
+            .expect("writing to String cannot fail");
+        out
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON, exactly as `serde_json::to_string` would print.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write_compact(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_display() {
+        let mut map = Map::new();
+        map.insert(
+            "b".into(),
+            Value::Array(vec![Value::Null, Value::Bool(true)]),
+        );
+        map.insert("a".into(), Value::Number(Number::Float(1.5)));
+        let v = Value::Object(map);
+        assert_eq!(v.to_string(), r#"{"a":1.5,"b":[null,true]}"#);
+    }
+
+    #[test]
+    fn integral_float_prints_with_point() {
+        assert_eq!(Number::Float(1250.0).to_string(), "1250.0");
+        assert_eq!(Number::PosInt(1250).to_string(), "1250");
+    }
+
+    #[test]
+    fn numbers_canonicalize() {
+        assert_eq!(Number::from_i64(3), Number::PosInt(3));
+        assert_eq!(Number::from_i64(-3), Number::NegInt(-3));
+        assert_ne!(Number::PosInt(1), Number::Float(1.0));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = Value::String("a\"b\\c\nd\u{01}".into());
+        assert_eq!(v.to_string(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

@@ -1,0 +1,494 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde stub — no `syn`/`quote`, just a small token-tree walk
+//! over the shapes this workspace actually derives:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays),
+//! * unit structs,
+//! * enums with unit / newtype / tuple / struct variants, encoded with
+//!   serde's externally-tagged layout (`"Variant"` or
+//!   `{"Variant": payload}`),
+//! * the container attributes `#[serde(try_from = "T", into = "T")]`.
+//!
+//! Generics are rejected with a compile-time panic; field-level serde
+//! attributes other than none at all are rejected too, so silent
+//! behavioral drift from upstream serde is impossible.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the stub's value-model flavor).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (the stub's value-model flavor).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- model
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+    /// `#[serde(try_from = "T")]`
+    try_from: Option<String>,
+    /// `#[serde(into = "T")]`
+    into: Option<String>,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// --------------------------------------------------------------- parser
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    let mut try_from = None;
+    let mut into = None;
+    while let Some(attr) = take_attr(&tokens, &mut pos) {
+        parse_serde_attr(&attr, &mut try_from, &mut into);
+    }
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive: generic type `{name}` is not supported");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => panic!("serde stub derive: unexpected token after struct name: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde stub derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde stub derive: expected struct or enum, found `{other}`"),
+    };
+
+    Item {
+        name,
+        kind,
+        try_from,
+        into,
+    }
+}
+
+/// Consumes one `#[...]` attribute, returning its bracket content.
+fn take_attr(tokens: &[TokenTree], pos: &mut usize) -> Option<Vec<TokenTree>> {
+    match (tokens.get(*pos), tokens.get(*pos + 1)) {
+        (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+            if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+        {
+            *pos += 2;
+            Some(g.stream().into_iter().collect())
+        }
+        _ => None,
+    }
+}
+
+/// Records `try_from`/`into` from a `#[serde(...)]` attribute; rejects any
+/// other serde option; ignores non-serde attributes (doc, derive leftovers,
+/// `#[non_exhaustive]`, ...).
+fn parse_serde_attr(attr: &[TokenTree], try_from: &mut Option<String>, into: &mut Option<String>) {
+    let is_serde = matches!(attr.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+    if !is_serde {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = attr.get(1) else {
+        panic!("serde stub derive: malformed #[serde] attribute");
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < args.len() {
+        let key = match &args[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            other => panic!("serde stub derive: unexpected token in #[serde(...)]: {other:?}"),
+        };
+        let value = match (args.get(i + 1), args.get(i + 2)) {
+            (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) if eq.as_char() == '=' => {
+                unquote(&lit.to_string())
+            }
+            _ => panic!("serde stub derive: expected `{key} = \"...\"` in #[serde(...)]"),
+        };
+        match key.as_str() {
+            "try_from" => *try_from = Some(value),
+            "into" => *into = Some(value),
+            other => panic!("serde stub derive: unsupported serde attribute `{other}`"),
+        }
+        i += 3;
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            i.to_string()
+        }
+        other => panic!("serde stub derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` bodies, returning the field names in order.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        while take_attr(&tokens, &mut pos).is_some() {}
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        fields.push(expect_ident(&tokens, &mut pos));
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde stub derive: expected `:` after field name, found {other:?}"),
+        }
+        skip_type(&tokens, &mut pos);
+    }
+    fields
+}
+
+/// Skips one type, stopping after the `,` that ends it (or at end of
+/// stream). `<`/`>` nesting is tracked so commas inside generics don't
+/// terminate early; bracketed groups are atomic tokens already.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0usize;
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                *pos += 1;
+                return;
+            }
+            _ => {}
+        }
+        *pos += 1;
+    }
+}
+
+/// Counts the comma-separated fields of a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        while take_attr(&tokens, &mut pos).is_some() {}
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut pos);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        while take_attr(&tokens, &mut pos).is_some() {}
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            None => {}
+            other => panic!(
+                "serde stub derive: unsupported token after enum variant `{name}`: {other:?} \
+                 (discriminants are not supported)"
+            ),
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// -------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(into_ty) = &item.into {
+        format!(
+            "let __raw: {into_ty} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&__raw)"
+        )
+    } else {
+        match &item.kind {
+            ItemKind::NamedStruct(fields) => {
+                let mut out = String::from("let mut __map = ::serde::Map::new();\n");
+                for f in fields {
+                    out.push_str(&format!(
+                        "__map.insert(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}));\n"
+                    ));
+                }
+                out.push_str("::serde::Value::Object(__map)");
+                out
+            }
+            ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            ItemKind::TupleStruct(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+            }
+            ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+            ItemKind::Enum(variants) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => arms.push_str(&format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::String(::std::string::String::from(\"{vn}\")),\n"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let elems: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+                            };
+                            arms.push_str(&format!(
+                                "{name}::{vn}({binds}) => {{\n\
+                                 let mut __map = ::serde::Map::new();\n\
+                                 __map.insert(::std::string::String::from(\"{vn}\"), {payload});\n\
+                                 ::serde::Value::Object(__map)\n\
+                                 }}\n",
+                                binds = binds.join(", ")
+                            ));
+                        }
+                        VariantKind::Struct(fields) => {
+                            let mut inner =
+                                String::from("let mut __inner = ::serde::Map::new();\n");
+                            for f in fields {
+                                inner.push_str(&format!(
+                                    "__inner.insert(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f}));\n"
+                                ));
+                            }
+                            arms.push_str(&format!(
+                                "{name}::{vn} {{ {fields} }} => {{\n\
+                                 {inner}\
+                                 let mut __map = ::serde::Map::new();\n\
+                                 __map.insert(::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Object(__inner));\n\
+                                 ::serde::Value::Object(__map)\n\
+                                 }}\n",
+                                fields = fields.join(", ")
+                            ));
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}}}")
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(from_ty) = &item.try_from {
+        format!(
+            "let __raw: {from_ty} = ::serde::Deserialize::from_value(__value)?;\n\
+             <{name} as ::core::convert::TryFrom<{from_ty}>>::try_from(__raw)\
+             .map_err(|__e| ::serde::DeError::custom(__e))"
+        )
+    } else {
+        match &item.kind {
+            ItemKind::NamedStruct(fields) => {
+                let mut init = String::new();
+                for f in fields {
+                    init.push_str(&format!(
+                        "{f}: ::serde::__private::field(__map, \"{f}\")?,\n"
+                    ));
+                }
+                format!(
+                    "let __map = __value.as_object().ok_or_else(|| \
+                     ::serde::DeError::expected(\"an object for struct {name}\", __value))?;\n\
+                     ::core::result::Result::Ok({name} {{\n{init}}})"
+                )
+            }
+            ItemKind::TupleStruct(1) => format!(
+                "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+            ),
+            ItemKind::TupleStruct(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                    .collect();
+                format!(
+                    "let __arr = __value.as_array().ok_or_else(|| \
+                     ::serde::DeError::expected(\"an array for struct {name}\", __value))?;\n\
+                     if __arr.len() != {n} {{\n\
+                     return ::core::result::Result::Err(::serde::DeError::custom(\
+                     \"struct {name} expects {n} elements\"));\n}}\n\
+                     ::core::result::Result::Ok({name}({elems}))",
+                    elems = elems.join(", ")
+                )
+            }
+            ItemKind::UnitStruct => format!(
+                "match __value {{\n\
+                 ::serde::Value::Null => ::core::result::Result::Ok({name}),\n\
+                 __other => ::core::result::Result::Err(\
+                 ::serde::DeError::expected(\"null for unit struct {name}\", __other)),\n}}"
+            ),
+            ItemKind::Enum(variants) => {
+                let mut unit_arms = String::new();
+                let mut data_arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                        )),
+                        VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__entry.1)?)),\n"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                                .collect();
+                            data_arms.push_str(&format!(
+                                "\"{vn}\" => {{\n\
+                                 let __arr = __entry.1.as_array().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"an array for variant {vn}\", \
+                                 __entry.1))?;\n\
+                                 if __arr.len() != {n} {{\n\
+                                 return ::core::result::Result::Err(::serde::DeError::custom(\
+                                 \"variant {vn} expects {n} elements\"));\n}}\n\
+                                 ::core::result::Result::Ok({name}::{vn}({elems}))\n}}\n",
+                                elems = elems.join(", ")
+                            ));
+                        }
+                        VariantKind::Struct(fields) => {
+                            let mut init = String::new();
+                            for f in fields {
+                                init.push_str(&format!(
+                                    "{f}: ::serde::__private::field(__inner, \"{f}\")?,\n"
+                                ));
+                            }
+                            data_arms.push_str(&format!(
+                                "\"{vn}\" => {{\n\
+                                 let __inner = __entry.1.as_object().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"an object for variant {vn}\", \
+                                 __entry.1))?;\n\
+                                 ::core::result::Result::Ok({name}::{vn} {{\n{init}}})\n}}\n"
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "match __value {{\n\
+                     ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                     {unit_arms}\
+                     __other => ::core::result::Result::Err(\
+                     ::serde::DeError::unknown_variant(__other, \"{name}\")),\n}},\n\
+                     ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                     let __entry = __m.iter().next().expect(\"len checked\");\n\
+                     match __entry.0.as_str() {{\n\
+                     {data_arms}\
+                     __other => ::core::result::Result::Err(\
+                     ::serde::DeError::unknown_variant(__other, \"{name}\")),\n}}\n}}\n\
+                     __other => ::core::result::Result::Err(::serde::DeError::expected(\
+                     \"a variant of {name}\", __other)),\n}}"
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) \
+         -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}

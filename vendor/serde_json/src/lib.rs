@@ -1,0 +1,226 @@
+//! Offline drop-in subset of `serde_json` over the vendored serde stub's
+//! [`Value`] model: strict recursive-descent parsing, compact and pretty
+//! printers matching upstream's layout, and the `json!` macro.
+
+mod parse;
+
+use std::fmt;
+use std::io;
+
+use serde::{DeError, Deserialize, Serialize};
+
+pub use serde::{Map, Number, Value};
+
+/// Errors from (de)serialization or JSON text parsing.
+#[derive(Clone, Debug)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub(crate) fn msg(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::msg(e.to_string())
+    }
+}
+
+/// Converts any serializable type into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Reconstructs a type from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the value's shape does not fit `T`.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value).map_err(Error::from)
+}
+
+/// Serializes to compact JSON text.
+///
+/// # Errors
+///
+/// Infallible for tree-shaped data; the `Result` mirrors upstream.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// Serializes to pretty JSON text (2-space indent, `"key": value`).
+///
+/// # Errors
+///
+/// Infallible for tree-shaped data; the `Result` mirrors upstream.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string_pretty())
+}
+
+/// Serializes compact JSON into a writer.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the writer.
+pub fn to_writer<W: io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    writer
+        .write_all(to_string(value)?.as_bytes())
+        .map_err(|e| Error::msg(format!("write failed: {e}")))
+}
+
+/// Parses JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch. Never panics,
+/// whatever the input.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse::parse(text)?;
+    from_value(&value)
+}
+
+/// Parses JSON bytes (must be UTF-8) into any deserializable type.
+///
+/// # Errors
+///
+/// Returns [`Error`] on invalid UTF-8, malformed JSON, or shape mismatch.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error::msg(format!("invalid UTF-8: {e}")))?;
+    from_str(text)
+}
+
+/// Builds a [`Value`] from JSON-looking syntax. Supports nested objects
+/// and arrays, `null`, and arbitrary serializable Rust expressions in
+/// value position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => { $crate::__json_array!(@acc [] $($tt)*) };
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __json_map = $crate::Map::new();
+        $crate::__json_object!(__json_map $($tt)*);
+        $crate::Value::Object(__json_map)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Array-element muncher for [`json!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_array {
+    (@acc [$($done:expr),*]) => { $crate::Value::Array(::std::vec![$($done),*]) };
+    (@acc [$($done:expr),*] , $($rest:tt)*) => {
+        $crate::__json_array!(@acc [$($done),*] $($rest)*)
+    };
+    (@acc [$($done:expr),*] null $($rest:tt)*) => {
+        $crate::__json_array!(@acc [$($done,)* $crate::Value::Null] $($rest)*)
+    };
+    (@acc [$($done:expr),*] { $($obj:tt)* } $($rest:tt)*) => {
+        $crate::__json_array!(@acc [$($done,)* $crate::json!({ $($obj)* })] $($rest)*)
+    };
+    (@acc [$($done:expr),*] [ $($arr:tt)* ] $($rest:tt)*) => {
+        $crate::__json_array!(@acc [$($done,)* $crate::json!([ $($arr)* ])] $($rest)*)
+    };
+    (@acc [$($done:expr),*] $e:expr , $($rest:tt)*) => {
+        $crate::__json_array!(@acc [$($done,)* $crate::to_value(&$e)] $($rest)*)
+    };
+    (@acc [$($done:expr),*] $e:expr) => {
+        $crate::__json_array!(@acc [$($done,)* $crate::to_value(&$e)])
+    };
+}
+
+/// Object-member muncher for [`json!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_object {
+    ($map:ident) => {};
+    ($map:ident , $($rest:tt)*) => { $crate::__json_object!($map $($rest)*) };
+    ($map:ident $key:literal : null $($rest:tt)*) => {
+        $map.insert(::std::string::String::from($key), $crate::Value::Null);
+        $crate::__json_object!($map $($rest)*);
+    };
+    ($map:ident $key:literal : { $($obj:tt)* } $($rest:tt)*) => {
+        $map.insert(::std::string::String::from($key), $crate::json!({ $($obj)* }));
+        $crate::__json_object!($map $($rest)*);
+    };
+    ($map:ident $key:literal : [ $($arr:tt)* ] $($rest:tt)*) => {
+        $map.insert(::std::string::String::from($key), $crate::json!([ $($arr)* ]));
+        $crate::__json_object!($map $($rest)*);
+    };
+    ($map:ident $key:literal : $value:expr , $($rest:tt)*) => {
+        $map.insert(::std::string::String::from($key), $crate::to_value(&$value));
+        $crate::__json_object!($map $($rest)*);
+    };
+    ($map:ident $key:literal : $value:expr) => {
+        $map.insert(::std::string::String::from($key), $crate::to_value(&$value));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({
+            "tiers": ["Compute", "Storage"],
+            "sla": { "target": 0.98 },
+            "clouds": [],
+            "as_is": null,
+            "count": 3u32,
+        });
+        assert_eq!(
+            v.to_string(),
+            r#"{"as_is":null,"clouds":[],"count":3,"sla":{"target":0.98},"tiers":["Compute","Storage"]}"#
+        );
+        let msg = json!({ "error": format!("bad request: {}", 7) });
+        assert_eq!(
+            msg.get("error").and_then(Value::as_str),
+            Some("bad request: 7")
+        );
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!([1u8, null, [2u8]]).to_string(), "[1,null,[2]]");
+    }
+
+    #[test]
+    fn pretty_layout_matches_upstream() {
+        let v = json!({ "schema_version": 1u32, "catalog": [] });
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(pretty, "{\n  \"catalog\": [],\n  \"schema_version\": 1\n}");
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let v = json!({ "a": [1u8, 2u8], "b": "x\"y", "c": -3i32, "d": 1.25f64 });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn from_slice_and_errors() {
+        let v: Value = from_slice(br#"{"ok": true}"#).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert!(from_slice::<Value>(&[0xff, 0xfe]).is_err());
+        assert!(from_str::<Value>("{\"a\": 1,}").is_err());
+        assert!(from_str::<Value>("{} trailing").is_err());
+    }
+}
