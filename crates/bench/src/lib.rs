@@ -6,7 +6,7 @@
 #![warn(missing_docs)]
 
 use uptime_broker::{BrokerService, SolutionRequest};
-use uptime_catalog::{case_study, CatalogStore, CloudId, ComponentKind, HaMethodId};
+use uptime_catalog::{case_study, extended, CatalogStore, CloudId, ComponentKind, HaMethodId};
 use uptime_core::{
     ClusterSpec, FailuresPerYear, Minutes, MoneyPerMonth, PenaltyClause, Probability, SlaTarget,
     SystemSpec, TcoModel,
@@ -92,6 +92,49 @@ pub fn option_system(assignment: &[usize]) -> SystemSpec {
     SystemSpec::new(clusters).expect("three clusters")
 }
 
+/// The metacloud joint space over the extended hybrid catalog: per paper
+/// tier, one candidate for every `(cloud, HA method)` pair the knowledge
+/// base can host — the same space `recommend_metacloud` searches
+/// (9 × 12 × 9 = 972 assignments).
+///
+/// # Panics
+///
+/// Panics only if the built-in hybrid catalog is inconsistent (it is
+/// tested).
+#[must_use]
+pub fn hybrid_metacloud_space() -> SearchSpace {
+    let catalog = extended::hybrid_catalog();
+    let clouds: Vec<CloudId> = catalog.cloud_ids().cloned().collect();
+    let components = ComponentKind::paper_tiers()
+        .iter()
+        .map(|kind| {
+            let mut candidates = Vec::new();
+            for cloud in &clouds {
+                let profile = catalog.cloud(cloud).expect("listed cloud exists");
+                if profile.reliability(*kind).is_none() {
+                    continue;
+                }
+                for method in catalog.methods_for(*kind) {
+                    let Ok(cluster) = catalog.cluster_spec(cloud, *kind, method.id()) else {
+                        continue;
+                    };
+                    let Ok(quote) = catalog.quote(cloud, method.id()) else {
+                        continue;
+                    };
+                    candidates.push(Candidate::new(
+                        format!("{}@{}", method.display_name(), cloud),
+                        cluster,
+                        quote.total(),
+                        method.is_none(),
+                    ));
+                }
+            }
+            ComponentChoices::new(kind.label(), candidates).expect("every tier is hostable")
+        })
+        .collect();
+    SearchSpace::new(components).expect("three tiers")
+}
+
 /// A synthetic space with `n` components and `k` choices each, used by the
 /// §III.C complexity experiments. Deterministic for a given `(n, k)`.
 ///
@@ -168,6 +211,13 @@ mod tests {
         assert_eq!(s.len(), 4);
         assert_eq!(s.assignment_count(), 81);
         assert!(s.baseline_assignment().is_some());
+    }
+
+    #[test]
+    fn hybrid_metacloud_space_is_972_wide() {
+        let s = hybrid_metacloud_space();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.assignment_count(), 9 * 12 * 9);
     }
 
     #[test]

@@ -13,9 +13,7 @@
 use serde::{Deserialize, Serialize};
 use uptime_catalog::{CloudId, ComponentKind, HaMethodId};
 use uptime_core::MoneyPerMonth;
-use uptime_optimizer::{
-    exhaustive, Candidate, ComponentChoices, Evaluation, Objective, SearchSpace,
-};
+use uptime_optimizer::{parallel, Candidate, ComponentChoices, Evaluation, Objective, SearchSpace};
 
 use crate::error::BrokerError;
 use crate::recommendation::DegradedMode;
@@ -153,7 +151,10 @@ impl BrokerService {
         let searched = space.assignment_count();
 
         let model = request.tco_model();
-        let outcome = exhaustive::search(&space, &model, Objective::MinTco);
+        // Only the argmin matters here, and joint spaces multiply fast
+        // (Π_i Σ_c k_{i,c}); stream through the factorized engine instead
+        // of materializing every evaluation.
+        let outcome = parallel::search_best(&space, &model, Objective::MinTco);
         let best = outcome.best().ok_or(BrokerError::NoCandidates)?.clone();
 
         let placements: Vec<Placement> = best

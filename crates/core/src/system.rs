@@ -195,6 +195,21 @@ pub struct UptimeBreakdown {
 }
 
 impl UptimeBreakdown {
+    /// Assembles a breakdown directly from its two downtime components.
+    ///
+    /// [`SystemSpec::uptime`] derives both terms from cluster specs; this
+    /// constructor exists for evaluators that compute the same `B_s` and
+    /// `F_s` from cached per-cluster factors (Eqs. 2–3 factor per cluster,
+    /// so a search can combine precomputed terms instead of rebuilding the
+    /// system — see `uptime-optimizer`'s `fast` module).
+    #[must_use]
+    pub fn from_components(breakdown: Probability, failover: Probability) -> Self {
+        UptimeBreakdown {
+            breakdown,
+            failover,
+        }
+    }
+
     /// Breakdown downtime probability `B_s` (Eq. 2).
     #[must_use]
     pub fn breakdown_probability(&self) -> Probability {
@@ -456,6 +471,17 @@ mod tests {
         let json = serde_json::to_string(&sys).unwrap();
         let back: SystemSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, sys);
+    }
+
+    #[test]
+    fn from_components_matches_derived_breakdown() {
+        let derived = option1().uptime();
+        let rebuilt = UptimeBreakdown::from_components(
+            derived.breakdown_probability(),
+            derived.failover_probability(),
+        );
+        assert_eq!(rebuilt, derived);
+        assert_eq!(rebuilt.availability(), derived.availability());
     }
 
     #[test]

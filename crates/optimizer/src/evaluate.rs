@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use uptime_core::{MoneyPerMonth, SystemSpec, TcoBreakdown, TcoModel, UptimeBreakdown};
 
+use crate::objective::RankKey;
 use crate::space::SearchSpace;
 
 /// The fully-evaluated result for one assignment: which candidates were
@@ -47,6 +48,36 @@ impl Evaluation {
             cardinality: space.cardinality(assignment),
             uptime,
             tco,
+        }
+    }
+
+    /// Assembles an evaluation from parts already computed elsewhere.
+    ///
+    /// Used by [`crate::fast`] to package results combined from cached
+    /// per-cluster terms; semantics are identical to [`Evaluation::evaluate`]
+    /// when the parts are consistent with the space.
+    pub(crate) fn from_parts(
+        assignment: Vec<usize>,
+        cardinality: usize,
+        uptime: UptimeBreakdown,
+        tco: TcoBreakdown,
+    ) -> Self {
+        Evaluation {
+            assignment,
+            cardinality,
+            uptime,
+            tco,
+        }
+    }
+
+    /// The scalar facts objectives rank by.
+    #[must_use]
+    pub fn rank_key(&self) -> RankKey {
+        RankKey {
+            total: self.tco.total(),
+            expects_penalty: self.tco.expects_penalty(),
+            cardinality: self.cardinality,
+            availability: self.uptime.availability(),
         }
     }
 

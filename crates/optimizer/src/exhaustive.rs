@@ -1,8 +1,15 @@
 //! Exhaustive `k^n` enumeration — the paper's baseline algorithm (§II.C).
+//!
+//! Since PR 2 the enumeration is driven by the factorized [`crate::fast`]
+//! engine: per-cluster terms are cached once and combined incrementally, so
+//! the only per-assignment cost left is materializing the [`Evaluation`]
+//! report itself. Callers that need just the optimum should prefer
+//! [`crate::fast::search`], which skips even that.
 
 use uptime_core::TcoModel;
 
 use crate::evaluate::Evaluation;
+use crate::fast::FastEvaluator;
 use crate::objective::Objective;
 use crate::outcome::{SearchOutcome, SearchStats};
 use crate::space::SearchSpace;
@@ -29,9 +36,15 @@ use crate::space::SearchSpace;
 /// ```
 #[must_use]
 pub fn search(space: &SearchSpace, model: &TcoModel, objective: Objective) -> SearchOutcome {
-    let mut evaluations = Vec::with_capacity(space.assignment_count().min(1 << 20) as usize);
-    for assignment in space.assignments() {
-        evaluations.push(Evaluation::evaluate(space, model, &assignment));
+    let mut evaluations: Vec<Evaluation> =
+        Vec::with_capacity(space.assignment_count().min(1 << 20) as usize);
+    let fast = FastEvaluator::new(space, model);
+    let mut cursor = fast.cursor();
+    loop {
+        evaluations.push(cursor.evaluation());
+        if !cursor.advance() {
+            break;
+        }
     }
     let stats = SearchStats {
         evaluated: evaluations.len() as u64,

@@ -1,0 +1,528 @@
+//! Factorized incremental evaluation — the hot path behind every exact
+//! search.
+//!
+//! The paper waves the `O(k^n)` enumeration away because "`n` in practice
+//! is usually low", but metacloud spaces (clouds × methods per tier, §V)
+//! multiply `k` far past the case study's 2³. The naive
+//! [`Evaluation::evaluate`] rebuilds the world per variant: it clones every
+//! chosen [`uptime_core::ClusterSpec`], constructs a
+//! [`uptime_core::SystemSpec`], and re-derives each cluster's binomial
+//! survival sum from scratch — `O(n·K)` allocations and special-function
+//! work per assignment.
+//!
+//! Eqs. 2–3 factor per cluster, so none of that is necessary:
+//!
+//! * Eq. 2: `B_s = 1 − Π_i a_i` where
+//!   `a_i = Σ_{j=K−K̂}^{K} C(K,j)(1−P)^j P^{K−j}` depends only on the
+//!   candidate chosen for component `i`.
+//! * Eq. 3: `F_s = Σ_i φ_i Π_{j≠i} x_j` where `φ_i = f·t·(K−K̂)/δ` and
+//!   `x_j = (1−P)^{K−K̂}` are likewise per-candidate constants.
+//!
+//! [`FastEvaluator`] caches `(a, φ, x, C_HA, baseline)` once per candidate
+//! at construction. A [`FastCursor`] then walks assignments in odometer
+//! (lexicographic) order maintaining per-position prefix accumulators
+//!
+//! ```text
+//! V_p = Π_{i<p} a_i        (Eq. 2 running product)
+//! X_p = Π_{i<p} x_i        (Eq. 3 survival prefix)
+//! S_p = Σ_{i<p} φ_i Π_{j<p, j≠i} x_j   via S_{p+1} = S_p·x_p + φ_p·X_p
+//! C_p = Σ_{i<p} C_HA,i     κ_p = #non-baseline choices among i<p
+//! ```
+//!
+//! so each odometer step only refreshes the accumulators right of the
+//! carry position — `O(k/(k−1)) = O(1)` amortized floating-point work per
+//! variant, with **no heap allocation in the loop**. The final `B_s`,
+//! `F_s`, `U_s` and TCO fall out of `V_n`, `S_n`, `C_n` exactly as the
+//! naive path computes them (same fold order, bit-identical `B_s` and
+//! `C_HA`; `F_s` differs only in floating-point association, ≤1e-15).
+//!
+//! [`search`] streams a whole space through one cursor keeping only the
+//! running argmin; `crate::parallel` shards the flat index range and seeds
+//! one cursor per worker via [`FastEvaluator::cursor_at`].
+
+use uptime_core::{MoneyPerMonth, Probability, TcoBreakdown, TcoModel, UptimeBreakdown};
+
+use crate::evaluate::Evaluation;
+use crate::objective::{Objective, RankKey};
+use crate::outcome::{SearchOutcome, SearchStats};
+use crate::space::SearchSpace;
+
+/// The cached per-candidate factors of Eqs. 2–3 and Eq. 5.
+#[derive(Debug, Clone, Copy)]
+struct CandidateTerms {
+    /// `a_i`: binomial survival `Σ_j C(K,j)(1−P)^j P^{K−j}` (Eq. 2 factor).
+    availability: f64,
+    /// `φ_i = f·t·(K−K̂)/δ`: failover year fraction (Eq. 3 numerator).
+    failover_fraction: f64,
+    /// `x_i = (1−P)^{K−K̂}`: all-active-up survival (Eq. 3 factor).
+    active_up: f64,
+    /// Monthly `C_HA` contribution (Eq. 5 term).
+    cost: f64,
+    /// Whether this is the component's "no HA" baseline.
+    baseline: bool,
+}
+
+/// Running accumulators after consuming a prefix of the assignment.
+#[derive(Debug, Clone, Copy)]
+struct Accum {
+    /// `V_p = Π a_i` over the prefix.
+    avail: f64,
+    /// `X_p = Π x_i` over the prefix.
+    active: f64,
+    /// `S_p = Σ φ_i Π_{j≠i} x_j` over the prefix.
+    failover: f64,
+    /// `C_p = Σ C_HA,i` over the prefix.
+    cost: f64,
+    /// `κ_p`: non-baseline choices in the prefix.
+    cardinality: usize,
+}
+
+impl Accum {
+    const IDENTITY: Accum = Accum {
+        avail: 1.0,
+        active: 1.0,
+        failover: 0.0,
+        cost: 0.0,
+        cardinality: 0,
+    };
+
+    /// Extends the prefix by one chosen candidate. This is the *only*
+    /// place the recurrences live, so the slice evaluator, the cursor, and
+    /// every shard combine terms in bit-identical order.
+    #[inline]
+    fn push(self, t: &CandidateTerms) -> Accum {
+        Accum {
+            avail: self.avail * t.availability,
+            active: self.active * t.active_up,
+            // Old-prefix `active` on purpose: φ_p multiplies the survival
+            // of the *other* clusters seen so far.
+            failover: self.failover * t.active_up + t.failover_fraction * self.active,
+            cost: self.cost + t.cost,
+            cardinality: self.cardinality + usize::from(!t.baseline),
+        }
+    }
+}
+
+/// A search space with every candidate's Eq. 2/3/5 factors precomputed.
+///
+/// Construction is `O(Σ k_i · K)` (one binomial sum per candidate); every
+/// evaluation afterwards combines cached scalars.
+///
+/// # Examples
+///
+/// ```
+/// use uptime_catalog::{case_study, ComponentKind};
+/// use uptime_optimizer::{Evaluation, FastEvaluator, SearchSpace};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let space = SearchSpace::from_catalog(
+///     &case_study::catalog(),
+///     &case_study::cloud_id(),
+///     &ComponentKind::paper_tiers(),
+/// )?;
+/// let model = case_study::tco_model();
+/// let fast = FastEvaluator::new(&space, &model);
+/// let naive = Evaluation::evaluate(&space, &model, &[0, 1, 0]);
+/// let quick = fast.evaluate(&[0, 1, 0]);
+/// assert_eq!(quick.tco().total(), naive.tco().total());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FastEvaluator<'a> {
+    space: &'a SearchSpace,
+    model: &'a TcoModel,
+    terms: Vec<Vec<CandidateTerms>>,
+}
+
+impl<'a> FastEvaluator<'a> {
+    /// Precomputes every candidate's per-cluster terms.
+    #[must_use]
+    pub fn new(space: &'a SearchSpace, model: &'a TcoModel) -> Self {
+        let terms = space
+            .components()
+            .iter()
+            .map(|comp| {
+                comp.candidates()
+                    .iter()
+                    .map(|cand| {
+                        let cluster = cand.cluster();
+                        CandidateTerms {
+                            availability: cluster.availability().value(),
+                            failover_fraction: cluster.failover_year_fraction(),
+                            active_up: cluster.all_active_up_probability().value(),
+                            cost: cand.monthly_cost().value(),
+                            baseline: cand.is_baseline(),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        FastEvaluator {
+            space,
+            model,
+            terms,
+        }
+    }
+
+    /// The space this evaluator was built for.
+    #[must_use]
+    pub fn space(&self) -> &'a SearchSpace {
+        self.space
+    }
+
+    /// The TCO model evaluations run under.
+    #[must_use]
+    pub fn model(&self) -> &'a TcoModel {
+        self.model
+    }
+
+    /// Evaluates one assignment from cached terms — semantically identical
+    /// to [`Evaluation::evaluate`] but with no cluster clones and no
+    /// `SystemSpec` construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` does not have one in-range index per
+    /// component.
+    #[must_use]
+    pub fn evaluate(&self, assignment: &[usize]) -> Evaluation {
+        let (uptime, tco) = self.measure(assignment);
+        Evaluation::from_parts(
+            assignment.to_vec(),
+            self.fold(assignment).cardinality,
+            uptime,
+            tco,
+        )
+    }
+
+    /// The ranking facts for one assignment, without materializing an
+    /// [`Evaluation`].
+    #[must_use]
+    pub fn rank_key(&self, assignment: &[usize]) -> RankKey {
+        let acc = self.fold(assignment);
+        finish(self.model, &acc).2
+    }
+
+    fn fold(&self, assignment: &[usize]) -> Accum {
+        assert_eq!(
+            assignment.len(),
+            self.terms.len(),
+            "assignment arity must match component count"
+        );
+        let mut acc = Accum::IDENTITY;
+        for (&idx, comp_terms) in assignment.iter().zip(&self.terms) {
+            acc = acc.push(&comp_terms[idx]);
+        }
+        acc
+    }
+
+    fn measure(&self, assignment: &[usize]) -> (UptimeBreakdown, TcoBreakdown) {
+        let acc = self.fold(assignment);
+        let (uptime, tco, _) = finish(self.model, &acc);
+        (uptime, tco)
+    }
+
+    /// A cursor positioned at the all-zeros assignment.
+    ///
+    /// # Panics
+    ///
+    /// Never: every space has at least one assignment.
+    #[must_use]
+    pub fn cursor(&self) -> FastCursor<'_, 'a> {
+        self.cursor_at(0)
+    }
+
+    /// A cursor positioned at the given flat (mixed-radix, lexicographic)
+    /// index — how parallel shards derive their starting odometer state
+    /// without materializing any assignment list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat_index >= space.assignment_count()`.
+    #[must_use]
+    pub fn cursor_at(&self, flat_index: u128) -> FastCursor<'_, 'a> {
+        let n = self.terms.len();
+        let mut digits = vec![0usize; n];
+        let mut rem = flat_index;
+        // Decode most-significant (component 0) first.
+        for pos in (0..n).rev() {
+            let radix = self.terms[pos].len() as u128;
+            digits[pos] = (rem % radix) as usize;
+            rem /= radix;
+        }
+        assert_eq!(rem, 0, "flat index out of range for this space");
+        let mut cursor = FastCursor {
+            eval: self,
+            digits,
+            prefix: vec![Accum::IDENTITY; n + 1],
+            done: false,
+        };
+        cursor.refresh_from(0);
+        cursor
+    }
+}
+
+/// Turns final accumulators into the same artifacts the naive path builds.
+fn finish(model: &TcoModel, acc: &Accum) -> (UptimeBreakdown, TcoBreakdown, RankKey) {
+    let breakdown = Probability::saturating(1.0 - acc.avail);
+    let failover = Probability::saturating(acc.failover);
+    let uptime = UptimeBreakdown::from_components(breakdown, failover);
+    let ha_cost =
+        MoneyPerMonth::new(acc.cost).expect("candidate costs are finite and non-negative");
+    let tco = model.evaluate(ha_cost, uptime.availability());
+    let key = RankKey {
+        total: tco.total(),
+        expects_penalty: tco.expects_penalty(),
+        cardinality: acc.cardinality,
+        availability: uptime.availability(),
+    };
+    (uptime, tco, key)
+}
+
+/// An odometer over a space's assignments with incrementally-maintained
+/// prefix accumulators. Advancing and measuring allocate nothing.
+#[derive(Debug)]
+pub struct FastCursor<'e, 'a> {
+    eval: &'e FastEvaluator<'a>,
+    digits: Vec<usize>,
+    /// `prefix[p]` holds the accumulators over digits `0..p`; `prefix[n]`
+    /// is the full assignment's state.
+    prefix: Vec<Accum>,
+    done: bool,
+}
+
+impl FastCursor<'_, '_> {
+    /// The current assignment, one candidate index per component.
+    #[must_use]
+    pub fn assignment(&self) -> &[usize] {
+        &self.digits
+    }
+
+    /// Recomputes `prefix[p+1..]` after digits `p..` changed.
+    fn refresh_from(&mut self, p: usize) {
+        for i in p..self.digits.len() {
+            self.prefix[i + 1] = self.prefix[i].push(&self.eval.terms[i][self.digits[i]]);
+        }
+    }
+
+    /// Steps to the lexicographic successor. Returns `false` once the last
+    /// assignment has been consumed; the cursor then stays exhausted.
+    pub fn advance(&mut self) -> bool {
+        if self.done {
+            return false;
+        }
+        let mut pos = self.digits.len();
+        loop {
+            if pos == 0 {
+                self.done = true;
+                return false;
+            }
+            pos -= 1;
+            self.digits[pos] += 1;
+            if self.digits[pos] < self.eval.terms[pos].len() {
+                break;
+            }
+            self.digits[pos] = 0;
+        }
+        // Only the suffix right of the carry position changed.
+        self.refresh_from(pos);
+        true
+    }
+
+    /// The ranking facts for the current assignment. Allocation-free.
+    #[must_use]
+    pub fn rank_key(&self) -> RankKey {
+        let acc = self.prefix[self.digits.len()];
+        finish(self.eval.model, &acc).2
+    }
+
+    /// Materializes the current assignment as a full [`Evaluation`]
+    /// (allocates the assignment vector; used by the materializing search
+    /// paths that must report every option).
+    #[must_use]
+    pub fn evaluation(&self) -> Evaluation {
+        let acc = self.prefix[self.digits.len()];
+        let (uptime, tco, _) = finish(self.eval.model, &acc);
+        Evaluation::from_parts(self.digits.clone(), acc.cardinality, uptime, tco)
+    }
+}
+
+/// Streams every assignment through one incremental cursor, keeping only
+/// the running optimum — the `O(1)`-amortized-per-variant exact search.
+///
+/// The returned outcome's `evaluations()` holds just the winner (streaming
+/// cannot afford to materialize `k^n` reports); `stats().evaluated` still
+/// counts the full space. Visit order is lexicographic, so ties resolve
+/// exactly as [`crate::exhaustive::search`] resolves them.
+///
+/// # Examples
+///
+/// ```
+/// use uptime_catalog::{case_study, ComponentKind};
+/// use uptime_optimizer::{fast, Objective, SearchSpace};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let space = SearchSpace::from_catalog(
+///     &case_study::catalog(),
+///     &case_study::cloud_id(),
+///     &ComponentKind::paper_tiers(),
+/// )?;
+/// let outcome = fast::search(&space, &case_study::tco_model(), Objective::MinTco);
+/// assert_eq!(outcome.best().unwrap().tco().total().value(), 1250.0);
+/// assert_eq!(outcome.stats().evaluated, 8);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn search(space: &SearchSpace, model: &TcoModel, objective: Objective) -> SearchOutcome {
+    let fast = FastEvaluator::new(space, model);
+    let mut cursor = fast.cursor();
+    let mut best_key: Option<RankKey> = None;
+    let mut best_digits: Vec<usize> = Vec::with_capacity(space.len());
+    let mut evaluated: u64 = 0;
+    loop {
+        evaluated = evaluated.saturating_add(1);
+        let key = cursor.rank_key();
+        let improved = match &best_key {
+            None => true,
+            Some(b) => objective.better_key(&key, b),
+        };
+        if improved {
+            best_key = Some(key);
+            best_digits.clear();
+            best_digits.extend_from_slice(cursor.assignment());
+        }
+        if !cursor.advance() {
+            break;
+        }
+    }
+    let best = fast.evaluate(&best_digits);
+    SearchOutcome::from_evaluations(
+        objective,
+        vec![best],
+        SearchStats {
+            evaluated,
+            skipped: 0,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uptime_catalog::{case_study, extended, ComponentKind};
+
+    fn paper_space() -> SearchSpace {
+        SearchSpace::from_catalog(
+            &case_study::catalog(),
+            &case_study::cloud_id(),
+            &ComponentKind::paper_tiers(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fast_matches_naive_on_every_paper_assignment() {
+        let space = paper_space();
+        let model = case_study::tco_model();
+        let fast = FastEvaluator::new(&space, &model);
+        for assignment in space.assignments() {
+            let naive = Evaluation::evaluate(&space, &model, &assignment);
+            let quick = fast.evaluate(&assignment);
+            assert_eq!(quick.assignment(), naive.assignment());
+            assert_eq!(quick.cardinality(), naive.cardinality());
+            assert_eq!(quick.tco().total(), naive.tco().total(), "{assignment:?}");
+            assert!(
+                (quick.uptime().availability().value() - naive.uptime().availability().value())
+                    .abs()
+                    < 1e-14,
+                "{assignment:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cursor_walks_lexicographically() {
+        let space = paper_space();
+        let model = case_study::tco_model();
+        let fast = FastEvaluator::new(&space, &model);
+        let mut cursor = fast.cursor();
+        let mut visited = vec![cursor.assignment().to_vec()];
+        while cursor.advance() {
+            visited.push(cursor.assignment().to_vec());
+        }
+        let expected: Vec<_> = space.assignments().collect();
+        assert_eq!(visited, expected);
+        // Exhausted cursors stay exhausted.
+        assert!(!cursor.advance());
+    }
+
+    #[test]
+    fn cursor_at_matches_incremental_walk() {
+        let catalog = extended::hybrid_catalog();
+        let space = SearchSpace::from_catalog(
+            &catalog,
+            &extended::nimbus_id(),
+            &ComponentKind::paper_tiers(),
+        )
+        .unwrap();
+        let model = case_study::tco_model();
+        let fast = FastEvaluator::new(&space, &model);
+        let mut cursor = fast.cursor();
+        let mut index = 0u128;
+        loop {
+            let seeded = fast.cursor_at(index);
+            assert_eq!(seeded.assignment(), cursor.assignment());
+            // Bit-identical accumulators regardless of how the state was
+            // reached (incremental vs from-scratch).
+            assert_eq!(seeded.evaluation(), cursor.evaluation());
+            index += 1;
+            if !cursor.advance() {
+                break;
+            }
+        }
+        assert_eq!(index, space.assignment_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "flat index out of range")]
+    fn cursor_at_rejects_out_of_range() {
+        let space = paper_space();
+        let model = case_study::tco_model();
+        let fast = FastEvaluator::new(&space, &model);
+        let _ = fast.cursor_at(space.assignment_count());
+    }
+
+    #[test]
+    fn streaming_search_finds_paper_optimum() {
+        let space = paper_space();
+        let model = case_study::tco_model();
+        let outcome = search(&space, &model, Objective::MinTco);
+        assert_eq!(outcome.best().unwrap().assignment(), &[0, 1, 0]);
+        assert_eq!(outcome.best().unwrap().tco().total().value(), 1250.0);
+        assert_eq!(outcome.stats().evaluated, 8);
+        assert_eq!(
+            outcome.evaluations().len(),
+            1,
+            "streaming keeps the winner only"
+        );
+    }
+
+    #[test]
+    fn streaming_search_matches_min_penalty_risk() {
+        let space = paper_space();
+        let model = case_study::tco_model();
+        let outcome = search(&space, &model, Objective::MinPenaltyRisk);
+        assert_eq!(outcome.best().unwrap().tco().total().value(), 1350.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment arity")]
+    fn wrong_arity_panics() {
+        let space = paper_space();
+        let model = case_study::tco_model();
+        let fast = FastEvaluator::new(&space, &model);
+        let _ = fast.evaluate(&[0, 0]);
+    }
+}

@@ -8,7 +8,11 @@
 //! assignments — one candidate per component — and evaluate each with
 //! [`uptime_core::TcoModel`]:
 //!
-//! * [`exhaustive::search`] — all `k^n` permutations (paper §II.C).
+//! * [`exhaustive::search`] — all `k^n` permutations (paper §II.C),
+//!   driven by the factorized [`fast`] engine.
+//! * [`fast::search`] — streaming argmin over the same space: amortized
+//!   `O(1)` work per variant from cached per-cluster terms, no
+//!   per-assignment allocation.
 //! * [`pruned::search`] — the paper's §III.C optimization: evaluate by
 //!   ascending number of clustered components and skip supersets of any
 //!   SLA-satisfying permutation. Exact (see module docs for the cost
@@ -46,6 +50,7 @@ pub mod anneal;
 pub mod branch_bound;
 pub mod evaluate;
 pub mod exhaustive;
+pub mod fast;
 pub mod greedy;
 pub mod objective;
 pub mod outcome;
@@ -56,7 +61,8 @@ pub mod space;
 pub mod sweep;
 
 pub use evaluate::Evaluation;
-pub use objective::Objective;
+pub use fast::{FastCursor, FastEvaluator};
+pub use objective::{Objective, RankKey};
 pub use outcome::{SearchOutcome, SearchStats};
 pub use pareto::ParetoPoint;
 pub use space::{Candidate, ComponentChoices, SearchSpace, SpaceError};

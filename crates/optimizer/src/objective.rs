@@ -1,8 +1,24 @@
 //! Optimization objectives.
 
 use serde::{Deserialize, Serialize};
+use uptime_core::{MoneyPerMonth, Probability};
 
 use crate::evaluate::Evaluation;
+
+/// The scalar facts an [`Objective`] ranks by, decoupled from the full
+/// [`Evaluation`] so streaming searches can compare variants without
+/// materializing per-assignment heap state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankKey {
+    /// Total monthly TCO (Eq. 5).
+    pub total: MoneyPerMonth,
+    /// Whether any slippage penalty is expected.
+    pub expects_penalty: bool,
+    /// Number of components using a non-baseline candidate.
+    pub cardinality: usize,
+    /// Modeled uptime `U_s`.
+    pub availability: Probability,
+}
 
 /// What "best" means when ranking evaluated deployments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -24,11 +40,19 @@ impl Objective {
     /// higher uptime (cheaper to operate, better margin).
     #[must_use]
     pub fn better(&self, a: &Evaluation, b: &Evaluation) -> bool {
+        self.better_key(&a.rank_key(), &b.rank_key())
+    }
+
+    /// [`Objective::better`] on bare [`RankKey`]s — the single source of
+    /// truth for ranking, shared by the materializing and streaming search
+    /// paths so they can never disagree on an argmin.
+    #[must_use]
+    pub fn better_key(&self, a: &RankKey, b: &RankKey) -> bool {
         match self {
             Objective::MinTco => Self::better_by_tco(a, b),
             Objective::MinPenaltyRisk => {
-                let a_safe = !a.tco().expects_penalty();
-                let b_safe = !b.tco().expects_penalty();
+                let a_safe = !a.expects_penalty;
+                let b_safe = !b.expects_penalty;
                 match (a_safe, b_safe) {
                     (true, false) => true,
                     (false, true) => false,
@@ -38,15 +62,14 @@ impl Objective {
         }
     }
 
-    fn better_by_tco(a: &Evaluation, b: &Evaluation) -> bool {
-        let (ta, tb) = (a.tco().total(), b.tco().total());
-        if ta != tb {
-            return ta < tb;
+    fn better_by_tco(a: &RankKey, b: &RankKey) -> bool {
+        if a.total != b.total {
+            return a.total < b.total;
         }
-        if a.cardinality() != b.cardinality() {
-            return a.cardinality() < b.cardinality();
+        if a.cardinality != b.cardinality {
+            return a.cardinality < b.cardinality;
         }
-        a.uptime().availability() > b.uptime().availability()
+        a.availability > b.availability
     }
 
     /// Selects the best of an iterator of evaluations, if any.

@@ -2,19 +2,66 @@
 //!
 //! The paper waves `O(k^n)` away because "`n` in practice is usually low".
 //! For hybrid-brokerage spaces (many clouds × many methods) the product
-//! still grows; this module shards the assignment enumeration across
-//! threads. Results are identical to [`crate::exhaustive::search`] —
-//! assignments are evaluated independently and merged deterministically.
+//! still grows; this module shards the **flat index range** `[0, k^n)`
+//! across threads. Each worker seeds a [`crate::fast::FastCursor`] at its
+//! shard's starting index via [`FastEvaluator::cursor_at`] and walks
+//! forward incrementally, so no assignment list is ever materialized — the
+//! old implementation collected all `k^n` `Vec<usize>` assignments up
+//! front, which on a 6⁶ space already meant ~47k heap vectors before any
+//! evaluation ran, and scaled to gigabytes on joint metacloud spaces.
+//!
+//! Two entry points with different memory contracts:
+//!
+//! * [`search_with_threads`] / [`search`] — materialize every
+//!   [`Evaluation`], exactly like [`crate::exhaustive::search`], and merge
+//!   shards in index order so the result is bit-identical to the serial
+//!   enumeration. `O(k^n)` output memory, inherent to "report everything".
+//! * [`search_best_with_threads`] / [`search_best`] — streaming: each
+//!   worker keeps only its running argmin, the merge keeps the global one.
+//!   `O(threads · n)` memory regardless of space size, and ties resolve to
+//!   the lexicographically-first winner — the same assignment every other
+//!   exact strategy returns.
 
 use crossbeam::thread;
 use uptime_core::TcoModel;
 
 use crate::evaluate::Evaluation;
-use crate::objective::Objective;
+use crate::fast::FastEvaluator;
+use crate::objective::{Objective, RankKey};
 use crate::outcome::{SearchOutcome, SearchStats};
 use crate::space::SearchSpace;
 
+/// A worker's contiguous slice of the flat assignment index space.
+#[derive(Debug, Clone, Copy)]
+struct Shard {
+    start: u128,
+    len: u128,
+}
+
+/// Splits `[0, total)` into at most `workers` contiguous, non-empty shards.
+fn shards(total: u128, workers: usize) -> Vec<Shard> {
+    let workers = u128::try_from(workers.max(1))
+        .unwrap_or(1)
+        .min(total.max(1));
+    let base = total / workers;
+    let extra = total % workers;
+    let mut out = Vec::with_capacity(workers as usize);
+    let mut start = 0u128;
+    for w in 0..workers {
+        let len = base + u128::from(w < extra);
+        if len == 0 {
+            break;
+        }
+        out.push(Shard { start, len });
+        start += len;
+    }
+    out
+}
+
 /// Evaluates every assignment using up to `threads` worker threads.
+///
+/// `threads = 0` is treated as 1; thread counts beyond the number of
+/// assignments are clamped down so no worker starts empty.
 ///
 /// # Panics
 ///
@@ -26,22 +73,30 @@ pub fn search_with_threads(
     objective: Objective,
     threads: usize,
 ) -> SearchOutcome {
-    let assignments: Vec<Vec<usize>> = space.assignments().collect();
-    let workers = threads.clamp(1, assignments.len().max(1));
-    let chunk = assignments.len().div_ceil(workers).max(1);
+    let fast = FastEvaluator::new(space, model);
+    let total = space.assignment_count();
+    let plan = shards(total, threads);
 
     let evaluations: Vec<Evaluation> = thread::scope(|scope| {
-        let handles: Vec<_> = assignments
-            .chunks(chunk)
-            .map(|batch| {
+        let handles: Vec<_> = plan
+            .iter()
+            .map(|&Shard { start, len }| {
+                let fast = &fast;
                 scope.spawn(move |_| {
-                    batch
-                        .iter()
-                        .map(|a| Evaluation::evaluate(space, model, a))
-                        .collect::<Vec<Evaluation>>()
+                    let mut cursor = fast.cursor_at(start);
+                    let mut out = Vec::with_capacity(usize::try_from(len).unwrap_or(usize::MAX));
+                    for step in 0..len {
+                        out.push(cursor.evaluation());
+                        if step + 1 < len {
+                            assert!(cursor.advance(), "shard overran the space");
+                        }
+                    }
+                    out
                 })
             })
             .collect();
+        // Shards are joined in index order, reassembling the exact
+        // lexicographic sequence the serial enumeration produces.
         handles
             .into_iter()
             .flat_map(|h| h.join().expect("search worker panicked"))
@@ -77,16 +132,98 @@ pub fn search_with_threads(
 /// ```
 #[must_use]
 pub fn search(space: &SearchSpace, model: &TcoModel, objective: Objective) -> SearchOutcome {
-    let threads = std::thread::available_parallelism()
+    search_with_threads(space, model, objective, default_threads())
+}
+
+/// Streaming parallel argmin: like [`search_with_threads`] but each worker
+/// keeps only its best assignment, so memory stays `O(threads · n)` no
+/// matter how wide the space is. The returned outcome carries just the
+/// winning [`Evaluation`]; `stats().evaluated` counts the full space
+/// (saturating at `u64::MAX`).
+///
+/// Ties resolve to the lexicographically-first best assignment — identical
+/// to every materializing strategy — because the shard merge only replaces
+/// the incumbent when a later shard's key is *strictly* better.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (propagated).
+#[must_use]
+pub fn search_best_with_threads(
+    space: &SearchSpace,
+    model: &TcoModel,
+    objective: Objective,
+    threads: usize,
+) -> SearchOutcome {
+    let fast = FastEvaluator::new(space, model);
+    let total = space.assignment_count();
+    let plan = shards(total, threads);
+
+    let shard_bests: Vec<(RankKey, Vec<usize>)> = thread::scope(|scope| {
+        let handles: Vec<_> = plan
+            .iter()
+            .map(|&Shard { start, len }| {
+                let fast = &fast;
+                scope.spawn(move |_| {
+                    let mut cursor = fast.cursor_at(start);
+                    let mut best_key = cursor.rank_key();
+                    let mut best_digits = cursor.assignment().to_vec();
+                    for _ in 1..len {
+                        assert!(cursor.advance(), "shard overran the space");
+                        let key = cursor.rank_key();
+                        if objective.better_key(&key, &best_key) {
+                            best_key = key;
+                            best_digits.clear();
+                            best_digits.extend_from_slice(cursor.assignment());
+                        }
+                    }
+                    (best_key, best_digits)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("search worker panicked"))
+            .collect()
+    })
+    .expect("thread scope panicked");
+
+    // Earlier shards hold lexicographically-earlier assignments; strict
+    // comparison therefore preserves first-wins tie-breaking.
+    let (_, best_digits) = shard_bests
+        .into_iter()
+        .reduce(|acc, cand| {
+            if objective.better_key(&cand.0, &acc.0) {
+                cand
+            } else {
+                acc
+            }
+        })
+        .expect("spaces always contain at least one assignment");
+
+    let stats = SearchStats {
+        evaluated: u64::try_from(total).unwrap_or(u64::MAX),
+        skipped: 0,
+    };
+    SearchOutcome::from_evaluations(objective, vec![fast.evaluate(&best_digits)], stats)
+}
+
+/// [`search_best_with_threads`] at the machine's available parallelism.
+#[must_use]
+pub fn search_best(space: &SearchSpace, model: &TcoModel, objective: Objective) -> SearchOutcome {
+    search_best_with_threads(space, model, objective, default_threads())
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
-    search_with_threads(space, model, objective, threads)
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exhaustive;
+    use crate::{exhaustive, fast};
     use uptime_catalog::{case_study, ComponentKind};
 
     fn paper_space() -> SearchSpace {
@@ -109,8 +246,8 @@ mod tests {
             parallel.best().unwrap().assignment()
         );
         assert_eq!(serial.evaluations().len(), parallel.evaluations().len());
-        // Deterministic merge: evaluation multisets are identical, and in
-        // fact the chunked order reassembles the lexicographic order.
+        // Deterministic merge: shards are joined in index order, so the
+        // result reassembles the lexicographic order bit-for-bit.
         assert_eq!(serial.evaluations(), parallel.evaluations());
     }
 
@@ -129,5 +266,59 @@ mod tests {
         let model = case_study::tco_model();
         let outcome = search_with_threads(&space, &model, Objective::MinTco, 1000);
         assert_eq!(outcome.stats().evaluated, 8);
+    }
+
+    #[test]
+    fn zero_threads_treated_as_one() {
+        let space = paper_space();
+        let model = case_study::tco_model();
+        let outcome = search_with_threads(&space, &model, Objective::MinTco, 0);
+        assert_eq!(outcome.stats().evaluated, 8);
+        assert_eq!(outcome.best().unwrap().assignment(), &[0, 1, 0]);
+        let streaming = search_best_with_threads(&space, &model, Objective::MinTco, 0);
+        assert_eq!(streaming.best().unwrap().assignment(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn shard_plan_covers_range_without_overlap() {
+        for (total, workers) in [(8u128, 3usize), (8, 8), (8, 1000), (1, 4), (47, 7), (6, 6)] {
+            let plan = shards(total, workers);
+            assert!(plan.len() <= workers.max(1));
+            let mut next = 0u128;
+            for s in &plan {
+                assert_eq!(s.start, next, "contiguous");
+                assert!(s.len > 0, "no empty shards");
+                next += s.len;
+            }
+            assert_eq!(next, total, "full coverage");
+        }
+    }
+
+    #[test]
+    fn streaming_matches_materializing_best() {
+        let space = paper_space();
+        let model = case_study::tco_model();
+        for objective in [Objective::MinTco, Objective::MinPenaltyRisk] {
+            let full = search_with_threads(&space, &model, objective, 3);
+            for threads in [1, 2, 5, 100] {
+                let slim = search_best_with_threads(&space, &model, objective, threads);
+                assert_eq!(
+                    slim.best().unwrap(),
+                    full.best().unwrap(),
+                    "{objective:?} x{threads}"
+                );
+                assert_eq!(slim.stats().evaluated, 8);
+                assert_eq!(slim.evaluations().len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_matches_serial_fast_search() {
+        let space = paper_space();
+        let model = case_study::tco_model();
+        let serial = fast::search(&space, &model, Objective::MinTco);
+        let parallel = search_best(&space, &model, Objective::MinTco);
+        assert_eq!(serial.best().unwrap(), parallel.best().unwrap());
     }
 }

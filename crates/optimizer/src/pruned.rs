@@ -24,6 +24,7 @@
 use uptime_core::TcoModel;
 
 use crate::evaluate::Evaluation;
+use crate::fast::FastEvaluator;
 use crate::objective::Objective;
 use crate::outcome::{SearchOutcome, SearchStats};
 use crate::space::SearchSpace;
@@ -58,6 +59,7 @@ use crate::space::SearchSpace;
 #[must_use]
 pub fn search(space: &SearchSpace, model: &TcoModel, objective: Objective) -> SearchOutcome {
     let sla = model.sla();
+    let fast = FastEvaluator::new(space, model);
     let mut evaluations: Vec<Evaluation> = Vec::new();
     let mut satisfiers: Vec<Vec<usize>> = Vec::new();
     let mut stats = SearchStats::default();
@@ -78,7 +80,7 @@ pub fn search(space: &SearchSpace, model: &TcoModel, objective: Objective) -> Se
                 stats.skipped += 1;
                 continue;
             }
-            let evaluation = Evaluation::evaluate(space, model, &assignment);
+            let evaluation = fast.evaluate(&assignment);
             stats.evaluated += 1;
             if sla.is_met_by(evaluation.uptime().availability()) {
                 satisfiers.push(assignment);

@@ -126,6 +126,49 @@ fn sla_violation_column() {
     assert_eq!(no_violation, vec![5, 8]);
 }
 
+/// The factorized fast path reproduces the paper's golden numbers exactly:
+/// option #1 (all baseline) shows `U_s` = 92.17 %, 43 billed slippage
+/// hours, $4300 TCO; option #3 (RAID-1 only) shows `U_s` = 96.78 % at
+/// $1250 and is the streaming argmin.
+#[test]
+fn fast_path_reproduces_golden_numbers() {
+    use uptime_suite::optimizer::{fast, FastEvaluator};
+
+    let space = SearchSpace::from_catalog(
+        &case_study::catalog(),
+        &case_study::cloud_id(),
+        &ComponentKind::paper_tiers(),
+    )
+    .unwrap();
+    let model = case_study::tco_model();
+    let engine = FastEvaluator::new(&space, &model);
+
+    // Option #1: no HA anywhere.
+    let option1 = engine.evaluate(&[0, 0, 0]);
+    assert!(
+        (option1.uptime().availability().as_percent() - 92.17).abs() < 0.02,
+        "option #1 U_s: {}",
+        option1.uptime().availability().as_percent()
+    );
+    assert_eq!(option1.tco().billed_slippage_hours(), 43.0);
+    assert!((option1.tco().total().value() - 4300.0).abs() < 0.5);
+
+    // Option #3: RAID-1 on storage only.
+    let option3 = engine.evaluate(&[0, 1, 0]);
+    assert!(
+        (option3.uptime().availability().as_percent() - 96.78).abs() < 0.02,
+        "option #3 U_s: {}",
+        option3.uptime().availability().as_percent()
+    );
+    assert!((option3.tco().total().value() - 1250.0).abs() < 0.5);
+
+    // The streaming search lands on option #3 having visited all 8.
+    let outcome = fast::search(&space, &model, Objective::MinTco);
+    assert_eq!(outcome.best().unwrap().assignment(), &[0, 1, 0]);
+    assert_eq!(outcome.best().unwrap().tco().total().value(), 1250.0);
+    assert_eq!(outcome.stats().evaluated, 8);
+}
+
 /// §III.C's worked example — the pruned search clips option #8 after #5 —
 /// and still lands on the paper's optimum.
 #[test]
