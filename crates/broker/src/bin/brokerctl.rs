@@ -27,9 +27,18 @@
 //!     rounds, and report control-plane health plus the incident log.
 //!     With --chaos the providers misbehave (seeded fault injection).
 //!     Exits 0 when healthy, 3 when the broker is serving degraded.
+//!
+//! brokerctl obs [--json|--prom] [--hybrid] [--chaos] [SEED]
+//!     Drive an instrumented recommend+sync run against simulated
+//!     providers and export the metrics snapshot as JSON (default) or
+//!     Prometheus text format.
+//!
+//! brokerctl help | --help
+//!     Print usage, including the exit-code contract.
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use uptime_broker::{
     report, settlement, BrokerService, ChaosConfig, ChaosProvider, GroundTruth, SimulatedProvider,
@@ -56,6 +65,10 @@ fn main() -> ExitCode {
     let hybrid = flags.contains(&"--hybrid");
     let json = flags.contains(&"--json");
 
+    if command == Some("help") || flags.contains(&"--help") {
+        print_help();
+        return ExitCode::SUCCESS;
+    }
     if command == Some("health") {
         let chaos = flags.contains(&"--chaos");
         return match health_command(hybrid, json, chaos, positional.first().copied()) {
@@ -74,11 +87,17 @@ fn main() -> ExitCode {
         Some("settle") => settle_command(&positional),
         Some("metacloud") => metacloud_command(),
         Some("serve") => serve_command(hybrid),
+        Some("obs") => obs_command(
+            hybrid,
+            flags.contains(&"--prom"),
+            flags.contains(&"--chaos"),
+            positional.first().copied(),
+        ),
         _ => {
             eprintln!(
-                "usage: brokerctl <catalog|recommend|sweep|settle|metacloud|serve|health> [options]"
+                "usage: brokerctl <catalog|recommend|sweep|settle|metacloud|serve|health|obs> [options]"
             );
-            eprintln!("       see the module docs for details");
+            eprintln!("       run `brokerctl help` for details and exit codes");
             return ExitCode::from(2);
         }
     };
@@ -89,6 +108,47 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn print_help() {
+    println!(
+        "\
+brokerctl — command-line front end to the uptime brokered service
+
+Usage: brokerctl <COMMAND> [options]
+
+Commands:
+  catalog [--hybrid]
+      List clouds, HA methods, prices and reliability records.
+  recommend [--hybrid] [--json] [REQUEST.json]
+      Run the full recommendation pipeline (default: the paper's
+      case-study intake, 98% SLA and $100/h penalty).
+  sweep [--hybrid] FROM TO STEPS
+      SLA sweep: the winning architecture per target percentage.
+  settle MONTHS [SEED]
+      Settle a simulated multi-month contract for the case-study
+      optimum and compare realized payouts with Eq. 5.
+  metacloud
+      Cross-provider (metacloud) recommendation over the hybrid catalog.
+  serve [--hybrid]
+      One SolutionRequest JSON per stdin line, one JSON response per line.
+  health [--hybrid] [--json] [--chaos] [SEED]
+      Drive telemetry sync rounds against simulated providers and report
+      control-plane health plus the incident log. JSON output carries a
+      top-level `schema_version` field.
+  obs [--json|--prom] [--hybrid] [--chaos] [SEED]
+      Drive an instrumented recommend+sync run and export the metrics
+      snapshot as JSON (default) or Prometheus text format.
+  help
+      Print this help.
+
+Exit codes:
+  0   success; for `health`, the broker is healthy
+  1   runtime error (bad input file, catalog error, I/O failure)
+  2   usage error (unknown command or malformed arguments)
+  3   `health` only: the broker is up but serving degraded
+      (breaker open or telemetry quarantined)"
+    );
 }
 
 fn catalog(hybrid: bool) -> CatalogStore {
@@ -269,21 +329,23 @@ fn metacloud_command() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Version of `health --json`'s payload shape. Bump when the top-level
+/// layout of the payload changes.
+const HEALTH_SCHEMA_VERSION: u32 = 1;
+
+/// How many telemetry sync rounds `health` and `obs` drive.
+const SYNC_ROUNDS: u64 = 6;
+
 /// Registers a simulated provider per catalog cloud (ground truth taken
 /// from the catalog's own records, so clean telemetry is always
-/// plausible), drives several telemetry sync rounds, and reports
-/// control-plane health. Returns whether the broker ended up degraded.
-fn health_command(
-    hybrid: bool,
-    json: bool,
+/// plausible). Returns each cloud's observed component kinds.
+fn register_simulated_providers(
+    broker: &BrokerService,
+    store: &CatalogStore,
     chaos: bool,
-    seed_arg: Option<&str>,
-) -> Result<bool, Box<dyn std::error::Error>> {
-    let seed: u64 = seed_arg.map_or(Ok(7), str::parse)?;
-    let store = catalog(hybrid);
-    let broker = BrokerService::new(store.clone());
-
-    let mut components: Vec<(uptime_catalog::CloudId, Vec<ComponentKind>)> = Vec::new();
+    seed: u64,
+) -> Vec<(uptime_catalog::CloudId, Vec<ComponentKind>)> {
+    let mut components = Vec::new();
     for id in store.cloud_ids() {
         let profile = store.cloud(id).expect("listed id resolves");
         let mut provider = SimulatedProvider::new(id.clone(), profile.display_name());
@@ -309,22 +371,46 @@ fn health_command(
         }
         components.push((id.clone(), kinds));
     }
+    components
+}
 
-    const ROUNDS: u64 = 6;
-    for round in 0..ROUNDS {
-        for (cloud, kinds) in &components {
+/// Drives [`SYNC_ROUNDS`] telemetry sync rounds across every registered
+/// provider. Any single sync may fail under chaos; that is the point —
+/// errors only feed the incident log.
+fn drive_sync_rounds(
+    broker: &BrokerService,
+    components: &[(uptime_catalog::CloudId, Vec<ComponentKind>)],
+    seed: u64,
+) {
+    for round in 0..SYNC_ROUNDS {
+        for (cloud, kinds) in components {
             for (k, kind) in kinds.iter().enumerate() {
-                // Any single sync may fail under chaos; health reporting is
-                // the point, so errors only feed the incident log.
                 let _ = broker.sync_telemetry(cloud, *kind, 20, 5.0, seed + round * 31 + k as u64);
             }
         }
     }
+}
+
+/// Registers a simulated provider per catalog cloud, drives telemetry
+/// sync rounds, and reports control-plane health. Returns whether the
+/// broker ended up degraded.
+fn health_command(
+    hybrid: bool,
+    json: bool,
+    chaos: bool,
+    seed_arg: Option<&str>,
+) -> Result<bool, Box<dyn std::error::Error>> {
+    let seed: u64 = seed_arg.map_or(Ok(7), str::parse)?;
+    let store = catalog(hybrid);
+    let broker = BrokerService::new(store.clone());
+    let components = register_simulated_providers(&broker, &store, chaos, seed);
+    drive_sync_rounds(&broker, &components, seed);
 
     let health = broker.health();
     let incidents = broker.incidents();
     if json {
         let payload = serde_json::json!({
+            "schema_version": HEALTH_SCHEMA_VERSION,
             "health": health,
             "incidents": incidents,
         });
@@ -333,7 +419,7 @@ fn health_command(
     }
 
     println!(
-        "Broker health after {ROUNDS} sync round(s){}:",
+        "Broker health after {SYNC_ROUNDS} sync round(s){}:",
         if chaos { " under chaos" } else { "" }
     );
     for p in &health.providers {
@@ -367,6 +453,38 @@ fn health_command(
         }
     }
     Ok(health.degraded)
+}
+
+/// Drives an instrumented recommend+sync run — simulated providers,
+/// telemetry sync rounds, then a full recommendation — and exports the
+/// live metrics snapshot as JSON (default) or Prometheus text format.
+fn obs_command(
+    hybrid: bool,
+    prom: bool,
+    chaos: bool,
+    seed_arg: Option<&str>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let seed: u64 = seed_arg.map_or(Ok(7), str::parse)?;
+    let store = catalog(hybrid);
+    let registry = Arc::new(uptime_obs::MetricsRegistry::new());
+    let broker = BrokerService::new(store.clone()).with_recorder(registry.clone());
+    let components = register_simulated_providers(&broker, &store, chaos, seed);
+    drive_sync_rounds(&broker, &components, seed);
+
+    let request = SolutionRequest::builder()
+        .tiers(ComponentKind::paper_tiers())
+        .sla_percent(case_study::SLA_PERCENT)?
+        .penalty_per_hour(case_study::PENALTY_PER_HOUR)?
+        .build()?;
+    let _ = broker.recommend(&request)?;
+
+    let snapshot = registry.snapshot();
+    if prom {
+        print!("{}", uptime_obs::export::to_prometheus(&snapshot));
+    } else {
+        println!("{}", uptime_obs::export::to_json(&snapshot));
+    }
+    Ok(())
 }
 
 fn settle_command(positional: &[&str]) -> Result<(), Box<dyn std::error::Error>> {

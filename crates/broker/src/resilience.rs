@@ -244,6 +244,20 @@ impl CircuitBreaker {
         self.times_opened
     }
 
+    /// The breaker's virtual clock: how many admission checks it has seen.
+    /// Incident-log entries use this as their transition timestamp.
+    #[must_use]
+    pub fn tick(&self) -> u64 {
+        self.now
+    }
+
+    /// How many ticks the breaker has been non-closed, or `None` when
+    /// closed — the degraded-mode duration in admission checks.
+    #[must_use]
+    pub fn open_ticks(&self) -> Option<u64> {
+        self.open_since.map(|at| self.now.saturating_sub(at))
+    }
+
     /// Asks whether a call may proceed, advancing the virtual clock by one
     /// tick. Half-open admits a single probe until its outcome is
     /// recorded.

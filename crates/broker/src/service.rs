@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use parking_lot::RwLock;
 use serde::Serialize;
@@ -56,6 +57,13 @@ pub struct Incident {
     pub category: IncidentCategory,
     /// Human-readable detail.
     pub detail: String,
+    /// The provider breaker's virtual tick when a state transition was
+    /// logged. Set for [`IncidentCategory::BreakerOpened`] and
+    /// [`IncidentCategory::BreakerRecovered`] so the incident log carries
+    /// the same timeline the `obs` breaker counters summarize.
+    pub breaker_tick: Option<u64>,
+    /// The breaker state *after* the transition, when one occurred.
+    pub breaker_state: Option<BreakerState>,
 }
 
 /// Control-plane health of one fronted provider.
@@ -112,6 +120,7 @@ pub struct BrokerService {
     retry: RetryPolicy,
     quarantine: QuarantinePolicy,
     breaker_template: CircuitBreaker,
+    recorder: Arc<dyn uptime_obs::Recorder>,
 }
 
 impl fmt::Debug for BrokerService {
@@ -136,7 +145,17 @@ impl BrokerService {
             retry: RetryPolicy::default(),
             quarantine: QuarantinePolicy::default(),
             breaker_template: CircuitBreaker::default(),
+            recorder: Arc::new(uptime_obs::NoopRecorder),
         }
+    }
+
+    /// Attaches a metrics recorder; every sync, ingest, and recommend call
+    /// reports `broker.*` metrics through it. The default is the no-op
+    /// recorder, which costs nothing.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<dyn uptime_obs::Recorder>) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Replaces the retry policy applied to provider calls.
@@ -187,7 +206,14 @@ impl BrokerService {
         self.incidents.read().clone()
     }
 
-    fn log_incident(&self, cloud: &CloudId, category: IncidentCategory, detail: String) {
+    fn log_incident(
+        &self,
+        cloud: &CloudId,
+        category: IncidentCategory,
+        detail: String,
+        transition: Option<(u64, BreakerState)>,
+    ) {
+        self.recorder.event("broker.incident", &detail);
         let mut incidents = self.incidents.write();
         let seq = incidents.len() as u64;
         incidents.push(Incident {
@@ -195,6 +221,8 @@ impl BrokerService {
             cloud: cloud.clone(),
             category,
             detail,
+            breaker_tick: transition.map(|(tick, _)| tick),
+            breaker_state: transition.map(|(_, state)| state),
         });
     }
 
@@ -219,6 +247,8 @@ impl BrokerService {
         years: f64,
         seed: u64,
     ) -> Result<EstimatedParameters, BrokerError> {
+        let rec = &*self.recorder;
+        let _span = uptime_obs::span!(rec, "broker.sync");
         // Harvest phase: providers lock only (never held across the
         // catalog lock taken during ingestion).
         let telemetry = {
@@ -231,6 +261,7 @@ impl BrokerService {
                         reason: "no provider registered".into(),
                     })?;
             if !slot.breaker.allow() {
+                rec.counter_add("broker.breaker.rejected", 1);
                 return Err(BrokerError::CircuitOpen {
                     cloud: cloud.clone(),
                 });
@@ -249,15 +280,24 @@ impl BrokerService {
                         .harvest_component_telemetry(kind, fleet, years, seed)
                 },
             );
+            rec.observe("broker.sync.attempts", f64::from(outcome.attempts));
+            rec.observe("broker.sync.backoff_ms", outcome.virtual_elapsed_ms as f64);
+            rec.counter_add(
+                "broker.sync.retries",
+                u64::from(outcome.attempts.saturating_sub(1)),
+            );
             match outcome.result {
                 Ok(telemetry) => {
                     slot.breaker.record_success();
+                    let tick = slot.breaker.tick();
                     if was != BreakerState::Closed {
                         drop(providers);
+                        rec.counter_add("broker.breaker.recovered", 1);
                         self.log_incident(
                             cloud,
                             IncidentCategory::BreakerRecovered,
                             "probe harvest succeeded; breaker closed".into(),
+                            Some((tick, BreakerState::Closed)),
                         );
                     }
                     telemetry
@@ -266,7 +306,9 @@ impl BrokerService {
                     let opened_before = slot.breaker.times_opened();
                     slot.breaker.record_failure();
                     let tripped = slot.breaker.times_opened() > opened_before;
+                    let tick = slot.breaker.tick();
                     drop(providers);
+                    rec.counter_add("broker.sync.failed", 1);
                     self.log_incident(
                         cloud,
                         IncidentCategory::ProviderFault,
@@ -274,12 +316,15 @@ impl BrokerService {
                             "harvest failed after {} attempt(s): {err}",
                             outcome.attempts
                         ),
+                        None,
                     );
                     if tripped {
+                        rec.counter_add("broker.breaker.opened", 1);
                         self.log_incident(
                             cloud,
                             IncidentCategory::BreakerOpened,
                             "consecutive provider faults tripped the breaker".into(),
+                            Some((tick, BreakerState::Open)),
                         );
                     }
                     return Err(err);
@@ -356,6 +401,7 @@ impl BrokerService {
             slot.quarantined_streak = 0;
             slot.batches_absorbed += 1;
         }
+        self.recorder.counter_add("broker.quarantine.accepted", 1);
         Ok(merged_estimate)
     }
 
@@ -366,7 +412,8 @@ impl BrokerService {
             slot.quarantined_streak += 1;
             slot.batches_quarantined += 1;
         }
-        self.log_incident(cloud, category, reason.to_owned());
+        self.recorder.counter_add("broker.quarantine.rejected", 1);
+        self.log_incident(cloud, category, reason.to_owned(), None);
     }
 
     /// Degradation metadata for the given clouds, or `None` when every
@@ -443,6 +490,8 @@ impl BrokerService {
     ///   not exist for its tier.
     /// * Catalog/space errors for missing prices or reliability records.
     pub fn recommend(&self, request: &SolutionRequest) -> Result<Recommendation, BrokerError> {
+        let rec = &*self.recorder;
+        let _span = uptime_obs::span!(rec, "broker.recommend");
         let catalog = self.catalog.read();
         let clouds: Vec<CloudId> = if request.clouds().is_empty() {
             catalog.cloud_ids().cloned().collect()
@@ -475,7 +524,7 @@ impl BrokerService {
                 })
                 .collect();
 
-            let outcome = exhaustive::search(&space, &model, Objective::MinTco);
+            let outcome = exhaustive::search_recorded(&space, &model, Objective::MinTco, rec);
 
             // Paper numbering: ascending cardinality, then mixed-radix value.
             let mut ordered: Vec<&Evaluation> = outcome.evaluations().iter().collect();
@@ -542,9 +591,21 @@ impl BrokerService {
         }
         drop(catalog);
         let answered: Vec<CloudId> = cloud_recs.iter().map(|c| c.cloud().clone()).collect();
+        rec.counter_add("broker.recommend.clouds", answered.len() as u64);
         let mut recommendation = Recommendation::new(cloud_recs);
         if let Some(degraded) = self.degraded_mode(&answered) {
             recommendation = recommendation.with_degraded(degraded);
+            rec.gauge_set("broker.degraded", 1.0);
+            // Degraded-mode duration: how long each stale provider's
+            // breaker has been non-closed, in admission-check ticks.
+            let providers = self.providers.read();
+            for (_, slot) in providers.iter() {
+                if let Some(ticks) = slot.breaker.open_ticks() {
+                    rec.observe("broker.breaker.open_ticks", ticks as f64);
+                }
+            }
+        } else {
+            rec.gauge_set("broker.degraded", 0.0);
         }
         Ok(recommendation)
     }

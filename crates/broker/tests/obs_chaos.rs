@@ -1,0 +1,190 @@
+//! Metrics-under-chaos: for every chaos seed the `broker.*` counters a
+//! live recorder accumulates must agree with the incident log and health
+//! report exactly — the observability layer may not drop, double-count,
+//! or invent control-plane events.
+
+use std::sync::Arc;
+
+use uptime_broker::{
+    BrokerService, ChaosConfig, ChaosProvider, GroundTruth, IncidentCategory, SimulatedProvider,
+};
+use uptime_catalog::{case_study, ComponentKind};
+use uptime_core::{FailuresPerYear, Probability};
+use uptime_obs::MetricsRegistry;
+
+const ROUNDS: u64 = 15;
+
+fn chaotic_broker(seed: u64, registry: Arc<MetricsRegistry>) -> BrokerService {
+    let provider = SimulatedProvider::new(case_study::cloud_id(), "chaotic sim").with_ground_truth(
+        ComponentKind::Storage,
+        GroundTruth {
+            down_probability: Probability::new(0.10).unwrap(),
+            failures_per_year: FailuresPerYear::new(4.0).unwrap(),
+        },
+    );
+    let broker = BrokerService::new(case_study::catalog()).with_recorder(registry);
+    broker.register_provider(Box::new(ChaosProvider::new(
+        provider,
+        ChaosConfig::aggressive(seed),
+    )));
+    broker
+}
+
+#[test]
+fn counters_match_incident_log_for_chaos_seeds_0_through_4() {
+    for seed in 0u64..5 {
+        let registry = Arc::new(MetricsRegistry::with_event_capacity(4096));
+        let broker = chaotic_broker(seed, registry.clone());
+        let mut circuit_rejected = 0u64;
+        for round in 0..ROUNDS {
+            if let Err(uptime_broker::BrokerError::CircuitOpen { .. }) = broker.sync_telemetry(
+                &case_study::cloud_id(),
+                ComponentKind::Storage,
+                40,
+                10.0,
+                seed.wrapping_mul(1000) + round,
+            ) {
+                circuit_rejected += 1;
+            }
+        }
+
+        let incidents = broker.incidents();
+        let health = broker.health();
+        let snap = registry.snapshot();
+        let count = |cat: IncidentCategory| -> u64 {
+            incidents.iter().filter(|i| i.category == cat).count() as u64
+        };
+        let counter = |name: &str| snap.counter(name).unwrap_or(0);
+
+        // Every counter agrees with the incident log, exactly.
+        assert_eq!(
+            counter("broker.sync.failed"),
+            count(IncidentCategory::ProviderFault),
+            "seed {seed}: failed syncs vs ProviderFault incidents"
+        );
+        assert_eq!(
+            counter("broker.breaker.opened"),
+            count(IncidentCategory::BreakerOpened),
+            "seed {seed}: breaker.opened vs BreakerOpened incidents"
+        );
+        assert_eq!(
+            counter("broker.breaker.recovered"),
+            count(IncidentCategory::BreakerRecovered),
+            "seed {seed}: breaker.recovered vs BreakerRecovered incidents"
+        );
+        assert_eq!(
+            counter("broker.quarantine.rejected"),
+            count(IncidentCategory::TelemetryRejected)
+                + count(IncidentCategory::ImplausibleEstimate),
+            "seed {seed}: quarantine.rejected vs quarantine incidents"
+        );
+
+        // ... and with the health report.
+        assert_eq!(
+            counter("broker.quarantine.accepted"),
+            health.providers[0].batches_absorbed,
+            "seed {seed}: quarantine.accepted vs batches_absorbed"
+        );
+        assert_eq!(
+            counter("broker.quarantine.rejected"),
+            health.providers[0].batches_quarantined,
+            "seed {seed}: quarantine.rejected vs batches_quarantined"
+        );
+        assert_eq!(
+            counter("broker.breaker.opened"),
+            health.providers[0].times_opened,
+            "seed {seed}: breaker.opened vs times_opened"
+        );
+        assert_eq!(
+            counter("broker.breaker.rejected"),
+            circuit_rejected,
+            "seed {seed}: breaker.rejected vs observed CircuitOpen errors"
+        );
+
+        // Retry accounting: the ProviderFault details record how many
+        // attempts each failed harvest burned; the retries counter covers
+        // at least those (successful syncs may add more).
+        let failed_retries: u64 = incidents
+            .iter()
+            .filter(|i| i.category == IncidentCategory::ProviderFault)
+            .map(|i| {
+                let detail = &i.detail;
+                let n: u64 = detail
+                    .strip_prefix("harvest failed after ")
+                    .and_then(|rest| rest.split(' ').next())
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| panic!("unparseable fault detail: {detail}"));
+                n - 1
+            })
+            .sum();
+        assert!(
+            counter("broker.sync.retries") >= failed_retries,
+            "seed {seed}: retries counter below the failed-harvest tally"
+        );
+
+        // Every sync that was admitted past the breaker shows up in the
+        // attempts histogram.
+        let attempts = snap.histogram("broker.sync.attempts").unwrap();
+        assert_eq!(
+            attempts.count,
+            ROUNDS - circuit_rejected,
+            "seed {seed}: attempts histogram vs admitted syncs"
+        );
+
+        // The event ring mirrors the incident log one-to-one.
+        let incident_events = snap
+            .events
+            .iter()
+            .filter(|e| e.name == "broker.incident")
+            .count() as u64;
+        assert_eq!(
+            incident_events,
+            incidents.len() as u64,
+            "seed {seed}: event ring vs incident log"
+        );
+    }
+}
+
+#[test]
+fn breaker_transitions_carry_timestamps() {
+    for seed in 0u64..5 {
+        let registry = Arc::new(MetricsRegistry::new());
+        let broker = chaotic_broker(seed, registry);
+        for round in 0..ROUNDS {
+            let _ = broker.sync_telemetry(
+                &case_study::cloud_id(),
+                ComponentKind::Storage,
+                40,
+                10.0,
+                seed.wrapping_mul(1000) + round,
+            );
+        }
+        let mut last_tick = 0u64;
+        for incident in broker.incidents() {
+            match incident.category {
+                IncidentCategory::BreakerOpened => {
+                    let tick = incident.breaker_tick.expect("opened carries a tick");
+                    assert!(tick >= last_tick, "ticks are monotonic");
+                    last_tick = tick;
+                    assert_eq!(
+                        incident.breaker_state,
+                        Some(uptime_broker::BreakerState::Open)
+                    );
+                }
+                IncidentCategory::BreakerRecovered => {
+                    let tick = incident.breaker_tick.expect("recovered carries a tick");
+                    assert!(tick >= last_tick, "ticks are monotonic");
+                    last_tick = tick;
+                    assert_eq!(
+                        incident.breaker_state,
+                        Some(uptime_broker::BreakerState::Closed)
+                    );
+                }
+                _ => {
+                    assert_eq!(incident.breaker_tick, None);
+                    assert_eq!(incident.breaker_state, None);
+                }
+            }
+        }
+    }
+}

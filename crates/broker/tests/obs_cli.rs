@@ -1,0 +1,183 @@
+//! End-to-end checks of the `brokerctl obs` exporter: the JSON form must
+//! validate against the checked-in `schemas/obs_snapshot.schema.json`,
+//! and the Prometheus form must follow the text exposition format.
+//!
+//! The validator below implements the subset of JSON Schema the checked-in
+//! schema uses (`type`, `required`, `properties`, `additionalProperties`,
+//! `items`, `const`) so the contract is enforced without a schema crate.
+
+use std::process::Command;
+
+use serde_json::Value;
+
+fn brokerctl(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_brokerctl"))
+        .args(args)
+        .output()
+        .expect("brokerctl runs")
+}
+
+/// Member lookup that panics with the missing key's name (the vendored
+/// `Value` deliberately has no `Index` impl).
+fn get<'a>(value: &'a Value, key: &str) -> &'a Value {
+    value
+        .get(key)
+        .unwrap_or_else(|| panic!("missing key `{key}` in {value}"))
+}
+
+fn schema() -> Value {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../schemas/obs_snapshot.schema.json"
+    );
+    serde_json::from_str(&std::fs::read_to_string(path).expect("schema file readable"))
+        .expect("schema file is valid JSON")
+}
+
+/// Validates `value` against the subset of JSON Schema used by
+/// `obs_snapshot.schema.json`, pushing a message per violation.
+fn validate(value: &Value, schema: &Value, path: &str, errors: &mut Vec<String>) {
+    let Some(schema) = schema.as_object() else {
+        return;
+    };
+    if let Some(ty) = schema.get("type") {
+        let allowed: Vec<&str> = match ty {
+            Value::String(s) => vec![s.as_str()],
+            Value::Array(options) => options.iter().filter_map(Value::as_str).collect(),
+            _ => Vec::new(),
+        };
+        let actual = match value {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Number(n) => {
+                if n.as_i64().is_some() || n.as_u64().is_some() {
+                    "integer"
+                } else {
+                    "number"
+                }
+            }
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        // JSON Schema: every integer is also a number.
+        let matches = allowed
+            .iter()
+            .any(|t| *t == actual || (*t == "number" && actual == "integer"));
+        if !matches {
+            errors.push(format!("{path}: expected type {allowed:?}, got {actual}"));
+            return;
+        }
+    }
+    if let Some(expected) = schema.get("const") {
+        if value != expected {
+            errors.push(format!("{path}: expected const {expected}, got {value}"));
+        }
+    }
+    if let Some(object) = value.as_object() {
+        if let Some(required) = schema.get("required").and_then(Value::as_array) {
+            for key in required.iter().filter_map(Value::as_str) {
+                if !object.contains_key(key) {
+                    errors.push(format!("{path}: missing required property `{key}`"));
+                }
+            }
+        }
+        let properties = schema.get("properties").and_then(Value::as_object);
+        for (key, child) in object {
+            let child_path = format!("{path}.{key}");
+            if let Some(child_schema) = properties.and_then(|p| p.get(key)) {
+                validate(child, child_schema, &child_path, errors);
+            } else if let Some(extra) = schema.get("additionalProperties") {
+                validate(child, extra, &child_path, errors);
+            }
+        }
+    }
+    if let Some(array) = value.as_array() {
+        if let Some(items) = schema.get("items") {
+            for (i, child) in array.iter().enumerate() {
+                validate(child, items, &format!("{path}[{i}]"), errors);
+            }
+        }
+    }
+}
+
+fn assert_valid_snapshot(raw: &str) -> Value {
+    let value: Value = serde_json::from_str(raw).expect("exporter output parses as JSON");
+    let mut errors = Vec::new();
+    validate(&value, &schema(), "$", &mut errors);
+    assert!(errors.is_empty(), "schema violations: {errors:#?}");
+    value
+}
+
+#[test]
+fn obs_json_validates_against_checked_in_schema() {
+    let output = brokerctl(&["obs", "--json"]);
+    assert!(output.status.success(), "{output:?}");
+    let value = assert_valid_snapshot(&String::from_utf8(output.stdout).unwrap());
+
+    // A clean recommend+sync run populates all three metric families.
+    let counters = get(&value, "counters").as_object().unwrap();
+    assert!(counters.contains_key("broker.sync.calls"));
+    assert!(counters.contains_key("optimizer.exhaustive.variants"));
+    assert!(get(&value, "histograms")
+        .as_object()
+        .unwrap()
+        .contains_key("broker.sync.attempts"));
+    assert!(get(&value, "gauges")
+        .as_object()
+        .unwrap()
+        .contains_key("broker.degraded"));
+}
+
+#[test]
+fn obs_json_under_chaos_still_validates() {
+    let output = brokerctl(&["obs", "--json", "--chaos", "3"]);
+    assert!(output.status.success(), "{output:?}");
+    let value = assert_valid_snapshot(&String::from_utf8(output.stdout).unwrap());
+    // Chaos produces incidents, which surface in the event ring.
+    assert!(!get(&value, "events").as_array().unwrap().is_empty());
+}
+
+#[test]
+fn obs_prometheus_follows_exposition_format() {
+    let output = brokerctl(&["obs", "--prom"]);
+    assert!(output.status.success(), "{output:?}");
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.contains("# TYPE uptime_broker_sync_calls counter"));
+    assert!(text.contains("# TYPE uptime_broker_sync_attempts histogram"));
+    assert!(text.contains("uptime_broker_sync_attempts_bucket{le=\"+Inf\"}"));
+    assert!(text.contains("uptime_broker_sync_attempts_sum"));
+    assert!(text.contains("uptime_broker_sync_attempts_count"));
+    // Every non-comment line is `name{labels} value` with a sane name.
+    for line in text.lines().filter(|l| !l.starts_with('#')) {
+        assert!(line.starts_with("uptime_"), "bad series name: {line}");
+        assert!(
+            line.split_whitespace().count() == 2,
+            "bad sample line: {line}"
+        );
+    }
+}
+
+#[test]
+fn health_json_carries_schema_version() {
+    let output = brokerctl(&["health", "--json"]);
+    let value: Value =
+        serde_json::from_str(&String::from_utf8(output.stdout).unwrap()).expect("health JSON");
+    assert_eq!(*get(&value, "schema_version"), serde_json::json!(1));
+    assert!(get(&value, "health").as_object().is_some());
+    assert!(get(&value, "incidents").as_array().is_some());
+}
+
+#[test]
+fn help_documents_exit_codes() {
+    let output = brokerctl(&["help"]);
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.contains("Exit codes"));
+    for code in ["0", "1", "2", "3"] {
+        assert!(
+            text.lines().any(|l| l.trim().starts_with(code)),
+            "exit code {code} undocumented"
+        );
+    }
+}

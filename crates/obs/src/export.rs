@@ -1,0 +1,273 @@
+//! Snapshot exporters: JSON and Prometheus text exposition format.
+//!
+//! Both are hand-rolled over [`MetricsSnapshot`] so this crate stays
+//! dependency-free; metric names are workspace-controlled
+//! (`layer.subsystem.name`) and event details are escaped.
+
+use std::fmt::Write as _;
+
+use crate::registry::{HistogramSnapshot, MetricsSnapshot};
+
+/// Renders the snapshot as a pretty-printed JSON document.
+///
+/// Shape (mirrored by `schemas/obs_snapshot.schema.json`):
+///
+/// ```json
+/// {
+///   "schema_version": 1,
+///   "counters": { "broker.sync.retries": 3 },
+///   "gauges": { "broker.degraded.active": 0.0 },
+///   "histograms": {
+///     "broker.sync.attempts": {
+///       "count": 4, "sum": 7.0, "min": 1.0, "max": 3.0,
+///       "p50": 2.0, "p95": 3.0, "p99": 3.0,
+///       "buckets": [ { "le": 1.0, "count": 1 } ]
+///     }
+///   },
+///   "events": [ { "seq": 0, "name": "...", "detail": "..." } ]
+/// }
+/// ```
+#[must_use]
+pub fn to_json(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": {},", snapshot.schema_version);
+
+    out.push_str("  \"counters\": {");
+    for (i, (name, value)) in snapshot.counters.iter().enumerate() {
+        push_sep(&mut out, i);
+        let _ = write!(out, "    {}: {value}", json_string(name));
+    }
+    close_obj(&mut out, snapshot.counters.is_empty());
+
+    out.push_str("  \"gauges\": {");
+    for (i, (name, value)) in snapshot.gauges.iter().enumerate() {
+        push_sep(&mut out, i);
+        let _ = write!(out, "    {}: {}", json_string(name), json_number(*value));
+    }
+    close_obj(&mut out, snapshot.gauges.is_empty());
+
+    out.push_str("  \"histograms\": {");
+    for (i, h) in snapshot.histograms.iter().enumerate() {
+        push_sep(&mut out, i);
+        let _ = write!(out, "    {}: {}", json_string(&h.name), histogram_json(h));
+    }
+    close_obj(&mut out, snapshot.histograms.is_empty());
+
+    out.push_str("  \"events\": [");
+    for (i, event) in snapshot.events.iter().enumerate() {
+        push_sep(&mut out, i);
+        let _ = write!(
+            out,
+            "    {{ \"seq\": {}, \"name\": {}, \"detail\": {} }}",
+            event.seq,
+            json_string(&event.name),
+            json_string(&event.detail)
+        );
+    }
+    if !snapshot.events.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn push_sep(out: &mut String, i: usize) {
+    if i > 0 {
+        out.push(',');
+    }
+    out.push('\n');
+}
+
+fn close_obj(out: &mut String, empty: bool) {
+    if !empty {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n");
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    let mut buckets = String::from("[");
+    for (i, (le, count)) in h.buckets.iter().enumerate() {
+        if i > 0 {
+            buckets.push_str(", ");
+        }
+        let _ = write!(
+            buckets,
+            "{{ \"le\": {}, \"count\": {count} }}",
+            json_number(*le)
+        );
+    }
+    buckets.push(']');
+    format!(
+        "{{ \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+         \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": {} }}",
+        h.count,
+        json_number(h.sum),
+        json_number(h.min),
+        json_number(h.max),
+        json_number(h.p50),
+        json_number(h.p95),
+        json_number(h.p99),
+        buckets
+    )
+}
+
+/// A finite f64 as a JSON number (always with a decimal point or exponent
+/// so consumers parse it as floating); non-finite values become `null`.
+fn json_number(value: f64) -> String {
+    if !value.is_finite() {
+        return "null".to_owned();
+    }
+    // f64's Debug form is shortest-roundtrip with a mandatory `.0` or
+    // exponent — exactly JSON's float shape.
+    format!("{value:?}")
+}
+
+/// A JSON string literal with the mandatory escapes.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders the snapshot in Prometheus text exposition format (version
+/// 0.0.4): metric names are `uptime_` + the dotted name with dots and
+/// dashes rewritten to underscores; histograms emit cumulative
+/// `_bucket{le="..."}` series plus `_sum` and `_count`. Events are not
+/// exported (Prometheus has no event type); scrape the JSON form for
+/// those.
+#[must_use]
+pub fn to_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    for (name, value) in &snapshot.counters {
+        let prom = prom_name(name);
+        let _ = writeln!(out, "# TYPE {prom} counter");
+        let _ = writeln!(out, "{prom} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let prom = prom_name(name);
+        let _ = writeln!(out, "# TYPE {prom} gauge");
+        let _ = writeln!(out, "{prom} {}", prom_number(*value));
+    }
+    for h in &snapshot.histograms {
+        let prom = prom_name(&h.name);
+        let _ = writeln!(out, "# TYPE {prom} histogram");
+        for (le, count) in &h.buckets {
+            let _ = writeln!(out, "{prom}_bucket{{le=\"{}\"}} {count}", prom_number(*le));
+        }
+        let _ = writeln!(out, "{prom}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{prom}_sum {}", prom_number(h.sum));
+        let _ = writeln!(out, "{prom}_count {}", h.count);
+    }
+    out
+}
+
+fn prom_name(dotted: &str) -> String {
+    let mut out = String::with_capacity(dotted.len() + 7);
+    out.push_str("uptime_");
+    for c in dotted.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn prom_number(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_owned()
+    } else if value == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if value == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{value}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use crate::registry::MetricsRegistry;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let r = MetricsRegistry::new();
+        r.counter_add("optimizer.fast.variants", 46656);
+        r.gauge_set("optimizer.pruned.cut_rate", 0.125);
+        r.observe("broker.sync.attempts", 1.0);
+        r.observe("broker.sync.attempts", 3.0);
+        r.event("broker.breaker.opened", "softlayer: 3 consecutive faults");
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_has_all_sections_and_schema_version() {
+        let json = to_json(&sample_snapshot());
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"optimizer.fast.variants\": 46656"));
+        assert!(json.contains("\"optimizer.pruned.cut_rate\": 0.125"));
+        assert!(json.contains("\"broker.sync.attempts\""));
+        assert!(json.contains("\"p95\""));
+        assert!(json.contains("\"broker.breaker.opened\""));
+    }
+
+    #[test]
+    fn json_of_empty_snapshot_is_well_formed() {
+        let json = to_json(&MetricsRegistry::new().snapshot());
+        assert!(json.contains("\"counters\": {},"));
+        assert!(json.contains("\"events\": []"));
+    }
+
+    #[test]
+    fn json_escapes_details() {
+        let r = MetricsRegistry::new();
+        r.event("e", "line1\nline2 \"quoted\" back\\slash");
+        let json = to_json(&r.snapshot());
+        assert!(json.contains("line1\\nline2 \\\"quoted\\\" back\\\\slash"));
+    }
+
+    #[test]
+    fn json_numbers_keep_float_shape() {
+        assert_eq!(json_number(2.0), "2.0");
+        assert_eq!(json_number(0.5), "0.5");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(1e300), "1e300");
+    }
+
+    #[test]
+    fn prometheus_renders_all_metric_kinds() {
+        let prom = to_prometheus(&sample_snapshot());
+        assert!(prom.contains("# TYPE uptime_optimizer_fast_variants counter"));
+        assert!(prom.contains("uptime_optimizer_fast_variants 46656"));
+        assert!(prom.contains("# TYPE uptime_optimizer_pruned_cut_rate gauge"));
+        assert!(prom.contains("uptime_optimizer_pruned_cut_rate 0.125"));
+        assert!(prom.contains("# TYPE uptime_broker_sync_attempts histogram"));
+        assert!(prom.contains("uptime_broker_sync_attempts_bucket{le=\"1\"} 1"));
+        assert!(prom.contains("uptime_broker_sync_attempts_bucket{le=\"+Inf\"} 2"));
+        assert!(prom.contains("uptime_broker_sync_attempts_sum 4"));
+        assert!(prom.contains("uptime_broker_sync_attempts_count 2"));
+    }
+
+    #[test]
+    fn prom_names_are_sanitized() {
+        assert_eq!(prom_name("a.b-c.d"), "uptime_a_b_c_d");
+    }
+}

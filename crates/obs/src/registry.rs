@@ -1,0 +1,481 @@
+//! A concrete [`Recorder`]: lock-cheap counters, gauges, and fixed-bucket
+//! histograms, plus the event ring.
+//!
+//! Registration (first touch of a metric name) takes a write lock on the
+//! relevant map; every later touch takes a read lock and performs one
+//! atomic operation. Maps are `BTreeMap`s so snapshots iterate in sorted
+//! name order — deterministic exporter output for a deterministic run.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::recorder::Recorder;
+use crate::ring::{EventRecord, EventRing};
+
+/// Version stamp embedded in every exported snapshot (and mirrored by
+/// `schemas/obs_snapshot.schema.json`). Bump on breaking shape changes.
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 1;
+
+/// Number of exponential histogram buckets: bucket `i` counts samples with
+/// `value <= 2^i`, `i` in `0..HISTOGRAM_BUCKETS`; larger samples land in
+/// the implicit `+Inf` overflow. `2^39` ns ≈ 9 minutes, comfortably above
+/// any span this workspace times, and the same bounds serve millisecond
+/// and plain-count histograms.
+const HISTOGRAM_BUCKETS: usize = 40;
+
+/// The default bucket upper bounds (`le` values) shared by every
+/// histogram: `1, 2, 4, …, 2^39`.
+pub const DEFAULT_NS_BUCKETS: usize = HISTOGRAM_BUCKETS;
+
+/// One histogram: per-bucket counts plus running count/sum/min/max.
+#[derive(Debug)]
+struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// f64 bit-patterns maintained with CAS loops; histogram recording is
+    /// per-phase, not per-variant, so contention is negligible.
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: (0..HISTOGRAM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    fn record(&self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let value = value.max(0.0);
+        if let Some(i) = bucket_index(value) {
+            self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        fold_f64(&self.sum_bits, |s| s + value);
+        fold_f64(&self.min_bits, |m| m.min(value));
+        fold_f64(&self.max_bits, |m| m.max(value));
+    }
+
+    fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = f64::from_bits(self.sum_bits.load(Ordering::Relaxed));
+        let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        let (min, max) = if count == 0 { (0.0, 0.0) } else { (min, max) };
+        let quantile = |q: f64| estimate_quantile(&counts, count, q, min, max);
+        // Cumulative `le` buckets, non-empty prefix trimmed to the last
+        // occupied bucket (the exporter adds the +Inf bucket itself).
+        let mut cumulative = Vec::new();
+        let mut acc = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            acc += c;
+            cumulative.push((bucket_bound(i), acc));
+        }
+        while cumulative.last().is_some_and(|&(_, c)| c == acc)
+            && cumulative.len() > 1
+            && cumulative[cumulative.len() - 2].1 == acc
+        {
+            cumulative.pop();
+        }
+        HistogramSnapshot {
+            name: name.to_owned(),
+            count,
+            sum,
+            min,
+            max,
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            p99: quantile(0.99),
+            buckets: cumulative,
+        }
+    }
+}
+
+/// CAS-folds a new f64 into an atomic bit store.
+fn fold_f64(bits: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut current = bits.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(current)).to_bits();
+        match bits.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+/// Bucket index for a sample, or `None` for the implicit overflow bucket.
+fn bucket_index(value: f64) -> Option<usize> {
+    (0..HISTOGRAM_BUCKETS).find(|&i| value <= bucket_bound(i))
+}
+
+/// Upper bound (`le`) of bucket `i`: `2^i`.
+fn bucket_bound(i: usize) -> f64 {
+    (1u64 << i) as f64
+}
+
+/// Bucket-walk quantile estimate: the upper bound of the first bucket
+/// whose cumulative count reaches `q`, clamped into the observed
+/// `[min, max]` range (exact for the tails a fixed-bucket histogram can
+/// resolve; ±1 bucket like any Prometheus-style histogram).
+fn estimate_quantile(counts: &[u64], total: u64, q: f64, min: f64, max: f64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = (q * total as f64).ceil().max(1.0) as u64;
+    let mut acc = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        acc += c;
+        if acc >= rank {
+            return bucket_bound(i).clamp(min, max);
+        }
+    }
+    max
+}
+
+/// A point-in-time, alphabetically-ordered copy of everything a
+/// [`MetricsRegistry`] holds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Schema stamp ([`SNAPSHOT_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Monotonic counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Last-write-wins gauges, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// The event ring's contents, oldest first.
+    pub events: Vec<EventRecord>,
+}
+
+impl MetricsSnapshot {
+    /// The value of counter `name`, if it was ever touched.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.counters[i].1)
+    }
+
+    /// The value of gauge `name`, if it was ever set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.gauges[i].1)
+    }
+
+    /// The histogram named `name`, if it ever recorded a sample.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .binary_search_by(|h| h.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.histograms[i])
+    }
+}
+
+/// Exported state of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name (`layer.subsystem.name`).
+    pub name: String,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+    /// Estimated 50th percentile.
+    pub p50: f64,
+    /// Estimated 95th percentile.
+    pub p95: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+    /// Cumulative `(le, count)` buckets, trailing saturated buckets
+    /// trimmed; the `+Inf` bucket is implicit (`count`).
+    pub buckets: Vec<(f64, u64)>,
+}
+
+/// The workspace's standard recorder.
+///
+/// Thread-safe; share it as `Arc<MetricsRegistry>` (it is also usable as
+/// `Arc<dyn Recorder>` / `&dyn Recorder`).
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    events: EventRing,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry with the default (256-entry) event ring.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry {
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+            events: EventRing::new(256),
+        }
+    }
+
+    /// An empty registry whose event ring keeps at most `capacity`
+    /// entries.
+    #[must_use]
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        MetricsRegistry {
+            events: EventRing::new(capacity),
+            ..MetricsRegistry::new()
+        }
+    }
+
+    fn counter_cell(&self, name: &str) -> Arc<AtomicU64> {
+        if let Some(cell) = self.counters.read().expect("lock poisoned").get(name) {
+            return Arc::clone(cell);
+        }
+        Arc::clone(
+            self.counters
+                .write()
+                .expect("lock poisoned")
+                .entry(name.to_owned())
+                .or_default(),
+        )
+    }
+
+    fn gauge_cell(&self, name: &str) -> Arc<AtomicU64> {
+        if let Some(cell) = self.gauges.read().expect("lock poisoned").get(name) {
+            return Arc::clone(cell);
+        }
+        Arc::clone(
+            self.gauges
+                .write()
+                .expect("lock poisoned")
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits()))),
+        )
+    }
+
+    fn histogram_cell(&self, name: &str) -> Arc<Histogram> {
+        if let Some(cell) = self.histograms.read().expect("lock poisoned").get(name) {
+            return Arc::clone(cell);
+        }
+        Arc::clone(
+            self.histograms
+                .write()
+                .expect("lock poisoned")
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Copies out every metric and the event ring.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .expect("lock poisoned")
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .expect("lock poisoned")
+            .iter()
+            .map(|(name, cell)| (name.clone(), f64::from_bits(cell.load(Ordering::Relaxed))))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .expect("lock poisoned")
+            .iter()
+            .map(|(name, h)| h.snapshot(name))
+            .collect();
+        MetricsSnapshot {
+            schema_version: SNAPSHOT_SCHEMA_VERSION,
+            counters,
+            gauges,
+            histograms,
+            events: self.events.drain_copy(),
+        }
+    }
+}
+
+impl Recorder for MetricsRegistry {
+    fn counter_add(&self, name: &str, delta: u64) {
+        self.counter_cell(name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn gauge_set(&self, name: &str, value: f64) {
+        self.gauge_cell(name)
+            .store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        self.histogram_cell(name).record(value);
+    }
+
+    fn event(&self, name: &str, detail: &str) {
+        self.events.push(name, detail);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = MetricsRegistry::new();
+        r.counter_add("a.b.c", 2);
+        r.counter_add("a.b.c", 3);
+        r.counter_add("x.y.z", 1);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a.b.c"), Some(5));
+        assert_eq!(snap.counter("x.y.z"), Some(1));
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.schema_version, SNAPSHOT_SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let r = MetricsRegistry::new();
+        r.gauge_set("g", 1.5);
+        r.gauge_set("g", -2.25);
+        assert_eq!(r.snapshot().gauge("g"), Some(-2.25));
+    }
+
+    #[test]
+    fn histogram_counts_sum_and_extremes() {
+        let r = MetricsRegistry::new();
+        for v in [1.0, 2.0, 3.0, 100.0] {
+            r.observe("h", v);
+        }
+        let snap = r.snapshot();
+        let h = snap.histogram("h").unwrap();
+        assert_eq!(h.count, 4);
+        assert!((h.sum - 106.0).abs() < 1e-9);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 100.0);
+        assert!(h.p50 >= 1.0 && h.p50 <= 4.0, "p50 {}", h.p50);
+        assert!(h.p99 <= 128.0 && h.p99 >= 64.0, "p99 {}", h.p99);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_uniform_samples() {
+        let r = MetricsRegistry::new();
+        for v in 1..=1000 {
+            r.observe("u", f64::from(v));
+        }
+        let snap = r.snapshot();
+        let h = snap.histogram("u").unwrap();
+        // Power-of-two buckets: p50 of U(1,1000) is ~500, resolved to the
+        // bucket bound 512; p95 → 1000-clamped bound.
+        assert_eq!(h.count, 1000);
+        assert!(h.p50 >= 256.0 && h.p50 <= 1000.0, "p50 {}", h.p50);
+        assert!(h.p95 >= h.p50, "p95 {} < p50 {}", h.p95, h.p50);
+        assert!(h.p99 >= h.p95);
+        assert!(h.p99 <= h.max);
+    }
+
+    #[test]
+    fn histogram_ignores_non_finite_and_clamps_negative() {
+        let r = MetricsRegistry::new();
+        r.observe("h", f64::NAN);
+        r.observe("h", f64::INFINITY);
+        r.observe("h", -5.0);
+        let snap = r.snapshot();
+        let h = snap.histogram("h").unwrap();
+        assert_eq!(h.count, 1, "only the clamped negative sample counts");
+        assert_eq!(h.min, 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_absent_from_snapshot() {
+        let r = MetricsRegistry::new();
+        assert!(r.snapshot().histogram("never").is_none());
+    }
+
+    #[test]
+    fn buckets_are_cumulative_and_trimmed() {
+        let r = MetricsRegistry::new();
+        r.observe("h", 1.0);
+        r.observe("h", 3.0);
+        let snap = r.snapshot();
+        let h = snap.histogram("h").unwrap();
+        let mut last = 0;
+        for &(le, c) in &h.buckets {
+            assert!(le > 0.0);
+            assert!(c >= last, "cumulative counts never decrease");
+            last = c;
+        }
+        assert_eq!(last, h.count);
+        // Trimmed: nowhere near 40 buckets for samples <= 4.
+        assert!(h.buckets.len() <= 4, "{:?}", h.buckets);
+    }
+
+    #[test]
+    fn events_flow_into_snapshot() {
+        let r = MetricsRegistry::new();
+        r.event("breaker.opened", "softlayer");
+        r.event("quarantine.rejected", "nan in trace");
+        let snap = r.snapshot();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.events[0].name, "breaker.opened");
+        assert_eq!(snap.events[1].seq, 1);
+    }
+
+    #[test]
+    fn default_span_implementation_lands_in_histogram() {
+        let r = MetricsRegistry::new();
+        r.span_ns("layer.op", 1500);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("layer.op.calls"), Some(1));
+        assert_eq!(snap.histogram("layer.op.ns").unwrap().count, 1);
+    }
+
+    #[test]
+    fn concurrent_counter_adds_do_not_lose_updates() {
+        let r = std::sync::Arc::new(MetricsRegistry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let r = std::sync::Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    r.counter_add("contended", 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.snapshot().counter("contended"), Some(8000));
+    }
+}

@@ -1,0 +1,107 @@
+//! Scope timers: measure a block's wall-clock time into a recorder.
+
+use std::time::Instant;
+
+use crate::recorder::Recorder;
+
+/// An RAII scope timer created by [`crate::span!`]. On drop it reports the
+/// elapsed wall-clock nanoseconds through [`Recorder::span_ns`], which by
+/// default lands in histogram `<name>.ns` and counter `<name>.calls`.
+///
+/// Nested timings are expressed with dotted names
+/// (`broker.recommend` containing `optimizer.exhaustive.search`), matching
+/// the workspace's `layer.subsystem.name` convention.
+pub struct SpanGuard<'r> {
+    recorder: &'r dyn Recorder,
+    name: &'static str,
+    started: Instant,
+}
+
+impl std::fmt::Debug for SpanGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard")
+            .field("name", &self.name)
+            .field("started", &self.started)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'r> SpanGuard<'r> {
+    /// Starts timing `name` against `recorder`. Prefer the [`crate::span!`]
+    /// macro.
+    #[must_use]
+    pub fn start(recorder: &'r dyn Recorder, name: &'static str) -> Self {
+        SpanGuard {
+            recorder,
+            name,
+            started: Instant::now(),
+        }
+    }
+
+    /// The span's metric name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Nanoseconds elapsed so far (the guard keeps running).
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.recorder.span_ns(self.name, self.elapsed_ns());
+    }
+}
+
+/// Times the enclosing scope: `let _span = obs::span!(&recorder, "layer.op");`
+///
+/// The guard records into the given recorder when dropped. Bind it to a
+/// named variable (`_span`, not `_`) or it drops immediately.
+#[macro_export]
+macro_rules! span {
+    ($recorder:expr, $name:literal) => {
+        $crate::SpanGuard::start($recorder, $name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn span_records_duration_and_call_count() {
+        let registry = MetricsRegistry::new();
+        {
+            let _span = crate::span!(&registry, "test.block");
+            std::hint::black_box(1 + 1);
+        }
+        {
+            let _span = crate::span!(&registry, "test.block");
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("test.block.calls"), Some(2));
+        let h = snap.histogram("test.block.ns").unwrap();
+        assert_eq!(h.count, 2);
+        assert!(h.sum >= 0.0);
+    }
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let registry = MetricsRegistry::new();
+        let span = SpanGuard::start(&registry, "test.mono");
+        let a = span.elapsed_ns();
+        let b = span.elapsed_ns();
+        assert!(b >= a);
+        assert_eq!(span.name(), "test.mono");
+    }
+
+    #[test]
+    fn noop_span_is_silent() {
+        let _span = crate::span!(&crate::NOOP, "test.noop");
+    }
+}

@@ -36,6 +36,26 @@ use crate::space::SearchSpace;
 /// ```
 #[must_use]
 pub fn search(space: &SearchSpace, model: &TcoModel, objective: Objective) -> SearchOutcome {
+    search_core(space, model, objective)
+}
+
+/// [`search`] with observability: the identical enumeration wrapped in an
+/// `optimizer.exhaustive.search` span, flushing
+/// `optimizer.exhaustive.variants` once at the end (never per variant).
+#[must_use]
+pub fn search_recorded(
+    space: &SearchSpace,
+    model: &TcoModel,
+    objective: Objective,
+    rec: &dyn uptime_obs::Recorder,
+) -> SearchOutcome {
+    let _span = uptime_obs::span!(rec, "optimizer.exhaustive.search");
+    let outcome = search_core(space, model, objective);
+    rec.counter_add("optimizer.exhaustive.variants", outcome.stats().evaluated);
+    outcome
+}
+
+fn search_core(space: &SearchSpace, model: &TcoModel, objective: Objective) -> SearchOutcome {
     let mut evaluations: Vec<Evaluation> =
         Vec::with_capacity(space.assignment_count().min(1 << 20) as usize);
     let fast = FastEvaluator::new(space, model);
@@ -91,6 +111,19 @@ mod tests {
             Objective::MinPenaltyRisk,
         );
         assert_eq!(outcome.best().unwrap().tco().total().value(), 1350.0);
+    }
+
+    #[test]
+    fn recorded_search_matches_and_counts() {
+        let space = paper_space();
+        let model = case_study::tco_model();
+        let registry = uptime_obs::MetricsRegistry::new();
+        let plain = search(&space, &model, Objective::MinTco);
+        let recorded = search_recorded(&space, &model, Objective::MinTco, &registry);
+        assert_eq!(plain, recorded, "instrumentation must not change results");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("optimizer.exhaustive.variants"), Some(8));
+        assert_eq!(snap.counter("optimizer.exhaustive.search.calls"), Some(1));
     }
 
     #[test]

@@ -376,6 +376,34 @@ impl FastCursor<'_, '_> {
 /// ```
 #[must_use]
 pub fn search(space: &SearchSpace, model: &TcoModel, objective: Objective) -> SearchOutcome {
+    search_core(space, model, objective)
+}
+
+/// [`search`] with observability: wraps the identical streaming loop in an
+/// `optimizer.fast.search` span and flushes per-run counters
+/// (`optimizer.fast.variants`, `optimizer.fast.cursor_advances`) once the
+/// loop finishes. The hot loop itself never touches the recorder, so a
+/// no-op recorder costs two dynamic calls per *search*, not per variant —
+/// the <5 % overhead budget asserted by `crates/bench/tests/obs_overhead.rs`.
+#[must_use]
+pub fn search_recorded(
+    space: &SearchSpace,
+    model: &TcoModel,
+    objective: Objective,
+    rec: &dyn uptime_obs::Recorder,
+) -> SearchOutcome {
+    let _span = uptime_obs::span!(rec, "optimizer.fast.search");
+    let outcome = search_core(space, model, objective);
+    rec.counter_add("optimizer.fast.variants", outcome.stats().evaluated);
+    rec.counter_add(
+        "optimizer.fast.cursor_advances",
+        outcome.stats().evaluated.saturating_sub(1),
+    );
+    outcome
+}
+
+/// The streaming argmin loop shared by [`search`] and [`search_recorded`].
+fn search_core(space: &SearchSpace, model: &TcoModel, objective: Objective) -> SearchOutcome {
     let fast = FastEvaluator::new(space, model);
     let mut cursor = fast.cursor();
     let mut best_key: Option<RankKey> = None;
@@ -515,6 +543,21 @@ mod tests {
         let model = case_study::tco_model();
         let outcome = search(&space, &model, Objective::MinPenaltyRisk);
         assert_eq!(outcome.best().unwrap().tco().total().value(), 1350.0);
+    }
+
+    #[test]
+    fn recorded_search_is_bit_identical_and_counts() {
+        let space = paper_space();
+        let model = case_study::tco_model();
+        let registry = uptime_obs::MetricsRegistry::new();
+        let plain = search(&space, &model, Objective::MinTco);
+        let recorded = search_recorded(&space, &model, Objective::MinTco, &registry);
+        assert_eq!(plain, recorded, "instrumentation must not change results");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("optimizer.fast.variants"), Some(8));
+        assert_eq!(snap.counter("optimizer.fast.cursor_advances"), Some(7));
+        assert_eq!(snap.counter("optimizer.fast.search.calls"), Some(1));
+        assert_eq!(snap.histogram("optimizer.fast.search.ns").unwrap().count, 1);
     }
 
     #[test]

@@ -73,16 +73,45 @@ pub fn search_with_threads(
     objective: Objective,
     threads: usize,
 ) -> SearchOutcome {
+    search_with_threads_core(space, model, objective, threads, &uptime_obs::NOOP)
+}
+
+/// [`search_with_threads`] with observability: an
+/// `optimizer.parallel.search` span plus per-shard wall-clock timings
+/// (`optimizer.parallel.shard_ns` histogram, `optimizer.parallel.shards` /
+/// `optimizer.parallel.variants` counters). Workers time themselves; the
+/// recorder is only touched after the join, so results and merge order are
+/// untouched.
+#[must_use]
+pub fn search_with_threads_recorded(
+    space: &SearchSpace,
+    model: &TcoModel,
+    objective: Objective,
+    threads: usize,
+    rec: &dyn uptime_obs::Recorder,
+) -> SearchOutcome {
+    let _span = uptime_obs::span!(rec, "optimizer.parallel.search");
+    search_with_threads_core(space, model, objective, threads, rec)
+}
+
+fn search_with_threads_core(
+    space: &SearchSpace,
+    model: &TcoModel,
+    objective: Objective,
+    threads: usize,
+    rec: &dyn uptime_obs::Recorder,
+) -> SearchOutcome {
     let fast = FastEvaluator::new(space, model);
     let total = space.assignment_count();
     let plan = shards(total, threads);
 
-    let evaluations: Vec<Evaluation> = thread::scope(|scope| {
+    let shard_outputs: Vec<(Vec<Evaluation>, u64)> = thread::scope(|scope| {
         let handles: Vec<_> = plan
             .iter()
             .map(|&Shard { start, len }| {
                 let fast = &fast;
                 scope.spawn(move |_| {
+                    let started = std::time::Instant::now();
                     let mut cursor = fast.cursor_at(start);
                     let mut out = Vec::with_capacity(usize::try_from(len).unwrap_or(usize::MAX));
                     for step in 0..len {
@@ -91,7 +120,8 @@ pub fn search_with_threads(
                             assert!(cursor.advance(), "shard overran the space");
                         }
                     }
-                    out
+                    let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    (out, ns)
                 })
             })
             .collect();
@@ -99,10 +129,18 @@ pub fn search_with_threads(
         // lexicographic sequence the serial enumeration produces.
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("search worker panicked"))
+            .map(|h| h.join().expect("search worker panicked"))
             .collect()
     })
     .expect("thread scope panicked");
+
+    rec.counter_add("optimizer.parallel.shards", shard_outputs.len() as u64);
+    let mut evaluations = Vec::new();
+    for (shard_evals, ns) in shard_outputs {
+        rec.observe("optimizer.parallel.shard_ns", ns as f64);
+        evaluations.extend(shard_evals);
+    }
+    rec.counter_add("optimizer.parallel.variants", evaluations.len() as u64);
 
     let stats = SearchStats {
         evaluated: evaluations.len() as u64,
@@ -155,16 +193,43 @@ pub fn search_best_with_threads(
     objective: Objective,
     threads: usize,
 ) -> SearchOutcome {
+    search_best_with_threads_core(space, model, objective, threads, &uptime_obs::NOOP)
+}
+
+/// [`search_best_with_threads`] with observability: an
+/// `optimizer.parallel.search_best` span plus the same per-shard metrics
+/// as [`search_with_threads_recorded`]. The shard loops and the merge are
+/// bit-identical to the unrecorded path.
+#[must_use]
+pub fn search_best_with_threads_recorded(
+    space: &SearchSpace,
+    model: &TcoModel,
+    objective: Objective,
+    threads: usize,
+    rec: &dyn uptime_obs::Recorder,
+) -> SearchOutcome {
+    let _span = uptime_obs::span!(rec, "optimizer.parallel.search_best");
+    search_best_with_threads_core(space, model, objective, threads, rec)
+}
+
+fn search_best_with_threads_core(
+    space: &SearchSpace,
+    model: &TcoModel,
+    objective: Objective,
+    threads: usize,
+    rec: &dyn uptime_obs::Recorder,
+) -> SearchOutcome {
     let fast = FastEvaluator::new(space, model);
     let total = space.assignment_count();
     let plan = shards(total, threads);
 
-    let shard_bests: Vec<(RankKey, Vec<usize>)> = thread::scope(|scope| {
+    let shard_bests: Vec<(RankKey, Vec<usize>, u64)> = thread::scope(|scope| {
         let handles: Vec<_> = plan
             .iter()
             .map(|&Shard { start, len }| {
                 let fast = &fast;
                 scope.spawn(move |_| {
+                    let started = std::time::Instant::now();
                     let mut cursor = fast.cursor_at(start);
                     let mut best_key = cursor.rank_key();
                     let mut best_digits = cursor.assignment().to_vec();
@@ -177,7 +242,8 @@ pub fn search_best_with_threads(
                             best_digits.extend_from_slice(cursor.assignment());
                         }
                     }
-                    (best_key, best_digits)
+                    let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    (best_key, best_digits, ns)
                 })
             })
             .collect();
@@ -188,9 +254,18 @@ pub fn search_best_with_threads(
     })
     .expect("thread scope panicked");
 
+    rec.counter_add("optimizer.parallel.shards", shard_bests.len() as u64);
+    for (_, _, ns) in &shard_bests {
+        rec.observe("optimizer.parallel.shard_ns", *ns as f64);
+    }
+    rec.counter_add(
+        "optimizer.parallel.variants",
+        u64::try_from(total).unwrap_or(u64::MAX),
+    );
+
     // Earlier shards hold lexicographically-earlier assignments; strict
     // comparison therefore preserves first-wins tie-breaking.
-    let (_, best_digits) = shard_bests
+    let (_, best_digits, _) = shard_bests
         .into_iter()
         .reduce(|acc, cand| {
             if objective.better_key(&cand.0, &acc.0) {
@@ -277,6 +352,36 @@ mod tests {
         assert_eq!(outcome.best().unwrap().assignment(), &[0, 1, 0]);
         let streaming = search_best_with_threads(&space, &model, Objective::MinTco, 0);
         assert_eq!(streaming.best().unwrap().assignment(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn recorded_searches_match_and_time_shards() {
+        let space = paper_space();
+        let model = case_study::tco_model();
+        let registry = uptime_obs::MetricsRegistry::new();
+
+        let plain = search_with_threads(&space, &model, Objective::MinTco, 3);
+        let recorded =
+            search_with_threads_recorded(&space, &model, Objective::MinTco, 3, &registry);
+        assert_eq!(plain, recorded, "instrumentation must not change results");
+
+        let plain_best = search_best_with_threads(&space, &model, Objective::MinTco, 3);
+        let recorded_best =
+            search_best_with_threads_recorded(&space, &model, Objective::MinTco, 3, &registry);
+        assert_eq!(plain_best.best(), recorded_best.best());
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("optimizer.parallel.shards"), Some(6));
+        assert_eq!(snap.counter("optimizer.parallel.variants"), Some(16));
+        assert_eq!(
+            snap.histogram("optimizer.parallel.shard_ns").unwrap().count,
+            6
+        );
+        assert_eq!(snap.counter("optimizer.parallel.search.calls"), Some(1));
+        assert_eq!(
+            snap.counter("optimizer.parallel.search_best.calls"),
+            Some(1)
+        );
     }
 
     #[test]

@@ -126,6 +126,18 @@ impl Simulation {
         self.run_traced().0
     }
 
+    /// [`run`](Self::run) with observability: the identical event loop
+    /// wrapped in a `sim.trial` span, flushing `sim.events` (events
+    /// processed) and `sim.outages` once at the end.
+    #[must_use]
+    pub fn run_recorded(self, rec: &dyn uptime_obs::Recorder) -> SimReport {
+        let _span = uptime_obs::span!(rec, "sim.trial");
+        let (report, _, _, events) = self.run_counted();
+        rec.counter_add("sim.events", events);
+        rec.counter_add("sim.outages", report.system_outages());
+        report
+    }
+
     /// Runs and additionally returns the captured trace (empty unless
     /// [`SimConfig::with_trace`] was set).
     #[must_use]
@@ -138,7 +150,14 @@ impl Simulation {
     /// [`SimConfig::with_trace`]) and the outage log (present only with
     /// [`SimConfig::with_outage_log`]).
     #[must_use]
-    pub fn run_full(mut self) -> (SimReport, Trace, Option<crate::workload::OutageLog>) {
+    pub fn run_full(self) -> (SimReport, Trace, Option<crate::workload::OutageLog>) {
+        let (report, trace, outages, _) = self.run_counted();
+        (report, trace, outages)
+    }
+
+    /// The event loop itself; also counts events popped off the queue so
+    /// recorded runs can report throughput without touching the loop body.
+    fn run_counted(mut self) -> (SimReport, Trace, Option<crate::workload::OutageLog>, u64) {
         let horizon_time = SimTime::ZERO + self.config.horizon;
         let mut queue = EventQueue::new();
         let mut sampler = ExpSampler::seed_from_u64(self.config.seed);
@@ -159,8 +178,10 @@ impl Simulation {
             }
         }
 
+        let mut events_processed: u64 = 0;
         while let Some(event) = queue.pop() {
             let now = event.at;
+            events_processed += 1;
             match event.kind {
                 EventKind::HorizonReached => break,
                 EventKind::NodeFailed { cluster: ci, node } => {
@@ -222,6 +243,7 @@ impl Simulation {
             ),
             trace,
             outages,
+            events_processed,
         )
     }
 }
@@ -424,6 +446,23 @@ mod tests {
             .unwrap()
             .run_full();
         assert!(outages.is_none());
+    }
+
+    #[test]
+    fn recorded_run_matches_and_counts_events() {
+        let sys = singleton_system(0.05, 3.0);
+        let registry = uptime_obs::MetricsRegistry::new();
+        let plain = Simulation::new(&sys, SimConfig::years(10.0).with_seed(9))
+            .unwrap()
+            .run();
+        let recorded = Simulation::new(&sys, SimConfig::years(10.0).with_seed(9))
+            .unwrap()
+            .run_recorded(&registry);
+        assert_eq!(plain, recorded, "instrumentation must not change results");
+        let snap = registry.snapshot();
+        assert!(snap.counter("sim.events").unwrap() > 0);
+        assert_eq!(snap.counter("sim.outages"), Some(recorded.system_outages()));
+        assert_eq!(snap.counter("sim.trial.calls"), Some(1));
     }
 
     #[test]
