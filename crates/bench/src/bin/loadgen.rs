@@ -1,0 +1,426 @@
+//! PR 4 load generator: drives the `uptime-serve` daemon over TCP with a
+//! seeded hot/cold request mix and emits machine-readable `BENCH_PR4.json`
+//! (throughput, latency percentiles, cache hit rate, speedup vs cold
+//! per-request evaluation).
+//!
+//! ```text
+//! # Against an already-running daemon:
+//! cargo run --release -p uptime-bench --bin loadgen -- --addr 127.0.0.1:7411
+//!
+//! # Self-contained (spawns an in-process daemon on a loopback port):
+//! cargo run --release -p uptime-bench --bin loadgen
+//! ```
+//!
+//! Flags: `--clients N` (4), `--requests N` per client (250),
+//! `--repeat-ratio R` hot-pool fraction (0.9), `--seed S` (7),
+//! `--out PATH` (BENCH_PR4.json), `--min-hit-rate F` (exit 1 below it),
+//! `--fail-on-error` (exit 1 on any error/shed), `--shutdown` (drain the
+//! daemon afterwards).
+
+use std::io::{BufRead, BufReader, Write as IoWrite};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Value;
+use uptime_broker::{BrokerService, ServingBroker, SolutionRequest};
+use uptime_catalog::{case_study, ComponentKind};
+use uptime_obs::MetricsRegistry;
+use uptime_serve::{RequestFrame, ResponseFrame, Server, ServerConfig, Status};
+
+struct Config {
+    addr: Option<String>,
+    clients: usize,
+    requests: usize,
+    repeat_ratio: f64,
+    seed: u64,
+    out: String,
+    min_hit_rate: f64,
+    fail_on_error: bool,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Config, String> {
+    let mut config = Config {
+        addr: None,
+        clients: 4,
+        requests: 250,
+        repeat_ratio: 0.9,
+        seed: 7,
+        out: "BENCH_PR4.json".to_owned(),
+        min_hit_rate: 0.0,
+        fail_on_error: false,
+        shutdown: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter().map(String::as_str);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> Result<&str, String> {
+            iter.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag {
+            "--addr" => config.addr = Some(value("--addr")?.to_owned()),
+            "--clients" => {
+                config.clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?;
+            }
+            "--requests" => {
+                config.requests = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?;
+            }
+            "--repeat-ratio" => {
+                config.repeat_ratio = value("--repeat-ratio")?
+                    .parse()
+                    .map_err(|e| format!("--repeat-ratio: {e}"))?;
+            }
+            "--seed" => {
+                config.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--out" => config.out = value("--out")?.to_owned(),
+            "--min-hit-rate" => {
+                config.min_hit_rate = value("--min-hit-rate")?
+                    .parse()
+                    .map_err(|e| format!("--min-hit-rate: {e}"))?;
+            }
+            "--fail-on-error" => config.fail_on_error = true,
+            "--shutdown" => config.shutdown = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(config)
+}
+
+/// splitmix64 — the repo's standard seeded generator for workloads.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn request_for(percent: f64, rate: f64) -> SolutionRequest {
+    SolutionRequest::builder()
+        .tiers(ComponentKind::paper_tiers())
+        .sla_percent(percent)
+        .expect("percent in range")
+        .penalty_per_hour(rate)
+        .expect("positive rate")
+        .build()
+        .expect("valid request")
+}
+
+/// The hot pool: the handful of requests a steady-state broker keeps
+/// answering (think dashboards and repeated what-if queries).
+fn hot_pool() -> Vec<Value> {
+    [95.0, 96.0, 97.0, 97.5, 98.0, 98.5, 99.0, 99.5]
+        .iter()
+        .map(|&p| serde_json::to_value(&request_for(p, 100.0)))
+        .collect()
+}
+
+/// A unique cold request: an SLA/rate point nothing else in the run uses.
+fn cold_request(rng: &mut u64) -> Value {
+    let percent = 90.0 + (splitmix64(rng) % 800_000) as f64 / 100_000.0;
+    let rate = 1.0 + (splitmix64(rng) % 100_000) as f64 / 100.0;
+    serde_json::to_value(&request_for(percent, rate))
+}
+
+struct ClientStats {
+    latencies_ns: Vec<u64>,
+    ok: u64,
+    cached: u64,
+    coalesced: u64,
+    shed: u64,
+    errors: u64,
+}
+
+fn run_client(
+    addr: &str,
+    requests: usize,
+    repeat_ratio: f64,
+    mut rng: u64,
+    pool: &[Value],
+) -> std::io::Result<ClientStats> {
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut stats = ClientStats {
+        latencies_ns: Vec::with_capacity(requests),
+        ok: 0,
+        cached: 0,
+        coalesced: 0,
+        shed: 0,
+        errors: 0,
+    };
+    for i in 0..requests {
+        let hot = (splitmix64(&mut rng) % 10_000) as f64 / 10_000.0 < repeat_ratio;
+        let body = if hot {
+            pool[(splitmix64(&mut rng) % pool.len() as u64) as usize].clone()
+        } else {
+            cold_request(&mut rng)
+        };
+        let frame = RequestFrame::new(i as u64, "recommend", body);
+        let mut text = serde_json::to_string(&frame).expect("frame serializes");
+        text.push('\n');
+        let start = Instant::now();
+        writer.write_all(text.as_bytes())?;
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        stats
+            .latencies_ns
+            .push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        let response: ResponseFrame = serde_json::from_str(&line)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{e:?}")))?;
+        match response.status {
+            Status::Ok => {
+                stats.ok += 1;
+                if response.cached {
+                    stats.cached += 1;
+                }
+                if response.coalesced {
+                    stats.coalesced += 1;
+                }
+            }
+            Status::Shed => stats.shed += 1,
+            Status::Error => stats.errors += 1,
+        }
+    }
+    Ok(stats)
+}
+
+/// In-process floor of a cold evaluation: rebuild the catalog and broker,
+/// evaluate, drop — what each request costs with no daemon and no cache,
+/// excluding process startup.
+fn cold_inprocess_rps(reps: u32) -> f64 {
+    let request = request_for(98.0, 100.0);
+    let start = Instant::now();
+    for _ in 0..reps {
+        let store = case_study::catalog();
+        let broker = BrokerService::new(store);
+        let plan = broker.recommend(&request).expect("catalog answers");
+        std::hint::black_box(&plan);
+    }
+    f64::from(reps) / start.elapsed().as_secs_f64()
+}
+
+/// What the daemon actually replaces: a one-shot `brokerctl recommend`
+/// process per request (spawn + catalog build + evaluate + print). Looks
+/// for the binary next to our own executable (both live in
+/// `target/release`), or under `$BROKERCTL`. Returns requests/sec, or
+/// `None` when the binary is not around.
+fn cold_cli_rps(reps: u32) -> Option<f64> {
+    let path = std::env::var("BROKERCTL")
+        .map(std::path::PathBuf::from)
+        .or_else(|_| std::env::current_exe().map(|exe| exe.with_file_name("brokerctl")));
+    let path = path.ok().filter(|p| p.exists())?;
+    // Warm the page cache so the first spawn doesn't skew the mean.
+    let probe = std::process::Command::new(&path)
+        .args(["recommend", "--json"])
+        .output()
+        .ok()?;
+    if !probe.status.success() {
+        return None;
+    }
+    let start = Instant::now();
+    for _ in 0..reps {
+        let output = std::process::Command::new(&path)
+            .args(["recommend", "--json"])
+            .output()
+            .expect("brokerctl spawns");
+        assert!(output.status.success(), "one-shot recommend failed");
+    }
+    Some(f64::from(reps) / start.elapsed().as_secs_f64())
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[rank.min(sorted_ns.len() - 1)]
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("loadgen: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Either target a running daemon or spawn one in-process.
+    let mut local = None;
+    let addr = match &config.addr {
+        Some(addr) => addr.clone(),
+        None => {
+            let store = case_study::catalog();
+            let broker = Arc::new(BrokerService::new(store));
+            let backend = Arc::new(ServingBroker::new(broker));
+            let handle = Server::start(
+                backend,
+                ServerConfig {
+                    addr: "127.0.0.1:0".to_owned(),
+                    ..ServerConfig::default()
+                },
+                Arc::new(MetricsRegistry::new()),
+            )
+            .expect("in-process daemon binds");
+            let addr = handle.local_addr().to_string();
+            local = Some(handle);
+            addr
+        }
+    };
+
+    let pool = hot_pool();
+    let started = Instant::now();
+    let workers: Vec<_> = (0..config.clients)
+        .map(|c| {
+            let addr = addr.clone();
+            let pool = pool.clone();
+            let requests = config.requests;
+            let ratio = config.repeat_ratio;
+            let seed = config
+                .seed
+                .wrapping_add(0x517c_c1b7_2722_0a95_u64.wrapping_mul(c as u64 + 1));
+            std::thread::spawn(move || run_client(&addr, requests, ratio, seed, &pool))
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let mut ok = 0u64;
+    let mut cached = 0u64;
+    let mut coalesced = 0u64;
+    let mut shed = 0u64;
+    let mut errors = 0u64;
+    for worker in workers {
+        match worker.join().expect("client thread") {
+            Ok(stats) => {
+                latencies.extend(stats.latencies_ns);
+                ok += stats.ok;
+                cached += stats.cached;
+                coalesced += stats.coalesced;
+                shed += stats.shed;
+                errors += stats.errors;
+            }
+            Err(error) => {
+                eprintln!("loadgen: client failed: {error}");
+                errors += config.requests as u64;
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    if config.shutdown || local.is_some() {
+        if let Ok(stream) = TcpStream::connect(&addr) {
+            let mut writer = stream.try_clone().expect("clone stream");
+            let mut reader = BufReader::new(stream);
+            let mut text = serde_json::to_string(&RequestFrame::new(0, "shutdown", Value::Null))
+                .expect("frame serializes");
+            text.push('\n');
+            let _ = writer.write_all(text.as_bytes());
+            let mut line = String::new();
+            let _ = reader.read_line(&mut line);
+        }
+    }
+    if let Some(handle) = local.take() {
+        handle.join();
+    }
+
+    latencies.sort_unstable();
+    let total = latencies.len() as u64;
+    let throughput_rps = if elapsed > 0.0 {
+        total as f64 / elapsed
+    } else {
+        f64::INFINITY
+    };
+    let inprocess_rps = cold_inprocess_rps(20);
+    let cli_rps = cold_cli_rps(25);
+    // The daemon replaces a one-shot CLI process per request; that is the
+    // cold baseline when the binary is around, the in-process rebuild
+    // otherwise.
+    let (cold_rps, cold_mode) = match cli_rps {
+        Some(rps) => (rps, "one-shot-cli"),
+        None => (inprocess_rps, "in-process-rebuild"),
+    };
+    let speedup = throughput_rps / cold_rps;
+    let hit_rate = if ok > 0 {
+        cached as f64 / ok as f64
+    } else {
+        0.0
+    };
+    let meets_10x = speedup >= 10.0;
+
+    println!(
+        "{} requests in {elapsed:.2}s — {throughput_rps:.0} req/s \
+         (cold {cold_mode}: {cold_rps:.0} req/s, {speedup:.1}x)",
+        total
+    );
+    println!(
+        "cache: {cached}/{ok} hits ({:.1}%), {coalesced} coalesced; {shed} shed, {errors} errors",
+        hit_rate * 100.0
+    );
+
+    let report = serde_json::json!({
+        "benchmark": "BENCH_PR4",
+        "description": "uptime-serve daemon throughput vs cold per-request evaluation",
+        "config": {
+            "addr": addr,
+            "clients": config.clients as u64,
+            "requests_per_client": config.requests as u64,
+            "repeat_ratio": config.repeat_ratio,
+            "seed": config.seed,
+        },
+        "totals": {
+            "requests": total,
+            "ok": ok,
+            "cached": cached,
+            "coalesced": coalesced,
+            "shed": shed,
+            "errors": errors,
+        },
+        "latency_ns": {
+            "p50": percentile(&latencies, 0.50),
+            "p95": percentile(&latencies, 0.95),
+            "p99": percentile(&latencies, 0.99),
+            "max": latencies.last().copied().unwrap_or(0),
+        },
+        "throughput_rps": throughput_rps,
+        "cold_eval_rps": cold_rps,
+        "cold_eval_mode": cold_mode,
+        "cold_inprocess_rps": inprocess_rps,
+        "speedup_vs_cold": speedup,
+        "cache_hit_rate": hit_rate,
+        "meets_10x_target": meets_10x,
+    });
+    let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&config.out, rendered).expect("write benchmark report");
+    println!("wrote {}", config.out);
+
+    if !meets_10x {
+        eprintln!("warning: {speedup:.1}x below the 10x serving target");
+    }
+    let failed_hit_rate = hit_rate < config.min_hit_rate;
+    if failed_hit_rate {
+        eprintln!(
+            "loadgen: cache hit rate {:.1}% below required {:.1}%",
+            hit_rate * 100.0,
+            config.min_hit_rate * 100.0
+        );
+    }
+    let failed_errors = config.fail_on_error && (errors > 0 || shed > 0);
+    if failed_errors {
+        eprintln!("loadgen: {errors} errors / {shed} sheds with --fail-on-error");
+    }
+    if failed_hit_rate || failed_errors {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

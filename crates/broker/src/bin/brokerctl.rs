@@ -18,9 +18,13 @@
 //! brokerctl metacloud
 //!     Cross-provider (metacloud) recommendation over the hybrid catalog.
 //!
-//! brokerctl serve [--hybrid]
-//!     Run as a service: read one SolutionRequest JSON per stdin line,
-//!     write one JSON response per line ({"ok": ...} or {"error": ...}).
+//! brokerctl serve [--hybrid] [--addr HOST:PORT] [--workers N] [--queue N] [--chaos SEED] [--stdin]
+//!     Run the long-lived serving daemon: newline-delimited JSON frames
+//!     over TCP, answered through a telemetry-epoch-keyed response cache,
+//!     single-flight coalescing, and a backpressured worker pool that
+//!     sheds (429) when the admission queue is full. With --stdin, the
+//!     legacy loop: one SolutionRequest JSON per stdin line, one JSON
+//!     response per line ({"ok": ...} or {"error": ...}).
 //!
 //! brokerctl health [--hybrid] [--json] [--chaos] [SEED]
 //!     Register a simulated provider per cloud, drive telemetry sync
@@ -41,12 +45,13 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use uptime_broker::{
-    report, settlement, BrokerService, ChaosConfig, ChaosProvider, GroundTruth, SimulatedProvider,
-    SolutionRequest,
+    report, settlement, BrokerService, ChaosConfig, ChaosProvider, GroundTruth, ServingBroker,
+    SimulatedProvider, SolutionRequest,
 };
 use uptime_catalog::{case_study, extended, CatalogStore, ComponentKind};
 use uptime_core::{PenaltyClause, RoundingPolicy, SystemSpec};
 use uptime_optimizer::{sweep, SearchSpace};
+use uptime_serve::{Server, ServerConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -86,7 +91,7 @@ fn main() -> ExitCode {
         Some("sweep") => sweep_command(hybrid, &positional),
         Some("settle") => settle_command(&positional),
         Some("metacloud") => metacloud_command(),
-        Some("serve") => serve_command(hybrid),
+        Some("serve") => serve_command(&args),
         Some("obs") => obs_command(
             hybrid,
             flags.contains(&"--prom"),
@@ -130,8 +135,14 @@ Commands:
       optimum and compare realized payouts with Eq. 5.
   metacloud
       Cross-provider (metacloud) recommendation over the hybrid catalog.
-  serve [--hybrid]
-      One SolutionRequest JSON per stdin line, one JSON response per line.
+  serve [--hybrid] [--addr HOST:PORT] [--workers N] [--queue N] [--chaos SEED] [--stdin]
+      Long-lived serving daemon (default 127.0.0.1:7411): one JSON frame
+      per line over TCP with fields id, endpoint and body; endpoints are
+      recommend, metacloud, health, sync, ping, stats and shutdown.
+      Responses are cached per telemetry epoch, identical concurrent
+      requests are coalesced, and overload sheds with code 429. With
+      --stdin: one SolutionRequest JSON per stdin line, one JSON
+      response per line.
   health [--hybrid] [--json] [--chaos] [SEED]
       Drive telemetry sync rounds against simulated providers and report
       control-plane health plus the incident log. JSON output carries a
@@ -268,11 +279,74 @@ fn sweep_command(hybrid: bool, positional: &[&str]) -> Result<(), Box<dyn std::e
     Ok(())
 }
 
-/// The service loop: one JSON request per line in, one JSON response per
-/// line out. A malformed or failing request produces an `{"error": ...}`
-/// line and the loop continues — one bad client call must not take the
-/// broker down.
-fn serve_command(hybrid: bool) -> Result<(), Box<dyn std::error::Error>> {
+/// `brokerctl serve`: the long-lived daemon (default), or with `--stdin`
+/// the legacy one-request-per-line stdin loop.
+///
+/// Daemon mode builds the catalog once, registers simulated providers
+/// (chaotic when `--chaos SEED` is given), and serves newline-delimited
+/// JSON frames over TCP through `uptime-serve`'s cache, single-flight
+/// coalescing, and backpressured worker pool. Shut it down with a
+/// `{"endpoint":"shutdown"}` frame; in-flight requests drain first.
+fn serve_command(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut hybrid = false;
+    let mut stdin_mode = false;
+    let mut chaos: Option<u64> = None;
+    let mut config = ServerConfig::default();
+    let mut iter = args.iter().map(String::as_str).skip(1);
+    while let Some(arg) = iter.next() {
+        match arg {
+            "--hybrid" => hybrid = true,
+            "--stdin" => stdin_mode = true,
+            "--addr" => {
+                config.addr = iter.next().ok_or("--addr needs HOST:PORT")?.to_owned();
+            }
+            "--workers" => {
+                config.workers = iter.next().ok_or("--workers needs a count")?.parse()?;
+            }
+            "--queue" => {
+                config.queue_depth = iter.next().ok_or("--queue needs a depth")?.parse()?;
+            }
+            "--chaos" => {
+                chaos = Some(iter.next().ok_or("--chaos needs a seed")?.parse()?);
+            }
+            other => return Err(format!("serve: unknown argument `{other}`").into()),
+        }
+    }
+    if stdin_mode {
+        return serve_stdin(hybrid);
+    }
+
+    let store = catalog(hybrid);
+    let registry = Arc::new(uptime_obs::MetricsRegistry::new());
+    let broker =
+        Arc::new(BrokerService::new(store.clone()).with_recorder(Arc::clone(&registry) as _));
+    let targets =
+        register_simulated_providers(&broker, &store, chaos.is_some(), chaos.unwrap_or(7));
+    let backend = Arc::new(ServingBroker::new(broker).with_sync_targets(targets));
+    let workers = config.workers;
+    let queue = config.queue_depth;
+    let handle = Server::start(backend, config, registry)?;
+    println!(
+        "uptime-serve listening on {} ({} worker(s), queue {}, {})",
+        handle.local_addr(),
+        workers,
+        queue,
+        if chaos.is_some() {
+            "chaotic providers"
+        } else {
+            "clean providers"
+        }
+    );
+    handle.join();
+    println!("uptime-serve drained and stopped");
+    Ok(())
+}
+
+/// The legacy service loop: one JSON request per line in, one JSON
+/// response per line out. A malformed or failing request produces an
+/// `{"error": ...}` line and the loop continues — one bad client call
+/// must not take the broker down.
+fn serve_stdin(hybrid: bool) -> Result<(), Box<dyn std::error::Error>> {
     use std::io::{BufRead, Write};
     let broker = BrokerService::new(catalog(hybrid));
     let stdin = std::io::stdin();
@@ -329,9 +403,9 @@ fn metacloud_command() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-/// Version of `health --json`'s payload shape. Bump when the top-level
-/// layout of the payload changes.
-const HEALTH_SCHEMA_VERSION: u32 = 1;
+/// Version of `health --json`'s payload shape (shared with the daemon's
+/// `health` endpoint via [`uptime_broker::HEALTH_SCHEMA_VERSION`]).
+const HEALTH_SCHEMA_VERSION: u32 = uptime_broker::HEALTH_SCHEMA_VERSION;
 
 /// How many telemetry sync rounds `health` and `obs` drive.
 const SYNC_ROUNDS: u64 = 6;

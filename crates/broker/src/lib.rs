@@ -20,6 +20,9 @@
 //!   guarding every provider call, over a deterministic virtual clock.
 //! * [`chaos`] — [`ChaosProvider`], a seeded fault-injecting decorator
 //!   for exercising the control plane under provider misbehavior.
+//! * [`serving`] — [`ServingBroker`], the backend that plugs the service
+//!   into the `uptime-serve` daemon (epoch-keyed caching, coalescing,
+//!   admission control; `brokerctl serve` is the CLI entry point).
 //! * [`report`] — renders the paper's Figs. 4–10 as text tables and JSON.
 //! * [`planner`] — turns a recommendation into provisioning steps.
 //! * [`audit`] — Monte-Carlo validation that a recommended architecture
@@ -60,6 +63,7 @@ pub mod report;
 pub mod request;
 pub mod resilience;
 pub mod service;
+pub mod serving;
 pub mod settlement;
 pub mod telemetry;
 pub mod whatif;
@@ -76,6 +80,7 @@ pub use recommendation::{CloudRecommendation, DegradedMode, RankedOption, Recomm
 pub use request::{SolutionRequest, SolutionRequestBuilder};
 pub use resilience::{BreakerState, CircuitBreaker, RetryOutcome, RetryPolicy};
 pub use service::{BrokerHealth, BrokerService, Incident, IncidentCategory, ProviderHealth};
+pub use serving::{canonical_fingerprint, ServingBroker, HEALTH_SCHEMA_VERSION};
 pub use settlement::{settle, MonthlyStatement, SettlementReport};
 pub use telemetry::{validate_batch, EstimatedParameters, QuarantinePolicy, TelemetryEstimator};
 pub use whatif::UptimeBounds;

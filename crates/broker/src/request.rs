@@ -1,6 +1,6 @@
 //! Solution requests: what a customer hands the broker (paper §II.C).
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use uptime_catalog::{CloudId, ComponentKind, HaMethodId};
 use uptime_core::{PenaltyClause, RoundingPolicy, SlaTarget, TcoModel};
 
@@ -14,7 +14,7 @@ use crate::error::BrokerError;
 ///
 /// optionally with the customer's current ("as-is") HA choices so the
 /// recommendation can quote savings (the paper's Fig. 10 comparison).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SolutionRequest {
     tiers: Vec<ComponentKind>,
     sla: SlaTarget,
@@ -22,6 +22,43 @@ pub struct SolutionRequest {
     rounding: RoundingPolicy,
     clouds: Vec<CloudId>,
     as_is: Option<Vec<HaMethodId>>,
+}
+
+// Hand-written so wire clients may omit the optional intake fields:
+// `rounding` defaults to the paper-matching ceiling, `clouds` to "all
+// known", `as_is` to none. A request spelled with or without those keys
+// deserializes to the same value — which is what lets the serving layer's
+// canonical fingerprint treat them as the same cache entry.
+impl Deserialize for SolutionRequest {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let object = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("a solution-request object", value))?;
+        let field = |name: &str| object.get(name).unwrap_or(&Value::Null);
+        let tiers =
+            Vec::<ComponentKind>::from_value(field("tiers")).map_err(|e| e.in_field("tiers"))?;
+        let sla = SlaTarget::from_value(field("sla")).map_err(|e| e.in_field("sla"))?;
+        let penalty =
+            PenaltyClause::from_value(field("penalty")).map_err(|e| e.in_field("penalty"))?;
+        let rounding = match field("rounding") {
+            Value::Null => RoundingPolicy::default(),
+            other => RoundingPolicy::from_value(other).map_err(|e| e.in_field("rounding"))?,
+        };
+        let clouds = match field("clouds") {
+            Value::Null => Vec::new(),
+            other => Vec::<CloudId>::from_value(other).map_err(|e| e.in_field("clouds"))?,
+        };
+        let as_is = Option::<Vec<HaMethodId>>::from_value(field("as_is"))
+            .map_err(|e| e.in_field("as_is"))?;
+        Ok(SolutionRequest {
+            tiers,
+            sla,
+            penalty,
+            rounding,
+            clouds,
+            as_is,
+        })
+    }
 }
 
 impl SolutionRequest {
@@ -47,6 +84,12 @@ impl SolutionRequest {
     #[must_use]
     pub fn penalty(&self) -> &PenaltyClause {
         &self.penalty
+    }
+
+    /// The slippage-hour rounding policy.
+    #[must_use]
+    pub fn rounding(&self) -> RoundingPolicy {
+        self.rounding
     }
 
     /// Clouds to consider; empty means "all known".
@@ -263,5 +306,28 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: SolutionRequest = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn omitted_optional_fields_default() {
+        let full = base().build().unwrap();
+        let Value::Object(mut map) = serde_json::to_value(&full) else {
+            panic!("requests serialize as objects");
+        };
+        map.remove("rounding");
+        map.remove("clouds");
+        map.remove("as_is");
+        let back = SolutionRequest::from_value(&Value::Object(map)).unwrap();
+        assert_eq!(back, full, "omitted fields take their defaults");
+    }
+
+    #[test]
+    fn missing_required_field_rejected() {
+        let full = base().build().unwrap();
+        let Value::Object(mut map) = serde_json::to_value(&full) else {
+            panic!("requests serialize as objects");
+        };
+        map.remove("sla");
+        assert!(SolutionRequest::from_value(&Value::Object(map)).is_err());
     }
 }

@@ -121,6 +121,9 @@ pub struct BrokerService {
     quarantine: QuarantinePolicy,
     breaker_template: CircuitBreaker,
     recorder: Arc<dyn uptime_obs::Recorder>,
+    /// Bumped on every successful telemetry absorb; serving-layer caches
+    /// key their entries by this and so are invalidated by any absorb.
+    epoch: std::sync::atomic::AtomicU64,
 }
 
 impl fmt::Debug for BrokerService {
@@ -146,7 +149,17 @@ impl BrokerService {
             quarantine: QuarantinePolicy::default(),
             breaker_template: CircuitBreaker::default(),
             recorder: Arc::new(uptime_obs::NoopRecorder),
+            epoch: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// The telemetry epoch: how many telemetry batches this service has
+    /// absorbed into its knowledge base. Any recommendation computed at
+    /// epoch `e` is stale once the epoch moves past `e` — serving-layer
+    /// caches compare entry epochs against this value on every lookup.
+    #[must_use]
+    pub fn telemetry_epoch(&self) -> u64 {
+        self.epoch.load(std::sync::atomic::Ordering::Acquire)
     }
 
     /// Attaches a metrics recorder; every sync, ingest, and recommend call
@@ -395,6 +408,11 @@ impl BrokerService {
             }
             profile.absorb_reliability(kind, merged_record);
         }
+
+        // The knowledge base moved: everything computed before this absorb
+        // is now stale. Bump *after* the catalog write so a reader that
+        // observes the new epoch also observes the new records.
+        self.epoch.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
 
         // The batch made it into the catalog: clear the quarantine streak.
         if let Some(slot) = self.providers.write().get_mut(cloud) {

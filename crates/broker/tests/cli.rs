@@ -126,7 +126,7 @@ fn health_rejects_bad_seed() {
 #[test]
 fn serve_answers_requests_and_survives_garbage() {
     let mut child = brokerctl()
-        .arg("serve")
+        .args(["serve", "--stdin"])
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .spawn()

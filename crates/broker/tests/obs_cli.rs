@@ -169,6 +169,32 @@ fn health_json_carries_schema_version() {
 }
 
 #[test]
+fn health_json_validates_against_checked_in_schema() {
+    // The richer validator from `uptime_serve::schema` understands the
+    // `enum` and strict `additionalProperties: false` keywords this
+    // schema relies on.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../schemas/health.schema.json"
+    );
+    let health_schema: Value =
+        serde_json::from_str(&std::fs::read_to_string(path).expect("schema file readable"))
+            .expect("schema file is valid JSON");
+    for seed in ["2", "9"] {
+        let output = brokerctl(&["health", "--json", "--chaos", seed]);
+        let value: Value =
+            serde_json::from_str(&String::from_utf8(output.stdout).unwrap()).expect("health JSON");
+        uptime_serve::schema::assert_valid(&value, &health_schema);
+    }
+    // Clean run too: no chaos, exit code 0, still schema-conformant.
+    let output = brokerctl(&["health", "--json"]);
+    assert!(output.status.success());
+    let value: Value =
+        serde_json::from_str(&String::from_utf8(output.stdout).unwrap()).expect("health JSON");
+    uptime_serve::schema::assert_valid(&value, &health_schema);
+}
+
+#[test]
 fn help_documents_exit_codes() {
     let output = brokerctl(&["help"]);
     assert!(output.status.success());

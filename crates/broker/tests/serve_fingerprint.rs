@@ -1,0 +1,336 @@
+//! Properties of the serving layer's cache key and invalidation signal:
+//!
+//! * `canonical_fingerprint` hashes *parsed* requests, so semantically
+//!   equal JSON spellings (float formatting, omitted-vs-explicit default
+//!   fields) key identically, while every semantic field — including
+//!   tier order, which is load-bearing for the chain model — changes the
+//!   key;
+//! * the telemetry epoch moves exactly when the knowledge base absorbs a
+//!   batch (`P̂`/`f̂`/rate inputs change) and never on reads or rejected
+//!   batches, so epoch-equality is a sound cache-validity test.
+
+use proptest::prelude::*;
+use uptime_broker::{canonical_fingerprint, BrokerService, ProviderTelemetry, SolutionRequest};
+use uptime_catalog::{case_study, CloudId, ComponentKind, HaMethodId};
+use uptime_core::sla::PenaltyTier;
+use uptime_core::{PenaltyClause, RoundingPolicy};
+use uptime_sim::{SimDuration, SimTime, Trace, TraceEventKind};
+
+/// Name pool for generated cloud / as-is identifiers (the vendored
+/// proptest has no string strategies; indices into this pool stand in).
+const NAMES: [&str; 5] = ["alpha", "beta", "gamma", "delta", "epsilon"];
+
+const KINDS: [ComponentKind; 6] = [
+    ComponentKind::Compute,
+    ComponentKind::Storage,
+    ComponentKind::NetworkGateway,
+    ComponentKind::Database,
+    ComponentKind::LoadBalancer,
+    ComponentKind::Cache,
+];
+
+/// A structured recipe for a `SolutionRequest`, built so proptest can
+/// both construct the request and re-spell its JSON.
+#[derive(Debug, Clone)]
+struct Recipe {
+    tiers: Vec<usize>,
+    sla_percent: f64,
+    per_hour: bool,
+    rate: f64,
+    tier_rates: Vec<(f64, f64)>,
+    rounding: u8,
+    clouds: Vec<String>,
+    as_is: Option<Vec<String>>,
+}
+
+fn recipe() -> impl Strategy<Value = Recipe> {
+    (
+        prop::collection::vec(0usize..KINDS.len(), 1..5),
+        90.0f64..99.99,
+        any::<bool>(),
+        0.01f64..10_000.0,
+        prop::collection::vec((1.0f64..100.0, 0.01f64..1_000.0), 1..4),
+        0u8..3,
+        prop::collection::vec(0usize..NAMES.len(), 0..3),
+        (
+            any::<bool>(),
+            prop::collection::vec(0usize..NAMES.len(), 4..5),
+        ),
+    )
+        .prop_map(
+            |(tiers, sla_percent, per_hour, rate, raw_tiers, rounding, clouds, as_is)| {
+                let clouds = clouds.into_iter().map(|i| NAMES[i].to_owned()).collect();
+                // An as-is inventory must name exactly one method per tier.
+                let as_is = if as_is.0 {
+                    Some(
+                        as_is.1[..tiers.len()]
+                            .iter()
+                            .map(|&i| NAMES[i].to_owned())
+                            .collect(),
+                    )
+                } else {
+                    None
+                };
+                // Tiered clauses need strictly ascending cumulative bounds.
+                let mut cursor = 0.0;
+                let tier_rates = raw_tiers
+                    .into_iter()
+                    .map(|(span, rate)| {
+                        cursor += span;
+                        (cursor, rate)
+                    })
+                    .collect();
+                Recipe {
+                    tiers,
+                    sla_percent,
+                    per_hour,
+                    rate,
+                    tier_rates,
+                    rounding,
+                    clouds,
+                    as_is,
+                }
+            },
+        )
+}
+
+fn build(recipe: &Recipe) -> SolutionRequest {
+    let mut builder = SolutionRequest::builder()
+        .tiers(recipe.tiers.iter().map(|&i| KINDS[i]))
+        .sla_percent(recipe.sla_percent)
+        .expect("strategy keeps sla in range");
+    builder = if recipe.per_hour {
+        builder
+            .penalty_per_hour(recipe.rate)
+            .expect("strategy keeps rate positive")
+    } else {
+        builder.penalty(PenaltyClause::Tiered {
+            tiers: recipe
+                .tier_rates
+                .iter()
+                .map(|&(up_to_hours, rate)| PenaltyTier { up_to_hours, rate })
+                .collect(),
+        })
+    };
+    builder = builder.rounding(match recipe.rounding {
+        0 => RoundingPolicy::Exact,
+        1 => RoundingPolicy::NearestHour,
+        _ => RoundingPolicy::CeilHour,
+    });
+    for cloud in &recipe.clouds {
+        builder = builder.cloud(CloudId::new(cloud.clone()));
+    }
+    if let Some(methods) = &recipe.as_is {
+        builder = builder.as_is(methods.iter().map(|m| HaMethodId::new(m.clone())));
+    }
+    builder.build().expect("strategy builds valid requests")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The fingerprint is a pure function of the parsed request: a JSON
+    /// round-trip (which re-spells floats and re-orders nothing
+    /// semantic) keys identically.
+    #[test]
+    fn fingerprint_survives_json_round_trip(recipe in recipe()) {
+        let request = build(&recipe);
+        let reparsed: SolutionRequest =
+            serde_json::from_value(&serde_json::to_value(&request)).expect("round-trips");
+        prop_assert_eq!(&request, &reparsed);
+        prop_assert_eq!(
+            canonical_fingerprint("recommend", &request),
+            canonical_fingerprint("recommend", &reparsed)
+        );
+        // ... but the same request under a different endpoint keys apart.
+        prop_assert_ne!(
+            canonical_fingerprint("recommend", &request),
+            canonical_fingerprint("metacloud", &request)
+        );
+    }
+
+    /// Every semantic mutation moves the fingerprint: SLA, penalty rate,
+    /// rounding, cloud whitelist, and as-is inventory are all part of the
+    /// key; tier *order* is preserved (the chain model is order-aware).
+    #[test]
+    fn fingerprint_separates_semantic_mutations(recipe in recipe()) {
+        let base = build(&recipe);
+        let fp = canonical_fingerprint("recommend", &base);
+
+        let mut sla_moved = recipe.clone();
+        sla_moved.sla_percent = (sla_moved.sla_percent + 0.001).min(99.999);
+        prop_assert_ne!(fp, canonical_fingerprint("recommend", &build(&sla_moved)));
+
+        let mut rate_moved = recipe.clone();
+        rate_moved.rate += 0.5;
+        rate_moved.tier_rates[0].1 += 0.5;
+        prop_assert_ne!(fp, canonical_fingerprint("recommend", &build(&rate_moved)));
+
+        let mut rounding_moved = recipe.clone();
+        rounding_moved.rounding = (rounding_moved.rounding + 1) % 3;
+        prop_assert_ne!(fp, canonical_fingerprint("recommend", &build(&rounding_moved)));
+
+        let mut cloud_added = recipe.clone();
+        cloud_added.clouds.push("zzz-extra".into());
+        prop_assert_ne!(fp, canonical_fingerprint("recommend", &build(&cloud_added)));
+
+        let mut as_is_moved = recipe.clone();
+        as_is_moved.as_is = match as_is_moved.as_is {
+            None => Some(vec!["zzz-extra".to_owned(); recipe.tiers.len()]),
+            Some(mut methods) => {
+                methods[0] = format!("{}-moved", methods[0]);
+                Some(methods)
+            }
+        };
+        prop_assert_ne!(fp, canonical_fingerprint("recommend", &build(&as_is_moved)));
+
+        if recipe.tiers.len() >= 2 && recipe.tiers[0] != recipe.tiers[1] {
+            let mut swapped = recipe.clone();
+            swapped.tiers.swap(0, 1);
+            // Tier order is semantic and must be preserved in the key.
+            prop_assert_ne!(fp, canonical_fingerprint("recommend", &build(&swapped)));
+        }
+    }
+}
+
+/// JSON spellings the wire can legitimately produce for the *same*
+/// request: scientific notation floats, omitted defaultable fields, and
+/// explicitly-spelled defaults all parse to one fingerprint.
+#[test]
+fn json_spelling_variants_key_identically() {
+    let canonical: SolutionRequest = serde_json::from_str(
+        r#"{
+            "tiers": ["Compute", "Storage", "NetworkGateway"],
+            "sla": {"target": 0.98},
+            "penalty": {"PerHour": {"rate": 100.0}},
+            "rounding": "CeilHour",
+            "clouds": []
+        }"#,
+    )
+    .expect("canonical spelling parses");
+    let variants = [
+        // Scientific-notation floats.
+        r#"{
+            "tiers": ["Compute", "Storage", "NetworkGateway"],
+            "sla": {"target": 9.8e-1},
+            "penalty": {"PerHour": {"rate": 1e2}},
+            "rounding": "CeilHour",
+            "clouds": []
+        }"#,
+        // Defaultable fields omitted entirely.
+        r#"{
+            "tiers": ["Compute", "Storage", "NetworkGateway"],
+            "sla": {"target": 0.98},
+            "penalty": {"PerHour": {"rate": 100}}
+        }"#,
+    ];
+    let fp = canonical_fingerprint("recommend", &canonical);
+    for text in variants {
+        let variant: SolutionRequest = serde_json::from_str(text).expect("variant parses");
+        assert_eq!(variant, canonical, "spellings parse to the same request");
+        assert_eq!(fp, canonical_fingerprint("recommend", &variant));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry-epoch soundness
+// ---------------------------------------------------------------------------
+
+/// An honest single-node capture built from disjoint outage intervals —
+/// always passes validation and (for modest downtime) the plausibility
+/// gate.
+fn honest_batch(intervals: &[(u64, u64)], horizon_ms: u64) -> ProviderTelemetry {
+    let mut trace = Trace::new();
+    for &(start, len) in intervals {
+        trace.record(
+            SimTime::from_millis(start),
+            0,
+            TraceEventKind::NodeDown { node: 0 },
+        );
+        trace.record(
+            SimTime::from_millis(start + len),
+            0,
+            TraceEventKind::NodeUp { node: 0 },
+        );
+    }
+    ProviderTelemetry {
+        trace,
+        nodes_per_cluster: 1,
+        clusters: 1,
+        span: SimDuration::from_millis(horizon_ms),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The epoch moves by exactly one per absorbed batch — whatever the
+    /// batch contents — and not at all on reads, unknown clouds, or
+    /// structurally-rejected batches. Epoch-equality therefore certifies
+    /// that `P̂`/`f̂`/`t̂` inputs are unchanged.
+    #[test]
+    fn epoch_moves_exactly_on_absorbs(
+        plans in prop::collection::vec(
+            (prop::collection::vec((1u64..200_000, 1u64..5_000), 0..6), 0u8..2),
+            1..6,
+        ),
+    ) {
+        let store = case_study::catalog();
+        let broker = BrokerService::new(store.clone());
+        let clouds: Vec<CloudId> = store.cloud_ids().cloned().collect();
+        prop_assert!(!clouds.is_empty());
+        prop_assert_eq!(broker.telemetry_epoch(), 0);
+
+        let request = SolutionRequest::builder()
+            .tiers(ComponentKind::paper_tiers())
+            .sla_percent(98.0).unwrap()
+            .penalty_per_hour(100.0).unwrap()
+            .build().unwrap();
+
+        let mut expected = 0u64;
+        for (i, (intervals, cloud_pick)) in plans.iter().enumerate() {
+            let cloud = &clouds[*cloud_pick as usize % clouds.len()];
+            // Spread intervals so each batch is a year-scale observation:
+            // the implied P̂ stays tiny and plausible.
+            let horizon = 40_000_000 + (i as u64) * 1_000_000;
+            let batch = honest_batch(intervals, horizon);
+            if broker
+                .ingest_component_telemetry(cloud, ComponentKind::Compute, &batch)
+                .is_ok()
+            {
+                expected += 1;
+            }
+            prop_assert_eq!(broker.telemetry_epoch(), expected);
+
+            // Reads never move the epoch.
+            let _ = broker.recommend(&request);
+            prop_assert_eq!(broker.telemetry_epoch(), expected);
+        }
+
+        // A structurally-invalid batch (orphan NodeUp) is quarantined and
+        // must leave the epoch untouched.
+        let mut trace = Trace::new();
+        trace.record(SimTime::from_millis(5), 0, TraceEventKind::NodeUp { node: 0 });
+        let bad = ProviderTelemetry {
+            trace,
+            nodes_per_cluster: 1,
+            clusters: 1,
+            span: SimDuration::from_millis(1_000_000),
+        };
+        prop_assert!(broker
+            .ingest_component_telemetry(&clouds[0], ComponentKind::Compute, &bad)
+            .is_err());
+        prop_assert_eq!(broker.telemetry_epoch(), expected);
+
+        // An unknown cloud is rejected before the catalog write.
+        let good = honest_batch(&[], 40_000_000);
+        prop_assert!(broker
+            .ingest_component_telemetry(
+                &CloudId::new("no-such-cloud"),
+                ComponentKind::Compute,
+                &good,
+            )
+            .is_err());
+        prop_assert_eq!(broker.telemetry_epoch(), expected);
+    }
+}

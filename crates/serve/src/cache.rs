@@ -1,0 +1,159 @@
+//! The recommendation cache: fingerprint-keyed response bodies, each
+//! stamped with the telemetry epoch it was computed under.
+//!
+//! Invalidation is *epoch equality*: a lookup only hits when the entry's
+//! epoch equals the backend's current epoch. The broker bumps its epoch on
+//! every telemetry absorb, so a stale recommendation can never be served
+//! after the knowledge base moved — without the cache ever scanning or
+//! being told which entries a given absorb affected.
+//!
+//! Capacity is bounded with FIFO eviction (insertion order). The cache
+//! optimizes for the repeat-heavy broker workload where a small set of hot
+//! intakes dominates; the odd evicted cold entry just recomputes.
+//!
+//! Entries hold the body *pre-serialized* (`Arc<str>` of canonical JSON):
+//! a hit splices the rendered text straight into the response envelope
+//! instead of re-walking the value tree on every request.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Result of a cache probe.
+#[derive(Debug, Clone)]
+pub enum Lookup {
+    /// Fresh entry: the cached rendered body, computed under the current
+    /// epoch.
+    Hit(Arc<str>),
+    /// An entry existed but was computed under an older epoch; it has
+    /// been evicted.
+    Stale,
+    /// Nothing cached for this fingerprint.
+    Miss,
+}
+
+struct Entry {
+    epoch: u64,
+    body: Arc<str>,
+}
+
+/// A bounded, epoch-validated response cache.
+pub struct EpochCache {
+    inner: Mutex<CacheInner>,
+}
+
+struct CacheInner {
+    entries: HashMap<u128, Entry>,
+    order: VecDeque<u128>,
+    capacity: usize,
+}
+
+impl EpochCache {
+    /// A cache holding at most `capacity` entries (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        EpochCache {
+            inner: Mutex::new(CacheInner {
+                entries: HashMap::new(),
+                order: VecDeque::new(),
+                capacity: capacity.max(1),
+            }),
+        }
+    }
+
+    /// Probes the cache for `fingerprint` at the current `epoch`.
+    ///
+    /// A stale entry (older epoch) is removed and reported as
+    /// [`Lookup::Stale`] so the caller can count invalidations distinctly
+    /// from cold misses.
+    pub fn lookup(&self, fingerprint: u128, epoch: u64) -> Lookup {
+        let mut inner = self.inner.lock().expect("cache lock");
+        match inner.entries.get(&fingerprint) {
+            Some(entry) if entry.epoch == epoch => Lookup::Hit(Arc::clone(&entry.body)),
+            Some(_) => {
+                inner.entries.remove(&fingerprint);
+                inner.order.retain(|fp| *fp != fingerprint);
+                Lookup::Stale
+            }
+            None => Lookup::Miss,
+        }
+    }
+
+    /// Stores a rendered body computed under `epoch`, evicting the oldest
+    /// entry when at capacity. Replacing an existing fingerprint refreshes
+    /// its body in place (insertion order is kept).
+    pub fn insert(&self, fingerprint: u128, epoch: u64, body: Arc<str>) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        if inner
+            .entries
+            .insert(fingerprint, Entry { epoch, body })
+            .is_none()
+        {
+            inner.order.push_back(fingerprint);
+            while inner.order.len() > inner.capacity {
+                if let Some(oldest) = inner.order.pop_front() {
+                    inner.entries.remove(&oldest);
+                }
+            }
+        }
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").entries.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(n: i64) -> Arc<str> {
+        Arc::from(format!("{{\"n\":{n}}}"))
+    }
+
+    #[test]
+    fn hit_requires_matching_epoch() {
+        let cache = EpochCache::new(8);
+        cache.insert(1, 5, body(1));
+        assert!(matches!(cache.lookup(1, 5), Lookup::Hit(_)));
+        // Epoch moved: the same entry is stale exactly once, then gone.
+        assert!(matches!(cache.lookup(1, 6), Lookup::Stale));
+        assert!(matches!(cache.lookup(1, 6), Lookup::Miss));
+    }
+
+    #[test]
+    fn unknown_fingerprint_misses() {
+        let cache = EpochCache::new(8);
+        assert!(matches!(cache.lookup(99, 0), Lookup::Miss));
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_size() {
+        let cache = EpochCache::new(2);
+        cache.insert(1, 0, body(1));
+        cache.insert(2, 0, body(2));
+        cache.insert(3, 0, body(3));
+        assert_eq!(cache.len(), 2);
+        assert!(matches!(cache.lookup(1, 0), Lookup::Miss), "oldest evicted");
+        assert!(matches!(cache.lookup(3, 0), Lookup::Hit(_)));
+    }
+
+    #[test]
+    fn reinsert_refreshes_body() {
+        let cache = EpochCache::new(2);
+        cache.insert(1, 0, body(1));
+        cache.insert(1, 1, body(2));
+        assert_eq!(cache.len(), 1);
+        match cache.lookup(1, 1) {
+            Lookup::Hit(b) => assert_eq!(*b, *body(2)),
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+}

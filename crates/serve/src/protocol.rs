@@ -1,0 +1,321 @@
+//! The wire protocol: newline-delimited JSON frames over TCP.
+//!
+//! One request frame per line in, one response frame per line out.
+//! Responses carry the request's `id`, so a client may pipeline requests
+//! and match answers out of order. The frame shapes are contractual and
+//! checked in under `schemas/serve_request.schema.json` and
+//! `schemas/serve_response.schema.json`.
+//!
+//! Serde impls are hand-written (not derived) so omitted fields default
+//! exactly as documented: `v` → the current protocol version, `id` → 0,
+//! `body` → `null`. The response serializer omits `body`/`error` when
+//! absent, keeping cached-hit frames as small as possible.
+
+use serde::{DeError, Deserialize, Map, Serialize, Value};
+
+/// Version of the frame layout. Bump when a field changes meaning.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// HTTP-flavored status codes used by [`ResponseFrame::code`].
+pub mod code {
+    /// Request served.
+    pub const OK: u16 = 200;
+    /// Malformed frame or request body.
+    pub const BAD_REQUEST: u16 = 400;
+    /// Unknown endpoint.
+    pub const NOT_FOUND: u16 = 404;
+    /// Admission control shed the request (queue full).
+    pub const SHED: u16 = 429;
+    /// The backend failed.
+    pub const INTERNAL: u16 = 500;
+    /// The daemon is draining and no longer admits work.
+    pub const DRAINING: u16 = 503;
+}
+
+/// One client request: which endpoint to hit and with what body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestFrame {
+    /// Protocol version (defaults to [`PROTOCOL_VERSION`] when omitted).
+    pub v: u32,
+    /// Client-chosen correlation id, echoed back verbatim (default 0).
+    pub id: u64,
+    /// The endpoint name, e.g. `recommend`, `metacloud`, `health`,
+    /// `sync`, `ping`, `stats`, `shutdown`.
+    pub endpoint: String,
+    /// Endpoint-specific request body (default `null`).
+    pub body: Value,
+}
+
+impl RequestFrame {
+    /// A frame for `endpoint` carrying `body`, with correlation id `id`.
+    #[must_use]
+    pub fn new(id: u64, endpoint: impl Into<String>, body: Value) -> Self {
+        RequestFrame {
+            v: PROTOCOL_VERSION,
+            id,
+            endpoint: endpoint.into(),
+            body,
+        }
+    }
+}
+
+impl Serialize for RequestFrame {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("v".into(), self.v.to_value());
+        map.insert("id".into(), self.id.to_value());
+        map.insert("endpoint".into(), self.endpoint.to_value());
+        if !self.body.is_null() {
+            map.insert("body".into(), self.body.clone());
+        }
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for RequestFrame {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let map = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("an object for RequestFrame", value))?;
+        let v = match map.get("v") {
+            Some(v) if !v.is_null() => u32::from_value(v).map_err(|e| e.in_field("v"))?,
+            _ => PROTOCOL_VERSION,
+        };
+        let id = match map.get("id") {
+            Some(v) if !v.is_null() => u64::from_value(v).map_err(|e| e.in_field("id"))?,
+            _ => 0,
+        };
+        let endpoint = match map.get("endpoint") {
+            Some(v) => String::from_value(v).map_err(|e| e.in_field("endpoint"))?,
+            None => return Err(DeError::missing_field("endpoint")),
+        };
+        let body = map.get("body").cloned().unwrap_or(Value::Null);
+        Ok(RequestFrame {
+            v,
+            id,
+            endpoint,
+            body,
+        })
+    }
+}
+
+/// How a request ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Served successfully.
+    Ok,
+    /// Rejected or failed; see `error` and `code`.
+    Error,
+    /// Shed by admission control before reaching a worker.
+    Shed,
+}
+
+impl Status {
+    /// The lowercase wire form.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Error => "error",
+            Status::Shed => "shed",
+        }
+    }
+}
+
+impl Serialize for Status {
+    fn to_value(&self) -> Value {
+        Value::String(self.as_str().to_owned())
+    }
+}
+
+impl Deserialize for Status {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value.as_str() {
+            Some("ok") => Ok(Status::Ok),
+            Some("error") => Ok(Status::Error),
+            Some("shed") => Ok(Status::Shed),
+            Some(other) => Err(DeError::unknown_variant(other, "Status")),
+            None => Err(DeError::expected("a status string", value)),
+        }
+    }
+}
+
+/// One daemon response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseFrame {
+    /// Protocol version.
+    pub v: u32,
+    /// The request's correlation id.
+    pub id: u64,
+    /// Outcome class.
+    pub status: Status,
+    /// HTTP-flavored status code (see [`code`]).
+    pub code: u16,
+    /// Whether the body came straight from the recommendation cache.
+    pub cached: bool,
+    /// Whether this request was coalesced onto another identical
+    /// in-flight request (single-flight follower).
+    pub coalesced: bool,
+    /// The telemetry epoch the answer was computed under.
+    pub epoch: u64,
+    /// Endpoint-specific response body (omitted on errors/sheds).
+    pub body: Option<Value>,
+    /// Human-readable error detail (omitted on success).
+    pub error: Option<String>,
+}
+
+impl ResponseFrame {
+    /// A successful response carrying `body`.
+    #[must_use]
+    pub fn ok(id: u64, epoch: u64, body: Value) -> Self {
+        ResponseFrame {
+            v: PROTOCOL_VERSION,
+            id,
+            status: Status::Ok,
+            code: code::OK,
+            cached: false,
+            coalesced: false,
+            epoch,
+            body: Some(body),
+            error: None,
+        }
+    }
+
+    /// An error response with the given code and detail.
+    #[must_use]
+    pub fn error(id: u64, epoch: u64, error_code: u16, detail: impl Into<String>) -> Self {
+        ResponseFrame {
+            v: PROTOCOL_VERSION,
+            id,
+            status: Status::Error,
+            code: error_code,
+            cached: false,
+            coalesced: false,
+            epoch,
+            body: None,
+            error: Some(detail.into()),
+        }
+    }
+
+    /// A shed response: admission control refused the request.
+    #[must_use]
+    pub fn shed(id: u64, epoch: u64, detail: impl Into<String>) -> Self {
+        ResponseFrame {
+            v: PROTOCOL_VERSION,
+            id,
+            status: Status::Shed,
+            code: code::SHED,
+            cached: false,
+            coalesced: false,
+            epoch,
+            body: None,
+            error: Some(detail.into()),
+        }
+    }
+
+    /// Marks the response as served from cache.
+    #[must_use]
+    pub fn with_cached(mut self, cached: bool) -> Self {
+        self.cached = cached;
+        self
+    }
+
+    /// Marks the response as coalesced onto another in-flight request.
+    #[must_use]
+    pub fn with_coalesced(mut self, coalesced: bool) -> Self {
+        self.coalesced = coalesced;
+        self
+    }
+}
+
+impl Serialize for ResponseFrame {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("v".into(), self.v.to_value());
+        map.insert("id".into(), self.id.to_value());
+        map.insert("status".into(), self.status.to_value());
+        map.insert("code".into(), self.code.to_value());
+        map.insert("cached".into(), self.cached.to_value());
+        map.insert("coalesced".into(), self.coalesced.to_value());
+        map.insert("epoch".into(), self.epoch.to_value());
+        if let Some(body) = &self.body {
+            map.insert("body".into(), body.clone());
+        }
+        if let Some(error) = &self.error {
+            map.insert("error".into(), error.to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for ResponseFrame {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let map = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("an object for ResponseFrame", value))?;
+        let required =
+            |name: &'static str| map.get(name).ok_or_else(|| DeError::missing_field(name));
+        Ok(ResponseFrame {
+            v: u32::from_value(required("v")?).map_err(|e| e.in_field("v"))?,
+            id: u64::from_value(required("id")?).map_err(|e| e.in_field("id"))?,
+            status: Status::from_value(required("status")?).map_err(|e| e.in_field("status"))?,
+            code: u16::from_value(required("code")?).map_err(|e| e.in_field("code"))?,
+            cached: bool::from_value(required("cached")?).map_err(|e| e.in_field("cached"))?,
+            coalesced: bool::from_value(required("coalesced")?)
+                .map_err(|e| e.in_field("coalesced"))?,
+            epoch: u64::from_value(required("epoch")?).map_err(|e| e.in_field("epoch"))?,
+            body: map.get("body").cloned(),
+            error: match map.get("error") {
+                Some(v) if !v.is_null() => {
+                    Some(String::from_value(v).map_err(|e| e.in_field("error"))?)
+                }
+                _ => None,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_defaults_fill_in() {
+        let frame: RequestFrame =
+            serde_json::from_str(r#"{"endpoint":"ping"}"#).expect("minimal frame parses");
+        assert_eq!(frame.v, PROTOCOL_VERSION);
+        assert_eq!(frame.id, 0);
+        assert_eq!(frame.endpoint, "ping");
+        assert!(frame.body.is_null());
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        let frame = RequestFrame::new(42, "recommend", serde_json::json!({"sla": 98.0}));
+        let text = serde_json::to_string(&frame).unwrap();
+        let back: RequestFrame = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn missing_endpoint_rejected() {
+        let err = serde_json::from_str::<RequestFrame>(r#"{"id":1}"#).unwrap_err();
+        assert!(err.to_string().contains("endpoint"), "{err}");
+    }
+
+    #[test]
+    fn response_roundtrips_and_omits_absent_fields() {
+        let ok = ResponseFrame::ok(7, 3, serde_json::json!({"x": 1})).with_cached(true);
+        let text = serde_json::to_string(&ok).unwrap();
+        assert!(!text.contains("error"), "{text}");
+        let back: ResponseFrame = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, ok);
+
+        let shed = ResponseFrame::shed(8, 3, "queue full");
+        let text = serde_json::to_string(&shed).unwrap();
+        assert!(!text.contains("body"), "{text}");
+        let back: ResponseFrame = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, shed);
+        assert_eq!(back.code, code::SHED);
+    }
+}

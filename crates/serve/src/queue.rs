@@ -1,0 +1,162 @@
+//! The bounded admission queue between connection readers and the worker
+//! pool.
+//!
+//! `try_push` never blocks: when the queue is full the request is *shed*
+//! at the door with an explicit `429`-style response instead of silently
+//! building unbounded latency — the load-shedding discipline of
+//! replicated-frontend serving stacks. `pop` blocks until work arrives or
+//! the queue is closed and drained, which is what makes shutdown a drain
+//! rather than an abort.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; shed the request.
+    Full(T),
+    /// The queue is closed (daemon draining); refuse the request.
+    Closed(T),
+}
+
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+}
+
+/// A blocking bounded MPMC queue.
+pub struct BoundedQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` pending items (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                capacity: capacity.max(1),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Enqueues without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] when at capacity, [`PushError::Closed`] after
+    /// [`BoundedQueue::close`]; both hand the item back.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= inner.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues, blocking while the queue is open and empty. Returns
+    /// `None` once the queue is closed *and* fully drained — workers use
+    /// that as their exit signal, after every queued request has been
+    /// answered.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue wait");
+        }
+    }
+
+    /// Closes the queue: pushes fail fast, pops drain what remains then
+    /// return `None`.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Number of pending items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether nothing is pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_sheds() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        // Draining one slot readmits.
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed(3)));
+        assert_eq!(q.pop(), Some(1), "queued work survives close");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None, "then the queue reports end-of-work");
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push_and_close() {
+        let q = Arc::new(BoundedQueue::new(2));
+        let q2 = Arc::clone(&q);
+        let consumer = thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(item) = q2.pop() {
+                got.push(item);
+            }
+            got
+        });
+        q.try_push(10).unwrap();
+        q.try_push(20).unwrap();
+        // Give the consumer a chance to block again, then close.
+        thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), vec![10, 20]);
+    }
+}

@@ -1,0 +1,170 @@
+//! A subset JSON Schema validator for the checked-in wire contracts.
+//!
+//! Supports the keywords the `schemas/*.schema.json` files use — `type`,
+//! `required`, `properties`, `additionalProperties` (schema or `false`),
+//! `items`, `const`, and `enum` — so protocol frames can be validated
+//! against the published schema without a schema crate.
+
+use serde::Value;
+
+/// Validates `value` against the schema subset, appending one message per
+/// violation to `errors`. `path` seeds the violation locations (use `"$"`).
+pub fn validate(value: &Value, schema: &Value, path: &str, errors: &mut Vec<String>) {
+    if let Some(allow) = schema.as_bool() {
+        // Boolean schemas: `true` admits anything, `false` nothing.
+        if !allow {
+            errors.push(format!("{path}: schema forbids this property"));
+        }
+        return;
+    }
+    let Some(schema) = schema.as_object() else {
+        return;
+    };
+    if let Some(ty) = schema.get("type") {
+        let allowed: Vec<&str> = match ty {
+            Value::String(s) => vec![s.as_str()],
+            Value::Array(options) => options.iter().filter_map(Value::as_str).collect(),
+            _ => Vec::new(),
+        };
+        let actual = type_name(value);
+        // JSON Schema: every integer is also a number.
+        let matches = allowed
+            .iter()
+            .any(|t| *t == actual || (*t == "number" && actual == "integer"));
+        if !matches {
+            errors.push(format!("{path}: expected type {allowed:?}, got {actual}"));
+            return;
+        }
+    }
+    if let Some(expected) = schema.get("const") {
+        if value != expected {
+            errors.push(format!("{path}: expected const {expected}, got {value}"));
+        }
+    }
+    if let Some(options) = schema.get("enum").and_then(Value::as_array) {
+        if !options.iter().any(|option| option == value) {
+            errors.push(format!("{path}: {value} not in enum {options:?}"));
+        }
+    }
+    if let Some(object) = value.as_object() {
+        if let Some(required) = schema.get("required").and_then(Value::as_array) {
+            for key in required.iter().filter_map(Value::as_str) {
+                if !object.contains_key(key) {
+                    errors.push(format!("{path}: missing required property `{key}`"));
+                }
+            }
+        }
+        let properties = schema.get("properties").and_then(Value::as_object);
+        for (key, child) in object {
+            let child_path = format!("{path}.{key}");
+            if let Some(child_schema) = properties.and_then(|p| p.get(key)) {
+                validate(child, child_schema, &child_path, errors);
+            } else if let Some(extra) = schema.get("additionalProperties") {
+                validate(child, extra, &child_path, errors);
+            }
+        }
+    }
+    if let Some(array) = value.as_array() {
+        if let Some(items) = schema.get("items") {
+            for (i, child) in array.iter().enumerate() {
+                validate(child, items, &format!("{path}[{i}]"), errors);
+            }
+        }
+    }
+}
+
+fn type_name(value: &Value) -> &'static str {
+    match value {
+        Value::Null => "null",
+        Value::Bool(_) => "boolean",
+        Value::Number(n) => {
+            if n.as_i64().is_some() || n.as_u64().is_some() {
+                "integer"
+            } else {
+                "number"
+            }
+        }
+        Value::String(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}
+
+/// Validates and panics with every violation — the test-friendly form.
+///
+/// # Panics
+///
+/// Panics listing all violations when `value` does not conform.
+pub fn assert_valid(value: &Value, schema: &Value) {
+    let mut errors = Vec::new();
+    validate(value, schema, "$", &mut errors);
+    assert!(errors.is_empty(), "schema violations: {errors:#?}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(value: &Value, schema: &Value) -> Vec<String> {
+        let mut errors = Vec::new();
+        validate(value, schema, "$", &mut errors);
+        errors
+    }
+
+    #[test]
+    fn type_and_required_enforced() {
+        let schema = serde_json::json!({
+            "type": "object",
+            "required": ["id"],
+            "properties": { "id": { "type": "integer" } }
+        });
+        assert!(check(&serde_json::json!({ "id": 3 }), &schema).is_empty());
+        assert_eq!(check(&serde_json::json!({}), &schema).len(), 1);
+        assert_eq!(check(&serde_json::json!({ "id": "x" }), &schema).len(), 1);
+    }
+
+    #[test]
+    fn additional_properties_false_rejects_unknowns() {
+        let schema = serde_json::json!({
+            "type": "object",
+            "properties": { "a": { "type": "integer" } },
+            "additionalProperties": false
+        });
+        assert!(check(&serde_json::json!({ "a": 1 }), &schema).is_empty());
+        assert_eq!(
+            check(&serde_json::json!({ "a": 1, "b": 2 }), &schema).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn enum_and_const_enforced() {
+        let schema = serde_json::json!({
+            "type": "object",
+            "properties": {
+                "status": { "enum": ["ok", "error", "shed"] },
+                "v": { "const": 1 }
+            }
+        });
+        assert!(check(&serde_json::json!({ "status": "ok", "v": 1 }), &schema).is_empty());
+        assert_eq!(
+            check(&serde_json::json!({ "status": "nope" }), &schema).len(),
+            1
+        );
+        assert_eq!(check(&serde_json::json!({ "v": 2 }), &schema).len(), 1);
+    }
+
+    #[test]
+    fn items_validated_per_element() {
+        let schema = serde_json::json!({ "type": "array", "items": { "type": "string" } });
+        assert!(check(&serde_json::json!(["a", "b"]), &schema).is_empty());
+        assert_eq!(check(&serde_json::json!(["a", 3]), &schema).len(), 1);
+    }
+
+    #[test]
+    fn integer_is_a_number() {
+        let schema = serde_json::json!({ "type": "number" });
+        assert!(check(&serde_json::json!(3), &schema).is_empty());
+        assert!(check(&serde_json::json!(3.5), &schema).is_empty());
+    }
+}

@@ -1,0 +1,628 @@
+//! The daemon: TCP acceptor, per-connection readers, a bounded admission
+//! queue, and a worker pool that answers through the cache and
+//! single-flight layers.
+//!
+//! ```text
+//!  clients ──► acceptor ──► reader threads ──► BoundedQueue ──► workers
+//!                              │    (shed when full: 429)        │
+//!                              │                                 ├─► EpochCache (hit?)
+//!                              └─ ping/stats/shutdown inline     ├─► SingleFlight (coalesce)
+//!                                                                └─► ServeBackend::handle
+//! ```
+//!
+//! Shutdown (a `shutdown` admin frame, or [`ServerHandle::shutdown`]) is a
+//! *drain*: the acceptor stops, connection read-halves are closed so
+//! readers wind down, the queue is closed, and workers answer everything
+//! already admitted before exiting. Nothing admitted is ever dropped.
+
+use std::fmt::Write as FmtWrite;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+use serde::Value;
+use uptime_obs::{MetricsRegistry, Recorder};
+
+use crate::backend::{BackendError, ServeBackend};
+use crate::cache::{EpochCache, Lookup};
+use crate::protocol::{code, RequestFrame, ResponseFrame};
+use crate::queue::{BoundedQueue, PushError};
+use crate::singleflight::{Role, SingleFlight};
+
+/// Tunables for one daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Bounded admission-queue depth; beyond it requests are shed.
+    pub queue_depth: usize,
+    /// Maximum cached responses (FIFO eviction).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7411".to_owned(),
+            workers: 4,
+            queue_depth: 64,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// One admitted request awaiting a worker.
+struct Job {
+    frame: RequestFrame,
+    out: Arc<Mutex<TcpStream>>,
+    received: Instant,
+}
+
+/// State shared by every daemon thread.
+struct Shared {
+    backend: Arc<dyn ServeBackend>,
+    cache: EpochCache,
+    flights: SingleFlight,
+    queue: BoundedQueue<Job>,
+    registry: Arc<MetricsRegistry>,
+    shutdown: AtomicBool,
+    inflight: AtomicI64,
+    conns: Mutex<Vec<TcpStream>>,
+    readers: Mutex<usize>,
+    readers_done: Condvar,
+    local_addr: SocketAddr,
+}
+
+/// The serving daemon. Construct with [`Server::start`].
+pub struct Server;
+
+/// A running daemon: join it, inspect it, or shut it down.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor and `config.workers` workers, and
+    /// returns a handle. All metrics flow through `registry` under
+    /// `serve.*` names.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(
+        backend: Arc<dyn ServeBackend>,
+        config: ServerConfig,
+        registry: Arc<MetricsRegistry>,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            backend,
+            cache: EpochCache::new(config.cache_capacity),
+            flights: SingleFlight::new(),
+            queue: BoundedQueue::new(config.queue_depth),
+            registry,
+            shutdown: AtomicBool::new(false),
+            inflight: AtomicI64::new(0),
+            conns: Mutex::new(Vec::new()),
+            readers: Mutex::new(0),
+            readers_done: Condvar::new(),
+            local_addr,
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || accept_loop(&shared, &listener))
+        };
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        Ok(ServerHandle {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port request).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// The metrics registry the daemon records into.
+    #[must_use]
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.shared.registry)
+    }
+
+    /// Live cached-entry count (for tests and stats).
+    #[must_use]
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache.len()
+    }
+
+    /// Triggers the drain and blocks until every admitted request has
+    /// been answered and all daemon threads have exited. Idempotent.
+    pub fn shutdown(&mut self) {
+        begin_shutdown(&self.shared);
+        self.join_threads();
+    }
+
+    /// Blocks until the daemon shuts down (via a `shutdown` admin frame
+    /// or another thread calling [`ServerHandle::shutdown`]).
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Every response is written; release the write halves.
+        self.shared.conns.lock().expect("conns lock").clear();
+    }
+}
+
+/// Begins (idempotently) the graceful drain; see the module docs.
+fn begin_shutdown(shared: &Arc<Shared>) {
+    if shared.shutdown.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    shared.registry.event("serve.lifecycle", "drain begun");
+    // Unblock the acceptor with a no-op connection to ourselves.
+    let _ = TcpStream::connect(shared.local_addr);
+    // EOF every reader: no new requests can be admitted.
+    for conn in shared.conns.lock().expect("conns lock").iter() {
+        let _ = conn.shutdown(Shutdown::Read);
+    }
+    // Wait for readers to finish enqueueing what they had in hand.
+    let mut readers = shared.readers.lock().expect("readers lock");
+    while *readers > 0 {
+        readers = shared.readers_done.wait(readers).expect("readers wait");
+    }
+    drop(readers);
+    // Workers drain the queue, answer everything, then exit.
+    shared.queue.close();
+    shared
+        .registry
+        .event("serve.lifecycle", "queue closed, draining workers");
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Frames are small and latency-sensitive; never batch them.
+        let _ = stream.set_nodelay(true);
+        shared.registry.counter_add("serve.connections", 1);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().expect("conns lock").push(clone);
+        }
+        *shared.readers.lock().expect("readers lock") += 1;
+        let shared = Arc::clone(shared);
+        thread::spawn(move || {
+            reader_loop(&shared, stream);
+            let mut readers = shared.readers.lock().expect("readers lock");
+            *readers -= 1;
+            if *readers == 0 {
+                shared.readers_done.notify_all();
+            }
+        });
+    }
+}
+
+fn reader_loop(shared: &Arc<Shared>, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let out = Arc::new(Mutex::new(write_half));
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let received = Instant::now();
+        let frame = match serde_json::from_str::<RequestFrame>(&line) {
+            Ok(frame) => frame,
+            Err(err) => {
+                shared.registry.counter_add("serve.parse_error", 1);
+                write_frame(
+                    &out,
+                    &ResponseFrame::error(
+                        0,
+                        shared.backend.epoch(),
+                        code::BAD_REQUEST,
+                        format!("bad frame: {err}"),
+                    ),
+                );
+                continue;
+            }
+        };
+        dispatch(shared, frame, &out, received);
+    }
+}
+
+/// Routes one parsed frame: admin endpoints inline, everything else
+/// through admission control into the queue.
+fn dispatch(
+    shared: &Arc<Shared>,
+    frame: RequestFrame,
+    out: &Arc<Mutex<TcpStream>>,
+    received: Instant,
+) {
+    let rec: &dyn Recorder = shared.registry.as_ref();
+    match frame.endpoint.as_str() {
+        "ping" => {
+            let body = serde_json::json!({ "pong": true });
+            write_frame(
+                out,
+                &ResponseFrame::ok(frame.id, shared.backend.epoch(), body),
+            );
+        }
+        "stats" => {
+            let body = stats_body(shared);
+            write_frame(
+                out,
+                &ResponseFrame::ok(frame.id, shared.backend.epoch(), body),
+            );
+        }
+        "shutdown" => {
+            write_frame(
+                out,
+                &ResponseFrame::ok(
+                    frame.id,
+                    shared.backend.epoch(),
+                    serde_json::json!({ "draining": true }),
+                ),
+            );
+            let shared = Arc::clone(shared);
+            thread::spawn(move || begin_shutdown(&shared));
+        }
+        _ => {
+            if shared.shutdown.load(Ordering::Acquire) {
+                rec.counter_add("serve.drain.refused", 1);
+                write_frame(
+                    out,
+                    &ResponseFrame::error(
+                        frame.id,
+                        shared.backend.epoch(),
+                        code::DRAINING,
+                        "daemon is draining",
+                    ),
+                );
+                return;
+            }
+            let job = Job {
+                frame,
+                out: Arc::clone(out),
+                received,
+            };
+            match shared.queue.try_push(job) {
+                Ok(()) => {
+                    rec.observe("serve.queue.depth", shared.queue.len() as f64);
+                }
+                Err(PushError::Full(job)) => {
+                    rec.counter_add("serve.shed", 1);
+                    write_frame(
+                        &job.out,
+                        &ResponseFrame::shed(
+                            job.frame.id,
+                            shared.backend.epoch(),
+                            "queue full; retry later",
+                        ),
+                    );
+                }
+                Err(PushError::Closed(job)) => {
+                    rec.counter_add("serve.drain.refused", 1);
+                    write_frame(
+                        &job.out,
+                        &ResponseFrame::error(
+                            job.frame.id,
+                            shared.backend.epoch(),
+                            code::DRAINING,
+                            "daemon is draining",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let inflight = shared.inflight.fetch_add(1, Ordering::AcqRel) + 1;
+        shared.registry.gauge_set("serve.inflight", inflight as f64);
+        handle_job(shared, job);
+        let inflight = shared.inflight.fetch_sub(1, Ordering::AcqRel) - 1;
+        shared.registry.gauge_set("serve.inflight", inflight as f64);
+    }
+}
+
+/// Executes the backend under panic isolation, capturing the epoch the
+/// computation started under (the epoch the cache entry is keyed by).
+/// The body is rendered to its canonical JSON text exactly once here;
+/// cache hits and coalesced followers reuse the rendered bytes.
+fn execute(shared: &Shared, endpoint: &str, body: &Value) -> Result<(Arc<str>, u64), BackendError> {
+    let epoch_before = shared.backend.epoch();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        shared.backend.handle(endpoint, body)
+    }));
+    match outcome {
+        Ok(Ok(value)) => match serde_json::to_string(&value) {
+            Ok(text) => Ok((Arc::from(text), epoch_before)),
+            Err(err) => Err(BackendError::Internal(format!(
+                "unserializable body: {err}"
+            ))),
+        },
+        Ok(Err(err)) => Err(err),
+        Err(_) => Err(BackendError::Internal("backend panicked".into())),
+    }
+}
+
+/// One answered request: either a success with a pre-rendered body (the
+/// hot path — spliced into the envelope without re-serializing) or a
+/// fully-structured error frame.
+enum Reply {
+    Ok {
+        epoch: u64,
+        cached: bool,
+        coalesced: bool,
+        body: Arc<str>,
+    },
+    Frame(ResponseFrame),
+}
+
+fn handle_job(shared: &Arc<Shared>, job: Job) {
+    let rec: &dyn Recorder = shared.registry.as_ref();
+    let frame = &job.frame;
+    let endpoint = frame.endpoint.as_str();
+    let mut known_endpoint = true;
+
+    let reply = match shared.backend.fingerprint(endpoint, &frame.body) {
+        Err(err) => {
+            known_endpoint = !matches!(err, BackendError::UnknownEndpoint(_));
+            Reply::Frame(ResponseFrame::error(
+                frame.id,
+                shared.backend.epoch(),
+                err.code(),
+                err.message(),
+            ))
+        }
+        // Uncacheable endpoint: straight to the backend. Report the
+        // post-execution epoch — mutating endpoints (sync) move it.
+        Ok(None) => match execute(shared, endpoint, &frame.body) {
+            Ok((body, _)) => Reply::Ok {
+                epoch: shared.backend.epoch(),
+                cached: false,
+                coalesced: false,
+                body,
+            },
+            Err(err) => {
+                known_endpoint = !matches!(err, BackendError::UnknownEndpoint(_));
+                Reply::Frame(ResponseFrame::error(
+                    frame.id,
+                    shared.backend.epoch(),
+                    err.code(),
+                    err.message(),
+                ))
+            }
+        },
+        Ok(Some(fingerprint)) => {
+            let epoch_now = shared.backend.epoch();
+            match shared.cache.lookup(fingerprint, epoch_now) {
+                Lookup::Hit(body) => {
+                    rec.counter_add("serve.cache.hit", 1);
+                    Reply::Ok {
+                        epoch: epoch_now,
+                        cached: true,
+                        coalesced: false,
+                        body,
+                    }
+                }
+                probe => {
+                    rec.counter_add(
+                        match probe {
+                            Lookup::Stale => "serve.cache.stale",
+                            _ => "serve.cache.miss",
+                        },
+                        1,
+                    );
+                    match shared.flights.join(fingerprint) {
+                        Role::Leader(flight) => {
+                            let result = execute(shared, endpoint, &frame.body);
+                            if let Ok((body, computed_under)) = &result {
+                                // Cache only if no absorb raced the run;
+                                // the entry's epoch is the one the answer
+                                // was computed under, so a racing bump
+                                // still invalidates on the next lookup.
+                                if shared.backend.epoch() == *computed_under {
+                                    shared.cache.insert(
+                                        fingerprint,
+                                        *computed_under,
+                                        Arc::clone(body),
+                                    );
+                                }
+                            }
+                            shared
+                                .flights
+                                .complete(fingerprint, &flight, result.clone());
+                            match result {
+                                Ok((body, epoch)) => Reply::Ok {
+                                    epoch,
+                                    cached: false,
+                                    coalesced: false,
+                                    body,
+                                },
+                                Err(err) => Reply::Frame(ResponseFrame::error(
+                                    frame.id,
+                                    shared.backend.epoch(),
+                                    err.code(),
+                                    err.message(),
+                                )),
+                            }
+                        }
+                        Role::Follower(flight) => {
+                            rec.counter_add("serve.coalesced", 1);
+                            match flight.wait() {
+                                Ok((body, epoch)) => Reply::Ok {
+                                    epoch,
+                                    cached: false,
+                                    coalesced: true,
+                                    body,
+                                },
+                                Err(err) => Reply::Frame(ResponseFrame::error(
+                                    frame.id,
+                                    shared.backend.epoch(),
+                                    err.code(),
+                                    err.message(),
+                                )),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    // Count before writing so a client that has its response in hand is
+    // guaranteed to see it reflected in the counters.
+    rec.counter_add("serve.responses", 1);
+    match reply {
+        Reply::Ok {
+            epoch,
+            cached,
+            coalesced,
+            body,
+        } => write_line(
+            &job.out,
+            render_ok_line(frame.id, epoch, cached, coalesced, &body),
+        ),
+        Reply::Frame(frame) => write_frame(&job.out, &frame),
+    }
+    let label = if known_endpoint {
+        sanitize_endpoint(endpoint)
+    } else {
+        "unknown".into()
+    };
+    rec.observe(
+        &format!("serve.{label}.ns"),
+        job.received.elapsed().as_nanos() as f64,
+    );
+}
+
+/// Bounds metric-name cardinality: lowercase alphanumerics and `_`/`-`
+/// pass through (truncated), anything else becomes `other`.
+fn sanitize_endpoint(endpoint: &str) -> String {
+    let clean = endpoint.len() <= 32
+        && !endpoint.is_empty()
+        && endpoint
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-');
+    if clean {
+        endpoint.to_owned()
+    } else {
+        "other".to_owned()
+    }
+}
+
+fn stats_body(shared: &Shared) -> Value {
+    let snap = shared.registry.snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    serde_json::json!({
+        "epoch": shared.backend.epoch(),
+        "cache": {
+            "hit": counter("serve.cache.hit"),
+            "miss": counter("serve.cache.miss"),
+            "stale": counter("serve.cache.stale"),
+            "size": shared.cache.len() as u64,
+        },
+        "coalesced": counter("serve.coalesced"),
+        "shed": counter("serve.shed"),
+        "responses": counter("serve.responses"),
+        "connections": counter("serve.connections"),
+        "queue_depth": shared.queue.len() as u64,
+        "inflight": shared.inflight.load(Ordering::Acquire),
+    })
+}
+
+/// Renders a success envelope around a pre-serialized body, byte-for-byte
+/// what serializing the equivalent [`ResponseFrame`] would produce (the
+/// vendored serializer emits map keys in sorted order) — without
+/// re-walking the body's value tree.
+fn render_ok_line(id: u64, epoch: u64, cached: bool, coalesced: bool, body: &str) -> String {
+    let mut text = String::with_capacity(body.len() + 112);
+    text.push_str("{\"body\":");
+    text.push_str(body);
+    text.push_str(",\"cached\":");
+    text.push_str(if cached { "true" } else { "false" });
+    text.push_str(",\"coalesced\":");
+    text.push_str(if coalesced { "true" } else { "false" });
+    let _ = write!(
+        text,
+        ",\"code\":{},\"epoch\":{epoch},\"id\":{id},\"status\":\"ok\",\"v\":{}}}",
+        code::OK,
+        crate::protocol::PROTOCOL_VERSION,
+    );
+    text.push('\n');
+    text
+}
+
+/// Writes one already-rendered response line; write errors mean the
+/// client went away and are deliberately ignored.
+fn write_line(out: &Mutex<TcpStream>, text: String) {
+    let mut stream = out.lock().expect("writer lock");
+    let _ = stream.write_all(text.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Serializes and writes one response line; write errors mean the client
+/// went away and are deliberately ignored.
+fn write_frame(out: &Mutex<TcpStream>, frame: &ResponseFrame) {
+    let Ok(mut text) = serde_json::to_string(frame) else {
+        return;
+    };
+    text.push('\n');
+    write_line(out, text);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The spliced hot-path envelope must be byte-for-byte what the serde
+    /// path would have produced for the same frame.
+    #[test]
+    fn rendered_ok_line_matches_serde_serialization() {
+        let body = serde_json::json!({"plan": {"tco": 1234.5}, "zeta": [1, 2]});
+        let body_text = serde_json::to_string(&body).expect("body serializes");
+        for (cached, coalesced) in [(false, false), (true, false), (false, true)] {
+            let mut frame = ResponseFrame::ok(42, 7, body.clone());
+            frame = frame.with_cached(cached).with_coalesced(coalesced);
+            let mut via_serde = serde_json::to_string(&frame).expect("frame serializes");
+            via_serde.push('\n');
+            let spliced = render_ok_line(42, 7, cached, coalesced, &body_text);
+            assert_eq!(spliced, via_serde);
+        }
+    }
+}

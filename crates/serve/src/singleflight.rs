@@ -1,0 +1,151 @@
+//! Single-flight coalescing: concurrent identical requests share one
+//! backend execution.
+//!
+//! The first worker to reach a fingerprint becomes the *leader* and runs
+//! the optimizer; every other worker arriving while the leader is in
+//! flight becomes a *follower* and blocks on the flight's condvar until
+//! the leader publishes its result. Followers receive the same
+//! `Arc`-shared body the leader computed — bit-identical, computed once.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::backend::BackendError;
+
+/// What a finished flight publishes: the rendered response body and the
+/// epoch it was computed under, or the error every coalesced caller
+/// shares.
+pub type FlightResult = Result<(Arc<str>, u64), BackendError>;
+
+/// One in-flight computation.
+pub struct Flight {
+    result: Mutex<Option<FlightResult>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the leader publishes, then returns a shared copy.
+    pub fn wait(&self) -> FlightResult {
+        let mut guard = self.result.lock().expect("flight lock");
+        while guard.is_none() {
+            guard = self.done.wait(guard).expect("flight wait");
+        }
+        guard.as_ref().expect("published").clone()
+    }
+
+    fn publish(&self, result: FlightResult) {
+        *self.result.lock().expect("flight lock") = Some(result);
+        self.done.notify_all();
+    }
+}
+
+/// The caller's role for one fingerprint.
+pub enum Role {
+    /// This caller must execute the request and [`SingleFlight::complete`] it.
+    Leader(Arc<Flight>),
+    /// Another caller is executing; wait on the flight.
+    Follower(Arc<Flight>),
+}
+
+/// The coalescing table: fingerprint → in-flight computation.
+#[derive(Default)]
+pub struct SingleFlight {
+    flights: Mutex<HashMap<u128, Arc<Flight>>>,
+}
+
+impl SingleFlight {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        SingleFlight::default()
+    }
+
+    /// Joins the flight for `fingerprint`, creating it if absent.
+    #[must_use]
+    pub fn join(&self, fingerprint: u128) -> Role {
+        let mut flights = self.flights.lock().expect("flights lock");
+        match flights.get(&fingerprint) {
+            Some(flight) => Role::Follower(Arc::clone(flight)),
+            None => {
+                let flight = Arc::new(Flight::new());
+                flights.insert(fingerprint, Arc::clone(&flight));
+                Role::Leader(flight)
+            }
+        }
+    }
+
+    /// Publishes the leader's result and retires the flight. Followers
+    /// already holding the `Arc` wake and read the result; callers
+    /// arriving after this point start a fresh flight (by then the cache
+    /// answers for them on the hot path).
+    pub fn complete(&self, fingerprint: u128, flight: &Arc<Flight>, result: FlightResult) {
+        self.flights
+            .lock()
+            .expect("flights lock")
+            .remove(&fingerprint);
+        flight.publish(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn leader_then_followers_share_one_result() {
+        let sf = Arc::new(SingleFlight::new());
+        let Role::Leader(flight) = sf.join(7) else {
+            panic!("first joiner must lead");
+        };
+
+        let mut followers = Vec::new();
+        for _ in 0..4 {
+            let Role::Follower(f) = sf.join(7) else {
+                panic!("subsequent joiners must follow");
+            };
+            followers.push(thread::spawn(move || f.wait()));
+        }
+
+        let body: Arc<str> = Arc::from("{\"answer\":42}");
+        sf.complete(7, &flight, Ok((Arc::clone(&body), 3)));
+
+        for handle in followers {
+            let (got, epoch) = handle.join().unwrap().expect("shared success");
+            assert!(Arc::ptr_eq(&got, &body), "followers share the leader's Arc");
+            assert_eq!(epoch, 3);
+        }
+        // The flight is retired: the next joiner leads again.
+        assert!(matches!(sf.join(7), Role::Leader(_)));
+    }
+
+    #[test]
+    fn errors_are_shared_too() {
+        let sf = SingleFlight::new();
+        let Role::Leader(flight) = sf.join(1) else {
+            panic!("leader expected");
+        };
+        let Role::Follower(follower) = sf.join(1) else {
+            panic!("follower expected");
+        };
+        sf.complete(1, &flight, Err(BackendError::Internal("boom".into())));
+        assert!(matches!(
+            follower.wait(),
+            Err(BackendError::Internal(m)) if m == "boom"
+        ));
+    }
+
+    #[test]
+    fn distinct_fingerprints_fly_independently() {
+        let sf = SingleFlight::new();
+        assert!(matches!(sf.join(1), Role::Leader(_)));
+        assert!(matches!(sf.join(2), Role::Leader(_)));
+    }
+}

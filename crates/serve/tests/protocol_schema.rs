@@ -1,0 +1,65 @@
+//! The wire frames must match the checked-in JSON Schemas — the protocol
+//! contract clients build against.
+
+use serde::Value;
+use uptime_serve::protocol::{RequestFrame, ResponseFrame};
+use uptime_serve::schema;
+
+fn load_schema(name: &str) -> Value {
+    let path = format!("{}/../../schemas/{name}", env!("CARGO_MANIFEST_DIR"));
+    serde_json::from_str(&std::fs::read_to_string(&path).expect("schema file readable"))
+        .expect("schema file is valid JSON")
+}
+
+#[test]
+fn request_frames_validate() {
+    let schema = load_schema("serve_request.schema.json");
+    let frames = [
+        RequestFrame::new(1, "recommend", serde_json::json!({"tiers": ["Compute"]})),
+        RequestFrame::new(0, "ping", Value::Null),
+        RequestFrame::new(u64::MAX, "stats", Value::Null),
+    ];
+    for frame in &frames {
+        schema::assert_valid(&serde_json::to_value(frame), &schema);
+    }
+    // The minimal hand-written client frame is also valid.
+    schema::assert_valid(&serde_json::json!({"endpoint": "health"}), &schema);
+}
+
+#[test]
+fn response_frames_validate() {
+    let schema = load_schema("serve_response.schema.json");
+    let frames = [
+        ResponseFrame::ok(1, 0, serde_json::json!({"pong": true})),
+        ResponseFrame::ok(2, 7, serde_json::json!({"x": 1})).with_cached(true),
+        ResponseFrame::ok(3, 7, serde_json::json!({"x": 1})).with_coalesced(true),
+        ResponseFrame::error(4, 2, uptime_serve::code::BAD_REQUEST, "bad frame"),
+        ResponseFrame::shed(5, 2, "queue full"),
+    ];
+    for frame in &frames {
+        schema::assert_valid(&serde_json::to_value(frame), &schema);
+    }
+}
+
+#[test]
+fn schema_rejects_malformed_frames() {
+    let request = load_schema("serve_request.schema.json");
+    let mut errors = Vec::new();
+    // Missing endpoint.
+    schema::validate(&serde_json::json!({"id": 1}), &request, "$", &mut errors);
+    assert!(!errors.is_empty());
+
+    let response = load_schema("serve_response.schema.json");
+    let mut errors = Vec::new();
+    // Status outside the enum and a stray property.
+    schema::validate(
+        &serde_json::json!({
+            "v": 1, "id": 1, "status": "maybe", "code": 200,
+            "cached": false, "coalesced": false, "epoch": 0, "stray": 1
+        }),
+        &response,
+        "$",
+        &mut errors,
+    );
+    assert!(errors.len() >= 2, "{errors:?}");
+}

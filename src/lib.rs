@@ -12,6 +12,8 @@
 //!   validation harness.
 //! * [`broker`] — the brokered service: simulated providers, telemetry
 //!   estimation, recommendations, reports, planning, audit.
+//! * [`serve`] — the long-lived serving daemon: epoch-keyed response
+//!   caching, single-flight coalescing, backpressured admission control.
 //!
 //! See the `examples/` directory for runnable walkthroughs, starting with
 //! `quickstart.rs`.
@@ -35,6 +37,7 @@ pub use uptime_broker as broker;
 pub use uptime_catalog as catalog;
 pub use uptime_core as core;
 pub use uptime_optimizer as optimizer;
+pub use uptime_serve as serve;
 pub use uptime_sim as sim;
 
 /// The common imports for working with the suite.
