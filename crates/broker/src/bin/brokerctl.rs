@@ -45,8 +45,8 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use uptime_broker::{
-    report, settlement, BrokerService, ChaosConfig, ChaosProvider, GroundTruth, ServingBroker,
-    SimulatedProvider, SolutionRequest,
+    report, settlement, BrokerService, ChaosConfig, ChaosProvider, GroundTruth, SearchEngine,
+    ServingBroker, SimulatedProvider, SolutionRequest,
 };
 use uptime_catalog::{case_study, extended, CatalogStore, ComponentKind};
 use uptime_core::{PenaltyClause, RoundingPolicy, SystemSpec};
@@ -58,14 +58,34 @@ fn main() -> ExitCode {
     let mut flags: Vec<&str> = Vec::new();
     let mut positional: Vec<&str> = Vec::new();
     let mut command = None;
-    for arg in &args {
-        if arg.starts_with("--") {
+    let mut engine = SearchEngine::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if arg == "--engine" {
+            i += 1;
+            let value = match args.get(i) {
+                Some(v) => v,
+                None => {
+                    eprintln!("brokerctl: --engine needs a value (exhaustive|bnb)");
+                    return ExitCode::from(2);
+                }
+            };
+            engine = match value.parse() {
+                Ok(e) => e,
+                Err(err) => {
+                    eprintln!("brokerctl: {err}");
+                    return ExitCode::from(2);
+                }
+            };
+        } else if arg.starts_with("--") {
             flags.push(arg);
         } else if command.is_none() {
             command = Some(arg.as_str());
         } else {
             positional.push(arg);
         }
+        i += 1;
     }
     let hybrid = flags.contains(&"--hybrid");
     let json = flags.contains(&"--json");
@@ -87,10 +107,10 @@ fn main() -> ExitCode {
     }
     let result = match command {
         Some("catalog") => catalog_command(hybrid),
-        Some("recommend") => recommend_command(hybrid, json, positional.first().copied()),
+        Some("recommend") => recommend_command(hybrid, json, engine, positional.first().copied()),
         Some("sweep") => sweep_command(hybrid, &positional),
         Some("settle") => settle_command(&positional),
-        Some("metacloud") => metacloud_command(),
+        Some("metacloud") => metacloud_command(engine),
         Some("serve") => serve_command(&args),
         Some("obs") => obs_command(
             hybrid,
@@ -125,17 +145,24 @@ Usage: brokerctl <COMMAND> [options]
 Commands:
   catalog [--hybrid]
       List clouds, HA methods, prices and reliability records.
-  recommend [--hybrid] [--json] [REQUEST.json]
+  recommend [--hybrid] [--json] [--engine exhaustive|bnb] [REQUEST.json]
       Run the full recommendation pipeline (default: the paper's
-      case-study intake, 98% SLA and $100/h penalty).
+      case-study intake, 98% SLA and $100/h penalty). With
+      --engine bnb, the exact winner is proven by tight-bound parallel
+      branch-and-bound instead of enumeration: same argmin, but the
+      ranked option table is trimmed to the winner (plus the declared
+      as-is option) and the search stats report how much of the space
+      the bound pruned. Use it for spaces enumeration cannot touch.
   sweep [--hybrid] FROM TO STEPS
       SLA sweep: the winning architecture per target percentage.
   settle MONTHS [SEED]
       Settle a simulated multi-month contract for the case-study
       optimum and compare realized payouts with Eq. 5.
-  metacloud
+  metacloud [--engine exhaustive|bnb]
       Cross-provider (metacloud) recommendation over the hybrid catalog.
-  serve [--hybrid] [--addr HOST:PORT] [--workers N] [--queue N] [--chaos SEED] [--stdin]
+      --engine bnb proves the same placement by branch-and-bound.
+  serve [--hybrid] [--addr HOST:PORT] [--workers N] [--queue N] [--chaos SEED]
+        [--engine exhaustive|bnb] [--stdin]
       Long-lived serving daemon (default 127.0.0.1:7411): one JSON frame
       per line over TCP with fields id, endpoint and body; endpoints are
       recommend, metacloud, health, sync, ping, stats and shutdown.
@@ -209,6 +236,7 @@ fn catalog_command(hybrid: bool) -> Result<(), Box<dyn std::error::Error>> {
 fn recommend_command(
     hybrid: bool,
     json: bool,
+    engine: SearchEngine,
     request_path: Option<&str>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let request: SolutionRequest = match request_path {
@@ -219,7 +247,7 @@ fn recommend_command(
             .penalty_per_hour(case_study::PENALTY_PER_HOUR)?
             .build()?,
     };
-    let broker = BrokerService::new(catalog(hybrid));
+    let broker = BrokerService::new(catalog(hybrid)).with_engine(engine);
     let recommendation = broker.recommend(&request)?;
     if json {
         println!("{}", report::to_json(&recommendation)?);
@@ -291,6 +319,7 @@ fn serve_command(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut hybrid = false;
     let mut stdin_mode = false;
     let mut chaos: Option<u64> = None;
+    let mut engine = SearchEngine::default();
     let mut config = ServerConfig::default();
     let mut iter = args.iter().map(String::as_str).skip(1);
     while let Some(arg) = iter.next() {
@@ -299,6 +328,12 @@ fn serve_command(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--stdin" => stdin_mode = true,
             "--addr" => {
                 config.addr = iter.next().ok_or("--addr needs HOST:PORT")?.to_owned();
+            }
+            "--engine" => {
+                engine = iter
+                    .next()
+                    .ok_or("--engine needs a value (exhaustive|bnb)")?
+                    .parse()?;
             }
             "--workers" => {
                 config.workers = iter.next().ok_or("--workers needs a count")?.parse()?;
@@ -313,13 +348,16 @@ fn serve_command(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     if stdin_mode {
-        return serve_stdin(hybrid);
+        return serve_stdin(hybrid, engine);
     }
 
     let store = catalog(hybrid);
     let registry = Arc::new(uptime_obs::MetricsRegistry::new());
-    let broker =
-        Arc::new(BrokerService::new(store.clone()).with_recorder(Arc::clone(&registry) as _));
+    let broker = Arc::new(
+        BrokerService::new(store.clone())
+            .with_engine(engine)
+            .with_recorder(Arc::clone(&registry) as _),
+    );
     let targets =
         register_simulated_providers(&broker, &store, chaos.is_some(), chaos.unwrap_or(7));
     let backend = Arc::new(ServingBroker::new(broker).with_sync_targets(targets));
@@ -346,9 +384,9 @@ fn serve_command(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 /// response per line out. A malformed or failing request produces an
 /// `{"error": ...}` line and the loop continues — one bad client call
 /// must not take the broker down.
-fn serve_stdin(hybrid: bool) -> Result<(), Box<dyn std::error::Error>> {
+fn serve_stdin(hybrid: bool, engine: SearchEngine) -> Result<(), Box<dyn std::error::Error>> {
     use std::io::{BufRead, Write};
-    let broker = BrokerService::new(catalog(hybrid));
+    let broker = BrokerService::new(catalog(hybrid)).with_engine(engine);
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -371,8 +409,8 @@ fn serve_stdin(hybrid: bool) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn metacloud_command() -> Result<(), Box<dyn std::error::Error>> {
-    let broker = BrokerService::new(extended::hybrid_catalog());
+fn metacloud_command(engine: SearchEngine) -> Result<(), Box<dyn std::error::Error>> {
+    let broker = BrokerService::new(extended::hybrid_catalog()).with_engine(engine);
     let request = SolutionRequest::builder()
         .tiers(ComponentKind::paper_tiers())
         .sla_percent(case_study::SLA_PERCENT)?

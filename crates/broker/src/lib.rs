@@ -79,7 +79,9 @@ pub use provider::{
 pub use recommendation::{CloudRecommendation, DegradedMode, RankedOption, Recommendation};
 pub use request::{SolutionRequest, SolutionRequestBuilder};
 pub use resilience::{BreakerState, CircuitBreaker, RetryOutcome, RetryPolicy};
-pub use service::{BrokerHealth, BrokerService, Incident, IncidentCategory, ProviderHealth};
+pub use service::{
+    BrokerHealth, BrokerService, Incident, IncidentCategory, ProviderHealth, SearchEngine,
+};
 pub use serving::{canonical_fingerprint, ServingBroker, HEALTH_SCHEMA_VERSION};
 pub use settlement::{settle, MonthlyStatement, SettlementReport};
 pub use telemetry::{validate_batch, EstimatedParameters, QuarantinePolicy, TelemetryEstimator};

@@ -13,12 +13,14 @@
 use serde::{Deserialize, Serialize};
 use uptime_catalog::{CloudId, ComponentKind, HaMethodId};
 use uptime_core::MoneyPerMonth;
-use uptime_optimizer::{parallel, Candidate, ComponentChoices, Evaluation, Objective, SearchSpace};
+use uptime_optimizer::{
+    branch_bound, parallel, Candidate, ComponentChoices, Evaluation, Objective, SearchSpace,
+};
 
 use crate::error::BrokerError;
 use crate::recommendation::DegradedMode;
 use crate::request::SolutionRequest;
-use crate::service::BrokerService;
+use crate::service::{BrokerService, SearchEngine};
 
 /// One tier's placement in a metacloud deployment.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -153,8 +155,15 @@ impl BrokerService {
         let model = request.tco_model();
         // Only the argmin matters here, and joint spaces multiply fast
         // (Π_i Σ_c k_{i,c}); stream through the factorized engine instead
-        // of materializing every evaluation.
-        let outcome = parallel::search_best(&space, &model, Objective::MinTco);
+        // of materializing every evaluation. Both backends return the
+        // same winner; branch-and-bound additionally prunes subtrees the
+        // admissible bound proves suboptimal.
+        let outcome = match self.engine() {
+            SearchEngine::Exhaustive => parallel::search_best(&space, &model, Objective::MinTco),
+            SearchEngine::BranchBound => {
+                branch_bound::search_with_threads_recorded(&space, &model, 0, self.obs_recorder())
+            }
+        };
         let best = outcome.best().ok_or(BrokerError::NoCandidates)?.clone();
 
         let placements: Vec<Placement> = best

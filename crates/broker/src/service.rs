@@ -7,7 +7,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use serde::Serialize;
 use uptime_catalog::{CatalogStore, CloudId, ComponentKind, HaMethodId};
-use uptime_optimizer::{exhaustive, Evaluation, Objective, SearchSpace};
+use uptime_optimizer::{branch_bound, exhaustive, Evaluation, Objective, SearchSpace};
 
 use crate::error::BrokerError;
 use crate::planner::{DeploymentPlan, ProvisionStep};
@@ -100,6 +100,52 @@ pub struct BrokerHealth {
     pub degraded: bool,
 }
 
+/// Which optimizer backend [`BrokerService::recommend`] and
+/// [`BrokerService::recommend_metacloud`] run on — `brokerctl`'s
+/// `--engine` flag.
+///
+/// [`SearchEngine::Exhaustive`] materializes every HA permutation so the
+/// recommendation carries the paper's full Fig. 10 option table.
+/// [`SearchEngine::BranchBound`] runs the tight-bound work-stealing
+/// parallel branch-and-bound
+/// ([`uptime_optimizer::branch_bound::search_with_threads`]): exactly the
+/// same `MinTco` winner, but the option table is trimmed to the winner
+/// (plus the as-is option when one is declared) because the engine never
+/// visits — let alone materializes — most of the space. Use it when the
+/// space is too large to enumerate; the recommendation's search stats
+/// then show how much of the space the bound discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchEngine {
+    /// Factorized full enumeration; complete ranked option tables.
+    #[default]
+    Exhaustive,
+    /// Tight-bound parallel branch-and-bound; winner-only option tables.
+    BranchBound,
+}
+
+impl std::str::FromStr for SearchEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exhaustive" | "full" => Ok(SearchEngine::Exhaustive),
+            "bnb" | "branch-bound" => Ok(SearchEngine::BranchBound),
+            other => Err(format!(
+                "unknown engine `{other}` (expected `exhaustive` or `bnb`)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for SearchEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SearchEngine::Exhaustive => "exhaustive",
+            SearchEngine::BranchBound => "bnb",
+        })
+    }
+}
+
 /// The uptime-optimizing brokered service of the paper's Fig. 2.
 ///
 /// Holds the broker's knowledge base behind a read-write lock so that
@@ -120,6 +166,7 @@ pub struct BrokerService {
     retry: RetryPolicy,
     quarantine: QuarantinePolicy,
     breaker_template: CircuitBreaker,
+    engine: SearchEngine,
     recorder: Arc<dyn uptime_obs::Recorder>,
     /// Bumped on every successful telemetry absorb; serving-layer caches
     /// key their entries by this and so are invalidated by any absorb.
@@ -148,6 +195,7 @@ impl BrokerService {
             retry: RetryPolicy::default(),
             quarantine: QuarantinePolicy::default(),
             breaker_template: CircuitBreaker::default(),
+            engine: SearchEngine::default(),
             recorder: Arc::new(uptime_obs::NoopRecorder),
             epoch: std::sync::atomic::AtomicU64::new(0),
         }
@@ -169,6 +217,26 @@ impl BrokerService {
     pub fn with_recorder(mut self, recorder: Arc<dyn uptime_obs::Recorder>) -> Self {
         self.recorder = recorder;
         self
+    }
+
+    /// Selects the optimizer backend recommendations run on. The default
+    /// is [`SearchEngine::Exhaustive`]; see [`SearchEngine`] for the
+    /// trade-off.
+    #[must_use]
+    pub fn with_engine(mut self, engine: SearchEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The optimizer backend recommendations run on.
+    #[must_use]
+    pub fn engine(&self) -> SearchEngine {
+        self.engine
+    }
+
+    /// The recorder recommendations report `broker.*` metrics through.
+    pub(crate) fn obs_recorder(&self) -> &dyn uptime_obs::Recorder {
+        &*self.recorder
     }
 
     /// Replaces the retry policy applied to provider calls.
@@ -542,15 +610,38 @@ impl BrokerService {
                 })
                 .collect();
 
-            let outcome = exhaustive::search_recorded(&space, &model, Objective::MinTco, rec);
-
-            // Paper numbering: ascending cardinality, then mixed-radix value.
-            let mut ordered: Vec<&Evaluation> = outcome.evaluations().iter().collect();
-            ordered.sort_by_key(|e| (e.cardinality(), assignment_value(&space, e.assignment())));
-
             let as_is_assignment = match request.as_is() {
                 Some(methods) => Some(resolve_as_is(&method_ids, methods)?),
                 None => None,
+            };
+
+            let (outcome, ordered) = match self.engine {
+                SearchEngine::Exhaustive => {
+                    let outcome =
+                        exhaustive::search_recorded(&space, &model, Objective::MinTco, rec);
+                    // Paper numbering: ascending cardinality, then
+                    // mixed-radix value.
+                    let mut ordered: Vec<Evaluation> = outcome.evaluations().to_vec();
+                    ordered.sort_by_key(|e| {
+                        (e.cardinality(), assignment_value(&space, e.assignment()))
+                    });
+                    (outcome, ordered)
+                }
+                SearchEngine::BranchBound => {
+                    // Streaming: the engine proves the winner without
+                    // visiting most of the space, so the option table is
+                    // trimmed to the winner plus the declared as-is.
+                    let outcome =
+                        branch_bound::search_with_threads_recorded(&space, &model, 0, rec);
+                    let winner = outcome.best().ok_or(BrokerError::NoCandidates)?.clone();
+                    let mut ordered = vec![winner];
+                    if let Some(assignment) = &as_is_assignment {
+                        if assignment.as_slice() != ordered[0].assignment() {
+                            ordered.push(Evaluation::evaluate(&space, &model, assignment));
+                        }
+                    }
+                    (outcome, ordered)
+                }
             };
 
             let mut options = Vec::with_capacity(ordered.len());
@@ -757,6 +848,64 @@ mod tests {
         assert_eq!(cloud.as_is().unwrap().option_number(), 8);
         let savings = cloud.savings_vs_as_is().unwrap();
         assert!((savings - 0.62).abs() < 0.005, "got {savings}");
+    }
+
+    #[test]
+    fn branch_bound_engine_matches_exhaustive_winner() {
+        let request = paper_request();
+        let full = service().recommend(&request).unwrap();
+        let bnb = service()
+            .with_engine(SearchEngine::BranchBound)
+            .recommend(&request)
+            .unwrap();
+        let full_cloud = &full.clouds()[0];
+        let bnb_cloud = &bnb.clouds()[0];
+        assert_eq!(
+            full_cloud.best().evaluation(),
+            bnb_cloud.best().evaluation(),
+            "engines must agree on the winner bit-for-bit"
+        );
+        // Trimmed table: winner plus the declared as-is option.
+        assert_eq!(bnb_cloud.options().len(), 2);
+        assert!(bnb_cloud.as_is().is_some());
+        assert_eq!(
+            u128::from(bnb_cloud.stats().considered()),
+            8,
+            "streaming engine still accounts for the full space"
+        );
+    }
+
+    #[test]
+    fn branch_bound_engine_matches_metacloud_placement() {
+        let catalog = uptime_catalog::extended::hybrid_catalog();
+        let request = SolutionRequest::builder()
+            .tiers(ComponentKind::paper_tiers())
+            .sla_percent(98.0)
+            .unwrap()
+            .penalty_per_hour(100.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let full = BrokerService::new(catalog.clone())
+            .recommend_metacloud(&request)
+            .unwrap();
+        let bnb = BrokerService::new(catalog)
+            .with_engine(SearchEngine::BranchBound)
+            .recommend_metacloud(&request)
+            .unwrap();
+        assert_eq!(full.evaluation(), bnb.evaluation());
+        assert_eq!(full.placements(), bnb.placements());
+    }
+
+    #[test]
+    fn engine_parses_and_displays() {
+        assert_eq!("bnb".parse(), Ok(SearchEngine::BranchBound));
+        assert_eq!("branch-bound".parse(), Ok(SearchEngine::BranchBound));
+        assert_eq!("exhaustive".parse(), Ok(SearchEngine::Exhaustive));
+        assert_eq!("full".parse(), Ok(SearchEngine::Exhaustive));
+        assert!("quantum".parse::<SearchEngine>().is_err());
+        assert_eq!(SearchEngine::BranchBound.to_string(), "bnb");
+        assert_eq!(SearchEngine::default(), SearchEngine::Exhaustive);
     }
 
     #[test]

@@ -1,22 +1,183 @@
-//! Branch-and-bound search with an admissible cost lower bound.
+//! Tight-bound, work-stealing parallel branch-and-bound — exact `MinTco`
+//! over spaces enumeration cannot touch.
 //!
-//! A depth-first traversal assigns components left to right. For a partial
-//! assignment, `TCO ≥ cost-so-far + Σ min-cost(remaining components)`
-//! because the penalty term is non-negative. Whenever that bound meets or
-//! exceeds the best complete TCO found so far, the whole subtree is pruned.
+//! The previous incarnation of this module bounded a partial assignment by
+//! cost alone (`TCO ≥ cost-so-far + Σ min-cost(tail)`), which is admissible
+//! but blind: on penalty-dominated spaces the cheap subtrees are exactly
+//! the ones whose uptime collapses, and the cost bound never sees that
+//! coming. This version keeps the cost term and adds the penalty term the
+//! factorized evaluator makes cheap.
 //!
-//! Exact for [`Objective::MinTco`]; the outcome's evaluation list contains
-//! only the assignments actually visited, so Fig. 10-style full tables
+//! # The bound
+//!
+//! For a prefix `p` (components `0..p` chosen) with [`crate::fast`]
+//! accumulators `V_p = Π a_i` and `C_p = Σ C_HA,i`, and precomputed suffix
+//! aggregates `minC_p = Σ_{i≥p} min_j cost(i,j)` and
+//! `maxA_p = Π_{i≥p} max_j a(i,j)`, every completion `c` of `p` satisfies
+//!
+//! ```text
+//! TCO(c) ≥ C_p + minC_p + penalty_lb(V_p · maxA_p)
+//! ```
+//!
+//! because `U_s(c) ≤ Π a_i ≤ V_p · maxA_p` (Eq. 3's failover term only
+//! subtracts uptime) and the Eq. 5 penalty is monotone non-increasing in
+//! uptime. `penalty_lb` charges the clause for the *unrounded* slippage
+//! hours (minus half an hour under nearest-hour billing), so billing
+//! round-up can only increase the true penalty above the bound — see
+//! DESIGN.md §12 for the full admissibility derivation, which mirrors the
+//! §III.C exactness argument in [`crate::pruned`].
+//!
+//! # Exactness and determinism
+//!
+//! Pruning is strict — a subtree dies only when its bound exceeds the
+//! incumbent (an *achieved* TCO) by more than a fixed slack — so every
+//! leaf whose TCO ties the optimum survives in every execution, and the
+//! [`crate::objective::RankKey`] tie-breakers (fewer clustered components,
+//! then higher availability, then lexicographic-first) decide among them
+//! exactly as [`crate::fast::search`] decides. Workers steal prefix tasks
+//! from a shared counter and publish improvements to a process-wide
+//! incumbent (`AtomicU64` over the bit pattern of a non-negative `f64`,
+//! which orders like the float), so scheduling affects only *how much* is
+//! pruned, never *what wins*: results are bit-identical across thread
+//! counts. Visit/prune counters, by contrast, are timing-dependent under
+//! parallelism and are reported for observability, not compared for
+//! equality.
+//!
+//! Exact for [`Objective::MinTco`] only; the outcome is streaming (the
+//! evaluation list holds just the winner), so Fig. 10-style full tables
 //! should use [`crate::exhaustive`] or [`crate::pruned`] instead.
 
-use uptime_core::{MoneyPerMonth, TcoModel};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-use crate::evaluate::Evaluation;
-use crate::objective::Objective;
+use crossbeam::thread;
+use serde::{Deserialize, Serialize};
+use uptime_core::{Probability, RoundingPolicy, TcoModel};
+
+use crate::fast::{self, Accum, CandidateTerms, FastEvaluator};
+use crate::objective::{Objective, RankKey};
 use crate::outcome::{SearchOutcome, SearchStats};
 use crate::space::SearchSpace;
 
-/// Runs branch-and-bound minimization of total TCO.
+/// Absolute slack (dollars) subtracted from every bound before comparing
+/// against the incumbent. The bound and the leaf evaluation associate
+/// floating-point sums differently, so a bound can exceed the true TCO of
+/// its own subtree's optimum by a few ulps; the slack absorbs that noise
+/// (≤ ~1e-10 for realistic magnitudes) without giving up measurable
+/// pruning power. Without it, an ulp-high bound could prune a tie-optimal
+/// leaf and flip a tie-break.
+const BOUND_SLACK: f64 = 1e-6;
+
+/// How many prefix tasks to aim for per worker. More tasks → finer work
+/// stealing (better load balance when subtree costs are skewed by
+/// pruning); fewer → less per-task overhead.
+const TASKS_PER_THREAD: usize = 8;
+
+/// Branch-and-bound instrumentation beyond [`SearchStats`] — the shape of
+/// the search tree actually walked. Exposed as `optimizer.bnb.*` counters
+/// by [`search_with_threads_recorded`] and serialized into `BENCH_PR5.json`.
+///
+/// Under parallelism these counts depend on incumbent-propagation timing
+/// and are **not** deterministic across runs or thread counts (the argmin
+/// is — see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BnbStats {
+    /// Worker threads the search ran on.
+    pub threads: u64,
+    /// Prefix tasks pulled from the steal queue.
+    pub tasks: u64,
+    /// Interior tree nodes expanded (bound computed, children considered).
+    pub nodes_visited: u64,
+    /// Complete assignments evaluated at leaves.
+    pub leaves_evaluated: u64,
+    /// Bound cutoffs: subtrees discarded without descending.
+    pub subtrees_pruned: u64,
+    /// Complete assignments inside those discarded subtrees.
+    pub variants_skipped: u64,
+}
+
+/// Per-component suffix aggregates the bound is built from.
+struct Bounds {
+    /// `minC_p = Σ_{i≥p} min_j cost(i, j)`; index `n` is 0.
+    suffix_min_cost: Vec<f64>,
+    /// `maxA_p = Π_{i≥p} max_j a(i, j)`; index `n` is 1.
+    suffix_max_avail: Vec<f64>,
+    /// `Π_{i≥p} k_i` (saturating): variants under a depth-`p` node.
+    suffix_size: Vec<u64>,
+}
+
+impl Bounds {
+    fn new(terms: &[Vec<CandidateTerms>]) -> Self {
+        let n = terms.len();
+        let mut suffix_min_cost = vec![0.0; n + 1];
+        let mut suffix_max_avail = vec![1.0; n + 1];
+        let mut suffix_size = vec![1u64; n + 1];
+        for p in (0..n).rev() {
+            let min_cost = terms[p]
+                .iter()
+                .map(|t| t.cost)
+                .fold(f64::INFINITY, f64::min);
+            let max_avail = terms[p]
+                .iter()
+                .map(|t| t.availability)
+                .fold(0.0f64, f64::max);
+            suffix_min_cost[p] = suffix_min_cost[p + 1] + min_cost;
+            suffix_max_avail[p] = suffix_max_avail[p + 1] * max_avail;
+            suffix_size[p] = suffix_size[p + 1].saturating_mul(terms[p].len() as u64);
+        }
+        Bounds {
+            suffix_min_cost,
+            suffix_max_avail,
+            suffix_size,
+        }
+    }
+
+    /// Admissible lower bound on the TCO of every completion of a prefix
+    /// whose accumulators are `acc` and whose next unassigned component is
+    /// `depth`.
+    fn lower_bound(&self, model: &TcoModel, depth: usize, acc: &Accum) -> f64 {
+        let uptime_ub = Probability::saturating(acc.avail * self.suffix_max_avail[depth]);
+        let raw_hours = model.sla().slippage_hours_per_month(uptime_ub);
+        // Billing can only round the true raw hours *up* under Exact/Ceil;
+        // NearestHour can shave at most half an hour off.
+        let hours_lb = match model.rounding() {
+            RoundingPolicy::NearestHour => (raw_hours - 0.5).max(0.0),
+            RoundingPolicy::Exact | RoundingPolicy::CeilHour => raw_hours,
+        };
+        let penalty_lb = model.penalty().charge(hours_lb).value();
+        acc.cost + self.suffix_min_cost[depth] + penalty_lb
+    }
+}
+
+/// The admissible lower bound for a partial assignment, exposed so the
+/// property suite can check `bound(prefix) ≤ TCO(completion)` for every
+/// completion of random prefixes (`crates/optimizer/tests/bnb_properties.rs`).
+///
+/// `prefix` assigns candidates to components `0..prefix.len()`; the bound
+/// covers all ways of completing the remaining components.
+///
+/// # Panics
+///
+/// Panics if `prefix` is longer than the component list or indexes a
+/// candidate out of range.
+#[must_use]
+pub fn prefix_bound(space: &SearchSpace, model: &TcoModel, prefix: &[usize]) -> f64 {
+    let fast = FastEvaluator::new(space, model);
+    let terms = fast.terms();
+    assert!(
+        prefix.len() <= terms.len(),
+        "prefix longer than component list"
+    );
+    let bounds = Bounds::new(terms);
+    let mut acc = Accum::IDENTITY;
+    for (i, &idx) in prefix.iter().enumerate() {
+        acc = acc.push(&terms[i][idx]);
+    }
+    bounds.lower_bound(model, prefix.len(), &acc)
+}
+
+/// Single-threaded branch-and-bound minimization of total TCO. Exact:
+/// returns the same winner as [`crate::fast::search`] under
+/// [`Objective::MinTco`], visiting (usually far) fewer assignments.
 ///
 /// # Examples
 ///
@@ -37,74 +198,280 @@ use crate::space::SearchSpace;
 /// ```
 #[must_use]
 pub fn search(space: &SearchSpace, model: &TcoModel) -> SearchOutcome {
-    // Suffix minima of component costs: tail_min[i] = Σ_{j≥i} min_cost(j).
-    let n = space.len();
-    let mut tail_min = vec![MoneyPerMonth::ZERO; n + 1];
-    for i in (0..n).rev() {
-        tail_min[i] = tail_min[i + 1] + space.components()[i].min_cost();
+    search_with_threads(space, model, 1)
+}
+
+/// [`search`] across `threads` workers stealing prefix tasks; `0` means
+/// the machine's available parallelism. The winner is bit-identical for
+/// every thread count.
+#[must_use]
+pub fn search_with_threads(space: &SearchSpace, model: &TcoModel, threads: usize) -> SearchOutcome {
+    search_with_stats(space, model, threads).0
+}
+
+/// [`search_with_threads`] with observability: wraps the run in an
+/// `optimizer.bnb.search` span and flushes the [`BnbStats`] counters
+/// (`optimizer.bnb.{tasks,nodes_visited,leaves_evaluated,subtrees_pruned,`
+/// `variants_skipped}` plus the `optimizer.bnb.threads` gauge) when it
+/// finishes. The descent itself never touches the recorder.
+#[must_use]
+pub fn search_with_threads_recorded(
+    space: &SearchSpace,
+    model: &TcoModel,
+    threads: usize,
+    rec: &dyn uptime_obs::Recorder,
+) -> SearchOutcome {
+    let _span = uptime_obs::span!(rec, "optimizer.bnb.search");
+    let (outcome, stats) = search_with_stats(space, model, threads);
+    rec.gauge_set("optimizer.bnb.threads", stats.threads as f64);
+    rec.counter_add("optimizer.bnb.tasks", stats.tasks);
+    rec.counter_add("optimizer.bnb.nodes_visited", stats.nodes_visited);
+    rec.counter_add("optimizer.bnb.leaves_evaluated", stats.leaves_evaluated);
+    rec.counter_add("optimizer.bnb.subtrees_pruned", stats.subtrees_pruned);
+    rec.counter_add("optimizer.bnb.variants_skipped", stats.variants_skipped);
+    outcome
+}
+
+/// [`search_with_threads`] returning the tree-shape instrumentation
+/// alongside the outcome — what the bench bin serializes.
+#[must_use]
+pub fn search_with_stats(
+    space: &SearchSpace,
+    model: &TcoModel,
+    threads: usize,
+) -> (SearchOutcome, BnbStats) {
+    let threads = if threads == 0 {
+        crate::parallel::default_threads()
+    } else {
+        threads
+    };
+    let fast = FastEvaluator::new(space, model);
+    let terms = fast.terms();
+    let n = terms.len();
+    let bounds = Bounds::new(terms);
+
+    // Seed the incumbent with two cheap achieved TCOs so the very first
+    // tasks already prune: the all-min-cost assignment (wins when
+    // penalties stay small) and the all-max-availability assignment (wins
+    // when penalties dominate).
+    let min_cost_seed: Vec<usize> = terms
+        .iter()
+        .map(|comp| argmin_by(comp, |t| t.cost))
+        .collect();
+    let max_avail_seed: Vec<usize> = terms
+        .iter()
+        .map(|comp| argmin_by(comp, |t| -t.availability))
+        .collect();
+    let seed_total = fast
+        .rank_key(&min_cost_seed)
+        .total
+        .value()
+        .min(fast.rank_key(&max_avail_seed).total.value());
+    let incumbent = AtomicU64::new(seed_total.to_bits());
+
+    // Shard the top of the tree into prefix tasks: the smallest depth
+    // whose prefix count gives every worker several tasks to steal. Never
+    // split the last level — leaves must stay under an interior node so
+    // the bound gets a chance to cut them.
+    let target_tasks = threads.saturating_mul(TASKS_PER_THREAD).max(1);
+    let mut split_depth = 0usize;
+    let mut task_count = 1usize;
+    while split_depth + 1 < n && task_count < target_tasks {
+        task_count = task_count.saturating_mul(terms[split_depth].len());
+        split_depth += 1;
     }
 
-    let mut state = State {
-        space,
-        model,
-        tail_min,
-        best: None,
-        evaluations: Vec::new(),
-        stats: SearchStats::default(),
-        assignment: vec![0; n],
+    let next_task = AtomicUsize::new(0);
+    let run_worker = || -> (TaskWins, BnbStats) {
+        let mut walker = Walker {
+            model,
+            terms,
+            bounds: &bounds,
+            incumbent: &incumbent,
+            digits: vec![0usize; n],
+            best: None,
+            stats: BnbStats::default(),
+        };
+        let mut found = Vec::new();
+        loop {
+            let task = next_task.fetch_add(1, Ordering::Relaxed);
+            if task >= task_count {
+                break;
+            }
+            walker.stats.tasks += 1;
+            walker.best = None;
+            let acc = walker.seed_prefix(task, split_depth);
+            walker.enter(split_depth, acc);
+            if let Some((key, digits)) = walker.best.take() {
+                found.push((task, key, digits));
+            }
+        }
+        (found, walker.stats)
     };
-    descend(&mut state, 0, MoneyPerMonth::ZERO);
 
-    let State {
-        evaluations, stats, ..
-    } = state;
-    SearchOutcome::from_evaluations(Objective::MinTco, evaluations, stats)
+    let per_worker: Vec<(TaskWins, BnbStats)> = if threads == 1 {
+        vec![run_worker()]
+    } else {
+        thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| scope.spawn(|_| run_worker()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("branch-and-bound worker panicked"))
+                .collect()
+        })
+        .expect("thread scope panicked")
+    };
+
+    let mut stats = BnbStats {
+        threads: threads as u64,
+        ..BnbStats::default()
+    };
+    let mut candidates: TaskWins = Vec::new();
+    for (found, worker_stats) in per_worker {
+        stats.tasks += worker_stats.tasks;
+        stats.nodes_visited += worker_stats.nodes_visited;
+        stats.leaves_evaluated += worker_stats.leaves_evaluated;
+        stats.subtrees_pruned += worker_stats.subtrees_pruned;
+        stats.variants_skipped += worker_stats.variants_skipped;
+        candidates.extend(found);
+    }
+
+    // Merge in task (= lexicographic prefix) order with strict
+    // replacement: among equal keys the earliest assignment wins, exactly
+    // as the streaming enumeration tie-breaks.
+    candidates.sort_by_key(|(task, _, _)| *task);
+    let objective = Objective::MinTco;
+    let mut best: Option<(RankKey, Vec<usize>)> = None;
+    for (_, key, digits) in candidates {
+        let improved = match &best {
+            None => true,
+            Some((b, _)) => objective.better_key(&key, b),
+        };
+        if improved {
+            best = Some((key, digits));
+        }
+    }
+    let (_, best_digits) = best.expect("non-empty spaces always yield a winner");
+    let winner = fast.evaluate(&best_digits);
+    let outcome = SearchOutcome::from_evaluations(
+        objective,
+        vec![winner],
+        SearchStats {
+            evaluated: stats.leaves_evaluated,
+            skipped: stats.variants_skipped,
+        },
+    );
+    (outcome, stats)
 }
 
-struct State<'a> {
-    space: &'a SearchSpace,
+/// Per-task winners one worker collected: `(task index, rank key, digits)`.
+type TaskWins = Vec<(usize, RankKey, Vec<usize>)>;
+
+fn argmin_by(comp: &[CandidateTerms], score: impl Fn(&CandidateTerms) -> f64) -> usize {
+    let mut best = 0usize;
+    for (idx, t) in comp.iter().enumerate().skip(1) {
+        if score(t) < score(&comp[best]) {
+            best = idx;
+        }
+    }
+    best
+}
+
+/// One worker's depth-first descent state. The digit/accumulator stacks
+/// are reused across tasks, so the hot loop allocates nothing.
+struct Walker<'a> {
     model: &'a TcoModel,
-    tail_min: Vec<MoneyPerMonth>,
-    best: Option<MoneyPerMonth>,
-    evaluations: Vec<Evaluation>,
-    stats: SearchStats,
-    assignment: Vec<usize>,
+    terms: &'a [Vec<CandidateTerms>],
+    bounds: &'a Bounds,
+    incumbent: &'a AtomicU64,
+    digits: Vec<usize>,
+    best: Option<(RankKey, Vec<usize>)>,
+    stats: BnbStats,
 }
 
-fn subtree_size(space: &SearchSpace, depth: usize) -> u64 {
-    space.components()[depth..]
-        .iter()
-        .map(|c| c.len() as u64)
-        .product()
-}
+impl Walker<'_> {
+    /// Decodes a prefix task index (mixed radix over components
+    /// `0..split_depth`, most significant first — the same flat-index
+    /// layout [`FastEvaluator::cursor_at`] shards by) into the digit stack
+    /// and returns the prefix accumulators.
+    fn seed_prefix(&mut self, task: usize, split_depth: usize) -> Accum {
+        let mut rem = task;
+        for pos in (0..split_depth).rev() {
+            let radix = self.terms[pos].len();
+            self.digits[pos] = rem % radix;
+            rem /= radix;
+        }
+        debug_assert_eq!(rem, 0, "task index out of range");
+        let mut acc = Accum::IDENTITY;
+        for pos in 0..split_depth {
+            acc = acc.push(&self.terms[pos][self.digits[pos]]);
+        }
+        acc
+    }
 
-fn descend(state: &mut State<'_>, depth: usize, cost_so_far: MoneyPerMonth) {
-    // Admissible bound: no subtree can undercut cost-so-far + cheapest tail.
-    if let Some(best) = state.best {
-        let bound = cost_so_far + state.tail_min[depth];
-        if bound >= best {
-            state.stats.skipped += subtree_size(state.space, depth);
+    /// Bound-checks the subtree rooted at `depth`, then descends into it.
+    fn enter(&mut self, depth: usize, acc: Accum) {
+        if depth < self.digits.len() {
+            let incumbent = f64::from_bits(self.incumbent.load(Ordering::Relaxed));
+            if self.bounds.lower_bound(self.model, depth, &acc) - BOUND_SLACK > incumbent {
+                self.stats.subtrees_pruned += 1;
+                self.stats.variants_skipped += self.bounds.suffix_size[depth];
+                return;
+            }
+        }
+        self.descend(depth, acc);
+    }
+
+    fn descend(&mut self, depth: usize, acc: Accum) {
+        if depth == self.digits.len() {
+            self.leaf(&acc);
             return;
         }
-    }
-
-    if depth == state.space.len() {
-        let evaluation = Evaluation::evaluate(state.space, state.model, &state.assignment);
-        state.stats.evaluated += 1;
-        let total = evaluation.tco().total();
-        if state.best.is_none_or(|b| total < b) {
-            state.best = Some(total);
+        self.stats.nodes_visited += 1;
+        let last = depth + 1 == self.digits.len();
+        for idx in 0..self.terms[depth].len() {
+            self.digits[depth] = idx;
+            let child = acc.push(&self.terms[depth][idx]);
+            if last {
+                self.leaf(&child);
+                continue;
+            }
+            // Bound each child before recursing: one prune here skips the
+            // whole child subtree without a stack frame.
+            let incumbent = f64::from_bits(self.incumbent.load(Ordering::Relaxed));
+            if self.bounds.lower_bound(self.model, depth + 1, &child) - BOUND_SLACK > incumbent {
+                self.stats.subtrees_pruned += 1;
+                self.stats.variants_skipped += self.bounds.suffix_size[depth + 1];
+                continue;
+            }
+            self.descend(depth + 1, child);
         }
-        state.evaluations.push(evaluation);
-        return;
     }
 
-    for idx in 0..state.space.components()[depth].len() {
-        state.assignment[depth] = idx;
-        let candidate_cost = state.space.components()[depth].candidates()[idx].monthly_cost();
-        descend(state, depth + 1, cost_so_far + candidate_cost);
+    fn leaf(&mut self, acc: &Accum) {
+        self.stats.leaves_evaluated += 1;
+        let key = fast::finish(self.model, acc).2;
+        let improved = match &self.best {
+            None => true,
+            Some((b, _)) => Objective::MinTco.better_key(&key, b),
+        };
+        if improved {
+            let total = key.total.value();
+            let incumbent = f64::from_bits(self.incumbent.load(Ordering::Relaxed));
+            if total < incumbent {
+                self.incumbent.fetch_min(total.to_bits(), Ordering::Relaxed);
+            }
+            if let Some((k, d)) = &mut self.best {
+                *k = key;
+                d.clear();
+                d.extend_from_slice(&self.digits);
+            } else {
+                self.best = Some((key, self.digits.clone()));
+            }
+        }
     }
-    state.assignment[depth] = 0;
 }
 
 #[cfg(test)]
@@ -146,10 +513,46 @@ mod tests {
 
     #[test]
     fn prunes_expensive_subtrees() {
-        // With costs dominating penalties, entire subtrees get bounded away.
-        let space = paper_space();
-        let bb = search(&space, &case_study::tco_model());
-        assert!(bb.stats().skipped > 0, "expected pruning on the case study");
+        use crate::space::{Candidate, ComponentChoices};
+        use uptime_core::{ClusterSpec, MoneyPerMonth, Probability};
+        // Component 0 offers a cheap and a ruinously expensive candidate
+        // with the same availability; once any cheap-side leaf becomes the
+        // incumbent, the expensive prefix's cost bound alone exceeds it
+        // and that whole subtree must die unvisited.
+        let component = |name: &str, costs: &[f64]| {
+            ComponentChoices::new(
+                name,
+                costs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &cost)| {
+                        Candidate::new(
+                            format!("{name}-{i}"),
+                            ClusterSpec::singleton(name, Probability::new(0.0001).unwrap(), 1.0)
+                                .unwrap(),
+                            MoneyPerMonth::new(cost).unwrap(),
+                            false,
+                        )
+                    })
+                    .collect(),
+            )
+            .unwrap()
+        };
+        let space = SearchSpace::new(vec![
+            component("gate", &[100.0, 1_000_000.0]),
+            component("tail", &[10.0, 20.0, 30.0]),
+        ])
+        .unwrap();
+        let (outcome, stats) = search_with_stats(&space, &case_study::tco_model(), 1);
+        assert!(stats.subtrees_pruned > 0, "expected a bound cutoff");
+        assert!(
+            outcome.stats().skipped >= 3,
+            "expensive subtree has 3 leaves"
+        );
+        assert_eq!(
+            u128::from(outcome.stats().considered()),
+            space.assignment_count()
+        );
     }
 
     #[test]
@@ -191,5 +594,85 @@ mod tests {
         let outcome = search(&space, &case_study::tco_model());
         assert_eq!(outcome.stats().evaluated, 1);
         assert!(outcome.best().is_some());
+    }
+
+    #[test]
+    fn thread_counts_agree_bit_identically() {
+        let catalog = extended::hybrid_catalog();
+        let model = case_study::tco_model();
+        let space = SearchSpace::from_catalog(
+            &catalog,
+            &extended::nimbus_id(),
+            &ComponentKind::paper_tiers(),
+        )
+        .unwrap();
+        let serial = search_with_threads(&space, &model, 1);
+        for threads in [2, 4, 8] {
+            let parallel = search_with_threads(&space, &model, threads);
+            assert_eq!(
+                serial.best().unwrap(),
+                parallel.best().unwrap(),
+                "{threads} threads"
+            );
+            assert_eq!(
+                u128::from(parallel.stats().considered()),
+                space.assignment_count(),
+                "{threads} threads must still cover the space"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_fast_search_winner_exactly() {
+        let space = paper_space();
+        let model = case_study::tco_model();
+        let streaming = fast::search(&space, &model, Objective::MinTco);
+        let bb = search(&space, &model);
+        assert_eq!(streaming.best().unwrap(), bb.best().unwrap());
+    }
+
+    #[test]
+    fn prefix_bound_is_admissible_on_the_case_study() {
+        let space = paper_space();
+        let model = case_study::tco_model();
+        let fast_eval = FastEvaluator::new(&space, &model);
+        for depth in 0..=space.len() {
+            for assignment in space.assignments() {
+                let prefix = &assignment[..depth];
+                let bound = prefix_bound(&space, &model, prefix);
+                // Every full assignment extending this prefix must cost at
+                // least the bound.
+                for completion in space.assignments() {
+                    if completion[..depth] == *prefix {
+                        let tco = fast_eval.evaluate(&completion).tco().total().value();
+                        assert!(
+                            bound <= tco + 1e-9,
+                            "bound {bound} > tco {tco} for prefix {prefix:?} -> {completion:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recorded_search_is_bit_identical_and_counts() {
+        let space = paper_space();
+        let model = case_study::tco_model();
+        let registry = uptime_obs::MetricsRegistry::new();
+        let plain = search_with_threads(&space, &model, 1);
+        let recorded = search_with_threads_recorded(&space, &model, 1, &registry);
+        assert_eq!(
+            plain.best().unwrap(),
+            recorded.best().unwrap(),
+            "instrumentation must not change results"
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("optimizer.bnb.search.calls"), Some(1));
+        assert_eq!(snap.histogram("optimizer.bnb.search.ns").unwrap().count, 1);
+        let visited = snap.counter("optimizer.bnb.leaves_evaluated").unwrap();
+        let skipped = snap.counter("optimizer.bnb.variants_skipped").unwrap();
+        assert_eq!(u128::from(visited + skipped), space.assignment_count());
+        assert_eq!(snap.gauge("optimizer.bnb.threads"), Some(1.0));
     }
 }

@@ -48,37 +48,40 @@ use crate::outcome::{SearchOutcome, SearchStats};
 use crate::space::SearchSpace;
 
 /// The cached per-candidate factors of Eqs. 2–3 and Eq. 5.
+///
+/// Crate-visible so `crate::branch_bound` can drive its descent off the
+/// same cached scalars instead of re-deriving them.
 #[derive(Debug, Clone, Copy)]
-struct CandidateTerms {
+pub(crate) struct CandidateTerms {
     /// `a_i`: binomial survival `Σ_j C(K,j)(1−P)^j P^{K−j}` (Eq. 2 factor).
-    availability: f64,
+    pub(crate) availability: f64,
     /// `φ_i = f·t·(K−K̂)/δ`: failover year fraction (Eq. 3 numerator).
-    failover_fraction: f64,
+    pub(crate) failover_fraction: f64,
     /// `x_i = (1−P)^{K−K̂}`: all-active-up survival (Eq. 3 factor).
-    active_up: f64,
+    pub(crate) active_up: f64,
     /// Monthly `C_HA` contribution (Eq. 5 term).
-    cost: f64,
+    pub(crate) cost: f64,
     /// Whether this is the component's "no HA" baseline.
-    baseline: bool,
+    pub(crate) baseline: bool,
 }
 
 /// Running accumulators after consuming a prefix of the assignment.
 #[derive(Debug, Clone, Copy)]
-struct Accum {
+pub(crate) struct Accum {
     /// `V_p = Π a_i` over the prefix.
-    avail: f64,
+    pub(crate) avail: f64,
     /// `X_p = Π x_i` over the prefix.
-    active: f64,
+    pub(crate) active: f64,
     /// `S_p = Σ φ_i Π_{j≠i} x_j` over the prefix.
-    failover: f64,
+    pub(crate) failover: f64,
     /// `C_p = Σ C_HA,i` over the prefix.
-    cost: f64,
+    pub(crate) cost: f64,
     /// `κ_p`: non-baseline choices in the prefix.
-    cardinality: usize,
+    pub(crate) cardinality: usize,
 }
 
 impl Accum {
-    const IDENTITY: Accum = Accum {
+    pub(crate) const IDENTITY: Accum = Accum {
         avail: 1.0,
         active: 1.0,
         failover: 0.0,
@@ -90,7 +93,7 @@ impl Accum {
     /// place the recurrences live, so the slice evaluator, the cursor, and
     /// every shard combine terms in bit-identical order.
     #[inline]
-    fn push(self, t: &CandidateTerms) -> Accum {
+    pub(crate) fn push(self, t: &CandidateTerms) -> Accum {
         Accum {
             avail: self.avail * t.availability,
             active: self.active * t.active_up,
@@ -175,6 +178,12 @@ impl<'a> FastEvaluator<'a> {
     #[must_use]
     pub fn model(&self) -> &'a TcoModel {
         self.model
+    }
+
+    /// The cached per-component candidate terms, in component order — the
+    /// raw material `crate::branch_bound` bounds and descends over.
+    pub(crate) fn terms(&self) -> &[Vec<CandidateTerms>] {
+        &self.terms
     }
 
     /// Evaluates one assignment from cached terms — semantically identical
@@ -264,7 +273,7 @@ impl<'a> FastEvaluator<'a> {
 }
 
 /// Turns final accumulators into the same artifacts the naive path builds.
-fn finish(model: &TcoModel, acc: &Accum) -> (UptimeBreakdown, TcoBreakdown, RankKey) {
+pub(crate) fn finish(model: &TcoModel, acc: &Accum) -> (UptimeBreakdown, TcoBreakdown, RankKey) {
     let breakdown = Probability::saturating(1.0 - acc.avail);
     let failover = Probability::saturating(acc.failover);
     let uptime = UptimeBreakdown::from_components(breakdown, failover);

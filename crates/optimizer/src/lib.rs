@@ -17,7 +17,11 @@
 //!   ascending number of clustered components and skip supersets of any
 //!   SLA-satisfying permutation. Exact (see module docs for the cost
 //!   argument, which is sharper than the paper's uptime argument).
-//! * [`branch_bound::search`] — DFS with a cost lower bound; exact.
+//! * [`branch_bound::search`] — tight-bound branch-and-bound: cost plus an
+//!   admissible penalty lower bound from best-case suffix survival, with a
+//!   work-stealing parallel variant
+//!   ([`branch_bound::search_with_threads`]) pruning against a shared
+//!   incumbent. Exact for `MinTco`, thread-count-independent results.
 //! * [`greedy::search`] / [`anneal::search`] — inexact heuristics used as
 //!   ablation baselines in the benchmarks.
 //! * [`pareto::frontier`] — the cost/uptime Pareto front.
@@ -60,6 +64,7 @@ pub mod pruned;
 pub mod space;
 pub mod sweep;
 
+pub use branch_bound::BnbStats;
 pub use evaluate::Evaluation;
 pub use fast::{FastCursor, FastEvaluator};
 pub use objective::{Objective, RankKey};

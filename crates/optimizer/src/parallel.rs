@@ -289,7 +289,7 @@ pub fn search_best(space: &SearchSpace, model: &TcoModel, objective: Objective) 
     search_best_with_threads(space, model, objective, default_threads())
 }
 
-fn default_threads() -> usize {
+pub(crate) fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)

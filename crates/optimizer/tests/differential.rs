@@ -8,6 +8,9 @@
 //!   naive exhaustive reference, with TCO and uptime within `1e-12`.
 //! * `parallel::search_with_threads` must reproduce the exhaustive
 //!   evaluation list **exactly** (bit-for-bit), at several thread counts.
+//! * `branch_bound::search_with_threads` must return a winner bit-identical
+//!   to `fast::search` at 1, 2, and 8 worker threads, with
+//!   `evaluated + skipped` covering the whole space.
 //! * `greedy` is a heuristic: its result must be a valid assignment whose
 //!   TCO is an **upper bound** on (never better than) the true optimum.
 //!
@@ -223,6 +226,35 @@ fn run_differential(seed: u64) {
     );
     let bounded = branch_bound::search(&space, &model);
     assert_same_optimum("branch_bound", &reference, bounded.best().unwrap());
+    assert_eq!(
+        u128::from(bounded.stats().considered()),
+        space.assignment_count(),
+        "branch_bound: evaluated + skipped must cover the space"
+    );
+
+    // The bounded search shares the factorized evaluator with `fast`, so
+    // its winner must be bit-identical (not merely within tolerance) to
+    // the streaming argmin — and independent of the worker count.
+    let streaming = fast::search(&space, &model, Objective::MinTco);
+    let serial_best = bounded.best().unwrap();
+    assert_eq!(
+        serial_best,
+        streaming.best().unwrap(),
+        "branch_bound: winner must equal fast::search bit-for-bit"
+    );
+    for threads in [2, 8] {
+        let sharded = branch_bound::search_with_threads(&space, &model, threads);
+        assert_eq!(
+            sharded.best().unwrap(),
+            serial_best,
+            "branch_bound x{threads}: winner diverged from single-threaded run"
+        );
+        assert_eq!(
+            u128::from(sharded.stats().considered()),
+            space.assignment_count(),
+            "branch_bound x{threads}: evaluated + skipped must cover the space"
+        );
+    }
 }
 
 #[test]

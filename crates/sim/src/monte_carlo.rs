@@ -128,7 +128,10 @@ impl MonteCarloRunner {
         self
     }
 
-    /// Sets the base RNG seed (trial `i` uses `base_seed + i`).
+    /// Sets the base RNG seed. Trial `i` runs on
+    /// [`crate::rng::stream_seed`]`(base_seed, i)` — a splitmix64-mixed
+    /// derivation, so trials get statistically independent streams rather
+    /// than the adjacent `StdRng` states `base_seed + i` would produce.
     #[must_use]
     pub fn base_seed(mut self, seed: u64) -> Self {
         self.base_seed = seed;
@@ -192,7 +195,8 @@ impl MonteCarloRunner {
                             .map(|&i| {
                                 Simulation::new(
                                     system,
-                                    SimConfig::years(years).with_seed(base + u64::from(i)),
+                                    SimConfig::years(years)
+                                        .with_seed(crate::rng::stream_seed(base, u64::from(i))),
                                 )
                                 .expect("validated by probe")
                                 .run_recorded(rec)
