@@ -1,0 +1,257 @@
+//! PR 6 benchmark driver: write-ahead journaling overhead on the
+//! telemetry absorb path, plus recovery replay throughput, emitting
+//! machine-readable `BENCH_PR6.json` (written to the working directory,
+//! or to the path given as the first argument).
+//!
+//! ```text
+//! cargo run --release -p uptime-bench --bin journal_bench [-- out.json] [--enforce]
+//! ```
+//!
+//! Three variants of the same absorb workload — no durability, the
+//! default `--fsync os` policy (journal writes land in the page cache;
+//! kill -9 safe), and `--fsync always` (every append fsynced; power-loss
+//! safe) — each driving the identical `sync_telemetry` call sequence
+//! against clean simulated providers. With `--enforce`, the acceptance
+//! gate becomes a hard failure (nonzero exit): the default policy must
+//! cost ≤ 10 % over the undurable baseline.
+
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use uptime_broker::{BrokerService, DurabilityConfig, GroundTruth, SimulatedProvider};
+use uptime_catalog::{case_study, CatalogStore, CloudId, ComponentKind};
+use uptime_durability::FsyncPolicy;
+
+/// Absorbs per timed run (each is a full harvest + estimate + absorb).
+/// Sized to put automatic snapshots (default cadence: one per 1024
+/// absorbs) inside the timed window, so the measured overhead includes
+/// amortized snapshot cost, not just journal appends.
+const ABSORBS: u64 = 2048;
+
+/// Absorbs per interleaving slice of a paired run (see [`measure_pair`]).
+const CHUNK: usize = 64;
+
+/// Paired repetitions per variant: each contributes one overhead ratio,
+/// and the median across reps rejects reps that landed on a writeback
+/// burst or scheduler hiccup.
+const REPS: u32 = 5;
+
+fn scratch_dir(tag: &str, rep: u32) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "uptime-journal-bench-{tag}-{rep}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn providers(broker: &BrokerService, store: &CatalogStore) -> Vec<(CloudId, Vec<ComponentKind>)> {
+    let mut targets = Vec::new();
+    for id in store.cloud_ids() {
+        let profile = store.cloud(id).expect("listed id resolves");
+        let mut provider = SimulatedProvider::new(id.clone(), profile.display_name());
+        let mut kinds = Vec::new();
+        for kind in profile.observed_components() {
+            let record = profile.reliability(kind).expect("observed");
+            provider = provider.with_ground_truth(
+                kind,
+                GroundTruth {
+                    down_probability: record.down_probability(),
+                    failures_per_year: record.failures_per_year(),
+                },
+            );
+            kinds.push(kind);
+        }
+        broker.register_provider(Box::new(provider));
+        targets.push((id.clone(), kinds));
+    }
+    targets
+}
+
+/// The absorb call sequence both sides of a comparison execute: a
+/// round-robin over every observed (cloud, kind) with per-call seeds.
+fn sync_plan(targets: &[(CloudId, Vec<ComponentKind>)]) -> Vec<(CloudId, ComponentKind, u64)> {
+    let mut plan = Vec::with_capacity(ABSORBS as usize);
+    let mut absorbed = 0u64;
+    'outer: loop {
+        for (cloud, kinds) in targets {
+            for (k, kind) in kinds.iter().enumerate() {
+                if absorbed >= ABSORBS {
+                    break 'outer;
+                }
+                plan.push((cloud.clone(), *kind, 5_000 + absorbed * 31 + k as u64));
+                absorbed += 1;
+            }
+        }
+    }
+    plan
+}
+
+/// Drives one chunk of the plan through `broker`, returning elapsed ns.
+fn drive_chunk(broker: &BrokerService, chunk: &[(CloudId, ComponentKind, u64)]) -> u128 {
+    let start = Instant::now();
+    for (cloud, kind, seed) in chunk {
+        broker
+            .sync_telemetry(cloud, *kind, 20, 5.0, *seed)
+            .expect("clean sync absorbs");
+    }
+    let ns = start.elapsed().as_nanos();
+    black_box(broker.telemetry_epoch());
+    ns
+}
+
+/// One paired run: an undurable baseline broker and a durable broker
+/// alternate [`CHUNK`]-absorb slices of the identical call plan, each
+/// side's time accumulated separately. Because the two sides interleave
+/// at millisecond granularity, CPU-frequency and cache drift — which
+/// unfolds over tens of milliseconds and otherwise swamps a
+/// single-digit-percent overhead — lands on both sides almost equally
+/// and cancels in the ratio. Returns (baseline_ns, durable_ns,
+/// journal_bytes).
+fn measure_pair(
+    store: &CatalogStore,
+    fsync: FsyncPolicy,
+    tag: &str,
+    rep: u32,
+) -> (u128, u128, u64) {
+    let baseline = BrokerService::new(store.clone());
+    let base_targets = providers(&baseline, store);
+    let dir = scratch_dir(tag, rep);
+    let config = DurabilityConfig::new(&dir).with_fsync(fsync);
+    let (durable, _) = BrokerService::new(store.clone())
+        .with_durability(config)
+        .expect("durability attaches");
+    providers(&durable, store);
+    let plan = sync_plan(&base_targets);
+
+    let mut base_ns = 0u128;
+    let mut dur_ns = 0u128;
+    for chunk in plan.chunks(CHUNK) {
+        base_ns += drive_chunk(&baseline, chunk);
+        dur_ns += drive_chunk(&durable, chunk);
+    }
+    let journal_bytes = std::fs::metadata(dir.join("journal.log"))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    let _ = std::fs::remove_dir_all(&dir);
+    (base_ns, dur_ns, journal_bytes)
+}
+
+/// Times a cold recovery replay of a journal holding [`ABSORBS`] records
+/// (no snapshot acceleration). Returns (ns, replayed).
+fn measure_recovery(store: &CatalogStore) -> (u128, u64) {
+    let dir = scratch_dir("recovery", 0);
+    let config = DurabilityConfig::new(&dir)
+        .with_fsync(FsyncPolicy::Os)
+        .with_snapshot_every(0);
+    let (writer, _) = BrokerService::new(store.clone())
+        .with_durability(config)
+        .expect("durability attaches");
+    let targets = providers(&writer, store);
+    let _ = drive_chunk(&writer, &sync_plan(&targets));
+    drop(writer);
+
+    let start = Instant::now();
+    let fresh = BrokerService::new(store.clone());
+    let report = fresh.verify_recovery(&dir).expect("recovery replays");
+    let ns = start.elapsed().as_nanos();
+    assert_eq!(report.replayed, ABSORBS, "every record replays");
+    let _ = std::fs::remove_dir_all(&dir);
+    (ns, report.replayed)
+}
+
+/// Overhead from per-rep durable/baseline ratios (each produced by one
+/// chunk-interleaved [`measure_pair`]): the median across reps rejects
+/// the occasional rep that landed on a frequency transition or
+/// writeback burst. Far more stable than comparing best-of-N absolute
+/// times.
+fn overhead_pct(ratios: &mut [f64]) -> f64 {
+    assert!(!ratios.is_empty());
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+    (ratios[ratios.len() / 2] - 1.0) * 100.0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let enforce = args.iter().any(|a| a == "--enforce");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR6.json".to_owned());
+
+    let store = case_study::catalog();
+
+    eprintln!(
+        "journal_bench: {ABSORBS} absorbs x {REPS} paired reps per variant (chunk = {CHUNK})"
+    );
+    // The gated comparison first: the fsync-heavy variant runs after all
+    // gate reps so its fsync storms cannot pollute them.
+    let mut baseline_ns = u128::MAX;
+    let mut os_ns = u128::MAX;
+    let mut os_bytes = 0u64;
+    let mut os_ratios = Vec::with_capacity(REPS as usize);
+    for rep in 0..REPS {
+        let (base, ns, bytes) = measure_pair(&store, FsyncPolicy::Os, "fsync-os", rep);
+        baseline_ns = baseline_ns.min(base);
+        if ns < os_ns {
+            os_ns = ns;
+            os_bytes = bytes;
+        }
+        os_ratios.push(ns as f64 / base as f64);
+    }
+    let mut always_ns = u128::MAX;
+    let mut always_ratios = Vec::with_capacity(REPS as usize);
+    for rep in 0..REPS {
+        let (base, ns, _) = measure_pair(&store, FsyncPolicy::Always, "fsync-always", rep);
+        always_ns = always_ns.min(ns);
+        always_ratios.push(ns as f64 / base as f64);
+    }
+    eprintln!("  baseline (no durability):   {:>12} ns", baseline_ns);
+    eprintln!("  durable --fsync os:         {:>12} ns", os_ns);
+    eprintln!("  durable --fsync always:     {:>12} ns", always_ns);
+    let (recovery_ns, replayed) = measure_recovery(&store);
+    eprintln!("  cold replay of {replayed} records: {:>9} ns", recovery_ns);
+
+    let os_overhead = overhead_pct(&mut os_ratios);
+    let always_overhead = overhead_pct(&mut always_ratios);
+    let gate_pass = os_overhead <= 10.0;
+
+    let report = serde_json::json!({
+        "bench": "journal_absorb_overhead",
+        "absorbs": ABSORBS,
+        "reps": REPS,
+        "baseline_ns": baseline_ns as u64,
+        "fsync_os_ns": os_ns as u64,
+        "fsync_always_ns": always_ns as u64,
+        "journal_bytes": os_bytes,
+        "overhead_pct": {
+            "fsync_os": os_overhead,
+            "fsync_always": always_overhead,
+        },
+        "recovery": {
+            "replay_ns": recovery_ns as u64,
+            "records": replayed,
+            "records_per_sec": if recovery_ns == 0 { 0.0 }
+                else { replayed as f64 / (recovery_ns as f64 / 1e9) },
+        },
+        "gates": {
+            "fsync_os_overhead_le_10pct": gate_pass,
+        },
+    });
+    let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, format!("{rendered}\n")).expect("report written");
+    eprintln!(
+        "journal_bench: default-policy overhead {:.2}% (gate: <= 10%), report -> {out_path}",
+        os_overhead
+    );
+
+    if enforce && !gate_pass {
+        eprintln!(
+            "journal_bench: GATE FAILED — fsync=os overhead {:.2}% exceeds 10%",
+            os_overhead
+        );
+        std::process::exit(1);
+    }
+}

@@ -18,13 +18,23 @@
 //! brokerctl metacloud
 //!     Cross-provider (metacloud) recommendation over the hybrid catalog.
 //!
-//! brokerctl serve [--hybrid] [--addr HOST:PORT] [--workers N] [--queue N] [--chaos SEED] [--stdin]
+//! brokerctl serve [--hybrid] [--addr HOST:PORT] [--workers N] [--queue N] [--chaos SEED]
+//!                 [--state-dir DIR] [--fsync os|always|every:N] [--snapshot-every N] [--stdin]
 //!     Run the long-lived serving daemon: newline-delimited JSON frames
 //!     over TCP, answered through a telemetry-epoch-keyed response cache,
 //!     single-flight coalescing, and a backpressured worker pool that
-//!     sheds (429) when the admission queue is full. With --stdin, the
+//!     sheds (429) when the admission queue is full. With --state-dir the
+//!     broker recovers its pre-crash state on startup and journals every
+//!     accepted telemetry batch before absorbing it. With --stdin, the
 //!     legacy loop: one SolutionRequest JSON per stdin line, one JSON
 //!     response per line ({"ok": ...} or {"error": ...}).
+//!
+//! brokerctl recover [--verify] [--json] [--compact] [--disk-chaos SEED] --state-dir DIR
+//!     Replay a state directory and report what recovery found. --verify
+//!     is a dry run that leaves the journal untouched; --compact folds
+//!     the journal into a fresh snapshot after recovery. Exits 0 on a
+//!     clean recovery, 3 when the state was degraded (torn tail,
+//!     quarantined or malformed records), 1 on I/O failure.
 //!
 //! brokerctl health [--hybrid] [--json] [--chaos] [SEED]
 //!     Register a simulated provider per cloud, drive telemetry sync
@@ -41,15 +51,17 @@
 //!     Print usage, including the exit-code contract.
 //! ```
 
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use uptime_broker::{
-    report, settlement, BrokerService, ChaosConfig, ChaosProvider, GroundTruth, SearchEngine,
-    ServingBroker, SimulatedProvider, SolutionRequest,
+    report, settlement, BrokerService, ChaosConfig, ChaosProvider, DurabilityConfig, GroundTruth,
+    RecoveryReport, SearchEngine, ServingBroker, SimulatedProvider, SolutionRequest,
 };
 use uptime_catalog::{case_study, extended, CatalogStore, ComponentKind};
 use uptime_core::{PenaltyClause, RoundingPolicy, SystemSpec};
+use uptime_durability::{DiskChaos, FsyncPolicy, StateDir};
 use uptime_optimizer::{sweep, SearchSpace};
 use uptime_serve::{Server, ServerConfig};
 
@@ -59,10 +71,37 @@ fn main() -> ExitCode {
     let mut positional: Vec<&str> = Vec::new();
     let mut command = None;
     let mut engine = SearchEngine::default();
+    let mut state_dir: Option<String> = None;
+    let mut disk_chaos: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
-        if arg == "--engine" {
+        if arg == "--state-dir" {
+            i += 1;
+            match args.get(i) {
+                Some(v) => state_dir = Some(v.clone()),
+                None => {
+                    eprintln!("brokerctl: --state-dir needs a directory");
+                    return ExitCode::from(2);
+                }
+            }
+        } else if arg == "--disk-chaos" {
+            i += 1;
+            let value = match args.get(i) {
+                Some(v) => v,
+                None => {
+                    eprintln!("brokerctl: --disk-chaos needs a seed");
+                    return ExitCode::from(2);
+                }
+            };
+            disk_chaos = match value.parse() {
+                Ok(seed) => Some(seed),
+                Err(_) => {
+                    eprintln!("brokerctl: --disk-chaos seed must be an integer");
+                    return ExitCode::from(2);
+                }
+            };
+        } else if arg == "--engine" {
             i += 1;
             let value = match args.get(i) {
                 Some(v) => v,
@@ -105,9 +144,31 @@ fn main() -> ExitCode {
             }
         };
     }
+    if command == Some("recover") {
+        let Some(dir) = state_dir.as_deref().or_else(|| positional.first().copied()) else {
+            eprintln!("brokerctl: recover needs a state directory (--state-dir DIR or DIR)");
+            return ExitCode::from(2);
+        };
+        let verify = flags.contains(&"--verify");
+        let compact = flags.contains(&"--compact");
+        return match recover_command(hybrid, json, verify, compact, disk_chaos, dir) {
+            Ok(true) => ExitCode::from(3),
+            Ok(false) => ExitCode::SUCCESS,
+            Err(err) => {
+                eprintln!("brokerctl: {err}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let result = match command {
         Some("catalog") => catalog_command(hybrid),
-        Some("recommend") => recommend_command(hybrid, json, engine, positional.first().copied()),
+        Some("recommend") => recommend_command(
+            hybrid,
+            json,
+            engine,
+            state_dir.as_deref(),
+            positional.first().copied(),
+        ),
         Some("sweep") => sweep_command(hybrid, &positional),
         Some("settle") => settle_command(&positional),
         Some("metacloud") => metacloud_command(engine),
@@ -120,7 +181,7 @@ fn main() -> ExitCode {
         ),
         _ => {
             eprintln!(
-                "usage: brokerctl <catalog|recommend|sweep|settle|metacloud|serve|health|obs> [options]"
+                "usage: brokerctl <catalog|recommend|sweep|settle|metacloud|serve|health|obs|recover> [options]"
             );
             eprintln!("       run `brokerctl help` for details and exit codes");
             return ExitCode::from(2);
@@ -145,7 +206,7 @@ Usage: brokerctl <COMMAND> [options]
 Commands:
   catalog [--hybrid]
       List clouds, HA methods, prices and reliability records.
-  recommend [--hybrid] [--json] [--engine exhaustive|bnb] [REQUEST.json]
+  recommend [--hybrid] [--json] [--engine exhaustive|bnb] [--state-dir DIR] [REQUEST.json]
       Run the full recommendation pipeline (default: the paper's
       case-study intake, 98% SLA and $100/h penalty). With
       --engine bnb, the exact winner is proven by tight-bound parallel
@@ -162,14 +223,24 @@ Commands:
       Cross-provider (metacloud) recommendation over the hybrid catalog.
       --engine bnb proves the same placement by branch-and-bound.
   serve [--hybrid] [--addr HOST:PORT] [--workers N] [--queue N] [--chaos SEED]
-        [--engine exhaustive|bnb] [--stdin]
+        [--engine exhaustive|bnb] [--state-dir DIR] [--fsync os|always|every:N]
+        [--snapshot-every N] [--stdin]
       Long-lived serving daemon (default 127.0.0.1:7411): one JSON frame
       per line over TCP with fields id, endpoint and body; endpoints are
       recommend, metacloud, health, sync, ping, stats and shutdown.
       Responses are cached per telemetry epoch, identical concurrent
       requests are coalesced, and overload sheds with code 429. With
-      --stdin: one SolutionRequest JSON per stdin line, one JSON
-      response per line.
+      --state-dir DIR the broker recovers pre-crash state at startup and
+      write-ahead-journals every accepted telemetry batch (crash-only:
+      kill -9 and restart resumes bit-identically). With --stdin: one
+      SolutionRequest JSON per stdin line, one JSON response per line.
+  recover [--verify] [--json] [--compact] [--disk-chaos SEED] --state-dir DIR
+      Replay a state directory and report what recovery found: snapshot
+      use, records replayed/skipped/quarantined/malformed, any torn-tail
+      truncation, and the restored epoch. --verify dry-runs without
+      repairing the journal file; --compact folds the journal into a
+      fresh snapshot; --disk-chaos SEED injects a seeded disk fault
+      first (torn tail, short write, bit flip, missing snapshot).
   health [--hybrid] [--json] [--chaos] [SEED]
       Drive telemetry sync rounds against simulated providers and report
       control-plane health plus the incident log. JSON output carries a
@@ -181,11 +252,13 @@ Commands:
       Print this help.
 
 Exit codes:
-  0   success; for `health`, the broker is healthy
+  0   success; for `health`, the broker is healthy; for `recover`, the
+      state recovered clean
   1   runtime error (bad input file, catalog error, I/O failure)
   2   usage error (unknown command or malformed arguments)
-  3   `health` only: the broker is up but serving degraded
-      (breaker open or telemetry quarantined)"
+  3   `health`: the broker is up but serving degraded (breaker open or
+      telemetry quarantined); `recover`: the state was degraded (torn
+      journal tail, quarantined or malformed records)"
     );
 }
 
@@ -237,6 +310,7 @@ fn recommend_command(
     hybrid: bool,
     json: bool,
     engine: SearchEngine,
+    state_dir: Option<&str>,
     request_path: Option<&str>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let request: SolutionRequest = match request_path {
@@ -247,7 +321,16 @@ fn recommend_command(
             .penalty_per_hour(case_study::PENALTY_PER_HOUR)?
             .build()?,
     };
-    let broker = BrokerService::new(catalog(hybrid)).with_engine(engine);
+    let mut broker = BrokerService::new(catalog(hybrid)).with_engine(engine);
+    if let Some(dir) = state_dir {
+        let (recovered, report) = broker.with_durability(DurabilityConfig::new(dir))?;
+        broker = recovered;
+        // Stderr so `--json` stdout stays machine-parsable.
+        eprintln!(
+            "recovered {} record(s) from {} (epoch {})",
+            report.replayed, report.state_dir, report.epoch
+        );
+    }
     let recommendation = broker.recommend(&request)?;
     if json {
         println!("{}", report::to_json(&recommendation)?);
@@ -321,6 +404,9 @@ fn serve_command(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut chaos: Option<u64> = None;
     let mut engine = SearchEngine::default();
     let mut config = ServerConfig::default();
+    let mut state_dir: Option<String> = None;
+    let mut fsync = FsyncPolicy::default();
+    let mut snapshot_every: Option<u64> = None;
     let mut iter = args.iter().map(String::as_str).skip(1);
     while let Some(arg) = iter.next() {
         match arg {
@@ -328,6 +414,26 @@ fn serve_command(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--stdin" => stdin_mode = true,
             "--addr" => {
                 config.addr = iter.next().ok_or("--addr needs HOST:PORT")?.to_owned();
+            }
+            "--state-dir" => {
+                state_dir = Some(
+                    iter.next()
+                        .ok_or("--state-dir needs a directory")?
+                        .to_owned(),
+                );
+            }
+            "--fsync" => {
+                fsync = iter
+                    .next()
+                    .ok_or("--fsync needs a policy (os|always|every:N)")?
+                    .parse()?;
+            }
+            "--snapshot-every" => {
+                snapshot_every = Some(
+                    iter.next()
+                        .ok_or("--snapshot-every needs an absorb count")?
+                        .parse()?,
+                );
             }
             "--engine" => {
                 engine = iter
@@ -353,11 +459,19 @@ fn serve_command(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
     let store = catalog(hybrid);
     let registry = Arc::new(uptime_obs::MetricsRegistry::new());
-    let broker = Arc::new(
-        BrokerService::new(store.clone())
-            .with_engine(engine)
-            .with_recorder(Arc::clone(&registry) as _),
-    );
+    let mut service = BrokerService::new(store.clone())
+        .with_engine(engine)
+        .with_recorder(Arc::clone(&registry) as _);
+    if let Some(dir) = &state_dir {
+        let mut durability = DurabilityConfig::new(dir).with_fsync(fsync);
+        if let Some(every) = snapshot_every {
+            durability = durability.with_snapshot_every(every);
+        }
+        let (recovered, report) = service.with_durability(durability)?;
+        service = recovered;
+        print_recovery_summary(&report);
+    }
+    let broker = Arc::new(service);
     let targets =
         register_simulated_providers(&broker, &store, chaos.is_some(), chaos.unwrap_or(7));
     let backend = Arc::new(ServingBroker::new(broker).with_sync_targets(targets));
@@ -565,6 +679,86 @@ fn health_command(
         }
     }
     Ok(health.degraded)
+}
+
+/// Renders a [`RecoveryReport`] as a short human-readable block.
+fn print_recovery_summary(report: &RecoveryReport) {
+    println!(
+        "recovered state from {}: epoch {}, {} record(s) replayed ({} skipped by snapshot, {} quarantined, {} malformed)",
+        report.state_dir,
+        report.epoch,
+        report.replayed,
+        report.skipped_by_snapshot,
+        report.quarantined,
+        report.malformed,
+    );
+    if report.snapshot_used {
+        println!(
+            "  snapshot at epoch {} accelerated replay",
+            report.snapshot_epoch
+        );
+    }
+    if let Some(truncation) = &report.truncation {
+        println!(
+            "  journal tail discarded at byte {}: {}{}",
+            truncation.offset,
+            truncation.reason,
+            if report.repaired {
+                " (file repaired to valid prefix)"
+            } else {
+                " (dry run; file untouched)"
+            }
+        );
+    }
+}
+
+/// `brokerctl recover`: replay a state directory and report what
+/// recovery found. With `--verify` the journal file is left untouched
+/// (dry run); without it, a torn tail is physically repaired and
+/// `--compact` folds the journal into a fresh snapshot. `--disk-chaos
+/// SEED` first injects a seeded disk fault into the state directory to
+/// prove recovery stays safe under corruption. Returns whether the
+/// recovered state was degraded (truncation, quarantined or malformed
+/// records) — mapped to exit code 3.
+fn recover_command(
+    hybrid: bool,
+    json: bool,
+    verify: bool,
+    compact: bool,
+    disk_chaos: Option<u64>,
+    dir: &str,
+) -> Result<bool, Box<dyn std::error::Error>> {
+    if let Some(seed) = disk_chaos {
+        let state_dir = StateDir::create(dir)?;
+        let fault = DiskChaos::new(seed).mangle(&state_dir)?;
+        eprintln!("injected disk fault `{fault}` (seed {seed}) into {dir}");
+    }
+    let broker = BrokerService::new(catalog(hybrid));
+    let report = if verify {
+        broker.verify_recovery(Path::new(dir))?
+    } else {
+        let (broker, report) = broker.with_durability(DurabilityConfig::new(dir))?;
+        if compact {
+            broker.compact_state()?;
+            eprintln!("journal compacted into snapshot");
+        }
+        report
+    };
+    let degraded = report.truncation.is_some() || report.quarantined > 0 || report.malformed > 0;
+    if json {
+        println!("{}", serde_json::to_string_pretty(&report)?);
+    } else {
+        print_recovery_summary(&report);
+        println!(
+            "  verdict: {}",
+            if degraded {
+                "degraded (exit 3)"
+            } else {
+                "clean"
+            }
+        );
+    }
+    Ok(degraded)
 }
 
 /// Drives an instrumented recommend+sync run — simulated providers,

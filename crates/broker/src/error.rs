@@ -60,6 +60,14 @@ pub enum BrokerError {
         /// Why the batch was rejected.
         reason: String,
     },
+    /// The durability subsystem (journal, snapshot, or recovery) failed.
+    /// On the absorb path this means the write-ahead append did not
+    /// complete, so the batch was NOT absorbed — the journal never lags
+    /// the in-memory state.
+    Durability {
+        /// Human-readable failure description.
+        reason: String,
+    },
 }
 
 impl fmt::Display for BrokerError {
@@ -88,6 +96,9 @@ impl fmt::Display for BrokerError {
             }
             BrokerError::TelemetryRejected { reason } => {
                 write!(f, "telemetry batch rejected: {reason}")
+            }
+            BrokerError::Durability { reason } => {
+                write!(f, "durability failure: {reason}")
             }
         }
     }

@@ -54,6 +54,7 @@
 
 pub mod audit;
 pub mod chaos;
+pub mod durability;
 pub mod error;
 pub mod metacloud;
 pub mod planner;
@@ -70,6 +71,10 @@ pub mod whatif;
 
 pub use audit::{audit_recommendation, AuditReport};
 pub use chaos::{ChaosConfig, ChaosProvider, ChaosStats};
+pub use durability::{
+    DurabilityConfig, JournalEntry, PersistentState, RecoveryReport, ReportedTruncation,
+    JOURNAL_SCHEMA_VERSION, SNAPSHOT_SCHEMA_VERSION,
+};
 pub use error::BrokerError;
 pub use metacloud::{MetacloudRecommendation, Placement};
 pub use planner::{DeploymentPlan, ProvisionStep};
@@ -81,6 +86,7 @@ pub use request::{SolutionRequest, SolutionRequestBuilder};
 pub use resilience::{BreakerState, CircuitBreaker, RetryOutcome, RetryPolicy};
 pub use service::{
     BrokerHealth, BrokerService, Incident, IncidentCategory, ProviderHealth, SearchEngine,
+    DEFAULT_INCIDENT_CAPACITY,
 };
 pub use serving::{canonical_fingerprint, ServingBroker, HEALTH_SCHEMA_VERSION};
 pub use settlement::{settle, MonthlyStatement, SettlementReport};

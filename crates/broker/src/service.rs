@@ -1,14 +1,20 @@
 //! The brokered service itself.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+use std::path::Path;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
-use serde::Serialize;
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
 use uptime_catalog::{CatalogStore, CloudId, ComponentKind, HaMethodId};
+use uptime_durability::{Journal, SnapshotStore, StateDir, HEADER_LEN};
 use uptime_optimizer::{branch_bound, exhaustive, Evaluation, Objective, SearchSpace};
 
+use crate::durability::{
+    DurabilityConfig, DurabilityInner, DurabilityState, JournalEntry, PersistentState,
+    RecoveryReport, ReportedTruncation, JOURNAL_SCHEMA_VERSION, SNAPSHOT_SCHEMA_VERSION,
+};
 use crate::error::BrokerError;
 use crate::planner::{DeploymentPlan, ProvisionStep};
 use crate::provider::{CloudProvider, ProviderTelemetry};
@@ -31,8 +37,11 @@ struct ProviderSlot {
     batches_quarantined: u64,
 }
 
+/// Default number of incidents the bounded incident ring retains.
+pub const DEFAULT_INCIDENT_CAPACITY: usize = 1024;
+
 /// What went wrong, as recorded in the incident log.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum IncidentCategory {
     /// A telemetry batch failed structural validation.
     TelemetryRejected,
@@ -44,10 +53,15 @@ pub enum IncidentCategory {
     BreakerOpened,
     /// A provider's circuit breaker closed again after a successful probe.
     BreakerRecovered,
+    /// Recovery found the journal's tail torn or corrupt and truncated
+    /// replay at the last valid record.
+    JournalTruncated,
+    /// A write-ahead journal append failed; the batch was NOT absorbed.
+    DurabilityFault,
 }
 
 /// One entry in the broker's incident log.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Incident {
     /// Monotonic sequence number (order of occurrence).
     pub seq: u64,
@@ -64,6 +78,67 @@ pub struct Incident {
     pub breaker_tick: Option<u64>,
     /// The breaker state *after* the transition, when one occurred.
     pub breaker_state: Option<BreakerState>,
+}
+
+/// A bounded incident log: a capped ring buffer with a dedicated
+/// monotonic sequence counter, so `incident_count` and per-incident
+/// seqs stay correct after old entries are evicted.
+#[derive(Debug)]
+pub(crate) struct IncidentRing {
+    entries: VecDeque<Incident>,
+    capacity: usize,
+    /// Seq the next incident gets; doubles as the lifetime total.
+    next_seq: u64,
+}
+
+impl IncidentRing {
+    fn new(capacity: usize) -> IncidentRing {
+        IncidentRing {
+            entries: VecDeque::new(),
+            capacity: capacity.max(1),
+            next_seq: 0,
+        }
+    }
+
+    /// Rebuilds a ring from snapshot state. The restored `next_seq` is
+    /// clamped up so it can never run behind the retained entries.
+    fn restore(entries: Vec<Incident>, next_seq: u64, capacity: usize) -> IncidentRing {
+        let mut ring = IncidentRing::new(capacity);
+        let floor = entries.iter().map(|i| i.seq + 1).max().unwrap_or(0);
+        ring.next_seq = next_seq.max(floor);
+        for incident in entries {
+            ring.entries.push_back(incident);
+            if ring.entries.len() > ring.capacity {
+                ring.entries.pop_front();
+            }
+        }
+        ring
+    }
+
+    /// Appends an incident, assigning it the next sequence number and
+    /// evicting the oldest entry when at capacity.
+    fn push(&mut self, make: impl FnOnce(u64) -> Incident) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push_back(make(seq));
+        if self.entries.len() > self.capacity {
+            self.entries.pop_front();
+        }
+        seq
+    }
+
+    /// Lifetime incident count (monotonic; unaffected by eviction).
+    fn total(&self) -> u64 {
+        self.next_seq
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn to_vec(&self) -> Vec<Incident> {
+        self.entries.iter().cloned().collect()
+    }
 }
 
 /// Control-plane health of one fronted provider.
@@ -162,7 +237,7 @@ impl fmt::Display for SearchEngine {
 pub struct BrokerService {
     catalog: RwLock<CatalogStore>,
     providers: RwLock<BTreeMap<CloudId, ProviderSlot>>,
-    incidents: RwLock<Vec<Incident>>,
+    incidents: RwLock<IncidentRing>,
     retry: RetryPolicy,
     quarantine: QuarantinePolicy,
     breaker_template: CircuitBreaker,
@@ -171,6 +246,9 @@ pub struct BrokerService {
     /// Bumped on every successful telemetry absorb; serving-layer caches
     /// key their entries by this and so are invalidated by any absorb.
     epoch: std::sync::atomic::AtomicU64,
+    /// Write-ahead journal + snapshot endpoint; `None` runs in-memory
+    /// only (the pre-PR 6 behavior).
+    durability: Option<DurabilityState>,
 }
 
 impl fmt::Debug for BrokerService {
@@ -191,14 +269,27 @@ impl BrokerService {
         BrokerService {
             catalog: RwLock::new(catalog),
             providers: RwLock::new(BTreeMap::new()),
-            incidents: RwLock::new(Vec::new()),
+            incidents: RwLock::new(IncidentRing::new(DEFAULT_INCIDENT_CAPACITY)),
             retry: RetryPolicy::default(),
             quarantine: QuarantinePolicy::default(),
             breaker_template: CircuitBreaker::default(),
             engine: SearchEngine::default(),
             recorder: Arc::new(uptime_obs::NoopRecorder),
             epoch: std::sync::atomic::AtomicU64::new(0),
+            durability: None,
         }
+    }
+
+    /// Caps the incident ring at `capacity` entries (existing entries and
+    /// the sequence counter are preserved; the oldest overflow is
+    /// evicted). The default is [`DEFAULT_INCIDENT_CAPACITY`].
+    #[must_use]
+    pub fn with_incident_capacity(self, capacity: usize) -> Self {
+        {
+            let mut incidents = self.incidents.write();
+            *incidents = IncidentRing::restore(incidents.to_vec(), incidents.total(), capacity);
+        }
+        self
     }
 
     /// The telemetry epoch: how many telemetry batches this service has
@@ -281,10 +372,13 @@ impl BrokerService {
         self.catalog.read().clone()
     }
 
-    /// A snapshot of the incident log, in order of occurrence.
+    /// A snapshot of the retained incident log, in order of occurrence.
+    /// The ring is bounded: after eviction this holds the most recent
+    /// entries, while [`BrokerHealth::incident_count`] stays lifetime-
+    /// accurate.
     #[must_use]
     pub fn incidents(&self) -> Vec<Incident> {
-        self.incidents.read().clone()
+        self.incidents.read().to_vec()
     }
 
     fn log_incident(
@@ -295,9 +389,7 @@ impl BrokerService {
         transition: Option<(u64, BreakerState)>,
     ) {
         self.recorder.event("broker.incident", &detail);
-        let mut incidents = self.incidents.write();
-        let seq = incidents.len() as u64;
-        incidents.push(Incident {
+        self.incidents.write().push(|seq| Incident {
             seq,
             cloud: cloud.clone(),
             category,
@@ -474,13 +566,43 @@ impl BrokerService {
                     return Err(BrokerError::TelemetryRejected { reason });
                 }
             }
-            profile.absorb_reliability(kind, merged_record);
-        }
 
-        // The knowledge base moved: everything computed before this absorb
-        // is now stale. Bump *after* the catalog write so a reader that
-        // observes the new epoch also observes the new records.
-        self.epoch.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+            // Write-ahead: the distilled absorb reaches the journal before
+            // it commits. Every epoch bump happens under this write lock,
+            // so the post-absorb epoch is exactly current + 1. A failed
+            // append aborts the absorb — the journal never lags the
+            // in-memory state.
+            if let Some(durability) = &self.durability {
+                let epoch_after = self.epoch.load(std::sync::atomic::Ordering::Acquire) + 1;
+                let entry = JournalEntry {
+                    schema_version: JOURNAL_SCHEMA_VERSION,
+                    cloud: cloud.clone(),
+                    kind,
+                    epoch_after,
+                    estimate: merged_estimate.clone(),
+                    record: merged_record,
+                };
+                if let Err(reason) = self.append_journal(durability, &entry) {
+                    drop(catalog);
+                    self.recorder.counter_add("broker.journal.append_failed", 1);
+                    self.log_incident(
+                        cloud,
+                        IncidentCategory::DurabilityFault,
+                        format!("journal append failed, batch not absorbed: {reason}"),
+                        None,
+                    );
+                    return Err(BrokerError::Durability { reason });
+                }
+            }
+
+            profile.absorb_reliability(kind, merged_record);
+
+            // The knowledge base moved: everything computed before this
+            // absorb is now stale. Bump while still holding the write lock
+            // so a reader observing the new epoch observes the new records.
+            self.epoch.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+        }
+        self.maybe_snapshot();
 
         // The batch made it into the catalog: clear the quarantine streak.
         if let Some(slot) = self.providers.write().get_mut(cloud) {
@@ -559,7 +681,7 @@ impl BrokerService {
         drop(providers);
         BrokerHealth {
             providers: provider_health,
-            incident_count: self.incidents.read().len() as u64,
+            incident_count: self.incidents.read().total(),
             quarantined_batches,
             degraded,
         }
@@ -746,6 +868,355 @@ impl BrokerService {
             ));
         }
         Ok(DeploymentPlan::new(cloud.clone(), steps))
+    }
+
+    // ------------------------------------------------------------------
+    // Durability: write-ahead journaling, snapshots, crash recovery.
+    // Lock order everywhere: catalog → incidents → durability journal.
+    // ------------------------------------------------------------------
+
+    /// Attaches a state directory, first recovering whatever it holds:
+    /// loads the snapshot (if valid), repairs the journal's tail, and
+    /// replays post-snapshot records through the normal ingest pipeline.
+    /// After this returns, every accepted batch is journaled before its
+    /// absorb commits, and snapshots are taken per
+    /// [`DurabilityConfig::snapshot_every`].
+    ///
+    /// Call this on a freshly seeded service, before registering
+    /// providers or serving traffic.
+    ///
+    /// # Errors
+    ///
+    /// [`BrokerError::Durability`] when the state directory cannot be
+    /// created, read, or repaired — never for mere corruption, which is
+    /// recovered from and reported in the [`RecoveryReport`].
+    pub fn with_durability(
+        mut self,
+        config: DurabilityConfig,
+    ) -> Result<(Self, RecoveryReport), BrokerError> {
+        if self.durability.is_some() {
+            return Err(BrokerError::Durability {
+                reason: "durability already attached".into(),
+            });
+        }
+        let state_dir = StateDir::create(&config.state_dir).map_err(durability_err)?;
+        let report = self.run_recovery(&state_dir, true)?;
+        let journal =
+            Journal::open(state_dir.journal_path(), config.fsync).map_err(durability_err)?;
+        let store = SnapshotStore::new(state_dir).with_sync(config.fsync.guards_power_loss());
+        self.durability = Some(DurabilityState {
+            snapshot_every: config.snapshot_every,
+            inner: Mutex::new(DurabilityInner {
+                journal,
+                store,
+                absorbs_since_snapshot: 0,
+            }),
+        });
+        Ok((self, report))
+    }
+
+    /// Dry-runs a recovery from `state_dir` against this (freshly
+    /// seeded, durability-free) service without repairing the journal
+    /// file: replays into memory and reports what a real recovery would
+    /// do. This mutates the in-memory state — use a throwaway service.
+    ///
+    /// # Errors
+    ///
+    /// [`BrokerError::Durability`] on I/O failure, or when durability is
+    /// already attached (a live journal must not be replayed onto).
+    pub fn verify_recovery(&self, state_dir: &Path) -> Result<RecoveryReport, BrokerError> {
+        if self.durability.is_some() {
+            return Err(BrokerError::Durability {
+                reason: "cannot verify-recover with durability attached".into(),
+            });
+        }
+        let state_dir = StateDir::create(state_dir).map_err(durability_err)?;
+        self.run_recovery(&state_dir, false)
+    }
+
+    /// The recovery core: snapshot restore + journal replay. `repair`
+    /// physically truncates a torn journal tail (real recovery); without
+    /// it the file is left untouched (`recover --verify`).
+    fn run_recovery(
+        &self,
+        state_dir: &StateDir,
+        repair: bool,
+    ) -> Result<RecoveryReport, BrokerError> {
+        let rec = &*self.recorder;
+        let _span = uptime_obs::span!(rec, "broker.recover");
+
+        // Phase 1: snapshot restore (replay accelerator, never required).
+        let store = SnapshotStore::new(state_dir.clone());
+        let mut snapshot_used = false;
+        let mut snapshot_epoch = 0u64;
+        let mut replay_from = 0u64;
+        if let Some(loaded) = store.load().map_err(durability_err)? {
+            match serde_json::from_slice::<PersistentState>(&loaded.payload) {
+                Ok(state) if state.schema_version == SNAPSHOT_SCHEMA_VERSION => {
+                    snapshot_used = true;
+                    snapshot_epoch = state.epoch;
+                    replay_from = loaded.manifest.journal_offset;
+                    let capacity = self.incidents.read().capacity;
+                    *self.catalog.write() = state.catalog;
+                    *self.incidents.write() =
+                        IncidentRing::restore(state.incidents, state.incident_next_seq, capacity);
+                    self.raise_epoch_floor(state.epoch);
+                    rec.counter_add("broker.recovery.snapshot_loaded", 1);
+                }
+                _ => {
+                    // Checksums matched but the payload is from another
+                    // era: fall back to a full journal replay.
+                    rec.event(
+                        "broker.recovery",
+                        "snapshot payload unreadable; full journal replay",
+                    );
+                }
+            }
+        }
+
+        // Phase 2: journal replay. Each distilled entry passes the same
+        // plausibility gate the live batch did, then absorbs the exact
+        // record the pre-crash broker committed (durability is not
+        // attached yet, so nothing re-journals itself).
+        let decoded = if repair {
+            Journal::repair(state_dir.journal_path())
+        } else {
+            Journal::replay(state_dir.journal_path())
+        }
+        .map_err(durability_err)?;
+
+        let mut offset = 0u64;
+        let journal_records = decoded.payloads.len() as u64;
+        let mut skipped_by_snapshot = 0u64;
+        let mut replayed = 0u64;
+        let mut quarantined = 0u64;
+        let mut malformed = 0u64;
+        let mut last_epoch_after = 0u64;
+        for payload in &decoded.payloads {
+            let start = offset;
+            offset += (HEADER_LEN + payload.len()) as u64;
+            if start < replay_from {
+                skipped_by_snapshot += 1;
+                continue;
+            }
+            let entry = match serde_json::from_slice::<JournalEntry>(payload) {
+                Ok(entry) if entry.schema_version == JOURNAL_SCHEMA_VERSION => entry,
+                _ => {
+                    malformed += 1;
+                    continue;
+                }
+            };
+            last_epoch_after = last_epoch_after.max(entry.epoch_after);
+            match self.apply_journal_entry(&entry) {
+                Ok(()) => replayed += 1,
+                Err(_) => quarantined += 1,
+            }
+        }
+        // Epoch continuity: the restored epoch must be ≥ every epoch a
+        // pre-crash client could have observed for the surviving records,
+        // so serve-layer caches can never validate stale bodies.
+        self.raise_epoch_floor(last_epoch_after);
+        rec.counter_add("broker.recovery.replayed", replayed);
+        rec.counter_add("broker.recovery.skipped", skipped_by_snapshot);
+        rec.counter_add("broker.recovery.quarantined", quarantined);
+        rec.counter_add("broker.recovery.malformed", malformed);
+
+        let truncation = decoded.truncation.map(|t| ReportedTruncation {
+            offset: t.offset,
+            reason: t.reason.to_string(),
+        });
+        if let Some(trunc) = &truncation {
+            rec.counter_add("broker.recovery.truncated", 1);
+            self.log_incident(
+                &CloudId::new("broker"),
+                IncidentCategory::JournalTruncated,
+                format!(
+                    "journal replay stopped at byte {}: {}; tail discarded",
+                    trunc.offset, trunc.reason
+                ),
+                None,
+            );
+        }
+
+        Ok(RecoveryReport {
+            state_dir: state_dir.root().display().to_string(),
+            snapshot_used,
+            snapshot_epoch,
+            journal_bytes: decoded.valid_len,
+            journal_records,
+            skipped_by_snapshot,
+            replayed,
+            quarantined,
+            malformed,
+            truncation,
+            repaired: repair,
+            epoch: self.telemetry_epoch(),
+            incident_count: self.incidents.read().total(),
+        })
+    }
+
+    /// Applies one replayed journal entry: structural sanity on the raw
+    /// `f64` evidence fields (the unit newtypes already validated their
+    /// ranges during deserialization), the same plausibility gate the
+    /// live batch passed, then the exact absorbed record. Rejections
+    /// quarantine with an incident, exactly like a live rejection.
+    fn apply_journal_entry(&self, entry: &JournalEntry) -> Result<(), BrokerError> {
+        let node_years = entry.estimate.node_years();
+        let evidence = entry.record.node_years_observed();
+        if !node_years.is_finite() || node_years < 0.0 || !evidence.is_finite() || evidence < 0.0 {
+            let reason = format!(
+                "journal entry evidence insane: node_years = {node_years}, observed = {evidence}"
+            );
+            self.note_quarantine(&entry.cloud, IncidentCategory::TelemetryRejected, &reason);
+            return Err(BrokerError::TelemetryRejected { reason });
+        }
+
+        let mut catalog = self.catalog.write();
+        let profile = catalog
+            .cloud_mut(&entry.cloud)
+            .ok_or_else(|| BrokerError::UnknownCloud {
+                id: entry.cloud.clone(),
+            })?;
+        if let Some(existing) = profile.reliability(entry.kind) {
+            if let Err(reason) = self.quarantine.plausible(existing, &entry.estimate) {
+                drop(catalog);
+                self.note_quarantine(&entry.cloud, IncidentCategory::ImplausibleEstimate, &reason);
+                return Err(BrokerError::TelemetryRejected { reason });
+            }
+        }
+        profile.absorb_reliability(entry.kind, entry.record);
+        self.epoch.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+        drop(catalog);
+        self.recorder.counter_add("broker.quarantine.accepted", 1);
+        Ok(())
+    }
+
+    /// Appends one entry to the write-ahead journal. Called with the
+    /// catalog write lock held (catalog → journal lock order).
+    fn append_journal(
+        &self,
+        durability: &DurabilityState,
+        entry: &JournalEntry,
+    ) -> Result<(), String> {
+        let payload = entry.to_json();
+        let mut inner = durability.inner.lock();
+        inner
+            .journal
+            .append(payload.as_bytes())
+            .map_err(|e| format!("append: {e}"))?;
+        inner.absorbs_since_snapshot += 1;
+        let stats = inner.journal.stats();
+        drop(inner);
+        self.recorder.counter_add("broker.journal.appends", 1);
+        self.recorder
+            .observe("broker.journal.bytes", stats.bytes as f64);
+        self.recorder
+            .observe("broker.journal.fsyncs", stats.fsyncs as f64);
+        Ok(())
+    }
+
+    /// Takes an automatic snapshot when the cadence says one is due.
+    /// Snapshot failures are reported but never fail the absorb that
+    /// triggered them — the journal already holds the batch.
+    fn maybe_snapshot(&self) {
+        let Some(durability) = &self.durability else {
+            return;
+        };
+        if durability.snapshot_every == 0
+            || durability.inner.lock().absorbs_since_snapshot < durability.snapshot_every
+        {
+            return;
+        }
+        if let Err(err) = self.snapshot_now() {
+            self.recorder
+                .event("broker.snapshot.failed", &err.to_string());
+        }
+    }
+
+    /// Writes a snapshot of the current state now, regardless of cadence.
+    ///
+    /// # Errors
+    ///
+    /// [`BrokerError::Durability`] when no state dir is attached or the
+    /// write fails.
+    pub fn snapshot_now(&self) -> Result<(), BrokerError> {
+        self.persist_snapshot(false)
+    }
+
+    /// Takes a snapshot and then physically truncates the journal —
+    /// explicit admin compaction (`brokerctl recover --compact`). The
+    /// snapshot is durable (written and fsynced) before any journal
+    /// bytes are discarded, and the manifest is re-pointed at offset 0
+    /// afterwards so post-compaction appends replay from the start.
+    ///
+    /// # Errors
+    ///
+    /// [`BrokerError::Durability`] when no state dir is attached or a
+    /// write fails; a failure between steps never loses state (the
+    /// journal is only reset after the covering snapshot is durable).
+    pub fn compact_state(&self) -> Result<(), BrokerError> {
+        self.persist_snapshot(true)
+    }
+
+    fn persist_snapshot(&self, compact: bool) -> Result<(), BrokerError> {
+        let durability = self
+            .durability
+            .as_ref()
+            .ok_or_else(|| BrokerError::Durability {
+                reason: "no state directory attached".into(),
+            })?;
+        // Hold the catalog read lock across the whole operation: absorbs
+        // (which hold the write lock) cannot interleave, so the captured
+        // state and the journal offset refer to the same instant.
+        let catalog = self.catalog.read();
+        let incidents = self.incidents.read();
+        let epoch = self.telemetry_epoch();
+        let state = PersistentState {
+            schema_version: SNAPSHOT_SCHEMA_VERSION,
+            epoch,
+            incident_next_seq: incidents.total(),
+            incidents: incidents.to_vec(),
+            catalog: catalog.clone(),
+        };
+        drop(incidents);
+        let payload = serde_json::to_string(&state)
+            .map_err(|e| BrokerError::Durability {
+                reason: format!("snapshot encode: {e}"),
+            })?
+            .into_bytes();
+        let mut inner = durability.inner.lock();
+        let offset = inner.journal.len();
+        inner
+            .store
+            .write(&payload, epoch, offset)
+            .map_err(durability_err)?;
+        if compact {
+            // Crash-ordering: snapshot(offset) is durable ⇒ resetting is
+            // safe; if we die before re-pointing the manifest, replay
+            // skips everything below `offset` against an empty journal —
+            // still exactly the snapshot state.
+            inner.journal.reset().map_err(durability_err)?;
+            inner
+                .store
+                .write(&payload, epoch, 0)
+                .map_err(durability_err)?;
+        }
+        inner.absorbs_since_snapshot = 0;
+        drop(inner);
+        drop(catalog);
+        self.recorder.counter_add("broker.journal.snapshots", 1);
+        Ok(())
+    }
+
+    fn raise_epoch_floor(&self, floor: u64) {
+        self.epoch
+            .fetch_max(floor, std::sync::atomic::Ordering::AcqRel);
+    }
+}
+
+fn durability_err(e: std::io::Error) -> BrokerError {
+    BrokerError::Durability {
+        reason: e.to_string(),
     }
 }
 
@@ -1232,6 +1703,228 @@ mod tests {
             .unwrap();
         assert!((estimate.down_probability().value() - 0.10).abs() < 0.02);
         assert_eq!(svc.health().providers[0].state, BreakerState::Closed);
+    }
+
+    #[test]
+    fn incident_ring_evicts_but_seqs_and_total_stay_monotonic() {
+        use crate::chaos::{ChaosConfig, ChaosProvider};
+        let svc = service().with_incident_capacity(2);
+        let config = ChaosConfig::quiet(11).with_corrupt_rate(1.0);
+        svc.register_provider(Box::new(ChaosProvider::new(
+            storage_provider(0.10, 4.0),
+            config,
+        )));
+        for round in 0..5 {
+            let _ = svc.sync_telemetry(
+                &case_study::cloud_id(),
+                ComponentKind::Storage,
+                10,
+                5.0,
+                round,
+            );
+        }
+        let incidents = svc.incidents();
+        assert_eq!(incidents.len(), 2, "ring capped at 2");
+        assert_eq!(
+            incidents.iter().map(|i| i.seq).collect::<Vec<_>>(),
+            vec![3, 4],
+            "retained entries keep their original seqs"
+        );
+        assert_eq!(
+            svc.health().incident_count,
+            5,
+            "lifetime count unaffected by eviction"
+        );
+    }
+
+    fn scratch_state_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "uptime-svc-durability-{}-{name}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn drive_absorbs(svc: &BrokerService, rounds: u64) {
+        svc.register_provider(Box::new(storage_provider(0.10, 4.0)));
+        for round in 0..rounds {
+            svc.sync_telemetry(
+                &case_study::cloud_id(),
+                ComponentKind::Storage,
+                20,
+                5.0,
+                round * 31,
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn durable_service_recovers_state_bit_identically() {
+        let dir = scratch_state_dir("roundtrip");
+        let reference = service();
+        drive_absorbs(&reference, 4);
+
+        let (svc, report) = service()
+            .with_durability(crate::durability::DurabilityConfig::new(&dir))
+            .unwrap();
+        assert_eq!(report.replayed, 0, "fresh state dir");
+        drive_absorbs(&svc, 4);
+        assert_eq!(svc.telemetry_epoch(), 4);
+        drop(svc); // crash-only: no graceful shutdown path exists
+
+        let (recovered, report) = service()
+            .with_durability(crate::durability::DurabilityConfig::new(&dir))
+            .unwrap();
+        assert_eq!(report.replayed, 4);
+        assert!(report.truncation.is_none());
+        assert_eq!(recovered.telemetry_epoch(), 4, "epoch continuity");
+        assert_eq!(
+            recovered.catalog_snapshot(),
+            reference.catalog_snapshot(),
+            "recovered knowledge base matches an uninterrupted run"
+        );
+        let want = reference.recommend(&paper_request()).unwrap();
+        let got = recovered.recommend(&paper_request()).unwrap();
+        assert_eq!(
+            want.clouds()[0].best().evaluation(),
+            got.clouds()[0].best().evaluation()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_journal_tail_truncates_and_logs_incident() {
+        use std::io::Write;
+        let dir = scratch_state_dir("torn");
+        let (svc, _) = service()
+            .with_durability(crate::durability::DurabilityConfig::new(&dir))
+            .unwrap();
+        drive_absorbs(&svc, 3);
+        drop(svc);
+        // Tear the tail: append garbage that is not a valid record.
+        {
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(dir.join("journal.log"))
+                .unwrap();
+            f.write_all(&[0xDE, 0xAD, 0xBE]).unwrap();
+        }
+        let (recovered, report) = service()
+            .with_durability(crate::durability::DurabilityConfig::new(&dir))
+            .unwrap();
+        assert_eq!(report.replayed, 3, "valid prefix fully replayed");
+        assert!(report.truncation.is_some());
+        assert!(report.repaired);
+        assert_eq!(recovered.telemetry_epoch(), 3);
+        let incidents = recovered.incidents();
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].category, IncidentCategory::JournalTruncated);
+        // The repair restored the invariant: a third restart is clean.
+        drop(recovered);
+        let (_, report) = service()
+            .with_durability(crate::durability::DurabilityConfig::new(&dir))
+            .unwrap();
+        assert!(report.truncation.is_none(), "repaired file replays clean");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_accelerates_and_compaction_preserves_state() {
+        let dir = scratch_state_dir("compact");
+        let (svc, _) = service()
+            .with_durability(crate::durability::DurabilityConfig::new(&dir).with_snapshot_every(2))
+            .unwrap();
+        drive_absorbs(&svc, 5);
+        drop(svc);
+
+        let (svc, report) = service()
+            .with_durability(crate::durability::DurabilityConfig::new(&dir))
+            .unwrap();
+        assert!(report.snapshot_used);
+        assert!(
+            report.skipped_by_snapshot >= 2,
+            "snapshot skipped replay work"
+        );
+        assert_eq!(
+            report.skipped_by_snapshot + report.replayed,
+            5,
+            "snapshot + suffix covers every record"
+        );
+        assert_eq!(svc.telemetry_epoch(), 5);
+
+        // Explicit compaction: journal shrinks to zero, state survives.
+        svc.compact_state().unwrap();
+        let catalog_before = svc.catalog_snapshot();
+        drop(svc);
+        assert_eq!(
+            std::fs::metadata(dir.join("journal.log")).unwrap().len(),
+            0,
+            "compaction physically truncated the journal"
+        );
+        let (svc, report) = service()
+            .with_durability(crate::durability::DurabilityConfig::new(&dir))
+            .unwrap();
+        assert!(report.snapshot_used);
+        assert_eq!(report.journal_records, 0);
+        assert_eq!(svc.telemetry_epoch(), 5);
+        assert_eq!(svc.catalog_snapshot(), catalog_before);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_recovery_is_a_dry_run() {
+        let dir = scratch_state_dir("verify");
+        let (svc, _) = service()
+            .with_durability(crate::durability::DurabilityConfig::new(&dir))
+            .unwrap();
+        drive_absorbs(&svc, 2);
+        drop(svc);
+        let before = std::fs::read(dir.join("journal.log")).unwrap();
+
+        let probe = service();
+        let report = probe.verify_recovery(&dir).unwrap();
+        assert_eq!(report.replayed, 2);
+        assert!(!report.repaired);
+        assert_eq!(report.epoch, 2);
+        assert_eq!(
+            std::fs::read(dir.join("journal.log")).unwrap(),
+            before,
+            "dry run never modifies the journal"
+        );
+
+        // A durability-attached service refuses to verify onto itself.
+        let (attached, _) = service()
+            .with_durability(crate::durability::DurabilityConfig::new(&dir))
+            .unwrap();
+        assert!(matches!(
+            attached.verify_recovery(&dir),
+            Err(BrokerError::Durability { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_snapshot_falls_back_to_full_replay() {
+        let dir = scratch_state_dir("nosnap");
+        let (svc, _) = service()
+            .with_durability(crate::durability::DurabilityConfig::new(&dir).with_snapshot_every(2))
+            .unwrap();
+        drive_absorbs(&svc, 4);
+        let reference_catalog = svc.catalog_snapshot();
+        drop(svc);
+        std::fs::remove_file(dir.join("snapshot.json")).unwrap();
+        std::fs::remove_file(dir.join("snapshot.manifest")).unwrap();
+
+        let (recovered, report) = service()
+            .with_durability(crate::durability::DurabilityConfig::new(&dir))
+            .unwrap();
+        assert!(!report.snapshot_used);
+        assert_eq!(report.replayed, 4, "journal alone fully recovers");
+        assert_eq!(recovered.telemetry_epoch(), 4);
+        assert_eq!(recovered.catalog_snapshot(), reference_catalog);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! Seeded disk-fault injection.
+//!
+//! Two injectors, mirroring the PR 1 `ChaosProvider` idiom (deterministic
+//! splitmix64 streams so every CI seed reproduces bit-identically):
+//!
+//! * [`DiskChaos`] — *post-mortem* corruption: given a state directory
+//!   left behind by a killed process, apply one seeded fault (torn tail,
+//!   short write, bit flip, missing snapshot) before recovery runs. This
+//!   is what the kill-and-recover e2e and the `recovery-smoke` CI job
+//!   drive across seeds 0–4.
+//! * [`WriteChaos`] — *in-flight* faults on the journal's write path
+//!   (short writes, fsync failures) for unit-testing the error handling
+//!   in [`crate::journal::Journal::append`].
+
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::record::HEADER_LEN;
+use crate::snapshot::StateDir;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The disk fault a [`DiskChaos`] seed maps to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// No corruption — the clean-kill baseline.
+    CleanStop,
+    /// The journal's last record loses its tail bytes (torn write).
+    TornTail,
+    /// A partial header lands after the last record (short write).
+    ShortWrite,
+    /// One payload bit in the last record flips (media corruption).
+    BitFlip,
+    /// The snapshot and its manifest vanish (lost accelerator state).
+    MissingSnapshot,
+}
+
+impl std::fmt::Display for DiskFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DiskFault::CleanStop => "clean-stop",
+            DiskFault::TornTail => "torn-tail",
+            DiskFault::ShortWrite => "short-write",
+            DiskFault::BitFlip => "bit-flip",
+            DiskFault::MissingSnapshot => "missing-snapshot",
+        })
+    }
+}
+
+/// Post-mortem disk-fault injector. Seeds 0–4 map one-to-one onto the
+/// five [`DiskFault`] kinds; higher seeds cycle through them with
+/// seed-varied offsets.
+#[derive(Debug)]
+pub struct DiskChaos {
+    seed: u64,
+    rng: u64,
+}
+
+impl DiskChaos {
+    /// Creates an injector for `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> DiskChaos {
+        DiskChaos {
+            seed,
+            rng: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD15C_C4A0,
+        }
+    }
+
+    /// The fault this seed will apply.
+    #[must_use]
+    pub fn fault(&self) -> DiskFault {
+        match self.seed % 5 {
+            0 => DiskFault::CleanStop,
+            1 => DiskFault::TornTail,
+            2 => DiskFault::ShortWrite,
+            3 => DiskFault::BitFlip,
+            _ => DiskFault::MissingSnapshot,
+        }
+    }
+
+    fn roll(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            splitmix64(&mut self.rng) % bound
+        }
+    }
+
+    /// Applies this seed's fault to `state_dir` and reports what was
+    /// done. Faults that need a journal tail degrade to
+    /// [`DiskFault::CleanStop`] when the journal is empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn mangle(&mut self, state_dir: &StateDir) -> io::Result<DiskFault> {
+        let fault = self.fault();
+        let journal = state_dir.journal_path();
+        match fault {
+            DiskFault::CleanStop => Ok(DiskFault::CleanStop),
+            DiskFault::TornTail => {
+                let len = file_len(&journal)?;
+                if len == 0 {
+                    return Ok(DiskFault::CleanStop);
+                }
+                // Shear off 1..=HEADER_LEN+7 trailing bytes, keeping at
+                // least the first byte so a tail really exists.
+                let cut = 1 + self.roll((HEADER_LEN as u64) + 7);
+                let keep = len.saturating_sub(cut).max(1).min(len - 1);
+                let file = std::fs::OpenOptions::new().write(true).open(&journal)?;
+                file.set_len(keep)?;
+                Ok(DiskFault::TornTail)
+            }
+            DiskFault::ShortWrite => {
+                // A crashed append that only got part of a header out.
+                let mut file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&journal)?;
+                let partial = 1 + self.roll((HEADER_LEN as u64) - 1);
+                let frame = crate::record::encode_record(b"{\"short\":true}");
+                file.write_all(&frame[..partial as usize])?;
+                Ok(DiskFault::ShortWrite)
+            }
+            DiskFault::BitFlip => {
+                let len = file_len(&journal)?;
+                if len == 0 {
+                    return Ok(DiskFault::CleanStop);
+                }
+                let at = self.roll(len);
+                let bit = self.roll(8) as u32;
+                let mut file = std::fs::OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .open(&journal)?;
+                file.seek(SeekFrom::Start(at))?;
+                let mut byte = [0u8; 1];
+                file.read_exact(&mut byte)?;
+                byte[0] ^= 1 << bit;
+                file.seek(SeekFrom::Start(at))?;
+                file.write_all(&byte)?;
+                Ok(DiskFault::BitFlip)
+            }
+            DiskFault::MissingSnapshot => {
+                remove_if_present(&state_dir.snapshot_path())?;
+                remove_if_present(&state_dir.manifest_path())?;
+                Ok(DiskFault::MissingSnapshot)
+            }
+        }
+    }
+}
+
+fn file_len(path: &Path) -> io::Result<u64> {
+    match std::fs::metadata(path) {
+        Ok(meta) => Ok(meta.len()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(0),
+        Err(e) => Err(e),
+    }
+}
+
+fn remove_if_present(path: &Path) -> io::Result<()> {
+    match std::fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// In-flight write-path fault injector for unit tests: schedules short
+/// writes and fsync failures on specific upcoming operations.
+#[derive(Debug, Default)]
+pub struct WriteChaos {
+    rng: u64,
+    /// Appends until the next injected short write (`None` = never).
+    short_write_in: Option<u32>,
+    /// Fsyncs until the next injected failure (`None` = never).
+    fail_fsync_in: Option<u32>,
+}
+
+impl WriteChaos {
+    /// Creates an injector with no scheduled faults.
+    #[must_use]
+    pub fn new(seed: u64) -> WriteChaos {
+        WriteChaos {
+            rng: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5707_C4A0,
+            ..WriteChaos::default()
+        }
+    }
+
+    /// Schedules a short write on the Nth upcoming append (0 = next).
+    #[must_use]
+    pub fn short_write_after(mut self, appends: u32) -> WriteChaos {
+        self.short_write_in = Some(appends);
+        self
+    }
+
+    /// Schedules an fsync failure on the Nth upcoming sync (0 = next).
+    #[must_use]
+    pub fn fail_fsync_after(mut self, syncs: u32) -> WriteChaos {
+        self.fail_fsync_in = Some(syncs);
+        self
+    }
+
+    /// Called per append with the framed length; returns how many bytes
+    /// to actually write when this append should be torn.
+    pub(crate) fn short_write(&mut self, framed_len: usize) -> Option<usize> {
+        match self.short_write_in {
+            Some(0) => {
+                self.short_write_in = None;
+                let max = framed_len.saturating_sub(1).max(1) as u64;
+                Some((1 + splitmix64(&mut self.rng) % max) as usize)
+            }
+            Some(n) => {
+                self.short_write_in = Some(n - 1);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Called per sync; true when this fsync should fail.
+    pub(crate) fn fail_fsync(&mut self) -> bool {
+        match self.fail_fsync_in {
+            Some(0) => {
+                self.fail_fsync_in = None;
+                true
+            }
+            Some(n) => {
+                self.fail_fsync_in = Some(n - 1);
+                false
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{FsyncPolicy, Journal};
+    use crate::record::TruncationReason;
+
+    fn scratch(name: &str) -> StateDir {
+        let root =
+            std::env::temp_dir().join(format!("uptime-diskchaos-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        StateDir::create(&root).unwrap()
+    }
+
+    fn seed_journal(dir: &StateDir, records: usize) {
+        let mut journal = Journal::open(dir.journal_path(), FsyncPolicy::Os).unwrap();
+        for i in 0..records {
+            journal
+                .append(format!("{{\"record\":{i}}}").as_bytes())
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn seeds_cover_all_fault_kinds() {
+        let kinds: Vec<DiskFault> = (0..5).map(|s| DiskChaos::new(s).fault()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                DiskFault::CleanStop,
+                DiskFault::TornTail,
+                DiskFault::ShortWrite,
+                DiskFault::BitFlip,
+                DiskFault::MissingSnapshot,
+            ]
+        );
+    }
+
+    #[test]
+    fn torn_tail_loses_at_most_one_record() {
+        let dir = scratch("torn");
+        seed_journal(&dir, 5);
+        let applied = DiskChaos::new(1).mangle(&dir).unwrap();
+        assert_eq!(applied, DiskFault::TornTail);
+        let decoded = Journal::replay(dir.journal_path()).unwrap();
+        assert!(decoded.payloads.len() >= 4);
+        assert!(decoded.truncation.is_some());
+    }
+
+    #[test]
+    fn short_write_leaves_replayable_prefix() {
+        let dir = scratch("shortw");
+        seed_journal(&dir, 3);
+        let applied = DiskChaos::new(2).mangle(&dir).unwrap();
+        assert_eq!(applied, DiskFault::ShortWrite);
+        let decoded = Journal::replay(dir.journal_path()).unwrap();
+        assert_eq!(decoded.payloads.len(), 3);
+        assert_eq!(
+            decoded.truncation.unwrap().reason,
+            TruncationReason::TornHeader
+        );
+    }
+
+    #[test]
+    fn bit_flip_never_panics_replay() {
+        for seed in [3u64, 8, 13, 18, 23] {
+            let dir = scratch(&format!("flip{seed}"));
+            seed_journal(&dir, 4);
+            let applied = DiskChaos::new(seed).mangle(&dir).unwrap();
+            assert_eq!(applied, DiskFault::BitFlip);
+            let decoded = Journal::replay(dir.journal_path()).unwrap();
+            assert!(decoded.payloads.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn injected_short_write_tears_the_tail() {
+        let dir = scratch("inject");
+        let mut journal = Journal::open(dir.journal_path(), FsyncPolicy::Os)
+            .unwrap()
+            .with_chaos(WriteChaos::new(7).short_write_after(2));
+        journal.append(b"a").unwrap();
+        journal.append(b"b").unwrap();
+        assert!(journal.append(b"c").is_err());
+        drop(journal);
+        let decoded = Journal::repair(dir.journal_path()).unwrap();
+        assert_eq!(decoded.payloads, vec![b"a".to_vec(), b"b".to_vec()]);
+        assert!(decoded.truncation.is_some());
+    }
+
+    #[test]
+    fn injected_fsync_failure_surfaces() {
+        let dir = scratch("fsync");
+        let mut journal = Journal::open(dir.journal_path(), FsyncPolicy::Always)
+            .unwrap()
+            .with_chaos(WriteChaos::new(9).fail_fsync_after(1));
+        journal.append(b"ok").unwrap();
+        assert!(journal.append(b"doomed sync").is_err());
+    }
+}

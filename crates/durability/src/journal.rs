@@ -1,0 +1,388 @@
+//! The append-only write-ahead journal.
+//!
+//! A [`Journal`] owns one file of [`crate::record`]-framed entries. The
+//! broker appends the payload of every *accepted* telemetry batch before
+//! the absorb commits, so after a crash the journal is a complete record
+//! of everything the knowledge base had agreed to absorb.
+//!
+//! Durability is policy-driven ([`FsyncPolicy`]):
+//!
+//! * [`FsyncPolicy::Os`] (default) — `write(2)` completes, no explicit
+//!   `fsync`. Data lives in the kernel page cache, which **survives
+//!   process death** (SIGKILL, panic, OOM-kill) — the crash-only case
+//!   this subsystem exists for. Only an OS crash or power loss can lose
+//!   the un-synced tail, and recovery then truncates to the last valid
+//!   record.
+//! * [`FsyncPolicy::EveryN`] — `fsync` every Nth append: bounded loss
+//!   window under power failure at a fraction of the cost.
+//! * [`FsyncPolicy::Always`] — `fsync` every append: no loss window.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::chaos::WriteChaos;
+use crate::record::{decode_all, encode_record_into, Decoded};
+
+/// When the journal calls `fsync` after an append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// Never fsync explicitly; rely on the OS page cache (survives
+    /// process crashes, not power loss). The default.
+    #[default]
+    Os,
+    /// Fsync after every Nth append (`EveryN(1)` ≡ [`FsyncPolicy::Always`]).
+    EveryN(u32),
+    /// Fsync after every append.
+    Always,
+}
+
+impl FsyncPolicy {
+    /// Whether this policy promises durability across power loss (any
+    /// explicit fsync), as opposed to process crashes only. Consumers use
+    /// this to decide whether *other* state files (snapshots) need
+    /// fsyncing: under [`FsyncPolicy::Os`] the page cache already
+    /// survives the threat model, so syncing them would buy nothing and
+    /// cost milliseconds.
+    #[must_use]
+    pub fn guards_power_loss(self) -> bool {
+        !matches!(self, FsyncPolicy::Os)
+    }
+}
+
+impl std::str::FromStr for FsyncPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "os" | "never" => Ok(FsyncPolicy::Os),
+            "always" => Ok(FsyncPolicy::Always),
+            other => match other.strip_prefix("every:") {
+                Some(n) => n
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .map(FsyncPolicy::EveryN)
+                    .ok_or_else(|| format!("bad fsync interval `{n}` (want every:N, N ≥ 1)")),
+                None => Err(format!(
+                    "unknown fsync policy `{other}` (expected os|always|every:N)"
+                )),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsyncPolicy::Os => f.write_str("os"),
+            FsyncPolicy::Always => f.write_str("always"),
+            FsyncPolicy::EveryN(n) => write!(f, "every:{n}"),
+        }
+    }
+}
+
+/// Lifetime counters for one open journal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Records appended.
+    pub appends: u64,
+    /// Bytes written (headers included).
+    pub bytes: u64,
+    /// `fsync` calls issued.
+    pub fsyncs: u64,
+}
+
+/// An open append-only journal file.
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    appends_since_sync: u32,
+    len: u64,
+    stats: JournalStats,
+    chaos: Option<WriteChaos>,
+    /// Reused per-append encode buffer — the absorb path appends one
+    /// record per accepted batch and should not allocate in steady state.
+    scratch: Vec<u8>,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("path", &self.path)
+            .field("policy", &self.policy)
+            .field("len", &self.len)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path` for appending.
+    ///
+    /// The caller is responsible for the file ending on a valid record
+    /// boundary — after an unclean shutdown, run [`Journal::repair`]
+    /// first so appends land after the last valid record rather than
+    /// after a torn tail.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn open(path: impl AsRef<Path>, policy: FsyncPolicy) -> io::Result<Journal> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(&path)?;
+        let len = file.seek(SeekFrom::End(0))?;
+        Ok(Journal {
+            file,
+            path,
+            policy,
+            appends_since_sync: 0,
+            len,
+            stats: JournalStats::default(),
+            chaos: None,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Attaches a seeded write-fault injector (tests only): short writes
+    /// and fsync failures happen per its schedule.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: WriteChaos) -> Journal {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// The journal file's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current file length in bytes (a record boundary unless a fault
+    /// tore the last append).
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the journal holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Lifetime append/byte/fsync counters.
+    #[must_use]
+    pub fn stats(&self) -> JournalStats {
+        self.stats
+    }
+
+    /// Appends one payload as a framed record, applying the fsync policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write and fsync failures. After an error the on-disk
+    /// tail may be torn; the journal's length bookkeeping keeps the
+    /// pre-append offset so a subsequent [`Journal::repair`] (or process
+    /// restart) restores the invariant.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        let mut framed = std::mem::take(&mut self.scratch);
+        framed.clear();
+        encode_record_into(&mut framed, payload);
+        if let Some(short) = self
+            .chaos
+            .as_mut()
+            .and_then(|c| c.short_write(framed.len()))
+        {
+            // Injected torn write: only a prefix reaches the file, then
+            // the append fails as a crashed write would.
+            self.file.write_all(&framed[..short])?;
+            self.file.flush()?;
+            self.scratch = framed;
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                format!(
+                    "injected short write ({short} of {} bytes)",
+                    self.scratch.len()
+                ),
+            ));
+        }
+        self.file.write_all(&framed)?;
+        self.len += framed.len() as u64;
+        self.stats.appends += 1;
+        self.stats.bytes += framed.len() as u64;
+        self.scratch = framed;
+        let due = match self.policy {
+            FsyncPolicy::Os => false,
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => {
+                self.appends_since_sync += 1;
+                self.appends_since_sync >= n
+            }
+        };
+        if due {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Forces an fsync now, regardless of policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the fsync failure (including injected ones).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.appends_since_sync = 0;
+        if self.chaos.as_mut().is_some_and(WriteChaos::fail_fsync) {
+            return Err(io::Error::other("injected fsync failure"));
+        }
+        self.file.sync_data()?;
+        self.stats.fsyncs += 1;
+        Ok(())
+    }
+
+    /// Truncates the journal to zero length — physical compaction. Only
+    /// safe once a snapshot covering every journaled record is durable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn reset(&mut self) -> io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.len = 0;
+        Ok(())
+    }
+
+    /// Reads and decodes the journal at `path` without modifying it.
+    /// A missing file decodes as empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures (not decode problems — those surface as
+    /// [`Decoded::truncation`]).
+    pub fn replay(path: impl AsRef<Path>) -> io::Result<Decoded> {
+        let path = path.as_ref();
+        let bytes = match std::fs::File::open(path) {
+            Ok(mut file) => {
+                let mut bytes = Vec::new();
+                file.read_to_end(&mut bytes)?;
+                bytes
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        Ok(decode_all(&bytes))
+    }
+
+    /// Like [`Journal::replay`], but also truncates the file to the valid
+    /// prefix so subsequent appends land on a record boundary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn repair(path: impl AsRef<Path>) -> io::Result<Decoded> {
+        let path = path.as_ref();
+        let decoded = Self::replay(path)?;
+        if decoded.truncation.is_some() {
+            let file = OpenOptions::new().write(true).open(path)?;
+            file.set_len(decoded.valid_len)?;
+            file.sync_data()?;
+        }
+        Ok(decoded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TruncationReason;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("uptime-journal-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("journal.log")
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let path = tmp("roundtrip");
+        std::fs::remove_file(&path).ok();
+        let mut journal = Journal::open(&path, FsyncPolicy::Always).unwrap();
+        journal.append(b"one").unwrap();
+        journal.append(b"two").unwrap();
+        assert_eq!(journal.stats().appends, 2);
+        assert_eq!(journal.stats().fsyncs, 2);
+        drop(journal);
+        let decoded = Journal::replay(&path).unwrap();
+        assert_eq!(decoded.payloads, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert!(decoded.truncation.is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn repair_truncates_torn_tail_and_appends_continue() {
+        let path = tmp("repair");
+        std::fs::remove_file(&path).ok();
+        let mut journal = Journal::open(&path, FsyncPolicy::Os).unwrap();
+        journal.append(b"good").unwrap();
+        drop(journal);
+        // Tear the tail by appending half a record's worth of garbage.
+        {
+            let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+            file.write_all(&[0x55, 0x4A, 0x4C]).unwrap();
+        }
+        let decoded = Journal::repair(&path).unwrap();
+        assert_eq!(decoded.payloads, vec![b"good".to_vec()]);
+        assert_eq!(
+            decoded.truncation.unwrap().reason,
+            TruncationReason::TornHeader
+        );
+        let mut journal = Journal::open(&path, FsyncPolicy::Os).unwrap();
+        journal.append(b"after repair").unwrap();
+        drop(journal);
+        let decoded = Journal::replay(&path).unwrap();
+        assert_eq!(
+            decoded.payloads,
+            vec![b"good".to_vec(), b"after repair".to_vec()]
+        );
+        assert!(decoded.truncation.is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_replays_empty() {
+        let decoded = Journal::replay("/nonexistent/uptime/journal.log").unwrap();
+        assert!(decoded.payloads.is_empty());
+        assert!(decoded.truncation.is_none());
+    }
+
+    #[test]
+    fn every_n_policy_batches_fsyncs() {
+        let path = tmp("everyn");
+        std::fs::remove_file(&path).ok();
+        let mut journal = Journal::open(&path, FsyncPolicy::EveryN(3)).unwrap();
+        for i in 0..7u8 {
+            journal.append(&[i]).unwrap();
+        }
+        assert_eq!(journal.stats().fsyncs, 2, "7 appends at every:3 → 2 syncs");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fsync_policy_parses_and_displays() {
+        assert_eq!("os".parse::<FsyncPolicy>(), Ok(FsyncPolicy::Os));
+        assert_eq!("always".parse::<FsyncPolicy>(), Ok(FsyncPolicy::Always));
+        assert_eq!("every:8".parse::<FsyncPolicy>(), Ok(FsyncPolicy::EveryN(8)));
+        assert!("every:0".parse::<FsyncPolicy>().is_err());
+        assert!("sometimes".parse::<FsyncPolicy>().is_err());
+        assert_eq!(FsyncPolicy::EveryN(4).to_string(), "every:4");
+        assert_eq!(FsyncPolicy::default(), FsyncPolicy::Os);
+    }
+}

@@ -1,0 +1,39 @@
+//! Crash-only persistence for the uptime broker.
+//!
+//! The broker is the availability-critical component of the brokered
+//! architecture, yet (pre-PR 6) all of its learned state — absorbed
+//! telemetry, the monotonic epoch, quarantine verdicts, the incident
+//! log — lived in process memory. This crate makes that state durable
+//! the crash-only way: there is no graceful-shutdown path to get right,
+//! because recovery *is* the startup path.
+//!
+//! * [`record`] — the length-prefixed, CRC-checksummed on-disk codec.
+//!   Decoding tolerates arbitrary corruption: it returns the longest
+//!   valid prefix and never panics.
+//! * [`journal`] — the append-only write-ahead [`Journal`]. Every
+//!   accepted telemetry batch is journaled *before* the absorb commits;
+//!   [`FsyncPolicy`] trades durability window against append cost.
+//! * [`snapshot`] — [`StateDir`] layout plus atomic, manifest-carrying
+//!   [`SnapshotStore`] snapshots that act as replay accelerators (the
+//!   journal stays the source of truth).
+//! * [`chaos`] — seeded [`DiskChaos`] / [`WriteChaos`] fault injectors
+//!   (torn tails, short writes, bit flips, fsync failures, vanished
+//!   snapshots) powering the kill-and-recover CI matrix.
+//!
+//! The broker-side wiring (what goes *into* a journal record, how
+//! replay feeds the quarantine pipeline, epoch continuity) lives in
+//! `uptime-broker`'s `durability` module; this crate knows only bytes,
+//! files, and faults.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod journal;
+pub mod record;
+pub mod snapshot;
+
+pub use chaos::{DiskChaos, DiskFault, WriteChaos};
+pub use journal::{FsyncPolicy, Journal, JournalStats};
+pub use record::{decode_all, encode_record, Decoded, Truncation, TruncationReason, HEADER_LEN};
+pub use snapshot::{LoadedSnapshot, SnapshotManifest, SnapshotStore, StateDir};

@@ -1,0 +1,274 @@
+//! The journal's on-disk record codec.
+//!
+//! Each record is a fixed 12-byte header followed by the payload:
+//!
+//! ```text
+//! ┌────────────┬───────────┬────────────┬────────────────┐
+//! │ magic u32  │ len u32   │ crc32 u32  │ payload (len)  │
+//! │ (LE)       │ (LE)      │ (LE, IEEE) │                │
+//! └────────────┴───────────┴────────────┴────────────────┘
+//! ```
+//!
+//! The decoder walks records front to back and stops at the **first**
+//! byte sequence that is not a complete, checksum-valid record — a torn
+//! header, a torn payload, a bad magic, an absurd length, or a CRC
+//! mismatch. Everything before that point is returned; everything after
+//! it is untrusted tail. Decoding never panics and never allocates more
+//! than the valid payload bytes, whatever garbage it is fed — the
+//! property the proptest suite pins down.
+
+/// Magic marking the start of every record (`"UJL1"` little-endian).
+pub const RECORD_MAGIC: u32 = 0x314C_4A55;
+
+/// Fixed header size: magic + length + checksum, 4 bytes each.
+pub const HEADER_LEN: usize = 12;
+
+/// Upper bound on a single record's payload. Anything larger is treated
+/// as corruption (a flipped length byte must not make the decoder try to
+/// slurp gigabytes).
+pub const MAX_PAYLOAD_LEN: usize = 64 * 1024 * 1024;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup table,
+/// built at compile time.
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE) of `bytes`.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in bytes {
+        let index = ((crc ^ u32::from(byte)) & 0xFF) as usize;
+        crc = (crc >> 8) ^ CRC_TABLE[index];
+    }
+    !crc
+}
+
+/// Why decoding stopped before the end of the input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TruncationReason {
+    /// Fewer than [`HEADER_LEN`] bytes remained — a torn header.
+    TornHeader,
+    /// The magic did not match — the tail is not a record boundary.
+    BadMagic,
+    /// The declared length exceeds [`MAX_PAYLOAD_LEN`].
+    OversizedLength,
+    /// The payload extends past the end of the input — a torn write.
+    TornPayload,
+    /// The payload is present but its checksum does not match.
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for TruncationReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TruncationReason::TornHeader => "torn header",
+            TruncationReason::BadMagic => "bad magic",
+            TruncationReason::OversizedLength => "oversized length",
+            TruncationReason::TornPayload => "torn payload",
+            TruncationReason::ChecksumMismatch => "checksum mismatch",
+        })
+    }
+}
+
+/// Where and why the valid prefix ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Truncation {
+    /// Byte offset of the first invalid record.
+    pub offset: u64,
+    /// What made it invalid.
+    pub reason: TruncationReason,
+}
+
+/// The result of decoding a byte stream: the longest valid record prefix
+/// plus, when the input did not end cleanly on a record boundary, where
+/// and why it stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decoded {
+    /// Payloads of every valid record, in append order.
+    pub payloads: Vec<Vec<u8>>,
+    /// Length in bytes of the valid prefix (a record boundary).
+    pub valid_len: u64,
+    /// Set when trailing bytes after the valid prefix were discarded.
+    pub truncation: Option<Truncation>,
+}
+
+/// Encodes one record (header + payload) ready for appending.
+#[must_use]
+pub fn encode_record(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    encode_record_into(&mut out, payload);
+    out
+}
+
+/// Appends one framed record to `out`, reusing its capacity. The journal
+/// appends on the telemetry absorb path, so the steady state should not
+/// allocate per record.
+pub fn encode_record_into(out: &mut Vec<u8>, payload: &[u8]) {
+    out.reserve(HEADER_LEN + payload.len());
+    out.extend_from_slice(&RECORD_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(&bytes[at..at + 4]);
+    u32::from_le_bytes(raw)
+}
+
+/// Decodes every complete, checksum-valid record from the front of
+/// `bytes`, stopping at the first invalid tail. Never panics.
+#[must_use]
+pub fn decode_all(bytes: &[u8]) -> Decoded {
+    let mut payloads = Vec::new();
+    let mut offset = 0usize;
+    let mut truncation = None;
+    while offset < bytes.len() {
+        let remaining = bytes.len() - offset;
+        if remaining < HEADER_LEN {
+            truncation = Some(Truncation {
+                offset: offset as u64,
+                reason: TruncationReason::TornHeader,
+            });
+            break;
+        }
+        if read_u32(bytes, offset) != RECORD_MAGIC {
+            truncation = Some(Truncation {
+                offset: offset as u64,
+                reason: TruncationReason::BadMagic,
+            });
+            break;
+        }
+        let len = read_u32(bytes, offset + 4) as usize;
+        if len > MAX_PAYLOAD_LEN {
+            truncation = Some(Truncation {
+                offset: offset as u64,
+                reason: TruncationReason::OversizedLength,
+            });
+            break;
+        }
+        if remaining < HEADER_LEN + len {
+            truncation = Some(Truncation {
+                offset: offset as u64,
+                reason: TruncationReason::TornPayload,
+            });
+            break;
+        }
+        let payload = &bytes[offset + HEADER_LEN..offset + HEADER_LEN + len];
+        if crc32(payload) != read_u32(bytes, offset + 8) {
+            truncation = Some(Truncation {
+                offset: offset as u64,
+                reason: TruncationReason::ChecksumMismatch,
+            });
+            break;
+        }
+        payloads.push(payload.to_vec());
+        offset += HEADER_LEN + len;
+    }
+    Decoded {
+        payloads,
+        valid_len: offset.min(bytes.len()) as u64,
+        truncation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_multiple_records() {
+        let mut stream = Vec::new();
+        for payload in [b"alpha".as_slice(), b"".as_slice(), b"gamma!".as_slice()] {
+            stream.extend_from_slice(&encode_record(payload));
+        }
+        let decoded = decode_all(&stream);
+        assert_eq!(
+            decoded.payloads,
+            vec![b"alpha".to_vec(), Vec::new(), b"gamma!".to_vec()]
+        );
+        assert_eq!(decoded.valid_len, stream.len() as u64);
+        assert!(decoded.truncation.is_none());
+    }
+
+    #[test]
+    fn torn_tail_keeps_valid_prefix() {
+        let mut stream = encode_record(b"keep me");
+        let keep = stream.len() as u64;
+        stream.extend_from_slice(&encode_record(b"torn away"));
+        stream.truncate(stream.len() - 3);
+        let decoded = decode_all(&stream);
+        assert_eq!(decoded.payloads, vec![b"keep me".to_vec()]);
+        assert_eq!(decoded.valid_len, keep);
+        assert_eq!(
+            decoded.truncation.unwrap().reason,
+            TruncationReason::TornPayload
+        );
+    }
+
+    #[test]
+    fn flipped_payload_bit_is_caught_by_crc() {
+        let mut stream = encode_record(b"pristine");
+        let last = stream.len() - 1;
+        stream[last] ^= 0x40;
+        let decoded = decode_all(&stream);
+        assert!(decoded.payloads.is_empty());
+        assert_eq!(
+            decoded.truncation.unwrap().reason,
+            TruncationReason::ChecksumMismatch
+        );
+    }
+
+    #[test]
+    fn absurd_length_does_not_allocate() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&RECORD_MAGIC.to_le_bytes());
+        stream.extend_from_slice(&u32::MAX.to_le_bytes());
+        stream.extend_from_slice(&[0, 0, 0, 0]);
+        let decoded = decode_all(&stream);
+        assert!(decoded.payloads.is_empty());
+        assert_eq!(
+            decoded.truncation.unwrap().reason,
+            TruncationReason::OversizedLength
+        );
+    }
+
+    #[test]
+    fn garbage_prefix_yields_nothing() {
+        let decoded = decode_all(b"not a journal at all, sorry");
+        assert!(decoded.payloads.is_empty());
+        assert_eq!(decoded.valid_len, 0);
+        assert_eq!(
+            decoded.truncation.unwrap().reason,
+            TruncationReason::BadMagic
+        );
+    }
+}

@@ -1,0 +1,272 @@
+//! State directory layout and compacting snapshots.
+//!
+//! A [`StateDir`] is one directory holding everything the broker needs
+//! to come back from the dead:
+//!
+//! ```text
+//! <state-dir>/
+//!   journal.log        append-only record stream (source of truth)
+//!   snapshot.json      serialized broker state (replay accelerator)
+//!   snapshot.manifest  JSON manifest: epoch, length, crc32, journal_offset
+//! ```
+//!
+//! The journal is the source of truth; a snapshot only accelerates
+//! replay. The manifest's `journal_offset` marks how far into the
+//! journal the snapshot already covers, so recovery replays only the
+//! suffix — *logical* compaction. The journal is never physically
+//! truncated by snapshotting: losing a snapshot (disk-chaos seed 4) is
+//! always recoverable by replaying from offset zero. Physical
+//! compaction happens only on explicit admin request
+//! (`brokerctl recover --compact`), and only after a fresh snapshot is
+//! durable.
+//!
+//! Snapshot writes are atomic: payload and manifest each go to a temp
+//! file, are fsynced, then renamed into place — a crash mid-snapshot
+//! leaves the previous snapshot intact.
+
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::crc32;
+
+/// Version stamped into every snapshot manifest.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+
+/// A broker state directory (journal + snapshot + manifest paths).
+#[derive(Debug, Clone)]
+pub struct StateDir {
+    root: PathBuf,
+}
+
+impl StateDir {
+    /// Opens `root` as a state directory, creating it if absent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn create(root: impl AsRef<Path>) -> io::Result<StateDir> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)?;
+        Ok(StateDir { root })
+    }
+
+    /// The directory root.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path of the append-only journal.
+    #[must_use]
+    pub fn journal_path(&self) -> PathBuf {
+        self.root.join("journal.log")
+    }
+
+    /// Path of the snapshot payload.
+    #[must_use]
+    pub fn snapshot_path(&self) -> PathBuf {
+        self.root.join("snapshot.json")
+    }
+
+    /// Path of the snapshot manifest.
+    #[must_use]
+    pub fn manifest_path(&self) -> PathBuf {
+        self.root.join("snapshot.manifest")
+    }
+}
+
+/// The manifest written alongside every snapshot payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotManifest {
+    /// Manifest format version ([`MANIFEST_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Telemetry epoch captured in the snapshot.
+    pub epoch: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// CRC-32 (IEEE) of the payload.
+    pub crc32: u32,
+    /// Journal offset the snapshot covers: replay resumes here.
+    pub journal_offset: u64,
+}
+
+/// A snapshot loaded back from disk.
+#[derive(Debug, Clone)]
+pub struct LoadedSnapshot {
+    /// The snapshot payload (serialized broker state).
+    pub payload: Vec<u8>,
+    /// Its manifest.
+    pub manifest: SnapshotManifest,
+}
+
+/// Atomic snapshot reader/writer over a [`StateDir`].
+#[derive(Debug, Clone)]
+pub struct SnapshotStore {
+    dir: StateDir,
+    sync: bool,
+}
+
+impl SnapshotStore {
+    /// Creates a store over `dir` that fsyncs every write (power-loss
+    /// safe, the conservative default).
+    #[must_use]
+    pub fn new(dir: StateDir) -> SnapshotStore {
+        SnapshotStore { dir, sync: true }
+    }
+
+    /// Sets whether writes fsync before the rename. Pass `false` when the
+    /// journal runs under [`crate::FsyncPolicy::Os`]: the page cache
+    /// survives process crashes — the crash-only threat model — and an
+    /// fsync per snapshot costs milliseconds on the absorb path. The
+    /// temp-file + rename dance stays either way, so a crash mid-write
+    /// still never corrupts the previous snapshot.
+    #[must_use]
+    pub fn with_sync(mut self, sync: bool) -> SnapshotStore {
+        self.sync = sync;
+        self
+    }
+
+    /// The underlying state directory.
+    #[must_use]
+    pub fn dir(&self) -> &StateDir {
+        &self.dir
+    }
+
+    /// Atomically writes `payload` plus a manifest recording `epoch` and
+    /// `journal_offset`. Payload first, manifest second: a crash between
+    /// the two renames leaves a stale manifest whose CRC no longer
+    /// matches, which [`SnapshotStore::load`] treats as no snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn write(&self, payload: &[u8], epoch: u64, journal_offset: u64) -> io::Result<()> {
+        let manifest = SnapshotManifest {
+            schema_version: MANIFEST_SCHEMA_VERSION,
+            epoch,
+            len: payload.len() as u64,
+            crc32: crc32(payload),
+            journal_offset,
+        };
+        let manifest_json = serde_json::to_string(&manifest)
+            .map_err(|e| io::Error::other(format!("manifest encode: {e}")))?;
+        atomic_write(&self.dir.snapshot_path(), payload, self.sync)?;
+        atomic_write(
+            &self.dir.manifest_path(),
+            manifest_json.as_bytes(),
+            self.sync,
+        )?;
+        Ok(())
+    }
+
+    /// Loads the snapshot, returning `None` when it is absent or fails
+    /// integrity checks (missing/unparsable manifest, length or CRC
+    /// mismatch, unknown schema version). Recovery then falls back to a
+    /// full journal replay from the seed state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures other than the files being absent.
+    pub fn load(&self) -> io::Result<Option<LoadedSnapshot>> {
+        let manifest_bytes = match std::fs::read(self.dir.manifest_path()) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let Ok(manifest) = serde_json::from_slice::<SnapshotManifest>(&manifest_bytes) else {
+            return Ok(None);
+        };
+        if manifest.schema_version != MANIFEST_SCHEMA_VERSION {
+            return Ok(None);
+        }
+        let payload = match std::fs::read(self.dir.snapshot_path()) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        if payload.len() as u64 != manifest.len || crc32(&payload) != manifest.crc32 {
+            return Ok(None);
+        }
+        Ok(Some(LoadedSnapshot { payload, manifest }))
+    }
+}
+
+/// Writes `bytes` to `path` via temp file + optional fsync + rename.
+fn atomic_write(path: &Path, bytes: &[u8], sync: bool) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        if sync {
+            file.sync_data()?;
+        }
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> SnapshotStore {
+        let root =
+            std::env::temp_dir().join(format!("uptime-snapshot-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        SnapshotStore::new(StateDir::create(&root).unwrap())
+    }
+
+    #[test]
+    fn write_load_roundtrip() {
+        let store = scratch("roundtrip");
+        store.write(b"{\"state\":1}", 42, 1234).unwrap();
+        let loaded = store.load().unwrap().expect("snapshot present");
+        assert_eq!(loaded.payload, b"{\"state\":1}");
+        assert_eq!(loaded.manifest.epoch, 42);
+        assert_eq!(loaded.manifest.journal_offset, 1234);
+        assert_eq!(loaded.manifest.schema_version, MANIFEST_SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn missing_snapshot_loads_none() {
+        let store = scratch("missing");
+        assert!(store.load().unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_payload_loads_none() {
+        let store = scratch("corrupt");
+        store.write(b"pristine state", 7, 0).unwrap();
+        std::fs::write(store.dir().snapshot_path(), b"pristine stats").unwrap();
+        assert!(store.load().unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_payload_loads_none() {
+        let store = scratch("short");
+        store.write(b"pristine state", 7, 0).unwrap();
+        std::fs::write(store.dir().snapshot_path(), b"pristine").unwrap();
+        assert!(store.load().unwrap().is_none());
+    }
+
+    #[test]
+    fn garbage_manifest_loads_none() {
+        let store = scratch("garbage");
+        store.write(b"fine", 1, 0).unwrap();
+        std::fs::write(store.dir().manifest_path(), b"not json {").unwrap();
+        assert!(store.load().unwrap().is_none());
+    }
+
+    #[test]
+    fn newer_snapshot_replaces_older() {
+        let store = scratch("replace");
+        store.write(b"old", 1, 10).unwrap();
+        store.write(b"new state", 2, 20).unwrap();
+        let loaded = store.load().unwrap().unwrap();
+        assert_eq!(loaded.payload, b"new state");
+        assert_eq!(loaded.manifest.epoch, 2);
+        assert_eq!(loaded.manifest.journal_offset, 20);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based suite for the journal record codec: whatever bytes are
+//! on disk — pure garbage, a valid journal sheared at an arbitrary
+//! offset, or a journal with a flipped bit — decoding never panics and
+//! always returns the longest valid prefix.
+
+use proptest::prelude::*;
+use uptime_durability::{decode_all, encode_record, TruncationReason, HEADER_LEN};
+
+/// Framed length of one record.
+fn framed(payload: &[u8]) -> usize {
+    HEADER_LEN + payload.len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes: the decoder must never panic, must never claim
+    /// more valid bytes than exist, and the payload bytes it returns
+    /// must account exactly for the valid prefix.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let decoded = decode_all(&bytes);
+        prop_assert!(decoded.valid_len <= bytes.len() as u64);
+        let accounted: u64 = decoded
+            .payloads
+            .iter()
+            .map(|p| framed(p) as u64)
+            .sum();
+        prop_assert_eq!(accounted, decoded.valid_len);
+        // Garbage that doesn't happen to end exactly at a record
+        // boundary must report why decoding stopped.
+        if decoded.valid_len < bytes.len() as u64 {
+            prop_assert!(decoded.truncation.is_some());
+        }
+    }
+
+    /// A well-formed journal truncated at EVERY possible offset decodes
+    /// to exactly the records that fit wholly before the cut, and the
+    /// reported truncation (if any) sits at the last record boundary.
+    #[test]
+    fn truncation_at_every_offset_yields_longest_valid_prefix(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64),
+            1..8,
+        ),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let mut journal = Vec::new();
+        let mut boundaries = vec![0usize];
+        for payload in &payloads {
+            journal.extend_from_slice(&encode_record(payload));
+            boundaries.push(journal.len());
+        }
+        let cut = ((journal.len() as f64) * cut_fraction) as usize;
+        let sheared = &journal[..cut];
+
+        let decoded = decode_all(sheared);
+        // Number of records wholly contained in the sheared prefix.
+        let expected = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+        prop_assert_eq!(decoded.payloads.len(), expected);
+        for (got, want) in decoded.payloads.iter().zip(&payloads) {
+            prop_assert_eq!(got, want);
+        }
+        prop_assert_eq!(decoded.valid_len, boundaries[expected] as u64);
+        if boundaries[expected] == cut {
+            prop_assert!(decoded.truncation.is_none(), "cut on a boundary is clean");
+        } else {
+            let truncation = decoded.truncation.expect("mid-record cut is reported");
+            prop_assert_eq!(truncation.offset, boundaries[expected] as u64);
+            prop_assert!(matches!(
+                truncation.reason,
+                TruncationReason::TornHeader | TruncationReason::TornPayload
+            ));
+        }
+    }
+
+    /// Flipping any single bit anywhere in a journal never panics the
+    /// decoder, and every record lying wholly before the flipped byte
+    /// still decodes intact (CRC-32 catches all single-bit errors, so a
+    /// flipped record can never be accepted).
+    #[test]
+    fn single_bit_flip_never_panics_and_preserves_prefix(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..48),
+            1..6,
+        ),
+        flip_pick in any::<u64>(),
+    ) {
+        let mut journal = Vec::new();
+        let mut boundaries = vec![0usize];
+        for payload in &payloads {
+            journal.extend_from_slice(&encode_record(payload));
+            boundaries.push(journal.len());
+        }
+        let byte = (flip_pick / 8) as usize % journal.len();
+        let bit = (flip_pick % 8) as u8;
+        journal[byte] ^= 1 << bit;
+
+        let decoded = decode_all(&journal);
+        prop_assert!(decoded.valid_len <= journal.len() as u64);
+        // Records that end at or before the flipped byte are untouched
+        // on disk and must all decode.
+        let intact = boundaries.iter().filter(|&&b| b > 0 && b <= byte).count();
+        prop_assert!(decoded.payloads.len() >= intact);
+        for (got, want) in decoded.payloads.iter().take(intact).zip(&payloads) {
+            prop_assert_eq!(got, want);
+        }
+        // The record containing the flip is rejected, so decoding stops
+        // no later than that record's end — the flip is never absorbed.
+        let containing_end = boundaries
+            .iter()
+            .find(|&&b| b > byte)
+            .copied()
+            .expect("flip lies inside some record");
+        prop_assert!(decoded.valid_len < containing_end as u64);
+    }
+
+    /// Round trip: encode-then-decode returns every payload verbatim
+    /// with no truncation.
+    #[test]
+    fn round_trip_is_lossless(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..256),
+            0..10,
+        ),
+    ) {
+        let mut journal = Vec::new();
+        for payload in &payloads {
+            journal.extend_from_slice(&encode_record(payload));
+        }
+        let decoded = decode_all(&journal);
+        prop_assert!(decoded.truncation.is_none());
+        prop_assert_eq!(decoded.valid_len, journal.len() as u64);
+        prop_assert_eq!(&decoded.payloads, &payloads);
+    }
+}

@@ -16,7 +16,7 @@
 //! already admitted before exiting. Nothing admitted is ever dropped.
 
 use std::fmt::Write as FmtWrite;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -43,6 +43,16 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Maximum cached responses (FIFO eviction).
     pub cache_capacity: usize,
+    /// Idle-connection read timeout in milliseconds; a connection that
+    /// sends nothing for this long is dropped (`0` disables the timeout).
+    /// Defends the per-connection reader threads against slowloris
+    /// clients that open sockets and never speak.
+    pub read_timeout_ms: u64,
+    /// Maximum request-frame length in bytes (the newline excluded). A
+    /// longer frame gets a 400 and the connection is dropped — an
+    /// unbounded line would otherwise let one client buffer the daemon
+    /// into the ground.
+    pub max_frame_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +62,8 @@ impl Default for ServerConfig {
             workers: 4,
             queue_depth: 64,
             cache_capacity: 4096,
+            read_timeout_ms: 30_000,
+            max_frame_bytes: 1024 * 1024,
         }
     }
 }
@@ -76,6 +88,8 @@ struct Shared {
     readers: Mutex<usize>,
     readers_done: Condvar,
     local_addr: SocketAddr,
+    read_timeout_ms: u64,
+    max_frame_bytes: usize,
 }
 
 /// The serving daemon. Construct with [`Server::start`].
@@ -115,6 +129,8 @@ impl Server {
             readers: Mutex::new(0),
             readers_done: Condvar::new(),
             local_addr,
+            read_timeout_ms: config.read_timeout_ms,
+            max_frame_bytes: config.max_frame_bytes.max(1),
         });
 
         let acceptor = {
@@ -213,6 +229,11 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
         let Ok(stream) = stream else { continue };
         // Frames are small and latency-sensitive; never batch them.
         let _ = stream.set_nodelay(true);
+        if shared.read_timeout_ms > 0 {
+            let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(
+                shared.read_timeout_ms,
+            )));
+        }
         shared.registry.counter_add("serve.connections", 1);
         if let Ok(clone) = stream.try_clone() {
             shared.conns.lock().expect("conns lock").push(clone);
@@ -230,14 +251,90 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
     }
 }
 
+/// One bounded line read: what came off the wire and why reading stopped.
+enum LineRead {
+    /// A complete newline-terminated line within the frame cap.
+    Line(Vec<u8>),
+    /// Orderly end of stream (or a torn trailing fragment at EOF).
+    Eof,
+    /// The client sat silent past the idle read timeout.
+    IdleTimeout,
+    /// The line exceeded the frame cap before a newline arrived.
+    Oversized,
+}
+
+/// Reads one `\n`-terminated line of at most `max` bytes (newline
+/// excluded). Never buffers more than `max + 1` bytes, whatever the
+/// client sends.
+fn read_bounded_line(reader: &mut BufReader<TcpStream>, max: usize) -> LineRead {
+    let mut buf = Vec::new();
+    let mut limited = (&mut *reader).take(max as u64 + 1);
+    match limited.read_until(b'\n', &mut buf) {
+        Ok(0) => LineRead::Eof,
+        Ok(_) => {
+            if buf.last() == Some(&b'\n') {
+                buf.pop();
+                if buf.len() > max {
+                    LineRead::Oversized
+                } else {
+                    LineRead::Line(buf)
+                }
+            } else if buf.len() > max {
+                // Hit the cap with no newline in sight: oversized frame.
+                LineRead::Oversized
+            } else {
+                // Stream ended mid-line; nothing valid to dispatch.
+                LineRead::Eof
+            }
+        }
+        Err(err)
+            if matches!(
+                err.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            LineRead::IdleTimeout
+        }
+        Err(_) => LineRead::Eof,
+    }
+}
+
 fn reader_loop(shared: &Arc<Shared>, stream: TcpStream) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
     let out = Arc::new(Mutex::new(write_half));
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_bounded_line(&mut reader, shared.max_frame_bytes) {
+            LineRead::Line(line) => line,
+            LineRead::Eof => break,
+            LineRead::IdleTimeout => {
+                shared.registry.counter_add("serve.conn.idle_dropped", 1);
+                // Actively hang up (a dup of this socket lives in `conns`
+                // until shutdown, so dropping our halves is not enough).
+                let _ = out.lock().expect("writer lock").shutdown(Shutdown::Both);
+                break;
+            }
+            LineRead::Oversized => {
+                shared.registry.counter_add("serve.conn.oversized", 1);
+                write_frame(
+                    &out,
+                    &ResponseFrame::error(
+                        0,
+                        shared.backend.epoch(),
+                        code::BAD_REQUEST,
+                        format!(
+                            "frame exceeds {} byte cap; connection closed",
+                            shared.max_frame_bytes
+                        ),
+                    ),
+                );
+                let _ = out.lock().expect("writer lock").shutdown(Shutdown::Both);
+                break;
+            }
+        };
+        let line = String::from_utf8_lossy(&line);
         if line.trim().is_empty() {
             continue;
         }
@@ -561,6 +658,10 @@ fn stats_body(shared: &Shared) -> Value {
         "shed": counter("serve.shed"),
         "responses": counter("serve.responses"),
         "connections": counter("serve.connections"),
+        "conn": {
+            "oversized": counter("serve.conn.oversized"),
+            "idle_dropped": counter("serve.conn.idle_dropped"),
+        },
         "queue_depth": shared.queue.len() as u64,
         "inflight": shared.inflight.load(Ordering::Acquire),
     })

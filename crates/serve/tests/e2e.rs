@@ -65,6 +65,7 @@ fn start(backend: Arc<dyn ServeBackend>, workers: usize, queue_depth: usize) -> 
         workers,
         queue_depth,
         cache_capacity: 64,
+        ..ServerConfig::default()
     };
     Server::start(backend, config, Arc::new(MetricsRegistry::new())).expect("daemon binds")
 }
