@@ -4,9 +4,11 @@
 //! brokerctl catalog [--hybrid]
 //!     List clouds, HA methods, prices and reliability records.
 //!
-//! brokerctl recommend [--hybrid] [--json] [REQUEST.json]
+//! brokerctl recommend [--hybrid] [--json] [--archetype NAME] [REQUEST.json]
 //!     Run the full recommendation pipeline. Without a request file, uses
-//!     the paper's case-study intake (98 % SLA, $100/h penalty).
+//!     the paper's case-study intake (98 % SLA, $100/h penalty); with
+//!     --archetype, searches that deployment archetype's series-parallel
+//!     composition space instead of the serial chain.
 //!
 //! brokerctl sweep [--hybrid] FROM TO STEPS
 //!     SLA sweep: the winning architecture per target percentage.
@@ -73,6 +75,7 @@ fn main() -> ExitCode {
     let mut engine = SearchEngine::default();
     let mut state_dir: Option<String> = None;
     let mut disk_chaos: Option<u64> = None;
+    let mut archetype: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
@@ -101,6 +104,22 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
+        } else if arg == "--archetype" {
+            i += 1;
+            match args.get(i) {
+                Some(v) => archetype = Some(v.clone()),
+                None => {
+                    eprintln!(
+                        "brokerctl: --archetype needs a name (one of: {})",
+                        uptime_optimizer::Archetype::all()
+                            .iter()
+                            .map(|a| a.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    return ExitCode::from(2);
+                }
+            }
         } else if arg == "--engine" {
             i += 1;
             let value = match args.get(i) {
@@ -167,6 +186,7 @@ fn main() -> ExitCode {
             json,
             engine,
             state_dir.as_deref(),
+            archetype.as_deref(),
             positional.first().copied(),
         ),
         Some("sweep") => sweep_command(hybrid, &positional),
@@ -206,7 +226,8 @@ Usage: brokerctl <COMMAND> [options]
 Commands:
   catalog [--hybrid]
       List clouds, HA methods, prices and reliability records.
-  recommend [--hybrid] [--json] [--engine exhaustive|bnb] [--state-dir DIR] [REQUEST.json]
+  recommend [--hybrid] [--json] [--engine exhaustive|bnb] [--archetype NAME]
+            [--state-dir DIR] [REQUEST.json]
       Run the full recommendation pipeline (default: the paper's
       case-study intake, 98% SLA and $100/h penalty). With
       --engine bnb, the exact winner is proven by tight-bound parallel
@@ -214,6 +235,11 @@ Commands:
       ranked option table is trimmed to the winner (plus the declared
       as-is option) and the search stats report how much of the space
       the bound pruned. Use it for spaces enumeration cannot touch.
+      With --archetype (zonal, multi-zonal, regional,
+      multi-region-active-passive, multi-region-active-active, global)
+      the tiers are replicated into that deployment-archetype
+      series-parallel shape and the composition space is searched
+      instead; request files select the same via a `topology` field.
   sweep [--hybrid] FROM TO STEPS
       SLA sweep: the winning architecture per target percentage.
   settle MONTHS [SEED]
@@ -311,15 +337,30 @@ fn recommend_command(
     json: bool,
     engine: SearchEngine,
     state_dir: Option<&str>,
+    archetype: Option<&str>,
     request_path: Option<&str>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let request: SolutionRequest = match request_path {
-        Some(path) => serde_json::from_str(&std::fs::read_to_string(path)?)?,
-        None => SolutionRequest::builder()
-            .tiers(ComponentKind::paper_tiers())
-            .sla_percent(case_study::SLA_PERCENT)?
-            .penalty_per_hour(case_study::PENALTY_PER_HOUR)?
-            .build()?,
+        Some(path) => {
+            if archetype.is_some() {
+                return Err(
+                    "pass the archetype via the request file's `topology` field, \
+                     not --archetype, when a REQUEST.json is given"
+                        .into(),
+                );
+            }
+            serde_json::from_str(&std::fs::read_to_string(path)?)?
+        }
+        None => {
+            let mut builder = SolutionRequest::builder()
+                .tiers(ComponentKind::paper_tiers())
+                .sla_percent(case_study::SLA_PERCENT)?
+                .penalty_per_hour(case_study::PENALTY_PER_HOUR)?;
+            if let Some(name) = archetype {
+                builder = builder.topology(name);
+            }
+            builder.build()?
+        }
     };
     let mut broker = BrokerService::new(catalog(hybrid)).with_engine(engine);
     if let Some(dir) = state_dir {

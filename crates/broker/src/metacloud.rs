@@ -103,6 +103,13 @@ impl BrokerService {
         &self,
         request: &SolutionRequest,
     ) -> Result<MetacloudRecommendation, BrokerError> {
+        if request.topology().is_some() {
+            // The metacloud search already spreads tiers across clouds;
+            // an archetype shape on top has no defined placement space.
+            return Err(BrokerError::InvalidRequest {
+                reason: "topology archetypes are not supported by the metacloud search".into(),
+            });
+        }
         let catalog = self.catalog_snapshot();
         let clouds: Vec<CloudId> = if request.clouds().is_empty() {
             catalog.cloud_ids().cloned().collect()

@@ -22,6 +22,7 @@ pub struct SolutionRequest {
     rounding: RoundingPolicy,
     clouds: Vec<CloudId>,
     as_is: Option<Vec<HaMethodId>>,
+    topology: Option<String>,
 }
 
 // Hand-written so wire clients may omit the optional intake fields:
@@ -50,6 +51,8 @@ impl Deserialize for SolutionRequest {
         };
         let as_is = Option::<Vec<HaMethodId>>::from_value(field("as_is"))
             .map_err(|e| e.in_field("as_is"))?;
+        let topology =
+            Option::<String>::from_value(field("topology")).map_err(|e| e.in_field("topology"))?;
         Ok(SolutionRequest {
             tiers,
             sla,
@@ -57,6 +60,7 @@ impl Deserialize for SolutionRequest {
             rounding,
             clouds,
             as_is,
+            topology,
         })
     }
 }
@@ -104,6 +108,14 @@ impl SolutionRequest {
         self.as_is.as_deref()
     }
 
+    /// The requested deployment-archetype topology (e.g. `"regional"`),
+    /// if any. When set, the broker searches the archetype's
+    /// series–parallel composition space instead of the serial chain.
+    #[must_use]
+    pub fn topology(&self) -> Option<&str> {
+        self.topology.as_deref()
+    }
+
     /// The contract as a [`TcoModel`].
     #[must_use]
     pub fn tco_model(&self) -> TcoModel {
@@ -120,6 +132,7 @@ pub struct SolutionRequestBuilder {
     rounding: RoundingPolicy,
     clouds: Vec<CloudId>,
     as_is: Option<Vec<HaMethodId>>,
+    topology: Option<String>,
 }
 
 impl SolutionRequestBuilder {
@@ -187,6 +200,15 @@ impl SolutionRequestBuilder {
         self
     }
 
+    /// Requests a deployment-archetype topology (e.g. `"regional"`): the
+    /// broker replicates the tiers into that series–parallel shape and
+    /// searches the composition space instead of the serial chain.
+    #[must_use]
+    pub fn topology(mut self, name: impl Into<String>) -> Self {
+        self.topology = Some(name.into());
+        self
+    }
+
     /// Validates and builds the request.
     ///
     /// # Errors
@@ -215,6 +237,11 @@ impl SolutionRequestBuilder {
                     ),
                 });
             }
+            if self.topology.is_some() {
+                return Err(BrokerError::InvalidRequest {
+                    reason: "as-is comparison is not supported with a topology archetype".into(),
+                });
+            }
         }
         Ok(SolutionRequest {
             tiers: self.tiers,
@@ -223,6 +250,7 @@ impl SolutionRequestBuilder {
             rounding: self.rounding,
             clouds: self.clouds,
             as_is: self.as_is,
+            topology: self.topology,
         })
     }
 }
@@ -317,8 +345,33 @@ mod tests {
         map.remove("rounding");
         map.remove("clouds");
         map.remove("as_is");
+        map.remove("topology");
         let back = SolutionRequest::from_value(&Value::Object(map)).unwrap();
         assert_eq!(back, full, "omitted fields take their defaults");
+    }
+
+    #[test]
+    fn topology_round_trips_and_defaults_to_none() {
+        let plain = base().build().unwrap();
+        assert!(plain.topology().is_none());
+        let r = base().topology("regional").build().unwrap();
+        assert_eq!(r.topology(), Some("regional"));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SolutionRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn topology_with_as_is_rejected() {
+        let bad = base()
+            .topology("regional")
+            .as_is(vec![
+                HaMethodId::new("vmware-ha-3p1"),
+                HaMethodId::new("raid1"),
+                HaMethodId::new("dual-gw"),
+            ])
+            .build();
+        assert!(matches!(bad, Err(BrokerError::InvalidRequest { .. })));
     }
 
     #[test]

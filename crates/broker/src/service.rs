@@ -9,7 +9,10 @@ use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use uptime_catalog::{CatalogStore, CloudId, ComponentKind, HaMethodId};
 use uptime_durability::{Journal, SnapshotStore, StateDir, HEADER_LEN};
-use uptime_optimizer::{branch_bound, exhaustive, Evaluation, Objective, SearchSpace};
+use uptime_optimizer::{
+    branch_bound, composition, composition_bnb, exhaustive, Archetype, CompositionEvaluator,
+    CompositionSpace, Evaluation, Objective, SearchSpace, SearchStats,
+};
 
 use crate::durability::{
     DurabilityConfig, DurabilityInner, DurabilityState, JournalEntry, PersistentState,
@@ -698,22 +701,13 @@ impl BrokerService {
     ///   not exist for its tier.
     /// * Catalog/space errors for missing prices or reliability records.
     pub fn recommend(&self, request: &SolutionRequest) -> Result<Recommendation, BrokerError> {
+        if let Some(topology) = request.topology() {
+            return self.recommend_archetype(request, topology);
+        }
         let rec = &*self.recorder;
         let _span = uptime_obs::span!(rec, "broker.recommend");
         let catalog = self.catalog.read();
-        let clouds: Vec<CloudId> = if request.clouds().is_empty() {
-            catalog.cloud_ids().cloned().collect()
-        } else {
-            for id in request.clouds() {
-                if catalog.cloud(id).is_none() {
-                    return Err(BrokerError::UnknownCloud { id: id.clone() });
-                }
-            }
-            request.clouds().to_vec()
-        };
-        if clouds.is_empty() {
-            return Err(BrokerError::NoCandidates);
-        }
+        let clouds = resolve_clouds(&catalog, request)?;
 
         let model = request.tco_model();
         let mut cloud_recs = Vec::with_capacity(clouds.len());
@@ -821,6 +815,144 @@ impl BrokerService {
             ));
         }
         drop(catalog);
+        Ok(self.finish_recommendation(cloud_recs))
+    }
+
+    /// The archetype-topology variant of [`BrokerService::recommend`]:
+    /// replicates the paper tiers into the requested series–parallel
+    /// shape (see [`Archetype`]) and searches the composition space —
+    /// exhaustively with a full Fig.-10-style option table, or by exact
+    /// branch-and-bound with the table trimmed to the proven winner.
+    fn recommend_archetype(
+        &self,
+        request: &SolutionRequest,
+        topology: &str,
+    ) -> Result<Recommendation, BrokerError> {
+        let rec = &*self.recorder;
+        let _span = uptime_obs::span!(rec, "broker.recommend.archetype");
+        let archetype: Archetype =
+            topology
+                .parse()
+                .map_err(|err: uptime_optimizer::archetypes::UnknownArchetype| {
+                    BrokerError::InvalidRequest {
+                        reason: err.to_string(),
+                    }
+                })?;
+        if request.as_is().is_some() {
+            // As-is methods name one candidate per *serial tier*; an
+            // archetype space has per-leaf candidates in a different
+            // arity, so the Fig. 10 savings comparison has no referent.
+            return Err(BrokerError::InvalidRequest {
+                reason: "as-is comparison is not supported with a topology archetype".into(),
+            });
+        }
+        let catalog = self.catalog.read();
+        let clouds = resolve_clouds(&catalog, request)?;
+
+        let model = request.tco_model();
+        let mut cloud_recs = Vec::with_capacity(clouds.len());
+        for cloud in clouds {
+            let space = archetype.space(&catalog, &cloud)?;
+            let method_ids = leaf_method_ids(&catalog, &space);
+            let (ordered, stats) = match self.engine {
+                SearchEngine::Exhaustive => {
+                    if space.assignment_count() <= ARCHETYPE_TABLE_CAP {
+                        // Small enough to rank every variant the way the
+                        // paper numbers them: ascending cardinality, then
+                        // mixed-radix value.
+                        let evaluator = CompositionEvaluator::new(&space, &model);
+                        let mut cursor = evaluator.cursor();
+                        let mut ordered = vec![cursor.evaluation()];
+                        while cursor.advance() {
+                            ordered.push(cursor.evaluation());
+                        }
+                        let stats = SearchStats {
+                            evaluated: ordered.len() as u64,
+                            skipped: 0,
+                        };
+                        ordered.sort_by_key(|e| {
+                            (
+                                e.cardinality(),
+                                composition_assignment_value(&space, e.assignment()),
+                            )
+                        });
+                        (ordered, stats)
+                    } else {
+                        let outcome = composition::search(&space, &model, Objective::MinTco);
+                        let best = outcome.best().cloned().ok_or(BrokerError::NoCandidates)?;
+                        (vec![best], outcome.stats())
+                    }
+                }
+                SearchEngine::BranchBound => {
+                    let outcome = composition_bnb::search_with_threads(&space, &model, 0);
+                    let best = outcome.best().cloned().ok_or(BrokerError::NoCandidates)?;
+                    (vec![best], outcome.stats())
+                }
+            };
+
+            let mut options = Vec::with_capacity(ordered.len());
+            let mut best_index = 0;
+            let mut min_risk_index: Option<usize> = None;
+            for (i, e) in ordered.iter().enumerate() {
+                let meets = model.sla().is_met_by(e.uptime().availability());
+                let ids = e
+                    .assignment()
+                    .iter()
+                    .zip(&method_ids)
+                    .map(|(&idx, leaf)| leaf[idx].clone())
+                    .collect();
+                let labels = e
+                    .assignment()
+                    .iter()
+                    .zip(space.leaves())
+                    .map(|(&idx, leaf)| leaf.candidates()[idx].label().to_owned())
+                    .collect();
+                let tier_costs = e
+                    .assignment()
+                    .iter()
+                    .zip(space.leaves())
+                    .map(|(&idx, leaf)| leaf.candidates()[idx].monthly_cost())
+                    .collect();
+                options.push(RankedOption::new(
+                    i + 1,
+                    labels,
+                    ids,
+                    tier_costs,
+                    (*e).clone(),
+                    meets,
+                ));
+
+                if e.tco().total() < ordered[best_index].tco().total() {
+                    best_index = i;
+                }
+                if meets {
+                    let better = match min_risk_index {
+                        Some(j) => e.tco().total() < ordered[j].tco().total(),
+                        None => true,
+                    };
+                    if better {
+                        min_risk_index = Some(i);
+                    }
+                }
+            }
+
+            cloud_recs.push(CloudRecommendation::new(
+                cloud,
+                options,
+                best_index,
+                min_risk_index,
+                None,
+                stats,
+            ));
+        }
+        drop(catalog);
+        Ok(self.finish_recommendation(cloud_recs))
+    }
+
+    /// Shared tail of every recommend path: emit metrics and annotate the
+    /// answer when any involved provider is serving from a stale catalog.
+    fn finish_recommendation(&self, cloud_recs: Vec<CloudRecommendation>) -> Recommendation {
+        let rec = &*self.recorder;
         let answered: Vec<CloudId> = cloud_recs.iter().map(|c| c.cloud().clone()).collect();
         rec.counter_add("broker.recommend.clouds", answered.len() as u64);
         let mut recommendation = Recommendation::new(cloud_recs);
@@ -838,7 +970,7 @@ impl BrokerService {
         } else {
             rec.gauge_set("broker.degraded", 0.0);
         }
-        Ok(recommendation)
+        recommendation
     }
 
     /// Turns a ranked option into a provisioning plan for its cloud.
@@ -1230,6 +1362,72 @@ fn assignment_value(space: &SearchSpace, assignment: &[usize]) -> u128 {
     value
 }
 
+/// Largest archetype space the exhaustive engine still ranks in full;
+/// beyond it, the option table is trimmed to the streamed winner. The six
+/// survey shapes top out at 512 assignments, well under this.
+const ARCHETYPE_TABLE_CAP: u128 = 4096;
+
+/// Paper-style tie order for composition assignments: the mixed-radix
+/// value over the space's leaves, mirroring [`assignment_value`].
+fn composition_assignment_value(space: &CompositionSpace, assignment: &[usize]) -> u128 {
+    let mut value: u128 = 0;
+    for (idx, leaf) in assignment.iter().zip(space.leaves()) {
+        value = value * leaf.len() as u128 + *idx as u128;
+    }
+    value
+}
+
+/// Per-leaf catalog method ids for an archetype space. Tier leaves follow
+/// [`Archetype::space`]'s `{prefix}-{tier-label}` naming and preserve
+/// `methods_for` order, so candidate `i` is that tier's `i`-th method.
+/// Shared-domain pseudo-leaves exist only in the composition model, not
+/// the catalog; their single candidate gets a synthetic id from its label.
+fn leaf_method_ids(catalog: &CatalogStore, space: &CompositionSpace) -> Vec<Vec<HaMethodId>> {
+    space
+        .leaves()
+        .iter()
+        .map(|leaf| {
+            let tier = ComponentKind::paper_tiers().into_iter().find(|kind| {
+                leaf.name() == kind.label() || leaf.name().ends_with(&format!("-{}", kind.label()))
+            });
+            match tier {
+                Some(kind) if catalog.methods_for(kind).len() == leaf.len() => catalog
+                    .methods_for(kind)
+                    .iter()
+                    .map(|m| m.id().clone())
+                    .collect(),
+                _ => leaf
+                    .candidates()
+                    .iter()
+                    .map(|c| HaMethodId::new(c.label()))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Resolves the clouds a request names (empty = every cloud the broker
+/// fronts), rejecting unknown ids.
+fn resolve_clouds(
+    catalog: &CatalogStore,
+    request: &SolutionRequest,
+) -> Result<Vec<CloudId>, BrokerError> {
+    let clouds: Vec<CloudId> = if request.clouds().is_empty() {
+        catalog.cloud_ids().cloned().collect()
+    } else {
+        for id in request.clouds() {
+            if catalog.cloud(id).is_none() {
+                return Err(BrokerError::UnknownCloud { id: id.clone() });
+            }
+        }
+        request.clouds().to_vec()
+    };
+    if clouds.is_empty() {
+        return Err(BrokerError::NoCandidates);
+    }
+    Ok(clouds)
+}
+
 fn resolve_as_is(
     method_ids: &[Vec<HaMethodId>],
     declared: &[HaMethodId],
@@ -1319,6 +1517,125 @@ mod tests {
         assert_eq!(cloud.as_is().unwrap().option_number(), 8);
         let savings = cloud.savings_vs_as_is().unwrap();
         assert!((savings - 0.62).abs() < 0.005, "got {savings}");
+    }
+
+    fn archetype_request(name: &str) -> SolutionRequest {
+        SolutionRequest::builder()
+            .tiers(ComponentKind::paper_tiers())
+            .sla_percent(98.0)
+            .unwrap()
+            .penalty_per_hour(100.0)
+            .unwrap()
+            .cloud(case_study::cloud_id())
+            .topology(name)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn zonal_archetype_reproduces_the_serial_table() {
+        let rec = service().recommend(&archetype_request("zonal")).unwrap();
+        let cloud = &rec.clouds()[0];
+        // The zonal archetype *is* the paper's serial chain: same eight
+        // options, same numbering, same winner.
+        assert_eq!(cloud.options().len(), 8);
+        assert_eq!(cloud.best().option_number(), 3);
+        assert_eq!(cloud.best().evaluation().tco().total().value(), 1250.0);
+        assert_eq!(cloud.min_risk().unwrap().option_number(), 5);
+        // Zonal leaf names are the plain tier labels, so method ids come
+        // straight from the catalog and the winner is provisionable.
+        let plan = service()
+            .plan(
+                &case_study::cloud_id(),
+                &ComponentKind::paper_tiers(),
+                cloud.best(),
+            )
+            .unwrap();
+        assert_eq!(plan.steps().len(), 3);
+    }
+
+    #[test]
+    fn regional_archetype_searches_the_composition_space() {
+        let rec = service().recommend(&archetype_request("regional")).unwrap();
+        let cloud = &rec.clouds()[0];
+        assert_eq!(cloud.stats().evaluated, 128);
+        assert_eq!(cloud.options().len(), 128);
+        // Every option carries one label/id/cost per composition leaf.
+        assert_eq!(cloud.best().labels().len(), 10);
+        assert_eq!(cloud.best().method_ids().len(), 10);
+        assert_eq!(cloud.best().tier_costs().len(), 10);
+        // The winner must agree with the optimizer's own search.
+        let space = Archetype::Regional
+            .space(&case_study::catalog(), &case_study::cloud_id())
+            .unwrap();
+        let model = archetype_request("regional").tco_model();
+        let outcome = composition::search(&space, &model, Objective::MinTco);
+        let best = outcome.best().unwrap();
+        assert_eq!(cloud.best().evaluation().assignment(), best.assignment());
+        assert_eq!(cloud.best().evaluation().tco().total(), best.tco().total());
+    }
+
+    #[test]
+    fn bnb_engine_matches_exhaustive_archetype_winner() {
+        for name in ["multi-zonal", "multi-region-active-active", "global"] {
+            let ex = service().recommend(&archetype_request(name)).unwrap();
+            let bnb = service()
+                .with_engine(SearchEngine::BranchBound)
+                .recommend(&archetype_request(name))
+                .unwrap();
+            let e = ex.clouds()[0].best();
+            let b = bnb.clouds()[0].best();
+            assert_eq!(
+                b.evaluation().assignment(),
+                e.evaluation().assignment(),
+                "{name}"
+            );
+            assert_eq!(
+                bnb.clouds()[0].options().len(),
+                1,
+                "{name}: BnB table is trimmed to the proven winner"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_topology_rejected() {
+        let err = service()
+            .recommend(&archetype_request("orbital"))
+            .unwrap_err();
+        match err {
+            BrokerError::InvalidRequest { reason } => {
+                assert!(reason.contains("orbital"), "{reason}");
+                assert!(reason.contains("zonal"), "lists the valid names: {reason}");
+            }
+            other => panic!("expected InvalidRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn archetype_with_as_is_rejected_at_recommend_time() {
+        // Wire requests bypass the builder's validation, so recommend
+        // itself must reject the combination.
+        let serde::Value::Object(mut map) = serde_json::to_value(&paper_request()) else {
+            panic!("requests serialize as objects");
+        };
+        map.insert(
+            "topology".to_owned(),
+            serde_json::to_value(&"regional".to_owned()),
+        );
+        let request = SolutionRequest::from_value(&serde::Value::Object(map)).unwrap();
+        assert!(matches!(
+            service().recommend(&request),
+            Err(BrokerError::InvalidRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn metacloud_rejects_topology() {
+        let err = service()
+            .recommend_metacloud(&archetype_request("regional"))
+            .unwrap_err();
+        assert!(matches!(err, BrokerError::InvalidRequest { .. }));
     }
 
     #[test]

@@ -139,6 +139,14 @@ pub fn canonical_fingerprint(endpoint: &str, request: &SolutionRequest) -> u128 
         }
     }
 
+    match request.topology() {
+        None => h.write_u8(0),
+        Some(topology) => {
+            h.write_u8(1);
+            h.write_str(topology);
+        }
+    }
+
     h.finish()
 }
 
@@ -378,6 +386,32 @@ mod tests {
         assert_ne!(
             canonical_fingerprint("recommend", &request(98.0)),
             canonical_fingerprint("recommend", &with)
+        );
+    }
+
+    #[test]
+    fn topology_discriminates() {
+        let archetype = |name: &str| {
+            SolutionRequest::builder()
+                .tiers(ComponentKind::paper_tiers())
+                .sla_percent(98.0)
+                .unwrap()
+                .penalty_per_hour(100.0)
+                .unwrap()
+                .topology(name)
+                .build()
+                .unwrap()
+        };
+        // A serial request and every archetype must all cache separately.
+        let serial = canonical_fingerprint("recommend", &request(98.0));
+        let zonal = canonical_fingerprint("recommend", &archetype("zonal"));
+        let regional = canonical_fingerprint("recommend", &archetype("regional"));
+        assert_ne!(serial, zonal, "archetype requests answer differently");
+        assert_ne!(zonal, regional, "each shape is its own cache entry");
+        // Same topology spelled identically still coalesces.
+        assert_eq!(
+            regional,
+            canonical_fingerprint("recommend", &archetype("regional"))
         );
     }
 

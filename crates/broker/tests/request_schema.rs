@@ -1,0 +1,116 @@
+//! The checked-in `solution_request.schema.json` wire contract: every
+//! request the builder can produce must validate, the `topology` field is
+//! part of the published schema, and malformed spellings are rejected.
+
+use serde::{Deserialize, Value};
+use uptime_broker::SolutionRequest;
+use uptime_catalog::{CloudId, ComponentKind, HaMethodId};
+use uptime_core::RoundingPolicy;
+use uptime_serve::schema;
+
+fn load_schema() -> Value {
+    let path = format!(
+        "{}/../../schemas/solution_request.schema.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    serde_json::from_str(&text).expect("schema parses")
+}
+
+fn base() -> uptime_broker::SolutionRequestBuilder {
+    SolutionRequest::builder()
+        .tiers(ComponentKind::paper_tiers())
+        .sla_percent(98.0)
+        .unwrap()
+        .penalty_per_hour(100.0)
+        .unwrap()
+}
+
+#[test]
+fn builder_requests_validate() {
+    let schema = load_schema();
+    let minimal = base().build().unwrap();
+    schema::assert_valid(&serde_json::to_value(&minimal), &schema);
+
+    let full = base()
+        .rounding(RoundingPolicy::Exact)
+        .cloud(CloudId::new("softlayer"))
+        .as_is(vec![
+            HaMethodId::new("vmware-ha-3p1"),
+            HaMethodId::new("raid1"),
+            HaMethodId::new("dual-gw"),
+        ])
+        .build()
+        .unwrap();
+    schema::assert_valid(&serde_json::to_value(&full), &schema);
+}
+
+#[test]
+fn every_archetype_topology_validates() {
+    let schema = load_schema();
+    for archetype in uptime_optimizer::Archetype::all() {
+        let request = base().topology(archetype.name()).build().unwrap();
+        schema::assert_valid(&serde_json::to_value(&request), &schema);
+    }
+}
+
+#[test]
+fn omitted_optional_keys_validate() {
+    // Clients may omit optional fields entirely rather than sending null;
+    // the schema must accept both spellings of the same request.
+    let schema = load_schema();
+    let Value::Object(mut map) = serde_json::to_value(&base().build().unwrap()) else {
+        panic!("requests serialize as objects");
+    };
+    map.remove("rounding");
+    map.remove("clouds");
+    map.remove("as_is");
+    map.remove("topology");
+    let trimmed = Value::Object(map);
+    schema::assert_valid(&trimmed, &schema);
+    // And the trimmed spelling still deserializes to the same request.
+    assert_eq!(
+        SolutionRequest::from_value(&trimmed).unwrap(),
+        base().build().unwrap()
+    );
+}
+
+#[test]
+fn malformed_requests_rejected() {
+    let schema = load_schema();
+    let violations = |value: &Value| {
+        let mut errors = Vec::new();
+        schema::validate(value, &schema, "$", &mut errors);
+        errors
+    };
+
+    let Value::Object(full) = serde_json::to_value(&base().build().unwrap()) else {
+        panic!("requests serialize as objects");
+    };
+
+    // Missing a required field.
+    let mut missing = full.clone();
+    missing.remove("sla");
+    assert!(!violations(&Value::Object(missing)).is_empty());
+
+    // A topology outside the published archetype names.
+    let mut bad_topology = full.clone();
+    bad_topology.insert(
+        "topology".to_owned(),
+        serde_json::to_value(&"orbital".to_owned()),
+    );
+    assert!(!violations(&Value::Object(bad_topology)).is_empty());
+
+    // An unknown extra key: the contract is closed.
+    let mut extra = full.clone();
+    extra.insert("surprise".to_owned(), serde_json::to_value(&1.0));
+    assert!(!violations(&Value::Object(extra)).is_empty());
+
+    // A tier outside the component-kind vocabulary.
+    let mut bad_tier = full;
+    bad_tier.insert(
+        "tiers".to_owned(),
+        serde_json::to_value(&vec!["Mainframe".to_owned()]),
+    );
+    assert!(!violations(&Value::Object(bad_tier)).is_empty());
+}

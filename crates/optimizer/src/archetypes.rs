@@ -1,0 +1,355 @@
+//! Deployment-archetype scenario generator: the six shapes of the
+//! Deployment Archetypes survey (Berenberg & Calder, see PAPERS.md) as
+//! ready-made [`CompositionSpace`]s over a broker catalog.
+//!
+//! Each archetype composes the paper's three serial tiers (compute,
+//! storage, network gateway) into the survey's topology: a single zone, a
+//! few zones behind one gateway, a full region, or multiple regions behind
+//! global routing. Zone- and region-scoped *shared failure domains* —
+//! power, cooling, control plane, the regional network — are modeled as
+//! single-candidate pseudo-leaves (singleton clusters with zero failover
+//! time and zero cost), so the analytic fold charges each replica chain for
+//! the infrastructure it cannot buy its way out of. The same domains drive
+//! the correlated Monte-Carlo cross-validation in `uptime-sim`.
+//!
+//! The broker routes requests here via the request `topology` field and
+//! `brokerctl recommend --archetype <name>`.
+
+use std::fmt;
+use std::str::FromStr;
+
+use uptime_catalog::{CatalogStore, CloudId, ComponentKind};
+use uptime_core::{ClusterSpec, MoneyPerMonth, Probability};
+
+use crate::composition::{CompositionNode, CompositionSpace};
+use crate::space::{Candidate, ComponentChoices, SearchSpace, SpaceError};
+
+/// Down-probability of a zone-scoped shared failure domain (power,
+/// cooling, top-of-rack fabric): ~99.99% available — the survey's "a zone
+/// fails as a unit a few minutes a month" regime.
+const ZONE_DOMAIN_DOWN: f64 = 1e-4;
+
+/// Down-probability of a region-scoped shared failure domain (regional
+/// network, control plane): ~99.998% available.
+const REGION_DOMAIN_DOWN: f64 = 2e-5;
+
+/// Down-probability of the global routing layer (anycast/DNS steering)
+/// that fronts multi-region deployments: ~99.9995% available.
+const GLOBAL_ROUTING_DOWN: f64 = 5e-6;
+
+/// The six deployment archetypes of the survey, ordered from a single
+/// zone to a globally distributed service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Archetype {
+    /// One zone, the paper's serial chain — no cross-stack redundancy.
+    Zonal,
+    /// Two zones behind one gateway; compute + storage replicated per
+    /// zone, each zone dragged down by its own shared domain.
+    MultiZonal,
+    /// Three zones behind one gateway — a full region.
+    Regional,
+    /// Two regions behind a shared gateway tier; each region a full
+    /// chain gated by its regional domain.
+    MultiRegionActivePassive,
+    /// Two self-contained regions (own gateway each) behind global
+    /// anycast routing.
+    MultiRegionActiveActive,
+    /// Three self-contained regions behind global routing.
+    Global,
+}
+
+impl Archetype {
+    /// All archetypes, in survey order.
+    #[must_use]
+    pub fn all() -> &'static [Archetype] {
+        &[
+            Archetype::Zonal,
+            Archetype::MultiZonal,
+            Archetype::Regional,
+            Archetype::MultiRegionActivePassive,
+            Archetype::MultiRegionActiveActive,
+            Archetype::Global,
+        ]
+    }
+
+    /// Stable kebab-case identifier — the CLI/request `topology` value.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Archetype::Zonal => "zonal",
+            Archetype::MultiZonal => "multi-zonal",
+            Archetype::Regional => "regional",
+            Archetype::MultiRegionActivePassive => "multi-region-active-passive",
+            Archetype::MultiRegionActiveActive => "multi-region-active-active",
+            Archetype::Global => "global",
+        }
+    }
+
+    /// One-line human description for CLI listings.
+    #[must_use]
+    pub fn description(self) -> &'static str {
+        match self {
+            Archetype::Zonal => "single zone, serial chain (the paper's Fig. 1)",
+            Archetype::MultiZonal => "2 zones behind one gateway, per-zone replicas",
+            Archetype::Regional => "3 zones behind one gateway (full region)",
+            Archetype::MultiRegionActivePassive => {
+                "2 regions behind a shared gateway tier, regional failover"
+            }
+            Archetype::MultiRegionActiveActive => "2 self-contained regions behind global routing",
+            Archetype::Global => "3 self-contained regions behind global routing",
+        }
+    }
+
+    /// Builds the archetype's composition search space from a broker
+    /// catalog: every applicable HA method per tier, replicated into the
+    /// archetype topology with shared-domain pseudo-leaves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates catalog lookup failures ([`SpaceError::Catalog`]) and
+    /// empty choice sets ([`SpaceError::EmptyComponent`]).
+    pub fn space(
+        self,
+        catalog: &CatalogStore,
+        cloud: &CloudId,
+    ) -> Result<CompositionSpace, SpaceError> {
+        let [compute, storage, network] = ComponentKind::paper_tiers();
+        let tier = |kind: ComponentKind, prefix: &str| -> Result<CompositionNode, SpaceError> {
+            Ok(CompositionNode::Component(tier_choices(
+                catalog, cloud, kind, prefix,
+            )?))
+        };
+        let zone_chain = |tag: &str| -> Result<CompositionNode, SpaceError> {
+            Ok(CompositionNode::Series(vec![
+                tier(compute, tag)?,
+                tier(storage, tag)?,
+                domain_leaf(&format!("{tag}-zone-domain"), ZONE_DOMAIN_DOWN),
+            ]))
+        };
+        let region_chain = |tag: &str, own_gateway: bool| -> Result<CompositionNode, SpaceError> {
+            let mut chain = Vec::new();
+            if own_gateway {
+                chain.push(tier(network, tag)?);
+            }
+            chain.push(tier(compute, tag)?);
+            chain.push(tier(storage, tag)?);
+            chain.push(domain_leaf(
+                &format!("{tag}-region-domain"),
+                REGION_DOMAIN_DOWN,
+            ));
+            Ok(CompositionNode::Series(chain))
+        };
+        let root = match self {
+            Archetype::Zonal => {
+                let serial =
+                    SearchSpace::from_catalog(catalog, cloud, &[compute, storage, network])?;
+                return Ok(CompositionSpace::from_serial(&serial));
+            }
+            Archetype::MultiZonal => CompositionNode::Series(vec![
+                tier(network, "shared")?,
+                CompositionNode::Parallel(vec![zone_chain("z1")?, zone_chain("z2")?]),
+            ]),
+            Archetype::Regional => CompositionNode::Series(vec![
+                tier(network, "shared")?,
+                CompositionNode::Parallel(vec![
+                    zone_chain("z1")?,
+                    zone_chain("z2")?,
+                    zone_chain("z3")?,
+                ]),
+            ]),
+            Archetype::MultiRegionActivePassive => CompositionNode::Series(vec![
+                tier(network, "global")?,
+                CompositionNode::Parallel(vec![
+                    region_chain("r1", false)?,
+                    region_chain("r2", false)?,
+                ]),
+            ]),
+            Archetype::MultiRegionActiveActive => CompositionNode::Series(vec![
+                domain_leaf("global-routing", GLOBAL_ROUTING_DOWN),
+                CompositionNode::Parallel(vec![
+                    region_chain("r1", true)?,
+                    region_chain("r2", true)?,
+                ]),
+            ]),
+            Archetype::Global => CompositionNode::Series(vec![
+                domain_leaf("global-routing", GLOBAL_ROUTING_DOWN),
+                CompositionNode::Parallel(vec![
+                    region_chain("r1", true)?,
+                    region_chain("r2", true)?,
+                    region_chain("r3", true)?,
+                ]),
+            ]),
+        };
+        CompositionSpace::new(root)
+    }
+}
+
+impl fmt::Display for Archetype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error parsing an archetype name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownArchetype {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl fmt::Display for UnknownArchetype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown archetype `{}` (expected one of: {})",
+            self.input,
+            Archetype::all()
+                .iter()
+                .map(|a| a.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownArchetype {}
+
+impl FromStr for Archetype {
+    type Err = UnknownArchetype;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let canon = s.trim().to_ascii_lowercase().replace('_', "-");
+        Archetype::all()
+            .iter()
+            .copied()
+            .find(|a| a.name() == canon)
+            .ok_or_else(|| UnknownArchetype {
+                input: s.to_string(),
+            })
+    }
+}
+
+/// One tier's catalog choice set, named `<prefix>-<tier>` so replicated
+/// sites stay distinguishable in reports.
+fn tier_choices(
+    catalog: &CatalogStore,
+    cloud: &CloudId,
+    kind: ComponentKind,
+    prefix: &str,
+) -> Result<ComponentChoices, SpaceError> {
+    let methods = catalog.methods_for(kind);
+    let mut candidates = Vec::with_capacity(methods.len());
+    for method in methods {
+        let cluster = catalog.cluster_spec(cloud, kind, method.id())?;
+        let cost = catalog.quote(cloud, method.id())?.total();
+        candidates.push(Candidate::new(
+            method.display_name(),
+            cluster,
+            cost,
+            method.is_none(),
+        ));
+    }
+    ComponentChoices::new(format!("{prefix}-{}", kind.label()), candidates)
+}
+
+/// A shared failure domain as a degenerate leaf: one free candidate whose
+/// singleton cluster (zero failover time, so no blip term) is down with
+/// probability `down`. Marked baseline so it never counts toward HA
+/// cardinality.
+fn domain_leaf(name: &str, down: f64) -> CompositionNode {
+    let cluster = ClusterSpec::singleton(name, Probability::new(down).expect("valid domain"), 1.0)
+        .expect("singleton domains are always valid");
+    let choices = ComponentChoices::new(
+        name,
+        vec![Candidate::new(
+            name,
+            cluster,
+            MoneyPerMonth::new(0.0).expect("zero cost"),
+            true,
+        )],
+    )
+    .expect("single candidate is non-empty");
+    CompositionNode::Component(choices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uptime_catalog::case_study;
+
+    #[test]
+    fn names_round_trip() {
+        for &a in Archetype::all() {
+            assert_eq!(a.name().parse::<Archetype>().unwrap(), a);
+            assert_eq!(a.to_string(), a.name());
+        }
+        assert_eq!(
+            "Multi_Zonal".parse::<Archetype>().unwrap(),
+            Archetype::MultiZonal
+        );
+        let err = "orbital".parse::<Archetype>().unwrap_err();
+        assert!(err.to_string().contains("orbital"));
+        assert!(err.to_string().contains("zonal"));
+    }
+
+    #[test]
+    fn zonal_is_the_paper_space() {
+        let space = Archetype::Zonal
+            .space(&case_study::catalog(), &case_study::cloud_id())
+            .unwrap();
+        assert!(space.is_pure_series());
+        assert_eq!(space.leaf_count(), 3);
+        assert_eq!(space.assignment_count(), 8);
+    }
+
+    #[test]
+    fn shapes_have_expected_leaf_counts() {
+        let catalog = case_study::catalog();
+        let cloud = case_study::cloud_id();
+        let expect = [
+            (Archetype::Zonal, 3, 8u128),
+            (Archetype::MultiZonal, 7, 32),
+            (Archetype::Regional, 10, 128),
+            (Archetype::MultiRegionActivePassive, 7, 32),
+            (Archetype::MultiRegionActiveActive, 9, 64),
+            (Archetype::Global, 13, 512),
+        ];
+        for (arch, leaves, count) in expect {
+            let space = arch.space(&catalog, &cloud).unwrap();
+            assert_eq!(space.leaf_count(), leaves, "{arch}");
+            assert_eq!(space.assignment_count(), count, "{arch}");
+            assert_eq!(space.is_pure_series(), arch == Archetype::Zonal, "{arch}");
+        }
+    }
+
+    #[test]
+    fn redundant_archetypes_beat_zonal_availability() {
+        let catalog = case_study::catalog();
+        let cloud = case_study::cloud_id();
+        let model = case_study::tco_model();
+        let zonal = crate::composition::search(
+            &Archetype::Zonal.space(&catalog, &cloud).unwrap(),
+            &model,
+            crate::Objective::MinTco,
+        );
+        let regional = crate::composition::search(
+            &Archetype::Regional.space(&catalog, &cloud).unwrap(),
+            &model,
+            crate::Objective::MinTco,
+        );
+        // A region of three zones can mask zone-chain failures the serial
+        // chain eats in full; its optimum should never be *less* available.
+        assert!(
+            regional.best().unwrap().uptime().availability().value()
+                >= zonal.best().unwrap().uptime().availability().value()
+        );
+    }
+
+    #[test]
+    fn unknown_cloud_propagates() {
+        let err = Archetype::Regional
+            .space(&case_study::catalog(), &CloudId::new("ghost"))
+            .unwrap_err();
+        assert!(matches!(err, SpaceError::Catalog(_)));
+    }
+}

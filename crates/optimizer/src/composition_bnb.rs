@@ -1,0 +1,554 @@
+//! Branch-and-bound over series–parallel composition spaces — the
+//! [`crate::branch_bound`] engine lifted to the topology fold.
+//!
+//! # The bound
+//!
+//! For a prefix `p` (leaves `0..p` chosen, in depth-first order) the fold
+//! state carries the spine accumulators `V_p`, `C_p` and the mask `M_p`
+//! (product of *completed* maximal parallel subtrees). Precompute, over
+//! the remaining leaves:
+//!
+//! * `minC_p = Σ_{i≥p} min_j cost(i, j)` — costs add leaf-by-leaf
+//!   regardless of context;
+//! * `spineMaxA_p = Π_{i≥p, i on spine} max_j a(i, j)` — the spine product
+//!   can only shrink by at most each remaining spine leaf's best factor;
+//! * `parMaxA_p = Π_{s: lo_s ≥ p} A_s^max` over maximal parallel subtrees
+//!   entirely right of `p`, where `A_s^max` folds every leaf of `s` at its
+//!   maximum availability — admissible because series–parallel
+//!   availability is monotone non-decreasing in each leaf availability.
+//!
+//! A parallel subtree *straddling* `p` is bounded by `1.0` (its factor is
+//! a probability). Every completion `c` then satisfies
+//!
+//! ```text
+//! U(c) ≤ V_p · M_p · spineMaxA_p · parMaxA_p
+//! TCO(c) ≥ C_p + minC_p + penalty_lb(U_ub)
+//! ```
+//!
+//! with the same rounding-conservative `penalty_lb` as the serial bound
+//! (see DESIGN.md §14 for the derivation). On a pure-series space
+//! `M_p = parMaxA_p = 1.0` and `spineMaxA_p` is the serial suffix product,
+//! so the bound — and therefore the winner — degenerates bit-identically
+//! to [`crate::branch_bound`].
+//!
+//! Exactness and thread-count independence follow exactly as in the
+//! serial engine: strict pruning against an achieved incumbent with a
+//! fixed slack, per-task winners merged in lexicographic prefix order.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crossbeam::thread;
+use uptime_core::{Probability, RoundingPolicy, TcoModel};
+
+use crate::branch_bound::BnbStats;
+use crate::composition::{CompositionEvaluator, CompositionSpace, FoldState};
+use crate::fast::{self, CandidateTerms};
+use crate::objective::{Objective, RankKey};
+use crate::outcome::{SearchOutcome, SearchStats};
+
+/// Same slack as the serial engine: absorbs association noise between the
+/// bound's and the leaf's floating-point sums without pruning tie-optimal
+/// leaves.
+const BOUND_SLACK: f64 = 1e-6;
+
+/// Prefix tasks per worker, matching the serial engine's stealing grain.
+const TASKS_PER_THREAD: usize = 8;
+
+/// Per-leaf suffix aggregates of the composition bound.
+struct Bounds {
+    /// `minC_p = Σ_{i≥p} min_j cost(i, j)`; index `n` is 0.
+    suffix_min_cost: Vec<f64>,
+    /// `spineMaxA_p = Π_{i≥p, spine} max_j a(i, j)`; index `n` is 1.
+    spine_suffix_max: Vec<f64>,
+    /// `parMaxA_p = Π_{s: lo_s ≥ p} A_s^max`; index `n` is 1.
+    par_suffix_max: Vec<f64>,
+    /// `Π_{i≥p} k_i` (saturating): variants under a depth-`p` node.
+    suffix_size: Vec<u64>,
+}
+
+impl Bounds {
+    fn new(space: &CompositionSpace, terms: &[Vec<CandidateTerms>]) -> Self {
+        let n = terms.len();
+        let leaf_max: Vec<f64> = terms
+            .iter()
+            .map(|comp| comp.iter().map(|t| t.availability).fold(0.0f64, f64::max))
+            .collect();
+        let factors = space.parallel_factors(&leaf_max);
+
+        let mut suffix_min_cost = vec![0.0; n + 1];
+        let mut spine_suffix_max = vec![1.0; n + 1];
+        let mut par_suffix_max = vec![1.0; n + 1];
+        let mut suffix_size = vec![1u64; n + 1];
+        let spine = space.spine_leaf();
+        for p in (0..n).rev() {
+            let min_cost = terms[p]
+                .iter()
+                .map(|t| t.cost)
+                .fold(f64::INFINITY, f64::min);
+            suffix_min_cost[p] = suffix_min_cost[p + 1] + min_cost;
+            spine_suffix_max[p] = if spine[p] {
+                spine_suffix_max[p + 1] * leaf_max[p]
+            } else {
+                spine_suffix_max[p + 1]
+            };
+            par_suffix_max[p] = par_suffix_max[p + 1];
+            for &(lo, a) in &factors {
+                if lo == p {
+                    par_suffix_max[p] *= a;
+                }
+            }
+            suffix_size[p] = suffix_size[p + 1].saturating_mul(terms[p].len() as u64);
+        }
+        Bounds {
+            suffix_min_cost,
+            spine_suffix_max,
+            par_suffix_max,
+            suffix_size,
+        }
+    }
+
+    /// Admissible lower bound on the TCO of every completion of a prefix
+    /// whose fold state is `state` and whose next unassigned leaf is
+    /// `depth`.
+    fn lower_bound(&self, model: &TcoModel, depth: usize, state: &FoldState) -> f64 {
+        let avail_ub = state.spine.avail
+            * state.mask
+            * self.spine_suffix_max[depth]
+            * self.par_suffix_max[depth];
+        let uptime_ub = Probability::saturating(avail_ub);
+        let raw_hours = model.sla().slippage_hours_per_month(uptime_ub);
+        let hours_lb = match model.rounding() {
+            RoundingPolicy::NearestHour => (raw_hours - 0.5).max(0.0),
+            RoundingPolicy::Exact | RoundingPolicy::CeilHour => raw_hours,
+        };
+        let penalty_lb = model.penalty().charge(hours_lb).value();
+        state.spine.cost + state.extra_cost + self.suffix_min_cost[depth] + penalty_lb
+    }
+}
+
+/// The admissible lower bound for a partial assignment, exposed so the
+/// property suite can check `bound(prefix) ≤ TCO(completion)` for every
+/// completion over DAG topologies
+/// (`crates/optimizer/tests/composition_properties.rs`).
+///
+/// # Panics
+///
+/// Panics if `prefix` is longer than the leaf list or indexes a candidate
+/// out of range.
+#[must_use]
+pub fn prefix_bound(space: &CompositionSpace, model: &TcoModel, prefix: &[usize]) -> f64 {
+    let eval = CompositionEvaluator::new(space, model);
+    let terms = eval.terms();
+    assert!(prefix.len() <= terms.len(), "prefix longer than leaf list");
+    let bounds = Bounds::new(space, terms);
+    let mut states = vec![eval.base_state(); prefix.len() + 1];
+    for (i, &idx) in prefix.iter().enumerate() {
+        eval.step_into(&mut states, i, idx);
+    }
+    bounds.lower_bound(model, prefix.len(), &states[prefix.len()])
+}
+
+/// Single-threaded exact `MinTco` branch-and-bound over a composition
+/// space. On pure-series spaces the winner is bit-identical to
+/// [`crate::branch_bound::search`].
+#[must_use]
+pub fn search(space: &CompositionSpace, model: &TcoModel) -> SearchOutcome {
+    search_with_threads(space, model, 1)
+}
+
+/// [`search`] across `threads` workers stealing prefix tasks; `0` means
+/// the machine's available parallelism. The winner is bit-identical for
+/// every thread count.
+#[must_use]
+pub fn search_with_threads(
+    space: &CompositionSpace,
+    model: &TcoModel,
+    threads: usize,
+) -> SearchOutcome {
+    search_with_stats(space, model, threads).0
+}
+
+/// [`search_with_threads`] returning the tree-shape instrumentation
+/// alongside the outcome — what `composition_bench` serializes.
+#[must_use]
+pub fn search_with_stats(
+    space: &CompositionSpace,
+    model: &TcoModel,
+    threads: usize,
+) -> (SearchOutcome, BnbStats) {
+    let threads = if threads == 0 {
+        crate::parallel::default_threads()
+    } else {
+        threads
+    };
+    let eval = CompositionEvaluator::new(space, model);
+    let terms = eval.terms();
+    let n = terms.len();
+    let bounds = Bounds::new(space, terms);
+
+    // Seed the incumbent with the all-min-cost and all-max-availability
+    // assignments, as the serial engine does.
+    let min_cost_seed: Vec<usize> = terms
+        .iter()
+        .map(|comp| argmin_by(comp, |t| t.cost))
+        .collect();
+    let max_avail_seed: Vec<usize> = terms
+        .iter()
+        .map(|comp| argmin_by(comp, |t| -t.availability))
+        .collect();
+    let seed_total = eval
+        .rank_key(&min_cost_seed)
+        .total
+        .value()
+        .min(eval.rank_key(&max_avail_seed).total.value());
+    let incumbent = AtomicU64::new(seed_total.to_bits());
+
+    let target_tasks = threads.saturating_mul(TASKS_PER_THREAD).max(1);
+    let mut split_depth = 0usize;
+    let mut task_count = 1usize;
+    while split_depth + 1 < n && task_count < target_tasks {
+        task_count = task_count.saturating_mul(terms[split_depth].len());
+        split_depth += 1;
+    }
+
+    let next_task = AtomicUsize::new(0);
+    let run_worker = || -> (TaskWins, BnbStats) {
+        let mut walker = Walker {
+            model,
+            eval: &eval,
+            bounds: &bounds,
+            incumbent: &incumbent,
+            digits: vec![0usize; n],
+            states: vec![eval.base_state(); n + 1],
+            best: None,
+            stats: BnbStats::default(),
+        };
+        let mut found = Vec::new();
+        loop {
+            let task = next_task.fetch_add(1, Ordering::Relaxed);
+            if task >= task_count {
+                break;
+            }
+            walker.stats.tasks += 1;
+            walker.best = None;
+            walker.seed_prefix(task, split_depth);
+            walker.enter(split_depth);
+            if let Some((key, digits)) = walker.best.take() {
+                found.push((task, key, digits));
+            }
+        }
+        (found, walker.stats)
+    };
+
+    let per_worker: Vec<(TaskWins, BnbStats)> = if threads == 1 {
+        vec![run_worker()]
+    } else {
+        thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| scope.spawn(|_| run_worker()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("composition BnB worker panicked"))
+                .collect()
+        })
+        .expect("thread scope panicked")
+    };
+
+    let mut stats = BnbStats {
+        threads: threads as u64,
+        ..BnbStats::default()
+    };
+    let mut candidates: TaskWins = Vec::new();
+    for (found, worker_stats) in per_worker {
+        stats.tasks += worker_stats.tasks;
+        stats.nodes_visited += worker_stats.nodes_visited;
+        stats.leaves_evaluated += worker_stats.leaves_evaluated;
+        stats.subtrees_pruned += worker_stats.subtrees_pruned;
+        stats.variants_skipped += worker_stats.variants_skipped;
+        candidates.extend(found);
+    }
+
+    // Merge in task (= lexicographic prefix) order with strict
+    // replacement, exactly as the serial engine tie-breaks.
+    candidates.sort_by_key(|(task, _, _)| *task);
+    let objective = Objective::MinTco;
+    let mut best: Option<(RankKey, Vec<usize>)> = None;
+    for (_, key, digits) in candidates {
+        let improved = match &best {
+            None => true,
+            Some((b, _)) => objective.better_key(&key, b),
+        };
+        if improved {
+            best = Some((key, digits));
+        }
+    }
+    let (_, best_digits) = best.expect("non-empty spaces always yield a winner");
+    let winner = eval.evaluate(&best_digits);
+    let outcome = SearchOutcome::from_evaluations(
+        objective,
+        vec![winner],
+        SearchStats {
+            evaluated: stats.leaves_evaluated,
+            skipped: stats.variants_skipped,
+        },
+    );
+    (outcome, stats)
+}
+
+/// Per-task winners one worker collected: `(task index, rank key, digits)`.
+type TaskWins = Vec<(usize, RankKey, Vec<usize>)>;
+
+fn argmin_by(comp: &[CandidateTerms], score: impl Fn(&CandidateTerms) -> f64) -> usize {
+    let mut best = 0usize;
+    for (idx, t) in comp.iter().enumerate().skip(1) {
+        if score(t) < score(&comp[best]) {
+            best = idx;
+        }
+    }
+    best
+}
+
+/// One worker's depth-first descent. The digit stack and per-depth fold
+/// states are reused across tasks, so the hot loop allocates nothing once
+/// frame stacks have grown to the topology depth.
+struct Walker<'a> {
+    model: &'a TcoModel,
+    eval: &'a CompositionEvaluator<'a>,
+    bounds: &'a Bounds,
+    incumbent: &'a AtomicU64,
+    digits: Vec<usize>,
+    /// `states[d]` = fold state just before leaf `d`; `states[n]` = final.
+    states: Vec<FoldState>,
+    best: Option<(RankKey, Vec<usize>)>,
+    stats: BnbStats,
+}
+
+impl Walker<'_> {
+    /// Decodes a prefix task index (mixed radix over leaves
+    /// `0..split_depth`, most significant first) into the digit stack and
+    /// folds the prefix states.
+    fn seed_prefix(&mut self, task: usize, split_depth: usize) {
+        let terms = self.eval.terms();
+        let mut rem = task;
+        for pos in (0..split_depth).rev() {
+            let radix = terms[pos].len();
+            self.digits[pos] = rem % radix;
+            rem /= radix;
+        }
+        debug_assert_eq!(rem, 0, "task index out of range");
+        for pos in 0..split_depth {
+            self.eval.step_into(&mut self.states, pos, self.digits[pos]);
+        }
+    }
+
+    /// Bound-checks the subtree rooted at `depth`, then descends into it.
+    fn enter(&mut self, depth: usize) {
+        if depth < self.digits.len() {
+            let incumbent = f64::from_bits(self.incumbent.load(Ordering::Relaxed));
+            let bound = self
+                .bounds
+                .lower_bound(self.model, depth, &self.states[depth]);
+            if bound - BOUND_SLACK > incumbent {
+                self.stats.subtrees_pruned += 1;
+                self.stats.variants_skipped += self.bounds.suffix_size[depth];
+                return;
+            }
+        }
+        self.descend(depth);
+    }
+
+    fn descend(&mut self, depth: usize) {
+        if depth == self.digits.len() {
+            self.leaf();
+            return;
+        }
+        self.stats.nodes_visited += 1;
+        let last = depth + 1 == self.digits.len();
+        for idx in 0..self.eval.terms()[depth].len() {
+            self.digits[depth] = idx;
+            self.eval.step_into(&mut self.states, depth, idx);
+            if last {
+                self.leaf();
+                continue;
+            }
+            let incumbent = f64::from_bits(self.incumbent.load(Ordering::Relaxed));
+            let bound = self
+                .bounds
+                .lower_bound(self.model, depth + 1, &self.states[depth + 1]);
+            if bound - BOUND_SLACK > incumbent {
+                self.stats.subtrees_pruned += 1;
+                self.stats.variants_skipped += self.bounds.suffix_size[depth + 1];
+                continue;
+            }
+            self.descend(depth + 1);
+        }
+    }
+
+    fn leaf(&mut self) {
+        self.stats.leaves_evaluated += 1;
+        let acc = self.states[self.digits.len()].combined();
+        let key = fast::finish(self.model, &acc).2;
+        let improved = match &self.best {
+            None => true,
+            Some((b, _)) => Objective::MinTco.better_key(&key, b),
+        };
+        if improved {
+            let total = key.total.value();
+            let incumbent = f64::from_bits(self.incumbent.load(Ordering::Relaxed));
+            if total < incumbent {
+                self.incumbent.fetch_min(total.to_bits(), Ordering::Relaxed);
+            }
+            if let Some((k, d)) = &mut self.best {
+                *k = key;
+                d.clear();
+                d.extend_from_slice(&self.digits);
+            } else {
+                self.best = Some((key, self.digits.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch_bound;
+    use crate::composition::{self, CompositionNode};
+    use crate::space::{Candidate, ComponentChoices, SearchSpace};
+    use uptime_catalog::{case_study, ComponentKind};
+    use uptime_core::{ClusterSpec, MoneyPerMonth, Probability};
+
+    fn component(name: &str, downs: &[f64], costs: &[f64]) -> ComponentChoices {
+        let candidates = downs
+            .iter()
+            .zip(costs)
+            .enumerate()
+            .map(|(i, (&down, &cost))| {
+                Candidate::new(
+                    format!("{name}-{i}"),
+                    ClusterSpec::singleton(
+                        format!("{name}-{i}"),
+                        Probability::new(down).unwrap(),
+                        1.0,
+                    )
+                    .unwrap(),
+                    MoneyPerMonth::new(cost).unwrap(),
+                    i == 0,
+                )
+            })
+            .collect();
+        ComponentChoices::new(name, candidates).unwrap()
+    }
+
+    fn dual_site_space() -> CompositionSpace {
+        let site = |tag: &str| {
+            CompositionNode::Series(vec![
+                CompositionNode::Component(component(
+                    &format!("{tag}-web"),
+                    &[0.02, 0.002, 0.0004],
+                    &[0.0, 80.0, 400.0],
+                )),
+                CompositionNode::Component(component(
+                    &format!("{tag}-db"),
+                    &[0.05, 0.004],
+                    &[0.0, 120.0],
+                )),
+            ])
+        };
+        CompositionSpace::new(CompositionNode::Series(vec![
+            CompositionNode::Component(component("gw", &[0.01, 0.001], &[0.0, 60.0])),
+            CompositionNode::Parallel(vec![site("a"), site("b")]),
+        ]))
+        .unwrap()
+    }
+
+    #[test]
+    fn pure_series_matches_serial_bnb_bit_identically() {
+        let serial = SearchSpace::from_catalog(
+            &case_study::catalog(),
+            &case_study::cloud_id(),
+            &ComponentKind::paper_tiers(),
+        )
+        .unwrap();
+        let space = CompositionSpace::from_serial(&serial);
+        let model = case_study::tco_model();
+        let serial_win = branch_bound::search(&serial, &model);
+        let comp_win = search(&space, &model);
+        assert_eq!(serial_win.best().unwrap(), comp_win.best().unwrap());
+    }
+
+    #[test]
+    fn matches_streaming_composition_search() {
+        let space = dual_site_space();
+        let model = case_study::tco_model();
+        let streaming = composition::search(&space, &model, Objective::MinTco);
+        let bb = search(&space, &model);
+        assert_eq!(streaming.best().unwrap(), bb.best().unwrap());
+        assert_eq!(
+            u128::from(bb.stats().considered()),
+            space.assignment_count(),
+            "evaluated + skipped must cover the space"
+        );
+    }
+
+    #[test]
+    fn thread_counts_agree_bit_identically() {
+        let space = dual_site_space();
+        let model = case_study::tco_model();
+        let serial = search_with_threads(&space, &model, 1);
+        for threads in [2, 4, 8] {
+            let parallel = search_with_threads(&space, &model, threads);
+            assert_eq!(
+                serial.best().unwrap(),
+                parallel.best().unwrap(),
+                "{threads} threads"
+            );
+            assert_eq!(
+                u128::from(parallel.stats().considered()),
+                space.assignment_count(),
+                "{threads} threads must still cover the space"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_bound_is_admissible_on_a_dag() {
+        let space = dual_site_space();
+        let model = case_study::tco_model();
+        let eval = CompositionEvaluator::new(&space, &model);
+        for depth in 0..=space.leaf_count() {
+            for assignment in space.assignments() {
+                let prefix = &assignment[..depth];
+                let bound = prefix_bound(&space, &model, prefix);
+                for completion in space.assignments() {
+                    if completion[..depth] == *prefix {
+                        let tco = eval.evaluate(&completion).tco().total().value();
+                        assert!(
+                            bound <= tco + 1e-9,
+                            "bound {bound} > tco {tco} for prefix {prefix:?} -> {completion:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prunes_on_skewed_costs() {
+        let space = CompositionSpace::new(CompositionNode::Series(vec![
+            CompositionNode::Component(component("gate", &[0.0001, 0.0001], &[100.0, 1_000_000.0])),
+            CompositionNode::Parallel(vec![
+                CompositionNode::Component(component("a", &[0.01, 0.001], &[10.0, 20.0])),
+                CompositionNode::Component(component("b", &[0.01, 0.001], &[10.0, 20.0])),
+            ]),
+        ]))
+        .unwrap();
+        let (outcome, stats) = search_with_stats(&space, &case_study::tco_model(), 1);
+        assert!(stats.subtrees_pruned > 0, "expected a bound cutoff");
+        assert_eq!(
+            u128::from(outcome.stats().considered()),
+            space.assignment_count()
+        );
+    }
+}

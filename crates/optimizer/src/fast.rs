@@ -339,6 +339,12 @@ impl FastCursor<'_, '_> {
         true
     }
 
+    /// The current assignment's folded accumulators, for in-crate sweeps
+    /// (the Pareto frontier) that need facts `RankKey` doesn't carry.
+    pub(crate) fn accum(&self) -> Accum {
+        self.prefix[self.digits.len()]
+    }
+
     /// The ranking facts for the current assignment. Allocation-free.
     #[must_use]
     pub fn rank_key(&self) -> RankKey {

@@ -26,6 +26,12 @@
 //!   ablation baselines in the benchmarks.
 //! * [`pareto::frontier`] — the cost/uptime Pareto front.
 //!
+//! Beyond serial chains, [`composition`] searches series–parallel
+//! topologies ([`CompositionSpace`] over a `Block` diagram) with the same
+//! factorized-term machinery, [`composition_bnb`] runs the exact
+//! branch-and-bound over them, and [`archetypes`] generates the deployment-
+//! archetype survey's six shapes as ready-made composition spaces.
+//!
 //! # Example: the paper's case study
 //!
 //! ```
@@ -51,7 +57,10 @@
 #![warn(missing_docs)]
 
 pub mod anneal;
+pub mod archetypes;
 pub mod branch_bound;
+pub mod composition;
+pub mod composition_bnb;
 pub mod evaluate;
 pub mod exhaustive;
 pub mod fast;
@@ -64,7 +73,9 @@ pub mod pruned;
 pub mod space;
 pub mod sweep;
 
+pub use archetypes::Archetype;
 pub use branch_bound::BnbStats;
+pub use composition::{CompositionCursor, CompositionEvaluator, CompositionNode, CompositionSpace};
 pub use evaluate::Evaluation;
 pub use fast::{FastCursor, FastEvaluator};
 pub use objective::{Objective, RankKey};

@@ -3,11 +3,19 @@
 //! Beyond the single `OptCh` recommendation, a broker can present the
 //! client with the *frontier* of deployments where spending more strictly
 //! buys more uptime — useful when the SLA itself is negotiable.
+//!
+//! The sweep runs on the factorized [`crate::fast`] engine: one cursor
+//! pass collects `(HA cost, uptime)` facts from the cached per-candidate
+//! terms (no per-assignment system rebuild, no `Evaluation` allocation),
+//! and only the surviving frontier points are materialized. Equivalence
+//! with the naive dominance-filter definition is pinned by
+//! `frontier_matches_naive_dominance_filter` below.
 
 use serde::{Deserialize, Serialize};
-use uptime_core::TcoModel;
+use uptime_core::{MoneyPerMonth, Probability, TcoModel};
 
 use crate::evaluate::Evaluation;
+use crate::fast::FastEvaluator;
 use crate::space::SearchSpace;
 
 /// One point on the cost/uptime frontier.
@@ -63,28 +71,35 @@ impl ParetoPoint {
 /// ```
 #[must_use]
 pub fn frontier(space: &SearchSpace, model: &TcoModel) -> Vec<ParetoPoint> {
-    let evaluations: Vec<Evaluation> = space
-        .assignments()
-        .map(|a| Evaluation::evaluate(space, model, &a))
-        .collect();
+    let fast = FastEvaluator::new(space, model);
 
-    let mut points: Vec<&Evaluation> = evaluations.iter().collect();
-    // Sort by cost ascending, uptime descending for a single sweep.
-    points.sort_by(|a, b| {
-        a.tco()
-            .ha_cost()
-            .cmp(&b.tco().ha_cost())
-            .then_with(|| b.uptime().availability().cmp(&a.uptime().availability()))
-    });
+    // One streaming pass over the cached terms: compact facts only, no
+    // Evaluation until a point survives the sweep.
+    let mut facts: Vec<(MoneyPerMonth, Probability, u128)> = Vec::new();
+    let mut cursor = fast.cursor();
+    let mut index = 0u128;
+    loop {
+        let cost = MoneyPerMonth::new(cursor.accum().cost)
+            .expect("candidate costs are finite and non-negative");
+        facts.push((cost, cursor.rank_key().availability, index));
+        index += 1;
+        if !cursor.advance() {
+            break;
+        }
+    }
+
+    // Sort by cost ascending, uptime descending for a single sweep; the
+    // stable sort keeps lexicographically-earlier assignments first among
+    // ties, matching the materializing implementation this replaced.
+    facts.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| b.1.cmp(&a.1)));
 
     let mut out: Vec<ParetoPoint> = Vec::new();
-    let mut best_uptime: Option<uptime_core::Probability> = None;
-    for e in points {
-        let u = e.uptime().availability();
-        if best_uptime.is_none_or(|b| u > b) {
-            best_uptime = Some(u);
+    let mut best_uptime: Option<Probability> = None;
+    for (_, uptime, flat_index) in facts {
+        if best_uptime.is_none_or(|b| uptime > b) {
+            best_uptime = Some(uptime);
             out.push(ParetoPoint {
-                evaluation: e.clone(),
+                evaluation: fast.cursor_at(flat_index).evaluation(),
             });
         }
     }
@@ -147,6 +162,47 @@ mod tests {
             .map(|p| p.ha_cost().value())
             .collect();
         assert_eq!(costs, vec![0.0, 350.0, 1350.0, 3550.0]);
+    }
+
+    #[test]
+    fn frontier_matches_naive_dominance_filter() {
+        // Differential: the streamed cached-term sweep must agree with the
+        // definition applied naively — evaluate everything the slow way,
+        // keep the points no other point dominates — on every catalog.
+        use uptime_catalog::extended;
+        let catalog = extended::hybrid_catalog();
+        let model = case_study::tco_model();
+        for cloud in [
+            case_study::cloud_id(),
+            extended::nimbus_id(),
+            extended::stratus_id(),
+        ] {
+            let space =
+                SearchSpace::from_catalog(&catalog, &cloud, &ComponentKind::paper_tiers()).unwrap();
+            let evals: Vec<Evaluation> = space
+                .assignments()
+                .map(|a| Evaluation::evaluate(&space, &model, &a))
+                .collect();
+            let mut naive: Vec<_> = evals
+                .iter()
+                .filter(|e| {
+                    !evals.iter().any(|o| {
+                        (o.tco().ha_cost() <= e.tco().ha_cost()
+                            && o.uptime().availability() > e.uptime().availability())
+                            || (o.tco().ha_cost() < e.tco().ha_cost()
+                                && o.uptime().availability() >= e.uptime().availability())
+                    })
+                })
+                .map(|e| (e.tco().ha_cost(), e.uptime().availability()))
+                .collect();
+            naive.sort();
+            naive.dedup();
+            let swept: Vec<_> = frontier(&space, &model)
+                .iter()
+                .map(|p| (p.ha_cost(), p.uptime()))
+                .collect();
+            assert_eq!(swept, naive, "{cloud}");
+        }
     }
 
     #[test]

@@ -1,0 +1,364 @@
+//! Property tests for the series–parallel composition algebra (ISSUE PR 7):
+//!
+//! * **Probability closure** — every assignment of every generated DAG
+//!   space folds to an availability in `[0, 1]` and a non-negative cost.
+//! * **Lattice monotonicity** — a `Series` composite is never more
+//!   available than its weakest child; a `Parallel` composite is never
+//!   less available than its best child.
+//! * **Flattening invariance** — `Series[Series[..], ..]` and
+//!   `Parallel[Parallel[..], ..]` evaluate identically to their flattened
+//!   forms (associativity of the fold's frames).
+//! * **Bound admissibility** — `composition_bnb::prefix_bound` never
+//!   exceeds the true TCO of any completion, over every prefix of every
+//!   assignment of a DAG space — the invariant exact pruning rests on.
+//! * **Fold/Block agreement** — the factorized fold equals the naive
+//!   [`uptime_core::composition::Block::failover_aware_availability`]
+//!   evaluation pointwise.
+
+use proptest::prelude::*;
+use uptime_core::{
+    ClusterSpec, FailuresPerYear, Minutes, MoneyPerMonth, PenaltyClause, Probability, SlaTarget,
+    TcoModel,
+};
+use uptime_optimizer::{
+    composition_bnb, Candidate, ComponentChoices, CompositionEvaluator, CompositionNode,
+    CompositionSpace,
+};
+
+/// Strategy: one component with a free baseline plus up to 3 HA options,
+/// all parameters drawn from continuous ranges (the same family
+/// `bnb_properties.rs` exercises on serial spaces).
+fn component_strategy(tag: String) -> impl Strategy<Value = ComponentChoices> {
+    (
+        0.001f64..0.25, // node down probability
+        0.1f64..10.0,   // failures/year
+        1usize..=3,     // number of candidates
+        0.1f64..25.0,   // failover minutes for HA candidates
+        1.0f64..4000.0, // cost scale
+        2u32..=5,       // cluster width for HA candidates
+    )
+        .prop_map(move |(p, f, k, failover, cost, width)| {
+            let mut candidates = vec![Candidate::new(
+                "none",
+                ClusterSpec::singleton(format!("{tag}-base"), Probability::new(p).unwrap(), f)
+                    .unwrap(),
+                MoneyPerMonth::ZERO,
+                true,
+            )];
+            for level in 1..k {
+                let standby = (level as u32).min(width - 1);
+                let cluster = ClusterSpec::builder(format!("{tag}-ha{level}"))
+                    .total_nodes(width)
+                    .standby_budget(standby)
+                    .node_down_probability(Probability::new(p).unwrap())
+                    .failures_per_year(FailuresPerYear::new(f).unwrap())
+                    .failover_time(Minutes::new(failover).unwrap())
+                    .build()
+                    .unwrap();
+                candidates.push(Candidate::new(
+                    format!("ha{level}"),
+                    cluster,
+                    MoneyPerMonth::new(cost * level as f64).unwrap(),
+                    false,
+                ));
+            }
+            ComponentChoices::new(tag.clone(), candidates).unwrap()
+        })
+}
+
+/// Strategy: candidates that are all singleton clusters (`φ = 0`), so the
+/// fold reduces to the pure breakdown algebra the lattice laws quantify
+/// over.
+fn singleton_component_strategy(tag: String) -> impl Strategy<Value = ComponentChoices> {
+    prop::collection::vec((0.001f64..0.3, 0.0f64..500.0), 2..=3).prop_map(move |params| {
+        let candidates = params
+            .iter()
+            .enumerate()
+            .map(|(i, &(down, cost))| {
+                Candidate::new(
+                    format!("{tag}-{i}"),
+                    ClusterSpec::singleton(
+                        format!("{tag}-{i}"),
+                        Probability::new(down).unwrap(),
+                        1.0,
+                    )
+                    .unwrap(),
+                    MoneyPerMonth::new(cost).unwrap(),
+                    i == 0,
+                )
+            })
+            .collect();
+        ComponentChoices::new(tag.clone(), candidates).unwrap()
+    })
+}
+
+/// A gateway spine leaf in series with 2–3 parallel branches of 1–2
+/// components each — the archetype family's shape, randomized.
+fn dag_space_strategy() -> impl Strategy<Value = CompositionSpace> {
+    (
+        component_strategy("gw".into()),
+        prop::collection::vec(
+            prop::collection::vec(component_strategy("site".into()), 1..=2),
+            2..=3,
+        ),
+    )
+        .prop_map(|(gw, branches)| {
+            let branches = branches
+                .into_iter()
+                .map(|comps| {
+                    CompositionNode::Series(
+                        comps.into_iter().map(CompositionNode::Component).collect(),
+                    )
+                })
+                .collect();
+            CompositionSpace::new(CompositionNode::Series(vec![
+                CompositionNode::Component(gw),
+                CompositionNode::Parallel(branches),
+            ]))
+            .unwrap()
+        })
+}
+
+/// A smaller DAG (gateway + two single-component branches) for the
+/// quadratic prefix × completion admissibility sweep.
+fn small_dag_space_strategy() -> impl Strategy<Value = CompositionSpace> {
+    (
+        component_strategy("gw".into()),
+        component_strategy("a".into()),
+        component_strategy("b".into()),
+    )
+        .prop_map(|(gw, a, b)| {
+            CompositionSpace::new(CompositionNode::Series(vec![
+                CompositionNode::Component(gw),
+                CompositionNode::Parallel(vec![
+                    CompositionNode::Component(a),
+                    CompositionNode::Component(b),
+                ]),
+            ]))
+            .unwrap()
+        })
+}
+
+fn model_strategy() -> impl Strategy<Value = TcoModel> {
+    (85.0f64..99.99, 1.0f64..500.0).prop_map(|(sla, rate)| {
+        TcoModel::new(
+            SlaTarget::from_percent(sla).unwrap(),
+            PenaltyClause::per_hour(rate).unwrap(),
+        )
+    })
+}
+
+/// Availability of every assignment of a single-topology space.
+fn availabilities(space: &CompositionSpace, model: &TcoModel) -> Vec<f64> {
+    let eval = CompositionEvaluator::new(space, model);
+    space
+        .assignments()
+        .map(|a| eval.evaluate(&a).uptime().availability().value())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Closure: the fold always lands in `[0, 1]` with non-negative cost,
+    /// whatever the topology and candidate mix.
+    #[test]
+    fn fold_stays_in_probability_range(
+        space in dag_space_strategy(),
+        model in model_strategy(),
+    ) {
+        let eval = CompositionEvaluator::new(&space, &model);
+        for assignment in space.assignments() {
+            let e = eval.evaluate(&assignment);
+            let avail = e.uptime().availability().value();
+            prop_assert!((0.0..=1.0).contains(&avail), "{assignment:?}: {avail}");
+            prop_assert!(e.tco().ha_cost().value() >= 0.0);
+            prop_assert!(e.tco().total().value() >= 0.0);
+        }
+    }
+
+    /// A serial chain is never more available than its weakest link:
+    /// `U(Series[c0..cn]) ≤ min_i U(ci)`. Quantified over singleton
+    /// candidates (`φ = 0`), where the fold is exactly the Eq. 2 product.
+    #[test]
+    fn series_no_better_than_weakest_child(
+        comps in prop::collection::vec(singleton_component_strategy("t".into()), 2..=4),
+        model in model_strategy(),
+    ) {
+        let child_avails: Vec<Vec<f64>> = comps
+            .iter()
+            .map(|c| {
+                let solo =
+                    CompositionSpace::new(CompositionNode::Component(c.clone())).unwrap();
+                availabilities(&solo, &model)
+            })
+            .collect();
+        let series = CompositionSpace::new(CompositionNode::Series(
+            comps.iter().cloned().map(CompositionNode::Component).collect(),
+        ))
+        .unwrap();
+        let eval = CompositionEvaluator::new(&series, &model);
+        for assignment in series.assignments() {
+            let combined = eval.evaluate(&assignment).uptime().availability().value();
+            let weakest = assignment
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| child_avails[i][d])
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(
+                combined <= weakest + 1e-12,
+                "{assignment:?}: series {combined} > weakest child {weakest}"
+            );
+        }
+    }
+
+    /// Site redundancy is never worse than the best single site:
+    /// `U(Parallel[c0..cn]) ≥ max_i U(ci)`. HA candidates allowed — the
+    /// parallel composite masks each child's failover blips, so it can
+    /// only beat the standalone (failover-charged) child.
+    #[test]
+    fn parallel_no_worse_than_best_child(
+        comps in prop::collection::vec(component_strategy("t".into()), 2..=4),
+        model in model_strategy(),
+    ) {
+        let child_avails: Vec<Vec<f64>> = comps
+            .iter()
+            .map(|c| {
+                let solo =
+                    CompositionSpace::new(CompositionNode::Component(c.clone())).unwrap();
+                availabilities(&solo, &model)
+            })
+            .collect();
+        let parallel = CompositionSpace::new(CompositionNode::Parallel(
+            comps.iter().cloned().map(CompositionNode::Component).collect(),
+        ))
+        .unwrap();
+        let eval = CompositionEvaluator::new(&parallel, &model);
+        for assignment in parallel.assignments() {
+            let combined = eval.evaluate(&assignment).uptime().availability().value();
+            let best = assignment
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| child_avails[i][d])
+                .fold(0.0f64, f64::max);
+            prop_assert!(
+                combined >= best - 1e-12,
+                "{assignment:?}: parallel {combined} < best child {best}"
+            );
+        }
+    }
+
+    /// Associativity: nesting `Series` inside `Series` (here inside a
+    /// parallel branch, so composite frames are exercised) evaluates
+    /// identically to the flattened chain.
+    #[test]
+    fn nested_series_flattens_invariantly(
+        c0 in component_strategy("c0".into()),
+        c1 in component_strategy("c1".into()),
+        c2 in component_strategy("c2".into()),
+        c3 in component_strategy("c3".into()),
+        model in model_strategy(),
+    ) {
+        let nested = CompositionSpace::new(CompositionNode::Parallel(vec![
+            CompositionNode::Series(vec![
+                CompositionNode::Series(vec![
+                    CompositionNode::Component(c0.clone()),
+                    CompositionNode::Component(c1.clone()),
+                ]),
+                CompositionNode::Component(c2.clone()),
+            ]),
+            CompositionNode::Component(c3.clone()),
+        ]))
+        .unwrap();
+        let flat = CompositionSpace::new(CompositionNode::Parallel(vec![
+            CompositionNode::Series(vec![
+                CompositionNode::Component(c0),
+                CompositionNode::Component(c1),
+                CompositionNode::Component(c2),
+            ]),
+            CompositionNode::Component(c3),
+        ]))
+        .unwrap();
+        prop_assert_eq!(nested.assignment_count(), flat.assignment_count());
+        let nested_avails = availabilities(&nested, &model);
+        let flat_avails = availabilities(&flat, &model);
+        for (n, f) in nested_avails.iter().zip(&flat_avails) {
+            prop_assert!((n - f).abs() <= 1e-12, "nested {n} vs flat {f}");
+        }
+    }
+
+    /// Associativity for `Parallel` inside `Parallel`.
+    #[test]
+    fn nested_parallel_flattens_invariantly(
+        c0 in component_strategy("c0".into()),
+        c1 in component_strategy("c1".into()),
+        c2 in component_strategy("c2".into()),
+        model in model_strategy(),
+    ) {
+        let nested = CompositionSpace::new(CompositionNode::Parallel(vec![
+            CompositionNode::Parallel(vec![
+                CompositionNode::Component(c0.clone()),
+                CompositionNode::Component(c1.clone()),
+            ]),
+            CompositionNode::Component(c2.clone()),
+        ]))
+        .unwrap();
+        let flat = CompositionSpace::new(CompositionNode::Parallel(vec![
+            CompositionNode::Component(c0),
+            CompositionNode::Component(c1),
+            CompositionNode::Component(c2),
+        ]))
+        .unwrap();
+        prop_assert_eq!(nested.assignment_count(), flat.assignment_count());
+        let nested_avails = availabilities(&nested, &model);
+        let flat_avails = availabilities(&flat, &model);
+        for (n, f) in nested_avails.iter().zip(&flat_avails) {
+            prop_assert!((n - f).abs() <= 1e-12, "nested {n} vs flat {f}");
+        }
+    }
+
+    /// `prefix_bound(prefix) ≤ TCO(completion)` for every prefix of every
+    /// assignment of a DAG space — the composition analogue of the serial
+    /// admissibility law, including prefixes that cut a parallel subtree
+    /// in half.
+    #[test]
+    fn prefix_bound_is_admissible_on_dags(
+        space in small_dag_space_strategy(),
+        model in model_strategy(),
+    ) {
+        let eval = CompositionEvaluator::new(&space, &model);
+        for assignment in space.assignments() {
+            let tco = eval.evaluate(&assignment).tco().total().value();
+            for depth in 0..=assignment.len() {
+                let bound =
+                    composition_bnb::prefix_bound(&space, &model, &assignment[..depth]);
+                prop_assert!(
+                    bound <= tco + 1e-9,
+                    "inadmissible bound at depth {depth}: bound {bound} > TCO {tco} \
+                     for completion {assignment:?}"
+                );
+            }
+        }
+    }
+
+    /// The factorized fold agrees with the naive `Block` evaluation
+    /// pointwise — every assignment, not just the argmin.
+    #[test]
+    fn fold_matches_block_pointwise(
+        space in dag_space_strategy(),
+        model in model_strategy(),
+    ) {
+        let eval = CompositionEvaluator::new(&space, &model);
+        for assignment in space.assignments() {
+            let folded = eval.evaluate(&assignment).uptime().availability().value();
+            let direct = space
+                .to_block(&assignment)
+                .failover_aware_availability()
+                .value();
+            prop_assert!(
+                (folded - direct).abs() <= 1e-12,
+                "{assignment:?}: fold {folded} vs block {direct}"
+            );
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! Discrete-event simulation of series–parallel composition diagrams.
+//!
+//! [`crate::system::Simulation`] simulates the paper's serial chain: the
+//! system is down whenever *any* cluster is down. This module simulates a
+//! [`Block`] diagram instead — a parallel branch masks its siblings'
+//! outages — and layers [`SharedDomain`] outages on top, so the
+//! optimizer's composition algebra (`uptime-optimizer`'s `composition`
+//! module) can be cross-validated end to end:
+//!
+//! * A cluster on the unguarded serial **spine** counts as down whenever
+//!   it is not `Operational` — failover blips black out the system,
+//!   matching `Block::failover_aware_availability` charging Eq. 3 on the
+//!   spine.
+//! * A cluster under a `Parallel` node counts as down only while
+//!   **broken** — a sibling branch absorbs its failover blips, matching
+//!   the analytic fold's breakdown-only masking.
+//! * A [`SharedDomain`] outage forces every member cluster down, in
+//!   whatever branch it sits — the simulated counterpart of the
+//!   archetype generator's zero-cost domain pseudo-leaves.
+//!
+//! System downtime is metered on the *composed* up/down signal (not the
+//! per-cluster union the serial accountant computes), so parallel masking
+//! is observable in the report.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use uptime_core::composition::Block;
+use uptime_core::FailureDynamics;
+
+use crate::accountant::DowntimeAccountant;
+use crate::cluster::{ClusterSim, ClusterStatus, FailureOutcome};
+use crate::correlated::SharedDomain;
+use crate::error::SimError;
+use crate::monte_carlo::MonteCarloEstimate;
+use crate::report::{ClusterReport, SimReport};
+use crate::rng::ExpSampler;
+use crate::time::{SimDuration, SimTime};
+
+/// The block diagram with clusters replaced by flat indices.
+#[derive(Debug, Clone)]
+enum SimShape {
+    Leaf(usize),
+    Series(Vec<SimShape>),
+    Parallel(Vec<SimShape>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    NodeFailed { cluster: usize, node: usize },
+    NodeRepaired { cluster: usize, node: usize },
+    FailoverEnded { cluster: usize, token: u64 },
+    DomainFailed { domain: usize },
+    DomainRepaired { domain: usize },
+    Horizon,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: Kind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Simulates a [`Block`] diagram with optional shared failure domains.
+///
+/// # Examples
+///
+/// Two parallel single-node sites mask each other's breakdowns:
+///
+/// ```
+/// use uptime_core::composition::Block;
+/// use uptime_core::{ClusterSpec, Probability};
+/// use uptime_sim::composition::CompositionSimulation;
+/// use uptime_sim::SimDuration;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let site = |name: &str| {
+///     Block::Cluster(ClusterSpec::singleton(name, Probability::new(0.02).unwrap(), 4.0).unwrap())
+/// };
+/// let block = Block::Parallel(vec![site("a"), site("b")]);
+/// let report = CompositionSimulation::new(
+///     &block,
+///     Vec::new(),
+///     SimDuration::from_minutes(300.0 * 525_600.0),
+///     7,
+/// )?
+/// .run();
+/// // Analytic: 1 - 0.02² = 99.96 %.
+/// assert!((report.availability().value() - 0.9996).abs() < 5e-4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CompositionSimulation {
+    clusters: Vec<ClusterSim>,
+    node_dynamics: Vec<(f64, f64)>, // (mtbf_ms, mttr_ms) per cluster
+    masked: Vec<bool>,              // true = under a Parallel node
+    shape: SimShape,
+    domains: Vec<SharedDomain>,
+    covering: Vec<Vec<usize>>, // cluster -> indices into `domains`
+    horizon: SimDuration,
+    seed: u64,
+}
+
+impl CompositionSimulation {
+    /// Prepares a composition simulation. Domain `members` reference
+    /// clusters by name.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::EmptyHorizon`] for a zero horizon.
+    /// * [`SimError::InvalidDynamics`] for an invalid diagram (empty
+    ///   composite nodes), unusable `(P, f)` pairs, a negative domain
+    ///   rate/MTTR, or a domain member matching no cluster.
+    pub fn new(
+        block: &Block,
+        domains: Vec<SharedDomain>,
+        horizon: SimDuration,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        if horizon == SimDuration::ZERO {
+            return Err(SimError::EmptyHorizon);
+        }
+        block
+            .validate()
+            .map_err(|source| SimError::InvalidDynamics {
+                cluster: "<composition>".to_owned(),
+                source,
+            })?;
+
+        let mut clusters = Vec::new();
+        let mut node_dynamics = Vec::new();
+        let mut masked = Vec::new();
+        let shape = flatten(block, false, &mut clusters, &mut node_dynamics, &mut masked)?;
+
+        let mut covering = vec![Vec::new(); clusters.len()];
+        for (di, domain) in domains.iter().enumerate() {
+            if domain.rate_per_year < 0.0 || domain.mttr_minutes < 0.0 {
+                return Err(SimError::InvalidDynamics {
+                    cluster: format!(
+                        "shared domain `{}` has a negative rate or MTTR",
+                        domain.name
+                    ),
+                    source: uptime_core::ModelError::EmptySystem,
+                });
+            }
+            for member in &domain.members {
+                let mut hits = 0usize;
+                for (ci, cluster) in clusters.iter().enumerate() {
+                    if cluster.name() == member {
+                        covering[ci].push(di);
+                        hits += 1;
+                    }
+                }
+                if hits == 0 {
+                    return Err(SimError::InvalidDynamics {
+                        cluster: format!(
+                            "shared domain `{}` member `{member}` matches no cluster",
+                            domain.name
+                        ),
+                        source: uptime_core::ModelError::EmptySystem,
+                    });
+                }
+            }
+        }
+
+        Ok(CompositionSimulation {
+            clusters,
+            node_dynamics,
+            masked,
+            shape,
+            domains,
+            covering,
+            horizon,
+            seed,
+        })
+    }
+
+    /// Runs the event loop to the horizon.
+    #[must_use]
+    pub fn run(mut self) -> SimReport {
+        let horizon_time = SimTime::ZERO + self.horizon;
+        let mut sampler = ExpSampler::seed_from_u64(self.seed);
+        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+        let mut seq: u64 = 0;
+        let mut schedule = |heap: &mut BinaryHeap<Event>, at: SimTime, kind: Kind| {
+            heap.push(Event { at, seq, kind });
+            seq += 1;
+        };
+
+        schedule(&mut heap, horizon_time, Kind::Horizon);
+        for (ci, cluster) in self.clusters.iter().enumerate() {
+            for node in 0..cluster.total_nodes() as usize {
+                let ttf = sampler.sample_exponential_ms(self.node_dynamics[ci].0);
+                schedule(
+                    &mut heap,
+                    SimTime::ZERO + ttf,
+                    Kind::NodeFailed { cluster: ci, node },
+                );
+            }
+        }
+        for (di, domain) in self.domains.iter().enumerate() {
+            if domain.rate_per_year > 0.0 {
+                let gap = sampler.sample_exponential_ms(domain.mtbf_minutes() * 60_000.0);
+                schedule(
+                    &mut heap,
+                    SimTime::ZERO + gap,
+                    Kind::DomainFailed { domain: di },
+                );
+            }
+        }
+
+        // struck[c] = number of currently-down domains covering cluster c.
+        let mut struck: Vec<u32> = vec![0; self.clusters.len()];
+        // System-level meter over the *composed* signal.
+        let mut system_down_since: Option<SimTime> = None;
+        let mut system_downtime = SimDuration::ZERO;
+        let mut system_outages: u64 = 0;
+        // Per-cluster effective downtime (domain strikes included).
+        let mut accountant = DowntimeAccountant::new(self.clusters.len());
+
+        while let Some(event) = heap.pop() {
+            let now = event.at;
+            match event.kind {
+                Kind::Horizon => break,
+                Kind::NodeFailed { cluster: ci, node } => {
+                    if !self.clusters[ci].node_is_up(node) {
+                        continue;
+                    }
+                    let outcome = self.clusters[ci].node_failed(node, now);
+                    if let FailureOutcome::FailoverStarted { until, token } = outcome {
+                        schedule(&mut heap, until, Kind::FailoverEnded { cluster: ci, token });
+                    }
+                    let ttr = sampler.sample_exponential_ms(self.node_dynamics[ci].1.max(1.0));
+                    schedule(
+                        &mut heap,
+                        now + ttr,
+                        Kind::NodeRepaired { cluster: ci, node },
+                    );
+                }
+                Kind::NodeRepaired { cluster: ci, node } => {
+                    if self.clusters[ci].node_is_up(node) {
+                        continue;
+                    }
+                    self.clusters[ci].node_repaired(node, now);
+                    let ttf = sampler.sample_exponential_ms(self.node_dynamics[ci].0);
+                    schedule(&mut heap, now + ttf, Kind::NodeFailed { cluster: ci, node });
+                }
+                Kind::FailoverEnded { cluster: ci, token } => {
+                    self.clusters[ci].failover_ended(token, now);
+                }
+                Kind::DomainFailed { domain: di } => {
+                    for (ci, covers) in self.covering.iter().enumerate() {
+                        if covers.contains(&di) {
+                            struck[ci] += 1;
+                        }
+                    }
+                    let mttr_ms = (self.domains[di].mttr_minutes * 60_000.0).max(1.0);
+                    let ttr = sampler.sample_exponential_ms(mttr_ms);
+                    schedule(&mut heap, now + ttr, Kind::DomainRepaired { domain: di });
+                }
+                Kind::DomainRepaired { domain: di } => {
+                    for (ci, covers) in self.covering.iter().enumerate() {
+                        if covers.contains(&di) {
+                            struck[ci] -= 1;
+                        }
+                    }
+                    let gap =
+                        sampler.sample_exponential_ms(self.domains[di].mtbf_minutes() * 60_000.0);
+                    schedule(&mut heap, now + gap, Kind::DomainFailed { domain: di });
+                }
+            }
+
+            // Re-derive every observable from the post-event state.
+            for (ci, &hits) in struck.iter().enumerate() {
+                let down = hits > 0 || self.clusters[ci].is_down();
+                accountant.set_cluster_state(ci, down, now);
+            }
+            let up = shape_up(&self.shape, &self.clusters, &self.masked, &struck);
+            match (up, system_down_since) {
+                (false, None) => {
+                    system_down_since = Some(now);
+                    system_outages += 1;
+                }
+                (true, Some(since)) => {
+                    system_downtime += now.since(since);
+                    system_down_since = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(since) = system_down_since {
+            system_downtime += horizon_time.since(since);
+        }
+        accountant.finalize(horizon_time);
+
+        let clusters = self
+            .clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ClusterReport {
+                name: c.name().to_owned(),
+                downtime: accountant.cluster_downtime(i),
+                failover_windows: c.failover_windows(),
+                breakdowns: c.breakdowns(),
+            })
+            .collect();
+        SimReport::new(self.horizon, system_downtime, system_outages, clusters)
+    }
+}
+
+/// Whether the composed system is up: spine leaves are up only when
+/// `Operational`, masked leaves whenever not `Broken`, and never while a
+/// covering domain is down.
+fn shape_up(shape: &SimShape, clusters: &[ClusterSim], masked: &[bool], struck: &[u32]) -> bool {
+    match shape {
+        SimShape::Leaf(i) => {
+            if struck[*i] > 0 {
+                return false;
+            }
+            if masked[*i] {
+                clusters[*i].status() != ClusterStatus::Broken
+            } else {
+                !clusters[*i].is_down()
+            }
+        }
+        SimShape::Series(children) => children
+            .iter()
+            .all(|c| shape_up(c, clusters, masked, struck)),
+        SimShape::Parallel(children) => children
+            .iter()
+            .any(|c| shape_up(c, clusters, masked, struck)),
+    }
+}
+
+fn flatten(
+    block: &Block,
+    masked_here: bool,
+    clusters: &mut Vec<ClusterSim>,
+    node_dynamics: &mut Vec<(f64, f64)>,
+    masked: &mut Vec<bool>,
+) -> Result<SimShape, SimError> {
+    match block {
+        Block::Cluster(spec) => {
+            let dyn_ = FailureDynamics::from_paper_params(
+                spec.node_down_probability(),
+                spec.failures_per_year(),
+            )
+            .map_err(|source| SimError::InvalidDynamics {
+                cluster: spec.name().to_owned(),
+                source,
+            })?;
+            clusters.push(ClusterSim::new(
+                spec.name(),
+                spec.total_nodes(),
+                spec.active_nodes(),
+                SimDuration::from_model(spec.failover_time()),
+            ));
+            node_dynamics.push((
+                dyn_.mtbf().as_minutes().value() * 60_000.0,
+                dyn_.mttr().as_minutes().value() * 60_000.0,
+            ));
+            masked.push(masked_here);
+            Ok(SimShape::Leaf(clusters.len() - 1))
+        }
+        Block::Series(children) => Ok(SimShape::Series(
+            children
+                .iter()
+                .map(|c| flatten(c, masked_here, clusters, node_dynamics, masked))
+                .collect::<Result<_, _>>()?,
+        )),
+        Block::Parallel(children) => Ok(SimShape::Parallel(
+            children
+                .iter()
+                .map(|c| flatten(c, true, clusters, node_dynamics, masked))
+                .collect::<Result<_, _>>()?,
+        )),
+    }
+}
+
+/// Runs `trials` independent seeded simulations of `block` (with
+/// `domains` layered on) and aggregates observed availabilities. Trial
+/// `i` uses [`crate::rng::stream_seed`]`(base_seed, i)`.
+///
+/// # Errors
+///
+/// * [`SimError::NoTrials`] when `trials == 0`.
+/// * Any configuration error from [`CompositionSimulation::new`].
+pub fn monte_carlo(
+    block: &Block,
+    domains: &[SharedDomain],
+    years_per_trial: f64,
+    trials: u32,
+    base_seed: u64,
+) -> Result<MonteCarloEstimate, SimError> {
+    if trials == 0 {
+        return Err(SimError::NoTrials);
+    }
+    let horizon = SimDuration::from_minutes(years_per_trial * 525_600.0);
+    // Validate configuration once, up front.
+    let _probe = CompositionSimulation::new(block, domains.to_vec(), horizon, 0)?;
+    let samples: Vec<f64> = (0..trials)
+        .map(|i| {
+            CompositionSimulation::new(
+                block,
+                domains.to_vec(),
+                horizon,
+                crate::rng::stream_seed(base_seed, u64::from(i)),
+            )
+            .expect("validated by probe")
+            .run()
+            .availability()
+            .value()
+        })
+        .collect();
+    Ok(MonteCarloEstimate::from_samples(&samples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uptime_core::{ClusterSpec, Probability};
+
+    fn singleton(name: &str, down: f64, f: f64) -> Block {
+        Block::Cluster(ClusterSpec::singleton(name, Probability::new(down).unwrap(), f).unwrap())
+    }
+
+    fn years(y: f64) -> SimDuration {
+        SimDuration::from_minutes(y * 525_600.0)
+    }
+
+    #[test]
+    fn empty_composite_rejected() {
+        let err = CompositionSimulation::new(&Block::Parallel(vec![]), Vec::new(), years(1.0), 1)
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidDynamics { .. }));
+    }
+
+    #[test]
+    fn zero_horizon_rejected() {
+        let err = CompositionSimulation::new(
+            &singleton("web", 0.02, 2.0),
+            Vec::new(),
+            SimDuration::ZERO,
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::EmptyHorizon));
+    }
+
+    #[test]
+    fn unknown_domain_member_rejected() {
+        let err = CompositionSimulation::new(
+            &singleton("web", 0.02, 2.0),
+            vec![SharedDomain {
+                name: "zone".into(),
+                rate_per_year: 1.0,
+                mttr_minutes: 30.0,
+                members: vec!["ghost".into()],
+            }],
+            years(1.0),
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::InvalidDynamics { .. }));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let block = Block::Parallel(vec![singleton("a", 0.05, 3.0), singleton("b", 0.05, 3.0)]);
+        let domains = vec![SharedDomain {
+            name: "zone".into(),
+            rate_per_year: 2.0,
+            mttr_minutes: 60.0,
+            members: vec!["a".into(), "b".into()],
+        }];
+        let one = CompositionSimulation::new(&block, domains.clone(), years(25.0), 9)
+            .unwrap()
+            .run();
+        let two = CompositionSimulation::new(&block, domains, years(25.0), 9)
+            .unwrap()
+            .run();
+        assert_eq!(one, two);
+    }
+
+    #[test]
+    fn serial_diagram_matches_block_analytics() {
+        let block = Block::Series(vec![
+            singleton("web", 0.02, 4.0),
+            singleton("db", 0.04, 4.0),
+        ]);
+        let analytic = block.failover_aware_availability().value();
+        let report = CompositionSimulation::new(&block, Vec::new(), years(300.0), 3)
+            .unwrap()
+            .run();
+        assert!(
+            (report.availability().value() - analytic).abs() < 2e-3,
+            "observed {} vs analytic {analytic}",
+            report.availability()
+        );
+    }
+
+    #[test]
+    fn parallel_masks_breakdowns() {
+        let single = singleton("a", 0.03, 4.0);
+        let pair = Block::Parallel(vec![singleton("a", 0.03, 4.0), singleton("b", 0.03, 4.0)]);
+        let solo = CompositionSimulation::new(&single, Vec::new(), years(200.0), 5)
+            .unwrap()
+            .run();
+        let masked = CompositionSimulation::new(&pair, Vec::new(), years(200.0), 5)
+            .unwrap()
+            .run();
+        assert!(
+            masked.availability() > solo.availability(),
+            "redundancy must help: {} vs {}",
+            masked.availability(),
+            solo.availability()
+        );
+        // Analytic: 1 - 0.03² = 99.91 %.
+        assert!((masked.availability().value() - 0.9991).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fatal_domain_multiplies_availability() {
+        let pair = Block::Parallel(vec![singleton("a", 0.02, 4.0), singleton("b", 0.02, 4.0)]);
+        let domain = SharedDomain {
+            name: "region".into(),
+            rate_per_year: 6.0,
+            mttr_minutes: 240.0,
+            members: vec!["a".into(), "b".into()],
+        };
+        let analytic = domain.availability().value() * pair.availability().value();
+        let report = CompositionSimulation::new(&pair, vec![domain], years(400.0), 11)
+            .unwrap()
+            .run();
+        assert!(
+            (report.availability().value() - analytic).abs() < 2e-3,
+            "observed {} vs analytic {analytic}",
+            report.availability()
+        );
+    }
+
+    #[test]
+    fn monte_carlo_aggregates_and_validates() {
+        let pair = Block::Parallel(vec![singleton("a", 0.05, 4.0), singleton("b", 0.05, 4.0)]);
+        let estimate = monte_carlo(&pair, &[], 20.0, 12, 42).unwrap();
+        assert_eq!(estimate.trials(), 12);
+        let analytic = Probability::saturating(1.0 - 0.05 * 0.05);
+        assert!(
+            estimate.agrees_with(analytic, 4.0),
+            "mean {} vs analytic {analytic} (se {})",
+            estimate.mean(),
+            estimate.std_error()
+        );
+        assert!(matches!(
+            monte_carlo(&pair, &[], 1.0, 0, 1),
+            Err(SimError::NoTrials)
+        ));
+    }
+}

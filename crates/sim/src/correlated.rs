@@ -45,6 +45,55 @@ impl CommonCause {
     };
 }
 
+/// A *shared failure domain*: infrastructure whose outage fells every
+/// member cluster at once — a zone's power feed, a region's network
+/// fabric, a global control plane.
+///
+/// The domain alternates exponentially-distributed up periods (mean
+/// `525 600 / rate_per_year` minutes) and down periods (mean
+/// `mttr_minutes`), independently of every node's renewal process. While
+/// it is down, each cluster named in `members` is forced down regardless
+/// of its own node states. [`crate::composition::CompositionSimulation`]
+/// consumes these to cross-validate the optimizer's archetype spaces,
+/// which model the same domains analytically as degenerate singleton
+/// leaves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SharedDomain {
+    /// Domain label (reporting only).
+    pub name: String,
+    /// Outages per year of domain uptime (0 disables the domain).
+    pub rate_per_year: f64,
+    /// Mean outage duration, in minutes.
+    pub mttr_minutes: f64,
+    /// Names of the clusters this domain takes down with it.
+    pub members: Vec<String>,
+}
+
+impl SharedDomain {
+    /// Mean up period in minutes (`525 600 / rate_per_year`); infinite
+    /// when the rate is zero.
+    #[must_use]
+    pub fn mtbf_minutes(&self) -> f64 {
+        if self.rate_per_year <= 0.0 {
+            f64::INFINITY
+        } else {
+            525_600.0 / self.rate_per_year
+        }
+    }
+
+    /// Long-run availability of the domain itself:
+    /// `MTBF / (MTBF + MTTR)` by the renewal-reward theorem — the exact
+    /// factor the alternating-renewal simulation converges to.
+    #[must_use]
+    pub fn availability(&self) -> uptime_core::Probability {
+        let mtbf = self.mtbf_minutes();
+        if mtbf.is_infinite() {
+            return uptime_core::Probability::saturating(1.0);
+        }
+        uptime_core::Probability::saturating(mtbf / (mtbf + self.mttr_minutes.max(0.0)))
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Kind {
     /// Natural (independent) failure of one node. Stale generations are

@@ -37,6 +37,7 @@
 
 pub mod accountant;
 pub mod cluster;
+pub mod composition;
 pub mod correlated;
 pub mod crews;
 pub mod error;
@@ -52,7 +53,8 @@ pub mod workload;
 
 pub use accountant::DowntimeAccountant;
 pub use cluster::{ClusterSim, ClusterStatus};
-pub use correlated::{CommonCause, CorrelatedSimulation};
+pub use composition::CompositionSimulation;
+pub use correlated::{CommonCause, CorrelatedSimulation, SharedDomain};
 pub use crews::CrewSimulation;
 pub use error::SimError;
 pub use inject::{FailureScript, ScriptedOutage};

@@ -21,6 +21,34 @@ pub struct MonteCarloEstimate {
 }
 
 impl MonteCarloEstimate {
+    /// Aggregates raw per-trial availability samples into an estimate
+    /// (sample mean, sample standard deviation). This is how every runner
+    /// in the crate folds its trials — exposed so ad-hoc batches (e.g. the
+    /// composition cross-validation suite) report through the same
+    /// statistics as [`MonteCarloRunner`].
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return MonteCarloEstimate {
+                trials: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+            };
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let variance = if samples.len() > 1 {
+            samples.iter().map(|a| (a - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        MonteCarloEstimate {
+            trials: u32::try_from(samples.len()).unwrap_or(u32::MAX),
+            mean,
+            std_dev: variance.sqrt(),
+        }
+    }
+
     /// Number of trials aggregated.
     #[must_use]
     pub fn trials(&self) -> u32 {
@@ -214,22 +242,7 @@ impl MonteCarloRunner {
         })
         .expect("thread scope panicked");
 
-        let n = availabilities.len() as f64;
-        let mean = availabilities.iter().sum::<f64>() / n;
-        let variance = if availabilities.len() > 1 {
-            availabilities
-                .iter()
-                .map(|a| (a - mean).powi(2))
-                .sum::<f64>()
-                / (n - 1.0)
-        } else {
-            0.0
-        };
-        Ok(MonteCarloEstimate {
-            trials: self.trials,
-            mean,
-            std_dev: variance.sqrt(),
-        })
+        Ok(MonteCarloEstimate::from_samples(&availabilities))
     }
 }
 
