@@ -54,7 +54,13 @@ struct Row {
 /// for the report.
 fn span_breakdown(space: &SearchSpace, model: &TcoModel) -> serde_json::Value {
     let registry = uptime_obs::MetricsRegistry::new();
-    let _ = fast::search_recorded(space, model, Objective::MinTco, &registry);
+    let _ = fast::search_recorded(
+        space,
+        model,
+        Objective::MinTco,
+        &registry,
+        &uptime_obs::TraceSpan::disabled(),
+    );
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
@@ -64,6 +70,7 @@ fn span_breakdown(space: &SearchSpace, model: &TcoModel) -> serde_json::Value {
         Objective::MinTco,
         threads,
         &registry,
+        &uptime_obs::TraceSpan::disabled(),
     );
     let snapshot = registry.snapshot();
     let mut spans = serde_json::Map::new();
@@ -103,7 +110,13 @@ fn measure(name: &'static str, space: &SearchSpace, model: &TcoModel, reps: u32)
         naive_ns: time_ns(reps, || naive_sweep(space, model)),
         fast_ns: time_ns(reps, || fast::search(space, model, Objective::MinTco)),
         fast_noop_ns: time_ns(reps, || {
-            fast::search_recorded(space, model, Objective::MinTco, &uptime_obs::NOOP)
+            fast::search_recorded(
+                space,
+                model,
+                Objective::MinTco,
+                &uptime_obs::NOOP,
+                &uptime_obs::TraceSpan::disabled(),
+            )
         }),
         parallel_ns: time_ns(reps, || {
             parallel::search_best(space, model, Objective::MinTco)

@@ -59,7 +59,13 @@ fn stats_json(ns: u128, stats: &BnbStats) -> serde_json::Value {
 /// `optimizer.bnb.*` counters, gauge, and span the engine flushes.
 fn obs_section(space: &SearchSpace, model: &TcoModel) -> serde_json::Value {
     let registry = uptime_obs::MetricsRegistry::new();
-    let _ = branch_bound::search_with_threads_recorded(space, model, 0, &registry);
+    let _ = branch_bound::search_with_threads_recorded(
+        space,
+        model,
+        0,
+        &registry,
+        &uptime_obs::TraceSpan::disabled(),
+    );
     let snapshot = registry.snapshot();
     let counters: serde_json::Map = snapshot
         .counters

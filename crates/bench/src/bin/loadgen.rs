@@ -16,7 +16,18 @@
 //! `--out PATH` (BENCH_PR4.json), `--min-hit-rate F` (exit 1 below it),
 //! `--fail-on-error` (exit 1 on any error/shed), `--shutdown` (drain the
 //! daemon afterwards).
+//!
+//! Tracing-era flags (PR 8): `--health-ratio R` mixes health probes into
+//! the stream (per-endpoint latency percentiles come out in the report),
+//! `--explain-ratio R` asks a fraction of requests for an inline span
+//! breakdown and aggregates per-stage time, `--max-p99-ms MS` fails the
+//! run when overall p99 exceeds the bound, and
+//! `--compare BASELINE.json --max-overhead-pct P` fails when throughput
+//! regressed more than P% against a previous report (the
+//! tracing-overhead gate: run once with `--no-trace`, once without,
+//! compare).
 
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write as IoWrite};
 use std::net::TcpStream;
 use std::process::ExitCode;
@@ -39,6 +50,11 @@ struct Config {
     min_hit_rate: f64,
     fail_on_error: bool,
     shutdown: bool,
+    health_ratio: f64,
+    explain_ratio: f64,
+    max_p99_ms: Option<f64>,
+    compare: Option<String>,
+    max_overhead_pct: Option<f64>,
 }
 
 fn parse_args() -> Result<Config, String> {
@@ -52,6 +68,11 @@ fn parse_args() -> Result<Config, String> {
         min_hit_rate: 0.0,
         fail_on_error: false,
         shutdown: false,
+        health_ratio: 0.0,
+        explain_ratio: 0.0,
+        max_p99_ms: None,
+        compare: None,
+        max_overhead_pct: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter().map(String::as_str);
@@ -89,6 +110,31 @@ fn parse_args() -> Result<Config, String> {
             }
             "--fail-on-error" => config.fail_on_error = true,
             "--shutdown" => config.shutdown = true,
+            "--health-ratio" => {
+                config.health_ratio = value("--health-ratio")?
+                    .parse()
+                    .map_err(|e| format!("--health-ratio: {e}"))?;
+            }
+            "--explain-ratio" => {
+                config.explain_ratio = value("--explain-ratio")?
+                    .parse()
+                    .map_err(|e| format!("--explain-ratio: {e}"))?;
+            }
+            "--max-p99-ms" => {
+                config.max_p99_ms = Some(
+                    value("--max-p99-ms")?
+                        .parse()
+                        .map_err(|e| format!("--max-p99-ms: {e}"))?,
+                );
+            }
+            "--compare" => config.compare = Some(value("--compare")?.to_owned()),
+            "--max-overhead-pct" => {
+                config.max_overhead_pct = Some(
+                    value("--max-overhead-pct")?
+                        .parse()
+                        .map_err(|e| format!("--max-overhead-pct: {e}"))?,
+                );
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -133,6 +179,9 @@ fn cold_request(rng: &mut u64) -> Value {
 
 struct ClientStats {
     latencies_ns: Vec<u64>,
+    by_endpoint_ns: BTreeMap<&'static str, Vec<u64>>,
+    /// Per span name: (samples, total ns) summed from explain payloads.
+    stage_ns: BTreeMap<String, (u64, u64)>,
     ok: u64,
     cached: u64,
     coalesced: u64,
@@ -144,6 +193,8 @@ fn run_client(
     addr: &str,
     requests: usize,
     repeat_ratio: f64,
+    health_ratio: f64,
+    explain_ratio: f64,
     mut rng: u64,
     pool: &[Value],
 ) -> std::io::Result<ClientStats> {
@@ -152,6 +203,8 @@ fn run_client(
     let mut writer = stream;
     let mut stats = ClientStats {
         latencies_ns: Vec::with_capacity(requests),
+        by_endpoint_ns: BTreeMap::new(),
+        stage_ns: BTreeMap::new(),
         ok: 0,
         cached: 0,
         coalesced: 0,
@@ -159,24 +212,50 @@ fn run_client(
         errors: 0,
     };
     for i in 0..requests {
-        let hot = (splitmix64(&mut rng) % 10_000) as f64 / 10_000.0 < repeat_ratio;
-        let body = if hot {
-            pool[(splitmix64(&mut rng) % pool.len() as u64) as usize].clone()
+        let roll = |rng: &mut u64| (splitmix64(rng) % 10_000) as f64 / 10_000.0;
+        let (endpoint, body) = if roll(&mut rng) < health_ratio {
+            ("health", Value::Null)
+        } else if roll(&mut rng) < repeat_ratio {
+            (
+                "recommend",
+                pool[(splitmix64(&mut rng) % pool.len() as u64) as usize].clone(),
+            )
         } else {
-            cold_request(&mut rng)
+            ("recommend", cold_request(&mut rng))
         };
-        let frame = RequestFrame::new(i as u64, "recommend", body);
+        let explain = explain_ratio > 0.0 && roll(&mut rng) < explain_ratio;
+        let frame = RequestFrame::new(i as u64, endpoint, body).with_explain(explain);
         let mut text = serde_json::to_string(&frame).expect("frame serializes");
         text.push('\n');
         let start = Instant::now();
         writer.write_all(text.as_bytes())?;
         let mut line = String::new();
         reader.read_line(&mut line)?;
+        let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        stats.latencies_ns.push(elapsed_ns);
         stats
-            .latencies_ns
-            .push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            .by_endpoint_ns
+            .entry(endpoint)
+            .or_default()
+            .push(elapsed_ns);
         let response: ResponseFrame = serde_json::from_str(&line)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{e:?}")))?;
+        if let Some(spans) = response
+            .explain
+            .as_ref()
+            .and_then(|e| e.get("spans"))
+            .and_then(Value::as_array)
+        {
+            for span in spans {
+                let Some(name) = span.get("name").and_then(Value::as_str) else {
+                    continue;
+                };
+                let ns = span.get("duration_ns").and_then(Value::as_u64).unwrap_or(0);
+                let entry = stats.stage_ns.entry(name.to_owned()).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 = entry.1.saturating_add(ns);
+            }
+        }
         match response.status {
             Status::Ok => {
                 stats.ok += 1;
@@ -286,14 +365,28 @@ fn main() -> ExitCode {
             let pool = pool.clone();
             let requests = config.requests;
             let ratio = config.repeat_ratio;
+            let health_ratio = config.health_ratio;
+            let explain_ratio = config.explain_ratio;
             let seed = config
                 .seed
                 .wrapping_add(0x517c_c1b7_2722_0a95_u64.wrapping_mul(c as u64 + 1));
-            std::thread::spawn(move || run_client(&addr, requests, ratio, seed, &pool))
+            std::thread::spawn(move || {
+                run_client(
+                    &addr,
+                    requests,
+                    ratio,
+                    health_ratio,
+                    explain_ratio,
+                    seed,
+                    &pool,
+                )
+            })
         })
         .collect();
 
     let mut latencies = Vec::new();
+    let mut by_endpoint: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+    let mut stage_ns: BTreeMap<String, (u64, u64)> = BTreeMap::new();
     let mut ok = 0u64;
     let mut cached = 0u64;
     let mut coalesced = 0u64;
@@ -303,6 +396,14 @@ fn main() -> ExitCode {
         match worker.join().expect("client thread") {
             Ok(stats) => {
                 latencies.extend(stats.latencies_ns);
+                for (endpoint, ns) in stats.by_endpoint_ns {
+                    by_endpoint.entry(endpoint).or_default().extend(ns);
+                }
+                for (name, (count, total)) in stats.stage_ns {
+                    let entry = stage_ns.entry(name).or_insert((0, 0));
+                    entry.0 += count;
+                    entry.1 = entry.1.saturating_add(total);
+                }
                 ok += stats.ok;
                 cached += stats.cached;
                 coalesced += stats.coalesced;
@@ -367,14 +468,88 @@ fn main() -> ExitCode {
         hit_rate * 100.0
     );
 
+    // Per-endpoint latency percentiles: one entry per endpoint the mix
+    // actually exercised (`recommend` always; `health` under
+    // --health-ratio).
+    let mut endpoints = serde_json::Map::new();
+    for (endpoint, mut ns) in by_endpoint {
+        ns.sort_unstable();
+        endpoints.insert(
+            endpoint.to_owned(),
+            serde_json::json!({
+                "requests": ns.len() as u64,
+                "p50": percentile(&ns, 0.50),
+                "p95": percentile(&ns, 0.95),
+                "p99": percentile(&ns, 0.99),
+                "max": ns.last().copied().unwrap_or(0),
+            }),
+        );
+    }
+    let stages: serde_json::Map = stage_ns
+        .into_iter()
+        .map(|(name, (count, total))| {
+            let mean = total.checked_div(count).unwrap_or(0);
+            (
+                name,
+                serde_json::json!({"samples": count, "total_ns": total, "mean_ns": mean}),
+            )
+        })
+        .collect();
+
+    // Two-run overhead gate: against a baseline report (same workload,
+    // tracing off), how much throughput did this run give up?
+    let mut overhead_pct: Option<f64> = None;
+    let compare_value = match &config.compare {
+        None => Value::Null,
+        Some(path) => {
+            let baseline: Value = std::fs::read_to_string(path)
+                .map_err(|e| format!("read {path}: {e}"))
+                .and_then(|text| {
+                    serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+                })
+                .unwrap_or_else(|message| {
+                    eprintln!("loadgen: --compare: {message}");
+                    std::process::exit(2);
+                });
+            let baseline_rps = baseline
+                .get("throughput_rps")
+                .and_then(Value::as_f64)
+                .unwrap_or_else(|| {
+                    eprintln!("loadgen: --compare: {path} has no throughput_rps");
+                    std::process::exit(2);
+                });
+            let pct = if throughput_rps > 0.0 {
+                (baseline_rps / throughput_rps - 1.0) * 100.0
+            } else {
+                f64::INFINITY
+            };
+            overhead_pct = Some(pct);
+            serde_json::json!({
+                "baseline": path,
+                "baseline_rps": baseline_rps,
+                "overhead_pct": pct,
+                "max_overhead_pct": config.max_overhead_pct,
+            })
+        }
+    };
+
+    // The report label follows the output file (BENCH_PR4.json stays the
+    // PR 4 contract; the tracing CI job writes BENCH_PR8.json).
+    let benchmark = std::path::Path::new(&config.out)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("BENCH")
+        .to_owned();
     let report = serde_json::json!({
-        "benchmark": "BENCH_PR4",
+        "benchmark": benchmark,
         "description": "uptime-serve daemon throughput vs cold per-request evaluation",
         "config": {
             "addr": addr,
             "clients": config.clients as u64,
             "requests_per_client": config.requests as u64,
             "repeat_ratio": config.repeat_ratio,
+            "health_ratio": config.health_ratio,
+            "explain_ratio": config.explain_ratio,
             "seed": config.seed,
         },
         "totals": {
@@ -391,6 +566,9 @@ fn main() -> ExitCode {
             "p99": percentile(&latencies, 0.99),
             "max": latencies.last().copied().unwrap_or(0),
         },
+        "latency_by_endpoint_ns": serde_json::Value::Object(endpoints),
+        "explain_stages": serde_json::Value::Object(stages),
+        "compare": compare_value,
         "throughput_rps": throughput_rps,
         "cold_eval_rps": cold_rps,
         "cold_eval_mode": cold_mode,
@@ -418,7 +596,34 @@ fn main() -> ExitCode {
     if failed_errors {
         eprintln!("loadgen: {errors} errors / {shed} sheds with --fail-on-error");
     }
-    if failed_hit_rate || failed_errors {
+    let p99_ms = percentile(&latencies, 0.99) as f64 / 1e6;
+    let failed_p99 = config.max_p99_ms.is_some_and(|bound| p99_ms > bound);
+    if failed_p99 {
+        eprintln!(
+            "loadgen: p99 {p99_ms:.3}ms exceeds --max-p99-ms {:.3}",
+            config.max_p99_ms.unwrap_or(0.0)
+        );
+    }
+    let failed_overhead = match (overhead_pct, config.max_overhead_pct) {
+        (Some(pct), Some(bound)) => {
+            if pct > bound {
+                eprintln!(
+                    "loadgen: throughput overhead {pct:.1}% vs baseline exceeds \
+                     --max-overhead-pct {bound:.1}"
+                );
+                true
+            } else {
+                println!("overhead vs baseline: {pct:.1}% (budget {bound:.1}%)");
+                false
+            }
+        }
+        (Some(pct), None) => {
+            println!("overhead vs baseline: {pct:.1}%");
+            false
+        }
+        _ => false,
+    };
+    if failed_hit_rate || failed_errors || failed_p99 || failed_overhead {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -31,7 +31,13 @@ fn noop_recorder_overhead_is_within_budget() {
 
     // Results must be bit-identical before timing means anything.
     let plain = fast::search(&space, &model, Objective::MinTco);
-    let recorded = fast::search_recorded(&space, &model, Objective::MinTco, &uptime_obs::NOOP);
+    let recorded = fast::search_recorded(
+        &space,
+        &model,
+        Objective::MinTco,
+        &uptime_obs::NOOP,
+        &uptime_obs::TraceSpan::disabled(),
+    );
     assert_eq!(plain, recorded, "no-op instrumentation changed the result");
 
     // Warm-up, then up to three timing rounds: accept the first round
@@ -41,7 +47,13 @@ fn noop_recorder_overhead_is_within_budget() {
     for round in 0..3 {
         let plain_ns = best_of(5, || fast::search(&space, &model, Objective::MinTco));
         let noop_ns = best_of(5, || {
-            fast::search_recorded(&space, &model, Objective::MinTco, &uptime_obs::NOOP)
+            fast::search_recorded(
+                &space,
+                &model,
+                Objective::MinTco,
+                &uptime_obs::NOOP,
+                &uptime_obs::TraceSpan::disabled(),
+            )
         });
         last_ratio = noop_ns as f64 / plain_ns.max(1) as f64;
         if last_ratio <= 1.05 {

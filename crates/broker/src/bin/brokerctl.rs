@@ -21,15 +21,26 @@
 //!     Cross-provider (metacloud) recommendation over the hybrid catalog.
 //!
 //! brokerctl serve [--hybrid] [--addr HOST:PORT] [--workers N] [--queue N] [--chaos SEED]
-//!                 [--state-dir DIR] [--fsync os|always|every:N] [--snapshot-every N] [--stdin]
+//!                 [--state-dir DIR] [--fsync os|always|every:N] [--snapshot-every N]
+//!                 [--no-trace] [--trace-capacity N] [--trace-slow-ms MS]
+//!                 [--trace-sample N] [--stdin]
 //!     Run the long-lived serving daemon: newline-delimited JSON frames
 //!     over TCP, answered through a telemetry-epoch-keyed response cache,
 //!     single-flight coalescing, and a backpressured worker pool that
-//!     sheds (429) when the admission queue is full. With --state-dir the
-//!     broker recovers its pre-crash state on startup and journals every
-//!     accepted telemetry batch before absorbing it. With --stdin, the
-//!     legacy loop: one SolutionRequest JSON per stdin line, one JSON
-//!     response per line ({"ok": ...} or {"error": ...}).
+//!     sheds (429) when the admission queue is full. Every request is
+//!     traced into a bounded flight recorder (tail-sampled: errors,
+//!     sheds and slow requests always kept) queryable via the `traces`
+//!     endpoint; `"explain": true` on a request frame returns an inline
+//!     per-stage breakdown. With --state-dir the broker recovers its
+//!     pre-crash state on startup and journals every accepted telemetry
+//!     batch before absorbing it. With --stdin, the legacy loop: one
+//!     SolutionRequest JSON per stdin line, one JSON response per line
+//!     ({"ok": ...} or {"error": ...}).
+//!
+//! brokerctl trace [--addr HOST:PORT] [--slowest N] [--errors] [--json|--chrome]
+//!     Pull traces from a running daemon's flight recorder: span trees
+//!     with per-stage durations (default), raw export JSON, or Chrome
+//!     trace_event JSON for chrome://tracing / Perfetto.
 //!
 //! brokerctl recover [--verify] [--json] [--compact] [--disk-chaos SEED] --state-dir DIR
 //!     Replay a state directory and report what recovery found. --verify
@@ -44,10 +55,11 @@
 //!     With --chaos the providers misbehave (seeded fault injection).
 //!     Exits 0 when healthy, 3 when the broker is serving degraded.
 //!
-//! brokerctl obs [--json|--prom] [--hybrid] [--chaos] [SEED]
+//! brokerctl obs [--json|--prom] [--hybrid] [--chaos] [--watch SECS [--iters N]] [SEED]
 //!     Drive an instrumented recommend+sync run against simulated
 //!     providers and export the metrics snapshot as JSON (default) or
-//!     Prometheus text format.
+//!     Prometheus text format. --watch SECS keeps driving work and
+//!     prints one JSON line of counter deltas per tick.
 //!
 //! brokerctl help | --help
 //!     Print usage, including the exit-code contract.
@@ -76,6 +88,8 @@ fn main() -> ExitCode {
     let mut state_dir: Option<String> = None;
     let mut disk_chaos: Option<u64> = None;
     let mut archetype: Option<String> = None;
+    let mut watch: Option<u64> = None;
+    let mut iters: u64 = 0;
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
@@ -120,6 +134,38 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             }
+        } else if arg == "--watch" {
+            i += 1;
+            let value = match args.get(i) {
+                Some(v) => v,
+                None => {
+                    eprintln!("brokerctl: --watch needs an interval in seconds");
+                    return ExitCode::from(2);
+                }
+            };
+            watch = match value.parse() {
+                Ok(secs) => Some(secs),
+                Err(_) => {
+                    eprintln!("brokerctl: --watch interval must be an integer");
+                    return ExitCode::from(2);
+                }
+            };
+        } else if arg == "--iters" {
+            i += 1;
+            let value = match args.get(i) {
+                Some(v) => v,
+                None => {
+                    eprintln!("brokerctl: --iters needs a count");
+                    return ExitCode::from(2);
+                }
+            };
+            iters = match value.parse() {
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!("brokerctl: --iters count must be an integer");
+                    return ExitCode::from(2);
+                }
+            };
         } else if arg == "--engine" {
             i += 1;
             let value = match args.get(i) {
@@ -193,15 +239,18 @@ fn main() -> ExitCode {
         Some("settle") => settle_command(&positional),
         Some("metacloud") => metacloud_command(engine),
         Some("serve") => serve_command(&args),
+        Some("trace") => trace_command(&args),
         Some("obs") => obs_command(
             hybrid,
             flags.contains(&"--prom"),
             flags.contains(&"--chaos"),
+            watch,
+            iters,
             positional.first().copied(),
         ),
         _ => {
             eprintln!(
-                "usage: brokerctl <catalog|recommend|sweep|settle|metacloud|serve|health|obs|recover> [options]"
+                "usage: brokerctl <catalog|recommend|sweep|settle|metacloud|serve|trace|health|obs|recover> [options]"
             );
             eprintln!("       run `brokerctl help` for details and exit codes");
             return ExitCode::from(2);
@@ -250,16 +299,30 @@ Commands:
       --engine bnb proves the same placement by branch-and-bound.
   serve [--hybrid] [--addr HOST:PORT] [--workers N] [--queue N] [--chaos SEED]
         [--engine exhaustive|bnb] [--state-dir DIR] [--fsync os|always|every:N]
-        [--snapshot-every N] [--stdin]
+        [--snapshot-every N] [--no-trace] [--trace-capacity N]
+        [--trace-slow-ms MS] [--trace-sample N] [--stdin]
       Long-lived serving daemon (default 127.0.0.1:7411): one JSON frame
       per line over TCP with fields id, endpoint and body; endpoints are
-      recommend, metacloud, health, sync, ping, stats and shutdown.
-      Responses are cached per telemetry epoch, identical concurrent
-      requests are coalesced, and overload sheds with code 429. With
+      recommend, metacloud, health, sync, ping, stats, traces and
+      shutdown. Responses are cached per telemetry epoch, identical
+      concurrent requests are coalesced, and overload sheds with code
+      429. Every request is traced into a bounded in-memory flight
+      recorder (tail-sampled: errors, sheds and slow requests always
+      kept); add `\"explain\": true` to a request frame for an inline
+      per-stage timing breakdown. --no-trace disables tracing,
+      --trace-capacity bounds retained traces (default 256),
+      --trace-slow-ms sets the always-keep slow threshold (default 25),
+      --trace-sample keeps one in N ok-fast traces (default 1). With
       --state-dir DIR the broker recovers pre-crash state at startup and
       write-ahead-journals every accepted telemetry batch (crash-only:
       kill -9 and restart resumes bit-identically). With --stdin: one
       SolutionRequest JSON per stdin line, one JSON response per line.
+  trace [--addr HOST:PORT] [--slowest N] [--errors] [--json|--chrome]
+      Pull traces from a running daemon's flight recorder and render
+      span trees with per-stage durations and attributes. --slowest N
+      keeps the N slowest, --errors only failed/shed requests, --json
+      emits the raw export (schemas/trace.schema.json), --chrome emits
+      Chrome trace_event JSON loadable in chrome://tracing or Perfetto.
   recover [--verify] [--json] [--compact] [--disk-chaos SEED] --state-dir DIR
       Replay a state directory and report what recovery found: snapshot
       use, records replayed/skipped/quarantined/malformed, any torn-tail
@@ -271,9 +334,12 @@ Commands:
       Drive telemetry sync rounds against simulated providers and report
       control-plane health plus the incident log. JSON output carries a
       top-level `schema_version` field.
-  obs [--json|--prom] [--hybrid] [--chaos] [SEED]
+  obs [--json|--prom] [--hybrid] [--chaos] [--watch SECS [--iters N]] [SEED]
       Drive an instrumented recommend+sync run and export the metrics
-      snapshot as JSON (default) or Prometheus text format.
+      snapshot as JSON (default) or Prometheus text format. With
+      --watch SECS, keep driving work and print one JSON line per tick
+      with the counter deltas since the previous tick (--iters N stops
+      after N ticks; 0 = forever).
   help
       Print this help.
 
@@ -453,6 +519,26 @@ fn serve_command(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         match arg {
             "--hybrid" => hybrid = true,
             "--stdin" => stdin_mode = true,
+            "--no-trace" => config.trace.enabled = false,
+            "--trace-capacity" => {
+                config.trace.capacity = iter
+                    .next()
+                    .ok_or("--trace-capacity needs a trace count")?
+                    .parse()?;
+            }
+            "--trace-slow-ms" => {
+                let ms: u64 = iter
+                    .next()
+                    .ok_or("--trace-slow-ms needs milliseconds")?
+                    .parse()?;
+                config.trace.slow_threshold_ns = ms.saturating_mul(1_000_000);
+            }
+            "--trace-sample" => {
+                config.trace.sample_one_in = iter
+                    .next()
+                    .ok_or("--trace-sample needs a one-in-N rate")?
+                    .parse()?;
+            }
             "--addr" => {
                 config.addr = iter.next().ok_or("--addr needs HOST:PORT")?.to_owned();
             }
@@ -515,7 +601,15 @@ fn serve_command(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let broker = Arc::new(service);
     let targets =
         register_simulated_providers(&broker, &store, chaos.is_some(), chaos.unwrap_or(7));
-    let backend = Arc::new(ServingBroker::new(broker).with_sync_targets(targets));
+    let mut backend = ServingBroker::new(broker).with_sync_targets(targets);
+    if config.trace.enabled {
+        // One recorder shared between the server (which begins traces)
+        // and the backend (which reports occupancy in `health`).
+        let recorder = Arc::new(uptime_obs::FlightRecorder::new(config.trace));
+        config.flight_recorder = Some(Arc::clone(&recorder));
+        backend = backend.with_flight_recorder(recorder);
+    }
+    let backend = Arc::new(backend);
     let workers = config.workers;
     let queue = config.queue_depth;
     let handle = Server::start(backend, config, registry)?;
@@ -809,6 +903,8 @@ fn obs_command(
     hybrid: bool,
     prom: bool,
     chaos: bool,
+    watch: Option<u64>,
+    iters: u64,
     seed_arg: Option<&str>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let seed: u64 = seed_arg.map_or(Ok(7), str::parse)?;
@@ -825,11 +921,213 @@ fn obs_command(
         .build()?;
     let _ = broker.recommend(&request)?;
 
-    let snapshot = registry.snapshot();
-    if prom {
-        print!("{}", uptime_obs::export::to_prometheus(&snapshot));
-    } else {
-        println!("{}", uptime_obs::export::to_json(&snapshot));
+    let Some(interval) = watch else {
+        let snapshot = registry.snapshot();
+        if prom {
+            print!("{}", uptime_obs::export::to_prometheus(&snapshot));
+        } else {
+            println!("{}", uptime_obs::export::to_json(&snapshot));
+        }
+        return Ok(());
+    };
+
+    // Watch mode: keep driving work and print what *moved* each tick as a
+    // JSON line of counter deltas — the diffing layer over
+    // `MetricsSnapshot` that turns cumulative counters into rates.
+    // --iters 0 watches forever.
+    let mut previous = registry.snapshot();
+    let mut tick: u64 = 0;
+    loop {
+        tick += 1;
+        std::thread::sleep(std::time::Duration::from_secs(interval));
+        for (cloud, kinds) in &components {
+            for (k, kind) in kinds.iter().enumerate() {
+                let _ = broker.sync_telemetry(cloud, *kind, 20, 5.0, seed + tick * 131 + k as u64);
+            }
+        }
+        let _ = broker.recommend(&request)?;
+        let snapshot = registry.snapshot();
+        let deltas: serde_json::Map = snapshot
+            .counter_deltas(&previous)
+            .into_iter()
+            .map(|(name, delta)| (name, serde_json::json!(delta)))
+            .collect();
+        println!(
+            "{}",
+            serde_json::json!({
+                "tick": tick,
+                "interval_secs": interval,
+                "deltas": serde_json::Value::Object(deltas),
+            })
+        );
+        previous = snapshot;
+        if iters > 0 && tick >= iters {
+            return Ok(());
+        }
+    }
+}
+
+/// Default daemon address for the `trace` client (matches `serve`).
+const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7411";
+
+/// Pulls traces from a running daemon's `traces` endpoint and renders a
+/// span tree (default), the raw export JSON (`--json`), or Chrome
+/// `trace_event` JSON (`--chrome`, loadable in `chrome://tracing` /
+/// Perfetto).
+fn trace_command(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use std::io::{BufRead, BufReader, Write};
+
+    let mut addr = DEFAULT_SERVE_ADDR.to_owned();
+    let mut slowest: Option<u64> = None;
+    let mut errors = false;
+    let mut raw_json = false;
+    let mut chrome = false;
+    let mut iter = args.iter().map(String::as_str).skip(1);
+    while let Some(arg) = iter.next() {
+        match arg {
+            "--addr" => addr = iter.next().ok_or("--addr needs HOST:PORT")?.to_owned(),
+            "--slowest" => {
+                slowest = Some(iter.next().ok_or("--slowest needs a count")?.parse()?);
+            }
+            "--errors" => errors = true,
+            "--json" => raw_json = true,
+            "--chrome" => chrome = true,
+            other => return Err(format!("trace: unknown argument `{other}`").into()),
+        }
+    }
+    if raw_json && chrome {
+        return Err("trace: --json and --chrome are mutually exclusive".into());
+    }
+
+    let mut body = serde_json::Map::new();
+    if let Some(n) = slowest {
+        body.insert("slowest".into(), serde_json::json!(n));
+    }
+    if errors {
+        body.insert("errors".into(), serde_json::json!(true));
+    }
+    body.insert(
+        "format".into(),
+        serde_json::json!(if chrome { "chrome" } else { "json" }),
+    );
+    let frame = serde_json::json!({
+        "id": 1,
+        "endpoint": "traces",
+        "body": serde_json::Value::Object(body),
+    });
+
+    let stream = std::net::TcpStream::connect(&addr)
+        .map_err(|e| format!("trace: cannot reach daemon at {addr}: {e}"))?;
+    let mut writer = stream.try_clone()?;
+    let mut request = serde_json::to_string(&frame)?;
+    request.push('\n');
+    writer.write_all(request.as_bytes())?;
+    writer.flush()?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line)?;
+    let response: serde_json::Value = serde_json::from_str(line.trim())
+        .map_err(|e| format!("trace: malformed response frame: {e}"))?;
+    if response.get("status").and_then(serde_json::Value::as_str) != Some("ok") {
+        let detail = response
+            .get("error")
+            .and_then(serde_json::Value::as_str)
+            .unwrap_or("unknown daemon error");
+        return Err(format!("trace: daemon refused: {detail}").into());
+    }
+    let body = response.get("body").ok_or("trace: response missing body")?;
+    if raw_json || chrome {
+        println!("{}", serde_json::to_string_pretty(body)?);
+        return Ok(());
+    }
+    print_trace_trees(body)
+}
+
+/// Renders the `traces` export as indented span trees with durations and
+/// attributes, newest trace first (the order the daemon returns).
+fn print_trace_trees(body: &serde_json::Value) -> Result<(), Box<dyn std::error::Error>> {
+    let as_u64 = |v: &serde_json::Value, key: &str| v.get(key).and_then(serde_json::Value::as_u64);
+    let as_str = |v: &'_ serde_json::Value, key: &str| {
+        v.get(key)
+            .and_then(serde_json::Value::as_str)
+            .unwrap_or("?")
+            .to_owned()
+    };
+
+    let recorder = body
+        .get("recorder")
+        .ok_or("trace: export missing `recorder` section")?;
+    println!(
+        "flight recorder: occupancy {}/{}  completed {}  recorded {}  sampled_out {}  evicted {}  unwound {}",
+        as_u64(recorder, "occupancy").unwrap_or(0),
+        as_u64(recorder, "capacity").unwrap_or(0),
+        as_u64(recorder, "completed").unwrap_or(0),
+        as_u64(recorder, "recorded").unwrap_or(0),
+        as_u64(recorder, "sampled_out").unwrap_or(0),
+        as_u64(recorder, "evicted").unwrap_or(0),
+        as_u64(recorder, "unwound").unwrap_or(0),
+    );
+    let traces = body
+        .get("traces")
+        .and_then(serde_json::Value::as_array)
+        .ok_or("trace: export missing `traces` array")?;
+    if traces.is_empty() {
+        println!("no traces recorded yet");
+        return Ok(());
+    }
+    for trace in traces {
+        println!(
+            "\ntrace {} #{} endpoint={} outcome={} total={:.3}ms kept={}",
+            as_str(trace, "trace_id"),
+            as_u64(trace, "seq").unwrap_or(0),
+            as_str(trace, "endpoint"),
+            as_str(trace, "outcome"),
+            as_u64(trace, "total_ns").unwrap_or(0) as f64 / 1e6,
+            as_str(trace, "kept_because"),
+        );
+        let Some(spans) = trace.get("spans").and_then(serde_json::Value::as_array) else {
+            continue;
+        };
+        // Spans carry parent ids; recover the tree by walking children in
+        // recorded (start) order from each root.
+        let mut children: Vec<(u64, usize)> = Vec::with_capacity(spans.len());
+        for (idx, span) in spans.iter().enumerate() {
+            children.push((as_u64(span, "parent").unwrap_or(0), idx));
+        }
+        let mut stack: Vec<(u64, usize)> = Vec::new();
+        for &(parent, idx) in children.iter().filter(|(p, _)| *p == 0).rev() {
+            stack.push((parent, idx));
+        }
+        let mut emitted = 0usize;
+        while let Some((depth_key, idx)) = stack.pop() {
+            let span = &spans[idx];
+            let depth = usize::try_from(depth_key).unwrap_or(0);
+            let mut attrs = String::new();
+            if let Some(map) = span.get("attrs").and_then(serde_json::Value::as_object) {
+                for (key, value) in map.iter() {
+                    attrs.push_str(&format!("  {key}={value}"));
+                }
+            }
+            println!(
+                "  {:indent$}{} {:.3}ms{}",
+                "",
+                as_str(span, "name"),
+                as_u64(span, "duration_ns").unwrap_or(0) as f64 / 1e6,
+                attrs,
+                indent = depth * 2,
+            );
+            emitted += 1;
+            let id = as_u64(span, "id").unwrap_or(0);
+            for &(parent, child_idx) in children.iter().filter(|(p, _)| *p == id).rev() {
+                let _ = parent;
+                stack.push((depth_key + 1, child_idx));
+            }
+        }
+        if emitted < spans.len() {
+            println!(
+                "  ({} span(s) detached from the tree)",
+                spans.len() - emitted
+            );
+        }
     }
     Ok(())
 }

@@ -51,6 +51,12 @@ pub struct ChaosConfig {
     pub truncate_rate: f64,
     /// Probability a delivered batch replays an event.
     pub duplicate_rate: f64,
+    /// Wall-clock delay injected into every harvest call, in
+    /// milliseconds (default 0: no delay). Unlike the fault rates this is
+    /// deterministic — every harvest sleeps — which makes it the knob the
+    /// tracing e2e tests turn to manufacture a provably slow `sync` whose
+    /// time is attributable to the provider stage.
+    pub harvest_delay_ms: u64,
 }
 
 impl ChaosConfig {
@@ -64,6 +70,7 @@ impl ChaosConfig {
             corrupt_rate: 0.0,
             truncate_rate: 0.0,
             duplicate_rate: 0.0,
+            harvest_delay_ms: 0,
         }
     }
 
@@ -78,6 +85,7 @@ impl ChaosConfig {
             corrupt_rate: 0.15,
             truncate_rate: 0.10,
             duplicate_rate: 0.10,
+            harvest_delay_ms: 0,
         }
     }
 
@@ -113,6 +121,13 @@ impl ChaosConfig {
     #[must_use]
     pub fn with_duplicate_rate(mut self, rate: f64) -> Self {
         self.duplicate_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the deterministic per-harvest delay.
+    #[must_use]
+    pub fn with_harvest_delay_ms(mut self, delay_ms: u64) -> Self {
+        self.harvest_delay_ms = delay_ms;
         self
     }
 }
@@ -317,6 +332,11 @@ impl<P: CloudProvider> CloudProvider for ChaosProvider<P> {
         years: f64,
         seed: u64,
     ) -> Result<ProviderTelemetry, BrokerError> {
+        if self.config.harvest_delay_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(
+                self.config.harvest_delay_ms,
+            ));
+        }
         if self.roll() < self.config.harvest_timeout_rate {
             self.stats.lock().harvest_timeouts += 1;
             return Err(BrokerError::Timeout {

@@ -103,6 +103,22 @@ impl BrokerService {
         &self,
         request: &SolutionRequest,
     ) -> Result<MetacloudRecommendation, BrokerError> {
+        self.recommend_metacloud_traced(request, &uptime_obs::TraceSpan::disabled())
+    }
+
+    /// [`Self::recommend_metacloud`] under a request trace: hangs a
+    /// `broker.recommend.metacloud` span — with the engine child carrying
+    /// the search counters — below `parent`. Identical answer otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::recommend_metacloud`].
+    pub fn recommend_metacloud_traced(
+        &self,
+        request: &SolutionRequest,
+        parent: &uptime_obs::TraceSpan,
+    ) -> Result<MetacloudRecommendation, BrokerError> {
+        let mut trace_span = parent.child("broker.recommend.metacloud");
         if request.topology().is_some() {
             // The metacloud search already spreads tiers across clouds;
             // an archetype shape on top has no defined placement space.
@@ -165,11 +181,16 @@ impl BrokerService {
         // of materializing every evaluation. Both backends return the
         // same winner; branch-and-bound additionally prunes subtrees the
         // admissible bound proves suboptimal.
+        trace_span.attr_u64("variants", u64::try_from(searched).unwrap_or(u64::MAX));
         let outcome = match self.engine() {
             SearchEngine::Exhaustive => parallel::search_best(&space, &model, Objective::MinTco),
-            SearchEngine::BranchBound => {
-                branch_bound::search_with_threads_recorded(&space, &model, 0, self.obs_recorder())
-            }
+            SearchEngine::BranchBound => branch_bound::search_with_threads_recorded(
+                &space,
+                &model,
+                0,
+                self.obs_recorder(),
+                &trace_span,
+            ),
         };
         let best = outcome.best().ok_or(BrokerError::NoCandidates)?.clone();
 

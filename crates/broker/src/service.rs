@@ -423,11 +423,40 @@ impl BrokerService {
         years: f64,
         seed: u64,
     ) -> Result<EstimatedParameters, BrokerError> {
+        self.sync_telemetry_traced(
+            cloud,
+            kind,
+            fleet,
+            years,
+            seed,
+            &uptime_obs::TraceSpan::disabled(),
+        )
+    }
+
+    /// [`Self::sync_telemetry`] under a request trace: hangs a
+    /// `broker.sync` span — with `broker.sync.harvest` and absorb children
+    /// attributing time to the provider call vs the catalog merge — below
+    /// `parent`. Identical behaviour otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::sync_telemetry`].
+    pub fn sync_telemetry_traced(
+        &self,
+        cloud: &CloudId,
+        kind: ComponentKind,
+        fleet: u32,
+        years: f64,
+        seed: u64,
+        parent: &uptime_obs::TraceSpan,
+    ) -> Result<EstimatedParameters, BrokerError> {
         let rec = &*self.recorder;
         let _span = uptime_obs::span!(rec, "broker.sync");
+        let trace_span = parent.child("broker.sync");
         // Harvest phase: providers lock only (never held across the
         // catalog lock taken during ingestion).
         let telemetry = {
+            let mut harvest_span = trace_span.child("broker.sync.harvest");
             let mut providers = self.providers.write();
             let slot =
                 providers
@@ -462,6 +491,7 @@ impl BrokerService {
                 "broker.sync.retries",
                 u64::from(outcome.attempts.saturating_sub(1)),
             );
+            harvest_span.attr_u64("attempts", u64::from(outcome.attempts));
             match outcome.result {
                 Ok(telemetry) => {
                     slot.breaker.record_success();
@@ -507,7 +537,7 @@ impl BrokerService {
                 }
             }
         };
-        self.ingest_component_telemetry(cloud, kind, &telemetry)
+        self.ingest_component_telemetry_traced(cloud, kind, &telemetry, &trace_span)
     }
 
     /// Absorbs harvested component telemetry into the knowledge base:
@@ -530,6 +560,30 @@ impl BrokerService {
         kind: ComponentKind,
         telemetry: &ProviderTelemetry,
     ) -> Result<EstimatedParameters, BrokerError> {
+        self.ingest_component_telemetry_traced(
+            cloud,
+            kind,
+            telemetry,
+            &uptime_obs::TraceSpan::disabled(),
+        )
+    }
+
+    /// [`Self::ingest_component_telemetry`] under a request trace: hangs a
+    /// `broker.absorb` span — with a `broker.journal.append` child around
+    /// the write-ahead — below `parent`. Identical behaviour otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::ingest_component_telemetry`].
+    pub fn ingest_component_telemetry_traced(
+        &self,
+        cloud: &CloudId,
+        kind: ComponentKind,
+        telemetry: &ProviderTelemetry,
+        parent: &uptime_obs::TraceSpan,
+    ) -> Result<EstimatedParameters, BrokerError> {
+        let mut absorb_span = parent.child("broker.absorb");
+        absorb_span.attr_u64("clusters", u64::from(telemetry.clusters));
         if let Err(reason) = validate_batch(telemetry) {
             self.note_quarantine(cloud, IncidentCategory::TelemetryRejected, &reason);
             return Err(BrokerError::TelemetryRejected { reason });
@@ -576,6 +630,7 @@ impl BrokerService {
             // append aborts the absorb — the journal never lags the
             // in-memory state.
             if let Some(durability) = &self.durability {
+                let _journal_span = absorb_span.child("broker.journal.append");
                 let epoch_after = self.epoch.load(std::sync::atomic::Ordering::Acquire) + 1;
                 let entry = JournalEntry {
                     schema_version: JOURNAL_SCHEMA_VERSION,
@@ -701,11 +756,28 @@ impl BrokerService {
     ///   not exist for its tier.
     /// * Catalog/space errors for missing prices or reliability records.
     pub fn recommend(&self, request: &SolutionRequest) -> Result<Recommendation, BrokerError> {
+        self.recommend_traced(request, &uptime_obs::TraceSpan::disabled())
+    }
+
+    /// [`Self::recommend`] under a request trace: hangs a
+    /// `broker.recommend` span — with engine-level children carrying the
+    /// search counters — below `parent`. Identical answer bytes; the only
+    /// difference is what lands in the flight recorder.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::recommend`].
+    pub fn recommend_traced(
+        &self,
+        request: &SolutionRequest,
+        parent: &uptime_obs::TraceSpan,
+    ) -> Result<Recommendation, BrokerError> {
         if let Some(topology) = request.topology() {
-            return self.recommend_archetype(request, topology);
+            return self.recommend_archetype(request, topology, parent);
         }
         let rec = &*self.recorder;
         let _span = uptime_obs::span!(rec, "broker.recommend");
+        let trace_span = parent.child("broker.recommend");
         let catalog = self.catalog.read();
         let clouds = resolve_clouds(&catalog, request)?;
 
@@ -733,8 +805,13 @@ impl BrokerService {
 
             let (outcome, ordered) = match self.engine {
                 SearchEngine::Exhaustive => {
-                    let outcome =
-                        exhaustive::search_recorded(&space, &model, Objective::MinTco, rec);
+                    let outcome = exhaustive::search_recorded(
+                        &space,
+                        &model,
+                        Objective::MinTco,
+                        rec,
+                        &trace_span,
+                    );
                     // Paper numbering: ascending cardinality, then
                     // mixed-radix value.
                     let mut ordered: Vec<Evaluation> = outcome.evaluations().to_vec();
@@ -747,8 +824,13 @@ impl BrokerService {
                     // Streaming: the engine proves the winner without
                     // visiting most of the space, so the option table is
                     // trimmed to the winner plus the declared as-is.
-                    let outcome =
-                        branch_bound::search_with_threads_recorded(&space, &model, 0, rec);
+                    let outcome = branch_bound::search_with_threads_recorded(
+                        &space,
+                        &model,
+                        0,
+                        rec,
+                        &trace_span,
+                    );
                     let winner = outcome.best().ok_or(BrokerError::NoCandidates)?.clone();
                     let mut ordered = vec![winner];
                     if let Some(assignment) = &as_is_assignment {
@@ -827,9 +909,11 @@ impl BrokerService {
         &self,
         request: &SolutionRequest,
         topology: &str,
+        parent: &uptime_obs::TraceSpan,
     ) -> Result<Recommendation, BrokerError> {
         let rec = &*self.recorder;
         let _span = uptime_obs::span!(rec, "broker.recommend.archetype");
+        let trace_span = parent.child("broker.recommend.archetype");
         let archetype: Archetype =
             topology
                 .parse()
@@ -860,6 +944,7 @@ impl BrokerService {
                         // Small enough to rank every variant the way the
                         // paper numbers them: ascending cardinality, then
                         // mixed-radix value.
+                        let mut table_span = trace_span.child("optimizer.composition.table");
                         let evaluator = CompositionEvaluator::new(&space, &model);
                         let mut cursor = evaluator.cursor();
                         let mut ordered = vec![cursor.evaluation()];
@@ -876,15 +961,28 @@ impl BrokerService {
                                 composition_assignment_value(&space, e.assignment()),
                             )
                         });
+                        table_span.attr_u64("variants", stats.evaluated);
                         (ordered, stats)
                     } else {
-                        let outcome = composition::search(&space, &model, Objective::MinTco);
+                        let outcome = composition::search_recorded(
+                            &space,
+                            &model,
+                            Objective::MinTco,
+                            rec,
+                            &trace_span,
+                        );
                         let best = outcome.best().cloned().ok_or(BrokerError::NoCandidates)?;
                         (vec![best], outcome.stats())
                     }
                 }
                 SearchEngine::BranchBound => {
-                    let outcome = composition_bnb::search_with_threads(&space, &model, 0);
+                    let outcome = composition_bnb::search_with_threads_recorded(
+                        &space,
+                        &model,
+                        0,
+                        rec,
+                        &trace_span,
+                    );
                     let best = outcome.best().cloned().ok_or(BrokerError::NoCandidates)?;
                     (vec![best], outcome.stats())
                 }

@@ -167,6 +167,7 @@ pub fn canonical_fingerprint(endpoint: &str, request: &SolutionRequest) -> u128 
 pub struct ServingBroker {
     service: Arc<BrokerService>,
     sync_targets: Vec<(CloudId, Vec<ComponentKind>)>,
+    flight_recorder: Option<Arc<uptime_obs::FlightRecorder>>,
 }
 
 impl ServingBroker {
@@ -177,6 +178,7 @@ impl ServingBroker {
         ServingBroker {
             service,
             sync_targets: Vec::new(),
+            flight_recorder: None,
         }
     }
 
@@ -185,6 +187,16 @@ impl ServingBroker {
     #[must_use]
     pub fn with_sync_targets(mut self, targets: Vec<(CloudId, Vec<ComponentKind>)>) -> Self {
         self.sync_targets = targets;
+        self
+    }
+
+    /// Shares the daemon's flight recorder so `health` can report ring
+    /// occupancy alongside broker health. (Broker spans attach to the
+    /// request trace through [`ServeBackend::handle_traced`] regardless;
+    /// this only feeds the health payload.)
+    #[must_use]
+    pub fn with_flight_recorder(mut self, recorder: Arc<uptime_obs::FlightRecorder>) -> Self {
+        self.flight_recorder = Some(recorder);
         self
     }
 
@@ -199,15 +211,45 @@ impl ServingBroker {
     }
 
     fn health_body(&self) -> Value {
+        let trace = match &self.flight_recorder {
+            Some(recorder) => {
+                let stats = recorder.stats();
+                serde_json::json!({
+                    "enabled": true,
+                    "capacity": stats.capacity,
+                    "occupancy": stats.occupancy,
+                    "completed": stats.completed,
+                    "recorded": stats.recorded,
+                    "sampled_out": stats.sampled_out,
+                    "evicted": stats.evicted,
+                    "unwound": stats.unwound,
+                })
+            }
+            None => serde_json::json!({
+                "enabled": false,
+                "capacity": 0,
+                "occupancy": 0,
+                "completed": 0,
+                "recorded": 0,
+                "sampled_out": 0,
+                "evicted": 0,
+                "unwound": 0,
+            }),
+        };
         serde_json::json!({
             "schema_version": HEALTH_SCHEMA_VERSION,
             "epoch": self.service.telemetry_epoch(),
             "health": self.service.health(),
             "incidents": self.service.incidents(),
+            "trace": trace,
         })
     }
 
-    fn sync_body(&self, body: &Value) -> Result<Value, BackendError> {
+    fn sync_body(
+        &self,
+        body: &Value,
+        parent: &uptime_obs::TraceSpan,
+    ) -> Result<Value, BackendError> {
         let seed = match body.get("seed") {
             None | Some(Value::Null) => 7,
             Some(value) => value
@@ -218,12 +260,13 @@ impl ServingBroker {
         let mut rejected = 0u64;
         for (cloud, kinds) in &self.sync_targets {
             for (k, kind) in kinds.iter().enumerate() {
-                match self.service.sync_telemetry(
+                match self.service.sync_telemetry_traced(
                     cloud,
                     *kind,
                     20,
                     5.0,
                     seed.wrapping_add(k as u64 * 31),
+                    parent,
                 ) {
                     Ok(_) => accepted += 1,
                     Err(_) => rejected += 1,
@@ -266,22 +309,34 @@ impl ServeBackend for ServingBroker {
     }
 
     fn handle(&self, endpoint: &str, body: &Value) -> Result<Value, BackendError> {
+        self.handle_traced(endpoint, body, &uptime_obs::TraceSpan::disabled())
+    }
+
+    fn handle_traced(
+        &self,
+        endpoint: &str,
+        body: &Value,
+        parent: &uptime_obs::TraceSpan,
+    ) -> Result<Value, BackendError> {
         match endpoint {
             "recommend" => {
                 let request = Self::parse_request(body)?;
-                let recommendation = self.service.recommend(&request).map_err(|e| classify(&e))?;
+                let recommendation = self
+                    .service
+                    .recommend_traced(&request, parent)
+                    .map_err(|e| classify(&e))?;
                 Ok(serde_json::to_value(&recommendation))
             }
             "metacloud" => {
                 let request = Self::parse_request(body)?;
                 let recommendation = self
                     .service
-                    .recommend_metacloud(&request)
+                    .recommend_metacloud_traced(&request, parent)
                     .map_err(|e| classify(&e))?;
                 Ok(serde_json::to_value(&recommendation))
             }
             "health" => Ok(self.health_body()),
-            "sync" => self.sync_body(body),
+            "sync" => self.sync_body(body, parent),
             other => Err(BackendError::UnknownEndpoint(other.to_owned())),
         }
     }

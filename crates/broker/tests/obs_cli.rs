@@ -207,3 +207,32 @@ fn help_documents_exit_codes() {
         );
     }
 }
+
+#[test]
+fn obs_watch_emits_counter_delta_lines() {
+    let output = brokerctl(&["obs", "--watch", "0", "--iters", "2"]);
+    assert!(output.status.success(), "{output:?}");
+    let text = String::from_utf8(output.stdout).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "one JSON line per tick: {text}");
+    for (i, line) in lines.iter().enumerate() {
+        let value: Value = serde_json::from_str(line).expect("tick line is JSON");
+        assert_eq!(
+            *get(&value, "tick"),
+            serde_json::json!((i + 1) as u64),
+            "{line}"
+        );
+        let deltas = get(&value, "deltas").as_object().expect("deltas object");
+        // Every tick drives one recommend, so its counter moves by
+        // exactly one; deltas are growth-only and strictly positive.
+        assert_eq!(
+            deltas.get("broker.recommend.calls"),
+            Some(&serde_json::json!(1u64)),
+            "{line}"
+        );
+        assert!(
+            deltas.values().all(|v| v.as_u64().is_some_and(|n| n > 0)),
+            "deltas must be positive integers: {line}"
+        );
+    }
+}

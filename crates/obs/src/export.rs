@@ -115,7 +115,7 @@ fn histogram_json(h: &HistogramSnapshot) -> String {
 
 /// A finite f64 as a JSON number (always with a decimal point or exponent
 /// so consumers parse it as floating); non-finite values become `null`.
-fn json_number(value: f64) -> String {
+pub(crate) fn json_number(value: f64) -> String {
     if !value.is_finite() {
         return "null".to_owned();
     }
@@ -125,7 +125,7 @@ fn json_number(value: f64) -> String {
 }
 
 /// A JSON string literal with the mandatory escapes.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

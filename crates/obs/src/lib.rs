@@ -66,6 +66,7 @@ mod recorder;
 mod registry;
 mod ring;
 mod span;
+pub mod trace;
 
 pub use recorder::{NoopRecorder, Recorder, NOOP};
 pub use registry::{
@@ -74,3 +75,8 @@ pub use registry::{
 };
 pub use ring::{EventRecord, EventRing};
 pub use span::SpanGuard;
+pub use trace::{
+    trace_seed_from_bytes, trace_seed_from_fingerprint, traces_to_chrome, traces_to_json,
+    ActiveTrace, FlightRecorder, RecorderStats, TraceConfig, TraceContext, TraceOutcome,
+    TraceRecord, TraceSpan, TRACE_SCHEMA_VERSION,
+};

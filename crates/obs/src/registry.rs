@@ -189,6 +189,21 @@ impl MetricsSnapshot {
             .ok()
             .map(|i| &self.histograms[i])
     }
+
+    /// Counter deltas since `earlier`: every counter whose value grew,
+    /// with how much it grew by, sorted by name. Counters absent from
+    /// `earlier` count from zero; counters that did not move are omitted
+    /// — the diffing layer behind `brokerctl obs --watch`.
+    #[must_use]
+    pub fn counter_deltas(&self, earlier: &MetricsSnapshot) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .filter_map(|(name, now)| {
+                let before = earlier.counter(name).unwrap_or(0);
+                (*now > before).then(|| (name.clone(), now - before))
+            })
+            .collect()
+    }
 }
 
 /// Exported state of one histogram.
@@ -477,5 +492,22 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(r.snapshot().counter("contended"), Some(8000));
+    }
+
+    #[test]
+    fn counter_deltas_report_growth_only() {
+        let r = MetricsRegistry::new();
+        r.counter_add("a", 3);
+        r.counter_add("b", 1);
+        let before = r.snapshot();
+        r.counter_add("a", 2);
+        r.counter_add("c", 7);
+        let after = r.snapshot();
+        assert_eq!(
+            after.counter_deltas(&before),
+            vec![("a".to_owned(), 2), ("c".to_owned(), 7)],
+            "unchanged counters are omitted, new ones count from zero"
+        );
+        assert!(after.counter_deltas(&after).is_empty());
     }
 }

@@ -213,15 +213,20 @@ pub fn search_with_threads(space: &SearchSpace, model: &TcoModel, threads: usize
 /// `optimizer.bnb.search` span and flushes the [`BnbStats`] counters
 /// (`optimizer.bnb.{tasks,nodes_visited,leaves_evaluated,subtrees_pruned,`
 /// `variants_skipped}` plus the `optimizer.bnb.threads` gauge) when it
-/// finishes. The descent itself never touches the recorder.
+/// finishes. The descent itself never touches the recorder. `parent`
+/// hangs a matching trace span carrying the same tree-shape counters as
+/// attributes under the caller's request trace; pass
+/// [`uptime_obs::TraceSpan::disabled`] outside a traced request.
 #[must_use]
 pub fn search_with_threads_recorded(
     space: &SearchSpace,
     model: &TcoModel,
     threads: usize,
     rec: &dyn uptime_obs::Recorder,
+    parent: &uptime_obs::TraceSpan,
 ) -> SearchOutcome {
     let _span = uptime_obs::span!(rec, "optimizer.bnb.search");
+    let mut trace_span = parent.child("optimizer.bnb.search");
     let (outcome, stats) = search_with_stats(space, model, threads);
     rec.gauge_set("optimizer.bnb.threads", stats.threads as f64);
     rec.counter_add("optimizer.bnb.tasks", stats.tasks);
@@ -229,6 +234,11 @@ pub fn search_with_threads_recorded(
     rec.counter_add("optimizer.bnb.leaves_evaluated", stats.leaves_evaluated);
     rec.counter_add("optimizer.bnb.subtrees_pruned", stats.subtrees_pruned);
     rec.counter_add("optimizer.bnb.variants_skipped", stats.variants_skipped);
+    trace_span.attr_u64("tasks", stats.tasks);
+    trace_span.attr_u64("nodes_visited", stats.nodes_visited);
+    trace_span.attr_u64("leaves_evaluated", stats.leaves_evaluated);
+    trace_span.attr_u64("subtrees_pruned", stats.subtrees_pruned);
+    trace_span.attr_u64("variants_skipped", stats.variants_skipped);
     outcome
 }
 
@@ -661,7 +671,13 @@ mod tests {
         let model = case_study::tco_model();
         let registry = uptime_obs::MetricsRegistry::new();
         let plain = search_with_threads(&space, &model, 1);
-        let recorded = search_with_threads_recorded(&space, &model, 1, &registry);
+        let recorded = search_with_threads_recorded(
+            &space,
+            &model,
+            1,
+            &registry,
+            &uptime_obs::TraceSpan::disabled(),
+        );
         assert_eq!(
             plain.best().unwrap(),
             recorded.best().unwrap(),

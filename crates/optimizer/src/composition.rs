@@ -883,6 +883,27 @@ pub fn search(space: &CompositionSpace, model: &TcoModel, objective: Objective) 
     )
 }
 
+/// [`search`] with observability: the identical streaming fold wrapped in
+/// an `optimizer.composition.search` span, flushing
+/// `optimizer.composition.variants` once at the end. `parent` hangs a
+/// matching trace span (variant count attached) under the caller's
+/// request trace; pass [`uptime_obs::TraceSpan::disabled`] outside one.
+#[must_use]
+pub fn search_recorded(
+    space: &CompositionSpace,
+    model: &TcoModel,
+    objective: Objective,
+    rec: &dyn uptime_obs::Recorder,
+    parent: &uptime_obs::TraceSpan,
+) -> SearchOutcome {
+    let _span = uptime_obs::span!(rec, "optimizer.composition.search");
+    let mut trace_span = parent.child("optimizer.composition.search");
+    let outcome = search(space, model, objective);
+    rec.counter_add("optimizer.composition.variants", outcome.stats().evaluated);
+    trace_span.attr_u64("variants", outcome.stats().evaluated);
+    outcome
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -168,6 +168,49 @@ pub fn search_with_threads(
     search_with_stats(space, model, threads).0
 }
 
+/// [`search_with_threads`] with observability: the run wrapped in an
+/// `optimizer.composition_bnb.search` span, the [`BnbStats`] counters
+/// flushed as `optimizer.composition_bnb.*` once at the end. `parent`
+/// hangs a matching trace span carrying the same tree-shape counters as
+/// attributes under the caller's request trace; pass
+/// [`uptime_obs::TraceSpan::disabled`] outside a traced request.
+#[must_use]
+pub fn search_with_threads_recorded(
+    space: &CompositionSpace,
+    model: &TcoModel,
+    threads: usize,
+    rec: &dyn uptime_obs::Recorder,
+    parent: &uptime_obs::TraceSpan,
+) -> SearchOutcome {
+    let _span = uptime_obs::span!(rec, "optimizer.composition_bnb.search");
+    let mut trace_span = parent.child("optimizer.composition_bnb.search");
+    let (outcome, stats) = search_with_stats(space, model, threads);
+    rec.gauge_set("optimizer.composition_bnb.threads", stats.threads as f64);
+    rec.counter_add("optimizer.composition_bnb.tasks", stats.tasks);
+    rec.counter_add(
+        "optimizer.composition_bnb.nodes_visited",
+        stats.nodes_visited,
+    );
+    rec.counter_add(
+        "optimizer.composition_bnb.leaves_evaluated",
+        stats.leaves_evaluated,
+    );
+    rec.counter_add(
+        "optimizer.composition_bnb.subtrees_pruned",
+        stats.subtrees_pruned,
+    );
+    rec.counter_add(
+        "optimizer.composition_bnb.variants_skipped",
+        stats.variants_skipped,
+    );
+    trace_span.attr_u64("tasks", stats.tasks);
+    trace_span.attr_u64("nodes_visited", stats.nodes_visited);
+    trace_span.attr_u64("leaves_evaluated", stats.leaves_evaluated);
+    trace_span.attr_u64("subtrees_pruned", stats.subtrees_pruned);
+    trace_span.attr_u64("variants_skipped", stats.variants_skipped);
+    outcome
+}
+
 /// [`search_with_threads`] returning the tree-shape instrumentation
 /// alongside the outcome — what `composition_bench` serializes.
 #[must_use]

@@ -42,16 +42,22 @@ pub fn search(space: &SearchSpace, model: &TcoModel, objective: Objective) -> Se
 /// [`search`] with observability: the identical enumeration wrapped in an
 /// `optimizer.exhaustive.search` span, flushing
 /// `optimizer.exhaustive.variants` once at the end (never per variant).
+/// `parent` hangs a matching trace span (variant count attached) under
+/// the caller's request trace; pass
+/// [`uptime_obs::TraceSpan::disabled`] outside a traced request.
 #[must_use]
 pub fn search_recorded(
     space: &SearchSpace,
     model: &TcoModel,
     objective: Objective,
     rec: &dyn uptime_obs::Recorder,
+    parent: &uptime_obs::TraceSpan,
 ) -> SearchOutcome {
     let _span = uptime_obs::span!(rec, "optimizer.exhaustive.search");
+    let mut trace_span = parent.child("optimizer.exhaustive.search");
     let outcome = search_core(space, model, objective);
     rec.counter_add("optimizer.exhaustive.variants", outcome.stats().evaluated);
+    trace_span.attr_u64("variants", outcome.stats().evaluated);
     outcome
 }
 
@@ -119,7 +125,13 @@ mod tests {
         let model = case_study::tco_model();
         let registry = uptime_obs::MetricsRegistry::new();
         let plain = search(&space, &model, Objective::MinTco);
-        let recorded = search_recorded(&space, &model, Objective::MinTco, &registry);
+        let recorded = search_recorded(
+            &space,
+            &model,
+            Objective::MinTco,
+            &registry,
+            &uptime_obs::TraceSpan::disabled(),
+        );
         assert_eq!(plain, recorded, "instrumentation must not change results");
         let snap = registry.snapshot();
         assert_eq!(snap.counter("optimizer.exhaustive.variants"), Some(8));

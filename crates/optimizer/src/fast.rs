@@ -400,20 +400,26 @@ pub fn search(space: &SearchSpace, model: &TcoModel, objective: Objective) -> Se
 /// loop finishes. The hot loop itself never touches the recorder, so a
 /// no-op recorder costs two dynamic calls per *search*, not per variant —
 /// the <5 % overhead budget asserted by `crates/bench/tests/obs_overhead.rs`.
+/// `parent` hangs a per-request `optimizer.fast.search` trace span (with
+/// the same counters as attributes) under the caller's trace; pass
+/// [`uptime_obs::TraceSpan::disabled`] outside a traced request.
 #[must_use]
 pub fn search_recorded(
     space: &SearchSpace,
     model: &TcoModel,
     objective: Objective,
     rec: &dyn uptime_obs::Recorder,
+    parent: &uptime_obs::TraceSpan,
 ) -> SearchOutcome {
     let _span = uptime_obs::span!(rec, "optimizer.fast.search");
+    let mut trace_span = parent.child("optimizer.fast.search");
     let outcome = search_core(space, model, objective);
     rec.counter_add("optimizer.fast.variants", outcome.stats().evaluated);
     rec.counter_add(
         "optimizer.fast.cursor_advances",
         outcome.stats().evaluated.saturating_sub(1),
     );
+    trace_span.attr_u64("variants", outcome.stats().evaluated);
     outcome
 }
 
@@ -566,7 +572,13 @@ mod tests {
         let model = case_study::tco_model();
         let registry = uptime_obs::MetricsRegistry::new();
         let plain = search(&space, &model, Objective::MinTco);
-        let recorded = search_recorded(&space, &model, Objective::MinTco, &registry);
+        let recorded = search_recorded(
+            &space,
+            &model,
+            Objective::MinTco,
+            &registry,
+            &uptime_obs::TraceSpan::disabled(),
+        );
         assert_eq!(plain, recorded, "instrumentation must not change results");
         let snap = registry.snapshot();
         assert_eq!(snap.counter("optimizer.fast.variants"), Some(8));

@@ -89,9 +89,13 @@ pub fn search_with_threads_recorded(
     objective: Objective,
     threads: usize,
     rec: &dyn uptime_obs::Recorder,
+    parent: &uptime_obs::TraceSpan,
 ) -> SearchOutcome {
     let _span = uptime_obs::span!(rec, "optimizer.parallel.search");
-    search_with_threads_core(space, model, objective, threads, rec)
+    let mut trace_span = parent.child("optimizer.parallel.search");
+    let outcome = search_with_threads_core(space, model, objective, threads, rec);
+    trace_span.attr_u64("variants", outcome.stats().evaluated);
+    outcome
 }
 
 fn search_with_threads_core(
@@ -207,9 +211,13 @@ pub fn search_best_with_threads_recorded(
     objective: Objective,
     threads: usize,
     rec: &dyn uptime_obs::Recorder,
+    parent: &uptime_obs::TraceSpan,
 ) -> SearchOutcome {
     let _span = uptime_obs::span!(rec, "optimizer.parallel.search_best");
-    search_best_with_threads_core(space, model, objective, threads, rec)
+    let mut trace_span = parent.child("optimizer.parallel.search_best");
+    let outcome = search_best_with_threads_core(space, model, objective, threads, rec);
+    trace_span.attr_u64("variants", outcome.stats().evaluated);
+    outcome
 }
 
 fn search_best_with_threads_core(
@@ -361,13 +369,25 @@ mod tests {
         let registry = uptime_obs::MetricsRegistry::new();
 
         let plain = search_with_threads(&space, &model, Objective::MinTco, 3);
-        let recorded =
-            search_with_threads_recorded(&space, &model, Objective::MinTco, 3, &registry);
+        let recorded = search_with_threads_recorded(
+            &space,
+            &model,
+            Objective::MinTco,
+            3,
+            &registry,
+            &uptime_obs::TraceSpan::disabled(),
+        );
         assert_eq!(plain, recorded, "instrumentation must not change results");
 
         let plain_best = search_best_with_threads(&space, &model, Objective::MinTco, 3);
-        let recorded_best =
-            search_best_with_threads_recorded(&space, &model, Objective::MinTco, 3, &registry);
+        let recorded_best = search_best_with_threads_recorded(
+            &space,
+            &model,
+            Objective::MinTco,
+            3,
+            &registry,
+            &uptime_obs::TraceSpan::disabled(),
+        );
         assert_eq!(plain_best.best(), recorded_best.best());
 
         let snap = registry.snapshot();

@@ -64,15 +64,19 @@ pub fn search(space: &SearchSpace, model: &TcoModel, objective: Objective) -> Se
 /// [`search`] with observability: an `optimizer.pruned.search` span around
 /// the identical algorithm, flushing `optimizer.pruned.evaluated`,
 /// `optimizer.pruned.skipped`, and the `optimizer.pruned.cut_rate` gauge
-/// (skipped / considered) once at the end.
+/// (skipped / considered) once at the end. `parent` hangs a matching
+/// trace span (evaluated/skipped attached) under the caller's request
+/// trace; pass [`uptime_obs::TraceSpan::disabled`] outside one.
 #[must_use]
 pub fn search_recorded(
     space: &SearchSpace,
     model: &TcoModel,
     objective: Objective,
     rec: &dyn uptime_obs::Recorder,
+    parent: &uptime_obs::TraceSpan,
 ) -> SearchOutcome {
     let _span = uptime_obs::span!(rec, "optimizer.pruned.search");
+    let mut trace_span = parent.child("optimizer.pruned.search");
     let outcome = search_core(space, model, objective);
     let stats = outcome.stats();
     rec.counter_add("optimizer.pruned.evaluated", stats.evaluated);
@@ -84,6 +88,8 @@ pub fn search_recorded(
             stats.skipped as f64 / considered as f64,
         );
     }
+    trace_span.attr_u64("evaluated", stats.evaluated);
+    trace_span.attr_u64("skipped", stats.skipped);
     outcome
 }
 
@@ -220,7 +226,13 @@ mod tests {
         let model = case_study::tco_model();
         let registry = uptime_obs::MetricsRegistry::new();
         let plain = search(&space, &model, Objective::MinTco);
-        let recorded = search_recorded(&space, &model, Objective::MinTco, &registry);
+        let recorded = search_recorded(
+            &space,
+            &model,
+            Objective::MinTco,
+            &registry,
+            &uptime_obs::TraceSpan::disabled(),
+        );
         assert_eq!(plain, recorded, "instrumentation must not change results");
         let snap = registry.snapshot();
         assert_eq!(snap.counter("optimizer.pruned.evaluated"), Some(7));

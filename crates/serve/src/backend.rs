@@ -84,4 +84,24 @@ pub trait ServeBackend: Send + Sync + 'static {
     ///
     /// Returns a [`BackendError`] classifying the failure.
     fn handle(&self, endpoint: &str, body: &Value) -> Result<Value, BackendError>;
+
+    /// [`Self::handle`] under a request trace: backends that want their
+    /// own stage spans in the flight recorder override this and hang
+    /// children below `parent`. The default ignores the span — a backend
+    /// without trace plumbing serves identically, it just contributes no
+    /// sub-spans. The answer must be byte-identical to [`Self::handle`]:
+    /// traces attribute time, they never change results.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::handle`].
+    fn handle_traced(
+        &self,
+        endpoint: &str,
+        body: &Value,
+        parent: &uptime_obs::TraceSpan,
+    ) -> Result<Value, BackendError> {
+        let _ = parent;
+        self.handle(endpoint, body)
+    }
 }

@@ -40,10 +40,15 @@ pub struct RequestFrame {
     /// Client-chosen correlation id, echoed back verbatim (default 0).
     pub id: u64,
     /// The endpoint name, e.g. `recommend`, `metacloud`, `health`,
-    /// `sync`, `ping`, `stats`, `shutdown`.
+    /// `sync`, `ping`, `stats`, `traces`, `shutdown`.
     pub endpoint: String,
     /// Endpoint-specific request body (default `null`).
     pub body: Value,
+    /// Ask for an inline per-stage timing breakdown in the response
+    /// (default `false`, omitted on the wire when false). The flag lives
+    /// on the frame — not the body — so cache keys and answer bytes are
+    /// untouched by it.
+    pub explain: bool,
 }
 
 impl RequestFrame {
@@ -55,7 +60,15 @@ impl RequestFrame {
             id,
             endpoint: endpoint.into(),
             body,
+            explain: false,
         }
+    }
+
+    /// Requests the inline per-stage timing breakdown.
+    #[must_use]
+    pub fn with_explain(mut self, explain: bool) -> Self {
+        self.explain = explain;
+        self
     }
 }
 
@@ -67,6 +80,9 @@ impl Serialize for RequestFrame {
         map.insert("endpoint".into(), self.endpoint.to_value());
         if !self.body.is_null() {
             map.insert("body".into(), self.body.clone());
+        }
+        if self.explain {
+            map.insert("explain".into(), self.explain.to_value());
         }
         Value::Object(map)
     }
@@ -90,11 +106,16 @@ impl Deserialize for RequestFrame {
             None => return Err(DeError::missing_field("endpoint")),
         };
         let body = map.get("body").cloned().unwrap_or(Value::Null);
+        let explain = match map.get("explain") {
+            Some(v) if !v.is_null() => bool::from_value(v).map_err(|e| e.in_field("explain"))?,
+            _ => false,
+        };
         Ok(RequestFrame {
             v,
             id,
             endpoint,
             body,
+            explain,
         })
     }
 }
@@ -162,6 +183,9 @@ pub struct ResponseFrame {
     pub body: Option<Value>,
     /// Human-readable error detail (omitted on success).
     pub error: Option<String>,
+    /// Per-stage timing breakdown, present only when the request asked
+    /// for `explain: true` and tracing is enabled on the daemon.
+    pub explain: Option<Value>,
 }
 
 impl ResponseFrame {
@@ -178,6 +202,7 @@ impl ResponseFrame {
             epoch,
             body: Some(body),
             error: None,
+            explain: None,
         }
     }
 
@@ -194,6 +219,7 @@ impl ResponseFrame {
             epoch,
             body: None,
             error: Some(detail.into()),
+            explain: None,
         }
     }
 
@@ -210,7 +236,15 @@ impl ResponseFrame {
             epoch,
             body: None,
             error: Some(detail.into()),
+            explain: None,
         }
+    }
+
+    /// Attaches a per-stage timing breakdown.
+    #[must_use]
+    pub fn with_explain(mut self, explain: Option<Value>) -> Self {
+        self.explain = explain;
+        self
     }
 
     /// Marks the response as served from cache.
@@ -244,6 +278,9 @@ impl Serialize for ResponseFrame {
         if let Some(error) = &self.error {
             map.insert("error".into(), error.to_value());
         }
+        if let Some(explain) = &self.explain {
+            map.insert("explain".into(), explain.clone());
+        }
         Value::Object(map)
     }
 }
@@ -269,6 +306,10 @@ impl Deserialize for ResponseFrame {
                 Some(v) if !v.is_null() => {
                     Some(String::from_value(v).map_err(|e| e.in_field("error"))?)
                 }
+                _ => None,
+            },
+            explain: match map.get("explain") {
+                Some(v) if !v.is_null() => Some(v.clone()),
                 _ => None,
             },
         })

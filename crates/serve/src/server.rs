@@ -24,7 +24,10 @@ use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
 use serde::Value;
-use uptime_obs::{MetricsRegistry, Recorder};
+use uptime_obs::{
+    trace_seed_from_bytes, trace_seed_from_fingerprint, ActiveTrace, FlightRecorder,
+    MetricsRegistry, Recorder, TraceConfig, TraceOutcome, TraceRecord,
+};
 
 use crate::backend::{BackendError, ServeBackend};
 use crate::cache::{EpochCache, Lookup};
@@ -53,6 +56,15 @@ pub struct ServerConfig {
     /// unbounded line would otherwise let one client buffer the daemon
     /// into the ground.
     pub max_frame_bytes: usize,
+    /// Request-trace tuning. With `trace.enabled = false` the daemon
+    /// serves with tracing fully inert (no recorder, no spans, no
+    /// atomics) and `traces`/`explain` report tracing as unavailable.
+    pub trace: TraceConfig,
+    /// A pre-built flight recorder to land traces in — share one with
+    /// the backend so its spans and the daemon's frame spans join the
+    /// same ring. `None` with `trace.enabled` makes the daemon build its
+    /// own private recorder.
+    pub flight_recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +76,8 @@ impl Default for ServerConfig {
             cache_capacity: 4096,
             read_timeout_ms: 30_000,
             max_frame_bytes: 1024 * 1024,
+            trace: TraceConfig::default(),
+            flight_recorder: None,
         }
     }
 }
@@ -90,6 +104,7 @@ struct Shared {
     local_addr: SocketAddr,
     read_timeout_ms: u64,
     max_frame_bytes: usize,
+    tracer: Option<Arc<FlightRecorder>>,
 }
 
 /// The serving daemon. Construct with [`Server::start`].
@@ -117,6 +132,16 @@ impl Server {
     ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let tracer = if config.trace.enabled {
+            Some(
+                config
+                    .flight_recorder
+                    .clone()
+                    .unwrap_or_else(|| Arc::new(FlightRecorder::new(config.trace))),
+            )
+        } else {
+            None
+        };
         let shared = Arc::new(Shared {
             backend,
             cache: EpochCache::new(config.cache_capacity),
@@ -131,6 +156,7 @@ impl Server {
             local_addr,
             read_timeout_ms: config.read_timeout_ms,
             max_frame_bytes: config.max_frame_bytes.max(1),
+            tracer,
         });
 
         let acceptor = {
@@ -169,6 +195,12 @@ impl ServerHandle {
     #[must_use]
     pub fn cache_len(&self) -> usize {
         self.shared.cache.len()
+    }
+
+    /// The flight recorder request traces land in, when tracing is on.
+    #[must_use]
+    pub fn flight_recorder(&self) -> Option<Arc<FlightRecorder>> {
+        self.shared.tracer.clone()
     }
 
     /// Triggers the drain and blocks until every admitted request has
@@ -383,6 +415,16 @@ fn dispatch(
                 &ResponseFrame::ok(frame.id, shared.backend.epoch(), body),
             );
         }
+        "traces" => match traces_body(shared, &frame.body) {
+            Ok(body) => write_frame(
+                out,
+                &ResponseFrame::ok(frame.id, shared.backend.epoch(), body),
+            ),
+            Err(detail) => write_frame(
+                out,
+                &ResponseFrame::error(frame.id, shared.backend.epoch(), code::BAD_REQUEST, detail),
+            ),
+        },
         "shutdown" => {
             write_frame(
                 out,
@@ -420,6 +462,14 @@ fn dispatch(
                 }
                 Err(PushError::Full(job)) => {
                     rec.counter_add("serve.shed", 1);
+                    // Sheds are always tail-sampling keepers: record a
+                    // one-span trace so overload shows up in the ring.
+                    if let Some(tracer) = &shared.tracer {
+                        let endpoint = sanitize_endpoint(&job.frame.endpoint);
+                        let trace =
+                            tracer.begin(trace_seed_from_bytes(endpoint.as_bytes()), &endpoint);
+                        trace.finish(TraceOutcome::Shed);
+                    }
                     write_frame(
                         &job.out,
                         &ResponseFrame::shed(
@@ -460,18 +510,26 @@ fn worker_loop(shared: &Arc<Shared>) {
 /// computation started under (the epoch the cache entry is keyed by).
 /// The body is rendered to its canonical JSON text exactly once here;
 /// cache hits and coalesced followers reuse the rendered bytes.
-fn execute(shared: &Shared, endpoint: &str, body: &Value) -> Result<(Arc<str>, u64), BackendError> {
+fn execute(
+    shared: &Shared,
+    endpoint: &str,
+    body: &Value,
+    parent: &uptime_obs::TraceSpan,
+) -> Result<(Arc<str>, u64), BackendError> {
     let epoch_before = shared.backend.epoch();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        shared.backend.handle(endpoint, body)
+        shared.backend.handle_traced(endpoint, body, parent)
     }));
     match outcome {
-        Ok(Ok(value)) => match serde_json::to_string(&value) {
-            Ok(text) => Ok((Arc::from(text), epoch_before)),
-            Err(err) => Err(BackendError::Internal(format!(
-                "unserializable body: {err}"
-            ))),
-        },
+        Ok(Ok(value)) => {
+            let _render_span = parent.child("serve.render");
+            match serde_json::to_string(&value) {
+                Ok(text) => Ok((Arc::from(text), epoch_before)),
+                Err(err) => Err(BackendError::Internal(format!(
+                    "unserializable body: {err}"
+                ))),
+            }
+        }
         Ok(Err(err)) => Err(err),
         Err(_) => Err(BackendError::Internal("backend panicked".into())),
     }
@@ -496,7 +554,27 @@ fn handle_job(shared: &Arc<Shared>, job: Job) {
     let endpoint = frame.endpoint.as_str();
     let mut known_endpoint = true;
 
-    let reply = match shared.backend.fingerprint(endpoint, &frame.body) {
+    // Fingerprint first: it seeds the trace id, so identical requests
+    // trace identically run after run (uncacheable endpoints fall back
+    // to the endpoint name). The trace is fully inert when tracing is
+    // off — `ActiveTrace::disabled()` allocates nothing.
+    let fingerprinted = shared.backend.fingerprint(endpoint, &frame.body);
+    let trace = match &shared.tracer {
+        Some(tracer) => {
+            let seed = match &fingerprinted {
+                Ok(Some(fingerprint)) => trace_seed_from_fingerprint(*fingerprint),
+                _ => trace_seed_from_bytes(endpoint.as_bytes()),
+            };
+            let trace = tracer.begin(seed, &sanitize_endpoint(endpoint));
+            trace
+                .root()
+                .child_completed_ns("serve.queue.wait", job.received.elapsed().as_nanos() as u64);
+            trace
+        }
+        None => ActiveTrace::disabled(),
+    };
+
+    let reply = match fingerprinted {
         Err(err) => {
             known_endpoint = !matches!(err, BackendError::UnknownEndpoint(_));
             Reply::Frame(ResponseFrame::error(
@@ -508,26 +586,44 @@ fn handle_job(shared: &Arc<Shared>, job: Job) {
         }
         // Uncacheable endpoint: straight to the backend. Report the
         // post-execution epoch — mutating endpoints (sync) move it.
-        Ok(None) => match execute(shared, endpoint, &frame.body) {
-            Ok((body, _)) => Reply::Ok {
-                epoch: shared.backend.epoch(),
-                cached: false,
-                coalesced: false,
-                body,
-            },
-            Err(err) => {
-                known_endpoint = !matches!(err, BackendError::UnknownEndpoint(_));
-                Reply::Frame(ResponseFrame::error(
-                    frame.id,
-                    shared.backend.epoch(),
-                    err.code(),
-                    err.message(),
-                ))
+        Ok(None) => {
+            let exec_span = trace.root().child("serve.execute");
+            let result = execute(shared, endpoint, &frame.body, &exec_span);
+            drop(exec_span);
+            match result {
+                Ok((body, _)) => Reply::Ok {
+                    epoch: shared.backend.epoch(),
+                    cached: false,
+                    coalesced: false,
+                    body,
+                },
+                Err(err) => {
+                    known_endpoint = !matches!(err, BackendError::UnknownEndpoint(_));
+                    Reply::Frame(ResponseFrame::error(
+                        frame.id,
+                        shared.backend.epoch(),
+                        err.code(),
+                        err.message(),
+                    ))
+                }
             }
-        },
+        }
         Ok(Some(fingerprint)) => {
             let epoch_now = shared.backend.epoch();
-            match shared.cache.lookup(fingerprint, epoch_now) {
+            let lookup = {
+                let mut cache_span = trace.root().child("serve.cache.lookup");
+                let lookup = shared.cache.lookup(fingerprint, epoch_now);
+                cache_span.attr_text(
+                    "verdict",
+                    match &lookup {
+                        Lookup::Hit(_) => "hit",
+                        Lookup::Stale => "stale",
+                        _ => "miss",
+                    },
+                );
+                lookup
+            };
+            match lookup {
                 Lookup::Hit(body) => {
                     rec.counter_add("serve.cache.hit", 1);
                     Reply::Ok {
@@ -547,7 +643,10 @@ fn handle_job(shared: &Arc<Shared>, job: Job) {
                     );
                     match shared.flights.join(fingerprint) {
                         Role::Leader(flight) => {
-                            let result = execute(shared, endpoint, &frame.body);
+                            let mut exec_span = trace.root().child("serve.execute");
+                            exec_span.attr_flag("leader", true);
+                            let result = execute(shared, endpoint, &frame.body, &exec_span);
+                            drop(exec_span);
                             if let Ok((body, computed_under)) = &result {
                                 // Cache only if no absorb raced the run;
                                 // the entry's epoch is the one the answer
@@ -581,7 +680,10 @@ fn handle_job(shared: &Arc<Shared>, job: Job) {
                         }
                         Role::Follower(flight) => {
                             rec.counter_add("serve.coalesced", 1);
-                            match flight.wait() {
+                            let wait = trace.root().child("serve.flight.wait");
+                            let result = flight.wait();
+                            drop(wait);
+                            match result {
                                 Ok((body, epoch)) => Reply::Ok {
                                     epoch,
                                     cached: false,
@@ -602,6 +704,24 @@ fn handle_job(shared: &Arc<Shared>, job: Job) {
         }
     };
 
+    // Every trace ends here — including error replies — so tail sampling
+    // sees the outcome it keys on.
+    let outcome = match &reply {
+        Reply::Ok { .. } => TraceOutcome::Ok,
+        Reply::Frame(f) => match f.status {
+            crate::protocol::Status::Shed => TraceOutcome::Shed,
+            _ => TraceOutcome::Error(f.code),
+        },
+    };
+    let record = trace.finish(outcome);
+    // `explain` is opt-in per request and rides outside the cached body,
+    // so answer bytes stay identical with and without it.
+    let explain = if frame.explain {
+        record.as_ref().map(|r| explain_value(r))
+    } else {
+        None
+    };
+
     // Count before writing so a client that has its response in hand is
     // guaranteed to see it reflected in the counters.
     rec.counter_add("serve.responses", 1);
@@ -611,11 +731,24 @@ fn handle_job(shared: &Arc<Shared>, job: Job) {
             cached,
             coalesced,
             body,
-        } => write_line(
-            &job.out,
-            render_ok_line(frame.id, epoch, cached, coalesced, &body),
-        ),
-        Reply::Frame(frame) => write_frame(&job.out, &frame),
+        } => {
+            let explain_text = explain.as_ref().and_then(|v| serde_json::to_string(v).ok());
+            write_line(
+                &job.out,
+                render_ok_line(
+                    frame.id,
+                    epoch,
+                    cached,
+                    coalesced,
+                    &body,
+                    explain_text.as_deref(),
+                ),
+            );
+        }
+        Reply::Frame(mut response) => {
+            response.explain = explain;
+            write_frame(&job.out, &response);
+        }
     }
     let label = if known_endpoint {
         sanitize_endpoint(endpoint)
@@ -664,6 +797,94 @@ fn stats_body(shared: &Shared) -> Value {
         },
         "queue_depth": shared.queue.len() as u64,
         "inflight": shared.inflight.load(Ordering::Acquire),
+        "trace": trace_stats_value(shared.tracer.as_deref()),
+    })
+}
+
+/// The flight-recorder section of `stats` and `health` bodies: occupancy
+/// and drop counters, all zero (with `enabled: false`) when tracing is
+/// off.
+fn trace_stats_value(tracer: Option<&FlightRecorder>) -> Value {
+    let stats = tracer.map(FlightRecorder::stats).unwrap_or_default();
+    serde_json::json!({
+        "enabled": tracer.is_some(),
+        "capacity": stats.capacity,
+        "occupancy": stats.occupancy,
+        "completed": stats.completed,
+        "recorded": stats.recorded,
+        "sampled_out": stats.sampled_out,
+        "evicted": stats.evicted,
+        "unwound": stats.unwound,
+    })
+}
+
+/// Serves the `traces` endpoint: exports the flight-recorder contents.
+/// Body params (all optional): `slowest: N` (top-N by total duration),
+/// `errors: true` (error/shed traces only), `format: "json" | "chrome"`.
+fn traces_body(shared: &Shared, params: &Value) -> Result<Value, String> {
+    let Some(tracer) = &shared.tracer else {
+        return Err("tracing is disabled on this daemon".into());
+    };
+    if !params.is_null() && params.as_object().is_none() {
+        return Err("traces body must be an object".into());
+    }
+    let get = |key: &str| params.as_object().and_then(|m| m.get(key));
+    let errors = get("errors").and_then(Value::as_bool).unwrap_or(false);
+    let slowest = get("slowest").and_then(Value::as_u64);
+    let format = get("format").and_then(Value::as_str).unwrap_or("json");
+    let traces = if errors {
+        tracer.errors()
+    } else if let Some(n) = slowest {
+        tracer.slowest(n as usize)
+    } else {
+        tracer.snapshot()
+    };
+    let text = match format {
+        "json" => uptime_obs::traces_to_json(&traces, &tracer.stats()),
+        "chrome" => uptime_obs::traces_to_chrome(&traces),
+        other => {
+            return Err(format!(
+                "unknown trace format `{other}` (expected `json` or `chrome`)"
+            ))
+        }
+    };
+    serde_json::from_str(&text).map_err(|err| format!("trace export did not parse: {err}"))
+}
+
+/// The inline `explain` payload: the request's own span tree, compact
+/// enough to ride beside the answer without re-querying `traces`.
+fn explain_value(record: &TraceRecord) -> Value {
+    use uptime_obs::trace::AttrValue;
+    let spans: Vec<Value> = record
+        .spans
+        .iter()
+        .map(|span| {
+            let mut attrs = serde::Map::new();
+            for (key, value) in &span.attrs {
+                let json = match value {
+                    AttrValue::U64(v) => serde_json::json!(*v),
+                    AttrValue::F64(v) => serde_json::json!(*v),
+                    AttrValue::Text(v) => serde_json::json!(v),
+                    AttrValue::Flag(v) => serde_json::json!(*v),
+                };
+                attrs.insert((*key).to_owned(), json);
+            }
+            serde_json::json!({
+                "id": span.id,
+                "parent": span.parent,
+                "name": span.name,
+                "start_ns": span.start_ns,
+                "duration_ns": span.duration_ns,
+                "attrs": Value::Object(attrs),
+            })
+        })
+        .collect();
+    serde_json::json!({
+        "trace_id": record.trace_id_hex(),
+        "outcome": record.outcome.as_str(),
+        "total_ns": record.total_ns,
+        "sampled": record.kept_because,
+        "spans": spans,
     })
 }
 
@@ -671,18 +892,31 @@ fn stats_body(shared: &Shared) -> Value {
 /// what serializing the equivalent [`ResponseFrame`] would produce (the
 /// vendored serializer emits map keys in sorted order) — without
 /// re-walking the body's value tree.
-fn render_ok_line(id: u64, epoch: u64, cached: bool, coalesced: bool, body: &str) -> String {
-    let mut text = String::with_capacity(body.len() + 112);
+fn render_ok_line(
+    id: u64,
+    epoch: u64,
+    cached: bool,
+    coalesced: bool,
+    body: &str,
+    explain: Option<&str>,
+) -> String {
+    let mut text = String::with_capacity(body.len() + explain.map_or(0, str::len) + 124);
     text.push_str("{\"body\":");
     text.push_str(body);
     text.push_str(",\"cached\":");
     text.push_str(if cached { "true" } else { "false" });
     text.push_str(",\"coalesced\":");
     text.push_str(if coalesced { "true" } else { "false" });
+    let _ = write!(text, ",\"code\":{},\"epoch\":{epoch}", code::OK);
+    if let Some(explain) = explain {
+        // Sorted-key order: `epoch` < `explain` < `id`, matching what the
+        // serde path emits for a frame with `explain` set.
+        text.push_str(",\"explain\":");
+        text.push_str(explain);
+    }
     let _ = write!(
         text,
-        ",\"code\":{},\"epoch\":{epoch},\"id\":{id},\"status\":\"ok\",\"v\":{}}}",
-        code::OK,
+        ",\"id\":{id},\"status\":\"ok\",\"v\":{}}}",
         crate::protocol::PROTOCOL_VERSION,
     );
     text.push('\n');
@@ -722,8 +956,23 @@ mod tests {
             frame = frame.with_cached(cached).with_coalesced(coalesced);
             let mut via_serde = serde_json::to_string(&frame).expect("frame serializes");
             via_serde.push('\n');
-            let spliced = render_ok_line(42, 7, cached, coalesced, &body_text);
+            let spliced = render_ok_line(42, 7, cached, coalesced, &body_text, None);
             assert_eq!(spliced, via_serde);
         }
+    }
+
+    /// The explain splice must also be byte-for-byte what serializing a
+    /// frame with `explain` set would produce.
+    #[test]
+    fn rendered_explain_line_matches_serde_serialization() {
+        let body = serde_json::json!({"plan": {"tco": 1234.5}});
+        let body_text = serde_json::to_string(&body).expect("body serializes");
+        let explain = serde_json::json!({"spans": [{"name": "serve.request"}], "total_ns": 9});
+        let explain_text = serde_json::to_string(&explain).expect("explain serializes");
+        let frame = ResponseFrame::ok(42, 7, body).with_explain(Some(explain));
+        let mut via_serde = serde_json::to_string(&frame).expect("frame serializes");
+        via_serde.push('\n');
+        let spliced = render_ok_line(42, 7, false, false, &body_text, Some(&explain_text));
+        assert_eq!(spliced, via_serde);
     }
 }

@@ -480,3 +480,243 @@ fn concurrent_clients_get_identical_answers_and_counters_balance() {
     let mut handle = handle;
     handle.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Request tracing: byte identity, explain, and the traces endpoint
+// ---------------------------------------------------------------------------
+
+/// Sends `frame` and returns the raw response line — for bit-for-bit
+/// comparisons the parsed `ResponseFrame` would erase.
+fn call_raw(client: &mut Client, frame: &RequestFrame) -> String {
+    client.send(frame);
+    let mut line = String::new();
+    let n = client.reader.read_line(&mut line).expect("read response");
+    assert!(n > 0, "daemon closed the connection unexpectedly");
+    line
+}
+
+fn start_with_trace(
+    backend: Arc<dyn ServeBackend>,
+    trace: uptime_obs::TraceConfig,
+) -> ServerHandle {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue_depth: 32,
+        cache_capacity: 64,
+        trace,
+        ..ServerConfig::default()
+    };
+    Server::start(backend, config, Arc::new(MetricsRegistry::new())).expect("daemon binds")
+}
+
+#[test]
+fn tracing_enabled_answers_are_byte_identical_to_tracing_disabled() {
+    let mut traced = start_with_trace(Arc::new(backend()), uptime_obs::TraceConfig::default());
+    let mut untraced = start_with_trace(Arc::new(backend()), uptime_obs::TraceConfig::disabled());
+    let mut traced_client = Client::connect(traced.local_addr());
+    let mut untraced_client = Client::connect(untraced.local_addr());
+
+    // Same request stream against both daemons: a miss, a hit, a second
+    // SLA point. Every response line must be byte-identical — tracing
+    // attributes time, it never changes answers.
+    for (id, percent) in [(1, 98.0), (2, 98.0), (3, 99.0)] {
+        let frame = recommend_frame(id, percent);
+        let with = call_raw(&mut traced_client, &frame);
+        let without = call_raw(&mut untraced_client, &frame);
+        assert_eq!(with, without, "traced vs untraced response lines differ");
+    }
+
+    traced.shutdown();
+    untraced.shutdown();
+}
+
+#[test]
+fn explain_returns_span_breakdown_and_leaves_answer_untouched() {
+    let mut handle = start_with_trace(Arc::new(backend()), uptime_obs::TraceConfig::default());
+    let mut client = Client::connect(handle.local_addr());
+
+    let plain = client.call(&recommend_frame(1, 98.0));
+    assert_eq!(plain.code, code::OK);
+    assert!(plain.explain.is_none(), "explain only appears when asked");
+
+    let explained = client.call(&recommend_frame(2, 98.0).with_explain(true));
+    assert_eq!(explained.code, code::OK);
+    assert_eq!(
+        text(plain.body.as_ref().unwrap()),
+        text(explained.body.as_ref().unwrap()),
+        "explain must not perturb the answer bytes"
+    );
+    let explain = explained.explain.expect("explain requested");
+    let spans = explain
+        .get("spans")
+        .and_then(Value::as_array)
+        .expect("explain carries spans");
+    let names: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("name").and_then(Value::as_str))
+        .collect();
+    assert!(names.contains(&"serve.request"), "{names:?}");
+    assert!(names.contains(&"serve.cache.lookup"), "{names:?}");
+    // The second identical request is a cache hit: no execute span.
+    assert!(!names.contains(&"serve.execute"), "{names:?}");
+
+    // A cold request's explain attributes time to the execute stage and
+    // reaches down into the broker and optimizer.
+    let cold = client.call(&recommend_frame(3, 97.25).with_explain(true));
+    let explain = cold.explain.expect("explain requested");
+    let spans = explain
+        .get("spans")
+        .and_then(Value::as_array)
+        .expect("spans");
+    let names: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("name").and_then(Value::as_str))
+        .collect();
+    for expected in ["serve.execute", "broker.recommend"] {
+        assert!(names.contains(&expected), "missing {expected} in {names:?}");
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn explain_on_disabled_tracing_daemon_is_omitted() {
+    let mut handle = start_with_trace(Arc::new(backend()), uptime_obs::TraceConfig::disabled());
+    let mut client = Client::connect(handle.local_addr());
+    let response = client.call(&recommend_frame(1, 98.0).with_explain(true));
+    assert_eq!(response.code, code::OK);
+    assert!(response.explain.is_none(), "no tracer, no breakdown");
+    handle.shutdown();
+}
+
+#[test]
+fn traces_endpoint_matches_published_schema() {
+    let mut handle = start_with_trace(Arc::new(backend()), uptime_obs::TraceConfig::default());
+    let mut client = Client::connect(handle.local_addr());
+    for id in 0..4u64 {
+        assert_eq!(client.call(&recommend_frame(id, 98.0)).code, code::OK);
+    }
+
+    let response = client.call(&RequestFrame::new(9, "traces", serde_json::json!({})));
+    assert_eq!(response.code, code::OK);
+    let body = response.body.expect("traces body");
+    let schema_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../schemas/trace.schema.json"
+    );
+    let schema: Value =
+        serde_json::from_str(&std::fs::read_to_string(schema_path).expect("schema readable"))
+            .expect("schema parses");
+    uptime_serve::schema::assert_valid(&body, &schema);
+
+    let traces = body
+        .get("traces")
+        .and_then(Value::as_array)
+        .expect("traces");
+    assert!(!traces.is_empty(), "requests were recorded");
+
+    // Filtered forms stay within the schema too.
+    let slowest = client.call(&RequestFrame::new(
+        10,
+        "traces",
+        serde_json::json!({"slowest": 1}),
+    ));
+    let slowest_body = slowest.body.expect("slowest body");
+    uptime_serve::schema::assert_valid(&slowest_body, &schema);
+    assert_eq!(
+        slowest_body
+            .get("traces")
+            .and_then(Value::as_array)
+            .map(Vec::len),
+        Some(1)
+    );
+
+    // Chrome export is a different shape (not schema'd) but must parse
+    // and carry one complete event per span.
+    let chrome = client.call(&RequestFrame::new(
+        11,
+        "traces",
+        serde_json::json!({"format": "chrome"}),
+    ));
+    let chrome_body = chrome.body.expect("chrome body");
+    let events = chrome_body
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents");
+    assert!(!events.is_empty());
+    assert!(events
+        .iter()
+        .all(|e| e.get("ph").and_then(Value::as_str) == Some("X")));
+
+    handle.shutdown();
+}
+
+#[test]
+fn trace_ids_are_deterministic_across_daemons() {
+    // The trace id seeds from the request fingerprint, so two daemons
+    // given the same request mint the same id — grep one id across a
+    // fleet's flight recorders.
+    let trace_id = |handle: &mut ServerHandle| {
+        let mut client = Client::connect(handle.local_addr());
+        let response = client.call(&recommend_frame(1, 98.0).with_explain(true));
+        response
+            .explain
+            .expect("explain")
+            .get("trace_id")
+            .and_then(Value::as_str)
+            .expect("trace_id")
+            .to_owned()
+    };
+    let mut first = start_with_trace(Arc::new(backend()), uptime_obs::TraceConfig::default());
+    let mut second = start_with_trace(Arc::new(backend()), uptime_obs::TraceConfig::default());
+    let a = trace_id(&mut first);
+    let b = trace_id(&mut second);
+    assert_eq!(a, b, "same request must mint the same trace id");
+    first.shutdown();
+    second.shutdown();
+}
+
+#[test]
+fn shed_requests_land_in_the_flight_recorder() {
+    let gate = Arc::new(GateBackend::new());
+    // One worker, one queue slot, tracing on (the default config).
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        queue_depth: 1,
+        cache_capacity: 64,
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(
+        Arc::clone(&gate) as Arc<dyn ServeBackend>,
+        config,
+        Arc::new(MetricsRegistry::new()),
+    )
+    .expect("daemon binds");
+    let mut client = Client::connect(handle.local_addr());
+
+    client.send(&echo_frame(1, "a"));
+    gate.wait_entered(1); // request 1 is mid-flight, not in the queue
+    client.send(&echo_frame(2, "b")); // fills the single queue slot
+    client.send(&echo_frame(3, "c")); // must shed, immediately
+
+    let shed = client.recv();
+    assert_eq!(shed.code, code::SHED);
+    gate.open_gate();
+    let _ = client.recv();
+    let _ = client.recv();
+
+    // Tail sampling always keeps sheds: the refusal is visible in the
+    // flight recorder even though no worker ever saw the request.
+    let recorder = handle.flight_recorder().expect("tracing enabled");
+    assert!(
+        recorder
+            .errors()
+            .iter()
+            .any(|t| t.outcome == uptime_obs::TraceOutcome::Shed),
+        "shed requests must be kept by tail sampling"
+    );
+    let mut handle = handle;
+    handle.shutdown();
+}

@@ -18,6 +18,13 @@ fn request_frames_validate() {
         RequestFrame::new(1, "recommend", serde_json::json!({"tiers": ["Compute"]})),
         RequestFrame::new(0, "ping", Value::Null),
         RequestFrame::new(u64::MAX, "stats", Value::Null),
+        RequestFrame::new(2, "recommend", serde_json::json!({"tiers": ["Compute"]}))
+            .with_explain(true),
+        RequestFrame::new(
+            3,
+            "traces",
+            serde_json::json!({"slowest": 5, "format": "chrome"}),
+        ),
     ];
     for frame in &frames {
         schema::assert_valid(&serde_json::to_value(frame), &schema);
@@ -35,6 +42,19 @@ fn response_frames_validate() {
         ResponseFrame::ok(3, 7, serde_json::json!({"x": 1})).with_coalesced(true),
         ResponseFrame::error(4, 2, uptime_serve::code::BAD_REQUEST, "bad frame"),
         ResponseFrame::shed(5, 2, "queue full"),
+        ResponseFrame::ok(6, 7, serde_json::json!({"x": 1})).with_explain(Some(
+            serde_json::json!({
+                "trace_id": "00000000deadbeef",
+                "outcome": "ok",
+                "total_ns": 1234,
+                "sampled": "slow",
+                "spans": [{
+                    "id": 1, "parent": 0, "name": "serve.request",
+                    "start_ns": 0, "duration_ns": 1234,
+                    "attrs": {"leader": true, "verdict": "miss", "variants": 8}
+                }]
+            }),
+        )),
     ];
     for frame in &frames {
         schema::assert_valid(&serde_json::to_value(frame), &schema);
