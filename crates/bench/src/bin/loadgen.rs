@@ -26,6 +26,15 @@
 //! regressed more than P% against a previous report (the
 //! tracing-overhead gate: run once with `--no-trace`, once without,
 //! compare).
+//!
+//! Frontier-era flags (PR 9): `--frontier-ratio R` mixes SLO frontier
+//! extractions into the stream (the report gains `frontier` latency
+//! percentiles), and whenever frontier traffic or `--enforce` is on the
+//! run also times epsilon-dominance branch-and-bound against the naive
+//! O(N²) dominance sweep on a synthetic 6^6 space and reports the
+//! speedup under `frontier_bench`. `--enforce` fails the run below the
+//! 5x frontier-speedup floor (or on a frontier/naive mismatch). The
+//! frontier CI job writes `BENCH_PR9.json` via `--out`.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write as IoWrite};
@@ -52,6 +61,8 @@ struct Config {
     shutdown: bool,
     health_ratio: f64,
     explain_ratio: f64,
+    frontier_ratio: f64,
+    enforce: bool,
     max_p99_ms: Option<f64>,
     compare: Option<String>,
     max_overhead_pct: Option<f64>,
@@ -70,6 +81,8 @@ fn parse_args() -> Result<Config, String> {
         shutdown: false,
         health_ratio: 0.0,
         explain_ratio: 0.0,
+        frontier_ratio: 0.0,
+        enforce: false,
         max_p99_ms: None,
         compare: None,
         max_overhead_pct: None,
@@ -120,6 +133,12 @@ fn parse_args() -> Result<Config, String> {
                     .parse()
                     .map_err(|e| format!("--explain-ratio: {e}"))?;
             }
+            "--frontier-ratio" => {
+                config.frontier_ratio = value("--frontier-ratio")?
+                    .parse()
+                    .map_err(|e| format!("--frontier-ratio: {e}"))?;
+            }
+            "--enforce" => config.enforce = true,
             "--max-p99-ms" => {
                 config.max_p99_ms = Some(
                     value("--max-p99-ms")?
@@ -170,6 +189,24 @@ fn hot_pool() -> Vec<Value> {
         .collect()
 }
 
+/// The frontier hot pool: a handful of SLO specs (hard uptime floor,
+/// soft cost cap) whose extraction the daemon keeps re-answering.
+fn frontier_pool() -> Vec<Value> {
+    [92.0, 95.0, 97.0, 98.0]
+        .iter()
+        .map(|&threshold| {
+            serde_json::json!({
+                "tiers": ["Compute", "Storage", "NetworkGateway"],
+                "penalty": { "PerHour": { "rate": 100.0 } },
+                "slo": { "objectives": [
+                    { "metric": "uptime", "threshold": threshold, "mode": "hard" },
+                    { "metric": "cost", "threshold": 2000.0, "mode": "soft", "weight": 1.0 }
+                ] },
+            })
+        })
+        .collect()
+}
+
 /// A unique cold request: an SLA/rate point nothing else in the run uses.
 fn cold_request(rng: &mut u64) -> Value {
     let percent = 90.0 + (splitmix64(rng) % 800_000) as f64 / 100_000.0;
@@ -189,14 +226,17 @@ struct ClientStats {
     errors: u64,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_client(
     addr: &str,
     requests: usize,
     repeat_ratio: f64,
     health_ratio: f64,
     explain_ratio: f64,
+    frontier_ratio: f64,
     mut rng: u64,
     pool: &[Value],
+    frontiers: &[Value],
 ) -> std::io::Result<ClientStats> {
     let stream = TcpStream::connect(addr)?;
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -215,6 +255,11 @@ fn run_client(
         let roll = |rng: &mut u64| (splitmix64(rng) % 10_000) as f64 / 10_000.0;
         let (endpoint, body) = if roll(&mut rng) < health_ratio {
             ("health", Value::Null)
+        } else if roll(&mut rng) < frontier_ratio {
+            (
+                "frontier",
+                frontiers[(splitmix64(&mut rng) % frontiers.len() as u64) as usize].clone(),
+            )
         } else if roll(&mut rng) < repeat_ratio {
             (
                 "recommend",
@@ -317,6 +362,69 @@ fn cold_cli_rps(reps: u32) -> Option<f64> {
     Some(f64::from(reps) / start.elapsed().as_secs_f64())
 }
 
+/// PR 9 gate: time epsilon-dominance branch-and-bound frontier
+/// extraction against the naive O(N²) dominance sweep on a synthetic
+/// `6^6` space, and differentially check the two agree. Returns the
+/// report section, the measured speedup, and whether the frontiers
+/// matched point-for-point.
+fn frontier_bench() -> (Value, f64, bool) {
+    use uptime_optimizer::pareto_bnb;
+
+    let space = uptime_bench::synthetic_space(6, 6);
+    let model = uptime_bench::synthetic_model();
+    let constraints = pareto_bnb::FrontierConstraints::NONE;
+    let epsilon = 1e-9;
+
+    let naive_start = Instant::now();
+    let naive = pareto_bnb::naive_frontier(&space, &model, &constraints);
+    let naive_ns = u64::try_from(naive_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+    // Best of 3 for the fast path; the naive sweep is too slow to repeat.
+    let mut bnb_ns = u64::MAX;
+    let mut outcome = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let run = pareto_bnb::search(&space, &model, &constraints, epsilon);
+        bnb_ns = bnb_ns.min(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        outcome = Some(run);
+    }
+    let outcome = outcome.expect("three runs happened");
+
+    // Compare the frontier contract — representative assignment and the
+    // (cost, uptime) coordinates — not whole `Evaluation`s: derived
+    // fields off the frontier axes (failover probability, penalty) are
+    // summed in a different order by the fast path and may differ in the
+    // last ulp.
+    let key = |p: &uptime_optimizer::ParetoPoint| {
+        (
+            p.evaluation().assignment().to_vec(),
+            p.ha_cost().value(),
+            p.uptime().value(),
+        )
+    };
+    let matches_naive = outcome.points().iter().map(key).collect::<Vec<_>>()
+        == naive.iter().map(key).collect::<Vec<_>>();
+    let speedup = if bnb_ns > 0 {
+        naive_ns as f64 / bnb_ns as f64
+    } else {
+        f64::INFINITY
+    };
+    let stats = outcome.stats();
+    let section = serde_json::json!({
+        "space": "synthetic-6^6",
+        "leaves": 46_656u64,
+        "frontier_size": stats.frontier_size,
+        "leaves_evaluated": stats.leaves_evaluated,
+        "subtrees_pruned": stats.subtrees_pruned,
+        "bnb_ns": bnb_ns,
+        "naive_ns": naive_ns,
+        "speedup": speedup,
+        "matches_naive": matches_naive,
+        "meets_5x_target": speedup >= 5.0 && matches_naive,
+    });
+    (section, speedup, matches_naive)
+}
+
 fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
     if sorted_ns.is_empty() {
         return 0;
@@ -358,15 +466,18 @@ fn main() -> ExitCode {
     };
 
     let pool = hot_pool();
+    let frontiers = frontier_pool();
     let started = Instant::now();
     let workers: Vec<_> = (0..config.clients)
         .map(|c| {
             let addr = addr.clone();
             let pool = pool.clone();
+            let frontiers = frontiers.clone();
             let requests = config.requests;
             let ratio = config.repeat_ratio;
             let health_ratio = config.health_ratio;
             let explain_ratio = config.explain_ratio;
+            let frontier_ratio = config.frontier_ratio;
             let seed = config
                 .seed
                 .wrapping_add(0x517c_c1b7_2722_0a95_u64.wrapping_mul(c as u64 + 1));
@@ -377,8 +488,10 @@ fn main() -> ExitCode {
                     ratio,
                     health_ratio,
                     explain_ratio,
+                    frontier_ratio,
                     seed,
                     &pool,
+                    &frontiers,
                 )
             })
         })
@@ -533,8 +646,25 @@ fn main() -> ExitCode {
         }
     };
 
+    // The frontier micro-bench only runs when the mix exercises the
+    // frontier endpoint (or the gate is enforced) — BENCH_PR4/PR8 runs
+    // stay unchanged.
+    let (frontier_section, frontier_speedup, frontier_matches) =
+        if config.frontier_ratio > 0.0 || config.enforce {
+            let (section, speedup, matches) = frontier_bench();
+            println!(
+                "frontier bench: bnb {speedup:.1}x over naive dominance sweep \
+                 (frontiers {})",
+                if matches { "match" } else { "DIVERGE" }
+            );
+            (section, Some(speedup), matches)
+        } else {
+            (Value::Null, None, true)
+        };
+
     // The report label follows the output file (BENCH_PR4.json stays the
-    // PR 4 contract; the tracing CI job writes BENCH_PR8.json).
+    // PR 4 contract; the tracing CI job writes BENCH_PR8.json; the
+    // frontier CI job writes BENCH_PR9.json).
     let benchmark = std::path::Path::new(&config.out)
         .file_stem()
         .and_then(|s| s.to_str())
@@ -550,6 +680,7 @@ fn main() -> ExitCode {
             "repeat_ratio": config.repeat_ratio,
             "health_ratio": config.health_ratio,
             "explain_ratio": config.explain_ratio,
+            "frontier_ratio": config.frontier_ratio,
             "seed": config.seed,
         },
         "totals": {
@@ -568,6 +699,7 @@ fn main() -> ExitCode {
         },
         "latency_by_endpoint_ns": serde_json::Value::Object(endpoints),
         "explain_stages": serde_json::Value::Object(stages),
+        "frontier_bench": frontier_section,
         "compare": compare_value,
         "throughput_rps": throughput_rps,
         "cold_eval_rps": cold_rps,
@@ -623,7 +755,16 @@ fn main() -> ExitCode {
         }
         _ => false,
     };
-    if failed_hit_rate || failed_errors || failed_p99 || failed_overhead {
+    let failed_frontier =
+        config.enforce && (frontier_speedup.is_some_and(|s| s < 5.0) || !frontier_matches);
+    if failed_frontier {
+        eprintln!(
+            "loadgen: frontier bench failed --enforce: speedup {:.1}x (need 5x), frontiers {}",
+            frontier_speedup.unwrap_or(0.0),
+            if frontier_matches { "match" } else { "diverge" }
+        );
+    }
+    if failed_hit_rate || failed_errors || failed_p99 || failed_overhead || failed_frontier {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -10,6 +10,13 @@
 //!     --archetype, searches that deployment archetype's series-parallel
 //!     composition space instead of the serial chain.
 //!
+//! brokerctl frontier [--hybrid] [--json] [--engine NAME] [--archetype NAME]
+//!                    [--spec FILE | --inline JSON]
+//!     Exact feasible cost/uptime Pareto frontier per cloud for a
+//!     declarative SLO spec (hard constraints filter, weighted soft
+//!     objectives rank and pick the recommendation). Exits 3 when the
+//!     hard constraints are unsatisfiable everywhere.
+//!
 //! brokerctl sweep [--hybrid] FROM TO STEPS
 //!     SLA sweep: the winning architecture per target percentage.
 //!
@@ -88,6 +95,8 @@ fn main() -> ExitCode {
     let mut state_dir: Option<String> = None;
     let mut disk_chaos: Option<u64> = None;
     let mut archetype: Option<String> = None;
+    let mut spec_path: Option<String> = None;
+    let mut inline_spec: Option<String> = None;
     let mut watch: Option<u64> = None;
     let mut iters: u64 = 0;
     let mut i = 0;
@@ -131,6 +140,24 @@ fn main() -> ExitCode {
                             .collect::<Vec<_>>()
                             .join(", ")
                     );
+                    return ExitCode::from(2);
+                }
+            }
+        } else if arg == "--spec" {
+            i += 1;
+            match args.get(i) {
+                Some(v) => spec_path = Some(v.clone()),
+                None => {
+                    eprintln!("brokerctl: --spec needs a SLO spec file");
+                    return ExitCode::from(2);
+                }
+            }
+        } else if arg == "--inline" {
+            i += 1;
+            match args.get(i) {
+                Some(v) => inline_spec = Some(v.clone()),
+                None => {
+                    eprintln!("brokerctl: --inline needs a JSON SLO spec");
                     return ExitCode::from(2);
                 }
             }
@@ -225,6 +252,30 @@ fn main() -> ExitCode {
             }
         };
     }
+    if command == Some("frontier") {
+        if spec_path.is_some() && inline_spec.is_some() {
+            eprintln!("brokerctl: --spec and --inline are mutually exclusive");
+            return ExitCode::from(2);
+        }
+        let spec_text = match &spec_path {
+            Some(path) => match std::fs::read_to_string(path) {
+                Ok(text) => Some(text),
+                Err(err) => {
+                    eprintln!("brokerctl: cannot read {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => inline_spec.clone(),
+        };
+        return match frontier_command(hybrid, json, engine, archetype.as_deref(), spec_text) {
+            Ok(true) => ExitCode::from(3),
+            Ok(false) => ExitCode::SUCCESS,
+            Err(err) => {
+                eprintln!("brokerctl: {err}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let result = match command {
         Some("catalog") => catalog_command(hybrid),
         Some("recommend") => recommend_command(
@@ -250,7 +301,7 @@ fn main() -> ExitCode {
         ),
         _ => {
             eprintln!(
-                "usage: brokerctl <catalog|recommend|sweep|settle|metacloud|serve|trace|health|obs|recover> [options]"
+                "usage: brokerctl <catalog|recommend|frontier|sweep|settle|metacloud|serve|trace|health|obs|recover> [options]"
             );
             eprintln!("       run `brokerctl help` for details and exit codes");
             return ExitCode::from(2);
@@ -289,6 +340,18 @@ Commands:
       the tiers are replicated into that deployment-archetype
       series-parallel shape and the composition space is searched
       instead; request files select the same via a `topology` field.
+  frontier [--hybrid] [--json] [--engine exhaustive|bnb] [--archetype NAME]
+           [--spec FILE | --inline JSON]
+      Extract the exact feasible cost/uptime Pareto frontier per cloud
+      for a declarative SLO spec (schemas/slo_spec.schema.json): hard
+      objectives constrain which deployments are feasible, weighted soft
+      objectives rank the surviving frontier points and pick the
+      recommended one. The spec comes from --spec FILE or --inline JSON;
+      without either, a demo spec (98% hard uptime floor, $2000/mo soft
+      cost cap) is used. --engine bnb prunes with epsilon-dominance
+      branch-and-bound and answers bit-identically to exhaustive
+      enumeration. --json emits the frontier_response document
+      (schemas/frontier_response.schema.json).
   sweep [--hybrid] FROM TO STEPS
       SLA sweep: the winning architecture per target percentage.
   settle MONTHS [SEED]
@@ -303,8 +366,8 @@ Commands:
         [--trace-slow-ms MS] [--trace-sample N] [--stdin]
       Long-lived serving daemon (default 127.0.0.1:7411): one JSON frame
       per line over TCP with fields id, endpoint and body; endpoints are
-      recommend, metacloud, health, sync, ping, stats, traces and
-      shutdown. Responses are cached per telemetry epoch, identical
+      recommend, frontier, metacloud, health, sync, ping, stats, traces
+      and shutdown. Responses are cached per telemetry epoch, identical
       concurrent requests are coalesced, and overload sheds with code
       429. Every request is traced into a bounded in-memory flight
       recorder (tail-sampled: errors, sheds and slow requests always
@@ -350,7 +413,9 @@ Exit codes:
   2   usage error (unknown command or malformed arguments)
   3   `health`: the broker is up but serving degraded (breaker open or
       telemetry quarantined); `recover`: the state was degraded (torn
-      journal tail, quarantined or malformed records)"
+      journal tail, quarantined or malformed records); `frontier`: the
+      spec parsed but its hard constraints are unsatisfiable on every
+      requested cloud"
     );
 }
 
@@ -451,6 +516,96 @@ fn recommend_command(
         print!("{}", report::render_cross_cloud(&recommendation));
     }
     Ok(())
+}
+
+/// The default SLO for `brokerctl frontier` with no `--spec`/`--inline`:
+/// the paper's case-study uptime target as a hard floor plus a soft
+/// monthly cost cap, so the output demonstrates both objective modes.
+const DEFAULT_SLO_SPEC: &str = r#"{ "objectives": [
+    { "metric": "uptime", "threshold": 98.0, "mode": "hard" },
+    { "metric": "cost", "threshold": 2000.0, "mode": "soft", "weight": 1.0 }
+] }"#;
+
+/// `brokerctl frontier`: parse the SLO spec, extract the exact feasible
+/// Pareto frontier per cloud via [`BrokerService::solve_slo`], and render
+/// a cost/uptime tradeoff table (or the `frontier_response` JSON).
+/// Returns whether the spec's hard constraints were unsatisfiable on
+/// every requested cloud — mapped to exit code 3.
+fn frontier_command(
+    hybrid: bool,
+    json: bool,
+    engine: SearchEngine,
+    archetype: Option<&str>,
+    spec_text: Option<String>,
+) -> Result<bool, Box<dyn std::error::Error>> {
+    let text = spec_text.unwrap_or_else(|| DEFAULT_SLO_SPEC.to_owned());
+    let spec = uptime_slo::SloSpec::from_json_str(&text)?;
+    let mut builder = SolutionRequest::builder()
+        .tiers(ComponentKind::paper_tiers())
+        .penalty_per_hour(case_study::PENALTY_PER_HOUR)?;
+    if let Some(name) = archetype {
+        builder = builder.topology(name);
+    }
+    let request = uptime_broker::FrontierRequest::from_spec(builder, spec)?;
+    let broker = BrokerService::new(catalog(hybrid)).with_engine(engine);
+    let report = match broker.solve_slo(&request) {
+        Ok(report) => report,
+        Err(uptime_broker::BrokerError::SloInfeasible { reason }) => {
+            eprintln!("brokerctl: slo infeasible: {reason}");
+            return Ok(true);
+        }
+        Err(err) => return Err(err.into()),
+    };
+    if json {
+        println!("{}", serde_json::to_string_pretty(&report)?);
+        return Ok(false);
+    }
+    println!(
+        "Feasible Pareto frontier (engine {}, uptime target {:.3}%):",
+        report.engine(),
+        report.target_uptime_percent()
+    );
+    for cloud in report.clouds() {
+        println!("\ncloud `{}`:", cloud.cloud());
+        if cloud.points().is_empty() {
+            println!("  (no deployment satisfies the hard constraints)");
+            continue;
+        }
+        println!(
+            "  {:>4} {:>12} {:>10} {:>14} {:>10}  methods",
+            "rank", "cost $/mo", "U_s %", "failover m/mo", "score"
+        );
+        for (index, point) in cloud.points().iter().enumerate() {
+            println!(
+                "  {:>4} {:>12.0} {:>10.3} {:>14.3} {:>10.3}  {}{}",
+                point.rank(),
+                point.cost_per_month(),
+                point.uptime_percent(),
+                point.failover_minutes_per_month(),
+                point.soft_score(),
+                point.labels().join(" + "),
+                if Some(index) == cloud.recommended_index() {
+                    "   <- recommended"
+                } else {
+                    ""
+                }
+            );
+        }
+        let stats = cloud.stats();
+        println!(
+            "  ({} leaves evaluated, {} subtree(s) pruned, frontier size {})",
+            stats.leaves_evaluated, stats.subtrees_pruned, stats.frontier_size
+        );
+    }
+    if let Some((cloud, point)) = report.best() {
+        println!(
+            "\nBest across clouds: `{cloud}` at ${:.0}/mo, U_s {:.3}% (soft score {:.3})",
+            point.cost_per_month(),
+            point.uptime_percent(),
+            point.soft_score()
+        );
+    }
+    Ok(false)
 }
 
 fn sweep_command(hybrid: bool, positional: &[&str]) -> Result<(), Box<dyn std::error::Error>> {

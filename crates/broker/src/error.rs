@@ -60,6 +60,17 @@ pub enum BrokerError {
         /// Why the batch was rejected.
         reason: String,
     },
+    /// An SLO spec failed to parse or validate (frontier intake).
+    SloSpec {
+        /// The typed parse/validation failure, rendered.
+        reason: String,
+    },
+    /// No deployment satisfies the SLO spec's hard constraints on any
+    /// requested cloud: the frontier is empty everywhere.
+    SloInfeasible {
+        /// Which hard constraint combination admitted nothing.
+        reason: String,
+    },
     /// The durability subsystem (journal, snapshot, or recovery) failed.
     /// On the absorb path this means the write-ahead append did not
     /// complete, so the batch was NOT absorbed — the journal never lags
@@ -96,6 +107,12 @@ impl fmt::Display for BrokerError {
             }
             BrokerError::TelemetryRejected { reason } => {
                 write!(f, "telemetry batch rejected: {reason}")
+            }
+            BrokerError::SloSpec { reason } => {
+                write!(f, "invalid slo spec: {reason}")
+            }
+            BrokerError::SloInfeasible { reason } => {
+                write!(f, "slo infeasible: {reason}")
             }
             BrokerError::Durability { reason } => {
                 write!(f, "durability failure: {reason}")
@@ -199,6 +216,25 @@ mod tests {
             reason: "orphan NodeUp".into(),
         };
         assert_eq!(e.to_string(), "telemetry batch rejected: orphan NodeUp");
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn slo_variants_display() {
+        use std::error::Error;
+        let e = BrokerError::SloSpec {
+            reason: "weight must be finite".into(),
+        };
+        assert_eq!(e.to_string(), "invalid slo spec: weight must be finite");
+        assert!(e.source().is_none());
+
+        let e = BrokerError::SloInfeasible {
+            reason: "uptime >= 99.999% under $10/month".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "slo infeasible: uptime >= 99.999% under $10/month"
+        );
         assert!(e.source().is_none());
     }
 

@@ -16,6 +16,9 @@
 //! * [`telemetry`] — estimators that reconstruct `P̂_i`, `f̂_i`, `t̂_i`
 //!   from harvested traces, feeding the broker's knowledge base.
 //! * [`service`] — [`BrokerService`]: intake → search → recommendation.
+//! * [`slo`] — declarative SLO intake ([`FrontierRequest`]): hard and
+//!   weighted-soft objectives answered with the exact feasible Pareto
+//!   frontier per cloud ([`FrontierReport`]).
 //! * [`resilience`] — [`RetryPolicy`] and per-provider [`CircuitBreaker`]
 //!   guarding every provider call, over a deterministic virtual clock.
 //! * [`chaos`] — [`ChaosProvider`], a seeded fault-injecting decorator
@@ -66,6 +69,7 @@ pub mod resilience;
 pub mod service;
 pub mod serving;
 pub mod settlement;
+pub mod slo;
 pub mod telemetry;
 pub mod whatif;
 
@@ -88,7 +92,12 @@ pub use service::{
     BrokerHealth, BrokerService, Incident, IncidentCategory, ProviderHealth, SearchEngine,
     DEFAULT_INCIDENT_CAPACITY,
 };
-pub use serving::{canonical_fingerprint, ServingBroker, HEALTH_SCHEMA_VERSION};
+pub use serving::{
+    canonical_fingerprint, frontier_fingerprint, ServingBroker, HEALTH_SCHEMA_VERSION,
+};
 pub use settlement::{settle, MonthlyStatement, SettlementReport};
+pub use slo::{
+    CloudFrontier, FrontierPoint, FrontierReport, FrontierRequest, FRONTIER_SCHEMA_VERSION,
+};
 pub use telemetry::{validate_batch, EstimatedParameters, QuarantinePolicy, TelemetryEstimator};
 pub use whatif::UptimeBounds;

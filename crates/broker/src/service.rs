@@ -10,9 +10,11 @@ use serde::{Deserialize, Serialize};
 use uptime_catalog::{CatalogStore, CloudId, ComponentKind, HaMethodId};
 use uptime_durability::{Journal, SnapshotStore, StateDir, HEADER_LEN};
 use uptime_optimizer::{
-    branch_bound, composition, composition_bnb, exhaustive, Archetype, CompositionEvaluator,
-    CompositionSpace, Evaluation, Objective, SearchSpace, SearchStats,
+    branch_bound, composition, composition_bnb, exhaustive, pareto_bnb, Archetype,
+    CompositionEvaluator, CompositionSpace, Evaluation, FrontierOutcome, Objective, SearchSpace,
+    SearchStats,
 };
+use uptime_slo::PointMetrics;
 
 use crate::durability::{
     DurabilityConfig, DurabilityInner, DurabilityState, JournalEntry, PersistentState,
@@ -24,6 +26,7 @@ use crate::provider::{CloudProvider, ProviderTelemetry};
 use crate::recommendation::{CloudRecommendation, DegradedMode, RankedOption, Recommendation};
 use crate::request::SolutionRequest;
 use crate::resilience::{BreakerState, CircuitBreaker, RetryPolicy};
+use crate::slo::{CloudFrontier, FrontierPoint, FrontierReport, FrontierRequest};
 use crate::telemetry::{validate_batch, EstimatedParameters, QuarantinePolicy, TelemetryEstimator};
 
 /// Consecutive quarantined batches after which a provider's catalog view
@@ -1047,6 +1050,160 @@ impl BrokerService {
         Ok(self.finish_recommendation(cloud_recs))
     }
 
+    /// Answers a declarative SLO request with the exact feasible
+    /// cost/uptime Pareto frontier per cloud (PR 9): the spec's hard
+    /// objectives become box constraints for
+    /// [`uptime_optimizer::pareto_bnb`], the soft objectives score every
+    /// returned point, and the broker recommends the point with the
+    /// lowest weighted violation.
+    ///
+    /// Both engines answer bit-identically: `Exhaustive` runs the
+    /// full-enumeration fast-path sweep, `BranchBound` the
+    /// epsilon-dominance branch-and-bound. A `topology` on the request
+    /// routes to the archetype's series–parallel composition space.
+    ///
+    /// # Errors
+    ///
+    /// * [`BrokerError::SloInfeasible`] when no deployment satisfies the
+    ///   hard constraints on *any* requested cloud. (A cloud that is
+    ///   individually infeasible while others are not is reported with
+    ///   an empty frontier instead.)
+    /// * Otherwise the same failures as [`Self::recommend`].
+    pub fn solve_slo(&self, request: &FrontierRequest) -> Result<FrontierReport, BrokerError> {
+        self.solve_slo_traced(request, &uptime_obs::TraceSpan::disabled())
+    }
+
+    /// [`Self::solve_slo`] under a request trace: hangs a
+    /// `broker.frontier` span — with `optimizer.pareto.search` children
+    /// carrying the tree-shape counters — below `parent`. Identical
+    /// answer bytes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::solve_slo`].
+    pub fn solve_slo_traced(
+        &self,
+        request: &FrontierRequest,
+        parent: &uptime_obs::TraceSpan,
+    ) -> Result<FrontierReport, BrokerError> {
+        let rec = &*self.recorder;
+        let _span = uptime_obs::span!(rec, "broker.frontier");
+        let trace_span = parent.child("broker.frontier");
+        let spec = request.spec();
+        let constraints = request.constraints();
+        let epsilon = spec.epsilon();
+        let catalog = self.catalog.read();
+        let clouds = resolve_clouds(&catalog, request.base())?;
+        let model = request.base().tco_model();
+
+        let mut cloud_fronts = Vec::with_capacity(clouds.len());
+        for cloud in clouds {
+            let frontier = if let Some(topology) = request.base().topology() {
+                let archetype: Archetype = topology.parse().map_err(
+                    |err: uptime_optimizer::archetypes::UnknownArchetype| {
+                        BrokerError::InvalidRequest {
+                            reason: err.to_string(),
+                        }
+                    },
+                )?;
+                let space = archetype.space(&catalog, &cloud)?;
+                let method_ids = leaf_method_ids(&catalog, &space);
+                let outcome = match self.engine {
+                    SearchEngine::Exhaustive => pareto_bnb::composition_sweep_recorded(
+                        &space,
+                        &model,
+                        &constraints,
+                        epsilon,
+                        rec,
+                        &trace_span,
+                    ),
+                    SearchEngine::BranchBound => {
+                        pareto_bnb::composition_search_with_threads_recorded(
+                            &space,
+                            &model,
+                            &constraints,
+                            epsilon,
+                            0,
+                            rec,
+                            &trace_span,
+                        )
+                    }
+                };
+                let points = frontier_points(&outcome, request, |assignment| {
+                    assignment
+                        .iter()
+                        .zip(space.leaves())
+                        .zip(&method_ids)
+                        .map(|((&idx, leaf), ids)| {
+                            (leaf.candidates()[idx].label().to_owned(), ids[idx].clone())
+                        })
+                        .collect()
+                });
+                CloudFrontier::new(cloud, points, *outcome.stats())
+            } else {
+                let space = SearchSpace::from_catalog(&catalog, &cloud, request.base().tiers())?;
+                let method_ids: Vec<Vec<HaMethodId>> = request
+                    .base()
+                    .tiers()
+                    .iter()
+                    .map(|kind| {
+                        catalog
+                            .methods_for(*kind)
+                            .iter()
+                            .map(|m| m.id().clone())
+                            .collect()
+                    })
+                    .collect();
+                let outcome = match self.engine {
+                    SearchEngine::Exhaustive => pareto_bnb::sweep_recorded(
+                        &space,
+                        &model,
+                        &constraints,
+                        epsilon,
+                        rec,
+                        &trace_span,
+                    ),
+                    SearchEngine::BranchBound => pareto_bnb::search_with_threads_recorded(
+                        &space,
+                        &model,
+                        &constraints,
+                        epsilon,
+                        0,
+                        rec,
+                        &trace_span,
+                    ),
+                };
+                let points = frontier_points(&outcome, request, |assignment| {
+                    assignment
+                        .iter()
+                        .zip(space.components())
+                        .zip(&method_ids)
+                        .map(|((&idx, comp), ids)| {
+                            (comp.candidates()[idx].label().to_owned(), ids[idx].clone())
+                        })
+                        .collect()
+                });
+                CloudFrontier::new(cloud, points, *outcome.stats())
+            };
+            cloud_fronts.push(frontier);
+        }
+        drop(catalog);
+
+        rec.counter_add("broker.frontier.clouds", cloud_fronts.len() as u64);
+        if cloud_fronts.iter().all(|c| c.points().is_empty()) {
+            rec.counter_add("broker.frontier.infeasible", 1);
+            return Err(BrokerError::SloInfeasible {
+                reason: infeasibility_reason(&constraints),
+            });
+        }
+        Ok(FrontierReport::new(
+            &self.engine.to_string(),
+            epsilon,
+            spec.uptime_target_percent(),
+            cloud_fronts,
+        ))
+    }
+
     /// Shared tail of every recommend path: emit metrics and annotate the
     /// answer when any involved provider is serving from a stale catalog.
     fn finish_recommendation(&self, cloud_recs: Vec<CloudRecommendation>) -> Recommendation {
@@ -1541,6 +1698,67 @@ fn resolve_as_is(
                 })
         })
         .collect()
+}
+
+/// Materializes one cloud's frontier outcome into wire points:
+/// `describe` maps an assignment to its `(label, method id)` per tier or
+/// leaf, and every point is scored against the spec's soft objectives.
+fn frontier_points(
+    outcome: &FrontierOutcome,
+    request: &FrontierRequest,
+    describe: impl Fn(&[usize]) -> Vec<(String, HaMethodId)>,
+) -> Vec<FrontierPoint> {
+    outcome
+        .points()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let cost = p.ha_cost().value();
+            let uptime = p.uptime();
+            let failover = p.failover_minutes_per_month();
+            let soft_score =
+                request
+                    .spec()
+                    .soft_score(&PointMetrics::new(cost, uptime.value(), failover));
+            let (labels, method_ids): (Vec<String>, Vec<HaMethodId>) =
+                describe(p.evaluation().assignment()).into_iter().unzip();
+            FrontierPoint::new(
+                i + 1,
+                labels,
+                method_ids,
+                cost,
+                uptime.as_percent(),
+                failover,
+                p.evaluation().tco().total().value(),
+                p.evaluation().tco().expects_penalty(),
+                soft_score,
+            )
+        })
+        .collect()
+}
+
+/// Renders which hard-constraint combination admitted nothing, for the
+/// [`BrokerError::SloInfeasible`] message.
+fn infeasibility_reason(constraints: &uptime_optimizer::FrontierConstraints) -> String {
+    let mut parts = Vec::new();
+    if let Some(floor) = constraints.min_uptime {
+        parts.push(format!("uptime >= {}%", floor * 100.0));
+    }
+    if let Some(cap) = constraints.max_cost {
+        parts.push(format!("cost <= ${cap}/month"));
+    }
+    if let Some(budget) = constraints.max_failover_minutes {
+        parts.push(format!("failover <= {budget} min/month"));
+    }
+    if parts.is_empty() {
+        // Unconstrained infeasibility means the space itself was empty.
+        "no candidate deployments exist".to_owned()
+    } else {
+        format!(
+            "no deployment satisfies {} on any requested cloud",
+            parts.join(" and ")
+        )
+    }
 }
 
 fn merge_estimates(a: &EstimatedParameters, b: &EstimatedParameters) -> EstimatedParameters {

@@ -24,6 +24,7 @@ use uptime_serve::{BackendError, ServeBackend};
 use crate::error::BrokerError;
 use crate::request::SolutionRequest;
 use crate::service::BrokerService;
+use crate::slo::FrontierRequest;
 
 /// Version of the `health` payload shape (shared by `brokerctl health
 /// --json` and the daemon's `health` endpoint). Bump when the top-level
@@ -150,6 +151,30 @@ pub fn canonical_fingerprint(endpoint: &str, request: &SolutionRequest) -> u128 
     h.finish()
 }
 
+/// Computes the canonical fingerprint of a `frontier` request: the
+/// envelope's canonical encoding (tiers, derived SLA, penalty, rounding,
+/// clouds, topology) extended with every SLO objective's
+/// `(metric, mode, weight, threshold)` tuple and the epsilon-dominance
+/// margin. Two spec spellings that parse to the same objective list
+/// fingerprint identically; any change to the optimization problem —
+/// a threshold nudge, a hard/soft flip, a reweighting — does not.
+#[must_use]
+pub fn frontier_fingerprint(request: &FrontierRequest) -> u128 {
+    let mut h = Fnv128::new();
+    h.write_str("uptime-serve/fingerprint/frontier/v1");
+    h.write(&canonical_fingerprint("frontier", request.base()).to_le_bytes());
+    let objectives = request.spec().objectives();
+    h.write_u64(objectives.len() as u64);
+    for objective in objectives {
+        h.write_u8(objective.metric().tag());
+        h.write_u8(objective.mode().tag());
+        h.write_f64(objective.weight());
+        h.write_f64(objective.threshold());
+    }
+    h.write_f64(request.spec().epsilon());
+    h.finish()
+}
+
 /// [`BrokerService`] adapted to the daemon's [`ServeBackend`] interface.
 ///
 /// Endpoints:
@@ -158,6 +183,7 @@ pub fn canonical_fingerprint(endpoint: &str, request: &SolutionRequest) -> u128 
 /// |-------------|-----------|---------------------------------------|
 /// | `recommend` | yes       | a [`SolutionRequest`]                 |
 /// | `metacloud` | yes       | a [`SolutionRequest`]                 |
+/// | `frontier`  | yes       | a [`FrontierRequest`] (SLO spec)      |
 /// | `health`    | no        | ignored                               |
 /// | `sync`      | no        | optional `{ "seed": u64 }`            |
 ///
@@ -207,6 +233,10 @@ impl ServingBroker {
     }
 
     fn parse_request(body: &Value) -> Result<SolutionRequest, BackendError> {
+        serde_json::from_value(body).map_err(|err| BackendError::BadRequest(err.to_string()))
+    }
+
+    fn parse_frontier(body: &Value) -> Result<FrontierRequest, BackendError> {
         serde_json::from_value(body).map_err(|err| BackendError::BadRequest(err.to_string()))
     }
 
@@ -287,7 +317,9 @@ fn classify(err: &BrokerError) -> BackendError {
     match err {
         BrokerError::InvalidRequest { .. }
         | BrokerError::UnknownCloud { .. }
-        | BrokerError::NoCandidates => BackendError::BadRequest(err.to_string()),
+        | BrokerError::NoCandidates
+        | BrokerError::SloSpec { .. }
+        | BrokerError::SloInfeasible { .. } => BackendError::BadRequest(err.to_string()),
         other => BackendError::Internal(other.to_string()),
     }
 }
@@ -302,6 +334,10 @@ impl ServeBackend for ServingBroker {
             "recommend" | "metacloud" => {
                 let request = Self::parse_request(body)?;
                 Ok(Some(canonical_fingerprint(endpoint, &request)))
+            }
+            "frontier" => {
+                let request = Self::parse_frontier(body)?;
+                Ok(Some(frontier_fingerprint(&request)))
             }
             "health" | "sync" => Ok(None),
             other => Err(BackendError::UnknownEndpoint(other.to_owned())),
@@ -335,6 +371,14 @@ impl ServeBackend for ServingBroker {
                     .map_err(|e| classify(&e))?;
                 Ok(serde_json::to_value(&recommendation))
             }
+            "frontier" => {
+                let request = Self::parse_frontier(body)?;
+                let report = self
+                    .service
+                    .solve_slo_traced(&request, parent)
+                    .map_err(|e| classify(&e))?;
+                Ok(serde_json::to_value(&report))
+            }
             "health" => Ok(self.health_body()),
             "sync" => self.sync_body(body, parent),
             other => Err(BackendError::UnknownEndpoint(other.to_owned())),
@@ -345,6 +389,7 @@ impl ServeBackend for ServingBroker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use serde::Deserialize;
     use uptime_catalog::{case_study, HaMethodId};
 
     fn request(percent: f64) -> SolutionRequest {
@@ -494,6 +539,89 @@ mod tests {
         let direct = backend.service().recommend(&request(98.0)).unwrap();
         let served = backend.handle("recommend", &body).unwrap();
         assert_eq!(served, serde_json::to_value(&direct));
+    }
+
+    fn frontier_body(threshold: f64, weight: f64) -> Value {
+        serde_json::json!({
+            "tiers": ["Compute", "Storage", "NetworkGateway"],
+            "penalty": { "PerHour": { "rate": 100.0 } },
+            "slo": { "objectives": [
+                { "metric": "uptime", "threshold": threshold, "mode": "hard" },
+                { "metric": "cost", "threshold": 1500.0, "mode": "soft", "weight": weight },
+            ] },
+        })
+    }
+
+    #[test]
+    fn frontier_fingerprint_tracks_the_spec() {
+        let parse = |v: &Value| FrontierRequest::from_value(v).unwrap();
+        let base = frontier_fingerprint(&parse(&frontier_body(98.0, 2.0)));
+        assert_eq!(
+            base,
+            frontier_fingerprint(&parse(&frontier_body(98.0, 2.0))),
+            "equal specs coalesce"
+        );
+        assert_ne!(
+            base,
+            frontier_fingerprint(&parse(&frontier_body(99.0, 2.0))),
+            "threshold is part of the problem"
+        );
+        assert_ne!(
+            base,
+            frontier_fingerprint(&parse(&frontier_body(98.0, 3.0))),
+            "soft weight is part of the problem"
+        );
+        let Value::Object(mut with_eps) = frontier_body(98.0, 2.0) else {
+            unreachable!()
+        };
+        let Some(Value::Object(slo)) = with_eps.get_mut("slo") else {
+            unreachable!()
+        };
+        slo.insert("epsilon".into(), serde_json::json!(0.5));
+        assert_ne!(
+            base,
+            frontier_fingerprint(&parse(&Value::Object(with_eps))),
+            "epsilon is part of the problem"
+        );
+    }
+
+    #[test]
+    fn frontier_endpoint_routes_and_classifies() {
+        let service = Arc::new(BrokerService::new(case_study::catalog()));
+        let backend = ServingBroker::new(service);
+        let body = frontier_body(98.0, 2.0);
+        assert!(backend.fingerprint("frontier", &body).unwrap().is_some());
+
+        // Served bytes equal the direct service answer.
+        let request = FrontierRequest::from_value(&body).unwrap();
+        let direct = backend.service().solve_slo(&request).unwrap();
+        let served = backend.handle("frontier", &body).unwrap();
+        assert_eq!(served, serde_json::to_value(&direct));
+
+        // A bad spec is the client's fault, at fingerprint time already.
+        let bad = serde_json::json!({
+            "tiers": ["Compute"],
+            "penalty": { "PerHour": { "rate": 100.0 } },
+            "slo": { "objectives": [] },
+        });
+        assert!(matches!(
+            backend.fingerprint("frontier", &bad),
+            Err(BackendError::BadRequest(_))
+        ));
+
+        // Infeasible hard constraints classify as a bad request too.
+        let infeasible = serde_json::json!({
+            "tiers": ["Compute", "Storage", "NetworkGateway"],
+            "penalty": { "PerHour": { "rate": 100.0 } },
+            "slo": { "objectives": [
+                { "metric": "uptime", "threshold": 99.999, "mode": "hard" },
+                { "metric": "cost", "threshold": 1.0, "mode": "hard" },
+            ] },
+        });
+        assert!(matches!(
+            backend.handle("frontier", &infeasible),
+            Err(BackendError::BadRequest(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,442 @@
+//! Declarative SLO intake and frontier reports (PR 9).
+//!
+//! Instead of a single SLA number, a customer hands the broker an
+//! [`SloSpec`] — a conjunction of hard and weighted-soft objectives over
+//! uptime, monthly cost, and failover budget — wrapped in a
+//! [`FrontierRequest`] naming the tiers, penalty clause, and clouds.
+//! The broker answers with a [`FrontierReport`]: per cloud, the exact
+//! Pareto frontier of feasible deployments (extracted by
+//! [`uptime_optimizer::pareto_bnb`]) with each point scored against the
+//! spec's soft objectives, plus which point the broker recommends.
+//!
+//! The wire shape deliberately omits an `sla` field: the TCO penalty
+//! model prices against the spec's strictest uptime objective, so the
+//! SLA is derived, never stated twice. The report likewise carries no
+//! epoch or timestamp — frontier answers are a pure function of the
+//! catalog contents and the request, which is what lets the serving
+//! layer's fingerprint cache hand out bit-identical bytes across epoch
+//! bumps that don't change the catalog.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use uptime_catalog::{CloudId, HaMethodId};
+use uptime_optimizer::{FrontierConstraints, ParetoStats};
+use uptime_slo::SloSpec;
+
+use crate::error::BrokerError;
+use crate::request::SolutionRequest;
+
+/// Version tag stamped into every [`FrontierReport`].
+pub const FRONTIER_SCHEMA_VERSION: u32 = 1;
+
+/// A frontier request: the solution-request envelope (tiers, penalty,
+/// optional rounding/clouds/topology) plus a declarative [`SloSpec`]
+/// under the `slo` key. The SLA is derived from the spec's strictest
+/// uptime objective rather than carried as a separate field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierRequest {
+    base: SolutionRequest,
+    spec: SloSpec,
+}
+
+impl FrontierRequest {
+    /// Builds a frontier request from an already-validated envelope and
+    /// spec. The envelope's SLA should price the same target the spec
+    /// declares — [`FrontierRequest::from_value`] guarantees that by
+    /// construction; use it (or [`FrontierRequest::from_spec`]) unless
+    /// you need a deliberately divergent penalty model.
+    #[must_use]
+    pub fn new(base: SolutionRequest, spec: SloSpec) -> Self {
+        FrontierRequest { base, spec }
+    }
+
+    /// Builds a request whose penalty model prices exactly the spec's
+    /// strictest uptime objective: the canonical pairing every wire
+    /// request deserializes to.
+    ///
+    /// # Errors
+    ///
+    /// [`BrokerError::InvalidRequest`] when the envelope is structurally
+    /// invalid (no tiers, missing penalty, as-is with topology).
+    pub fn from_spec(
+        builder: crate::request::SolutionRequestBuilder,
+        spec: SloSpec,
+    ) -> Result<Self, BrokerError> {
+        let base = builder.sla_percent(spec.uptime_target_percent())?.build()?;
+        Ok(FrontierRequest { base, spec })
+    }
+
+    /// The solution-request envelope (tiers, penalty model, clouds,
+    /// topology).
+    #[must_use]
+    pub fn base(&self) -> &SolutionRequest {
+        &self.base
+    }
+
+    /// The declarative SLO spec.
+    #[must_use]
+    pub fn spec(&self) -> &SloSpec {
+        &self.spec
+    }
+
+    /// The spec's strictest hard thresholds as search-space box
+    /// constraints for the frontier engines.
+    #[must_use]
+    pub fn constraints(&self) -> FrontierConstraints {
+        let bounds = self.spec.hard_bounds();
+        FrontierConstraints {
+            max_cost: bounds.max_cost,
+            min_uptime: bounds.min_uptime,
+            max_failover_minutes: bounds.max_failover_minutes,
+        }
+    }
+}
+
+impl Serialize for FrontierRequest {
+    fn to_value(&self) -> Value {
+        // Reuse the envelope's own serialization so the wire shape can
+        // never drift from `SolutionRequest`'s, then swap the derived
+        // `sla` (and the unsupported `as_is`) for the spec.
+        let Value::Object(mut map) = serde_json::to_value(&self.base) else {
+            unreachable!("solution requests serialize as objects");
+        };
+        map.remove("sla");
+        map.remove("as_is");
+        map.insert("slo".into(), self.spec.to_value());
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for FrontierRequest {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let object = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("a frontier-request object", value))?;
+        let spec = SloSpec::from_value(object.get("slo").unwrap_or(&Value::Null))
+            .map_err(|e| DeError::custom(format!("invalid slo spec: {e}")).in_field("slo"))?;
+
+        // Re-parse the envelope through `SolutionRequest`'s own
+        // deserializer with the derived SLA patched in, so tier/penalty/
+        // cloud validation lives in exactly one place.
+        let mut envelope = object.clone();
+        envelope.remove("slo");
+        envelope.remove("as_is");
+        envelope.insert(
+            "sla".into(),
+            serde_json::json!({ "target": spec.uptime_target_percent() / 100.0 }),
+        );
+        let base = SolutionRequest::from_value(&Value::Object(envelope))?;
+        Ok(FrontierRequest { base, spec })
+    }
+}
+
+/// One deployment on a cloud's feasible cost/uptime frontier, scored
+/// against the request's soft objectives.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontierPoint {
+    rank: usize,
+    labels: Vec<String>,
+    method_ids: Vec<HaMethodId>,
+    cost_per_month: f64,
+    uptime_percent: f64,
+    failover_minutes_per_month: f64,
+    tco_total: f64,
+    expects_penalty: bool,
+    soft_score: f64,
+}
+
+impl FrontierPoint {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        rank: usize,
+        labels: Vec<String>,
+        method_ids: Vec<HaMethodId>,
+        cost_per_month: f64,
+        uptime_percent: f64,
+        failover_minutes_per_month: f64,
+        tco_total: f64,
+        expects_penalty: bool,
+        soft_score: f64,
+    ) -> Self {
+        FrontierPoint {
+            rank,
+            labels,
+            method_ids,
+            cost_per_month,
+            uptime_percent,
+            failover_minutes_per_month,
+            tco_total,
+            expects_penalty,
+            soft_score,
+        }
+    }
+
+    /// 1-based position in the cost-ascending frontier.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Human-readable HA-method label per tier (or per archetype leaf).
+    #[must_use]
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Catalog method id per tier (or per archetype leaf).
+    #[must_use]
+    pub fn method_ids(&self) -> &[HaMethodId] {
+        &self.method_ids
+    }
+
+    /// Monthly HA spend, $/month.
+    #[must_use]
+    pub fn cost_per_month(&self) -> f64 {
+        self.cost_per_month
+    }
+
+    /// Modeled availability, percent.
+    #[must_use]
+    pub fn uptime_percent(&self) -> f64 {
+        self.uptime_percent
+    }
+
+    /// Expected failover downtime, minutes/month.
+    #[must_use]
+    pub fn failover_minutes_per_month(&self) -> f64 {
+        self.failover_minutes_per_month
+    }
+
+    /// Full TCO ($/month) under the derived penalty model.
+    #[must_use]
+    pub fn tco_total(&self) -> f64 {
+        self.tco_total
+    }
+
+    /// Whether the penalty model expects SLA slippage at this point.
+    #[must_use]
+    pub fn expects_penalty(&self) -> bool {
+        self.expects_penalty
+    }
+
+    /// Weighted soft-objective violation score; `0.0` means every soft
+    /// objective is met. Lower is better.
+    #[must_use]
+    pub fn soft_score(&self) -> f64 {
+        self.soft_score
+    }
+}
+
+/// One cloud's feasible frontier plus the search instrumentation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CloudFrontier {
+    cloud: CloudId,
+    points: Vec<FrontierPoint>,
+    recommended_index: Option<usize>,
+    stats: ParetoStats,
+}
+
+impl CloudFrontier {
+    pub(crate) fn new(cloud: CloudId, points: Vec<FrontierPoint>, stats: ParetoStats) -> Self {
+        // Recommend the lowest soft score; ties resolve to the cheaper
+        // (earlier) point because the frontier is cost-ascending.
+        let recommended_index = points
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.soft_score()
+                    .total_cmp(&b.soft_score())
+                    .then(a.cost_per_month().total_cmp(&b.cost_per_month()))
+            })
+            .map(|(i, _)| i);
+        CloudFrontier {
+            cloud,
+            points,
+            recommended_index,
+            stats,
+        }
+    }
+
+    /// The cloud this frontier was extracted on.
+    #[must_use]
+    pub fn cloud(&self) -> &CloudId {
+        &self.cloud
+    }
+
+    /// Feasible frontier points, cost-ascending with strictly rising
+    /// uptime. Empty exactly when the hard constraints admit nothing on
+    /// this cloud.
+    #[must_use]
+    pub fn points(&self) -> &[FrontierPoint] {
+        &self.points
+    }
+
+    /// Index into [`CloudFrontier::points`] of the broker's pick: the
+    /// minimum soft-objective violation, ties to the cheaper point.
+    #[must_use]
+    pub fn recommended_index(&self) -> Option<usize> {
+        self.recommended_index
+    }
+
+    /// The recommended point itself.
+    #[must_use]
+    pub fn recommended(&self) -> Option<&FrontierPoint> {
+        self.recommended_index.map(|i| &self.points[i])
+    }
+
+    /// Frontier-search instrumentation (tree shape, pruning, threads).
+    #[must_use]
+    pub fn stats(&self) -> &ParetoStats {
+        &self.stats
+    }
+}
+
+/// The broker's answer to a [`FrontierRequest`].
+///
+/// Deliberately epoch-free: equal requests against an unchanged catalog
+/// serialize to identical bytes even across serving-epoch bumps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontierReport {
+    schema_version: u32,
+    engine: String,
+    epsilon: f64,
+    target_uptime_percent: f64,
+    clouds: Vec<CloudFrontier>,
+}
+
+impl FrontierReport {
+    pub(crate) fn new(
+        engine: &str,
+        epsilon: f64,
+        target_uptime_percent: f64,
+        clouds: Vec<CloudFrontier>,
+    ) -> Self {
+        FrontierReport {
+            schema_version: FRONTIER_SCHEMA_VERSION,
+            engine: engine.to_owned(),
+            epsilon,
+            target_uptime_percent,
+            clouds,
+        }
+    }
+
+    /// The report format version ([`FRONTIER_SCHEMA_VERSION`]).
+    #[must_use]
+    pub fn schema_version(&self) -> u32 {
+        self.schema_version
+    }
+
+    /// Which frontier engine answered (`"exhaustive"` or `"bnb"`).
+    /// Both produce bit-identical points.
+    #[must_use]
+    pub fn engine(&self) -> &str {
+        &self.engine
+    }
+
+    /// The epsilon-dominance margin the search pruned with.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The derived SLA target (strictest uptime objective), percent.
+    #[must_use]
+    pub fn target_uptime_percent(&self) -> f64 {
+        self.target_uptime_percent
+    }
+
+    /// Per-cloud frontiers, in catalog order (or request order when the
+    /// request named clouds).
+    #[must_use]
+    pub fn clouds(&self) -> &[CloudFrontier] {
+        &self.clouds
+    }
+
+    /// The overall best pick across clouds: the recommended point with
+    /// the lowest `(soft_score, cost)`, with its cloud.
+    #[must_use]
+    pub fn best(&self) -> Option<(&CloudId, &FrontierPoint)> {
+        self.clouds
+            .iter()
+            .filter_map(|c| c.recommended().map(|p| (c.cloud(), p)))
+            .min_by(|(_, a), (_, b)| {
+                a.soft_score()
+                    .total_cmp(&b.soft_score())
+                    .then(a.cost_per_month().total_cmp(&b.cost_per_month()))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uptime_catalog::ComponentKind;
+
+    fn spec() -> SloSpec {
+        SloSpec::from_json_str(
+            r#"{ "objectives": [
+                { "metric": "uptime", "threshold": 98.0, "mode": "hard" },
+                { "metric": "cost", "threshold": 1500.0, "mode": "soft", "weight": 2.0 }
+            ] }"#,
+        )
+        .unwrap()
+    }
+
+    fn request() -> FrontierRequest {
+        FrontierRequest::from_spec(
+            SolutionRequest::builder()
+                .tiers(ComponentKind::paper_tiers())
+                .penalty_per_hour(100.0)
+                .unwrap(),
+            spec(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sla_is_derived_from_spec() {
+        let r = request();
+        assert_eq!(r.base().sla().as_percent(), 98.0);
+        let c = r.constraints();
+        assert_eq!(c.min_uptime, Some(0.98));
+        assert_eq!(c.max_cost, None, "soft cost objective must not prune");
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let r = request();
+        let wire = serde_json::to_value(&r);
+        let Value::Object(map) = &wire else {
+            panic!("frontier requests serialize as objects")
+        };
+        assert!(!map.contains_key("sla"), "sla is derived, never carried");
+        assert!(map.contains_key("slo"));
+        let back = FrontierRequest::from_value(&wire).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn bad_spec_is_a_typed_field_error() {
+        let wire = serde_json::json!({
+            "tiers": ["compute"],
+            "penalty": { "PerHour": { "rate": 100.0 } },
+            "slo": { "objectives": [] },
+        });
+        let err = FrontierRequest::from_value(&wire).unwrap_err();
+        assert!(err.to_string().contains("slo"), "{err}");
+    }
+
+    #[test]
+    fn recommended_index_prefers_low_score_then_cost() {
+        let p = |rank: usize, cost: f64, score: f64| {
+            FrontierPoint::new(rank, vec![], vec![], cost, 99.0, 1.0, cost, false, score)
+        };
+        let cloud = CloudFrontier::new(
+            CloudId::new("x"),
+            vec![p(1, 0.0, 3.0), p(2, 100.0, 1.0), p(3, 200.0, 1.0)],
+            ParetoStats::default(),
+        );
+        assert_eq!(cloud.recommended_index(), Some(1), "tie goes to cheaper");
+        let empty = CloudFrontier::new(CloudId::new("x"), vec![], ParetoStats::default());
+        assert_eq!(empty.recommended_index(), None);
+    }
+}

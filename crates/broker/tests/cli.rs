@@ -47,6 +47,99 @@ fn catalog_lists_methods_and_clouds() {
 }
 
 #[test]
+fn frontier_renders_the_demo_tradeoff() {
+    let output = brokerctl().arg("frontier").output().expect("binary runs");
+    assert!(output.status.success(), "{output:?}");
+    let text = String::from_utf8(output.stdout).unwrap();
+    // Demo spec: 98% hard floor keeps the paper's two top options; the
+    // $2000 soft cap recommends the $1350 point.
+    assert!(text.contains("uptime target 98.000%"), "{text}");
+    assert!(text.contains("<- recommended"), "{text}");
+    assert!(text.contains("1350"), "{text}");
+    assert!(text.contains("3550"), "{text}");
+}
+
+#[test]
+fn frontier_json_matches_engines_and_specs() {
+    let inline = r#"{ "objectives": [
+        { "metric": "uptime", "threshold": 92.0, "mode": "hard" },
+        { "metric": "cost", "threshold": 1000.0, "mode": "soft" }
+    ] }"#;
+    let run = |engine: &str| {
+        let output = brokerctl()
+            .args(["frontier", "--json", "--engine", engine, "--inline", inline])
+            .output()
+            .expect("binary runs");
+        assert!(output.status.success(), "{output:?}");
+        serde_json::from_slice::<serde_json::Value>(&output.stdout).unwrap()
+    };
+    let exhaustive = run("exhaustive");
+    let bnb = run("bnb");
+    assert_eq!(
+        exhaustive.get("engine").and_then(|e| e.as_str()),
+        Some("exhaustive")
+    );
+    assert_eq!(bnb.get("engine").and_then(|e| e.as_str()), Some("bnb"));
+    // Same points either way (stats legitimately differ).
+    let points = |v: &serde_json::Value| {
+        v.get("clouds").and_then(|c| c.as_array()).unwrap()[0]
+            .get("points")
+            .cloned()
+    };
+    assert_eq!(points(&exhaustive), points(&bnb));
+
+    // A spec file is read the same as --inline.
+    let dir = std::env::temp_dir().join("brokerctl-frontier-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("spec.json");
+    std::fs::write(&path, inline).unwrap();
+    let from_file = brokerctl()
+        .args(["frontier", "--json", "--spec", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(from_file.status.success(), "{from_file:?}");
+    let from_file: serde_json::Value = serde_json::from_slice(&from_file.stdout).unwrap();
+    assert_eq!(from_file, exhaustive);
+}
+
+#[test]
+fn frontier_infeasible_spec_exits_3_and_bad_spec_exits_1() {
+    let impossible = r#"{ "objectives": [
+        { "metric": "uptime", "threshold": 99.999, "mode": "hard" },
+        { "metric": "cost", "threshold": 1.0, "mode": "hard" }
+    ] }"#;
+    let output = brokerctl()
+        .args(["frontier", "--inline", impossible])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(3), "{output:?}");
+    let err = String::from_utf8(output.stderr).unwrap();
+    assert!(err.contains("slo infeasible"), "{err}");
+
+    let malformed = r#"{ "objectives": [ { "metric": "latency", "threshold": 1.0 } ] }"#;
+    let output = brokerctl()
+        .args(["frontier", "--inline", malformed])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(1), "{output:?}");
+    let err = String::from_utf8(output.stderr).unwrap();
+    assert!(err.contains("brokerctl:"), "{err}");
+}
+
+#[test]
+fn help_documents_frontier_and_exit_codes() {
+    let output = brokerctl().arg("help").output().expect("binary runs");
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.contains("frontier ["), "{text}");
+    assert!(text.contains("slo_spec.schema.json"), "{text}");
+    assert!(
+        text.contains("`frontier`: the"),
+        "exit-code table must cover frontier: {text}"
+    );
+}
+
+#[test]
 fn sweep_shows_crossovers() {
     let output = brokerctl()
         .args(["sweep", "90", "99.5", "10"])

@@ -95,18 +95,20 @@ pub struct BnbStats {
     pub variants_skipped: u64,
 }
 
-/// Per-component suffix aggregates the bound is built from.
-struct Bounds {
+/// Per-component suffix aggregates the bound is built from. Shared with
+/// [`crate::pareto_bnb`], whose frontier prune reuses the same admissible
+/// per-prefix cost floor and availability ceiling.
+pub(crate) struct Bounds {
     /// `minC_p = Σ_{i≥p} min_j cost(i, j)`; index `n` is 0.
-    suffix_min_cost: Vec<f64>,
+    pub(crate) suffix_min_cost: Vec<f64>,
     /// `maxA_p = Π_{i≥p} max_j a(i, j)`; index `n` is 1.
-    suffix_max_avail: Vec<f64>,
+    pub(crate) suffix_max_avail: Vec<f64>,
     /// `Π_{i≥p} k_i` (saturating): variants under a depth-`p` node.
-    suffix_size: Vec<u64>,
+    pub(crate) suffix_size: Vec<u64>,
 }
 
 impl Bounds {
-    fn new(terms: &[Vec<CandidateTerms>]) -> Self {
+    pub(crate) fn new(terms: &[Vec<CandidateTerms>]) -> Self {
         let n = terms.len();
         let mut suffix_min_cost = vec![0.0; n + 1];
         let mut suffix_max_avail = vec![1.0; n + 1];

@@ -798,6 +798,13 @@ impl CompositionCursor<'_, '_> {
         true
     }
 
+    /// The combined accumulator of the current assignment — the compact
+    /// facts the frontier sweeps rank on without materializing an
+    /// [`Evaluation`].
+    pub(crate) fn accum(&self) -> Accum {
+        self.states[self.digits.len()].combined()
+    }
+
     /// The ranking facts for the current assignment. Allocation-free.
     #[must_use]
     pub fn rank_key(&self) -> RankKey {

@@ -54,20 +54,21 @@ const BOUND_SLACK: f64 = 1e-6;
 /// Prefix tasks per worker, matching the serial engine's stealing grain.
 const TASKS_PER_THREAD: usize = 8;
 
-/// Per-leaf suffix aggregates of the composition bound.
-struct Bounds {
+/// Per-leaf suffix aggregates of the composition bound. Shared with
+/// [`crate::pareto_bnb`]'s composition frontier prune.
+pub(crate) struct Bounds {
     /// `minC_p = Σ_{i≥p} min_j cost(i, j)`; index `n` is 0.
-    suffix_min_cost: Vec<f64>,
+    pub(crate) suffix_min_cost: Vec<f64>,
     /// `spineMaxA_p = Π_{i≥p, spine} max_j a(i, j)`; index `n` is 1.
-    spine_suffix_max: Vec<f64>,
+    pub(crate) spine_suffix_max: Vec<f64>,
     /// `parMaxA_p = Π_{s: lo_s ≥ p} A_s^max`; index `n` is 1.
-    par_suffix_max: Vec<f64>,
+    pub(crate) par_suffix_max: Vec<f64>,
     /// `Π_{i≥p} k_i` (saturating): variants under a depth-`p` node.
-    suffix_size: Vec<u64>,
+    pub(crate) suffix_size: Vec<u64>,
 }
 
 impl Bounds {
-    fn new(space: &CompositionSpace, terms: &[Vec<CandidateTerms>]) -> Self {
+    pub(crate) fn new(space: &CompositionSpace, terms: &[Vec<CandidateTerms>]) -> Self {
         let n = terms.len();
         let leaf_max: Vec<f64> = terms
             .iter()

@@ -25,6 +25,9 @@
 //! * [`greedy::search`] / [`anneal::search`] — inexact heuristics used as
 //!   ablation baselines in the benchmarks.
 //! * [`pareto::frontier`] — the cost/uptime Pareto front.
+//! * [`pareto_bnb::search`] — the same frontier on the bounded fast
+//!   path: epsilon-dominance branch-and-bound with hard SLO box
+//!   constraints, thread-count-independent output.
 //!
 //! Beyond serial chains, [`composition`] searches series–parallel
 //! topologies ([`CompositionSpace`] over a `Block` diagram) with the same
@@ -69,6 +72,7 @@ pub mod objective;
 pub mod outcome;
 pub mod parallel;
 pub mod pareto;
+pub mod pareto_bnb;
 pub mod pruned;
 pub mod space;
 pub mod sweep;
@@ -81,5 +85,6 @@ pub use fast::{FastCursor, FastEvaluator};
 pub use objective::{Objective, RankKey};
 pub use outcome::{SearchOutcome, SearchStats};
 pub use pareto::ParetoPoint;
+pub use pareto_bnb::{FrontierConstraints, FrontierOutcome, ParetoStats};
 pub use space::{Candidate, ComponentChoices, SearchSpace, SpaceError};
 pub use sweep::{SlaSweep, SweepPoint};

@@ -25,6 +25,11 @@ pub struct ParetoPoint {
 }
 
 impl ParetoPoint {
+    /// Wraps an evaluation the frontier engines already vetted.
+    pub(crate) fn from_evaluation(evaluation: Evaluation) -> Self {
+        ParetoPoint { evaluation }
+    }
+
     /// The underlying evaluation.
     #[must_use]
     pub fn evaluation(&self) -> &Evaluation {
@@ -42,6 +47,13 @@ impl ParetoPoint {
     pub fn uptime(&self) -> uptime_core::Probability {
         self.evaluation.uptime().availability()
     }
+
+    /// Expected failover downtime of this point, minutes/month — the
+    /// coordinate SLO failover budgets are measured against.
+    #[must_use]
+    pub fn failover_minutes_per_month(&self) -> f64 {
+        crate::pareto_bnb::failover_minutes(self.evaluation.uptime())
+    }
 }
 
 /// Computes the Pareto frontier over HA cost (minimize) and uptime
@@ -50,6 +62,16 @@ impl ParetoPoint {
 /// A point is kept when no other point has both lower-or-equal cost and
 /// strictly higher uptime, or strictly lower cost and equal-or-higher
 /// uptime.
+///
+/// # Invariant
+///
+/// The result is deterministic and duplicate-free: points are returned
+/// in strictly ascending `(cost, uptime)` order — equal
+/// `(cost, uptime)` pairs are deduplicated — and when several
+/// assignments achieve the same frontier point, the one with the
+/// smallest flat (lexicographic) assignment index represents it. The
+/// candidate sort key is explicitly `(cost ↑, uptime ↓, flat index ↑)`,
+/// so the output never depends on sort stability or enumeration order.
 ///
 /// # Examples
 ///
@@ -88,11 +110,18 @@ pub fn frontier(space: &SearchSpace, model: &TcoModel) -> Vec<ParetoPoint> {
         }
     }
 
-    // Sort by cost ascending, uptime descending for a single sweep; the
-    // stable sort keeps lexicographically-earlier assignments first among
-    // ties, matching the materializing implementation this replaced.
-    facts.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| b.1.cmp(&a.1)));
+    // Sort by cost ascending, uptime descending, flat index ascending:
+    // the explicit index tie-break pins which assignment represents a
+    // frontier point without leaning on sort stability.
+    facts.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then_with(|| b.1.cmp(&a.1))
+            .then(a.2.cmp(&b.2))
+    });
 
+    // The strict `uptime > best` sweep both filters dominated points and
+    // deduplicates equal `(cost, uptime)` pairs in one pass — a repeat of
+    // the current best uptime is never an improvement.
     let mut out: Vec<ParetoPoint> = Vec::new();
     let mut best_uptime: Option<Probability> = None;
     for (_, uptime, flat_index) in facts {
@@ -203,6 +232,61 @@ mod tests {
                 .collect();
             assert_eq!(swept, naive, "{cloud}");
         }
+    }
+
+    #[test]
+    fn duplicate_points_are_deduplicated_deterministically() {
+        // A space where two distinct assignments produce identical
+        // (cost, uptime) pairs: two interchangeable copies of the same
+        // HA candidate. The frontier must keep exactly one point per
+        // value pair, represented by the lexicographically-first
+        // assignment (the lower flat index).
+        use uptime_core::{ClusterSpec, FailuresPerYear, Minutes, MoneyPerMonth, Probability};
+
+        use crate::space::{Candidate, ComponentChoices};
+
+        let p = Probability::new(0.05).unwrap();
+        let baseline = Candidate::new(
+            "none",
+            ClusterSpec::singleton("web", p, 2.0).unwrap(),
+            MoneyPerMonth::ZERO,
+            true,
+        );
+        let ha = |name: &str| {
+            Candidate::new(
+                name,
+                ClusterSpec::builder("web-ha")
+                    .total_nodes(2)
+                    .standby_budget(1)
+                    .node_down_probability(p)
+                    .failures_per_year(FailuresPerYear::new(2.0).unwrap())
+                    .failover_time(Minutes::new(5.0).unwrap())
+                    .build()
+                    .unwrap(),
+                MoneyPerMonth::new(400.0).unwrap(),
+                false,
+            )
+        };
+        let space = SearchSpace::new(vec![ComponentChoices::new(
+            "web",
+            vec![baseline, ha("twin-a"), ha("twin-b")],
+        )
+        .unwrap()])
+        .unwrap();
+        let model = case_study::tco_model();
+
+        let f = frontier(&space, &model);
+        // Values must be strictly increasing — the twin pair collapses.
+        for w in f.windows(2) {
+            assert!(w[0].ha_cost() < w[1].ha_cost() || w[0].uptime() < w[1].uptime());
+        }
+        let twins: Vec<_> = f
+            .iter()
+            .filter(|pt| (pt.ha_cost().value() - 400.0).abs() < 1e-9)
+            .collect();
+        assert_eq!(twins.len(), 1, "equal-value twins must deduplicate");
+        // twin-a (assignment [1]) beats twin-b ([2]) on flat index.
+        assert_eq!(twins[0].evaluation().assignment(), &[1]);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! readers wind down, the queue is closed, and workers answer everything
 //! already admitted before exiting. Nothing admitted is ever dropped.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as FmtWrite;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -23,7 +24,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
-use serde::Value;
+use serde::{Map, Value};
 use uptime_obs::{
     trace_seed_from_bytes, trace_seed_from_fingerprint, ActiveTrace, FlightRecorder,
     MetricsRegistry, Recorder, TraceConfig, TraceOutcome, TraceRecord,
@@ -609,6 +610,10 @@ fn handle_job(shared: &Arc<Shared>, job: Job) {
             }
         }
         Ok(Some(fingerprint)) => {
+            // Cache traffic is also attributed per endpoint (bounded by
+            // `sanitize_endpoint`) so `stats` can answer e.g. how the
+            // `frontier` cache behaves independently of `recommend`.
+            let cache_label = sanitize_endpoint(endpoint);
             let epoch_now = shared.backend.epoch();
             let lookup = {
                 let mut cache_span = trace.root().child("serve.cache.lookup");
@@ -626,6 +631,7 @@ fn handle_job(shared: &Arc<Shared>, job: Job) {
             match lookup {
                 Lookup::Hit(body) => {
                     rec.counter_add("serve.cache.hit", 1);
+                    rec.counter_add(&format!("serve.cache.{cache_label}.hit"), 1);
                     Reply::Ok {
                         epoch: epoch_now,
                         cached: true,
@@ -634,13 +640,12 @@ fn handle_job(shared: &Arc<Shared>, job: Job) {
                     }
                 }
                 probe => {
-                    rec.counter_add(
-                        match probe {
-                            Lookup::Stale => "serve.cache.stale",
-                            _ => "serve.cache.miss",
-                        },
-                        1,
-                    );
+                    let verdict = match probe {
+                        Lookup::Stale => "stale",
+                        _ => "miss",
+                    };
+                    rec.counter_add(&format!("serve.cache.{verdict}"), 1);
+                    rec.counter_add(&format!("serve.cache.{cache_label}.{verdict}"), 1);
                     match shared.flights.join(fingerprint) {
                         Role::Leader(flight) => {
                             let mut exec_span = trace.root().child("serve.execute");
@@ -787,6 +792,7 @@ fn stats_body(shared: &Shared) -> Value {
             "stale": counter("serve.cache.stale"),
             "size": shared.cache.len() as u64,
         },
+        "cache_by_endpoint": cache_by_endpoint(&snap),
         "coalesced": counter("serve.coalesced"),
         "shed": counter("serve.shed"),
         "responses": counter("serve.responses"),
@@ -799,6 +805,38 @@ fn stats_body(shared: &Shared) -> Value {
         "inflight": shared.inflight.load(Ordering::Acquire),
         "trace": trace_stats_value(shared.tracer.as_deref()),
     })
+}
+
+/// The `cache_by_endpoint` section of the `stats` body: for every
+/// endpoint that has seen cacheable traffic, its hit/miss/stale tallies,
+/// reconstructed from the `serve.cache.<endpoint>.<verdict>` counters.
+/// Endpoint label cardinality is bounded by `sanitize_endpoint`.
+fn cache_by_endpoint(snap: &uptime_obs::MetricsSnapshot) -> Value {
+    let mut per_endpoint: BTreeMap<&str, Map> = BTreeMap::new();
+    for (name, value) in &snap.counters {
+        let Some(rest) = name.strip_prefix("serve.cache.") else {
+            continue;
+        };
+        let Some((endpoint, verdict)) = rest.rsplit_once('.') else {
+            continue; // the global hit/miss/stale counters
+        };
+        if matches!(verdict, "hit" | "miss" | "stale") {
+            per_endpoint
+                .entry(endpoint)
+                .or_default()
+                .insert(verdict.to_owned(), serde_json::to_value(value));
+        }
+    }
+    let mut body = Map::new();
+    for (endpoint, mut verdicts) in per_endpoint {
+        for verdict in ["hit", "miss", "stale"] {
+            verdicts
+                .entry(verdict.to_owned())
+                .or_insert_with(|| serde_json::to_value(&0u64));
+        }
+        body.insert(endpoint.to_owned(), Value::Object(verdicts));
+    }
+    Value::Object(body)
 }
 
 /// The flight-recorder section of `stats` and `health` bodies: occupancy

@@ -115,6 +115,18 @@ fn recommend_frame(id: u64, percent: f64) -> RequestFrame {
     RequestFrame::new(id, "recommend", serde_json::to_value(&request))
 }
 
+fn frontier_frame(id: u64, threshold: f64) -> RequestFrame {
+    let body = serde_json::json!({
+        "tiers": ["Compute", "Storage", "NetworkGateway"],
+        "penalty": { "PerHour": { "rate": 100.0 } },
+        "slo": { "objectives": [
+            { "metric": "uptime", "threshold": threshold, "mode": "hard" },
+            { "metric": "cost", "threshold": 1000.0, "mode": "soft" }
+        ] },
+    });
+    RequestFrame::new(id, "frontier", body)
+}
+
 /// Canonical text form for bit-identical comparisons (the vendored map is
 /// a `BTreeMap`, so serialization order is deterministic).
 fn text(value: &Value) -> String {
@@ -226,19 +238,44 @@ fn cache_counters_reconcile_exactly() {
         assert_eq!(client.call(&recommend_frame(id, percent)).code, code::OK);
     }
 
-    assert_eq!(counter(&handle, "serve.cache.hit"), 4);
-    assert_eq!(counter(&handle, "serve.cache.miss"), 4);
+    // Frontier traffic is cacheable too and attributed separately:
+    // 2 identical + 1 distinct → 1 hit, 2 misses on `frontier`.
+    for (id, threshold) in [(8u64, 92.0), (9, 92.0), (10, 95.0)] {
+        assert_eq!(client.call(&frontier_frame(id, threshold)).code, code::OK);
+    }
+
+    assert_eq!(counter(&handle, "serve.cache.hit"), 5);
+    assert_eq!(counter(&handle, "serve.cache.miss"), 6);
     assert_eq!(counter(&handle, "serve.cache.stale"), 0);
     assert_eq!(counter(&handle, "serve.shed"), 0);
-    assert_eq!(counter(&handle, "serve.responses"), 8);
+    assert_eq!(counter(&handle, "serve.responses"), 11);
+    assert_eq!(counter(&handle, "serve.cache.recommend.hit"), 4);
+    assert_eq!(counter(&handle, "serve.cache.recommend.miss"), 4);
+    assert_eq!(counter(&handle, "serve.cache.frontier.hit"), 1);
+    assert_eq!(counter(&handle, "serve.cache.frontier.miss"), 2);
 
     // The stats endpoint reports the same numbers (plus its own response).
     let stats = client.call(&RequestFrame::new(99, "stats", Value::Null));
     let body = stats.body.expect("stats body");
     let cache = body.get("cache").expect("cache section");
-    assert_eq!(cache.get("hit").and_then(Value::as_u64), Some(4));
-    assert_eq!(cache.get("miss").and_then(Value::as_u64), Some(4));
-    assert_eq!(cache.get("size").and_then(Value::as_u64), Some(4));
+    assert_eq!(cache.get("hit").and_then(Value::as_u64), Some(5));
+    assert_eq!(cache.get("miss").and_then(Value::as_u64), Some(6));
+    assert_eq!(cache.get("size").and_then(Value::as_u64), Some(6));
+    // … broken out per endpoint, so frontier cache behavior is visible
+    // independently of recommend.
+    let by_endpoint = body.get("cache_by_endpoint").expect("per-endpoint section");
+    let section = |endpoint: &str, verdict: &str| {
+        by_endpoint
+            .get(endpoint)
+            .and_then(|e| e.get(verdict))
+            .and_then(Value::as_u64)
+    };
+    assert_eq!(section("recommend", "hit"), Some(4));
+    assert_eq!(section("recommend", "miss"), Some(4));
+    assert_eq!(section("recommend", "stale"), Some(0));
+    assert_eq!(section("frontier", "hit"), Some(1));
+    assert_eq!(section("frontier", "miss"), Some(2));
+    assert_eq!(section("frontier", "stale"), Some(0));
 
     let mut handle = handle;
     handle.shutdown();

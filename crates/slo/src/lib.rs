@@ -1,0 +1,764 @@
+//! # uptime-slo
+//!
+//! A small declarative SLO language for the broker. The paper's broker
+//! answers one question — "cheapest variant meeting one uptime target" —
+//! but real clients negotiate several objectives at once: an uptime
+//! floor, a monthly budget, and a failover-latency budget. This crate
+//! parses that multi-objective contract from JSON into a validated
+//! [`ObjectiveNode`] tree with typed [`SpecError`]s, and scores candidate
+//! deployment points ([`PointMetrics`]) against it.
+//!
+//! The grammar (checked in at `schemas/slo_spec.schema.json`):
+//!
+//! ```json
+//! {
+//!   "epsilon": 1e-9,
+//!   "objectives": [
+//!     { "metric": "uptime",   "threshold": 99.0,   "mode": "hard" },
+//!     { "metric": "cost",     "threshold": 2000.0, "mode": "soft", "weight": 2.0 },
+//!     { "metric": "failover", "threshold": 5.0,    "mode": "soft" }
+//!   ]
+//! }
+//! ```
+//!
+//! Threshold semantics per metric:
+//!
+//! | metric     | threshold means                                  | direction |
+//! |------------|--------------------------------------------------|-----------|
+//! | `uptime`   | minimum availability, **percent** (0, 100]       | ≥         |
+//! | `cost`     | monthly HA-spend cap, $/month                    | ≤         |
+//! | `failover` | expected failover downtime budget, minutes/month | ≤         |
+//!
+//! `hard` objectives are box constraints (infeasible points are excluded
+//! from the frontier); `soft` objectives carry a finite non-negative
+//! `weight` and contribute to [`SloSpec::soft_score`], a weighted sum of
+//! relative violations used to rank frontier points. Unknown keys, NaN or
+//! negative weights, and out-of-range thresholds are rejected with typed
+//! errors — never panics.
+//!
+//! # Example
+//!
+//! ```
+//! use uptime_slo::{PointMetrics, SloSpec};
+//!
+//! let spec = SloSpec::from_json_str(
+//!     r#"{ "objectives": [
+//!         { "metric": "uptime", "threshold": 98.0, "mode": "hard" },
+//!         { "metric": "cost", "threshold": 1500.0, "mode": "soft" }
+//!     ] }"#,
+//! )
+//! .unwrap();
+//! assert_eq!(spec.uptime_target_percent(), 98.0);
+//! let point = PointMetrics::new(1350.0, 0.9996, 2.0);
+//! assert!(spec.hard_ok(&point));
+//! assert_eq!(spec.soft_score(&point), 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use serde::Value;
+
+/// Grammar revision embedded in serialized specs and fingerprints.
+pub const SPEC_VERSION: u32 = 1;
+
+/// Default epsilon-dominance margin when the spec does not set one.
+pub const DEFAULT_EPSILON: f64 = 1e-9;
+
+/// Which measurable quantity an objective constrains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SloMetric {
+    /// Availability floor; threshold is a percent in (0, 100].
+    Uptime,
+    /// Monthly HA-spend cap; threshold is $/month, ≥ 0.
+    Cost,
+    /// Expected failover downtime budget; threshold is minutes/month, ≥ 0.
+    Failover,
+}
+
+impl SloMetric {
+    /// The spec keyword for this metric.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SloMetric::Uptime => "uptime",
+            SloMetric::Cost => "cost",
+            SloMetric::Failover => "failover",
+        }
+    }
+
+    /// Stable one-byte tag for fingerprinting.
+    #[must_use]
+    pub fn tag(self) -> u8 {
+        match self {
+            SloMetric::Uptime => 0,
+            SloMetric::Cost => 1,
+            SloMetric::Failover => 2,
+        }
+    }
+}
+
+impl fmt::Display for SloMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Whether an objective excludes points (`Hard`) or merely ranks them
+/// (`Soft`, with a weight).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ObjectiveMode {
+    /// A box constraint: violating points are infeasible.
+    Hard,
+    /// A weighted preference folded into [`SloSpec::soft_score`].
+    Soft,
+}
+
+impl ObjectiveMode {
+    /// The spec keyword for this mode.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ObjectiveMode::Hard => "hard",
+            ObjectiveMode::Soft => "soft",
+        }
+    }
+
+    /// Stable one-byte tag for fingerprinting.
+    #[must_use]
+    pub fn tag(self) -> u8 {
+        match self {
+            ObjectiveMode::Hard => 0,
+            ObjectiveMode::Soft => 1,
+        }
+    }
+}
+
+impl fmt::Display for ObjectiveMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One validated leaf objective.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloObjective {
+    metric: SloMetric,
+    threshold: f64,
+    mode: ObjectiveMode,
+    weight: f64,
+}
+
+impl SloObjective {
+    /// The constrained metric.
+    #[must_use]
+    pub fn metric(&self) -> SloMetric {
+        self.metric
+    }
+
+    /// The threshold, in the metric's native unit (see crate docs).
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Hard constraint or soft preference.
+    #[must_use]
+    pub fn mode(&self) -> ObjectiveMode {
+        self.mode
+    }
+
+    /// Weight for soft objectives; `1.0` for hard ones (unused).
+    #[must_use]
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// For uptime objectives, the threshold as an availability fraction.
+    #[must_use]
+    pub fn uptime_fraction(&self) -> Option<f64> {
+        (self.metric == SloMetric::Uptime).then(|| self.threshold / 100.0)
+    }
+
+    /// How far `point` overshoots this objective, as a dimensionless
+    /// relative violation (`0.0` when satisfied).
+    ///
+    /// Uptime violations are scaled by the *allowed downtime budget*
+    /// `1 − target`, so "promised three nines, delivered two" scores
+    /// much worse than a hair-thin miss; cost and failover violations
+    /// are scaled by their own threshold.
+    #[must_use]
+    pub fn violation(&self, point: &PointMetrics) -> f64 {
+        match self.metric {
+            SloMetric::Uptime => {
+                let target = self.threshold / 100.0;
+                let short = (target - point.uptime).max(0.0);
+                short / (1.0 - target).max(1e-9)
+            }
+            SloMetric::Cost => {
+                (point.cost_per_month - self.threshold).max(0.0) / self.threshold.max(1.0)
+            }
+            SloMetric::Failover => {
+                (point.failover_minutes_per_month - self.threshold).max(0.0)
+                    / self.threshold.max(1.0)
+            }
+        }
+    }
+
+    /// Whether `point` satisfies this objective's threshold exactly
+    /// (no epsilon slack — feasibility is crisp).
+    #[must_use]
+    pub fn is_met_by(&self, point: &PointMetrics) -> bool {
+        match self.metric {
+            SloMetric::Uptime => point.uptime >= self.threshold / 100.0,
+            SloMetric::Cost => point.cost_per_month <= self.threshold,
+            SloMetric::Failover => point.failover_minutes_per_month <= self.threshold,
+        }
+    }
+}
+
+/// The objective tree. The JSON grammar is a flat conjunction today, so
+/// parsed specs always have an [`ObjectiveNode::All`] root over
+/// [`ObjectiveNode::Leaf`] children, but consumers should walk the tree
+/// (via [`ObjectiveNode::leaves`]) rather than assume that shape — future
+/// grammar revisions may nest `any_of` groups.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ObjectiveNode {
+    /// Conjunction: every child must hold / all soft children score.
+    All(Vec<ObjectiveNode>),
+    /// A single objective.
+    Leaf(SloObjective),
+}
+
+impl ObjectiveNode {
+    /// Every leaf objective under this node, in spec order.
+    #[must_use]
+    pub fn leaves(&self) -> Vec<&SloObjective> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect<'a>(&'a self, out: &mut Vec<&'a SloObjective>) {
+        match self {
+            ObjectiveNode::All(children) => {
+                for child in children {
+                    child.collect(out);
+                }
+            }
+            ObjectiveNode::Leaf(obj) => out.push(obj),
+        }
+    }
+}
+
+/// The measured coordinates of one candidate deployment point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PointMetrics {
+    /// Monthly HA spend, $/month.
+    pub cost_per_month: f64,
+    /// Availability as a fraction in [0, 1].
+    pub uptime: f64,
+    /// Expected failover downtime, minutes/month.
+    pub failover_minutes_per_month: f64,
+}
+
+impl PointMetrics {
+    /// Bundles the three frontier coordinates.
+    #[must_use]
+    pub fn new(cost_per_month: f64, uptime: f64, failover_minutes_per_month: f64) -> Self {
+        PointMetrics {
+            cost_per_month,
+            uptime,
+            failover_minutes_per_month,
+        }
+    }
+}
+
+/// The strictest hard threshold per metric, as search-space box bounds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HardBounds {
+    /// Largest hard uptime floor, as an availability fraction.
+    pub min_uptime: Option<f64>,
+    /// Smallest hard monthly cost cap, $/month.
+    pub max_cost: Option<f64>,
+    /// Smallest hard failover budget, minutes/month.
+    pub max_failover_minutes: Option<f64>,
+}
+
+/// A parsed, validated SLO spec.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloSpec {
+    root: ObjectiveNode,
+    epsilon: f64,
+}
+
+impl SloSpec {
+    /// Parses a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Json`] on malformed JSON, otherwise any
+    /// [`SpecError`] from [`SloSpec::from_value`].
+    pub fn from_json_str(text: &str) -> Result<Self, SpecError> {
+        let value: Value =
+            serde_json::from_str(text).map_err(|e| SpecError::Json(e.to_string()))?;
+        SloSpec::from_value(&value)
+    }
+
+    /// Parses a spec from a decoded JSON value.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`SpecError`] naming the first violated rule: unknown
+    /// keys, bad types, NaN/negative weights, out-of-range thresholds,
+    /// or a spec with no uptime objective.
+    pub fn from_value(value: &Value) -> Result<Self, SpecError> {
+        let map = value
+            .as_object()
+            .ok_or_else(|| SpecError::Type("spec must be a JSON object".into()))?;
+        for key in map.keys() {
+            if !matches!(key.as_str(), "objectives" | "epsilon") {
+                return Err(SpecError::UnknownKey {
+                    key: key.clone(),
+                    context: "spec".into(),
+                });
+            }
+        }
+        let epsilon = match map.get("epsilon") {
+            None => DEFAULT_EPSILON,
+            Some(v) => {
+                let eps = v
+                    .as_f64()
+                    .ok_or_else(|| SpecError::Type("`epsilon` must be a number".into()))?;
+                if !eps.is_finite() || eps < 0.0 {
+                    return Err(SpecError::InvalidEpsilon { value: eps });
+                }
+                eps
+            }
+        };
+        let objectives = map
+            .get("objectives")
+            .ok_or_else(|| SpecError::Type("spec needs an `objectives` array".into()))?
+            .as_array()
+            .ok_or_else(|| SpecError::Type("`objectives` must be an array".into()))?;
+        if objectives.is_empty() {
+            return Err(SpecError::Empty);
+        }
+        let mut leaves = Vec::with_capacity(objectives.len());
+        for (index, item) in objectives.iter().enumerate() {
+            leaves.push(ObjectiveNode::Leaf(parse_objective(item, index)?));
+        }
+        let root = ObjectiveNode::All(leaves);
+        if !root
+            .leaves()
+            .iter()
+            .any(|o| o.metric() == SloMetric::Uptime)
+        {
+            return Err(SpecError::MissingUptimeObjective);
+        }
+        Ok(SloSpec { root, epsilon })
+    }
+
+    /// The objective tree root.
+    #[must_use]
+    pub fn tree(&self) -> &ObjectiveNode {
+        &self.root
+    }
+
+    /// All leaf objectives in spec order.
+    #[must_use]
+    pub fn objectives(&self) -> Vec<&SloObjective> {
+        self.root.leaves()
+    }
+
+    /// The epsilon-dominance margin for frontier extraction.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The strictest uptime target across **all** objectives (hard or
+    /// soft), in percent. This is the SLA the TCO penalty model prices
+    /// against. Guaranteed present — parsing rejects specs without an
+    /// uptime objective.
+    #[must_use]
+    pub fn uptime_target_percent(&self) -> f64 {
+        self.objectives()
+            .iter()
+            .filter(|o| o.metric() == SloMetric::Uptime)
+            .map(|o| o.threshold())
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The strictest hard threshold per metric, for search-space pruning.
+    #[must_use]
+    pub fn hard_bounds(&self) -> HardBounds {
+        let mut bounds = HardBounds::default();
+        for obj in self.objectives() {
+            if obj.mode() != ObjectiveMode::Hard {
+                continue;
+            }
+            match obj.metric() {
+                SloMetric::Uptime => {
+                    let frac = obj.threshold() / 100.0;
+                    bounds.min_uptime =
+                        Some(bounds.min_uptime.map_or(frac, |cur: f64| cur.max(frac)));
+                }
+                SloMetric::Cost => {
+                    let cap = obj.threshold();
+                    bounds.max_cost = Some(bounds.max_cost.map_or(cap, |cur: f64| cur.min(cap)));
+                }
+                SloMetric::Failover => {
+                    let cap = obj.threshold();
+                    bounds.max_failover_minutes = Some(
+                        bounds
+                            .max_failover_minutes
+                            .map_or(cap, |cur: f64| cur.min(cap)),
+                    );
+                }
+            }
+        }
+        bounds
+    }
+
+    /// Whether `point` satisfies every hard objective.
+    #[must_use]
+    pub fn hard_ok(&self, point: &PointMetrics) -> bool {
+        self.objectives()
+            .iter()
+            .filter(|o| o.mode() == ObjectiveMode::Hard)
+            .all(|o| o.is_met_by(point))
+    }
+
+    /// Weighted sum of relative soft-objective violations; `0.0` when
+    /// every soft objective is satisfied. Lower is better.
+    #[must_use]
+    pub fn soft_score(&self, point: &PointMetrics) -> f64 {
+        self.objectives()
+            .iter()
+            .filter(|o| o.mode() == ObjectiveMode::Soft)
+            .map(|o| o.weight() * o.violation(point))
+            .sum()
+    }
+
+    /// Re-serializes the spec to its canonical JSON value (flat
+    /// conjunction grammar, explicit mode and weight).
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        let objectives: Vec<Value> = self
+            .objectives()
+            .iter()
+            .map(|o| match o.mode() {
+                ObjectiveMode::Hard => serde_json::json!({
+                    "metric": o.metric().as_str(),
+                    "threshold": o.threshold(),
+                    "mode": o.mode().as_str(),
+                }),
+                ObjectiveMode::Soft => serde_json::json!({
+                    "metric": o.metric().as_str(),
+                    "threshold": o.threshold(),
+                    "mode": o.mode().as_str(),
+                    "weight": o.weight(),
+                }),
+            })
+            .collect();
+        serde_json::json!({
+            "epsilon": self.epsilon,
+            "objectives": objectives,
+        })
+    }
+}
+
+fn parse_objective(value: &Value, index: usize) -> Result<SloObjective, SpecError> {
+    let map = value
+        .as_object()
+        .ok_or_else(|| SpecError::Type(format!("objectives[{index}] must be a JSON object")))?;
+    for key in map.keys() {
+        if !matches!(key.as_str(), "metric" | "threshold" | "mode" | "weight") {
+            return Err(SpecError::UnknownKey {
+                key: key.clone(),
+                context: format!("objectives[{index}]"),
+            });
+        }
+    }
+    let metric = match map.get("metric").and_then(Value::as_str) {
+        Some("uptime") => SloMetric::Uptime,
+        Some("cost") => SloMetric::Cost,
+        Some("failover") => SloMetric::Failover,
+        Some(other) => {
+            return Err(SpecError::UnknownMetric {
+                metric: other.to_string(),
+            })
+        }
+        None => {
+            return Err(SpecError::Type(format!(
+                "objectives[{index}] needs a string `metric`"
+            )))
+        }
+    };
+    let threshold = map
+        .get("threshold")
+        .and_then(Value::as_f64)
+        .ok_or_else(|| {
+            SpecError::Type(format!("objectives[{index}] needs a numeric `threshold`"))
+        })?;
+    let threshold_ok = threshold.is_finite()
+        && match metric {
+            SloMetric::Uptime => threshold > 0.0 && threshold <= 100.0,
+            SloMetric::Cost | SloMetric::Failover => threshold >= 0.0,
+        };
+    if !threshold_ok {
+        return Err(SpecError::InvalidThreshold {
+            metric,
+            value: threshold,
+        });
+    }
+    let mode = match map.get("mode") {
+        None => ObjectiveMode::Hard,
+        Some(v) => match v.as_str() {
+            Some("hard") => ObjectiveMode::Hard,
+            Some("soft") => ObjectiveMode::Soft,
+            _ => {
+                return Err(SpecError::Type(format!(
+                    "objectives[{index}] `mode` must be \"hard\" or \"soft\""
+                )))
+            }
+        },
+    };
+    let weight = match map.get("weight") {
+        None => 1.0,
+        Some(_) if mode == ObjectiveMode::Hard => {
+            return Err(SpecError::WeightOnHard { metric });
+        }
+        Some(v) => {
+            let w = v.as_f64().ok_or_else(|| {
+                SpecError::Type(format!("objectives[{index}] `weight` must be a number"))
+            })?;
+            if !w.is_finite() || w < 0.0 {
+                return Err(SpecError::InvalidWeight { value: w });
+            }
+            w
+        }
+    };
+    Ok(SloObjective {
+        metric,
+        threshold,
+        mode,
+        weight,
+    })
+}
+
+/// Why a spec failed to parse or validate.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// The text was not valid JSON.
+    Json(String),
+    /// A value had the wrong JSON type or a required field was missing.
+    Type(String),
+    /// An object carried a key the grammar does not define.
+    UnknownKey {
+        /// The offending key.
+        key: String,
+        /// Where it appeared (`spec` or `objectives[i]`).
+        context: String,
+    },
+    /// `metric` named none of `uptime`/`cost`/`failover`.
+    UnknownMetric {
+        /// The unrecognized metric name.
+        metric: String,
+    },
+    /// A threshold was NaN, infinite, or outside the metric's range.
+    InvalidThreshold {
+        /// Which metric the threshold belonged to.
+        metric: SloMetric,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A weight was NaN, infinite, or negative.
+    InvalidWeight {
+        /// The rejected value.
+        value: f64,
+    },
+    /// A `weight` key appeared on a hard objective.
+    WeightOnHard {
+        /// Which metric carried the stray weight.
+        metric: SloMetric,
+    },
+    /// `epsilon` was NaN, infinite, or negative.
+    InvalidEpsilon {
+        /// The rejected value.
+        value: f64,
+    },
+    /// The `objectives` array was empty.
+    Empty,
+    /// No objective constrained uptime, so no SLA target exists.
+    MissingUptimeObjective,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Json(msg) => write!(f, "invalid JSON: {msg}"),
+            SpecError::Type(msg) => write!(f, "invalid spec: {msg}"),
+            SpecError::UnknownKey { key, context } => {
+                write!(f, "unknown key `{key}` in {context}")
+            }
+            SpecError::UnknownMetric { metric } => {
+                write!(
+                    f,
+                    "unknown metric `{metric}` (expected uptime, cost, or failover)"
+                )
+            }
+            SpecError::InvalidThreshold { metric, value } => {
+                write!(f, "invalid threshold {value} for metric {metric}")
+            }
+            SpecError::InvalidWeight { value } => {
+                write!(f, "invalid weight {value}: must be finite and non-negative")
+            }
+            SpecError::WeightOnHard { metric } => {
+                write!(f, "hard {metric} objective cannot carry a weight")
+            }
+            SpecError::InvalidEpsilon { value } => {
+                write!(
+                    f,
+                    "invalid epsilon {value}: must be finite and non-negative"
+                )
+            }
+            SpecError::Empty => f.write_str("spec has no objectives"),
+            SpecError::MissingUptimeObjective => {
+                f.write_str("spec needs at least one uptime objective")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Result<SloSpec, SpecError> {
+        SloSpec::from_json_str(text)
+    }
+
+    #[test]
+    fn parses_full_spec() {
+        let spec = parse(
+            r#"{ "epsilon": 1e-6, "objectives": [
+                { "metric": "uptime", "threshold": 99.5 },
+                { "metric": "cost", "threshold": 2000.0, "mode": "soft", "weight": 2.0 },
+                { "metric": "failover", "threshold": 5.0, "mode": "soft" }
+            ] }"#,
+        )
+        .unwrap();
+        assert_eq!(spec.epsilon(), 1e-6);
+        assert_eq!(spec.objectives().len(), 3);
+        assert_eq!(spec.uptime_target_percent(), 99.5);
+        let bounds = spec.hard_bounds();
+        assert_eq!(bounds.min_uptime, Some(0.995));
+        assert_eq!(bounds.max_cost, None);
+        assert_eq!(bounds.max_failover_minutes, None);
+    }
+
+    #[test]
+    fn strictest_thresholds_win() {
+        let spec = parse(
+            r#"{ "objectives": [
+                { "metric": "uptime", "threshold": 98.0 },
+                { "metric": "uptime", "threshold": 99.9 },
+                { "metric": "cost", "threshold": 900.0 },
+                { "metric": "cost", "threshold": 400.0 }
+            ] }"#,
+        )
+        .unwrap();
+        assert_eq!(spec.uptime_target_percent(), 99.9);
+        let bounds = spec.hard_bounds();
+        assert!((bounds.min_uptime.unwrap() - 0.999).abs() < 1e-12);
+        assert_eq!(bounds.max_cost, Some(400.0));
+    }
+
+    #[test]
+    fn rejects_unknown_keys() {
+        let err = parse(r#"{ "objectives": [], "extra": 1 }"#).unwrap_err();
+        assert!(matches!(err, SpecError::UnknownKey { ref key, .. } if key == "extra"));
+        let err = parse(
+            r#"{ "objectives": [ { "metric": "uptime", "threshold": 99.0, "bogus": true } ] }"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpecError::UnknownKey { ref key, .. } if key == "bogus"));
+    }
+
+    #[test]
+    fn rejects_bad_weights_and_epsilon() {
+        let err = parse(
+            r#"{ "objectives": [
+                { "metric": "uptime", "threshold": 99.0 },
+                { "metric": "cost", "threshold": 100.0, "mode": "soft", "weight": -1.0 }
+            ] }"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpecError::InvalidWeight { .. }));
+        let err = parse(
+            r#"{ "epsilon": -0.5, "objectives": [
+                { "metric": "uptime", "threshold": 99.0 }
+            ] }"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpecError::InvalidEpsilon { .. }));
+    }
+
+    #[test]
+    fn rejects_weight_on_hard() {
+        let err = parse(
+            r#"{ "objectives": [
+                { "metric": "uptime", "threshold": 99.0, "mode": "hard", "weight": 2.0 }
+            ] }"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpecError::WeightOnHard { .. }));
+    }
+
+    #[test]
+    fn requires_uptime_objective() {
+        let err =
+            parse(r#"{ "objectives": [ { "metric": "cost", "threshold": 10.0 } ] }"#).unwrap_err();
+        assert_eq!(err, SpecError::MissingUptimeObjective);
+    }
+
+    #[test]
+    fn scores_soft_violations() {
+        let spec = parse(
+            r#"{ "objectives": [
+                { "metric": "uptime", "threshold": 99.0 },
+                { "metric": "cost", "threshold": 1000.0, "mode": "soft", "weight": 2.0 }
+            ] }"#,
+        )
+        .unwrap();
+        let over = PointMetrics::new(1500.0, 0.995, 0.0);
+        assert!(spec.hard_ok(&over));
+        assert!((spec.soft_score(&over) - 1.0).abs() < 1e-12);
+        let under = PointMetrics::new(900.0, 0.995, 0.0);
+        assert_eq!(spec.soft_score(&under), 0.0);
+        let infeasible = PointMetrics::new(0.0, 0.9, 0.0);
+        assert!(!spec.hard_ok(&infeasible));
+    }
+
+    #[test]
+    fn round_trips_through_canonical_value() {
+        let spec = parse(
+            r#"{ "objectives": [
+                { "metric": "uptime", "threshold": 99.0 },
+                { "metric": "failover", "threshold": 3.0, "mode": "soft", "weight": 0.5 }
+            ] }"#,
+        )
+        .unwrap();
+        let round = SloSpec::from_value(&spec.to_value()).unwrap();
+        assert_eq!(round.uptime_target_percent(), 99.0);
+        assert_eq!(round.objectives().len(), 2);
+        assert_eq!(round.epsilon(), spec.epsilon());
+    }
+}

@@ -1,0 +1,169 @@
+//! Property tests for SLO spec parsing (ISSUE PR 9):
+//!
+//! * **Rejection** — NaN/negative weights, out-of-range thresholds,
+//!   unknown keys, and uptime-free specs always surface a typed
+//!   [`SpecError`], never a panic and never a silently-accepted spec.
+//! * **Round-trip** — every spec the generator produces parses, and its
+//!   canonical re-serialization parses back to the same objective list.
+//! * **Scoring sanity** — `soft_score` is finite and non-negative for
+//!   arbitrary finite point metrics, and `0.0` whenever every soft
+//!   threshold is met.
+
+use proptest::prelude::*;
+use serde::Value;
+use uptime_slo::{ObjectiveMode, PointMetrics, SloSpec, SpecError};
+
+/// Builds one valid-by-construction objective object. `metric_pick`
+/// selects uptime/cost/failover; `soft` toggles mode (+ weight).
+fn objective_value(metric_pick: usize, threshold_unit: f64, soft: bool, weight: f64) -> Value {
+    let metric = ["uptime", "cost", "failover"][metric_pick % 3];
+    let threshold = if metric == "uptime" {
+        50.0 + threshold_unit * 49.9
+    } else {
+        threshold_unit * 10_000.0
+    };
+    if soft {
+        serde_json::json!({
+            "metric": metric, "threshold": threshold,
+            "mode": "soft", "weight": weight,
+        })
+    } else {
+        serde_json::json!({ "metric": metric, "threshold": threshold, "mode": "hard" })
+    }
+}
+
+/// Strategy: a valid spec value. The first objective is always uptime so
+/// the spec satisfies the ≥1-uptime-objective rule.
+fn valid_spec() -> impl Strategy<Value = Value> {
+    (
+        (0.0f64..1.0, any::<bool>(), 0.0f64..100.0),
+        prop::collection::vec((0usize..3, 0.0f64..1.0, any::<bool>(), 0.0f64..100.0), 0..4),
+        any::<bool>(),
+        0.0f64..0.1,
+    )
+        .prop_map(|((ut, usoft, uw), rest, with_eps, eps)| {
+            let mut objectives = vec![objective_value(0, ut, usoft, uw)];
+            objectives.extend(
+                rest.into_iter()
+                    .map(|(pick, t, soft, w)| objective_value(pick, t, soft, w)),
+            );
+            if with_eps {
+                serde_json::json!({ "epsilon": eps, "objectives": objectives })
+            } else {
+                serde_json::json!({ "objectives": objectives })
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn valid_specs_parse_and_round_trip(value in valid_spec()) {
+        let spec = SloSpec::from_value(&value).expect("generator output is valid");
+        let round = SloSpec::from_value(&spec.to_value()).expect("canonical form is valid");
+        prop_assert_eq!(spec.objectives(), round.objectives());
+        prop_assert_eq!(spec.epsilon(), round.epsilon());
+        prop_assert!(spec.uptime_target_percent() > 0.0);
+    }
+
+    #[test]
+    fn negative_or_nan_weights_are_typed_errors(
+        value in valid_spec(),
+        bad_pick in 0usize..3,
+        magnitude in 1e-9f64..1e6,
+    ) {
+        let weight = match bad_pick {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => -magnitude,
+        };
+        let Value::Object(mut map) = value else { unreachable!("specs are objects") };
+        let Some(Value::Array(objectives)) = map.get_mut("objectives") else {
+            unreachable!("specs carry objectives")
+        };
+        objectives.push(serde_json::json!({
+            "metric": "cost", "threshold": 100.0, "mode": "soft", "weight": weight,
+        }));
+        let err = SloSpec::from_value(&Value::Object(map)).unwrap_err();
+        prop_assert!(matches!(err, SpecError::InvalidWeight { .. }), "got {}", err);
+    }
+
+    #[test]
+    fn unknown_keys_are_typed_errors(
+        value in valid_spec(),
+        suffix in 0u32..100_000,
+        at_top in any::<bool>(),
+    ) {
+        // The `x_` prefix keeps generated keys clear of every grammar
+        // keyword, so rejection is the only acceptable outcome.
+        let key = format!("x_{suffix}");
+        let Value::Object(mut map) = value else { unreachable!("specs are objects") };
+        if at_top {
+            map.insert(key.clone(), Value::Bool(true));
+        } else {
+            let Some(Value::Array(objectives)) = map.get_mut("objectives") else {
+                unreachable!("specs carry objectives")
+            };
+            let Some(Value::Object(first)) = objectives.first_mut() else {
+                unreachable!("objectives are objects")
+            };
+            first.insert(key.clone(), Value::Bool(true));
+        }
+        let err = SloSpec::from_value(&Value::Object(map)).unwrap_err();
+        prop_assert!(
+            matches!(err, SpecError::UnknownKey { key: ref k, .. } if *k == key),
+            "got {}", err
+        );
+    }
+
+    #[test]
+    fn out_of_range_thresholds_are_typed_errors(
+        bad_pick in 0usize..4,
+        above in 100.1f64..1e6,
+    ) {
+        let bad_uptime = match bad_pick {
+            0 => f64::NAN,
+            1 => -3.0,
+            2 => 0.0,
+            _ => above,
+        };
+        let value = serde_json::json!({ "objectives": [
+            { "metric": "uptime", "threshold": bad_uptime }
+        ] });
+        let err = SloSpec::from_value(&value).unwrap_err();
+        prop_assert!(matches!(err, SpecError::InvalidThreshold { .. }), "got {}", err);
+    }
+
+    #[test]
+    fn uptime_free_specs_are_rejected(
+        picks in prop::collection::vec((0usize..2, 0.0f64..1.0), 1..4),
+    ) {
+        let objectives: Vec<Value> = picks
+            .into_iter()
+            .map(|(pick, t)| objective_value(1 + pick, t, false, 1.0))
+            .collect();
+        let value = serde_json::json!({ "objectives": objectives });
+        let err = SloSpec::from_value(&value).unwrap_err();
+        prop_assert_eq!(err, SpecError::MissingUptimeObjective);
+    }
+
+    #[test]
+    fn soft_score_is_finite_nonnegative(
+        value in valid_spec(),
+        cost in 0.0f64..1e7,
+        uptime in 0.0f64..1.0,
+        failover in 0.0f64..1e5,
+    ) {
+        let spec = SloSpec::from_value(&value).expect("generator output is valid");
+        let point = PointMetrics::new(cost, uptime, failover);
+        let score = spec.soft_score(&point);
+        prop_assert!(score.is_finite() && score >= 0.0, "score {}", score);
+        let all_soft_met = spec
+            .objectives()
+            .iter()
+            .filter(|o| o.mode() == ObjectiveMode::Soft)
+            .all(|o| o.is_met_by(&point));
+        if all_soft_met {
+            prop_assert_eq!(score, 0.0);
+        }
+    }
+}
