@@ -36,6 +36,43 @@ use crate::protocol::{code, RequestFrame, ResponseFrame};
 use crate::queue::{BoundedQueue, PushError};
 use crate::singleflight::{Role, SingleFlight};
 
+/// Which serving core answers the sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeCore {
+    /// Thread-per-connection readers feeding a bounded worker queue
+    /// (the original core; the default).
+    #[default]
+    Threads,
+    /// Shared-nothing event-loop shards over `epoll`/`poll` — see
+    /// [`crate::reactor`]. Unix only.
+    Reactor,
+}
+
+impl ServeCore {
+    /// The `stats`/`health` label for this core.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServeCore::Threads => "threads",
+            ServeCore::Reactor => "reactor",
+        }
+    }
+}
+
+impl std::str::FromStr for ServeCore {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threads" => Ok(ServeCore::Threads),
+            "reactor" => Ok(ServeCore::Reactor),
+            other => Err(format!(
+                "unknown serve core `{other}` (expected `threads` or `reactor`)"
+            )),
+        }
+    }
+}
+
 /// Tunables for one daemon instance.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -66,6 +103,11 @@ pub struct ServerConfig {
     /// same ring. `None` with `trace.enabled` makes the daemon build its
     /// own private recorder.
     pub flight_recorder: Option<Arc<FlightRecorder>>,
+    /// Which serving core to run; see [`ServeCore`].
+    pub core: ServeCore,
+    /// Reactor shard count (`0` = one per available core, capped at 8).
+    /// Ignored by the threads core.
+    pub shards: usize,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +121,8 @@ impl Default for ServerConfig {
             max_frame_bytes: 1024 * 1024,
             trace: TraceConfig::default(),
             flight_recorder: None,
+            core: ServeCore::Threads,
+            shards: 0,
         }
     }
 }
@@ -111,28 +155,35 @@ struct Shared {
 /// The serving daemon. Construct with [`Server::start`].
 pub struct Server;
 
-/// A running daemon: join it, inspect it, or shut it down.
+/// A running daemon: join it, inspect it, or shut it down. The same
+/// handle fronts whichever core [`ServerConfig::core`] selected.
 pub struct ServerHandle {
-    shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    inner: HandleInner,
+}
+
+enum HandleInner {
+    Threads {
+        shared: Arc<Shared>,
+        acceptor: Option<JoinHandle<()>>,
+        workers: Vec<JoinHandle<()>>,
+    },
+    #[cfg(unix)]
+    Reactor(crate::reactor::ReactorHandle),
 }
 
 impl Server {
-    /// Binds, spawns the acceptor and `config.workers` workers, and
-    /// returns a handle. All metrics flow through `registry` under
-    /// `serve.*` names.
+    /// Binds, spawns the selected core's threads, and returns a handle.
+    /// All metrics flow through `registry` under `serve.*` names.
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates the bind failure; `ServeCore::Reactor` on a non-Unix
+    /// platform reports [`std::io::ErrorKind::Unsupported`].
     pub fn start(
         backend: Arc<dyn ServeBackend>,
         config: ServerConfig,
         registry: Arc<MetricsRegistry>,
     ) -> std::io::Result<ServerHandle> {
-        let listener = TcpListener::bind(&config.addr)?;
-        let local_addr = listener.local_addr()?;
         let tracer = if config.trace.enabled {
             Some(
                 config
@@ -143,6 +194,31 @@ impl Server {
         } else {
             None
         };
+        match config.core {
+            ServeCore::Threads => Self::start_threads(backend, config, registry, tracer),
+            #[cfg(unix)]
+            ServeCore::Reactor => {
+                let handle = crate::reactor::start(backend, &config, registry, tracer)?;
+                Ok(ServerHandle {
+                    inner: HandleInner::Reactor(handle),
+                })
+            }
+            #[cfg(not(unix))]
+            ServeCore::Reactor => Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "the reactor core requires a Unix platform; use --core threads",
+            )),
+        }
+    }
+
+    fn start_threads(
+        backend: Arc<dyn ServeBackend>,
+        config: ServerConfig,
+        registry: Arc<MetricsRegistry>,
+        tracer: Option<Arc<FlightRecorder>>,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             backend,
             cache: EpochCache::new(config.cache_capacity),
@@ -172,9 +248,11 @@ impl Server {
             .collect();
 
         Ok(ServerHandle {
-            shared,
-            acceptor: Some(acceptor),
-            workers,
+            inner: HandleInner::Threads {
+                shared,
+                acceptor: Some(acceptor),
+                workers,
+            },
         })
     }
 }
@@ -183,32 +261,55 @@ impl ServerHandle {
     /// The bound address (useful with an ephemeral port request).
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
-        self.shared.local_addr
+        match &self.inner {
+            HandleInner::Threads { shared, .. } => shared.local_addr,
+            #[cfg(unix)]
+            HandleInner::Reactor(handle) => handle.local_addr(),
+        }
     }
 
     /// The metrics registry the daemon records into.
     #[must_use]
     pub fn registry(&self) -> Arc<MetricsRegistry> {
-        Arc::clone(&self.shared.registry)
+        match &self.inner {
+            HandleInner::Threads { shared, .. } => Arc::clone(&shared.registry),
+            #[cfg(unix)]
+            HandleInner::Reactor(handle) => handle.registry(),
+        }
     }
 
-    /// Live cached-entry count (for tests and stats).
+    /// Live cached-entry count (for tests and stats). For the reactor
+    /// core this sums the shard-local caches.
     #[must_use]
     pub fn cache_len(&self) -> usize {
-        self.shared.cache.len()
+        match &self.inner {
+            HandleInner::Threads { shared, .. } => shared.cache.len(),
+            #[cfg(unix)]
+            HandleInner::Reactor(handle) => handle.cache_len(),
+        }
     }
 
     /// The flight recorder request traces land in, when tracing is on.
     #[must_use]
     pub fn flight_recorder(&self) -> Option<Arc<FlightRecorder>> {
-        self.shared.tracer.clone()
+        match &self.inner {
+            HandleInner::Threads { shared, .. } => shared.tracer.clone(),
+            #[cfg(unix)]
+            HandleInner::Reactor(handle) => handle.flight_recorder(),
+        }
     }
 
     /// Triggers the drain and blocks until every admitted request has
     /// been answered and all daemon threads have exited. Idempotent.
     pub fn shutdown(&mut self) {
-        begin_shutdown(&self.shared);
-        self.join_threads();
+        match &mut self.inner {
+            HandleInner::Threads { shared, .. } => {
+                begin_shutdown(shared);
+                self.join_threads();
+            }
+            #[cfg(unix)]
+            HandleInner::Reactor(handle) => handle.shutdown(),
+        }
     }
 
     /// Blocks until the daemon shuts down (via a `shutdown` admin frame
@@ -218,14 +319,24 @@ impl ServerHandle {
     }
 
     fn join_threads(&mut self) {
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        match &mut self.inner {
+            HandleInner::Threads {
+                shared,
+                acceptor,
+                workers,
+            } => {
+                if let Some(acceptor) = acceptor.take() {
+                    let _ = acceptor.join();
+                }
+                for worker in workers.drain(..) {
+                    let _ = worker.join();
+                }
+                // Every response is written; release the write halves.
+                shared.conns.lock().expect("conns lock").clear();
+            }
+            #[cfg(unix)]
+            HandleInner::Reactor(handle) => handle.join_threads(),
         }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
-        // Every response is written; release the write halves.
-        self.shared.conns.lock().expect("conns lock").clear();
     }
 }
 
@@ -768,7 +879,7 @@ fn handle_job(shared: &Arc<Shared>, job: Job) {
 
 /// Bounds metric-name cardinality: lowercase alphanumerics and `_`/`-`
 /// pass through (truncated), anything else becomes `other`.
-fn sanitize_endpoint(endpoint: &str) -> String {
+pub(crate) fn sanitize_endpoint(endpoint: &str) -> String {
     let clean = endpoint.len() <= 32
         && !endpoint.is_empty()
         && endpoint
@@ -803,15 +914,51 @@ fn stats_body(shared: &Shared) -> Value {
         },
         "queue_depth": shared.queue.len() as u64,
         "inflight": shared.inflight.load(Ordering::Acquire),
+        "core": "threads",
+        "shards": shard_section(&snap),
         "trace": trace_stats_value(shared.tracer.as_deref()),
     })
+}
+
+/// The per-shard counter section of the `stats` body, reconstructed from
+/// the `serve.shard.<i>.<what>` counters. Empty for the threads core
+/// (which never emits them).
+pub(crate) fn shard_section(snap: &uptime_obs::MetricsSnapshot) -> Value {
+    let mut per_shard: BTreeMap<u64, Map> = BTreeMap::new();
+    for (name, value) in &snap.counters {
+        let Some(rest) = name.strip_prefix("serve.shard.") else {
+            continue;
+        };
+        let Some((index, what)) = rest.split_once('.') else {
+            continue;
+        };
+        let Ok(index) = index.parse::<u64>() else {
+            continue;
+        };
+        if matches!(what, "accepted" | "served" | "shed") {
+            per_shard
+                .entry(index)
+                .or_default()
+                .insert(what.to_owned(), serde_json::to_value(value));
+        }
+    }
+    let mut body = Map::new();
+    for (index, mut tallies) in per_shard {
+        for what in ["accepted", "served", "shed"] {
+            tallies
+                .entry(what.to_owned())
+                .or_insert_with(|| serde_json::to_value(&0u64));
+        }
+        body.insert(index.to_string(), Value::Object(tallies));
+    }
+    Value::Object(body)
 }
 
 /// The `cache_by_endpoint` section of the `stats` body: for every
 /// endpoint that has seen cacheable traffic, its hit/miss/stale tallies,
 /// reconstructed from the `serve.cache.<endpoint>.<verdict>` counters.
 /// Endpoint label cardinality is bounded by `sanitize_endpoint`.
-fn cache_by_endpoint(snap: &uptime_obs::MetricsSnapshot) -> Value {
+pub(crate) fn cache_by_endpoint(snap: &uptime_obs::MetricsSnapshot) -> Value {
     let mut per_endpoint: BTreeMap<&str, Map> = BTreeMap::new();
     for (name, value) in &snap.counters {
         let Some(rest) = name.strip_prefix("serve.cache.") else {
@@ -842,7 +989,7 @@ fn cache_by_endpoint(snap: &uptime_obs::MetricsSnapshot) -> Value {
 /// The flight-recorder section of `stats` and `health` bodies: occupancy
 /// and drop counters, all zero (with `enabled: false`) when tracing is
 /// off.
-fn trace_stats_value(tracer: Option<&FlightRecorder>) -> Value {
+pub(crate) fn trace_stats_value(tracer: Option<&FlightRecorder>) -> Value {
     let stats = tracer.map(FlightRecorder::stats).unwrap_or_default();
     serde_json::json!({
         "enabled": tracer.is_some(),
@@ -860,7 +1007,15 @@ fn trace_stats_value(tracer: Option<&FlightRecorder>) -> Value {
 /// Body params (all optional): `slowest: N` (top-N by total duration),
 /// `errors: true` (error/shed traces only), `format: "json" | "chrome"`.
 fn traces_body(shared: &Shared, params: &Value) -> Result<Value, String> {
-    let Some(tracer) = &shared.tracer else {
+    traces_export(shared.tracer.as_deref(), params)
+}
+
+/// Core-agnostic `traces` export; both serving cores route through this.
+pub(crate) fn traces_export(
+    tracer: Option<&FlightRecorder>,
+    params: &Value,
+) -> Result<Value, String> {
+    let Some(tracer) = tracer else {
         return Err("tracing is disabled on this daemon".into());
     };
     if !params.is_null() && params.as_object().is_none() {
@@ -891,7 +1046,7 @@ fn traces_body(shared: &Shared, params: &Value) -> Result<Value, String> {
 
 /// The inline `explain` payload: the request's own span tree, compact
 /// enough to ride beside the answer without re-querying `traces`.
-fn explain_value(record: &TraceRecord) -> Value {
+pub(crate) fn explain_value(record: &TraceRecord) -> Value {
     use uptime_obs::trace::AttrValue;
     let spans: Vec<Value> = record
         .spans
@@ -930,7 +1085,7 @@ fn explain_value(record: &TraceRecord) -> Value {
 /// what serializing the equivalent [`ResponseFrame`] would produce (the
 /// vendored serializer emits map keys in sorted order) — without
 /// re-walking the body's value tree.
-fn render_ok_line(
+pub(crate) fn render_ok_line(
     id: u64,
     epoch: u64,
     cached: bool,

@@ -46,6 +46,11 @@ fn start(config_tweak: impl FnOnce(&mut ServerConfig)) -> (ServerHandle, Arc<Met
         cache_capacity: 16,
         ..ServerConfig::default()
     };
+    // CI runs this suite against both cores via `SERVE_CORE`.
+    if std::env::var("SERVE_CORE").as_deref() == Ok("reactor") {
+        config.core = uptime_serve::ServeCore::Reactor;
+        config.shards = 1;
+    }
     config_tweak(&mut config);
     let handle =
         Server::start(Arc::new(EchoBackend), config, Arc::clone(&registry)).expect("daemon binds");
@@ -111,6 +116,70 @@ fn oversized_frame_gets_400_and_connection_drops() {
     // The daemon is still healthy for well-behaved clients.
     let mut fresh = connect(&handle);
     let pong = roundtrip(&mut fresh, r#"{"id":1,"endpoint":"ping","body":{}}"#);
+    assert_eq!(pong_flag(&pong), Some(true));
+    handle.shutdown();
+}
+
+/// Pins the teardown *ordering* on the edge case where the oversized
+/// line never gets a newline and the client never closes: the `400` must
+/// be written before the connection is shut down, so the client always
+/// learns why it was dropped. Run against both cores in CI.
+#[test]
+fn oversized_without_newline_gets_400_before_close() {
+    let (mut handle, registry) = start(|c| c.max_frame_bytes = 256);
+    let mut stream = connect(&handle);
+
+    // Over the cap, no newline, connection deliberately left open: the
+    // daemon must still answer rather than silently hang up.
+    stream
+        .write_all(&vec![b'b'; 2048])
+        .expect("write oversized prefix");
+    stream.flush().expect("flush");
+
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("read 400");
+    let parsed: Value = serde_json::from_str(&response).expect("parses");
+    assert_eq!(
+        parsed.get("code").and_then(Value::as_u64),
+        Some(u64::from(code::BAD_REQUEST)),
+        "the 400 must arrive before the close: {response}"
+    );
+    assert!(parsed
+        .get("error")
+        .and_then(Value::as_str)
+        .expect("error detail")
+        .contains("byte cap"));
+    let mut rest = String::new();
+    assert_eq!(
+        reader.read_line(&mut rest).expect("EOF read"),
+        0,
+        "after the 400 the daemon hangs up"
+    );
+    assert_eq!(counter(&registry, "serve.conn.oversized"), 1);
+    handle.shutdown();
+}
+
+/// Malformed (parseable-as-text, unparseable-as-frame) lines get a `400`
+/// and the connection *stays open* — teardown is reserved for oversize.
+/// Pinned here so both cores keep the same contract.
+#[test]
+fn malformed_frame_gets_400_and_connection_survives() {
+    let (mut handle, registry) = start(|_| {});
+    let mut stream = connect(&handle);
+    let bad = roundtrip(&mut stream, "this is not json");
+    assert_eq!(
+        bad.get("code").and_then(Value::as_u64),
+        Some(u64::from(code::BAD_REQUEST))
+    );
+    assert!(bad
+        .get("error")
+        .and_then(Value::as_str)
+        .expect("error detail")
+        .contains("bad frame"));
+    assert_eq!(counter(&registry, "serve.parse_error"), 1);
+    // Same socket, next line: still served.
+    let pong = roundtrip(&mut stream, r#"{"id":2,"endpoint":"ping","body":{}}"#);
     assert_eq!(pong_flag(&pong), Some(true));
     handle.shutdown();
 }

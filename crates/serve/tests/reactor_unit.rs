@@ -1,0 +1,364 @@
+//! Reactor-core unit and property tests: the incremental frame scanner
+//! under adversarial chunking, interleaved pipelined clients against a
+//! live multi-shard daemon, and the shard-affinity guarantee (a
+//! connection never migrates between shards mid-request).
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use serde::Value;
+use uptime_obs::MetricsRegistry;
+use uptime_serve::reactor::frame::{FrameScanner, Scan};
+use uptime_serve::{BackendError, ServeBackend, ServeCore, Server, ServerConfig, ServerHandle};
+
+// ---------------------------------------------------------------------------
+// Frame-scanner properties
+// ---------------------------------------------------------------------------
+
+/// Feeds `payload` to a scanner in the given chunk sizes and collects
+/// every complete frame it reports.
+fn scan_chunked(payload: &[u8], chunks: &[usize], max_frame: usize) -> (Vec<Vec<u8>>, bool) {
+    let mut scanner = FrameScanner::new(max_frame);
+    let mut frames = Vec::new();
+    let mut offset = 0;
+    let mut oversized = false;
+    let mut chunk_sizes = chunks.iter().copied().cycle();
+    while offset < payload.len() {
+        let take = chunk_sizes
+            .next()
+            .unwrap_or(1)
+            .max(1)
+            .min(payload.len() - offset);
+        scanner.extend(&payload[offset..offset + take]);
+        offset += take;
+        loop {
+            match scanner.next_frame() {
+                Scan::Frame(range) => frames.push(scanner.bytes()[range].to_vec()),
+                Scan::Incomplete => break,
+                Scan::Oversized => {
+                    oversized = true;
+                    return (frames, oversized);
+                }
+            }
+        }
+    }
+    (frames, oversized)
+}
+
+/// Maps byte draws onto newline-free printable frame bytes.
+fn frame_bytes(picks: &[usize]) -> Vec<u8> {
+    const ALPHABET: &[u8; 16] = b"az{}[]\"0123456:,";
+    picks.iter().map(|&i| ALPHABET[i % 16]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever way a legal frame stream is split across reads, the
+    /// scanner reassembles exactly the original frames, in order.
+    #[test]
+    fn any_chunking_reassembles_the_same_frames(
+        frame_picks in proptest::collection::vec(
+            proptest::collection::vec(0usize..16, 0..40),
+            1..12,
+        ),
+        chunks in proptest::collection::vec(1usize..17, 1..8),
+    ) {
+        let frames: Vec<Vec<u8>> = frame_picks.iter().map(|p| frame_bytes(p)).collect();
+        let mut payload = Vec::new();
+        for frame in &frames {
+            payload.extend_from_slice(frame);
+            payload.push(b'\n');
+        }
+        let (scanned, oversized) = scan_chunked(&payload, &chunks, 64);
+        prop_assert!(!oversized, "legal frames must never report oversize");
+        prop_assert_eq!(scanned, frames);
+    }
+
+    /// A line beyond the cap poisons the scanner at whatever chunking,
+    /// and every frame before it is still delivered intact.
+    #[test]
+    fn oversize_poisons_under_any_chunking(
+        prefix_picks in proptest::collection::vec(0usize..16, 0..16),
+        chunks in proptest::collection::vec(1usize..13, 1..6),
+    ) {
+        let prefix = frame_bytes(&prefix_picks);
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&prefix);
+        payload.push(b'\n');
+        payload.extend_from_slice(&[b'x'; 40]); // over the 32-byte cap
+        payload.push(b'\n');
+        let (scanned, oversized) = scan_chunked(&payload, &chunks, 32);
+        prop_assert!(oversized);
+        prop_assert_eq!(scanned, vec![prefix]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live-daemon harness
+// ---------------------------------------------------------------------------
+
+/// Echoes its body back; fingerprint is a hash of the body so distinct
+/// payloads never coalesce.
+struct EchoBackend;
+
+impl ServeBackend for EchoBackend {
+    fn epoch(&self) -> u64 {
+        7
+    }
+
+    fn fingerprint(&self, endpoint: &str, body: &Value) -> Result<Option<u128>, BackendError> {
+        match endpoint {
+            "echo" => {
+                let text = serde_json::to_string(body).unwrap_or_default();
+                let mut hash: u128 = 0xcbf2_9ce4_8422_2325;
+                for byte in text.bytes() {
+                    hash ^= u128::from(byte);
+                    hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                Ok(Some(hash))
+            }
+            other => Err(BackendError::UnknownEndpoint(other.to_owned())),
+        }
+    }
+
+    fn handle(&self, endpoint: &str, body: &Value) -> Result<Value, BackendError> {
+        match endpoint {
+            "echo" => Ok(serde_json::json!({ "echo": body.clone() })),
+            other => Err(BackendError::UnknownEndpoint(other.to_owned())),
+        }
+    }
+}
+
+fn start_reactor(shards: usize, max_frame_bytes: usize) -> ServerHandle {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue_depth: 64,
+        cache_capacity: 256,
+        max_frame_bytes,
+        core: ServeCore::Reactor,
+        shards,
+        ..ServerConfig::default()
+    };
+    Server::start(
+        Arc::new(EchoBackend),
+        config,
+        Arc::new(MetricsRegistry::new()),
+    )
+    .expect("reactor binds")
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> Self {
+        let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) {
+        self.writer.write_all(bytes).expect("write");
+        self.writer.flush().expect("flush");
+    }
+
+    fn recv(&mut self) -> Value {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read line");
+        assert!(n > 0, "daemon hung up unexpectedly");
+        serde_json::from_str(&line).expect("response parses")
+    }
+
+    fn ping_shard(&mut self, id: u64) -> u64 {
+        self.send_raw(format!("{{\"endpoint\":\"ping\",\"id\":{id},\"v\":1}}\n").as_bytes());
+        let response = self.recv();
+        assert_eq!(response.get("id").and_then(Value::as_u64), Some(id));
+        response
+            .get("body")
+            .and_then(|b| b.get("shard"))
+            .and_then(Value::as_u64)
+            .expect("reactor pings report their shard")
+    }
+}
+
+fn echo_line(id: u64, payload: &str) -> String {
+    format!(
+        "{{\"body\":{{\"payload\":\"{payload}\"}},\"endpoint\":\"echo\",\"id\":{id},\"v\":1}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Live-daemon tests
+// ---------------------------------------------------------------------------
+
+/// A frame dribbled in one byte at a time still parses and answers.
+#[test]
+fn partial_frames_split_across_reads_reassemble() {
+    let mut handle = start_reactor(2, 4096);
+    let mut client = Client::connect(&handle);
+    let line = echo_line(9, "dribble");
+    for byte in line.as_bytes() {
+        client.send_raw(std::slice::from_ref(byte));
+    }
+    let response = client.recv();
+    assert_eq!(response.get("id").and_then(Value::as_u64), Some(9));
+    assert_eq!(
+        response
+            .get("body")
+            .and_then(|b| b.get("echo"))
+            .and_then(|e| e.get("payload"))
+            .and_then(Value::as_str),
+        Some("dribble")
+    );
+    handle.shutdown();
+}
+
+/// Many frames batched into a single socket write all get answered, in
+/// submission order on the connection.
+#[test]
+fn multiple_frames_in_one_read_all_answer() {
+    let mut handle = start_reactor(2, 4096);
+    let mut client = Client::connect(&handle);
+    let mut batch = String::new();
+    for id in 1..=20u64 {
+        batch.push_str(&echo_line(id, &format!("p{id}")));
+    }
+    client.send_raw(batch.as_bytes());
+    for id in 1..=20u64 {
+        let response = client.recv();
+        assert_eq!(response.get("id").and_then(Value::as_u64), Some(id));
+        assert_eq!(
+            response
+                .get("body")
+                .and_then(|b| b.get("echo"))
+                .and_then(|e| e.get("payload"))
+                .and_then(Value::as_str),
+            Some(format!("p{id}").as_str())
+        );
+    }
+    handle.shutdown();
+}
+
+/// An oversized frame on the reactor gets the same 400-then-close as the
+/// threads core, and doesn't disturb other connections.
+#[test]
+fn oversized_frame_gets_400_then_close() {
+    let mut handle = start_reactor(2, 128);
+    let mut victim = Client::connect(&handle);
+    let mut bystander = Client::connect(&handle);
+    victim.send_raw(&vec![b'a'; 400]);
+    let response = victim.recv();
+    assert_eq!(response.get("code").and_then(Value::as_u64), Some(400));
+    assert!(
+        response
+            .get("error")
+            .and_then(Value::as_str)
+            .is_some_and(|e| e.contains("byte cap")),
+        "oversize teardown must say why: {response}"
+    );
+    let mut line = String::new();
+    let n = victim.reader.read_line(&mut line).expect("read after 400");
+    assert_eq!(n, 0, "connection must close after the oversize 400");
+    // The shard keeps serving its other connections.
+    bystander.ping_shard(1);
+    handle.shutdown();
+}
+
+/// Interleaved pipelined clients each get exactly their own answers.
+#[test]
+fn interleaved_clients_never_cross_responses() {
+    let mut handle = start_reactor(4, 4096);
+    let mut clients: Vec<Client> = (0..8).map(|_| Client::connect(&handle)).collect();
+    // Interleave: every client sends frame k before any client sends k+1.
+    for round in 0..10u64 {
+        for (c, client) in clients.iter_mut().enumerate() {
+            let id = round * 100 + c as u64;
+            client.send_raw(echo_line(id, &format!("c{c}r{round}")).as_bytes());
+        }
+    }
+    for round in 0..10u64 {
+        for (c, client) in clients.iter_mut().enumerate() {
+            let id = round * 100 + c as u64;
+            let response = client.recv();
+            assert_eq!(response.get("id").and_then(Value::as_u64), Some(id));
+            assert_eq!(
+                response
+                    .get("body")
+                    .and_then(|b| b.get("echo"))
+                    .and_then(|e| e.get("payload"))
+                    .and_then(Value::as_str),
+                Some(format!("c{c}r{round}").as_str()),
+                "client {c} got someone else's answer in round {round}"
+            );
+        }
+    }
+    handle.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The shard-affinity guarantee, as a property over random request
+    /// schedules: however many connections are open and however their
+    /// requests interleave, every request on one connection is served by
+    /// the shard that accepted it.
+    #[test]
+    fn shard_assignment_never_migrates_a_connection(
+        pings_per_conn in proptest::collection::vec(1usize..12, 2..9),
+    ) {
+        let mut handle = start_reactor(4, 4096);
+        let mut clients: Vec<(Client, u64)> = pings_per_conn
+            .iter()
+            .map(|_| {
+                let mut client = Client::connect(&handle);
+                let home = client.ping_shard(0);
+                (client, home)
+            })
+            .collect();
+        let mut id = 1u64;
+        for round in 0..pings_per_conn.iter().max().copied().unwrap_or(0) {
+            for (i, (client, home)) in clients.iter_mut().enumerate() {
+                if round < pings_per_conn[i] {
+                    let shard = client.ping_shard(id);
+                    prop_assert_eq!(
+                        shard,
+                        *home,
+                        "connection {} migrated from shard {} to {}",
+                        i,
+                        *home,
+                        shard
+                    );
+                    id += 1;
+                }
+            }
+        }
+        drop(clients);
+        handle.shutdown();
+    }
+}
+
+/// Round-robin must actually spread load: with more connections than
+/// shards, at least two distinct shards answer pings.
+#[test]
+fn round_robin_acceptor_spreads_connections() {
+    let mut handle = start_reactor(4, 4096);
+    let homes: std::collections::BTreeSet<u64> = (0..8)
+        .map(|_| Client::connect(&handle).ping_shard(0))
+        .collect();
+    assert!(homes.len() > 1, "round-robin acceptor never spread conns");
+    handle.shutdown();
+}
